@@ -1,0 +1,175 @@
+//! The kernel↔IP device boundary.
+//!
+//! Interface templates (paper Figs 4–7) move data between the kernel and an
+//! attached IP/buffer fabric through `ipw`/`ipr`/`ipstart`/`bufw`/`bufr`
+//! µ-operations. The executor forwards them to an [`IpDevice`]; the
+//! `partita-interface` crate implements the real co-simulated device.
+
+use std::collections::VecDeque;
+
+use crate::ExecError;
+
+/// The device attached to the kernel's IP port.
+///
+/// `tick` is called once per kernel cycle so devices can model pipelined
+/// progress while the kernel runs code in parallel (Fig. 2).
+pub trait IpDevice {
+    /// Kernel writes `value` to IP input port `port`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; surfaced as [`ExecError`].
+    fn write_port(&mut self, port: u8, value: i32) -> Result<(), ExecError>;
+
+    /// Kernel reads IP output port `port`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; surfaced as [`ExecError`].
+    fn read_port(&mut self, port: u8) -> Result<i32, ExecError>;
+
+    /// Kernel asserts the start strobe (`IP_start = 1`, Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; surfaced as [`ExecError`].
+    fn start(&mut self) -> Result<(), ExecError>;
+
+    /// Kernel writes `value` into interface buffer `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; surfaced as [`ExecError`].
+    fn write_buffer(&mut self, buf: u8, value: i32) -> Result<(), ExecError>;
+
+    /// Kernel reads the next word from interface buffer `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; surfaced as [`ExecError`].
+    fn read_buffer(&mut self, buf: u8) -> Result<i32, ExecError>;
+
+    /// One kernel clock elapsed.
+    fn tick(&mut self) {}
+
+    /// `true` while the device still has work in flight.
+    fn busy(&self) -> bool {
+        false
+    }
+}
+
+/// A device that rejects every access — the default when no IP is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullDevice;
+
+impl IpDevice for NullDevice {
+    fn write_port(&mut self, _port: u8, _value: i32) -> Result<(), ExecError> {
+        Err(ExecError::NoDeviceAttached)
+    }
+    fn read_port(&mut self, _port: u8) -> Result<i32, ExecError> {
+        Err(ExecError::NoDeviceAttached)
+    }
+    fn start(&mut self) -> Result<(), ExecError> {
+        Err(ExecError::NoDeviceAttached)
+    }
+    fn write_buffer(&mut self, _buf: u8, _value: i32) -> Result<(), ExecError> {
+        Err(ExecError::NoDeviceAttached)
+    }
+    fn read_buffer(&mut self, _buf: u8) -> Result<i32, ExecError> {
+        Err(ExecError::NoDeviceAttached)
+    }
+}
+
+/// A loopback device for tests: port writes are queued and read back FIFO;
+/// buffers are simple FIFOs; every access is recorded.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingDevice {
+    fifo: VecDeque<i32>,
+    buffers: Vec<VecDeque<i32>>,
+    /// Number of `start` strobes observed.
+    pub starts: usize,
+    /// Log of `(operation, port/buffer, value)` tuples.
+    pub log: Vec<(&'static str, u8, i32)>,
+}
+
+impl RecordingDevice {
+    /// Creates a device with `buffers` FIFO buffers.
+    #[must_use]
+    pub fn new(buffers: usize) -> RecordingDevice {
+        RecordingDevice {
+            fifo: VecDeque::new(),
+            buffers: vec![VecDeque::new(); buffers],
+            starts: 0,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl IpDevice for RecordingDevice {
+    fn write_port(&mut self, port: u8, value: i32) -> Result<(), ExecError> {
+        self.log.push(("ipw", port, value));
+        self.fifo.push_back(value);
+        Ok(())
+    }
+
+    fn read_port(&mut self, port: u8) -> Result<i32, ExecError> {
+        let v = self.fifo.pop_front().unwrap_or(0);
+        self.log.push(("ipr", port, v));
+        Ok(v)
+    }
+
+    fn start(&mut self) -> Result<(), ExecError> {
+        self.starts += 1;
+        self.log.push(("start", 0, 0));
+        Ok(())
+    }
+
+    fn write_buffer(&mut self, buf: u8, value: i32) -> Result<(), ExecError> {
+        self.log.push(("bufw", buf, value));
+        self.buffers
+            .get_mut(buf as usize)
+            .ok_or(ExecError::NoDeviceAttached)?
+            .push_back(value);
+        Ok(())
+    }
+
+    fn read_buffer(&mut self, buf: u8) -> Result<i32, ExecError> {
+        let v = self
+            .buffers
+            .get_mut(buf as usize)
+            .ok_or(ExecError::NoDeviceAttached)?
+            .pop_front()
+            .unwrap_or(0);
+        self.log.push(("bufr", buf, v));
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_device_rejects_everything() {
+        let mut d = NullDevice;
+        assert!(d.write_port(0, 1).is_err());
+        assert!(d.read_port(0).is_err());
+        assert!(d.start().is_err());
+        assert!(d.write_buffer(0, 1).is_err());
+        assert!(d.read_buffer(0).is_err());
+        assert!(!d.busy());
+    }
+
+    #[test]
+    fn recording_device_loops_back() {
+        let mut d = RecordingDevice::new(1);
+        d.write_port(0, 42).unwrap();
+        assert_eq!(d.read_port(1).unwrap(), 42);
+        d.write_buffer(0, 7).unwrap();
+        assert_eq!(d.read_buffer(0).unwrap(), 7);
+        d.start().unwrap();
+        assert_eq!(d.starts, 1);
+        assert_eq!(d.log.len(), 5);
+        assert!(d.read_buffer(3).is_err());
+    }
+}

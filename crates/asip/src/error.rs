@@ -1,0 +1,110 @@
+//! Execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+use partita_mop::{FuncId, MopError};
+
+/// Errors raised while simulating a program on the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Data-memory access outside the configured size.
+    MemOutOfBounds {
+        /// `"X"` or `"Y"`.
+        memory: &'static str,
+        /// The offending address.
+        addr: u32,
+        /// Memory size in words.
+        size: u32,
+    },
+    /// An X-side memory access used a Y-side AGU pointer or vice versa.
+    WrongAguSide {
+        /// The pointer index used.
+        agu: u8,
+        /// The side required (`"X"` or `"Y"`).
+        expected: &'static str,
+    },
+    /// An AGU pointer index outside 0..4.
+    BadAguIndex(u8),
+    /// The program has no entry function.
+    NoMainFunction,
+    /// Call to a function that does not exist.
+    UnknownCallee(FuncId),
+    /// Call stack exceeded the configured depth.
+    CallDepthExceeded {
+        /// Configured limit.
+        limit: usize,
+    },
+    /// The step budget ran out (runaway loop protection).
+    StepLimitExceeded {
+        /// Configured limit.
+        limit: u64,
+    },
+    /// An IP/buffer operation ran with no device attached.
+    NoDeviceAttached,
+    /// The attached device rejected an access (timing violation, unknown
+    /// buffer, underflow, ...).
+    DeviceFault(String),
+    /// An underlying IR error.
+    Ir(MopError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemOutOfBounds { memory, addr, size } => {
+                write!(f, "{memory}-memory access at {addr} outside size {size}")
+            }
+            ExecError::WrongAguSide { agu, expected } => {
+                write!(f, "agu pointer a{agu} is not on the {expected} side")
+            }
+            ExecError::BadAguIndex(a) => write!(f, "agu pointer index {a} out of range"),
+            ExecError::NoMainFunction => f.write_str("program has no entry function"),
+            ExecError::UnknownCallee(id) => write!(f, "call to unknown function {id}"),
+            ExecError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded limit of {limit}")
+            }
+            ExecError::StepLimitExceeded { limit } => {
+                write!(f, "step budget of {limit} exhausted")
+            }
+            ExecError::NoDeviceAttached => {
+                f.write_str("ip/buffer operation executed with no device attached")
+            }
+            ExecError::DeviceFault(msg) => write!(f, "ip device fault: {msg}"),
+            ExecError::Ir(e) => write!(f, "ir error: {e}"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MopError> for ExecError {
+    fn from(e: MopError) -> ExecError {
+        ExecError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExecError::MemOutOfBounds {
+            memory: "X",
+            addr: 9,
+            size: 4,
+        };
+        assert!(e.to_string().contains("X-memory"));
+        let wrapped = ExecError::from(MopError::UnknownFunction(FuncId(1)));
+        assert!(wrapped.source().is_some());
+    }
+}

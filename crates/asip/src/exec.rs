@@ -1,0 +1,755 @@
+//! The µ-program executor.
+
+use partita_mop::{
+    pack_words, AluOp, BlockId, Cycles, FuncId, MacOp, MopKind, MopProgram, Operand, SeqOp,
+};
+
+use crate::{Agu, ExecError, IpDevice, Kernel, NullDevice};
+
+/// How execution time is accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleModel {
+    /// One cycle per µ-operation (conservative, no field parallelism).
+    PerMop,
+    /// One cycle per packed µ-code word: independent µ-operations that share
+    /// a word (paper Fig. 4 lines 7–8) cost a single cycle.
+    #[default]
+    PerWord,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Cycle accounting model.
+    pub cycle_model: CycleModel,
+    /// Extra cycles charged for every taken control transfer (the pipeline
+    /// refill of the paper's pipelined kernel).
+    pub branch_penalty: u64,
+    /// Runaway-loop protection: maximum µ-operations retired.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Register windows: save the register file and AGU on `call` and
+    /// restore them on `return`, so callees cannot clobber caller state.
+    /// Partita-C functions communicate through their declared memory regions
+    /// and rely on this; set to `false` for hand-written µ-code that passes
+    /// values in registers.
+    pub register_windows: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            cycle_model: CycleModel::PerWord,
+            branch_penalty: 1,
+            max_steps: 50_000_000,
+            max_call_depth: 64,
+            register_windows: true,
+        }
+    }
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Total kernel cycles.
+    pub cycles: Cycles,
+    /// µ-operations retired.
+    pub mops_retired: u64,
+    /// Taken control transfers.
+    pub branches_taken: u64,
+    /// Per-function, per-block execution counts (the profile).
+    pub block_counts: Vec<Vec<u64>>,
+    /// `true` if the program ended via `halt` or returning from `main`.
+    pub halted: bool,
+}
+
+impl ExecReport {
+    /// Execution count of one block.
+    #[must_use]
+    pub fn block_count(&self, func: FuncId, block: BlockId) -> u64 {
+        self.block_counts
+            .get(func.index())
+            .and_then(|f| f.get(block.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes the collected profile back into the program's blocks, making
+    /// [`partita_mop::Function::profiled_cycles`] reflect this run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR lookup failures (which indicate a program/report
+    /// mismatch).
+    pub fn apply_profile(&self, program: &mut MopProgram) -> Result<(), ExecError> {
+        for (fi, counts) in self.block_counts.iter().enumerate() {
+            let func = program.function_mut(FuncId::from_index(fi))?;
+            for (bi, &count) in counts.iter().enumerate() {
+                func.set_exec_count(BlockId::from_index(bi), count)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    mop_idx: usize,
+}
+
+/// A saved register window (registers + AGU pointers).
+#[derive(Debug, Clone)]
+struct Window {
+    regs: [i32; 16],
+    agu: crate::Agu,
+}
+
+/// Executes [`MopProgram`]s on a [`Kernel`].
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p MopProgram,
+    /// Per function, per MopId: cycle cost under the per-word model (1 for
+    /// the first µ-op of each packed word, 0 for the rest).
+    word_costs: Vec<Vec<u8>>,
+}
+
+impl<'p> Executor<'p> {
+    /// Prepares an executor (packs every function into µ-code words).
+    #[must_use]
+    pub fn new(program: &'p MopProgram) -> Executor<'p> {
+        let word_costs = program
+            .functions()
+            .iter()
+            .map(|f| {
+                let mut costs = vec![1u8; f.mop_count()];
+                for words in pack_words(f) {
+                    for word in words {
+                        for (i, (_, mop)) in word.entries().into_iter().enumerate() {
+                            costs[mop.index()] = u8::from(i == 0);
+                        }
+                    }
+                }
+                costs
+            })
+            .collect();
+        Executor {
+            program,
+            word_costs,
+        }
+    }
+
+    /// Runs the program with no IP attached.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`]; IP/buffer µ-operations fail with
+    /// [`ExecError::NoDeviceAttached`].
+    pub fn run(&self, kernel: &mut Kernel, options: &ExecOptions) -> Result<ExecReport, ExecError> {
+        let mut device = NullDevice;
+        self.run_with_device(kernel, &mut device, options)
+    }
+
+    /// Runs the program with an attached IP device (co-simulation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`].
+    pub fn run_with_device(
+        &self,
+        kernel: &mut Kernel,
+        device: &mut dyn IpDevice,
+        options: &ExecOptions,
+    ) -> Result<ExecReport, ExecError> {
+        let main = self.program.main().ok_or(ExecError::NoMainFunction)?;
+        let mut block_counts: Vec<Vec<u64>> = self
+            .program
+            .functions()
+            .iter()
+            .map(|f| vec![0u64; f.blocks().len()])
+            .collect();
+
+        let mut stack: Vec<(Frame, Option<Window>)> = Vec::new();
+        let mut frame = Frame {
+            func: main,
+            block: self.program.function(main)?.entry(),
+            mop_idx: 0,
+        };
+        let mut report = ExecReport {
+            cycles: Cycles::ZERO,
+            mops_retired: 0,
+            branches_taken: 0,
+            block_counts: Vec::new(),
+            halted: false,
+        };
+        if self.program.function(main)?.blocks().is_empty() {
+            report.halted = true;
+            report.block_counts = block_counts;
+            return Ok(report);
+        }
+        block_counts[frame.func.index()][frame.block.index()] += 1;
+
+        let charge = |report: &mut ExecReport, device: &mut dyn IpDevice, n: u64| {
+            report.cycles += Cycles(n);
+            for _ in 0..n {
+                device.tick();
+            }
+        };
+
+        'outer: loop {
+            if report.mops_retired >= options.max_steps {
+                return Err(ExecError::StepLimitExceeded {
+                    limit: options.max_steps,
+                });
+            }
+            let func = self.program.function(frame.func)?;
+            let block = func.block(frame.block)?;
+
+            let Some(&mop_id) = block.mops().get(frame.mop_idx) else {
+                // Block exhausted without a terminator: fall through, or
+                // implicitly return from the last block.
+                let next_idx = frame.block.index() + 1;
+                if next_idx < func.blocks().len() {
+                    frame.block = BlockId::from_index(next_idx);
+                    frame.mop_idx = 0;
+                    block_counts[frame.func.index()][frame.block.index()] += 1;
+                    continue;
+                }
+                match stack.pop() {
+                    Some((ret, window)) => {
+                        if let Some(w) = window {
+                            restore_window(kernel, &w);
+                        }
+                        frame = ret;
+                        continue;
+                    }
+                    None => {
+                        report.halted = true;
+                        break 'outer;
+                    }
+                }
+            };
+
+            let mop = func.mop(mop_id)?;
+            report.mops_retired += 1;
+            let cost = match options.cycle_model {
+                CycleModel::PerMop => 1,
+                CycleModel::PerWord => u64::from(self.word_costs[frame.func.index()][mop_id.index()]),
+            };
+            charge(&mut report, device, cost);
+
+            let mut next = frame;
+            next.mop_idx += 1;
+            let mut transfer: Option<Frame> = None;
+
+            match mop.kind() {
+                MopKind::Alu { op, dst, a, b } => {
+                    let av = read_operand(kernel, *a);
+                    let bv = read_operand(kernel, *b);
+                    kernel.set_reg(*dst, alu_eval(*op, av, bv));
+                }
+                MopKind::Mac { op, acc, a, b } => {
+                    let prod = i64::from(kernel.reg(*a)) * i64::from(kernel.reg(*b));
+                    let base = i64::from(kernel.reg(*acc));
+                    let sum = match op {
+                        MacOp::Mac => base + prod,
+                        MacOp::Msu => base - prod,
+                    };
+                    kernel.set_reg(*acc, sum as i32);
+                }
+                MopKind::Move { dst, src } => {
+                    let v = kernel.reg(*src);
+                    kernel.set_reg(*dst, v);
+                }
+                MopKind::LoadImm { dst, imm } => kernel.set_reg(*dst, *imm),
+                MopKind::LoadX { dst, agu } => {
+                    Agu::require_x(*agu)?;
+                    let addr = kernel.agu.ptr(*agu)?;
+                    let v = kernel.xdm.read(addr)?;
+                    kernel.set_reg(*dst, v);
+                }
+                MopKind::LoadY { dst, agu } => {
+                    Agu::require_y(*agu)?;
+                    let addr = kernel.agu.ptr(*agu)?;
+                    let v = kernel.ydm.read(addr)?;
+                    kernel.set_reg(*dst, v);
+                }
+                MopKind::StoreX { src, agu } => {
+                    Agu::require_x(*agu)?;
+                    let addr = kernel.agu.ptr(*agu)?;
+                    let v = kernel.reg(*src);
+                    kernel.xdm.write(addr, v)?;
+                }
+                MopKind::StoreY { src, agu } => {
+                    Agu::require_y(*agu)?;
+                    let addr = kernel.agu.ptr(*agu)?;
+                    let v = kernel.reg(*src);
+                    kernel.ydm.write(addr, v)?;
+                }
+                MopKind::AguSet { agu, addr } => kernel.agu.set(*agu, *addr)?,
+                MopKind::AguStep { agu, step } => kernel.agu.step(*agu, *step)?,
+                MopKind::AguFromReg { agu, src } => {
+                    let addr = kernel.reg(*src) as u32;
+                    kernel.agu.set(*agu, addr)?;
+                }
+                MopKind::IpWrite { port, src } => {
+                    let v = kernel.reg(*src);
+                    device.write_port(*port, v)?;
+                }
+                MopKind::IpRead { dst, port } => {
+                    let v = device.read_port(*port)?;
+                    kernel.set_reg(*dst, v);
+                }
+                MopKind::IpStart => device.start()?,
+                MopKind::BufWrite { buf, src } => {
+                    let v = kernel.reg(*src);
+                    device.write_buffer(*buf, v)?;
+                }
+                MopKind::BufRead { dst, buf } => {
+                    let v = device.read_buffer(*buf)?;
+                    kernel.set_reg(*dst, v);
+                }
+                MopKind::Seq(seq) => match seq {
+                    SeqOp::Jump(target) => {
+                        transfer = Some(Frame {
+                            func: frame.func,
+                            block: *target,
+                            mop_idx: 0,
+                        });
+                    }
+                    SeqOp::BranchNz {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => {
+                        let target = if kernel.reg(*cond) != 0 {
+                            *then_block
+                        } else {
+                            *else_block
+                        };
+                        transfer = Some(Frame {
+                            func: frame.func,
+                            block: target,
+                            mop_idx: 0,
+                        });
+                    }
+                    SeqOp::Call(callee) => {
+                        let callee_func = self
+                            .program
+                            .function(*callee)
+                            .map_err(|_| ExecError::UnknownCallee(*callee))?;
+                        if stack.len() >= options.max_call_depth {
+                            return Err(ExecError::CallDepthExceeded {
+                                limit: options.max_call_depth,
+                            });
+                        }
+                        if callee_func.blocks().is_empty() {
+                            // Empty callee: a no-op call.
+                        } else {
+                            let window = options
+                                .register_windows
+                                .then(|| save_window(kernel));
+                            stack.push((next, window));
+                            transfer = Some(Frame {
+                                func: *callee,
+                                block: callee_func.entry(),
+                                mop_idx: 0,
+                            });
+                        }
+                    }
+                    SeqOp::Return => match stack.pop() {
+                        Some((ret, window)) => {
+                            report.branches_taken += 1;
+                            charge(&mut report, device, options.branch_penalty);
+                            if let Some(w) = window {
+                                restore_window(kernel, &w);
+                            }
+                            frame = ret;
+                            continue;
+                        }
+                        None => {
+                            report.halted = true;
+                            break 'outer;
+                        }
+                    },
+                    SeqOp::Halt => {
+                        report.halted = true;
+                        break 'outer;
+                    }
+                },
+                MopKind::Nop => {}
+            }
+
+            match transfer {
+                Some(t) => {
+                    report.branches_taken += 1;
+                    charge(&mut report, device, options.branch_penalty);
+                    block_counts[t.func.index()][t.block.index()] += 1;
+                    frame = t;
+                }
+                None => frame = next,
+            }
+        }
+
+        report.block_counts = block_counts;
+        Ok(report)
+    }
+}
+
+fn save_window(kernel: &Kernel) -> Window {
+    let mut regs = [0i32; 16];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = kernel.reg(partita_mop::Reg(i as u8));
+    }
+    Window { regs, agu: kernel.agu }
+}
+
+fn restore_window(kernel: &mut Kernel, w: &Window) {
+    for (i, &r) in w.regs.iter().enumerate() {
+        kernel.set_reg(partita_mop::Reg(i as u8), r);
+    }
+    kernel.agu = w.agu;
+}
+
+fn read_operand(kernel: &Kernel, op: Operand) -> i32 {
+    match op {
+        Operand::Reg(r) => kernel.reg(r),
+        Operand::Imm(v) => v,
+    }
+}
+
+fn alu_eval(op: AluOp, a: i32, b: i32) -> i32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 31),
+        AluOp::Shr => a.wrapping_shr(b as u32 & 31),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::CmpEq => i32::from(a == b),
+        AluOp::CmpLt => i32::from(a < b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_mop::{Function, Mop, Reg};
+
+    use crate::RecordingDevice;
+
+    fn program_of(funcs: Vec<Function>) -> MopProgram {
+        let mut p = MopProgram::new();
+        let mut main_id = None;
+        for f in funcs {
+            let is_main = f.name() == "main";
+            let id = p.add_function(f).unwrap();
+            if is_main {
+                main_id = Some(id);
+            }
+        }
+        p.set_main(main_id.expect("main function present")).unwrap();
+        p
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_imm(Reg(0), 6));
+        f.push_mop(b, Mop::load_imm(Reg(1), 7));
+        f.push_mop(b, Mop::alu(AluOp::Mul, Reg(2), Reg(0), Reg(1)));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(16, 16);
+        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert_eq!(k.reg(Reg(2)), 42);
+        assert!(r.halted);
+        assert_eq!(r.mops_retired, 4);
+    }
+
+    #[test]
+    fn loop_executes_and_profiles() {
+        // r0 = 5; loop: r0 -= 1; bnz r0 -> loop else exit.
+        let mut f = Function::new("main");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.push_mop(b0, Mop::load_imm(Reg(0), 5));
+        f.push_mop(b1, Mop::alu(AluOp::Sub, Reg(0), Reg(0), 1));
+        f.push_mop(b1, Mop::branch_nz(Reg(0), b1, b2));
+        f.push_mop(b2, Mop::halt());
+        f.compute_edges();
+        let mut p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert_eq!(k.reg(Reg(0)), 0);
+        assert_eq!(r.block_count(FuncId(0), b1), 5);
+        assert_eq!(r.block_count(FuncId(0), b2), 1);
+        r.apply_profile(&mut p).unwrap();
+        assert_eq!(p.function(FuncId(0)).unwrap().block(b1).unwrap().exec_count(), 5);
+    }
+
+    #[test]
+    fn memory_and_agu() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::agu_set(0, 3));
+        f.push_mop(b, Mop::load_imm(Reg(0), 99));
+        f.push_mop(b, Mop::store_x(Reg(0), 0));
+        f.push_mop(b, Mop::agu_set(2, 1));
+        f.push_mop(b, Mop::load_imm(Reg(1), -5));
+        f.push_mop(b, Mop::store_y(Reg(1), 2));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(8, 8);
+        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert_eq!(k.xdm.read(3).unwrap(), 99);
+        assert_eq!(k.ydm.read(1).unwrap(), -5);
+    }
+
+    #[test]
+    fn wrong_agu_side_rejected() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_x(Reg(0), 2)); // Y-side pointer on X access
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(8, 8);
+        let err = Executor::new(&p).run(&mut k, &ExecOptions::default());
+        assert!(matches!(err, Err(ExecError::WrongAguSide { .. })));
+    }
+
+    #[test]
+    fn calls_pass_registers_without_windows() {
+        let mut callee = Function::new("inc");
+        let cb = callee.add_block();
+        callee.push_mop(cb, Mop::alu(AluOp::Add, Reg(0), Reg(0), 1));
+        callee.push_mop(cb, Mop::ret());
+        let mut main = Function::new("main");
+        let b = main.add_block();
+        main.push_mop(b, Mop::load_imm(Reg(0), 0));
+        main.push_mop(b, Mop::call(FuncId(1)));
+        main.push_mop(b, Mop::call(FuncId(1)));
+        main.push_mop(b, Mop::halt());
+        main.compute_edges();
+        let p = program_of(vec![main, callee]);
+        let mut k = Kernel::new(4, 4);
+        let opts = ExecOptions {
+            register_windows: false,
+            ..ExecOptions::default()
+        };
+        let r = Executor::new(&p).run(&mut k, &opts).unwrap();
+        assert_eq!(k.reg(Reg(0)), 2);
+        assert_eq!(r.block_count(FuncId(1), BlockId(0)), 2);
+    }
+
+    #[test]
+    fn register_windows_protect_the_caller() {
+        // The callee trashes r0..r3 and an AGU pointer; with windows (the
+        // default) the caller's state survives.
+        let mut callee = Function::new("clobber");
+        let cb = callee.add_block();
+        for i in 0..4u8 {
+            callee.push_mop(cb, Mop::load_imm(Reg(i), 999));
+        }
+        callee.push_mop(cb, Mop::agu_set(0, 77));
+        callee.push_mop(cb, Mop::ret());
+        let mut main = Function::new("main");
+        let b = main.add_block();
+        main.push_mop(b, Mop::load_imm(Reg(0), 5));
+        main.push_mop(b, Mop::agu_set(0, 3));
+        main.push_mop(b, Mop::call(FuncId(1)));
+        main.push_mop(b, Mop::halt());
+        main.compute_edges();
+        let p = program_of(vec![main, callee]);
+        let mut k = Kernel::new(8, 8);
+        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert_eq!(k.reg(Reg(0)), 5);
+        assert_eq!(k.agu.ptr(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut f = Function::new("main");
+        let b0 = f.add_block();
+        f.push_mop(b0, Mop::jump(b0));
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        let opts = ExecOptions {
+            max_steps: 100,
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            Executor::new(&p).run(&mut k, &opts),
+            Err(ExecError::StepLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn recursion_depth_guard() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::call(FuncId(0)));
+        f.push_mop(b, Mop::ret());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        assert!(matches!(
+            Executor::new(&p).run(&mut k, &ExecOptions::default()),
+            Err(ExecError::CallDepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn per_word_model_is_cheaper_than_per_mop() {
+        // Three independent ops pack into one word.
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::agu_set(0, 0));
+        f.push_mop(b, Mop::agu_set(2, 0));
+        f.push_mop(b, Mop::load_imm(Reg(2), 1));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k1 = Kernel::new(4, 4);
+        let per_word = Executor::new(&p)
+            .run(
+                &mut k1,
+                &ExecOptions {
+                    cycle_model: CycleModel::PerWord,
+                    branch_penalty: 0,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        let mut k2 = Kernel::new(4, 4);
+        let per_mop = Executor::new(&p)
+            .run(
+                &mut k2,
+                &ExecOptions {
+                    cycle_model: CycleModel::PerMop,
+                    branch_penalty: 0,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(per_word.cycles < per_mop.cycles);
+        assert_eq!(per_mop.cycles, Cycles(4));
+        // All four ops occupy distinct fields (AguX, AguY, Move, Seq) and
+        // pack into a single word.
+        assert_eq!(per_word.cycles, Cycles(1));
+    }
+
+    #[test]
+    fn device_interaction_and_ticks() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_imm(Reg(0), 11));
+        f.push_mop(b, Mop::ip_write(0, Reg(0)));
+        f.push_mop(b, Mop::ip_start());
+        f.push_mop(b, Mop::ip_read(Reg(1), 0));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        let mut dev = RecordingDevice::new(0);
+        Executor::new(&p)
+            .run_with_device(&mut k, &mut dev, &ExecOptions::default())
+            .unwrap();
+        assert_eq!(k.reg(Reg(1)), 11);
+        assert_eq!(dev.starts, 1);
+    }
+
+    #[test]
+    fn missing_device_is_an_error() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::ip_start());
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        assert_eq!(
+            Executor::new(&p).run(&mut k, &ExecOptions::default()),
+            Err(ExecError::NoDeviceAttached)
+        );
+    }
+
+    #[test]
+    fn fallthrough_and_implicit_return() {
+        let mut f = Function::new("main");
+        let b0 = f.add_block();
+        let _b1 = f.add_block();
+        f.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        // b1 is empty; falls off the end -> implicit halt (main).
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu_eval(AluOp::Add, i32::MAX, 1), i32::MIN); // wraps
+        assert_eq!(alu_eval(AluOp::Sub, 3, 5), -2);
+        assert_eq!(alu_eval(AluOp::Div, 7, 2), 3);
+        assert_eq!(alu_eval(AluOp::Div, -7, 2), -3);
+        assert_eq!(alu_eval(AluOp::Div, 7, 0), 0); // defined, not a trap
+        assert_eq!(alu_eval(AluOp::Rem, 7, 2), 1);
+        assert_eq!(alu_eval(AluOp::Rem, 7, 0), 0);
+        assert_eq!(alu_eval(AluOp::Div, i32::MIN, -1), i32::MIN); // wraps
+        assert_eq!(alu_eval(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu_eval(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu_eval(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu_eval(AluOp::Shl, 1, 4), 16);
+        assert_eq!(alu_eval(AluOp::Shr, -16, 2), -4); // arithmetic
+        assert_eq!(alu_eval(AluOp::Min, -3, 2), -3);
+        assert_eq!(alu_eval(AluOp::Max, -3, 2), 2);
+        assert_eq!(alu_eval(AluOp::CmpEq, 5, 5), 1);
+        assert_eq!(alu_eval(AluOp::CmpLt, 5, 5), 0);
+        assert_eq!(alu_eval(AluOp::CmpLt, -1, 0), 1);
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_imm(Reg(0), 10)); // acc
+        f.push_mop(b, Mop::load_imm(Reg(1), 3));
+        f.push_mop(b, Mop::load_imm(Reg(2), 4));
+        f.push_mop(b, Mop::mac(MacOp::Mac, Reg(0), Reg(1), Reg(2)));
+        f.push_mop(b, Mop::mac(MacOp::Msu, Reg(0), Reg(1), Reg(1)));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let p = program_of(vec![f]);
+        let mut k = Kernel::new(4, 4);
+        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        assert_eq!(k.reg(Reg(0)), 10 + 12 - 9);
+    }
+}

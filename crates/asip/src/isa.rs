@@ -1,0 +1,230 @@
+//! Instruction-set model: the P/C/S instruction classes of paper §2.
+//!
+//! * **P-class** — primitive instructions "essential in all applications"
+//!   (simple arithmetic, branch, call); always present.
+//! * **C-class** — application-specific µ-coded instructions that control
+//!   all kernel units.
+//! * **S-class** — "the instructions used to incorporate the IPs into the
+//!   instruction set": one per merged (IP set, interface) selection.
+//!
+//! After selection, "all newly generated instructions are encoded in the
+//! instruction space"; this module accounts for that encoding: opcode width,
+//! remaining encoding room, and the µ-ROM footprint of the µ-coded classes.
+
+use std::fmt;
+
+use partita_mop::Function;
+
+use crate::{MicroRom, RomStats};
+
+/// An instruction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Primitive kernel instruction.
+    P,
+    /// Application-specific µ-coded instruction.
+    C,
+    /// IP-backed accelerator instruction.
+    S,
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InstrClass::P => "P",
+            InstrClass::C => "C",
+            InstrClass::S => "S",
+        })
+    }
+}
+
+/// One encoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instruction {
+    /// Mnemonic.
+    pub name: String,
+    /// Class.
+    pub class: InstrClass,
+    /// Assigned opcode (set by [`InstructionSet::encode`]).
+    pub opcode: Option<u32>,
+}
+
+/// The ASIP's instruction set under construction.
+///
+/// # Example
+///
+/// ```
+/// use partita_asip::{InstructionSet, InstrClass};
+/// let mut isa = InstructionSet::with_baseline_p_class();
+/// isa.add(InstrClass::C, "mac_block");
+/// isa.add(InstrClass::S, "s_fir_if0");
+/// let enc = isa.encode();
+/// assert!(enc.opcode_bits >= 5);
+/// assert_eq!(enc.used, isa.len());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstructionSet {
+    instructions: Vec<Instruction>,
+}
+
+/// The baseline P-class mnemonics (arithmetic, logic, memory, control) that
+/// every generated ASIP supports.
+pub const BASELINE_P_CLASS: [&str; 18] = [
+    "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "min", "max", "cmpeq", "cmplt",
+    "ld", "st", "ldi", "br", "call", "ret",
+];
+
+impl InstructionSet {
+    /// An empty instruction set.
+    #[must_use]
+    pub fn new() -> InstructionSet {
+        InstructionSet::default()
+    }
+
+    /// An instruction set pre-populated with the baseline P-class.
+    #[must_use]
+    pub fn with_baseline_p_class() -> InstructionSet {
+        let mut isa = InstructionSet::new();
+        for name in BASELINE_P_CLASS {
+            isa.add(InstrClass::P, name);
+        }
+        isa
+    }
+
+    /// Adds an instruction (unencoded).
+    pub fn add(&mut self, class: InstrClass, name: impl Into<String>) {
+        self.instructions.push(Instruction {
+            name: name.into(),
+            class,
+            opcode: None,
+        });
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` when no instructions are defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Instructions of one class.
+    #[must_use]
+    pub fn of_class(&self, class: InstrClass) -> Vec<&Instruction> {
+        self.instructions
+            .iter()
+            .filter(|i| i.class == class)
+            .collect()
+    }
+
+    /// All instructions.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Assigns sequential opcodes (P first, then C, then S) and reports the
+    /// encoding-space usage.
+    pub fn encode(&mut self) -> Encoding {
+        let mut opcode = 0u32;
+        for class in [InstrClass::P, InstrClass::C, InstrClass::S] {
+            for instr in self.instructions.iter_mut().filter(|i| i.class == class) {
+                instr.opcode = Some(opcode);
+                opcode += 1;
+            }
+        }
+        let used = opcode as usize;
+        let opcode_bits = usize::BITS - used.saturating_sub(1).leading_zeros();
+        let opcode_bits = (opcode_bits as usize).max(1);
+        Encoding {
+            used,
+            opcode_bits,
+            free_slots: (1usize << opcode_bits) - used,
+        }
+    }
+
+    /// Builds the µ-ROM for the µ-coded instruction bodies (C and S classes)
+    /// and reports its sharing statistics.
+    #[must_use]
+    pub fn microcode_stats<'a>(&self, bodies: impl IntoIterator<Item = &'a Function>) -> RomStats {
+        let bodies: Vec<&Function> = bodies.into_iter().collect();
+        let mut rom = MicroRom::new();
+        for f in &bodies {
+            rom.add_function(f);
+        }
+        rom.stats(&bodies)
+    }
+}
+
+/// The result of encoding an instruction set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Encoding {
+    /// Instructions encoded.
+    pub used: usize,
+    /// Opcode field width in bits.
+    pub opcode_bits: usize,
+    /// Unused encodings left at this width.
+    pub free_slots: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_mop::{Mop, Reg};
+
+    #[test]
+    fn baseline_p_class_always_present() {
+        let isa = InstructionSet::with_baseline_p_class();
+        assert_eq!(isa.of_class(InstrClass::P).len(), BASELINE_P_CLASS.len());
+        assert!(isa.of_class(InstrClass::S).is_empty());
+    }
+
+    #[test]
+    fn encoding_orders_classes_and_sizes_opcodes() {
+        let mut isa = InstructionSet::with_baseline_p_class();
+        isa.add(InstrClass::S, "s_fir_if0");
+        isa.add(InstrClass::C, "c_mac_loop");
+        let enc = isa.encode();
+        assert_eq!(enc.used, 20);
+        assert_eq!(enc.opcode_bits, 5);
+        assert_eq!(enc.free_slots, 12);
+        // The C instruction encodes before the S instruction.
+        let c_op = isa.of_class(InstrClass::C)[0].opcode.unwrap();
+        let s_op = isa.of_class(InstrClass::S)[0].opcode.unwrap();
+        assert!(c_op < s_op);
+        // Every P opcode precedes both.
+        for p in isa.of_class(InstrClass::P) {
+            assert!(p.opcode.unwrap() < c_op);
+        }
+    }
+
+    #[test]
+    fn single_instruction_needs_one_bit() {
+        let mut isa = InstructionSet::new();
+        isa.add(InstrClass::P, "nopish");
+        let enc = isa.encode();
+        assert_eq!(enc.opcode_bits, 1);
+        assert_eq!(enc.free_slots, 1);
+        assert!(!isa.is_empty());
+    }
+
+    #[test]
+    fn microcode_stats_fold_shared_words() {
+        let mut body1 = Function::new("s_a");
+        let b = body1.add_block();
+        body1.push_mop(b, Mop::load_imm(Reg(0), 7));
+        body1.compute_edges();
+        let mut body2 = Function::new("s_b");
+        let b = body2.add_block();
+        body2.push_mop(b, Mop::load_imm(Reg(0), 7));
+        body2.compute_edges();
+        let isa = InstructionSet::new();
+        let stats = isa.microcode_stats([&body1, &body2]);
+        assert_eq!(stats.total_words, 2);
+        assert_eq!(stats.unique_words, 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Architectural state: register file, dual data memories, AGU.
+
+use partita_mop::Reg;
+
+use crate::ExecError;
+
+/// One of the kernel's data memories (XDM or YDM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMemory {
+    name: &'static str,
+    words: Vec<i32>,
+}
+
+impl DataMemory {
+    /// Creates a zeroed memory of `size` words.
+    #[must_use]
+    pub fn new(name: &'static str, size: u32) -> DataMemory {
+        DataMemory {
+            name,
+            words: vec![0; size as usize],
+        }
+    }
+
+    /// Memory size in words.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemOutOfBounds`] outside the configured size.
+    pub fn read(&self, addr: u32) -> Result<i32, ExecError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(ExecError::MemOutOfBounds {
+                memory: self.name,
+                addr,
+                size: self.size(),
+            })
+    }
+
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemOutOfBounds`] outside the configured size.
+    pub fn write(&mut self, addr: u32, value: i32) -> Result<(), ExecError> {
+        let size = self.size();
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(ExecError::MemOutOfBounds {
+                memory: self.name,
+                addr,
+                size,
+            }),
+        }
+    }
+
+    /// Bulk-loads `data` starting at `base` (convenience for tests/examples).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemOutOfBounds`] if the slice does not fit.
+    pub fn load(&mut self, base: u32, data: &[i32]) -> Result<(), ExecError> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base + i as u32, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` words starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemOutOfBounds`] if the range does not fit.
+    pub fn dump(&self, base: u32, len: u32) -> Result<Vec<i32>, ExecError> {
+        (base..base + len).map(|a| self.read(a)).collect()
+    }
+}
+
+/// The address-generation unit: four pointer registers, two per memory side
+/// (a0/a1 address XDM, a2/a3 address YDM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Agu {
+    ptrs: [u32; 4],
+}
+
+impl Agu {
+    /// Creates an AGU with all pointers at zero.
+    #[must_use]
+    pub fn new() -> Agu {
+        Agu::default()
+    }
+
+    /// Current value of pointer `idx`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadAguIndex`] for `idx >= 4`.
+    pub fn ptr(&self, idx: u8) -> Result<u32, ExecError> {
+        self.ptrs
+            .get(idx as usize)
+            .copied()
+            .ok_or(ExecError::BadAguIndex(idx))
+    }
+
+    /// Sets pointer `idx` to an absolute address.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadAguIndex`] for `idx >= 4`.
+    pub fn set(&mut self, idx: u8, addr: u32) -> Result<(), ExecError> {
+        match self.ptrs.get_mut(idx as usize) {
+            Some(p) => {
+                *p = addr;
+                Ok(())
+            }
+            None => Err(ExecError::BadAguIndex(idx)),
+        }
+    }
+
+    /// Adds a signed step to pointer `idx` (wrapping at `u32` like hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadAguIndex`] for `idx >= 4`.
+    pub fn step(&mut self, idx: u8, step: i32) -> Result<(), ExecError> {
+        match self.ptrs.get_mut(idx as usize) {
+            Some(p) => {
+                *p = p.wrapping_add_signed(step);
+                Ok(())
+            }
+            None => Err(ExecError::BadAguIndex(idx)),
+        }
+    }
+
+    /// Validates that `idx` addresses the X side (pointers 0 and 1).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WrongAguSide`] or [`ExecError::BadAguIndex`].
+    pub fn require_x(idx: u8) -> Result<(), ExecError> {
+        match idx {
+            0 | 1 => Ok(()),
+            2 | 3 => Err(ExecError::WrongAguSide {
+                agu: idx,
+                expected: "X",
+            }),
+            _ => Err(ExecError::BadAguIndex(idx)),
+        }
+    }
+
+    /// Validates that `idx` addresses the Y side (pointers 2 and 3).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WrongAguSide`] or [`ExecError::BadAguIndex`].
+    pub fn require_y(idx: u8) -> Result<(), ExecError> {
+        match idx {
+            2 | 3 => Ok(()),
+            0 | 1 => Err(ExecError::WrongAguSide {
+                agu: idx,
+                expected: "Y",
+            }),
+            _ => Err(ExecError::BadAguIndex(idx)),
+        }
+    }
+}
+
+/// The kernel's full architectural state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    regs: [i32; 16],
+    /// X data memory.
+    pub xdm: DataMemory,
+    /// Y data memory.
+    pub ydm: DataMemory,
+    /// Address-generation unit.
+    pub agu: Agu,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given memory sizes (in words).
+    #[must_use]
+    pub fn new(xdm_size: u32, ydm_size: u32) -> Kernel {
+        Kernel {
+            regs: [0; 16],
+            xdm: DataMemory::new("X", xdm_size),
+            ydm: DataMemory::new("Y", ydm_size),
+            agu: Agu::new(),
+        }
+    }
+
+    /// Reads a register (register indices wrap into the 16-entry file).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> i32 {
+        self.regs[r.0 as usize % 16]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: i32) {
+        self.regs[r.0 as usize % 16] = value;
+    }
+
+    /// Resets registers and AGU (memories keep their contents).
+    pub fn reset_datapath(&mut self) {
+        self.regs = [0; 16];
+        self.agu = Agu::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip_and_bounds() {
+        let mut m = DataMemory::new("X", 8);
+        m.write(3, -7).unwrap();
+        assert_eq!(m.read(3).unwrap(), -7);
+        assert!(matches!(
+            m.read(8),
+            Err(ExecError::MemOutOfBounds { addr: 8, .. })
+        ));
+        assert!(m.write(9, 0).is_err());
+    }
+
+    #[test]
+    fn bulk_load_dump() {
+        let mut m = DataMemory::new("Y", 16);
+        m.load(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.dump(4, 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.load(15, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn agu_sides() {
+        assert!(Agu::require_x(0).is_ok());
+        assert!(Agu::require_x(1).is_ok());
+        assert!(matches!(
+            Agu::require_x(2),
+            Err(ExecError::WrongAguSide { expected: "X", .. })
+        ));
+        assert!(Agu::require_y(3).is_ok());
+        assert!(Agu::require_y(0).is_err());
+        assert!(matches!(Agu::require_y(7), Err(ExecError::BadAguIndex(7))));
+    }
+
+    #[test]
+    fn agu_step_wraps() {
+        let mut a = Agu::new();
+        a.set(0, 5).unwrap();
+        a.step(0, -2).unwrap();
+        assert_eq!(a.ptr(0).unwrap(), 3);
+        a.step(0, -10).unwrap(); // wraps like hardware modular arithmetic
+        assert_eq!(a.ptr(0).unwrap(), 3u32.wrapping_sub(10));
+        assert!(a.ptr(9).is_err());
+        assert!(a.set(4, 0).is_err());
+        assert!(a.step(4, 1).is_err());
+    }
+
+    #[test]
+    fn register_file_wraps_indices() {
+        let mut k = Kernel::new(4, 4);
+        k.set_reg(Reg(17), 9); // wraps to r1
+        assert_eq!(k.reg(Reg(1)), 9);
+        k.reset_datapath();
+        assert_eq!(k.reg(Reg(1)), 0);
+    }
+}

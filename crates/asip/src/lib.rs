@@ -1,0 +1,59 @@
+//! Cycle-accurate simulator of the paper's target ASIP core ("kernel").
+//!
+//! The kernel (paper §2) is a pipelined DSP processor controlled by
+//! µ-programming: a separate address-generation unit ([`Agu`]), two data
+//! memories (XDM and YDM, simultaneously accessible), and µ-code words of
+//! eight fields. This crate executes [`partita_mop::MopProgram`]s:
+//!
+//! * [`Kernel`] — architectural state (registers, memories, AGU);
+//! * [`Executor`] — runs a program, counts cycles (per-MOP or per-packed-
+//!   µ-word), applies branch penalties, and collects the block-level
+//!   execution profile the paper obtains by "sample-execution with typical
+//!   input data";
+//! * [`IpDevice`] — the hook through which interface templates talk to an
+//!   attached IP (implemented by the `partita-interface` co-simulator);
+//! * [`MicroRom`] — µ-ROM size accounting with word deduplication;
+//! * [`InstructionSet`] — the P/C/S instruction classes and their encoding
+//!   into the opcode space.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_asip::{Executor, ExecOptions, Kernel};
+//! use partita_mop::{Function, Mop, MopProgram, AluOp, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut main = Function::new("main");
+//! let b = main.add_block();
+//! main.push_mop(b, Mop::load_imm(Reg(0), 21));
+//! main.push_mop(b, Mop::alu(AluOp::Add, Reg(0), Reg(0), Reg(0)));
+//! main.push_mop(b, Mop::halt());
+//! main.compute_edges();
+//! let mut p = MopProgram::new();
+//! let id = p.add_function(main)?;
+//! p.set_main(id)?;
+//!
+//! let mut kernel = Kernel::new(1024, 1024);
+//! let report = Executor::new(&p).run(&mut kernel, &ExecOptions::default())?;
+//! assert_eq!(kernel.reg(Reg(0)), 42);
+//! assert!(report.cycles.get() >= 2); // hazard splits the two ALU words
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod exec;
+mod isa;
+mod kernel;
+mod urom;
+
+pub use device::{IpDevice, NullDevice, RecordingDevice};
+pub use error::ExecError;
+pub use exec::{CycleModel, ExecOptions, ExecReport, Executor};
+pub use isa::{Encoding, InstrClass, Instruction, InstructionSet, BASELINE_P_CLASS};
+pub use kernel::{Agu, DataMemory, Kernel};
+pub use urom::{MicroRom, RomStats};

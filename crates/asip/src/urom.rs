@@ -1,0 +1,153 @@
+//! µ-ROM size accounting.
+//!
+//! After instruction generation the paper "optimises the µ-ROM with
+//! including the µ-codes for the C-instructions and S-instructions" (§2).
+//! We model the dominant optimisation — sharing identical µ-code words —
+//! and report the code-memory footprint that the type-0/1 interface area
+//! model charges (`A_CNT` is "the code-memory area needed for storing
+//! interface codes").
+
+use std::collections::HashMap;
+
+use partita_mop::{pack_words, Function, MicroWord};
+
+/// Size statistics of a [`MicroRom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RomStats {
+    /// Total µ-code words before sharing.
+    pub total_words: usize,
+    /// Distinct words after sharing identical entries.
+    pub unique_words: usize,
+}
+
+impl RomStats {
+    /// Words saved by sharing.
+    #[must_use]
+    pub fn words_saved(&self) -> usize {
+        self.total_words - self.unique_words
+    }
+}
+
+/// A µ-ROM image: the packed µ-code words of a set of functions.
+#[derive(Debug, Clone, Default)]
+pub struct MicroRom {
+    words: Vec<MicroWord>,
+}
+
+impl MicroRom {
+    /// Creates an empty ROM.
+    #[must_use]
+    pub fn new() -> MicroRom {
+        MicroRom::default()
+    }
+
+    /// Packs `func` into µ-code words and appends them.
+    pub fn add_function(&mut self, func: &Function) {
+        for block in pack_words(func) {
+            self.words.extend(block);
+        }
+    }
+
+    /// Number of words currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the ROM holds no words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Computes sharing statistics.
+    ///
+    /// Two words are shareable when their eight fields hold identical
+    /// µ-operations (compared structurally, not by arena id), which is how a
+    /// real µ-ROM optimiser folds repeated interface-template lines.
+    #[must_use]
+    pub fn stats(&self, funcs: &[&Function]) -> RomStats {
+        // Render each word structurally using the owning function's mops.
+        // Words were appended function by function in `add_function` order,
+        // so we re-walk the functions to recover ownership.
+        let mut rendered: Vec<String> = Vec::with_capacity(self.words.len());
+        let mut cursor = 0usize;
+        for f in funcs {
+            let packed = pack_words(f);
+            for block in packed {
+                for word in block {
+                    let mut s = String::new();
+                    for (slot, mop) in word.entries() {
+                        let text = f
+                            .mop(mop)
+                            .map(|m| m.to_string())
+                            .unwrap_or_default();
+                        s.push_str(&format!("{slot:?}:{text};"));
+                    }
+                    rendered.push(s);
+                    cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(cursor, self.words.len(), "rom/function mismatch");
+        let total_words = rendered.len();
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for s in &rendered {
+            *seen.entry(s.as_str()).or_insert(0) += 1;
+        }
+        RomStats {
+            total_words,
+            unique_words: seen.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_mop::{Mop, Reg};
+
+    #[test]
+    fn identical_lines_are_shared() {
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        // Two identical words and one distinct.
+        f.push_mop(b, Mop::load_imm(Reg(0), 1));
+        f.push_mop(b, Mop::load_imm(Reg(0), 1));
+        f.push_mop(b, Mop::load_imm(Reg(1), 2));
+        f.compute_edges();
+        let mut rom = MicroRom::new();
+        rom.add_function(&f);
+        // Output-dependency on r0 prevents packing, so 3 words.
+        assert_eq!(rom.len(), 3);
+        let stats = rom.stats(&[&f]);
+        assert_eq!(stats.total_words, 3);
+        assert_eq!(stats.unique_words, 2);
+        assert_eq!(stats.words_saved(), 1);
+    }
+
+    #[test]
+    fn empty_rom() {
+        let rom = MicroRom::new();
+        assert!(rom.is_empty());
+        assert_eq!(rom.stats(&[]).total_words, 0);
+    }
+
+    #[test]
+    fn multiple_functions_accumulate() {
+        let mut f1 = Function::new("a");
+        let b1 = f1.add_block();
+        f1.push_mop(b1, Mop::nop());
+        f1.compute_edges();
+        let mut f2 = Function::new("b");
+        let b2 = f2.add_block();
+        f2.push_mop(b2, Mop::nop());
+        f2.compute_edges();
+        let mut rom = MicroRom::new();
+        rom.add_function(&f1);
+        rom.add_function(&f2);
+        assert_eq!(rom.len(), 2);
+        let stats = rom.stats(&[&f1, &f2]);
+        assert_eq!(stats.unique_words, 1); // the two nop words fold
+    }
+}

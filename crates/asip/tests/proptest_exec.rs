@@ -1,0 +1,171 @@
+//! Property tests: the executor against a straight-line reference
+//! interpreter, plus cycle-model laws.
+
+use proptest::prelude::*;
+
+use partita_asip::{CycleModel, ExecOptions, Executor, Kernel};
+use partita_mop::{AluOp, Function, MacOp, Mop, MopKind, MopProgram, Operand, Reg, SeqOp};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Imm(u8, i32),
+    Alu(AluOp, u8, u8, u8),
+    Mac(MacOp, u8, u8, u8),
+    Mov(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Min),
+        Just(AluOp::Max),
+        Just(AluOp::CmpEq),
+        Just(AluOp::CmpLt),
+    ];
+    prop_oneof![
+        (0u8..8, -1000i32..1000).prop_map(|(d, v)| Op::Imm(d, v)),
+        (alu, 0u8..8, 0u8..8, 0u8..8).prop_map(|(o, d, a, b)| Op::Alu(o, d, a, b)),
+        (prop_oneof![Just(MacOp::Mac), Just(MacOp::Msu)], 0u8..8, 0u8..8, 0u8..8)
+            .prop_map(|(o, d, a, b)| Op::Mac(o, d, a, b)),
+        (0u8..8, 0u8..8).prop_map(|(d, s)| Op::Mov(d, s)),
+    ]
+}
+
+/// Straight-line reference semantics over an 8-register file.
+fn reference(ops: &[Op]) -> [i32; 8] {
+    let mut r = [0i32; 8];
+    for op in ops {
+        match *op {
+            Op::Imm(d, v) => r[d as usize] = v,
+            Op::Alu(o, d, a, b) => {
+                let (x, y) = (r[a as usize], r[b as usize]);
+                r[d as usize] = match o {
+                    AluOp::Add => x.wrapping_add(y),
+                    AluOp::Sub => x.wrapping_sub(y),
+                    AluOp::Mul => x.wrapping_mul(y),
+                    AluOp::Div => if y == 0 { 0 } else { x.wrapping_div(y) },
+                    AluOp::Rem => if y == 0 { 0 } else { x.wrapping_rem(y) },
+                    AluOp::And => x & y,
+                    AluOp::Or => x | y,
+                    AluOp::Xor => x ^ y,
+                    AluOp::Min => x.min(y),
+                    AluOp::Max => x.max(y),
+                    AluOp::CmpEq => i32::from(x == y),
+                    AluOp::CmpLt => i32::from(x < y),
+                    AluOp::Shl => x.wrapping_shl(y as u32 & 31),
+                    AluOp::Shr => x.wrapping_shr(y as u32 & 31),
+                };
+            }
+            Op::Mac(o, d, a, b) => {
+                let prod = i64::from(r[a as usize]) * i64::from(r[b as usize]);
+                let base = i64::from(r[d as usize]);
+                r[d as usize] = match o {
+                    MacOp::Mac => base + prod,
+                    MacOp::Msu => base - prod,
+                } as i32;
+            }
+            Op::Mov(d, s) => r[d as usize] = r[s as usize],
+        }
+    }
+    r
+}
+
+fn lower(ops: &[Op]) -> MopProgram {
+    let mut f = Function::new("main");
+    let b = f.add_block();
+    for op in ops {
+        let m = match *op {
+            Op::Imm(d, v) => Mop::load_imm(Reg(d), v),
+            Op::Alu(o, d, a, b2) => Mop::alu(o, Reg(d), Reg(a), Reg(b2)),
+            Op::Mac(o, d, a, b2) => Mop::mac(o, Reg(d), Reg(a), Reg(b2)),
+            Op::Mov(d, s) => Mop::mov(Reg(d), Reg(s)),
+        };
+        f.push_mop(b, m);
+    }
+    f.push_mop(b, Mop::halt());
+    f.compute_edges();
+    let mut p = MopProgram::new();
+    let id = p.add_function(f).unwrap();
+    p.set_main(id).unwrap();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The executor computes the same register file as the reference
+    /// interpreter, under both cycle models.
+    #[test]
+    fn executor_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..48)) {
+        let p = lower(&ops);
+        let expected = reference(&ops);
+        for model in [CycleModel::PerMop, CycleModel::PerWord] {
+            let mut k = Kernel::new(16, 16);
+            let report = Executor::new(&p)
+                .run(&mut k, &ExecOptions { cycle_model: model, ..ExecOptions::default() })
+                .expect("straight-line programs execute");
+            prop_assert!(report.halted);
+            for i in 0..8u8 {
+                prop_assert_eq!(k.reg(Reg(i)), expected[i as usize], "r{} under {:?}", i, model);
+            }
+        }
+    }
+
+    /// Word packing never slows a program down, and never reorders effects:
+    /// per-word cycles ≤ per-µ-op cycles with identical architectural state.
+    #[test]
+    fn per_word_is_never_slower(ops in proptest::collection::vec(op_strategy(), 1..48)) {
+        let p = lower(&ops);
+        let mut k1 = Kernel::new(16, 16);
+        let per_mop = Executor::new(&p)
+            .run(&mut k1, &ExecOptions { cycle_model: CycleModel::PerMop, ..ExecOptions::default() })
+            .unwrap();
+        let mut k2 = Kernel::new(16, 16);
+        let per_word = Executor::new(&p)
+            .run(&mut k2, &ExecOptions { cycle_model: CycleModel::PerWord, ..ExecOptions::default() })
+            .unwrap();
+        prop_assert!(per_word.cycles <= per_mop.cycles);
+        prop_assert_eq!(k1, k2);
+    }
+
+    /// Execution is deterministic.
+    #[test]
+    fn execution_is_deterministic(ops in proptest::collection::vec(op_strategy(), 0..32)) {
+        let p = lower(&ops);
+        let mut k1 = Kernel::new(8, 8);
+        let r1 = Executor::new(&p).run(&mut k1, &ExecOptions::default()).unwrap();
+        let mut k2 = Kernel::new(8, 8);
+        let r2 = Executor::new(&p).run(&mut k2, &ExecOptions::default()).unwrap();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(k1, k2);
+    }
+
+    /// The MOP kind classification is total: every generated op lands in a
+    /// word slot and reports consistent defs/uses.
+    #[test]
+    fn defs_uses_are_consistent(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let p = lower(&ops);
+        let f = p.function(partita_mop::FuncId(0)).unwrap();
+        for m in f.mops() {
+            for d in m.defs() {
+                prop_assert!(d.0 < 16);
+            }
+            for u in m.uses() {
+                prop_assert!(u.0 < 16);
+            }
+            if let MopKind::Seq(SeqOp::Halt) = m.kind() {
+                prop_assert!(m.is_control());
+            }
+            // Operand display never panics.
+            let _ = format!("{m}");
+            let _ = Operand::from(Reg(0)).to_string();
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benches: interface-layer costs — timing-model evaluation, IMP
+//! database generation, template emission and template co-simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use partita_asip::{CycleModel, ExecOptions, Executor, Kernel};
+use partita_core::ImpDb;
+use partita_interface::cosim::StreamIpDevice;
+use partita_interface::template::{emit_type0, emit_type1, DataLayout};
+use partita_interface::{execution_time, InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::MopProgram;
+use partita_workloads::gsm;
+
+fn fir_ip() -> IpBlock {
+    IpBlock::builder("fir")
+        .function(IpFunction::Fir)
+        .ports(2, 2)
+        .rates(4, 4)
+        .latency(8)
+        .build()
+}
+
+fn benches(c: &mut Criterion) {
+    let ip = fir_ip();
+    let job = TransferJob::new(320, 320);
+
+    let mut group = c.benchmark_group("interface_layer");
+    group.bench_function("timing_model_all_kinds", |b| {
+        b.iter(|| {
+            InterfaceKind::ALL
+                .iter()
+                .map(|&k| execution_time(&ip, k, job, None).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("impdb_generate_gsm_encoder", |b| {
+        let w = gsm::encoder();
+        b.iter(|| ImpDb::generate(&w.instance));
+    });
+    for words in [64u64, 256] {
+        let job = TransferJob::new(words, words);
+        group.bench_with_input(BenchmarkId::new("emit_type0", words), &job, |b, &job| {
+            b.iter(|| emit_type0(&ip, job, DataLayout::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("emit_type1", words), &job, |b, &job| {
+            b.iter(|| emit_type1(&ip, job, DataLayout::default(), &[]).unwrap());
+        });
+    }
+    group.bench_function("cosim_type0_64words", |b| {
+        let job = TransferJob::new(64, 64);
+        let layout = DataLayout { in_x: 0, in_y: 0, out_x: 200, out_y: 200 };
+        let template = emit_type0(&ip, job, layout).unwrap();
+        b.iter(|| {
+            let mut program = MopProgram::new();
+            let id = program.add_function(template.function.clone()).unwrap();
+            program.set_main(id).unwrap();
+            let mut kernel = Kernel::new(512, 512);
+            let mut dev = StreamIpDevice::new(&ip, 1, Box::new(|s| s.to_vec()));
+            Executor::new(&program)
+                .run_with_device(
+                    &mut kernel,
+                    &mut dev,
+                    &ExecOptions {
+                        cycle_model: CycleModel::PerWord,
+                        branch_penalty: 0,
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(interfaces, benches);
+criterion_main!(interfaces);

@@ -1,0 +1,58 @@
+//! Criterion benches: the functional DSP kernels behind the IP library
+//! (the workloads the paper's applications spend their cycles in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use partita_ip::func::{
+    cross_correlate, dct2d, fft, fir_direct, iir_df1, interpolate, quantize_uniform,
+    zigzag_scan, Complex,
+};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp_kernels");
+
+    let x: Vec<i32> = (0..1024).map(|i| (i * 37 % 255) - 128).collect();
+    let taps: Vec<i32> = (0..16).map(|i| i - 8).collect();
+    group.bench_function("fir_1024x16", |b| {
+        b.iter(|| fir_direct(&x, &taps));
+    });
+    group.bench_function("iir_1024_biquad", |b| {
+        let q = partita_ip::func::Biquad::Q;
+        b.iter(|| iir_df1(&x, &[q / 4, q / 2, q / 4], &[q, -q / 3, q / 8]));
+    });
+    group.bench_function("correlate_1024x64", |b| {
+        b.iter(|| cross_correlate(&x, &x, 64));
+    });
+    group.bench_function("quantize_1024", |b| {
+        b.iter(|| quantize_uniform(&x, 8, 127));
+    });
+    group.bench_function("interpolate_256x4", |b| {
+        b.iter(|| interpolate(&x[..256], 4, &[1, 3, 3, 1]));
+    });
+
+    for n in [256usize, 1024] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fft", n), &data, |b, data| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d).unwrap();
+                d
+            });
+        });
+    }
+
+    let block: Vec<f64> = (0..64).map(|i| f64::from((i * 31) % 17)).collect();
+    group.bench_function("dct2d_8x8", |b| {
+        b.iter(|| dct2d(&block, 8, 8));
+    });
+    let zz: Vec<i32> = (0..64).collect();
+    group.bench_function("zigzag_8x8", |b| {
+        b.iter(|| zigzag_scan(&zz, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, benches);
+criterion_main!(kernels);

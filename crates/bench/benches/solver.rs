@@ -1,0 +1,74 @@
+//! Criterion benches: ILP stack scaling — simplex, branch-and-bound, and
+//! the full selector over growing random instances, plus the greedy and
+//! no-interface ablation baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use partita_core::{baseline, RequiredGains, SolveOptions, Solver};
+use partita_ilp::{simplex, BranchBound, Model, Relation, Sense};
+use partita_workloads::synth::{generate, SynthParams};
+
+fn knapsack_model(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    m.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (3 + (i * 7) % 13) as f64)),
+    );
+    m.add_constraint(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (2 + (i * 5) % 11) as f64)),
+        Relation::Le,
+        (n * 3) as f64,
+    )
+    .expect("constraint valid");
+    m
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_stack");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let model = knapsack_model(n);
+        group.bench_with_input(BenchmarkId::new("simplex_relaxation", n), &model, |b, m| {
+            b.iter(|| simplex::solve_relaxation(m, simplex::SimplexOptions::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &model, |b, m| {
+            b.iter(|| BranchBound::new().solve(m).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("selector_scaling");
+    group.sample_size(10);
+    for scalls in [8usize, 16, 24] {
+        let w = generate(SynthParams {
+            scalls,
+            ips: scalls / 2,
+            paths: 2,
+            seed: 99,
+        });
+        let rg = w.rg_sweep[1];
+        group.bench_with_input(BenchmarkId::new("ilp", scalls), &w, |b, w| {
+            b.iter(|| {
+                Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", scalls), &w, |b, w| {
+            b.iter(|| baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::Uniform(rg)));
+        });
+        group.bench_with_input(BenchmarkId::new("no_interface", scalls), &w, |b, w| {
+            b.iter(|| {
+                baseline::solve_no_interface(&w.instance, &w.imps, &RequiredGains::Uniform(rg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(solver, benches);
+criterion_main!(solver);

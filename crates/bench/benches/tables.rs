@@ -1,0 +1,33 @@
+//! Criterion benches: end-to-end solve time for every table of the paper
+//! (the paper ran on a SPARC-20; these timings are our equivalent of its
+//! implicit runtime claim that the ILP is practical).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use partita_core::{RequiredGains, SolveOptions, Solver};
+use partita_workloads::{gsm, jpeg, Workload};
+
+fn bench_workload(c: &mut Criterion, name: &str, w: &Workload) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    for (i, &rg) in w.rg_sweep.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("row", i + 1), &rg, |b, &rg| {
+            b.iter(|| {
+                Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+                    .expect("sweep point feasible")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_workload(c, "table1_gsm_encoder", &gsm::encoder());
+    bench_workload(c, "table2_gsm_decoder", &gsm::decoder());
+    bench_workload(c, "table3_jpeg_encoder", &jpeg::encoder());
+}
+
+criterion_group!(tables, benches);
+criterion_main!(tables);

@@ -1,0 +1,78 @@
+//! Ablation study (beyond the paper's tables): the exact ILP selector vs
+//! the greedy heuristic vs the no-interface prior approach \[8\], over random
+//! instances and the calibrated workloads.
+
+use std::time::Instant;
+
+use partita_core::{baseline, RequiredGains, SolveOptions, Solver};
+use partita_mop::Cycles;
+use partita_workloads::{gsm, jpeg, synth, Workload};
+
+fn run_one(name: &str, w: &Workload, rg: Cycles) {
+    let gains = RequiredGains::Uniform(rg);
+    let t0 = Instant::now();
+    let ilp = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&SolveOptions::new(gains.clone()));
+    let ilp_time = t0.elapsed();
+    let greedy = baseline::solve_greedy(&w.instance, &w.imps, &gains);
+    let noif = baseline::solve_no_interface(&w.instance, &w.imps, &gains);
+
+    let fmt = |r: &Result<partita_core::Selection, partita_core::CoreError>| match r {
+        Ok(s) => format!("area {:>7}, gain {:>10}", s.total_area().to_string(), s.total_gain().get()),
+        Err(_) => "infeasible".to_owned(),
+    };
+    println!("{name} @ RG {}", rg.get());
+    println!("    ilp          {} ({:.1?})", fmt(&ilp), ilp_time);
+    println!("    greedy       {}", fmt(&greedy));
+    println!("    no-interface {}", fmt(&noif));
+
+    if let (Ok(i), Ok(g)) = (&ilp, &greedy) {
+        assert!(i.total_area() <= g.total_area(), "ILP must dominate greedy");
+    }
+}
+
+fn main() {
+    println!("Ablation: ILP vs greedy vs no-interface baseline\n");
+
+    let enc = gsm::encoder();
+    run_one("gsm_encoder", &enc, enc.rg_sweep[4]);
+    run_one("gsm_encoder", &enc, *enc.rg_sweep.last().expect("sweep"));
+    let dec = gsm::decoder();
+    run_one("gsm_decoder", &dec, *dec.rg_sweep.last().expect("sweep"));
+    let jp = jpeg::encoder();
+    run_one("jpeg_encoder", &jp, jp.rg_sweep[2]);
+
+    println!("\nrandom instances (seeded):");
+    for seed in [1u64, 2, 3] {
+        let w = synth::generate(synth::SynthParams {
+            scalls: 14,
+            ips: 10,
+            paths: 2,
+            seed,
+        });
+        let rg = w.rg_sweep[1];
+        run_one(&format!("synth(seed={seed})"), &w, rg);
+    }
+
+    println!("\nsolver scaling (s-calls -> solve time):");
+    for n in [8usize, 12, 16, 20, 24] {
+        let w = synth::generate(synth::SynthParams {
+            scalls: n,
+            ips: n / 2,
+            paths: 2,
+            seed: 99,
+        });
+        let t0 = Instant::now();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[1])));
+        println!(
+            "    {n:>3} s-calls, {:>4} IMPs: {:>9.2?} ({})",
+            w.imps.len(),
+            t0.elapsed(),
+            sel.map(|s| format!("nodes {}", s.nodes_explored))
+                .unwrap_or_else(|e| e.to_string())
+        );
+    }
+}

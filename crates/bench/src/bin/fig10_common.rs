@@ -1,0 +1,93 @@
+//! Reproduces **Fig. 10**: a common s-call shared by two execution paths.
+//!
+//! P1 has enough margin to leave one of its three `fir()` calls in software;
+//! P2 can only meet its constraint when the common `fir()` serves as the
+//! parallel code of `dct()`. The only solution implements the common call in
+//! software — legal in Problem 2, impossible in Problem 1.
+
+use partita_core::{
+    CoreError, Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall,
+    SolveOptions, Solver,
+};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles, PathId};
+
+fn main() {
+    let mut inst = Instance::new("fig10");
+    let fir_ip = inst.library.add(
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .area(AreaTenths::from_units(3))
+            .build(),
+    );
+    let dct_ip = inst.library.add(
+        IpBlock::builder("dct")
+            .function(IpFunction::Dct1d)
+            .area(AreaTenths::from_units(8))
+            .build(),
+    );
+    let job = TransferJob::new(8, 8);
+    let f1 = inst.add_scall(SCall::new("fir", IpFunction::Fir, Cycles(900), job));
+    let f2 = inst.add_scall(SCall::new("fir", IpFunction::Fir, Cycles(900), job));
+    let fc = inst.add_scall(SCall::new("fir", IpFunction::Fir, Cycles(900), job)); // common
+    let iir = inst.add_scall(SCall::new("iir", IpFunction::Iir, Cycles(400), job));
+    let dct = inst.add_scall(SCall::new("dct", IpFunction::Dct1d, Cycles(1500), job));
+    let p1 = inst.add_path(vec![f1, f2, fc, iir]);
+    let p2 = inst.add_path(vec![dct, fc]);
+
+    let mk = |sc, ip, gain: u64, par| {
+        Imp::new(
+            sc,
+            vec![ip],
+            InterfaceKind::Type1,
+            Cycles(gain),
+            AreaTenths::from_tenths(2),
+            par,
+        )
+    };
+    let db = ImpDb::from_imps(vec![
+        mk(f1, fir_ip, 500, ParallelChoice::None),
+        mk(f2, fir_ip, 500, ParallelChoice::None),
+        mk(fc, fir_ip, 250, ParallelChoice::None),
+        mk(iir, fir_ip, 200, ParallelChoice::None),
+        mk(dct, dct_ip, 800, ParallelChoice::None),
+        // dct() with the software fir() as its parallel code.
+        mk(dct, dct_ip, 1100, ParallelChoice::SwScalls(vec![fc])),
+    ]);
+
+    // P1 needs 1200 (met by f1+f2+iir without the common fir); P2 needs
+    // 1100 (met only by dct-with-software-fir: 800 + 250 = 1050 < 1100).
+    let gains = RequiredGains::PerPath(vec![
+        (PathId(p1.0), Cycles(1200)),
+        (PathId(p2.0), Cycles(1100)),
+    ]);
+
+    println!("Fig. 10 — common s-call on paths P1 and P2\n");
+    let p1_result = Solver::new(&inst)
+        .with_imps(db.clone())
+        .solve(&SolveOptions::new(gains.clone()).with_problem(ProblemKind::Problem1));
+    match p1_result {
+        Err(CoreError::Infeasible { .. }) => {
+            println!("Problem 1: infeasible (as the paper observes)")
+        }
+        other => panic!("Problem 1 should be infeasible, got {other:?}"),
+    }
+
+    let sel = Solver::new(&inst)
+        .with_imps(db)
+        .solve(&SolveOptions::new(gains).with_problem(ProblemKind::Problem2))
+        .expect("Problem 2 solves the Fig. 10 instance");
+    println!("Problem 2: area {}, selections:", sel.total_area());
+    for imp in sel.chosen() {
+        println!("    {imp}  [{:?}]", imp.parallel);
+    }
+    // The common fir is in software: no chosen IMP implements it.
+    assert!(sel.chosen().iter().all(|i| i.scall != fc));
+    // dct consumes it as parallel code.
+    assert!(sel
+        .chosen()
+        .iter()
+        .any(|i| i.scall == dct && i.parallel == ParallelChoice::SwScalls(vec![fc])));
+    println!("\nthe common fir() runs in software as dct()'s parallel code — the Fig. 10 solution");
+}

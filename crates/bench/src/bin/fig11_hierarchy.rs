@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 11**: the hierarchical JPEG application and IMP
+//! flatten — IMPs of `dct1d` are folded into `dct2d`'s alternatives, which
+//! in turn absorb the `fft` and complex-multiply levels.
+
+use partita_core::{RequiredGains, SolveOptions, Solver};
+use partita_mop::{CallSiteId, Cycles};
+use partita_workloads::jpeg;
+
+fn main() {
+    let w = jpeg::encoder_hierarchical();
+    println!("Fig. 11 — hierarchical JPEG (main → jpeg → dct2d → dct1d → fft → cmul)\n");
+
+    let top = w.imps.for_scall(CallSiteId(1));
+    println!("2D-DCT alternatives after IMP flatten ({}):", top.len());
+    for imp in &top {
+        println!("    {imp}");
+    }
+    for child in 3..=8u32 {
+        assert!(
+            w.imps.for_scall(CallSiteId(child)).is_empty(),
+            "child sc{child} must be folded away"
+        );
+    }
+
+    // Sweep: watch the selection climb the hierarchy as RG grows.
+    println!("\nselection vs required gain:");
+    for &rg in &w.rg_sweep {
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+            .expect("hierarchical sweep feasible");
+        let picks: Vec<String> = sel.chosen().iter().map(|i| format!("{i}")).collect();
+        println!(
+            "    RG {:>10}: gain {:>10}, area {:>6} -> {}",
+            rg.get(),
+            sel.total_gain().get(),
+            sel.total_area(),
+            picks.join(" | ")
+        );
+    }
+
+    // The low requirement is met by a deep-level composite (cheap C-MUL),
+    // the high one by shallower, more powerful engines.
+    let low = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[0])))
+        .expect("low RG feasible");
+    let high = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&SolveOptions::new(RequiredGains::Uniform(
+            *w.rg_sweep.last().expect("sweep non-empty"),
+        )))
+        .expect("high RG feasible");
+    assert!(high.total_area() >= low.total_area());
+    assert!(high.total_gain() > Cycles(30_000_000));
+    println!("\nthe selection escalates through the hierarchy as RG grows");
+}

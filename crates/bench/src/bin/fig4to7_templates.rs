@@ -1,0 +1,115 @@
+//! Reproduces **Figs 4–7**: the four interface templates, validated against
+//! the analytic timing model.
+//!
+//! Types 0/1 are emitted as µ-code and executed on the kernel simulator with
+//! a co-simulated FIR behind the ports/buffers; types 2/3 run the DMA FSM
+//! simulation. Each line compares the analytic `T` with the observed cycles.
+
+use partita_asip::{CycleModel, ExecOptions, Executor, Kernel};
+use partita_interface::cosim::{BufferedIpDevice, StreamIpDevice};
+use partita_interface::fsm::run_dma;
+use partita_interface::template::{emit_type0, emit_type1, DataLayout};
+use partita_interface::{check_feasibility, timing, InterfaceKind, TransferJob};
+use partita_ip::func::FirFilter;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{Cycles, MopProgram};
+
+fn run(template: partita_mop::Function, device: &mut dyn partita_asip::IpDevice) -> Cycles {
+    let mut program = MopProgram::new();
+    let id = program.add_function(template).expect("fresh program");
+    program.set_main(id).expect("id valid");
+    let mut kernel = Kernel::new(1024, 1024);
+    kernel
+        .xdm
+        .load(0, &(0..64).map(|i| i * 3 - 20).collect::<Vec<_>>())
+        .expect("fits");
+    kernel
+        .ydm
+        .load(0, &(0..64).map(|i| 40 - i).collect::<Vec<_>>())
+        .expect("fits");
+    let report = Executor::new(&program)
+        .run_with_device(
+            &mut kernel,
+            device,
+            &ExecOptions {
+                cycle_model: CycleModel::PerWord,
+                branch_penalty: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("template executes");
+    report.cycles - Cycles(1) // exclude the halt word
+}
+
+fn main() {
+    let ip = IpBlock::builder("fir16")
+        .function(IpFunction::Fir)
+        .ports(2, 2)
+        .rates(4, 4)
+        .latency(8)
+        .build();
+    let job = TransferJob::new(64, 64);
+    let layout = DataLayout { in_x: 0, in_y: 0, out_x: 200, out_y: 200 };
+
+    println!("Figs 4–7 — interface templates vs the analytic model\n");
+
+    // Fig. 4: type 0.
+    let t0 = emit_type0(&ip, job, layout).expect("type 0 feasible");
+    let profile = check_feasibility(&ip, InterfaceKind::Type0).expect("feasible");
+    let mut fx = FirFilter::new(vec![1, 1]);
+    let mut fy = FirFilter::new(vec![1, -1]);
+    let mut dev0 = StreamIpDevice::new(
+        &ip,
+        profile.slow_clock_factor,
+        Box::new(move |s| vec![fx.step(s[0]) as i32, fy.step(*s.get(1).unwrap_or(&0)) as i32]),
+    );
+    let got0 = run(t0.function.clone(), &mut dev0);
+    let analytic0 = timing(&ip, InterfaceKind::Type0, job).expect("feasible");
+    println!(
+        "type 0 (Fig. 4): analytic T_IF = {:>5}, template predicted = {:>5}, executed = {:>5}",
+        analytic0.t_if.get(),
+        t0.predicted_cycles.get(),
+        got0.get()
+    );
+    assert_eq!(got0, t0.predicted_cycles);
+    assert_eq!(analytic0.t_if, t0.predicted_cycles);
+
+    // Fig. 5: type 1.
+    let t1 = emit_type1(&ip, job, layout, &[]).expect("type 1 feasible");
+    let mut dev1 = BufferedIpDevice::new(&ip, job, Box::new(|i| i.to_vec()));
+    let got1 = run(t1.function.clone(), &mut dev1);
+    let analytic1 = timing(&ip, InterfaceKind::Type1, job).expect("feasible");
+    println!(
+        "type 1 (Fig. 5): analytic total = {:>5}, template predicted = {:>5}, executed = {:>5}",
+        analytic1.total(None).get(),
+        t1.predicted_cycles.get(),
+        got1.get()
+    );
+    assert_eq!(got1, t1.predicted_cycles);
+
+    // Figs 6/7: types 2 and 3 (DMA FSMs).
+    for kind in [InterfaceKind::Type2, InterfaceKind::Type3] {
+        let mut kernel = Kernel::new(1024, 1024);
+        kernel
+            .xdm
+            .load(0, &(0..32).collect::<Vec<_>>())
+            .expect("fits");
+        kernel
+            .ydm
+            .load(0, &(0..32).map(|i| -i).collect::<Vec<_>>())
+            .expect("fits");
+        let mut id_fn = |i: &[i32]| i.to_vec();
+        let report = run_dma(&ip, kind, job, layout, &mut kernel, &mut id_fn).expect("dma runs");
+        let analytic = timing(&ip, kind, job).expect("feasible").total(None);
+        let fig = if kind == InterfaceKind::Type2 { 6 } else { 7 };
+        println!(
+            "type {} (Fig. {fig}): analytic total = {:>5}, simulated = {:>5} (skew {:+})",
+            kind.index(),
+            analytic.get(),
+            report.cycles.get(),
+            report.cycles.get() as i64 - analytic.get() as i64
+        );
+        assert!(report.cycles.get().abs_diff(analytic.get()) <= 4);
+    }
+    println!("\nall templates match their analytic cycle counts");
+}

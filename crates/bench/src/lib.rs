@@ -1,0 +1,78 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — GSM encoder RG sweep |
+//! | `table2` | Table 2 — GSM decoder RG sweep |
+//! | `table3` | Table 3 — JPEG encoder RG sweep |
+//! | `fig2_parallel` | Fig. 2 — parallel-execution overlap |
+//! | `fig4to7_templates` | Figs 4–7 — the four interface templates |
+//! | `fig8_paths` | Fig. 8 — multi-path parallel-code minimum |
+//! | `fig9_problem2` | Fig. 9 — Problem 2 beats Problem 1 |
+//! | `fig10_common` | Fig. 10 — common s-call across paths |
+//! | `fig11_hierarchy` | Fig. 11 — IMP flatten on the JPEG call tree |
+//! | `ablation` | extra — ILP vs greedy vs no-interface baselines |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use partita_core::{report::TableRow, RequiredGains, SolveOptions, Solver};
+use partita_mop::Cycles;
+use partita_workloads::Workload;
+
+/// Runs a workload's full RG sweep and returns one table row per RG value.
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible — the calibrated workloads are
+/// feasible across their published sweeps by construction.
+#[must_use]
+pub fn sweep_rows(workload: &Workload) -> Vec<TableRow> {
+    workload
+        .rg_sweep
+        .iter()
+        .map(|&rg| {
+            let sel = Solver::new(&workload.instance)
+                .with_imps(workload.imps.clone())
+                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+                .unwrap_or_else(|e| panic!("RG {} infeasible: {e}", rg.get()));
+            TableRow::from_selection_with_library(rg, &sel, &workload.instance.library)
+        })
+        .collect()
+}
+
+/// Formats a paper-vs-measured comparison line.
+#[must_use]
+pub fn compare_line(label: &str, paper: u64, measured: Cycles) -> String {
+    let m = measured.get();
+    let delta = if paper == 0 {
+        0.0
+    } else {
+        (m as f64 - paper as f64) / paper as f64 * 100.0
+    };
+    format!("{label:<28} paper {paper:>12}  measured {m:>12}  ({delta:+.2}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_workloads::jpeg;
+
+    #[test]
+    fn jpeg_sweep_produces_all_rows() {
+        let rows = sweep_rows(&jpeg::encoder());
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].gain, Cycles(15_040_512));
+        assert_eq!(rows[4].gain, Cycles(37_843_712));
+    }
+
+    #[test]
+    fn compare_line_formats_delta() {
+        let line = compare_line("t", 100, Cycles(110));
+        assert!(line.contains("+10.00%"));
+        assert!(compare_line("z", 0, Cycles(5)).contains("+0.00%"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Greedy gain/area-ratio baseline.
+
+use std::collections::BTreeSet;
+
+use partita_ip::IpId;
+use partita_mop::{CallSiteId, Cycles};
+
+use crate::solver::{RequiredGains, Selection};
+use crate::{sc_pc_conflicts, CoreError, Imp, ImpDb, ImpId, Instance};
+
+/// Selects IMPs greedily by marginal gain per marginal area until every path
+/// meets its required gain.
+///
+/// Marginal area counts an IP only the first time it is instantiated
+/// (mirroring the ILP's fixed-charge objective), so the heuristic still
+/// prefers IP sharing — its losses against the ILP come from myopic
+/// ordering, not from mis-modelling.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] when the greedy order exhausts the database
+/// before meeting the gains (the ILP may still find a feasible set).
+pub fn solve_greedy(
+    instance: &Instance,
+    db: &ImpDb,
+    gains: &RequiredGains,
+) -> Result<Selection, CoreError> {
+    if db.is_empty() {
+        return Err(CoreError::NoImps);
+    }
+    let conflicts = sc_pc_conflicts(db);
+    let paths = instance.effective_paths();
+    let mut deficit: Vec<(usize, Cycles)> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, gains.for_path(p.id)))
+        .collect();
+
+    let mut chosen: Vec<Imp> = Vec::new();
+    let mut chosen_ids: BTreeSet<ImpId> = BTreeSet::new();
+    let mut used_scalls: BTreeSet<CallSiteId> = BTreeSet::new();
+    let mut used_ips: BTreeSet<IpId> = BTreeSet::new();
+    let mut blocked: BTreeSet<ImpId> = BTreeSet::new();
+
+    loop {
+        if deficit.iter().all(|&(_, d)| d == Cycles::ZERO) {
+            let objective = chosen
+                .iter()
+                .map(|i| i.interface_area.tenths())
+                .sum::<i64>()
+                + used_ips
+                    .iter()
+                    .filter_map(|&ip| instance.library.block(ip))
+                    .map(|b| b.area().tenths())
+                    .sum::<i64>();
+            return Ok(Selection::from_chosen(
+                instance,
+                chosen,
+                objective as f64,
+                0,
+            ));
+        }
+
+        // Pick the best admissible IMP by (deficit-relevant gain) / area.
+        let mut best: Option<(f64, &Imp)> = None;
+        for imp in db.imps() {
+            if chosen_ids.contains(&imp.id)
+                || blocked.contains(&imp.id)
+                || used_scalls.contains(&imp.scall)
+            {
+                continue;
+            }
+            // Gain only counts toward paths still in deficit.
+            let useful: u64 = deficit
+                .iter()
+                .filter(|&&(pi, d)| {
+                    d > Cycles::ZERO && paths[pi].scalls.contains(&imp.scall)
+                })
+                .map(|_| imp.gain.get())
+                .max()
+                .unwrap_or(0);
+            if useful == 0 {
+                continue;
+            }
+            let marginal_area: i64 = imp.interface_area.tenths()
+                + imp
+                    .ips
+                    .iter()
+                    .filter(|ip| !used_ips.contains(ip))
+                    .filter_map(|&ip| instance.library.block(ip))
+                    .map(|b| b.area().tenths())
+                    .sum::<i64>();
+            let ratio = useful as f64 / (marginal_area.max(1)) as f64;
+            if best.as_ref().is_none_or(|(r, _)| ratio > *r) {
+                best = Some((ratio, imp));
+            }
+        }
+
+        let Some((_, pick)) = best else {
+            return Err(CoreError::Infeasible { path: None });
+        };
+        chosen_ids.insert(pick.id);
+        used_scalls.insert(pick.scall);
+        used_ips.extend(pick.ips.iter().copied());
+        // Block conflicting IMPs and IMPs of consumed s-calls.
+        for pair in &conflicts {
+            if pair.a == pick.id {
+                blocked.insert(pair.b);
+            }
+            if pair.b == pick.id {
+                blocked.insert(pair.a);
+            }
+        }
+        for &consumed in pick.parallel.consumed_scalls() {
+            used_scalls.insert(consumed);
+        }
+        for (pi, d) in &mut deficit {
+            if paths[*pi].scalls.contains(&pick.scall) {
+                *d = d.saturating_sub(pick.gain);
+            }
+        }
+        chosen.push(pick.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParallelChoice, SCall, SolveOptions, Solver};
+    use partita_interface::{InterfaceKind, TransferJob};
+    use partita_ip::{IpBlock, IpFunction};
+    use partita_mop::AreaTenths;
+
+    /// An instance where greedy is provably suboptimal: one big-ratio IMP
+    /// that cannot finish the job alone forces a worse total than the ILP's
+    /// coordinated pick.
+    fn trap_instance() -> (Instance, ImpDb) {
+        let mut inst = Instance::new("trap");
+        let ip_a = inst.library.add(
+            IpBlock::builder("a")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(1))
+                .build(),
+        );
+        let ip_b = inst.library.add(
+            IpBlock::builder("b")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(10))
+                .build(),
+        );
+        let s0 = inst.add_scall(SCall::new(
+            "f0",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(4, 4),
+        ));
+        let s1 = inst.add_scall(SCall::new(
+            "f1",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(4, 4),
+        ));
+        inst.add_path(vec![s0, s1]);
+        let mk = |sc, ips: Vec<IpId>, gain| {
+            Imp::new(
+                sc,
+                ips,
+                InterfaceKind::Type0,
+                Cycles(gain),
+                AreaTenths::from_tenths(1),
+                ParallelChoice::None,
+            )
+        };
+        // Greedy grabs (s0, ip_a) at ratio 60/1.1; it then must add
+        // (s1, ip_b) at huge area. The ILP instead puts both on ip_b.
+        let db = ImpDb::from_imps(vec![
+            mk(s0, vec![ip_a], 60),
+            mk(s0, vec![ip_b], 100),
+            mk(s1, vec![ip_b], 100),
+        ]);
+        (inst, db)
+    }
+
+    #[test]
+    fn greedy_meets_gains_but_ilp_is_cheaper() {
+        let (inst, db) = trap_instance();
+        let gains = RequiredGains::Uniform(Cycles(160));
+        let greedy = solve_greedy(&inst, &db, &gains).unwrap();
+        assert!(greedy.total_gain().get() >= 160);
+        let exact = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&SolveOptions::new(gains))
+            .unwrap();
+        assert!(exact.total_gain().get() >= 160);
+        assert!(
+            exact.total_area() < greedy.total_area(),
+            "ilp {} !< greedy {}",
+            exact.total_area(),
+            greedy.total_area()
+        );
+    }
+
+    #[test]
+    fn greedy_respects_conflicts() {
+        let mut inst = Instance::new("c");
+        let ip = inst.library.add(
+            IpBlock::builder("x")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(1))
+                .build(),
+        );
+        let s0 = inst.add_scall(SCall::new(
+            "f",
+            IpFunction::Fir,
+            Cycles(10),
+            TransferJob::new(2, 2),
+        ));
+        let s1 = inst.add_scall(SCall::new(
+            "g",
+            IpFunction::Fir,
+            Cycles(10),
+            TransferJob::new(2, 2),
+        ));
+        inst.add_path(vec![s0, s1]);
+        let db = ImpDb::from_imps(vec![
+            Imp::new(
+                s0,
+                vec![ip],
+                InterfaceKind::Type1,
+                Cycles(100),
+                AreaTenths::from_tenths(1),
+                ParallelChoice::SwScalls(vec![s1]),
+            ),
+            Imp::new(
+                s1,
+                vec![ip],
+                InterfaceKind::Type0,
+                Cycles(50),
+                AreaTenths::from_tenths(1),
+                ParallelChoice::None,
+            ),
+        ]);
+        // Greedy takes the 100-gain IMP; the s1 IMP is then blocked, so a
+        // requirement of 120 is greedy-infeasible.
+        let err = solve_greedy(&inst, &db, &RequiredGains::Uniform(Cycles(120))).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+        // But 100 is fine and uses one imp.
+        let ok = solve_greedy(&inst, &db, &RequiredGains::Uniform(Cycles(100))).unwrap();
+        assert_eq!(ok.chosen().len(), 1);
+    }
+
+    #[test]
+    fn empty_db_is_rejected() {
+        let inst = Instance::new("e");
+        assert_eq!(
+            solve_greedy(&inst, &ImpDb::default(), &RequiredGains::Uniform(Cycles(1)))
+                .unwrap_err(),
+            CoreError::NoImps
+        );
+    }
+
+    use partita_ip::IpId;
+}

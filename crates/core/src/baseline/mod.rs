@@ -1,0 +1,13 @@
+//! Baseline selectors for the evaluation.
+//!
+//! * [`no_interface`] — the prior state of the art the paper compares
+//!   against (reference \[8\], Alomary et al.): accelerator selection that neither
+//!   models interfaces nor exploits parallel execution.
+//! * [`greedy`] — a gain/area-ratio heuristic over the full IMP database,
+//!   showing the value of exact ILP optimisation.
+
+pub mod greedy;
+pub mod no_interface;
+
+pub use greedy::solve_greedy;
+pub use no_interface::solve_no_interface;

@@ -1,0 +1,133 @@
+//! The prior state-of-the-art baseline (paper reference \[8\]).
+//!
+//! Alomary et al. (\[8\]) select functional accelerators optimally but (a) do not
+//! model the interface between core and accelerator — every selection is
+//! charged and timed as the plain software interface — and (b) cannot
+//! overlap kernel and accelerator execution. The paper's Tables highlight
+//! solutions "not possible in the previous approach because it neither
+//! supported the parallel execution nor considered the interface method".
+
+use partita_interface::InterfaceKind;
+
+use crate::solver::{RequiredGains, Selection, SolveOptions, Solver};
+use crate::{CoreError, ImpDb, Instance, ParallelChoice};
+
+/// Restricts the database to the prior approach's capabilities and solves
+/// exactly on that subset: only type-0 (software, bufferless) interfaces and
+/// no parallel execution.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] when the restricted capabilities cannot meet
+/// the gains (even though the full approach may succeed), or
+/// [`CoreError::NoImps`] when nothing survives the filter.
+pub fn solve_no_interface(
+    instance: &Instance,
+    db: &ImpDb,
+    gains: &RequiredGains,
+) -> Result<Selection, CoreError> {
+    let filtered: Vec<_> = db
+        .imps()
+        .iter()
+        .filter(|imp| {
+            imp.interface == InterfaceKind::Type0 && imp.parallel == ParallelChoice::None
+        })
+        .cloned()
+        .collect();
+    if filtered.is_empty() {
+        return Err(CoreError::NoImps);
+    }
+    let restricted = ImpDb::from_imps(filtered);
+    Solver::new(instance)
+        .with_imps(restricted)
+        .solve(&SolveOptions::new(gains.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Imp, SCall};
+    use partita_interface::TransferJob;
+    use partita_ip::{IpBlock, IpFunction, IpId};
+    use partita_mop::{AreaTenths, Cycles};
+
+    fn instance_with_parallel_edge() -> (Instance, ImpDb) {
+        let mut inst = Instance::new("t");
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        let sc = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+        inst.add_path(vec![sc]);
+        let db = ImpDb::from_imps(vec![
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type0,
+                Cycles(400),
+                AreaTenths::from_tenths(3),
+                ParallelChoice::None,
+            ),
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type3,
+                Cycles(900),
+                AreaTenths::from_tenths(20),
+                ParallelChoice::PlainPc,
+            ),
+        ]);
+        (inst, db)
+    }
+
+    #[test]
+    fn baseline_cannot_reach_parallel_only_gains() {
+        let (inst, db) = instance_with_parallel_edge();
+        // 800 needs the type-3 + parallel IMP: baseline fails, full solver
+        // succeeds — the paper's headline comparison.
+        let gains = RequiredGains::Uniform(Cycles(800));
+        assert!(matches!(
+            solve_no_interface(&inst, &db, &gains),
+            Err(CoreError::Infeasible { .. })
+        ));
+        let full = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&SolveOptions::new(gains))
+            .unwrap();
+        assert_eq!(full.chosen()[0].interface, InterfaceKind::Type3);
+    }
+
+    #[test]
+    fn baseline_succeeds_within_type0_reach() {
+        let (inst, db) = instance_with_parallel_edge();
+        let sel =
+            solve_no_interface(&inst, &db, &RequiredGains::Uniform(Cycles(300))).unwrap();
+        assert_eq!(sel.chosen().len(), 1);
+        assert_eq!(sel.chosen()[0].interface, InterfaceKind::Type0);
+        assert_eq!(sel.chosen()[0].ips, vec![IpId(0)]);
+    }
+
+    #[test]
+    fn all_filtered_out_is_no_imps() {
+        let (inst, db) = instance_with_parallel_edge();
+        let only_t3: Vec<Imp> = db
+            .imps()
+            .iter()
+            .filter(|i| i.interface == InterfaceKind::Type3)
+            .cloned()
+            .collect();
+        let db3 = ImpDb::from_imps(only_t3);
+        assert_eq!(
+            solve_no_interface(&inst, &db3, &RequiredGains::Uniform(Cycles(1)))
+                .unwrap_err(),
+            CoreError::NoImps
+        );
+    }
+}

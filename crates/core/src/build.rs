@@ -1,0 +1,187 @@
+//! Building selection instances straight from compiled programs — the glue
+//! between the Partita front half (compile → profile → analyse) and the
+//! selector.
+
+use partita_frontend::CompiledProgram;
+use partita_interface::TransferJob;
+use partita_ip::IpFunction;
+use partita_mop::{enumerate_paths, CallSiteId, FuncId, MopId, PathEnumLimits};
+
+use crate::{parallel_code, CoreError, Instance, SCall};
+
+/// Binds one callee function to the DSP function and data volume its s-calls
+/// represent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SCallBinding {
+    /// The callee's name in the source program.
+    pub callee: String,
+    /// The DSP function (matched against the IP library).
+    pub ip_function: IpFunction,
+    /// Words moved per invocation.
+    pub job: TransferJob,
+}
+
+impl SCallBinding {
+    /// Creates a binding.
+    #[must_use]
+    pub fn new(
+        callee: impl Into<String>,
+        ip_function: IpFunction,
+        job: TransferJob,
+    ) -> SCallBinding {
+        SCallBinding {
+            callee: callee.into(),
+            ip_function,
+            job,
+        }
+    }
+}
+
+/// Builds an [`Instance`] from a compiled-and-profiled program:
+///
+/// * one s-call per call site of `caller` whose callee has a binding
+///   (unbound callees stay in software and are skipped);
+/// * software times from the callees' profiled cycles, frequencies from the
+///   call sites' block execution counts;
+/// * plain parallel code and Problem 2 candidates from the CDFG analysis
+///   (Definitions 3–5);
+/// * one [`crate::PathSpec`] per enumerated execution path of `caller`.
+///
+/// The caller still owns the IP library: populate `instance.library` before
+/// generating IMPs.
+///
+/// # Errors
+///
+/// Propagates parallel-code analysis failures; unknown `caller` ids surface
+/// as [`CoreError::UnknownSCall`] from the analysis layer.
+pub fn instance_from_compiled(
+    compiled: &CompiledProgram,
+    caller: FuncId,
+    bindings: &[SCallBinding],
+    name: impl Into<String>,
+) -> Result<Instance, CoreError> {
+    let mut instance = Instance::new(name);
+    let func = compiled
+        .program
+        .function(caller)
+        .map_err(|_| CoreError::UnknownSCall(CallSiteId(0)))?;
+    let infos = parallel_code::analyze_function(compiled, caller)?;
+
+    // First pass: create the s-calls and remember mop → id.
+    let mut by_mop: Vec<(MopId, CallSiteId)> = Vec::new();
+    for (block, mop, callee) in func.call_mops() {
+        let callee_func = match compiled.program.function(callee) {
+            Ok(f) => f,
+            Err(_) => continue,
+        };
+        let Some(binding) = bindings.iter().find(|b| b.callee == callee_func.name()) else {
+            continue;
+        };
+        let freq = func.block(block).map(|b| b.exec_count()).unwrap_or(1).max(1);
+        let info = infos.iter().find(|(m, _)| *m == mop);
+        let mut sc = SCall::new(
+            callee_func.name(),
+            binding.ip_function.clone(),
+            callee_func.profiled_cycles(),
+            binding.job,
+        )
+        .with_freq(freq);
+        if let Some((_, info)) = info {
+            sc = sc.with_plain_pc(info.cycles);
+        }
+        let id = instance.add_scall(sc);
+        by_mop.push((mop, id));
+    }
+
+    // Second pass: Problem 2 candidates (independent calls in software).
+    for (mop, id) in &by_mop {
+        if let Some((_, info)) = infos.iter().find(|(m, _)| m == mop) {
+            let candidates: Vec<CallSiteId> = info
+                .sw_candidate_mops
+                .iter()
+                .filter_map(|cm| by_mop.iter().find(|(m, _)| m == cm).map(|(_, i)| *i))
+                .collect();
+            instance.scalls[id.index()].sw_pc_candidates = candidates;
+        }
+    }
+
+    // Paths: map each enumerated block path to the s-calls on it.
+    if let Ok(paths) = enumerate_paths(func, PathEnumLimits::default()) {
+        for p in paths {
+            let on_path: Vec<CallSiteId> = by_mop
+                .iter()
+                .filter(|(mop, _)| {
+                    func.blocks()
+                        .iter()
+                        .any(|b| p.contains(b.id()) && b.mops().contains(mop))
+                })
+                .map(|(_, id)| *id)
+                .collect();
+            instance.add_path(on_path);
+        }
+    }
+
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_asip::{ExecOptions, Kernel};
+    use partita_frontend::{compile, profile};
+    use partita_mop::Cycles;
+
+    fn compiled() -> CompiledProgram {
+        let src = "
+            xmem a[8] @ 0; ymem b[8] @ 0; xmem c[8] @ 16;
+            fn fir() reads a writes b { let i = 0; while (i < 8) { b[i] = a[i]; i = i + 1; } }
+            fn iir() reads c writes c { let i = 0; while (i < 8) { c[i] = c[i] + 1; i = i + 1; } }
+            fn main() {
+                let n = 0;
+                while (n < 3) { fir(); n = n + 1; }
+                iir();
+            }
+        ";
+        let mut compiled = compile(src).expect("compiles");
+        let mut kernel = Kernel::new(64, 64);
+        profile(&mut compiled, &mut kernel, &ExecOptions::default()).expect("runs");
+        compiled
+    }
+
+    #[test]
+    fn builds_scalls_with_profiled_data() {
+        let compiled = compiled();
+        let main = compiled.program.function_by_name("main").unwrap();
+        let bindings = vec![
+            SCallBinding::new("fir", IpFunction::Fir, TransferJob::new(16, 16)),
+            SCallBinding::new("iir", IpFunction::Iir, TransferJob::new(16, 16)),
+        ];
+        let inst = instance_from_compiled(&compiled, main, &bindings, "t").unwrap();
+        assert_eq!(inst.scalls.len(), 2);
+        // The fir call sits in a loop body executed 3 times.
+        let fir = &inst.scalls[0];
+        assert_eq!(fir.name, "fir");
+        assert_eq!(fir.freq, 3);
+        assert!(fir.sw_cycles > Cycles(8));
+        // fir and iir touch disjoint regions: mutual Problem 2 candidates.
+        assert_eq!(fir.sw_pc_candidates.len(), 1);
+        assert_eq!(inst.scalls[1].sw_pc_candidates.len(), 1);
+        // One enumerated path through main covering both calls.
+        assert!(!inst.paths.is_empty());
+        assert!(inst.paths.iter().any(|p| p.scalls.len() == 2));
+    }
+
+    #[test]
+    fn unbound_callees_are_skipped() {
+        let compiled = compiled();
+        let main = compiled.program.function_by_name("main").unwrap();
+        let bindings = vec![SCallBinding::new(
+            "fir",
+            IpFunction::Fir,
+            TransferJob::new(16, 16),
+        )];
+        let inst = instance_from_compiled(&compiled, main, &bindings, "t").unwrap();
+        assert_eq!(inst.scalls.len(), 1);
+        assert_eq!(inst.scalls[0].name, "fir");
+    }
+}

@@ -1,0 +1,248 @@
+//! *IMP flatten* for hierarchical applications (paper §4, Fig. 11).
+//!
+//! `main → jpeg → dct2d → dct1d → fft`: IPs may exist at several levels.
+//! The paper handles this by computing the IMPs of an upper-level s-call
+//! from all possible IMPs of its lower-level s-calls, so that the ILP only
+//! ever sees top-level s-calls.
+//!
+//! [`flatten`] implements that bottom-up folding: a parent s-call gains
+//! *composite* IMPs ("software parent, children accelerated"), whose gain is
+//! the sum of the chosen child gains, whose interface area is the sum of the
+//! child interface areas, and whose `s_ijk` row is the union of the child IP
+//! sets. Child s-calls lose their own IMPs (they are decided through the
+//! parent).
+
+use partita_mop::{CallSiteId, Cycles};
+
+use crate::{Imp, ImpDb, ParallelChoice};
+
+/// One level of hierarchy: a parent s-call whose software implementation
+/// contains child s-calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierSpec {
+    /// The parent s-call (e.g. `dct2d`).
+    pub parent: CallSiteId,
+    /// The child s-calls inside the parent's software implementation
+    /// (e.g. the two `dct1d` call sites).
+    pub children: Vec<CallSiteId>,
+}
+
+/// Limits for composite enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlattenLimits {
+    /// Best IMPs kept per child when forming combinations.
+    pub per_child: usize,
+    /// Maximum composites added per parent.
+    pub per_parent: usize,
+}
+
+impl Default for FlattenLimits {
+    fn default() -> Self {
+        FlattenLimits {
+            per_child: 4,
+            per_parent: 32,
+        }
+    }
+}
+
+/// Folds child IMPs into composite parent IMPs.
+///
+/// Apply bottom-up (inner specs first) for multi-level hierarchies — exactly
+/// the paper's "IMPs of dct1d() at level 0 are considered in computing those
+/// of dct2d() at level 1" order.
+#[must_use]
+pub fn flatten(db: &ImpDb, specs: &[HierSpec], limits: FlattenLimits) -> ImpDb {
+    let mut current = db.clone();
+    for spec in specs {
+        current = flatten_one(&current, spec, limits);
+    }
+    current
+}
+
+fn flatten_one(db: &ImpDb, spec: &HierSpec, limits: FlattenLimits) -> ImpDb {
+    // Candidate IMPs per child: best `per_child` by gain, plus "software"
+    // (represented as None).
+    let child_options: Vec<Vec<Option<&Imp>>> = spec
+        .children
+        .iter()
+        .map(|&c| {
+            let mut imps = db.for_scall(c);
+            imps.sort_by_key(|i| std::cmp::Reverse(i.gain));
+            imps.truncate(limits.per_child);
+            let mut opts: Vec<Option<&Imp>> = vec![None];
+            opts.extend(imps.into_iter().map(Some));
+            opts
+        })
+        .collect();
+
+    // Cartesian product over children (bounded).
+    let mut composites: Vec<Imp> = Vec::new();
+    let mut stack: Vec<usize> = vec![0; child_options.len()];
+    loop {
+        // Build the composite for the current index vector.
+        let picks: Vec<&Imp> = stack
+            .iter()
+            .zip(&child_options)
+            .filter_map(|(&i, opts)| opts[i])
+            .collect();
+        if !picks.is_empty() {
+            let gain: Cycles = picks.iter().map(|i| i.gain).sum();
+            let area = picks.iter().map(|i| i.interface_area).sum();
+            let mut ips: Vec<_> = picks.iter().flat_map(|i| i.ips.iter().copied()).collect();
+            ips.sort_unstable();
+            ips.dedup();
+            let interface = picks[0].interface;
+            composites.push(Imp::new(
+                spec.parent,
+                ips,
+                interface,
+                gain,
+                area,
+                ParallelChoice::None,
+            ));
+        }
+        // Advance the index vector.
+        let mut done = true;
+        for (i, idx) in stack.iter_mut().enumerate() {
+            *idx += 1;
+            if *idx < child_options[i].len() {
+                done = false;
+                break;
+            }
+            *idx = 0;
+        }
+        if done {
+            break;
+        }
+    }
+    composites.sort_by_key(|c| std::cmp::Reverse(c.gain));
+    composites.truncate(limits.per_parent);
+
+    // Rebuild: keep every IMP except the children's, add parent composites.
+    let mut out = ImpDb::default();
+    for imp in db.imps() {
+        if !spec.children.contains(&imp.scall) {
+            out.add(imp.clone());
+        }
+    }
+    for c in composites {
+        out.add(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_interface::InterfaceKind;
+    use partita_ip::IpId;
+    use partita_mop::AreaTenths;
+
+    fn imp(sc: u32, ip: u32, gain: u64, kind: InterfaceKind) -> Imp {
+        Imp::new(
+            CallSiteId(sc),
+            vec![IpId(ip)],
+            kind,
+            Cycles(gain),
+            AreaTenths::from_tenths(2),
+            ParallelChoice::None,
+        )
+    }
+
+    /// Fig. 11 shape: parent dct2d (sc0), children dct1d call sites (sc1, sc2).
+    #[test]
+    fn composites_cover_child_combinations() {
+        let db = ImpDb::from_imps(vec![
+            imp(0, 1, 1000, InterfaceKind::Type1), // direct 2D-DCT IP
+            imp(1, 2, 300, InterfaceKind::Type0),  // 1D-DCT IP on child 1
+            imp(2, 2, 300, InterfaceKind::Type0),  // 1D-DCT IP on child 2
+        ]);
+        let spec = HierSpec {
+            parent: CallSiteId(0),
+            children: vec![CallSiteId(1), CallSiteId(2)],
+        };
+        let flat = flatten(&db, &[spec], FlattenLimits::default());
+        // Children lose their own IMPs.
+        assert!(flat.for_scall(CallSiteId(1)).is_empty());
+        assert!(flat.for_scall(CallSiteId(2)).is_empty());
+        // Parent: the direct IP plus composites {c1}, {c2}, {c1, c2}.
+        let parent_imps = flat.for_scall(CallSiteId(0));
+        assert_eq!(parent_imps.len(), 4);
+        let best_composite = parent_imps
+            .iter()
+            .filter(|i| i.ips == vec![IpId(2)])
+            .map(|i| i.gain)
+            .max()
+            .unwrap();
+        assert_eq!(best_composite, Cycles(600)); // both children accelerated
+    }
+
+    #[test]
+    fn shared_child_ip_deduplicated_in_sijk() {
+        let db = ImpDb::from_imps(vec![
+            imp(1, 5, 100, InterfaceKind::Type0),
+            imp(2, 5, 100, InterfaceKind::Type0),
+        ]);
+        let spec = HierSpec {
+            parent: CallSiteId(0),
+            children: vec![CallSiteId(1), CallSiteId(2)],
+        };
+        let flat = flatten(&db, &[spec], FlattenLimits::default());
+        let both = flat
+            .for_scall(CallSiteId(0))
+            .into_iter()
+            .find(|i| i.gain == Cycles(200))
+            .unwrap();
+        assert_eq!(both.ips, vec![IpId(5)]); // counted once
+        assert_eq!(both.interface_area, AreaTenths::from_tenths(4)); // 2 interfaces
+    }
+
+    #[test]
+    fn multi_level_flatten_bottom_up() {
+        // fft (sc2) inside dct1d (sc1) inside dct2d (sc0).
+        let db = ImpDb::from_imps(vec![
+            imp(2, 3, 50, InterfaceKind::Type0), // FFT IP
+            imp(1, 2, 200, InterfaceKind::Type0), // 1D-DCT IP
+        ]);
+        let specs = vec![
+            HierSpec {
+                parent: CallSiteId(1),
+                children: vec![CallSiteId(2)],
+            },
+            HierSpec {
+                parent: CallSiteId(0),
+                children: vec![CallSiteId(1)],
+            },
+        ];
+        let flat = flatten(&db, &specs, FlattenLimits::default());
+        let top = flat.for_scall(CallSiteId(0));
+        // Top sees: composite(dct1d IP) and composite(composite(fft IP)).
+        assert_eq!(top.len(), 2);
+        let gains: Vec<u64> = top.iter().map(|i| i.gain.get()).collect();
+        assert!(gains.contains(&200));
+        assert!(gains.contains(&50));
+        assert!(flat.for_scall(CallSiteId(1)).is_empty());
+        assert!(flat.for_scall(CallSiteId(2)).is_empty());
+    }
+
+    #[test]
+    fn limits_cap_composites() {
+        let mut imps = Vec::new();
+        for child in 1..=3u32 {
+            for ip in 0..6u32 {
+                imps.push(imp(child, ip, 10 * u64::from(ip + 1), InterfaceKind::Type0));
+            }
+        }
+        let db = ImpDb::from_imps(imps);
+        let spec = HierSpec {
+            parent: CallSiteId(0),
+            children: vec![CallSiteId(1), CallSiteId(2), CallSiteId(3)],
+        };
+        let limits = FlattenLimits {
+            per_child: 2,
+            per_parent: 5,
+        };
+        let flat = flatten(&db, &[spec], limits);
+        assert!(flat.for_scall(CallSiteId(0)).len() <= 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Problem instances: s-calls, execution paths, the IP library.
+
+use partita_interface::{AreaModel, TransferJob};
+use partita_ip::{IpFunction, IpLibrary};
+use partita_mop::{CallSiteId, Cycles, PathId};
+
+/// One *s-call*: a call site whose callee can be implemented by an IP
+/// (Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SCall {
+    /// Identifier (`SC1`, `SC2`, … in the tables).
+    pub id: CallSiteId,
+    /// The callee's name (e.g. `"fir"`).
+    pub name: String,
+    /// The DSP function the callee computes, used to match library IPs.
+    pub function: IpFunction,
+    /// Software execution time of **one** invocation (`T_SW`).
+    pub sw_cycles: Cycles,
+    /// Data moved per invocation.
+    pub job: TransferJob,
+    /// Profiled execution frequency (invocations on the hot run).
+    pub freq: u64,
+    /// Longest plain parallel code available after this call (`PC_i` of
+    /// Definition 5, already minimised over execution paths), excluding
+    /// other s-calls.
+    pub plain_pc: Cycles,
+    /// S-calls whose *software implementation* may extend this call's
+    /// parallel code (the Problem 2 generalisation), in appendable order.
+    pub sw_pc_candidates: Vec<CallSiteId>,
+}
+
+impl SCall {
+    /// Creates an s-call with frequency 1 and no parallel-code information.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        function: IpFunction,
+        sw_cycles: Cycles,
+        job: TransferJob,
+    ) -> SCall {
+        SCall {
+            id: CallSiteId(0),
+            name: name.into(),
+            function,
+            sw_cycles,
+            job,
+            freq: 1,
+            plain_pc: Cycles::ZERO,
+            sw_pc_candidates: Vec::new(),
+        }
+    }
+
+    /// Sets the profiled frequency.
+    #[must_use]
+    pub fn with_freq(mut self, freq: u64) -> SCall {
+        self.freq = freq;
+        self
+    }
+
+    /// Sets the plain parallel-code length.
+    #[must_use]
+    pub fn with_plain_pc(mut self, pc: Cycles) -> SCall {
+        self.plain_pc = pc;
+        self
+    }
+
+    /// Declares s-calls whose software implementations can extend this
+    /// call's parallel code.
+    #[must_use]
+    pub fn with_sw_pc_candidates(mut self, candidates: Vec<CallSiteId>) -> SCall {
+        self.sw_pc_candidates = candidates;
+        self
+    }
+
+    /// Total software time over all invocations (`T_SW × freq`).
+    #[must_use]
+    pub fn total_sw_cycles(&self) -> Cycles {
+        self.sw_cycles.scaled(self.freq)
+    }
+}
+
+/// An execution path: the s-calls that lie on it, in order (Fig. 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSpec {
+    /// Path identifier.
+    pub id: PathId,
+    /// S-calls on the path.
+    pub scalls: Vec<CallSiteId>,
+}
+
+/// A complete selection-problem instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name (for reports).
+    pub name: String,
+    /// All s-calls, indexed by [`CallSiteId`].
+    pub scalls: Vec<SCall>,
+    /// The IP library.
+    pub library: IpLibrary,
+    /// Execution paths (every path gets a required-gain constraint, Eq. 2).
+    pub paths: Vec<PathSpec>,
+    /// Interface area coefficients.
+    pub area_model: AreaModel,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Instance {
+        Instance {
+            name: name.into(),
+            scalls: Vec::new(),
+            library: IpLibrary::new(),
+            paths: Vec::new(),
+            area_model: AreaModel::default(),
+        }
+    }
+
+    /// Adds an s-call, assigning its id.
+    pub fn add_scall(&mut self, mut scall: SCall) -> CallSiteId {
+        let id = CallSiteId::from_index(self.scalls.len());
+        scall.id = id;
+        self.scalls.push(scall);
+        id
+    }
+
+    /// Adds an execution path over the given s-calls.
+    pub fn add_path(&mut self, scalls: Vec<CallSiteId>) -> PathId {
+        let id = PathId::from_index(self.paths.len());
+        self.paths.push(PathSpec { id, scalls });
+        id
+    }
+
+    /// Looks up an s-call.
+    #[must_use]
+    pub fn scall(&self, id: CallSiteId) -> Option<&SCall> {
+        self.scalls.get(id.index())
+    }
+
+    /// If the instance has no explicit paths, every s-call is considered to
+    /// lie on one implicit path; this returns the effective path list.
+    #[must_use]
+    pub fn effective_paths(&self) -> Vec<PathSpec> {
+        if self.paths.is_empty() {
+            vec![PathSpec {
+                id: PathId(0),
+                scalls: self.scalls.iter().map(|s| s.id).collect(),
+            }]
+        } else {
+            self.paths.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scall_ids_assigned_in_order() {
+        let mut inst = Instance::new("t");
+        let a = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(100),
+            TransferJob::new(8, 8),
+        ));
+        let b = inst.add_scall(SCall::new(
+            "dct",
+            IpFunction::Dct1d,
+            Cycles(200),
+            TransferJob::new(8, 8),
+        ));
+        assert_eq!(a, CallSiteId(0));
+        assert_eq!(b, CallSiteId(1));
+        assert_eq!(inst.scall(b).unwrap().name, "dct");
+        assert!(inst.scall(CallSiteId(9)).is_none());
+    }
+
+    #[test]
+    fn total_sw_scales_with_frequency() {
+        let sc = SCall::new("fir", IpFunction::Fir, Cycles(100), TransferJob::new(8, 8))
+            .with_freq(7);
+        assert_eq!(sc.total_sw_cycles(), Cycles(700));
+    }
+
+    #[test]
+    fn implicit_path_covers_all_scalls() {
+        let mut inst = Instance::new("t");
+        let a = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(1),
+            TransferJob::new(2, 2),
+        ));
+        let paths = inst.effective_paths();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].scalls, vec![a]);
+        inst.add_path(vec![a]);
+        inst.add_path(vec![]);
+        assert_eq!(inst.effective_paths().len(), 2);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let sc = SCall::new("iir", IpFunction::Iir, Cycles(10), TransferJob::new(4, 4))
+            .with_plain_pc(Cycles(5))
+            .with_sw_pc_candidates(vec![CallSiteId(3)]);
+        assert_eq!(sc.plain_pc, Cycles(5));
+        assert_eq!(sc.sw_pc_candidates, vec![CallSiteId(3)]);
+    }
+}

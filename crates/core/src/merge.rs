@@ -1,0 +1,107 @@
+//! S-instruction merging (paper §5: "s-calls to be implemented in the same
+//! way, i.e., the same IP and the same interface method, can be merged and
+//! implemented in a single S-instruction").
+
+use std::collections::BTreeMap;
+
+use partita_interface::InterfaceKind;
+use partita_ip::IpId;
+
+use crate::Imp;
+
+/// A merged S-instruction: one (IP set, interface) shape and the s-calls it
+/// serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SInstruction {
+    /// The IPs instantiated by the instruction.
+    pub ips: Vec<IpId>,
+    /// The interface type.
+    pub interface: InterfaceKind,
+    /// The s-calls merged into this instruction.
+    pub scalls: Vec<partita_mop::CallSiteId>,
+}
+
+/// Groups chosen IMPs into S-instructions.
+#[must_use]
+pub fn merge(chosen: &[Imp]) -> Vec<SInstruction> {
+    let mut groups: BTreeMap<(Vec<IpId>, usize), Vec<partita_mop::CallSiteId>> = BTreeMap::new();
+    for imp in chosen {
+        let mut ips = imp.ips.clone();
+        ips.sort_unstable();
+        groups
+            .entry((ips, imp.interface.index()))
+            .or_default()
+            .push(imp.scall);
+    }
+    groups
+        .into_iter()
+        .map(|((ips, kind_idx), scalls)| SInstruction {
+            ips,
+            interface: InterfaceKind::ALL[kind_idx],
+            scalls,
+        })
+        .collect()
+}
+
+/// The paper's **S** column: number of S-instructions after merging.
+#[must_use]
+pub fn s_instruction_count(chosen: &[Imp]) -> usize {
+    merge(chosen).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParallelChoice;
+    use partita_mop::{AreaTenths, CallSiteId, Cycles};
+
+    fn imp(sc: u32, ip: u32, kind: InterfaceKind) -> Imp {
+        Imp::new(
+            CallSiteId(sc),
+            vec![IpId(ip)],
+            kind,
+            Cycles(1),
+            AreaTenths::ZERO,
+            ParallelChoice::None,
+        )
+    }
+
+    #[test]
+    fn same_ip_same_interface_merge() {
+        // Table 1 row 3: four s-calls on IP12/IF0 merge into one S-instruction.
+        let chosen = vec![
+            imp(7, 12, InterfaceKind::Type0),
+            imp(9, 12, InterfaceKind::Type0),
+            imp(11, 12, InterfaceKind::Type0),
+            imp(13, 12, InterfaceKind::Type0),
+        ];
+        let merged = merge(&chosen);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].scalls.len(), 4);
+        assert_eq!(s_instruction_count(&chosen), 1);
+    }
+
+    #[test]
+    fn different_interface_does_not_merge() {
+        let chosen = vec![
+            imp(1, 12, InterfaceKind::Type0),
+            imp(2, 12, InterfaceKind::Type2),
+        ];
+        assert_eq!(s_instruction_count(&chosen), 2);
+    }
+
+    #[test]
+    fn different_ip_does_not_merge() {
+        let chosen = vec![
+            imp(1, 12, InterfaceKind::Type0),
+            imp(2, 13, InterfaceKind::Type0),
+        ];
+        assert_eq!(s_instruction_count(&chosen), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        assert_eq!(s_instruction_count(&[]), 0);
+        assert!(merge(&[]).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Parallel-code discovery (paper Definitions 3–5).
+//!
+//! Given the CDFG of a function, a µ-operation is *independent code* to an
+//! s-call when it has no transitive-closure dependency edge with it
+//! (Definition 3, [`partita_mop::Cdfg::independent_mops`]). An *independent
+//! code segment* (ICS) is a maximal run of independent µ-operations inside
+//! one execution branch (Definition 4). The *parallel code* `PC_i` is the
+//! largest ICS that can be arranged right after the s-call — and when
+//! several execution paths follow the call, the **shortest** of the per-path
+//! maxima, "to guarantee the minimum performance gain for all execution
+//! paths" (Definition 5).
+
+use partita_frontend::CompiledProgram;
+use partita_mop::{
+    enumerate_paths, CallSiteId, Cdfg, CdfgOptions, Cycles, Function, MopId, PathEnumLimits,
+};
+
+use crate::CoreError;
+
+/// The parallel-code analysis result for one s-call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelCodeInfo {
+    /// `PC_i` length in cycles (one cycle per µ-operation; the interface
+    /// templates re-pack them on emission).
+    pub cycles: Cycles,
+    /// The µ-operations of the binding segment (the shortest path's largest
+    /// ICS), in program order.
+    pub mops: Vec<MopId>,
+    /// Call µ-operations independent of the s-call — their **software
+    /// implementations** are Problem 2 parallel-code candidates.
+    pub sw_candidate_mops: Vec<MopId>,
+}
+
+/// Analyses the parallel code of the s-call at `scall_mop` inside `func`.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownSCall`] when `scall_mop` is not a call in `func`;
+/// path-enumeration failures surface as an empty-path fallback (single
+/// implicit path).
+pub fn analyze(
+    func: &Function,
+    opts: &CdfgOptions,
+    scall_mop: MopId,
+) -> Result<ParallelCodeInfo, CoreError> {
+    let is_call = func
+        .mop(scall_mop)
+        .ok()
+        .and_then(|m| m.callee())
+        .is_some();
+    if !is_call {
+        return Err(CoreError::UnknownSCall(CallSiteId(scall_mop.0)));
+    }
+    let cdfg = Cdfg::build(func, opts);
+    let independent: std::collections::BTreeSet<MopId> =
+        cdfg.independent_mops(scall_mop).into_iter().collect();
+
+    // Locate the s-call's block and its index within the block.
+    let (scall_block, scall_idx) = func
+        .blocks()
+        .iter()
+        .find_map(|b| {
+            b.mops()
+                .iter()
+                .position(|&m| m == scall_mop)
+                .map(|i| (b.id(), i))
+        })
+        .ok_or(CoreError::UnknownSCall(CallSiteId(scall_mop.0)))?;
+
+    // Independent calls anywhere in the function are Problem 2 candidates.
+    let sw_candidate_mops: Vec<MopId> = func
+        .call_mops()
+        .into_iter()
+        .filter(|&(_, m, _)| m != scall_mop && independent.contains(&m))
+        .map(|(_, m, _)| m)
+        .collect();
+
+    // Enumerate execution paths through the s-call's block.
+    let paths = enumerate_paths(func, PathEnumLimits::default()).unwrap_or_default();
+    let relevant: Vec<_> = paths
+        .iter()
+        .filter(|p| p.contains(scall_block))
+        .collect();
+
+    // Per path: the largest ICS at-or-after the s-call.
+    let mut binding: Option<(Cycles, Vec<MopId>)> = None;
+    let path_segments = |blocks: &[partita_mop::BlockId]| -> (Cycles, Vec<MopId>) {
+        let start = blocks
+            .iter()
+            .position(|&b| b == scall_block)
+            .unwrap_or(0);
+        let mut best: Vec<MopId> = Vec::new();
+        for &b in &blocks[start..] {
+            let Ok(block) = func.block(b) else { continue };
+            let from = if b == scall_block { scall_idx + 1 } else { 0 };
+            let mut run: Vec<MopId> = Vec::new();
+            for &m in &block.mops()[from.min(block.mops().len())..] {
+                let is_call = func.mop(m).ok().and_then(|x| x.callee()).is_some();
+                let is_control = func.mop(m).map(|x| x.is_control()).unwrap_or(true);
+                if independent.contains(&m) && !is_call && !is_control {
+                    run.push(m);
+                } else {
+                    if run.len() > best.len() {
+                        best = std::mem::take(&mut run);
+                    }
+                    run.clear();
+                }
+            }
+            if run.len() > best.len() {
+                best = run;
+            }
+        }
+        (Cycles(best.len() as u64), best)
+    };
+
+    if relevant.is_empty() {
+        // No enumerable path (e.g. the call sits inside a loop body cut by
+        // the enumerator): fall back to the whole-function view.
+        let all_blocks: Vec<_> = func.blocks().iter().map(|b| b.id()).collect();
+        let (c, mops) = path_segments(&all_blocks);
+        return Ok(ParallelCodeInfo {
+            cycles: c,
+            mops,
+            sw_candidate_mops,
+        });
+    }
+    for p in relevant {
+        let (c, mops) = path_segments(&p.blocks);
+        let replace = match &binding {
+            None => true,
+            Some((bc, _)) => c < *bc,
+        };
+        if replace {
+            binding = Some((c, mops));
+        }
+    }
+    let (cycles, mops) = binding.unwrap_or((Cycles::ZERO, Vec::new()));
+    Ok(ParallelCodeInfo {
+        cycles,
+        mops,
+        sw_candidate_mops,
+    })
+}
+
+/// Convenience wrapper: analyses every call site of one function in a
+/// [`CompiledProgram`], returning `(call mop, info)` pairs.
+///
+/// # Errors
+///
+/// Propagates [`analyze`] failures.
+pub fn analyze_function(
+    compiled: &CompiledProgram,
+    func_id: partita_mop::FuncId,
+) -> Result<Vec<(MopId, ParallelCodeInfo)>, CoreError> {
+    let func = compiled
+        .program
+        .function(func_id)
+        .map_err(|_| CoreError::UnknownSCall(CallSiteId(0)))?;
+    let opts = compiled.cdfg_options(func_id);
+    func.call_mops()
+        .into_iter()
+        .map(|(_, m, _)| analyze(func, &opts, m).map(|info| (m, info)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_frontend::compile;
+    use partita_mop::{AluOp, Mop, Reg};
+
+    #[test]
+    fn independent_tail_becomes_parallel_code() {
+        // call f; then 3 mops independent of it; then dependent code.
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        let call = f.push_mop(b, Mop::call(partita_mop::FuncId(1)));
+        f.push_mop(b, Mop::load_imm(Reg(1), 1));
+        f.push_mop(b, Mop::alu(AluOp::Add, Reg(1), Reg(1), 1));
+        f.push_mop(b, Mop::load_imm(Reg(2), 2));
+        f.push_mop(b, Mop::load_x(Reg(3), 0)); // memory: conflicts with call
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let mut opts = CdfgOptions::default();
+        opts.call_effects.insert(
+            call,
+            partita_mop::CallEffects::new(
+                vec![],
+                vec![partita_mop::MemRegion::new(partita_mop::MemSpace::X, 0, 8)],
+            ),
+        );
+        let info = analyze(&f, &opts, call).unwrap();
+        assert_eq!(info.cycles, Cycles(3));
+        assert_eq!(info.mops.len(), 3);
+        assert!(info.sw_candidate_mops.is_empty());
+    }
+
+    #[test]
+    fn multiple_paths_take_the_minimum() {
+        // After the call, a branch: one arm has 4 independent mops, the
+        // other only 1 → PC must be 1 (Definition 5's min over paths).
+        let mut f = Function::new("main");
+        let b0 = f.add_block();
+        let long = f.add_block();
+        let short = f.add_block();
+        let end = f.add_block();
+        let call = f.push_mop(b0, Mop::call(partita_mop::FuncId(1)));
+        f.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        f.push_mop(b0, Mop::branch_nz(Reg(0), long, short));
+        for i in 0..4 {
+            f.push_mop(long, Mop::load_imm(Reg(2), i));
+        }
+        f.push_mop(long, Mop::jump(end));
+        f.push_mop(short, Mop::load_imm(Reg(3), 9));
+        f.push_mop(short, Mop::jump(end));
+        f.push_mop(end, Mop::halt());
+        f.compute_edges();
+        let mut opts = CdfgOptions::default();
+        opts.call_effects
+            .insert(call, partita_mop::CallEffects::default());
+        let info = analyze(&f, &opts, call).unwrap();
+        assert_eq!(info.cycles, Cycles(1));
+    }
+
+    #[test]
+    fn independent_calls_are_problem2_candidates() {
+        let src = "xmem a[8] @ 0; ymem b[8] @ 0; xmem c[8] @ 16;
+            fn fir() reads a writes b { }
+            fn iir() reads c writes c { }
+            fn main() { fir(); iir(); }";
+        let compiled = compile(src).unwrap();
+        let main = compiled.program.function_by_name("main").unwrap();
+        let infos = analyze_function(&compiled, main).unwrap();
+        assert_eq!(infos.len(), 2);
+        // fir and iir touch disjoint regions: each is a sw-PC candidate of
+        // the other.
+        assert_eq!(infos[0].1.sw_candidate_mops.len(), 1);
+        assert_eq!(infos[1].1.sw_candidate_mops.len(), 1);
+    }
+
+    #[test]
+    fn dependent_calls_are_not_candidates() {
+        let src = "xmem a[8] @ 0; ymem b[8] @ 0;
+            fn fir() reads a writes b { }
+            fn dct() reads b writes a { }
+            fn main() { fir(); dct(); }";
+        let compiled = compile(src).unwrap();
+        let main = compiled.program.function_by_name("main").unwrap();
+        let infos = analyze_function(&compiled, main).unwrap();
+        assert!(infos[0].1.sw_candidate_mops.is_empty());
+        assert!(infos[1].1.sw_candidate_mops.is_empty());
+    }
+
+    #[test]
+    fn non_call_mop_rejected() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        let m = f.push_mop(b, Mop::nop());
+        f.compute_edges();
+        assert!(matches!(
+            analyze(&f, &CdfgOptions::default(), m),
+            Err(CoreError::UnknownSCall(_))
+        ));
+    }
+
+    #[test]
+    fn code_before_call_not_counted() {
+        let mut f = Function::new("main");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_imm(Reg(1), 1));
+        f.push_mop(b, Mop::load_imm(Reg(2), 2));
+        let call = f.push_mop(b, Mop::call(partita_mop::FuncId(1)));
+        f.push_mop(b, Mop::halt());
+        f.compute_edges();
+        let mut opts = CdfgOptions::default();
+        opts.call_effects
+            .insert(call, partita_mop::CallEffects::default());
+        let info = analyze(&f, &opts, call).unwrap();
+        // The independent mops exist but sit before the call; PC needs code
+        // that can run *after* it.
+        assert_eq!(info.cycles, Cycles::ZERO);
+    }
+}

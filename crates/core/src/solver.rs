@@ -1,0 +1,479 @@
+//! The optimal S-instruction selector.
+
+use partita_ilp::BranchBound;
+use partita_mop::{AreaTenths, CallSiteId, Cycles, PathId};
+
+use crate::formulate::{build_model, decode};
+use crate::{CoreError, Imp, ImpDb, Instance};
+
+/// Which formulation to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProblemKind {
+    /// The restricted formulation: no software-implementation parallel
+    /// codes, and s-calls to the same function implemented identically.
+    Problem1,
+    /// The general formulation with SC-PC conflict constraints.
+    #[default]
+    Problem2,
+}
+
+/// Required performance gains `T_k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequiredGains {
+    /// The same requirement on every execution path (the paper's RG sweep).
+    Uniform(Cycles),
+    /// Individual per-path requirements; unlisted paths require zero.
+    PerPath(Vec<(PathId, Cycles)>),
+}
+
+/// Solve options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Which formulation.
+    pub problem: ProblemKind,
+    /// Required gains.
+    pub gains: RequiredGains,
+    /// Optional power budget in milliwatts: the selected IMPs' combined
+    /// power draw must stay below it (the paper carries power per IMP; this
+    /// is the natural constraint it supports).
+    pub power_budget_mw: Option<u64>,
+}
+
+impl SolveOptions {
+    /// Problem 2 with the given gains.
+    #[must_use]
+    pub fn new(gains: RequiredGains) -> SolveOptions {
+        SolveOptions {
+            problem: ProblemKind::Problem2,
+            gains,
+            power_budget_mw: None,
+        }
+    }
+
+    /// Switches the formulation.
+    #[must_use]
+    pub fn with_problem(mut self, problem: ProblemKind) -> SolveOptions {
+        self.problem = problem;
+        self
+    }
+
+    /// Caps the selection's combined power draw.
+    #[must_use]
+    pub fn with_power_budget_mw(mut self, budget: u64) -> SolveOptions {
+        self.power_budget_mw = Some(budget);
+        self
+    }
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions::new(RequiredGains::Uniform(Cycles::ZERO))
+    }
+}
+
+/// A decoded selection: the chosen IMPs and their cost/gain accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    chosen: Vec<Imp>,
+    /// ILP objective value (total area in tenths).
+    pub objective: f64,
+    /// Area of the instantiated IPs (each counted once).
+    pub ip_area: AreaTenths,
+    /// Total interface area of the chosen IMPs.
+    pub interface_area: AreaTenths,
+    /// Achieved gain per execution path.
+    pub gain_per_path: Vec<(PathId, Cycles)>,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl Selection {
+    pub(crate) fn from_chosen(
+        instance: &Instance,
+        chosen: Vec<Imp>,
+        objective: f64,
+        nodes_explored: usize,
+    ) -> Selection {
+        let mut ips: Vec<_> = chosen.iter().flat_map(|i| i.ips.iter().copied()).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        let ip_area: AreaTenths = ips
+            .iter()
+            .filter_map(|&ip| instance.library.block(ip))
+            .map(|b| b.area())
+            .sum();
+        let interface_area: AreaTenths = chosen.iter().map(|i| i.interface_area).sum();
+        let gain_per_path = instance
+            .effective_paths()
+            .iter()
+            .map(|p| {
+                let g: Cycles = chosen
+                    .iter()
+                    .filter(|imp| p.scalls.contains(&imp.scall))
+                    .map(|imp| imp.gain)
+                    .sum();
+                (p.id, g)
+            })
+            .collect();
+        Selection {
+            chosen,
+            objective,
+            ip_area,
+            interface_area,
+            gain_per_path,
+            nodes_explored,
+        }
+    }
+
+    /// The chosen IMPs, in s-call order.
+    #[must_use]
+    pub fn chosen(&self) -> &[Imp] {
+        &self.chosen
+    }
+
+    /// Total achieved gain **G**: the sum of the chosen IMPs' gains (the
+    /// paper's G column).
+    #[must_use]
+    pub fn total_gain(&self) -> Cycles {
+        self.chosen.iter().map(|i| i.gain).sum()
+    }
+
+    /// Total area **A** = IP areas (once each) + interface areas.
+    #[must_use]
+    pub fn total_area(&self) -> AreaTenths {
+        self.ip_area + self.interface_area
+    }
+
+    /// Number of selected s-calls (the paper's **O** column).
+    #[must_use]
+    pub fn selected_scall_count(&self) -> usize {
+        let mut scs: Vec<CallSiteId> = self.chosen.iter().map(|i| i.scall).collect();
+        scs.sort_unstable();
+        scs.dedup();
+        scs.len()
+    }
+
+    /// Number of S-instructions after merging (the paper's **S** column).
+    #[must_use]
+    pub fn s_instruction_count(&self) -> usize {
+        crate::merge::s_instruction_count(&self.chosen)
+    }
+
+    /// Independently verifies this selection against the problem's rules:
+    /// at most one IMP per s-call (Eq. 1), every path's required gain
+    /// (Eq. 2), the SC-PC selection rule, and the optional power budget.
+    ///
+    /// Used by the test-suite to cross-check the ILP solver and the
+    /// baseline heuristics against an implementation that shares no code
+    /// with the formulation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSelection`] describing the first violation found.
+    pub fn verify(&self, instance: &Instance, options: &SolveOptions) -> Result<(), CoreError> {
+        // Eq. 1: one implementation per s-call.
+        let mut seen: Vec<CallSiteId> = Vec::new();
+        for imp in &self.chosen {
+            if seen.contains(&imp.scall) {
+                return Err(CoreError::InvalidSelection(format!(
+                    "{} has two implementations",
+                    imp.scall
+                )));
+            }
+            seen.push(imp.scall);
+        }
+        // SC-PC selection rule: a consumed s-call must not be implemented.
+        for imp in &self.chosen {
+            for consumed in imp.parallel.consumed_scalls() {
+                if seen.contains(consumed) {
+                    return Err(CoreError::InvalidSelection(format!(
+                        "{consumed} is both implemented and used as software parallel code"
+                    )));
+                }
+            }
+        }
+        // Eq. 2 per path.
+        for path in instance.effective_paths() {
+            let required = options.gains.for_path(path.id);
+            let achieved: Cycles = self
+                .chosen
+                .iter()
+                .filter(|imp| path.scalls.contains(&imp.scall))
+                .map(|imp| imp.gain)
+                .sum();
+            if achieved < required {
+                return Err(CoreError::InvalidSelection(format!(
+                    "{} achieves {} of required {}",
+                    path.id,
+                    achieved.get(),
+                    required.get()
+                )));
+            }
+        }
+        // Power budget.
+        if let Some(budget) = options.power_budget_mw {
+            let draw: u64 = self.chosen.iter().map(|i| i.power_mw).sum();
+            if draw > budget {
+                return Err(CoreError::InvalidSelection(format!(
+                    "power draw {draw} mW exceeds budget {budget} mW"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The optimal S-instruction generator.
+///
+/// See the crate docs for a full example.
+#[derive(Debug, Clone)]
+pub struct Solver<'a> {
+    instance: &'a Instance,
+    imps: Option<ImpDb>,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver for `instance`.
+    #[must_use]
+    pub fn new(instance: &'a Instance) -> Solver<'a> {
+        Solver {
+            instance,
+            imps: None,
+        }
+    }
+
+    /// Supplies a prebuilt IMP database (otherwise [`ImpDb::generate`] is
+    /// used).
+    #[must_use]
+    pub fn with_imps(mut self, imps: ImpDb) -> Solver<'a> {
+        self.imps = Some(imps);
+        self
+    }
+
+    /// Solves to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] when no selection meets the required gains,
+    /// plus formulation errors.
+    pub fn solve(&self, options: &SolveOptions) -> Result<Selection, CoreError> {
+        let generated;
+        let db = match &self.imps {
+            Some(db) => db,
+            None => {
+                generated = ImpDb::generate(self.instance);
+                &generated
+            }
+        };
+        let (model, map) = build_model(
+            self.instance,
+            db,
+            options.problem,
+            &options.gains,
+            options.power_budget_mw,
+        )?;
+        let solution = BranchBound::new().solve(&model)?;
+        let chosen_ids = decode(db, &map, &solution);
+        let chosen: Vec<Imp> = chosen_ids
+            .iter()
+            .filter_map(|id| db.get(*id).cloned())
+            .collect();
+        // The fixed-charge indicators must agree with the decoded IP set.
+        if cfg!(debug_assertions) {
+            for (&ip, &zv) in &map.z {
+                let used = chosen.iter().any(|imp| imp.uses_ip(ip));
+                debug_assert!(
+                    !used || solution.is_set(zv),
+                    "indicator for {ip} must be set when the ip is used"
+                );
+            }
+        }
+        Ok(Selection::from_chosen(
+            self.instance,
+            chosen,
+            solution.objective,
+            solution.nodes_explored,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreError, Imp, ImpDb, ParallelChoice, SCall};
+    use partita_interface::{InterfaceKind, TransferJob};
+    use partita_ip::{IpBlock, IpFunction, IpId};
+
+    /// A hand-built instance shaped like the paper's Fig. 9: three fir()
+    /// calls, one IP; Problem 2 may run one call in software as the parallel
+    /// code of another.
+    fn three_firs() -> (Instance, ImpDb) {
+        let mut inst = Instance::new("fig9");
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        let t_sw = Cycles(1000);
+        let a = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
+        let b = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
+        let c = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
+        inst.add_path(vec![a, b, c]);
+        // Hand-built IMPs: plain IP gains 600 each; IMP for `b` that uses
+        // the software fir `c` as parallel code gains 900.
+        let mk = |sc, gain, par| {
+            crate::Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type1,
+                Cycles(gain),
+                AreaTenths::from_tenths(2),
+                par,
+            )
+        };
+        let db = ImpDb::from_imps(vec![
+            mk(a, 600, ParallelChoice::None),
+            mk(b, 600, ParallelChoice::None),
+            mk(c, 600, ParallelChoice::None),
+            mk(b, 900, ParallelChoice::SwScalls(vec![c])),
+        ]);
+        (inst, db)
+    }
+
+    #[test]
+    fn problem2_uses_software_parallel_code() {
+        let (inst, db) = three_firs();
+        // Requirement 1500: a(600) + b-with-sw-c(900) reaches it with two
+        // IMPs; Problem 1 needs all three (1800).
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let p2 = Solver::new(&inst).with_imps(db.clone()).solve(&opts).unwrap();
+        assert_eq!(p2.chosen().len(), 2);
+        assert!(p2
+            .chosen()
+            .iter()
+            .any(|i| matches!(i.parallel, ParallelChoice::SwScalls(_))));
+
+        let p1 = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&opts.clone().with_problem(ProblemKind::Problem1))
+            .unwrap();
+        assert_eq!(p1.chosen().len(), 3);
+        assert!(p1.total_area() > p2.total_area());
+    }
+
+    #[test]
+    fn sc_pc_conflict_enforced() {
+        let (inst, db) = three_firs();
+        // Require 2100: cannot take the 900 variant AND implement c (600+600+900
+        // violates the conflict), so the only way is 600*3 = 1800 < 2100 or
+        // 600 + 900 = 1500 — infeasible either way above 1800.
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(2000)));
+        let err = Solver::new(&inst).with_imps(db).solve(&opts).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn selection_accounting() {
+        let (inst, db) = three_firs();
+        let sel = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(1200))))
+            .unwrap();
+        assert_eq!(sel.ip_area, AreaTenths::from_units(3)); // IP once
+        assert_eq!(sel.total_area(), sel.ip_area + sel.interface_area);
+        assert!(sel.total_gain().get() >= 1200);
+        assert_eq!(sel.gain_per_path.len(), 1);
+        assert!(sel.selected_scall_count() <= 3);
+        assert!(sel.s_instruction_count() <= sel.selected_scall_count());
+    }
+
+    #[test]
+    fn generated_db_end_to_end() {
+        let mut inst = Instance::new("gen");
+        inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .rates(4, 4)
+                .latency(8)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        let sc = inst.add_scall(
+            SCall::new("fir", IpFunction::Fir, Cycles(5000), TransferJob::new(64, 64))
+                .with_freq(3),
+        );
+        inst.add_path(vec![sc]);
+        let sel = Solver::new(&inst)
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(1000))))
+            .unwrap();
+        assert_eq!(sel.chosen().len(), 1);
+        assert_eq!(sel.chosen()[0].ips, vec![IpId(0)]);
+        assert!(sel.total_gain().get() >= 1000);
+    }
+
+    #[test]
+    fn power_budget_constrains_the_selection() {
+        // Two IMPs for one s-call: a fast power-hungry one and a slower
+        // frugal one. The budget forces the frugal pick.
+        let mut inst = Instance::new("power");
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(1))
+                .build(),
+        );
+        let sc = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+        inst.add_path(vec![sc]);
+        let db = ImpDb::from_imps(vec![
+            Imp::new(sc, vec![ip], InterfaceKind::Type3, Cycles(900), AreaTenths::ZERO, ParallelChoice::None)
+                .with_power_mw(500),
+            Imp::new(sc, vec![ip], InterfaceKind::Type0, Cycles(600), AreaTenths::ZERO, ParallelChoice::None)
+                .with_power_mw(100),
+        ]);
+        // Without a budget the higher-gain type-3 wins the area tie.
+        let free = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(500))))
+            .unwrap();
+        assert_eq!(free.chosen()[0].interface, InterfaceKind::Type3);
+        // A 200 mW budget forces the frugal type-0 implementation.
+        let capped = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(
+                &SolveOptions::new(RequiredGains::Uniform(Cycles(500)))
+                    .with_power_budget_mw(200),
+            )
+            .unwrap();
+        assert_eq!(capped.chosen()[0].interface, InterfaceKind::Type0);
+        assert_eq!(capped.chosen()[0].power_mw, 100);
+        // An impossible budget is infeasible.
+        let err = Solver::new(&inst)
+            .with_imps(db)
+            .solve(
+                &SolveOptions::new(RequiredGains::Uniform(Cycles(500)))
+                    .with_power_budget_mw(50),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn zero_requirement_selects_nothing() {
+        let (inst, db) = three_firs();
+        let sel = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&SolveOptions::default())
+            .unwrap();
+        assert!(sel.chosen().is_empty());
+        assert_eq!(sel.total_area(), AreaTenths::ZERO);
+        assert_eq!(sel.total_gain(), Cycles::ZERO);
+    }
+
+    use partita_mop::AreaTenths;
+}

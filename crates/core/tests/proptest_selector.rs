@@ -1,0 +1,150 @@
+//! Property tests: the ILP selector against exhaustive enumeration on small
+//! random instances, and its structural invariants on larger ones.
+
+use proptest::prelude::*;
+
+use partita_core::{
+    baseline, Imp, ImpDb, Instance, ParallelChoice, RequiredGains, SCall, SolveOptions, Solver,
+};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction, IpId};
+use partita_mop::{AreaTenths, CallSiteId, Cycles};
+
+#[derive(Debug, Clone)]
+struct SmallInstance {
+    ip_areas: Vec<i64>,
+    imps: Vec<(u32, u32, u64, i64)>, // (scall, ip, gain, interface tenths)
+    required: u64,
+}
+
+fn small_instance() -> impl Strategy<Value = SmallInstance> {
+    (
+        proptest::collection::vec(1i64..20, 2..4),
+        proptest::collection::vec((0u32..4, 0u32..3, 1u64..200, 0i64..10), 1..8),
+        0u64..400,
+    )
+        .prop_map(|(ip_areas, mut imps, required)| {
+            let n_ips = ip_areas.len() as u32;
+            for imp in &mut imps {
+                imp.1 %= n_ips;
+            }
+            SmallInstance {
+                ip_areas,
+                imps,
+                required,
+            }
+        })
+}
+
+fn build(si: &SmallInstance) -> (Instance, ImpDb) {
+    let mut inst = Instance::new("prop");
+    for (i, &a) in si.ip_areas.iter().enumerate() {
+        inst.library.add(
+            IpBlock::builder(format!("ip{i}"))
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(a))
+                .build(),
+        );
+    }
+    for sc in 0..4u32 {
+        inst.add_scall(SCall::new(
+            format!("f{sc}"),
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+    }
+    inst.add_path((0..4).map(CallSiteId).collect());
+    let imps = si
+        .imps
+        .iter()
+        .map(|&(sc, ip, gain, tenths)| {
+            Imp::new(
+                CallSiteId(sc),
+                vec![IpId(ip)],
+                InterfaceKind::Type0,
+                Cycles(gain),
+                AreaTenths::from_tenths(tenths),
+                ParallelChoice::None,
+            )
+        })
+        .collect();
+    (inst, ImpDb::from_imps(imps))
+}
+
+/// Exhaustive reference: try every subset of IMPs that respects "one IMP per
+/// s-call" and find the minimum total area meeting the requirement.
+fn exhaustive_best(inst: &Instance, db: &ImpDb, required: u64) -> Option<i64> {
+    let n = db.len();
+    let mut best: Option<i64> = None;
+    'outer: for mask in 0u32..(1 << n) {
+        let mut per_scall = [0u8; 8];
+        let mut gain = 0u64;
+        let mut tenths = 0i64;
+        let mut ips: Vec<IpId> = Vec::new();
+        for (i, imp) in db.imps().iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                per_scall[imp.scall.index()] += 1;
+                if per_scall[imp.scall.index()] > 1 {
+                    continue 'outer;
+                }
+                gain += imp.gain.get();
+                tenths += imp.interface_area.tenths();
+                ips.extend(imp.ips.iter().copied());
+            }
+        }
+        if gain < required {
+            continue;
+        }
+        ips.sort_unstable();
+        ips.dedup();
+        tenths += ips
+            .iter()
+            .map(|&ip| inst.library.block(ip).map_or(0, |b| b.area().tenths()))
+            .sum::<i64>();
+        best = Some(best.map_or(tenths, |b: i64| b.min(tenths)));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ILP's minimum area equals brute force over all subsets.
+    #[test]
+    fn selector_matches_exhaustive(si in small_instance()) {
+        let (inst, db) = build(&si);
+        let exact = exhaustive_best(&inst, &db, si.required);
+        let solved = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(si.required))));
+        match (exact, solved) {
+            (Some(area), Ok(sel)) => {
+                prop_assert_eq!(
+                    sel.total_area().tenths(), area,
+                    "ilp found area {} vs brute force {}", sel.total_area(), area
+                );
+                prop_assert!(sel.total_gain().get() >= si.required);
+                prop_assert!(sel
+                    .verify(&inst, &SolveOptions::new(RequiredGains::Uniform(Cycles(si.required))))
+                    .is_ok());
+            }
+            (None, Err(_)) => {}
+            (e, s) => prop_assert!(false, "feasibility mismatch: {e:?} vs {s:?}"),
+        }
+    }
+
+    /// Feasible greedy never beats the ILP; merged S-count never exceeds the
+    /// selected-call count.
+    #[test]
+    fn greedy_dominated_and_counts_consistent(si in small_instance()) {
+        let (inst, db) = build(&si);
+        let gains = RequiredGains::Uniform(Cycles(si.required));
+        let Ok(sel) = Solver::new(&inst).with_imps(db.clone())
+            .solve(&SolveOptions::new(gains.clone())) else { return Ok(()); };
+        prop_assert!(sel.s_instruction_count() <= sel.selected_scall_count());
+        if let Ok(greedy) = baseline::solve_greedy(&inst, &db, &gains) {
+            prop_assert!(sel.total_area() <= greedy.total_area());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The Partita-C abstract syntax tree.
+
+/// Which data memory a region lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionSpace {
+    /// X data memory.
+    X,
+    /// Y data memory.
+    Y,
+}
+
+/// A global array declaration: `xmem name[len] @ base;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionDecl {
+    /// The array name.
+    pub name: String,
+    /// Memory space.
+    pub space: RegionSpace,
+    /// Number of words.
+    pub len: u32,
+    /// Base address.
+    pub base: u32,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed; division by zero yields 0 on the kernel)
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (operands normalised to 0/1)
+    LogicAnd,
+    /// `||`
+    LogicOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`0 ↦ 1`, non-zero `↦ 0`).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array load `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `name[index] = expr;`
+    Store(String, Expr, Expr),
+    /// `callee();`
+    Call(String),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `return;`
+    Return,
+}
+
+/// A function declaration with its effect clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// The function name.
+    pub name: String,
+    /// Regions named in the `reads` clause.
+    pub reads: Vec<String>,
+    /// Regions named in the `writes` clause.
+    pub writes: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global array declarations.
+    pub regions: Vec<RegionDecl>,
+    /// Functions in declaration order.
+    pub functions: Vec<FnDecl>,
+}

@@ -1,0 +1,110 @@
+//! Frontend errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while compiling Partita-C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// A character the lexer does not understand.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// 1-based line.
+        line: u32,
+    },
+    /// An integer literal out of `i32` range.
+    IntOutOfRange {
+        /// The literal text.
+        text: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// The parser expected something else.
+    UnexpectedToken {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Premature end of input.
+    UnexpectedEof {
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An identifier that names nothing in scope.
+    UnknownIdent {
+        /// The identifier.
+        name: String,
+    },
+    /// A call to an undefined function.
+    UnknownFunction {
+        /// The callee name.
+        name: String,
+    },
+    /// A region or function declared twice.
+    Duplicate {
+        /// The name.
+        name: String,
+    },
+    /// Too many live locals/temporaries for the 16-register file.
+    RegisterPressure {
+        /// The function being lowered.
+        func: String,
+    },
+    /// Indexing a scalar or assigning to an array without an index.
+    KindMismatch {
+        /// The identifier.
+        name: String,
+    },
+    /// The program has no `main` function.
+    NoMain,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::UnexpectedChar { ch, line } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            FrontendError::IntOutOfRange { text, line } => {
+                write!(f, "line {line}: integer literal `{text}` out of range")
+            }
+            FrontendError::UnexpectedToken {
+                found,
+                expected,
+                line,
+            } => write!(f, "line {line}: expected {expected}, found `{found}`"),
+            FrontendError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            FrontendError::UnknownIdent { name } => write!(f, "unknown identifier `{name}`"),
+            FrontendError::UnknownFunction { name } => write!(f, "call to unknown function `{name}`"),
+            FrontendError::Duplicate { name } => write!(f, "`{name}` declared twice"),
+            FrontendError::RegisterPressure { func } => {
+                write!(f, "function `{func}` needs more registers than the kernel has")
+            }
+            FrontendError::KindMismatch { name } => {
+                write!(f, "`{name}` used with the wrong shape (scalar vs array)")
+            }
+            FrontendError::NoMain => f.write_str("program has no `main` function"),
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_positions() {
+        let e = FrontendError::UnexpectedChar { ch: '$', line: 3 };
+        assert!(e.to_string().contains("line 3"));
+        assert!(FrontendError::NoMain.to_string().contains("main"));
+    }
+}

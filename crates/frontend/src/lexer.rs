@@ -1,0 +1,336 @@
+//! The Partita-C lexer.
+
+use std::fmt;
+
+use crate::FrontendError;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i32),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `xmem`
+    Xmem,
+    /// `ymem`
+    Ymem,
+    /// `reads`
+    Reads,
+    /// `writes`
+    Writes,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenizes Partita-C source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// [`FrontendError::UnexpectedChar`] and [`FrontendError::IntOutOfRange`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>, FrontendError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i32 = text
+                    .parse()
+                    .map_err(|_| FrontendError::IntOutOfRange {
+                        text: text.clone(),
+                        line,
+                    })?;
+                out.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match text.as_str() {
+                    "fn" => TokenKind::Fn,
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "return" => TokenKind::Return,
+                    "xmem" => TokenKind::Xmem,
+                    "ymem" => TokenKind::Ymem,
+                    "reads" => TokenKind::Reads,
+                    "writes" => TokenKind::Writes,
+                    _ => TokenKind::Ident(text),
+                };
+                out.push(Token { kind, line });
+            }
+            _ => {
+                chars.next();
+                let two = |next: char, chars: &mut std::iter::Peekable<std::str::Chars>| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semi,
+                    ',' => TokenKind::Comma,
+                    '@' => TokenKind::At,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '%' => TokenKind::Percent,
+                    '^' => TokenKind::Caret,
+                    '&' => {
+                        if two('&', &mut chars) {
+                            TokenKind::AndAnd
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    '|' => {
+                        if two('|', &mut chars) {
+                            TokenKind::OrOr
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    '=' => {
+                        if two('=', &mut chars) {
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    '!' => {
+                        if two('=', &mut chars) {
+                            TokenKind::NotEq
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    '<' => {
+                        if two('=', &mut chars) {
+                            TokenKind::Le
+                        } else if two('<', &mut chars) {
+                            TokenKind::Shl
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    '>' => {
+                        if two('=', &mut chars) {
+                            TokenKind::Ge
+                        } else if two('>', &mut chars) {
+                            TokenKind::Shr
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    other => return Err(FrontendError::UnexpectedChar { ch: other, line }),
+                };
+                out.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main xmem reads"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("main".into()),
+                TokenKind::Xmem,
+                TokenKind::Reads
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && ||"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = tokenize("a // comment\nb").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 0"), vec![TokenKind::Int(42), TokenKind::Int(0)]);
+        assert!(matches!(
+            tokenize("99999999999999"),
+            Err(FrontendError::IntOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(
+            tokenize("a $ b"),
+            Err(FrontendError::UnexpectedChar { ch: '$', line: 1 })
+        ));
+    }
+}

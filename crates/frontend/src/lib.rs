@@ -1,0 +1,65 @@
+//! A C-like frontend for the Partita flow.
+//!
+//! The paper's input is "the application program written in C, typical input
+//! data for the application, and performance constraints"; the program is
+//! "transformed into a MOP list and sample-executed with the given typical
+//! input data to obtain \[the\] running frequency profile" (§2).
+//!
+//! This crate implements that pipeline for **Partita-C**, a small C-like
+//! DSL:
+//!
+//! ```text
+//! xmem samples[16] @ 0;        // array in X data memory at address 0
+//! ymem filtered[16] @ 0;       // array in Y data memory
+//!
+//! fn fir() reads samples writes filtered {
+//!     let acc = 0;
+//!     let i = 0;
+//!     while (i < 16) {
+//!         acc = acc + samples[i];
+//!         filtered[i] = acc;
+//!         i = i + 1;
+//!     }
+//! }
+//!
+//! fn main() {
+//!     fir();
+//!     if (samples[0] < 4) { fir(); }
+//! }
+//! ```
+//!
+//! * [`compile`] lexes, parses and lowers a source file to a
+//!   [`partita_mop::MopProgram`], carrying each function's declared
+//!   `reads`/`writes` regions as [`partita_mop::CallEffects`] so the CDFG
+//!   can find parallel code across s-calls;
+//! * [`profile`] sample-executes the compiled program on the
+//!   `partita-asip` kernel and writes the block-frequency profile back.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_frontend::compile;
+//!
+//! let src = "
+//!     xmem a[4] @ 0;
+//!     fn main() { let s = a[0] + a[1]; if (s < 10) { s = 0; } }
+//! ";
+//! let compiled = compile(src)?;
+//! assert!(compiled.program.function_by_name("main").is_some());
+//! # Ok::<(), partita_frontend::FrontendError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinOp, Expr, FnDecl, Program, RegionDecl, RegionSpace, Stmt, UnOp};
+pub use error::FrontendError;
+pub use lexer::{tokenize, Token, TokenKind};
+pub use lower::{compile, profile, CompiledProgram};
+pub use parser::parse;

@@ -1,0 +1,614 @@
+//! Lowering Partita-C to MOP lists, and profiling by sample execution.
+
+use std::collections::BTreeMap;
+
+use partita_asip::{ExecError, ExecOptions, ExecReport, Executor, Kernel};
+use partita_mop::{
+    AluOp, BlockId, CallEffects, CdfgOptions, FuncId, Function, MemRegion, MemSpace, Mop,
+    MopId, MopProgram, Operand, Reg,
+};
+
+use crate::ast::{BinOp, Expr, FnDecl, Program, RegionDecl, RegionSpace, Stmt, UnOp};
+use crate::{parse, FrontendError};
+
+/// AGU pointer used for X-side array accesses.
+const AGU_X: u8 = 0;
+/// AGU pointer used for Y-side array accesses.
+const AGU_Y: u8 = 2;
+/// First register of the scratch (expression-temporary) pool.
+const SCRATCH_BASE: u8 = 10;
+/// One past the last scratch register.
+const SCRATCH_END: u8 = 16;
+
+/// The result of compiling a Partita-C source file.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The lowered program.
+    pub program: MopProgram,
+    /// The global region declarations.
+    pub regions: Vec<RegionDecl>,
+    /// Per caller function: the declared memory effects of each call MOP.
+    call_effects: BTreeMap<FuncId, BTreeMap<MopId, CallEffects>>,
+}
+
+impl CompiledProgram {
+    /// CDFG options for one function, carrying the `reads`/`writes`-derived
+    /// [`CallEffects`] of every call site in it.
+    #[must_use]
+    pub fn cdfg_options(&self, func: FuncId) -> CdfgOptions {
+        CdfgOptions {
+            call_effects: self
+                .call_effects
+                .get(&func)
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Looks up a region declaration by name.
+    #[must_use]
+    pub fn region(&self, name: &str) -> Option<&RegionDecl> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+}
+
+/// Compiles Partita-C source to a [`CompiledProgram`].
+///
+/// # Errors
+///
+/// Lexical, syntactic and lowering errors.
+pub fn compile(src: &str) -> Result<CompiledProgram, FrontendError> {
+    let ast = parse(src)?;
+    lower(&ast)
+}
+
+/// Sample-executes the compiled program with the memory contents of
+/// `kernel` as "typical input data", and writes the block-frequency profile
+/// back into the program (the paper's profiling step).
+///
+/// # Errors
+///
+/// Any execution error from the kernel simulator.
+pub fn profile(
+    compiled: &mut CompiledProgram,
+    kernel: &mut Kernel,
+    options: &ExecOptions,
+) -> Result<ExecReport, ExecError> {
+    let report = Executor::new(&compiled.program).run(kernel, options)?;
+    report.apply_profile(&mut compiled.program)?;
+    Ok(report)
+}
+
+/// Lowers a parsed program.
+///
+/// # Errors
+///
+/// [`FrontendError`] for duplicate/unknown names, shape mismatches, missing
+/// `main`, or register pressure.
+pub fn lower(ast: &Program) -> Result<CompiledProgram, FrontendError> {
+    // Check duplicates.
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &ast.regions {
+        if !seen.insert(r.name.clone()) {
+            return Err(FrontendError::Duplicate {
+                name: r.name.clone(),
+            });
+        }
+    }
+    let mut fn_ids: BTreeMap<String, FuncId> = BTreeMap::new();
+    for (i, f) in ast.functions.iter().enumerate() {
+        if seen.contains(&f.name) || fn_ids.contains_key(&f.name) {
+            return Err(FrontendError::Duplicate {
+                name: f.name.clone(),
+            });
+        }
+        fn_ids.insert(f.name.clone(), FuncId::from_index(i));
+    }
+    if !fn_ids.contains_key("main") {
+        return Err(FrontendError::NoMain);
+    }
+
+    let mut program = MopProgram::new();
+    let mut call_effects = BTreeMap::new();
+    for decl in &ast.functions {
+        let mut ctx = FnLowerer::new(decl, ast, &fn_ids)?;
+        let func = ctx.lower()?;
+        let id = program
+            .add_function(func)
+            .map_err(|_| FrontendError::Duplicate {
+                name: decl.name.clone(),
+            })?;
+        call_effects.insert(id, ctx.effects);
+    }
+    let main = fn_ids["main"];
+    program.set_main(main).expect("main id is in range");
+
+    Ok(CompiledProgram {
+        program,
+        regions: ast.regions.clone(),
+        call_effects,
+    })
+}
+
+fn region_of<'a>(ast: &'a Program, name: &str) -> Option<&'a RegionDecl> {
+    ast.regions.iter().find(|r| r.name == name)
+}
+
+fn mem_region(r: &RegionDecl) -> MemRegion {
+    let space = match r.space {
+        RegionSpace::X => MemSpace::X,
+        RegionSpace::Y => MemSpace::Y,
+    };
+    MemRegion::new(space, r.base, r.len)
+}
+
+struct FnLowerer<'a> {
+    decl: &'a FnDecl,
+    ast: &'a Program,
+    fn_ids: &'a BTreeMap<String, FuncId>,
+    func: Function,
+    block: BlockId,
+    vars: BTreeMap<String, Reg>,
+    scratch_used: [bool; (SCRATCH_END - SCRATCH_BASE) as usize],
+    effects: BTreeMap<MopId, CallEffects>,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(
+        decl: &'a FnDecl,
+        ast: &'a Program,
+        fn_ids: &'a BTreeMap<String, FuncId>,
+    ) -> Result<FnLowerer<'a>, FrontendError> {
+        let mut func = Function::new(&decl.name);
+        let block = func.add_block();
+        Ok(FnLowerer {
+            decl,
+            ast,
+            fn_ids,
+            func,
+            block,
+            vars: BTreeMap::new(),
+            scratch_used: [false; (SCRATCH_END - SCRATCH_BASE) as usize],
+            effects: BTreeMap::new(),
+        })
+    }
+
+    fn lower(&mut self) -> Result<Function, FrontendError> {
+        let body = self.decl.body.clone();
+        self.stmts(&body)?;
+        // Implicit terminator.
+        let term = if self.decl.name == "main" {
+            Mop::halt()
+        } else {
+            Mop::ret()
+        };
+        self.push(term);
+        self.func.compute_edges();
+        Ok(std::mem::replace(&mut self.func, Function::new("")))
+    }
+
+    fn push(&mut self, mop: Mop) -> MopId {
+        self.func.push_mop(self.block, mop)
+    }
+
+    fn alloc_scratch(&mut self) -> Result<Reg, FrontendError> {
+        match self.scratch_used.iter().position(|used| !used) {
+            Some(i) => {
+                self.scratch_used[i] = true;
+                Ok(Reg(SCRATCH_BASE + i as u8))
+            }
+            None => Err(FrontendError::RegisterPressure {
+                func: self.decl.name.clone(),
+            }),
+        }
+    }
+
+    fn free(&mut self, reg: Reg, is_scratch: bool) {
+        if is_scratch {
+            let i = usize::from(reg.0 - SCRATCH_BASE);
+            debug_assert!(self.scratch_used[i], "double free of scratch {reg}");
+            self.scratch_used[i] = false;
+        }
+    }
+
+    fn var(&self, name: &str) -> Result<Reg, FrontendError> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| FrontendError::UnknownIdent {
+                name: name.to_owned(),
+            })
+    }
+
+    fn define_var(&mut self, name: &str) -> Result<Reg, FrontendError> {
+        if let Some(&r) = self.vars.get(name) {
+            return Ok(r);
+        }
+        let idx = self.vars.len();
+        if idx >= usize::from(SCRATCH_BASE) {
+            return Err(FrontendError::RegisterPressure {
+                func: self.decl.name.clone(),
+            });
+        }
+        let r = Reg(idx as u8);
+        self.vars.insert(name.to_owned(), r);
+        Ok(r)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), FrontendError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
+        match stmt {
+            Stmt::Let(name, value) | Stmt::Assign(name, value) => {
+                if matches!(stmt, Stmt::Assign(..)) && !self.vars.contains_key(name) {
+                    return Err(FrontendError::UnknownIdent { name: name.clone() });
+                }
+                let (src, s) = self.expr(value)?;
+                let dst = self.define_var(name)?;
+                if src != dst {
+                    self.push(Mop::mov(dst, src));
+                }
+                self.free(src, s);
+                Ok(())
+            }
+            Stmt::Store(name, index, value) => {
+                let region = region_of(self.ast, name)
+                    .ok_or_else(|| FrontendError::UnknownIdent { name: name.clone() })?
+                    .clone();
+                let (val, vs) = self.expr(value)?;
+                let (addr, as_) = self.expr(index)?;
+                let tmp = self.alloc_scratch()?;
+                self.push(Mop::alu(
+                    AluOp::Add,
+                    tmp,
+                    addr,
+                    Operand::Imm(region.base as i32),
+                ));
+                let agu = match region.space {
+                    RegionSpace::X => AGU_X,
+                    RegionSpace::Y => AGU_Y,
+                };
+                self.push(Mop::agu_from_reg(agu, tmp));
+                match region.space {
+                    RegionSpace::X => self.push(Mop::store_x(val, agu)),
+                    RegionSpace::Y => self.push(Mop::store_y(val, agu)),
+                };
+                self.free(tmp, true);
+                self.free(addr, as_);
+                self.free(val, vs);
+                Ok(())
+            }
+            Stmt::Call(name) => {
+                let callee =
+                    self.fn_ids
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| FrontendError::UnknownFunction {
+                            name: name.clone(),
+                        })?;
+                let mop = self.push(Mop::call(callee));
+                // Record the callee's declared memory effects at this site.
+                let callee_decl = &self.ast.functions[callee.index()];
+                let mut eff = CallEffects::default();
+                for r in &callee_decl.reads {
+                    let region = region_of(self.ast, r)
+                        .ok_or_else(|| FrontendError::UnknownIdent { name: r.clone() })?;
+                    eff.reads.push(mem_region(region));
+                }
+                for w in &callee_decl.writes {
+                    let region = region_of(self.ast, w)
+                        .ok_or_else(|| FrontendError::UnknownIdent { name: w.clone() })?;
+                    eff.writes.push(mem_region(region));
+                }
+                self.effects.insert(mop, eff);
+                Ok(())
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                let (c, cs) = self.expr(cond)?;
+                let then_b = self.func.add_block();
+                let else_b = self.func.add_block();
+                let join_b = self.func.add_block();
+                self.push(Mop::branch_nz(c, then_b, else_b));
+                self.free(c, cs);
+                self.block = then_b;
+                self.stmts(then_body)?;
+                self.push(Mop::jump(join_b));
+                self.block = else_b;
+                self.stmts(else_body)?;
+                self.push(Mop::jump(join_b));
+                self.block = join_b;
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let cond_b = self.func.add_block();
+                let body_b = self.func.add_block();
+                let exit_b = self.func.add_block();
+                self.push(Mop::jump(cond_b));
+                self.block = cond_b;
+                let (c, cs) = self.expr(cond)?;
+                self.push(Mop::branch_nz(c, body_b, exit_b));
+                self.free(c, cs);
+                self.block = body_b;
+                self.stmts(body)?;
+                self.push(Mop::jump(cond_b));
+                self.block = exit_b;
+                Ok(())
+            }
+            Stmt::Return => {
+                let term = if self.decl.name == "main" {
+                    Mop::halt()
+                } else {
+                    Mop::ret()
+                };
+                self.push(term);
+                // Anything after a return lands in a fresh (unreachable) block.
+                self.block = self.func.add_block();
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers an expression; returns the result register and whether it is a
+    /// scratch register that the caller must free.
+    fn expr(&mut self, e: &Expr) -> Result<(Reg, bool), FrontendError> {
+        match e {
+            Expr::Int(v) => {
+                let r = self.alloc_scratch()?;
+                self.push(Mop::load_imm(r, *v));
+                Ok((r, true))
+            }
+            Expr::Var(name) => Ok((self.var(name)?, false)),
+            Expr::Index(name, index) => {
+                let region = region_of(self.ast, name)
+                    .ok_or_else(|| FrontendError::UnknownIdent { name: name.clone() })?
+                    .clone();
+                let (idx, is) = self.expr(index)?;
+                let addr = self.alloc_scratch()?;
+                self.push(Mop::alu(
+                    AluOp::Add,
+                    addr,
+                    idx,
+                    Operand::Imm(region.base as i32),
+                ));
+                let agu = match region.space {
+                    RegionSpace::X => AGU_X,
+                    RegionSpace::Y => AGU_Y,
+                };
+                self.push(Mop::agu_from_reg(agu, addr));
+                // Reuse the address scratch for the loaded value.
+                match region.space {
+                    RegionSpace::X => self.push(Mop::load_x(addr, agu)),
+                    RegionSpace::Y => self.push(Mop::load_y(addr, agu)),
+                };
+                self.free(idx, is);
+                // `addr` now holds the value; it remains allocated... but it
+                // was allocated after idx, so the out-of-order free above is
+                // only safe because we free idx *after* addr stays live.
+                Ok((addr, true))
+            }
+            Expr::Un(op, inner) => {
+                let (x, xs) = self.expr(inner)?;
+                let r = self.alloc_scratch()?;
+                match op {
+                    UnOp::Neg => self.push(Mop::alu(AluOp::Sub, r, Operand::Imm(0), x)),
+                    UnOp::Not => self.push(Mop::alu(AluOp::CmpEq, r, x, Operand::Imm(0))),
+                };
+                self.free(x, xs);
+                Ok((r, true))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let (a, asc) = self.expr(lhs)?;
+                let (b, bsc) = self.expr(rhs)?;
+                let (alu, swap, negate) = match op {
+                    BinOp::Add => (AluOp::Add, false, false),
+                    BinOp::Sub => (AluOp::Sub, false, false),
+                    BinOp::Mul => (AluOp::Mul, false, false),
+                    BinOp::Div => (AluOp::Div, false, false),
+                    BinOp::Rem => (AluOp::Rem, false, false),
+                    BinOp::And | BinOp::LogicAnd => (AluOp::And, false, false),
+                    BinOp::Or | BinOp::LogicOr => (AluOp::Or, false, false),
+                    BinOp::Xor => (AluOp::Xor, false, false),
+                    BinOp::Shl => (AluOp::Shl, false, false),
+                    BinOp::Shr => (AluOp::Shr, false, false),
+                    BinOp::Eq => (AluOp::CmpEq, false, false),
+                    BinOp::Ne => (AluOp::CmpEq, false, true),
+                    BinOp::Lt => (AluOp::CmpLt, false, false),
+                    BinOp::Ge => (AluOp::CmpLt, false, true),
+                    BinOp::Gt => (AluOp::CmpLt, true, false),
+                    BinOp::Le => (AluOp::CmpLt, true, true),
+                };
+                // Normalise logical operands to 0/1 first.
+                let (a, asc, b, bsc) = if matches!(op, BinOp::LogicAnd | BinOp::LogicOr) {
+                    let na = self.normalise_bool(a, asc)?;
+                    let nb = self.normalise_bool(b, bsc)?;
+                    (na, true, nb, true)
+                } else {
+                    (a, asc, b, bsc)
+                };
+                let (x, y) = if swap { (b, a) } else { (a, b) };
+                // Free operands, then allocate the result (the ALU reads its
+                // operands before writing, so aliasing the result register
+                // with a freed operand slot is safe).
+                self.free(b, bsc);
+                self.free(a, asc);
+                let r = self.alloc_scratch()?;
+                self.push(Mop::alu(alu, r, x, y));
+                if negate {
+                    self.push(Mop::alu(AluOp::Xor, r, r, Operand::Imm(1)));
+                }
+                Ok((r, true))
+            }
+        }
+    }
+
+    /// Produces `1` if the register is non-zero, `0` otherwise, in a fresh
+    /// scratch register, freeing the input.
+    fn normalise_bool(&mut self, r: Reg, is_scratch: bool) -> Result<Reg, FrontendError> {
+        let out = self.alloc_scratch()?;
+        self.push(Mop::alu(AluOp::CmpEq, out, r, Operand::Imm(0)));
+        self.push(Mop::alu(AluOp::Xor, out, out, Operand::Imm(1)));
+        self.free(r, is_scratch);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_asip::{CycleModel, ExecOptions};
+
+    fn run(src: &str) -> (CompiledProgram, Kernel) {
+        let mut compiled = compile(src).expect("compiles");
+        let mut kernel = Kernel::new(256, 256);
+        let opts = ExecOptions {
+            cycle_model: CycleModel::PerMop,
+            ..ExecOptions::default()
+        };
+        profile(&mut compiled, &mut kernel, &opts).expect("executes");
+        (compiled, kernel)
+    }
+
+    #[test]
+    fn arithmetic_to_memory() {
+        let (_, kernel) = run("xmem out[4] @ 0; fn main() { out[0] = 2 + 3 * 4; out[1] = (2 + 3) * 4; }");
+        assert_eq!(kernel.xdm.read(0).unwrap(), 14);
+        assert_eq!(kernel.xdm.read(1).unwrap(), 20);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let (_, kernel) = run(
+            "ymem out[8] @ 0; fn main() {
+                out[0] = 1 < 2; out[1] = 2 <= 2; out[2] = 3 > 4; out[3] = 3 >= 4;
+                out[4] = 5 == 5; out[5] = 5 != 5; out[6] = 1 && 0; out[7] = 2 || 0;
+            }",
+        );
+        let got = kernel.ydm.dump(0, 8).unwrap();
+        assert_eq!(got, vec![1, 1, 0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        let (_, kernel) = run(
+            "xmem o[4] @ 0; fn main() {
+                o[0] = 17 / 5; o[1] = 17 % 5; o[2] = -17 / 5; o[3] = 7 / 0;
+            }",
+        );
+        assert_eq!(kernel.xdm.dump(0, 4).unwrap(), vec![3, 2, -3, 0]);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let (_, kernel) = run("xmem o[2] @ 0; fn main() { o[0] = -7; o[1] = !0 + !9; }");
+        assert_eq!(kernel.xdm.read(0).unwrap(), -7);
+        assert_eq!(kernel.xdm.read(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let (_, kernel) = run(
+            "xmem data[8] @ 0; ymem out[1] @ 0;
+             fn main() {
+                 let i = 0;
+                 while (i < 8) { data[i] = i * i; i = i + 1; }
+                 let acc = 0; i = 0;
+                 while (i < 8) { acc = acc + data[i]; i = i + 1; }
+                 out[0] = acc;
+             }",
+        );
+        assert_eq!(kernel.ydm.read(0).unwrap(), (0..8).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let (_, kernel) = run(
+            "xmem o[2] @ 0; fn main() {
+                if (1 < 2) { o[0] = 10; } else { o[0] = 20; }
+                if (2 < 1) { o[1] = 10; } else { o[1] = 20; }
+            }",
+        );
+        assert_eq!(kernel.xdm.dump(0, 2).unwrap(), vec![10, 20]);
+    }
+
+    #[test]
+    fn calls_with_effects() {
+        let src = "xmem a[4] @ 0; ymem b[4] @ 0;
+            fn fill() writes a { let i = 0; while (i < 4) { a[i] = i + 1; i = i + 1; } }
+            fn copy() reads a writes b { let i = 0; while (i < 4) { b[i] = a[i]; i = i + 1; } }
+            fn main() { fill(); copy(); }";
+        let (compiled, kernel) = run(src);
+        assert_eq!(kernel.ydm.dump(0, 4).unwrap(), vec![1, 2, 3, 4]);
+        // Call effects were recorded for main's two calls.
+        let main = compiled.program.function_by_name("main").unwrap();
+        let opts = compiled.cdfg_options(main);
+        assert_eq!(opts.call_effects.len(), 2);
+        let effs: Vec<_> = opts.call_effects.values().collect();
+        assert!(effs[0].reads.is_empty());
+        assert_eq!(effs[1].reads.len(), 1);
+    }
+
+    #[test]
+    fn profile_counts_loop_blocks() {
+        let (compiled, _) = run(
+            "xmem d[1] @ 0; fn main() { let i = 0; while (i < 5) { d[0] = i; i = i + 1; } }",
+        );
+        let main = compiled.program.function_by_name("main").unwrap();
+        let f = compiled.program.function(main).unwrap();
+        // Some block ran exactly 5 times (the loop body).
+        assert!(f.blocks().iter().any(|b| b.exec_count() == 5));
+    }
+
+    #[test]
+    fn early_return() {
+        let (_, kernel) = run(
+            "xmem o[1] @ 0;
+             fn f() writes o { o[0] = 1; return; }
+             fn main() { f(); if (o[0] == 1) { o[0] = 42; } }",
+        );
+        assert_eq!(kernel.xdm.read(0).unwrap(), 42);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(compile("fn f() { }"), Err(FrontendError::NoMain)));
+        assert!(matches!(
+            compile("fn main() { g(); }"),
+            Err(FrontendError::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            compile("fn main() { x = 1; }"),
+            Err(FrontendError::UnknownIdent { .. })
+        ));
+        assert!(matches!(
+            compile("fn main() { } fn main() { }"),
+            Err(FrontendError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            compile("xmem a[1] @ 0; xmem a[1] @ 2; fn main() { }"),
+            Err(FrontendError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowing_regions_by_scalars_is_rejected() {
+        assert!(matches!(
+            compile("xmem a[1] @ 0; fn a() { } fn main() { }"),
+            Err(FrontendError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_expressions_hit_register_pressure() {
+        // 8 nested additions of literals exceed the 6-deep scratch pool.
+        let src = "fn main() { let x = 1 + (1 + (1 + (1 + (1 + (1 + (1 + (1 + 1))))))); }";
+        assert!(matches!(
+            compile(src),
+            Err(FrontendError::RegisterPressure { .. })
+        ));
+    }
+}

@@ -1,0 +1,391 @@
+//! Recursive-descent parser for Partita-C.
+
+use crate::ast::{BinOp, Expr, FnDecl, Program, RegionDecl, RegionSpace, Stmt, UnOp};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::FrontendError;
+
+/// Parses a Partita-C source file.
+///
+/// # Errors
+///
+/// Lexical and syntactic errors with line positions.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let tokens = tokenize(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<TokenKind, FrontendError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or(FrontendError::UnexpectedEof { expected })?;
+        self.pos += 1;
+        Ok(t.kind.clone())
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &'static str) -> Result<(), FrontendError> {
+        let line = self.line();
+        let t = self.next(expected)?;
+        if &t == kind {
+            Ok(())
+        } else {
+            Err(FrontendError::UnexpectedToken {
+                found: t.to_string(),
+                expected,
+                line,
+            })
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String, FrontendError> {
+        let line = self.line();
+        match self.next(expected)? {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(FrontendError::UnexpectedToken {
+                found: other.to_string(),
+                expected,
+                line,
+            }),
+        }
+    }
+
+    fn int(&mut self, expected: &'static str) -> Result<i32, FrontendError> {
+        let line = self.line();
+        match self.next(expected)? {
+            TokenKind::Int(v) => Ok(v),
+            other => Err(FrontendError::UnexpectedToken {
+                found: other.to_string(),
+                expected,
+                line,
+            }),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, FrontendError> {
+        let mut p = Program::default();
+        while let Some(kind) = self.peek() {
+            match kind {
+                TokenKind::Xmem | TokenKind::Ymem => {
+                    let space = if matches!(kind, TokenKind::Xmem) {
+                        RegionSpace::X
+                    } else {
+                        RegionSpace::Y
+                    };
+                    self.pos += 1;
+                    p.regions.push(self.region(space)?);
+                }
+                TokenKind::Fn => {
+                    self.pos += 1;
+                    p.functions.push(self.function()?);
+                }
+                other => {
+                    return Err(FrontendError::UnexpectedToken {
+                        found: other.to_string(),
+                        expected: "`fn`, `xmem` or `ymem`",
+                        line: self.line(),
+                    })
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    fn region(&mut self, space: RegionSpace) -> Result<RegionDecl, FrontendError> {
+        let name = self.ident("region name")?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let len = self.int("region length")?;
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        self.expect(&TokenKind::At, "`@`")?;
+        let base = self.int("region base address")?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(RegionDecl {
+            name,
+            space,
+            len: len.max(0) as u32,
+            base: base.max(0) as u32,
+        })
+    }
+
+    fn function(&mut self) -> Result<FnDecl, FrontendError> {
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Reads) {
+                reads.push(self.ident("region name after `reads`")?);
+                while self.eat(&TokenKind::Comma) {
+                    reads.push(self.ident("region name")?);
+                }
+            } else if self.eat(&TokenKind::Writes) {
+                writes.push(self.ident("region name after `writes`")?);
+                while self.eat(&TokenKind::Comma) {
+                    writes.push(self.ident("region name")?);
+                }
+            } else {
+                break;
+            }
+        }
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            reads,
+            writes,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&TokenKind::RBrace) {
+            if self.peek().is_none() {
+                return Err(FrontendError::UnexpectedEof { expected: "`}`" });
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek() {
+            Some(TokenKind::Let) => {
+                self.pos += 1;
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let(name, value))
+            }
+            Some(TokenKind::If) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let then = self.block()?;
+                let els = if self.eat(&TokenKind::Else) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(TokenKind::While) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(TokenKind::Return) => {
+                self.pos += 1;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Return)
+            }
+            _ => {
+                let name = self.ident("statement")?;
+                match self.peek() {
+                    Some(TokenKind::LParen) => {
+                        self.pos += 1;
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        self.expect(&TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Call(name))
+                    }
+                    Some(TokenKind::LBracket) => {
+                        self.pos += 1;
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket, "`]`")?;
+                        self.expect(&TokenKind::Assign, "`=`")?;
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Store(name, index, value))
+                    }
+                    Some(TokenKind::Assign) => {
+                        self.pos += 1;
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Assign(name, value))
+                    }
+                    other => Err(FrontendError::UnexpectedToken {
+                        found: other.map_or("end of input".to_owned(), ToString::to_string),
+                        expected: "`(`, `[` or `=`",
+                        line: self.line(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Precedence-climbing expression parser.
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary()?;
+        while let Some(kind) = self.peek() {
+            let (op, prec) = match kind {
+                TokenKind::OrOr => (BinOp::LogicOr, 1),
+                TokenKind::AndAnd => (BinOp::LogicAnd, 2),
+                TokenKind::Pipe => (BinOp::Or, 3),
+                TokenKind::Caret => (BinOp::Xor, 4),
+                TokenKind::Amp => (BinOp::And, 5),
+                TokenKind::EqEq => (BinOp::Eq, 6),
+                TokenKind::NotEq => (BinOp::Ne, 6),
+                TokenKind::Lt => (BinOp::Lt, 7),
+                TokenKind::Le => (BinOp::Le, 7),
+                TokenKind::Gt => (BinOp::Gt, 7),
+                TokenKind::Ge => (BinOp::Ge, 7),
+                TokenKind::Shl => (BinOp::Shl, 8),
+                TokenKind::Shr => (BinOp::Shr, 8),
+                TokenKind::Plus => (BinOp::Add, 9),
+                TokenKind::Minus => (BinOp::Sub, 9),
+                TokenKind::Star => (BinOp::Mul, 10),
+                TokenKind::Slash => (BinOp::Div, 10),
+                TokenKind::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek() {
+            Some(TokenKind::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(TokenKind::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        let line = self.line();
+        match self.next("expression")? {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(FrontendError::UnexpectedToken {
+                found: other.to_string(),
+                expected: "expression",
+                line,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_regions_and_functions() {
+        let p = parse(
+            "xmem a[16] @ 0; ymem b[8] @ 4;\n fn main() { a[0] = 1; }",
+        )
+        .unwrap();
+        assert_eq!(p.regions.len(), 2);
+        assert_eq!(p.regions[0].space, RegionSpace::X);
+        assert_eq!(p.regions[1].base, 4);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn effect_clauses() {
+        let p = parse("xmem a[4] @ 0; fn f() reads a writes a { }").unwrap();
+        assert_eq!(p.functions[0].reads, vec!["a"]);
+        assert_eq!(p.functions[0].writes, vec!["a"]);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Let(_, Expr::Bin(BinOp::Add, _, rhs)) = &p.functions[0].body[0] else {
+            panic!("expected let with addition");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn control_flow_and_calls() {
+        let p = parse(
+            "fn f() { }\n fn main() { if (1 < 2) { f(); } else { return; } while (0) { } }",
+        )
+        .unwrap();
+        assert!(matches!(p.functions[1].body[0], Stmt::If(..)));
+        assert!(matches!(p.functions[1].body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse("fn main() { let x = -1 + !0; }").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Let(..)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("fn main() {\n let = 3; }").unwrap_err();
+        assert!(matches!(
+            err,
+            FrontendError::UnexpectedToken { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse("fn main() {"),
+            Err(FrontendError::UnexpectedEof { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Brute-force reference solver for validation.
+
+use crate::simplex::{solve_with_bounds, SimplexOptions};
+use crate::{IlpError, IlpSolution, Model, Sense, VarId, VarKind};
+
+/// Maximum number of binaries the exhaustive solver accepts.
+pub const MAX_EXHAUSTIVE_BINARIES: usize = 24;
+
+/// Solves `model` by enumerating every assignment of its binary variables.
+///
+/// Pure-binary models are checked directly; models with continuous variables
+/// solve an LP per assignment. This is the oracle that the property-test
+/// suite compares [`crate::BranchBound`] against.
+///
+/// # Errors
+///
+/// [`IlpError::TooManyBinaries`] for more than
+/// [`MAX_EXHAUSTIVE_BINARIES`] binaries, [`IlpError::Infeasible`] when no
+/// assignment is feasible.
+pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
+    let binaries = model.binary_vars();
+    if binaries.len() > MAX_EXHAUSTIVE_BINARIES {
+        return Err(IlpError::TooManyBinaries {
+            count: binaries.len(),
+            max: MAX_EXHAUSTIVE_BINARIES,
+        });
+    }
+    let n = model.num_vars();
+    let pure_binary = (0..n).all(|i| {
+        model
+            .var_kind(VarId(i))
+            .map(|k| k == VarKind::Binary)
+            .unwrap_or(false)
+    });
+    let minimize = model.sense() == Sense::Minimize;
+    let norm = |obj: f64| if minimize { obj } else { -obj };
+
+    let mut best: Option<IlpSolution> = None;
+    let mut best_score = f64::INFINITY;
+    let mut assignments_checked = 0usize;
+
+    // Counts assignments (not an index): reported as `nodes_explored`.
+    #[allow(clippy::explicit_counter_loop)]
+    for mask in 0u64..(1u64 << binaries.len()) {
+        assignments_checked += 1;
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for i in 0..n {
+            let (l, u) = model.var_bounds(VarId(i)).expect("var exists");
+            lower.push(l);
+            upper.push(u);
+        }
+        for (bit, &v) in binaries.iter().enumerate() {
+            let val = if mask & (1 << bit) != 0 { 1.0 } else { 0.0 };
+            lower[v.index()] = val;
+            upper[v.index()] = val;
+        }
+
+        let candidate = if pure_binary {
+            let values = lower.clone();
+            if model.is_feasible(&values, 1e-7) {
+                Some((model.objective().eval(&values), values))
+            } else {
+                None
+            }
+        } else {
+            match solve_with_bounds(model, &lower, &upper, SimplexOptions::default()) {
+                Ok(lp) => Some((lp.objective, lp.values)),
+                Err(IlpError::Infeasible) => None,
+                Err(e) => return Err(e),
+            }
+        };
+
+        if let Some((objective, values)) = candidate {
+            let score = norm(objective);
+            if score < best_score {
+                best_score = score;
+                best = Some(IlpSolution {
+                    objective,
+                    values,
+                    nodes_explored: assignments_checked,
+                });
+            }
+        }
+    }
+
+    best.ok_or(IlpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchBound, Relation};
+
+    #[test]
+    fn matches_branch_bound_on_knapsack() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective([(a, 6.0), (b, 5.0), (c, 4.0)]);
+        m.add_constraint([(a, 5.0), (b, 4.0), (c, 3.0)], Relation::Le, 8.0)
+            .unwrap();
+        let e = solve_binary_exhaustive(&m).unwrap();
+        let bb = BranchBound::new().solve(&m).unwrap();
+        assert!((e.objective - bb.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_many_binaries_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        for i in 0..30 {
+            m.add_binary(format!("x{i}"));
+        }
+        assert!(matches!(
+            solve_binary_exhaustive(&m),
+            Err(IlpError::TooManyBinaries { count: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        m.add_constraint([(a, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(solve_binary_exhaustive(&m), Err(IlpError::Infeasible));
+    }
+
+    #[test]
+    fn mixed_model_uses_lp_per_assignment() {
+        let mut m = Model::new(Sense::Minimize);
+        let z = m.add_binary("z");
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective([(z, 10.0), (y, 1.0)]);
+        m.add_constraint([(y, 1.0), (z, 5.0)], Relation::Ge, 3.0)
+            .unwrap();
+        let s = solve_binary_exhaustive(&m).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,53 @@
+//! 0/1 integer linear programming for the Partita S-instruction selector.
+//!
+//! The DAC'99 paper formulates optimal IP/interface selection as an ILP
+//! (§4.1) and uses the *fixed charge problem* linearization of Taha's
+//! textbook for the IP-area indicator variables. This crate provides the
+//! whole stack, built from scratch:
+//!
+//! * [`Model`] — variables (continuous / binary), linear constraints and a
+//!   linear objective;
+//! * [`simplex`] — a dense two-phase primal simplex for LP relaxations;
+//! * [`BranchBound`] — best-first branch-and-bound over the LP relaxation;
+//! * [`fixed_charge`] — the `Σ s·x ≤ M·z` linearization helper used for the
+//!   "IP area counted once" objective term;
+//! * [`solve_binary_exhaustive`] — a brute-force reference solver used by
+//!   the property-test suite to validate branch-and-bound.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_ilp::{Model, Relation, Sense, BranchBound};
+//!
+//! # fn main() -> Result<(), partita_ilp::IlpError> {
+//! // Minimise 3a + 2b subject to a + b >= 1 (a, b binary).
+//! let mut m = Model::new(Sense::Minimize);
+//! let a = m.add_binary("a");
+//! let b = m.add_binary("b");
+//! m.set_objective([(a, 3.0), (b, 2.0)]);
+//! m.add_constraint([(a, 1.0), (b, 1.0)], Relation::Ge, 1.0)?;
+//! let sol = BranchBound::new().solve(&m)?;
+//! assert_eq!(sol.objective.round() as i64, 2);
+//! assert_eq!(sol.value(b).round() as i64, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod exhaustive;
+mod expr;
+pub mod fixed_charge;
+mod model;
+pub mod simplex;
+mod solution;
+
+pub use branch_bound::{BranchBound, BranchBoundStats};
+pub use error::IlpError;
+pub use exhaustive::{solve_binary_exhaustive, MAX_EXHAUSTIVE_BINARIES};
+pub use expr::LinExpr;
+pub use model::{Model, Relation, Sense, VarId, VarKind};
+pub use solution::{IlpSolution, LpSolution};

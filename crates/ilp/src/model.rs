@@ -1,0 +1,421 @@
+//! Optimisation model: variables, constraints, objective.
+
+use std::fmt;
+
+use crate::{IlpError, LinExpr};
+
+/// Identifier of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Continuous in `[lower, upper]`.
+    Continuous,
+    /// Binary (`{0, 1}`).
+    Binary,
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ rhs`.
+    Le,
+    /// `expr ≥ rhs`.
+    Ge,
+    /// `expr = rhs`.
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+}
+
+/// A linear constraint `expr (≤|≥|=) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDef {
+    /// Left-hand side expression (constant folded into `rhs`).
+    pub expr: LinExpr,
+    /// Relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional label for diagnostics.
+    pub label: Option<String>,
+}
+
+/// A mixed binary/continuous linear model.
+///
+/// # Example
+///
+/// ```
+/// use partita_ilp::{Model, Sense, Relation};
+/// # fn main() -> Result<(), partita_ilp::IlpError> {
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_binary("x");
+/// m.set_objective([(x, 1.0)]);
+/// m.add_constraint([(x, 1.0)], Relation::Ge, 1.0)?;
+/// assert_eq!(m.num_vars(), 1);
+/// assert_eq!(m.num_constraints(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    sense: Sense,
+    vars: Vec<VarDef>,
+    constraints: Vec<ConstraintDef>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimisation sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Model {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
+    }
+
+    /// Optimisation sense.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a binary variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind: VarKind::Binary,
+            lower: 0.0,
+            upper: 1.0,
+        });
+        id
+    }
+
+    /// Adds a continuous variable bounded to `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        assert!(
+            !lower.is_nan() && !upper.is_nan() && lower <= upper,
+            "invalid bounds [{lower}, {upper}]"
+        );
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind: VarKind::Continuous,
+            lower,
+            upper,
+        });
+        id
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for out-of-range ids.
+    pub fn var_kind(&self, var: VarId) -> Result<VarKind, IlpError> {
+        self.vars
+            .get(var.index())
+            .map(|v| v.kind)
+            .ok_or(IlpError::UnknownVariable(var))
+    }
+
+    /// Variable name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for out-of-range ids.
+    pub fn var_name(&self, var: VarId) -> Result<&str, IlpError> {
+        self.vars
+            .get(var.index())
+            .map(|v| v.name.as_str())
+            .ok_or(IlpError::UnknownVariable(var))
+    }
+
+    /// Variable bounds `(lower, upper)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for out-of-range ids.
+    pub fn var_bounds(&self, var: VarId) -> Result<(f64, f64), IlpError> {
+        self.vars
+            .get(var.index())
+            .map(|v| (v.lower, v.upper))
+            .ok_or(IlpError::UnknownVariable(var))
+    }
+
+    /// Ids of all binary variables.
+    #[must_use]
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Sets the objective expression.
+    pub fn set_objective(&mut self, terms: impl IntoIterator<Item = (VarId, f64)>) {
+        self.objective = terms.into_iter().collect();
+    }
+
+    /// Sets the objective from a prebuilt expression.
+    pub fn set_objective_expr(&mut self, expr: LinExpr) {
+        self.objective = expr;
+    }
+
+    /// The objective expression.
+    #[must_use]
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Adds a constraint `Σ terms (≤|≥|=) rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] if a term references a missing
+    /// variable, or [`IlpError::NonFiniteCoefficient`] for NaN/∞ data.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), IlpError> {
+        self.add_labeled_constraint(terms, relation, rhs, None::<String>)
+    }
+
+    /// Adds a constraint with a diagnostic label.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::add_constraint`].
+    pub fn add_labeled_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+        label: Option<impl Into<String>>,
+    ) -> Result<(), IlpError> {
+        let expr: LinExpr = terms.into_iter().collect();
+        for (v, c) in expr.terms() {
+            if v.index() >= self.vars.len() {
+                return Err(IlpError::UnknownVariable(v));
+            }
+            if !c.is_finite() {
+                return Err(IlpError::NonFiniteCoefficient {
+                    context: "constraint",
+                    value: c,
+                });
+            }
+        }
+        if !rhs.is_finite() {
+            return Err(IlpError::NonFiniteCoefficient {
+                context: "constraint rhs",
+                value: rhs,
+            });
+        }
+        self.constraints.push(ConstraintDef {
+            expr,
+            relation,
+            rhs,
+            label: label.map(Into::into),
+        });
+        Ok(())
+    }
+
+    /// All constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[ConstraintDef] {
+        &self.constraints
+    }
+
+    /// Checks a full assignment against every constraint and the variable
+    /// domains, within tolerance `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, def) in values.iter().zip(&self.vars) {
+            if *v < def.lower - tol || *v > def.upper + tol {
+                return false;
+            }
+            if def.kind == VarKind::Binary && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+impl fmt::Display for Model {
+    /// Renders the model in an LP-like text format for debugging:
+    ///
+    /// ```text
+    /// minimize 3 x0 + 2 x1
+    /// s.t.
+    ///   c0: 1 x0 + 1 x1 >= 1
+    /// binaries: x0 x1
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sense = match self.sense {
+            Sense::Minimize => "minimize",
+            Sense::Maximize => "maximize",
+        };
+        writeln!(f, "{sense} {}", self.objective)?;
+        writeln!(f, "s.t.")?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            let label = c.label.as_deref().unwrap_or("");
+            writeln!(f, "  c{i}{}{label}: {} {} {}",
+                if label.is_empty() { "" } else { ":" },
+                c.expr, c.relation, c.rhs)?;
+        }
+        let binaries: Vec<String> = self
+            .binary_vars()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        if !binaries.is_empty() {
+            writeln!(f, "binaries: {}", binaries.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_variable_in_constraint_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        let err = m
+            .add_constraint([(VarId(3), 1.0)], Relation::Le, 1.0)
+            .unwrap_err();
+        assert_eq!(err, IlpError::UnknownVariable(VarId(3)));
+    }
+
+    #[test]
+    fn nan_rhs_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        assert!(matches!(
+            m.add_constraint([(x, 1.0)], Relation::Le, f64::NAN),
+            Err(IlpError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_checks_domains() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        m.add_constraint([(x, 1.0)], Relation::Le, 1.0).unwrap();
+        assert!(m.is_feasible(&[1.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5], 1e-9)); // not integral
+        assert!(!m.is_feasible(&[2.0], 1e-9)); // out of bounds
+        assert!(!m.is_feasible(&[], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn binary_vars_listed() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let _c = m.add_continuous("c", 0.0, 5.0);
+        let b = m.add_binary("b");
+        assert_eq!(m.binary_vars(), vec![a, b]);
+        assert_eq!(m.var_kind(a).unwrap(), VarKind::Binary);
+        assert_eq!(m.var_name(b).unwrap(), "b");
+        assert_eq!(m.var_bounds(_c).unwrap(), (0.0, 5.0));
+    }
+
+    #[test]
+    fn display_renders_lp_format() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_labeled_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0, Some("cover"))
+            .unwrap();
+        let text = m.to_string();
+        assert!(text.starts_with("minimize"));
+        assert!(text.contains(">= 1"));
+        assert!(text.contains("cover"));
+        assert!(text.contains("binaries: x0 x1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn bad_bounds_panic() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_continuous("c", 2.0, 1.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves the LP relaxation of a [`Model`] with per-variable bound overrides
+//! (used by branch-and-bound to fix binaries). The implementation is a
+//! textbook tableau simplex with Bland's anti-cycling rule:
+//!
+//! 1. shift every variable by its lower bound so all variables are ≥ 0,
+//! 2. add explicit rows for finite upper bounds,
+//! 3. convert to equalities with slack/surplus columns, normalise `b ≥ 0`,
+//! 4. phase 1 minimises the sum of one artificial per row,
+//! 5. phase 2 minimises the (sense-normalised) objective.
+//!
+//! Problem sizes in this repository are small (≲ 100 structural variables,
+//! ≲ 300 rows), so a dense tableau is the right tool.
+
+// The tableau code intentionally uses explicit row/column indices: the
+// simplex pivots read much closer to the textbook presentation that way.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+use crate::{IlpError, LpSolution, Model, Relation, Sense};
+
+const EPS: f64 = 1e-10;
+
+/// Options for the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplexOptions {
+    /// Hard cap on pivots across both phases.
+    pub max_iterations: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 50_000,
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` with the model's own bounds.
+///
+/// # Errors
+///
+/// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
+/// [`IlpError::IterationLimit`].
+pub fn solve_relaxation(model: &Model, options: SimplexOptions) -> Result<LpSolution, IlpError> {
+    let n = model.num_vars();
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for i in 0..n {
+        let (l, u) = model
+            .var_bounds(crate::VarId(i))
+            .expect("index within num_vars");
+        lower.push(l);
+        upper.push(u);
+    }
+    solve_with_bounds(model, &lower, &upper, options)
+}
+
+/// Solves the LP relaxation with overridden variable bounds.
+///
+/// # Errors
+///
+/// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
+/// [`IlpError::IterationLimit`]. Also infeasible when `lower > upper` for
+/// any variable.
+pub fn solve_with_bounds(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    options: SimplexOptions,
+) -> Result<LpSolution, IlpError> {
+    let n = model.num_vars();
+    assert_eq!(lower.len(), n, "lower bounds arity");
+    assert_eq!(upper.len(), n, "upper bounds arity");
+    for i in 0..n {
+        if lower[i] > upper[i] + EPS {
+            return Err(IlpError::Infeasible);
+        }
+    }
+
+    // Eliminate fixed variables (lb == ub): branch-and-bound pins binaries
+    // this way, and dropping their columns (and bound rows) keeps the
+    // tableau small deep in the search tree.
+    let fixed: Vec<bool> = (0..n).map(|i| upper[i] - lower[i] <= EPS).collect();
+    if fixed.iter().any(|&f| f) && !fixed.iter().all(|&f| f) {
+        return solve_reduced(model, lower, upper, &fixed, options);
+    }
+    if fixed.iter().all(|&f| f) && n > 0 {
+        // Everything pinned: just evaluate feasibility.
+        let values: Vec<f64> = lower.to_vec();
+        if !feasible_point(model, &values) {
+            return Err(IlpError::Infeasible);
+        }
+        return Ok(LpSolution {
+            objective: model.objective().eval(&values),
+            values,
+        });
+    }
+
+    // Row data in shifted space y = x - lower.
+    struct Row {
+        coeffs: Vec<f64>, // length n
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in model.constraints() {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for (v, k) in c.expr.terms() {
+            coeffs[v.index()] = k;
+            shift += k * lower[v.index()];
+        }
+        rows.push(Row {
+            coeffs,
+            relation: c.relation,
+            rhs: c.rhs - c.expr.constant() - shift,
+        });
+    }
+    // Upper-bound rows y_i <= u_i - l_i (skip infinite and zero-width ==
+    // zero-width still needs the row to pin y at 0 ... width 0 gives y<=0
+    // which with y>=0 fixes it; keep it).
+    for i in 0..n {
+        let width = upper[i] - lower[i];
+        if width.is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                relation: Relation::Le,
+                rhs: width,
+            });
+        }
+    }
+
+    let m = rows.len();
+    // Normalise every row to rhs >= 0 and decide its initial basis column:
+    // a `<=` row whose slack keeps coefficient +1 starts basic on its slack
+    // (no artificial needed); `>=`/`=`/negated rows get an artificial.
+    // Columns: n structural + m slack/surplus + one artificial per row that
+    // needs one + 1 rhs.
+    let slack0 = n;
+    let needs_artificial: Vec<bool> = rows
+        .iter()
+        .map(|row| {
+            let negated = row.rhs < 0.0;
+            match row.relation {
+                Relation::Le => negated,
+                Relation::Ge => !negated,
+                Relation::Eq => true,
+            }
+        })
+        .collect();
+    let art0 = n + m;
+    let n_art = needs_artificial.iter().filter(|&&b| b).count();
+    let width = n + m + n_art + 1;
+    let rhs_col = width - 1;
+    let mut t = vec![vec![0.0; width]; m + 1]; // last row = objective
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+
+    let mut next_art = art0;
+    for (r, row) in rows.iter().enumerate() {
+        let mut sign = 1.0;
+        let mut rhs = row.rhs;
+        if rhs < 0.0 {
+            sign = -1.0;
+            rhs = -rhs;
+        }
+        for (j, &c) in row.coeffs.iter().enumerate() {
+            t[r][j] = sign * c;
+        }
+        match row.relation {
+            Relation::Le => t[r][slack0 + r] = sign,
+            Relation::Ge => t[r][slack0 + r] = -sign,
+            Relation::Eq => {}
+        }
+        t[r][rhs_col] = rhs;
+        if needs_artificial[r] {
+            t[r][next_art] = 1.0;
+            basis[r] = next_art;
+            next_art += 1;
+        } else {
+            basis[r] = slack0 + r;
+        }
+    }
+    debug_assert_eq!(next_art, art0 + n_art);
+
+    let mut iters = 0usize;
+    if n_art > 0 {
+        // Phase 1: minimise the sum of artificials. The objective row holds
+        // reduced costs; price out the artificial basis rows.
+        for j in 0..width {
+            t[m][j] = 0.0;
+        }
+        for a in art0..art0 + n_art {
+            t[m][a] = 1.0;
+        }
+        for r in 0..m {
+            if basis[r] >= art0 {
+                for j in 0..width {
+                    t[m][j] -= t[r][j];
+                }
+            }
+        }
+        run_simplex(&mut t, &mut basis, m, art0, rhs_col, &mut iters, options)?;
+        let phase1 = -t[m][rhs_col];
+        if phase1 > 1e-6 {
+            return Err(IlpError::Infeasible);
+        }
+    }
+
+    // Drive artificials out of the basis where possible; drop redundant rows
+    // by leaving them (their rhs is 0 and artificial stays basic at 0 — we
+    // forbid artificials from re-entering in phase 2 instead of removing).
+    for r in 0..m {
+        if basis[r] >= art0 && t[r][rhs_col].abs() <= 1e-7 {
+            if let Some(j) = (0..art0).find(|&j| t[r][j].abs() > 1e-7) {
+                pivot(&mut t, &mut basis, r, j, rhs_col);
+            }
+        }
+    }
+
+    // Phase 2 objective.
+    let minimize = model.sense() == Sense::Minimize;
+    let mut cost = vec![0.0; width];
+    for (v, c) in model.objective().terms() {
+        cost[v.index()] = if minimize { c } else { -c };
+    }
+    for j in 0..width {
+        t[m][j] = cost[j];
+    }
+    t[m][rhs_col] = 0.0;
+    // Price out current basis.
+    for r in 0..m {
+        let cb = cost[basis[r]];
+        if cb != 0.0 {
+            for j in 0..width {
+                t[m][j] -= cb * t[r][j];
+            }
+        }
+    }
+
+    run_simplex(&mut t, &mut basis, m, art0, rhs_col, &mut iters, options)?;
+
+    // Extract y values, translate back to x.
+    let mut y = vec![0.0; n];
+    for r in 0..m {
+        if basis[r] < n {
+            y[basis[r]] = t[r][rhs_col];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
+    let mut objective = model.objective().constant()
+        + model
+            .objective()
+            .terms()
+            .iter()
+            .map(|(v, c)| c * values[v.index()])
+            .sum::<f64>();
+    // Clean tiny noise.
+    if objective.abs() < 1e-9 {
+        objective = 0.0;
+    }
+    Ok(LpSolution { objective, values })
+}
+
+/// Runs simplex iterations on the tableau until optimality.
+///
+/// Artificial columns (`j >= art_start`) are never allowed to enter.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    m: usize,
+    art_start: usize,
+    rhs_col: usize,
+    iters: &mut usize,
+    options: SimplexOptions,
+) -> Result<(), IlpError> {
+    loop {
+        *iters += 1;
+        if *iters > options.max_iterations {
+            return Err(IlpError::IterationLimit {
+                limit: options.max_iterations,
+            });
+        }
+        // Bland's rule: smallest index with negative reduced cost.
+        let entering = (0..art_start).find(|&j| t[m][j] < -EPS);
+        let Some(e) = entering else {
+            return Ok(()); // optimal
+        };
+        // Ratio test, Bland tie-break on basis index.
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = t[r][e];
+            if a > EPS {
+                let ratio = t[r][rhs_col] / a;
+                match leave {
+                    None => leave = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < lratio - EPS
+                            || ((ratio - lratio).abs() <= EPS && basis[r] < basis[lr])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((lr, _)) = leave else {
+            return Err(IlpError::Unbounded);
+        };
+        pivot(t, basis, lr, e, rhs_col);
+    }
+}
+
+/// Pivots on `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > 1e-12, "pivot on ~zero element");
+    let inv = 1.0 / p;
+    for v in t[row].iter_mut() {
+        *v *= inv;
+    }
+    let pivot_row = t[row].clone();
+    for (r, trow) in t.iter_mut().enumerate() {
+        if r != row {
+            let factor = trow[col];
+            if factor != 0.0 {
+                for (j, v) in trow.iter_mut().enumerate() {
+                    *v -= factor * pivot_row[j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+    let _ = rhs_col;
+}
+
+
+/// Checks a fully pinned assignment against the model's constraints.
+fn feasible_point(model: &Model, values: &[f64]) -> bool {
+    model.constraints().iter().all(|c| {
+        let lhs = c.expr.eval(values);
+        match c.relation {
+            Relation::Le => lhs <= c.rhs + 1e-6,
+            Relation::Ge => lhs >= c.rhs - 1e-6,
+            Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+        }
+    })
+}
+
+/// Solves with the fixed variables substituted out of the model.
+fn solve_reduced(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    fixed: &[bool],
+    options: SimplexOptions,
+) -> Result<LpSolution, IlpError> {
+    let n = model.num_vars();
+    // Map original -> reduced indices.
+    let mut reduced_index = vec![usize::MAX; n];
+    let mut free: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if !fixed[i] {
+            reduced_index[i] = free.len();
+            free.push(i);
+        }
+    }
+    let mut reduced = Model::new(model.sense());
+    let mut rlower = Vec::with_capacity(free.len());
+    let mut rupper = Vec::with_capacity(free.len());
+    for &i in &free {
+        // Kind is irrelevant for the relaxation; keep continuous.
+        reduced.add_continuous(format!("r{i}"), lower[i], upper[i]);
+        rlower.push(lower[i]);
+        rupper.push(upper[i]);
+    }
+    for c in model.constraints() {
+        let mut terms: Vec<(crate::VarId, f64)> = Vec::new();
+        let mut shift = 0.0;
+        for (v, k) in c.expr.terms() {
+            if fixed[v.index()] {
+                shift += k * lower[v.index()];
+            } else {
+                terms.push((crate::VarId(reduced_index[v.index()]), k));
+            }
+        }
+        let rhs = c.rhs - c.expr.constant() - shift;
+        if terms.is_empty() {
+            // Constant constraint: check it outright.
+            let ok = match c.relation {
+                Relation::Le => 0.0 <= rhs + 1e-6,
+                Relation::Ge => 0.0 >= rhs - 1e-6,
+                Relation::Eq => rhs.abs() <= 1e-6,
+            };
+            if !ok {
+                return Err(IlpError::Infeasible);
+            }
+            continue;
+        }
+        reduced
+            .add_constraint(terms, c.relation, rhs)
+            .expect("reduced terms reference fresh vars");
+    }
+    let mut objective: Vec<(crate::VarId, f64)> = Vec::new();
+    for (v, k) in model.objective().terms() {
+        if !fixed[v.index()] {
+            objective.push((crate::VarId(reduced_index[v.index()]), k));
+        }
+    }
+    reduced.set_objective(objective);
+
+    let sub = solve_with_bounds(&reduced, &rlower, &rupper, options)?;
+    let mut values = vec![0.0; n];
+    for i in 0..n {
+        values[i] = if fixed[i] {
+            lower[i]
+        } else {
+            sub.values[reduced_index[i]]
+        };
+    }
+    Ok(LpSolution {
+        objective: model.objective().eval(&values),
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Relation, Sense};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x + y s.t. x + y >= 2, x <= 1.5 => obj 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.5);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, 2.0);
+    }
+
+    #[test]
+    fn maximization_with_le() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic): 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective([(x, 3.0), (y, 5.0)]);
+        m.add_constraint([(x, 1.0)], Relation::Le, 4.0).unwrap();
+        m.add_constraint([(y, 2.0)], Relation::Le, 12.0).unwrap();
+        m.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, 36.0);
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + 2y s.t. x + y = 3, y >= 1 => x=2, y=1, obj 4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 1.0, f64::INFINITY);
+        m.set_objective([(x, 1.0), (y, 2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 3.0)
+            .unwrap();
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, 4.0);
+        approx(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(
+            solve_relaxation(&m, SimplexOptions::default()),
+            Err(IlpError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, 1.0)], Relation::Ge, 0.0).unwrap();
+        assert_eq!(
+            solve_relaxation(&m, SimplexOptions::default()),
+            Err(IlpError::Unbounded)
+        );
+    }
+
+    #[test]
+    fn bound_overrides_fix_variables() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        // Fix x = 1.
+        let s = solve_with_bounds(&m, &[1.0, 0.0], &[1.0, 1.0], SimplexOptions::default())
+            .unwrap();
+        approx(s.value(x), 1.0);
+        approx(s.objective, 1.0);
+        // Contradictory bounds are infeasible.
+        assert_eq!(
+            solve_with_bounds(&m, &[1.0, 0.0], &[0.0, 1.0], SimplexOptions::default()),
+            Err(IlpError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn negative_lower_bounds_shift_correctly() {
+        // min x s.t. x >= -5, x <= -2 => -5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", -5.0, -2.0);
+        m.set_objective([(x, 1.0)]);
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, -5.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Redundant constraints produce degenerate pivots; Bland must halt.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        for _ in 0..4 {
+            m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
+                .unwrap();
+        }
+        m.add_constraint([(x, 2.0), (y, 2.0)], Relation::Ge, 2.0)
+            .unwrap();
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, 1.0);
+    }
+
+    #[test]
+    fn fractional_relaxation_of_binary_model() {
+        // min x+y with x+y >= 1 relaxes to any point on the line; objective 1.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 2.0), (y, 2.0)], Relation::Ge, 1.0)
+            .unwrap();
+        let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(s.objective, 0.5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Solution containers.
+
+use crate::VarId;
+
+/// An optimal solution of an LP relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value in the model's own sense.
+    pub objective: f64,
+    /// Value per variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+}
+
+impl LpSolution {
+    /// Value of one variable (0 for out-of-range ids).
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values.get(var.index()).copied().unwrap_or(0.0)
+    }
+}
+
+/// An optimal integer solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    /// Optimal objective value in the model's own sense.
+    pub objective: f64,
+    /// Value per variable, indexed by [`VarId`]; binaries are exactly 0 or 1.
+    pub values: Vec<f64>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl IlpSolution {
+    /// Value of one variable (0 for out-of-range ids).
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values.get(var.index()).copied().unwrap_or(0.0)
+    }
+
+    /// `true` if the binary variable is set.
+    #[must_use]
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.value(var) > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_defaults_to_zero() {
+        let s = LpSolution {
+            objective: 1.0,
+            values: vec![0.5],
+        };
+        assert_eq!(s.value(VarId(0)), 0.5);
+        assert_eq!(s.value(VarId(9)), 0.0);
+    }
+
+    #[test]
+    fn is_set_rounds() {
+        let s = IlpSolution {
+            objective: 0.0,
+            values: vec![1.0, 0.0],
+            nodes_explored: 1,
+        };
+        assert!(s.is_set(VarId(0)));
+        assert!(!s.is_set(VarId(1)));
+    }
+}

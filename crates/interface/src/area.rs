@@ -1,0 +1,125 @@
+//! Interface implementation cost `A_CNT + A_B` (paper §3).
+//!
+//! For software interfaces (types 0/1) `A_CNT` is code-memory area for the
+//! template µ-code; for hardware interfaces (types 2/3) it is FSM area.
+//! `A_B` charges the in/out buffers of types 1/3 by depth.
+
+use partita_mop::AreaTenths;
+
+use crate::{InterfaceKind, TransferJob};
+
+/// A decomposed interface area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterfaceArea {
+    /// Controller area `A_CNT` (code memory or FSM).
+    pub controller: AreaTenths,
+    /// Buffer area `A_B` (zero for types 0/2).
+    pub buffers: AreaTenths,
+}
+
+impl InterfaceArea {
+    /// Total interface area.
+    #[must_use]
+    pub fn total(&self) -> AreaTenths {
+        self.controller + self.buffers
+    }
+}
+
+/// Area coefficients. The defaults reproduce the relative costs visible in
+/// the paper's tables (e.g. Table 1: switching SC14 from IF1 to IF3 adds
+/// 0.5 area units; SC15 on IF2 adds 0.5 over IF0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    /// Code-memory area of the type-0 template.
+    pub type0_code: AreaTenths,
+    /// Code-memory area of the type-1 template (shorter: no in/out rate
+    /// matching loop, Fig. 5).
+    pub type1_code: AreaTenths,
+    /// FSM area for the hardware controllers (types 2/3).
+    pub fsm: AreaTenths,
+    /// Buffer area per 16 buffered words.
+    pub buffer_per_16_words: AreaTenths,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            type0_code: AreaTenths::from_tenths(3),
+            type1_code: AreaTenths::from_tenths(2),
+            fsm: AreaTenths::from_tenths(5),
+            buffer_per_16_words: AreaTenths::from_tenths(1),
+        }
+    }
+}
+
+impl AreaModel {
+    /// Computes the interface area for one (type, job) combination.
+    ///
+    /// Buffered types size their buffers for the larger of the input and
+    /// output working sets.
+    #[must_use]
+    pub fn interface_area(&self, kind: InterfaceKind, job: TransferJob) -> InterfaceArea {
+        let controller = match kind {
+            InterfaceKind::Type0 => self.type0_code,
+            InterfaceKind::Type1 => self.type1_code,
+            InterfaceKind::Type2 | InterfaceKind::Type3 => self.fsm,
+        };
+        let buffers = if kind.has_buffers() {
+            let depth = job.in_words.max(job.out_words);
+            AreaTenths::from_tenths(
+                self.buffer_per_16_words.tenths() * i64::try_from(depth.div_ceil(16)).unwrap_or(i64::MAX),
+            )
+        } else {
+            AreaTenths::ZERO
+        };
+        InterfaceArea {
+            controller,
+            buffers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bufferless_types_have_no_buffer_area() {
+        let m = AreaModel::default();
+        let job = TransferJob::new(160, 160);
+        assert_eq!(
+            m.interface_area(InterfaceKind::Type0, job).buffers,
+            AreaTenths::ZERO
+        );
+        assert_eq!(
+            m.interface_area(InterfaceKind::Type2, job).buffers,
+            AreaTenths::ZERO
+        );
+    }
+
+    #[test]
+    fn buffer_area_scales_with_depth() {
+        let m = AreaModel::default();
+        let small = m.interface_area(InterfaceKind::Type1, TransferJob::new(16, 16));
+        let large = m.interface_area(InterfaceKind::Type1, TransferJob::new(160, 16));
+        assert!(large.buffers > small.buffers);
+        assert_eq!(small.buffers, AreaTenths::from_tenths(1));
+        assert_eq!(large.buffers, AreaTenths::from_tenths(10));
+    }
+
+    #[test]
+    fn hardware_costs_more_than_software_controller() {
+        let m = AreaModel::default();
+        let job = TransferJob::new(64, 64);
+        let t1 = m.interface_area(InterfaceKind::Type1, job).total();
+        let t3 = m.interface_area(InterfaceKind::Type3, job).total();
+        assert!(t3 > t1); // the Table-1 IF1 -> IF3 step
+    }
+
+    #[test]
+    fn totals_compose() {
+        let m = AreaModel::default();
+        let a = m.interface_area(InterfaceKind::Type3, TransferJob::new(32, 32));
+        assert_eq!(a.total(), a.controller + a.buffers);
+    }
+}

@@ -1,0 +1,452 @@
+//! Co-simulation devices: functional IP models behind the software
+//! templates, plugged into the `partita-asip` executor.
+
+use std::collections::VecDeque;
+
+use partita_asip::{ExecError, IpDevice};
+use partita_ip::IpBlock;
+use partita_mop::Cycles;
+
+use crate::{timing, InterfaceKind, TransferJob};
+
+/// A per-sample streaming function: consumes one input sample (one word per
+/// input port) and produces zero or one output sample (one word per output
+/// port). FIR-style blocks return a sample per call; decimating blocks
+/// return empty vectors for swallowed samples.
+pub type StreamFn = Box<dyn FnMut(&[i32]) -> Vec<i32> + Send>;
+
+/// A batch function: all inputs in, all outputs out (buffered interfaces).
+pub type BatchFn = Box<dyn FnMut(&[i32]) -> Vec<i32> + Send>;
+
+/// The co-simulated IP behind a **type-0** template: samples stream in
+/// through the ports, results appear `latency` (× slow-clock factor) cycles
+/// later.
+pub struct StreamIpDevice {
+    in_ports: usize,
+    latency: u64,
+    now: u64,
+    partial_in: Vec<i32>,
+    /// `(ready_at, words)` queue of computed output samples.
+    pending: VecDeque<(u64, Vec<i32>)>,
+    current_out: VecDeque<i32>,
+    func: StreamFn,
+    starts: usize,
+}
+
+impl std::fmt::Debug for StreamIpDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamIpDevice")
+            .field("in_ports", &self.in_ports)
+            .field("latency", &self.latency)
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamIpDevice {
+    /// Creates the device for `ip` with the given per-sample function.
+    ///
+    /// `slow_clock_factor` is the type-0 clock division from
+    /// [`crate::check_feasibility`].
+    #[must_use]
+    pub fn new(ip: &IpBlock, slow_clock_factor: u64, func: StreamFn) -> StreamIpDevice {
+        StreamIpDevice {
+            in_ports: usize::from(ip.in_ports().clamp(1, 2)),
+            latency: u64::from(ip.latency()) * slow_clock_factor.max(1),
+            now: 0,
+            partial_in: Vec::new(),
+            pending: VecDeque::new(),
+            current_out: VecDeque::new(),
+            func,
+            starts: 0,
+        }
+    }
+
+    /// Number of start strobes seen (type-0 templates never strobe).
+    #[must_use]
+    pub fn starts(&self) -> usize {
+        self.starts
+    }
+}
+
+impl IpDevice for StreamIpDevice {
+    fn write_port(&mut self, _port: u8, value: i32) -> Result<(), ExecError> {
+        self.partial_in.push(value);
+        if self.partial_in.len() >= self.in_ports {
+            let sample = std::mem::take(&mut self.partial_in);
+            let out = (self.func)(&sample);
+            if !out.is_empty() {
+                self.pending.push_back((self.now + self.latency, out));
+            }
+        }
+        Ok(())
+    }
+
+    fn read_port(&mut self, _port: u8) -> Result<i32, ExecError> {
+        if self.current_out.is_empty() {
+            match self.pending.pop_front() {
+                Some((ready_at, words)) => {
+                    if ready_at > self.now {
+                        return Err(ExecError::DeviceFault(format!(
+                            "output read at cycle {} but ready at {ready_at}",
+                            self.now
+                        )));
+                    }
+                    self.current_out.extend(words);
+                }
+                None => {
+                    return Err(ExecError::DeviceFault(
+                        "output read with no sample in flight".to_owned(),
+                    ))
+                }
+            }
+        }
+        self.current_out
+            .pop_front()
+            .ok_or_else(|| ExecError::DeviceFault("empty output sample".to_owned()))
+    }
+
+    fn start(&mut self) -> Result<(), ExecError> {
+        self.starts += 1;
+        Ok(())
+    }
+
+    fn write_buffer(&mut self, buf: u8, _value: i32) -> Result<(), ExecError> {
+        Err(ExecError::DeviceFault(format!(
+            "type-0 interface has no buffer b{buf}"
+        )))
+    }
+
+    fn read_buffer(&mut self, buf: u8) -> Result<i32, ExecError> {
+        Err(ExecError::DeviceFault(format!(
+            "type-0 interface has no buffer b{buf}"
+        )))
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn busy(&self) -> bool {
+        !self.pending.is_empty() || !self.current_out.is_empty()
+    }
+}
+
+/// The co-simulated IP + buffer fabric behind a **type-1** template:
+/// the kernel fills buffers 0/1, strobes start, and reads buffers 2/3 once
+/// `MAX(T_IP, T_B)` cycles have elapsed.
+pub struct BufferedIpDevice {
+    wait: u64,
+    now: u64,
+    ready_at: Option<u64>,
+    in_even: Vec<i32>,
+    in_odd: Vec<i32>,
+    out_even: VecDeque<i32>,
+    out_odd: VecDeque<i32>,
+    func: BatchFn,
+}
+
+impl std::fmt::Debug for BufferedIpDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferedIpDevice")
+            .field("wait", &self.wait)
+            .field("now", &self.now)
+            .field("ready_at", &self.ready_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferedIpDevice {
+    /// Creates the device for one (IP, job) combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` cannot use a type-1 interface (checked by the caller
+    /// in normal flows).
+    #[must_use]
+    pub fn new(ip: &IpBlock, job: TransferJob, func: BatchFn) -> BufferedIpDevice {
+        let t = timing(ip, InterfaceKind::Type1, job).expect("ip must admit type 1");
+        BufferedIpDevice {
+            wait: t.t_ip.max(t.t_b).get(),
+            now: 0,
+            ready_at: None,
+            in_even: Vec::new(),
+            in_odd: Vec::new(),
+            out_even: VecDeque::new(),
+            out_odd: VecDeque::new(),
+            func,
+        }
+    }
+
+    /// The wait (`MAX(T_IP, T_B)`) the kernel must grant after `start`.
+    #[must_use]
+    pub fn wait_cycles(&self) -> Cycles {
+        Cycles(self.wait)
+    }
+}
+
+impl IpDevice for BufferedIpDevice {
+    fn write_port(&mut self, port: u8, _value: i32) -> Result<(), ExecError> {
+        Err(ExecError::DeviceFault(format!(
+            "type-1 interface exposes buffers, not direct port p{port}"
+        )))
+    }
+
+    fn read_port(&mut self, port: u8) -> Result<i32, ExecError> {
+        Err(ExecError::DeviceFault(format!(
+            "type-1 interface exposes buffers, not direct port p{port}"
+        )))
+    }
+
+    fn start(&mut self) -> Result<(), ExecError> {
+        // Interleave the X/Y buffer halves back into word order.
+        let mut inputs = Vec::with_capacity(self.in_even.len() + self.in_odd.len());
+        for i in 0..self.in_even.len().max(self.in_odd.len()) {
+            if let Some(&v) = self.in_even.get(i) {
+                inputs.push(v);
+            }
+            if let Some(&v) = self.in_odd.get(i) {
+                inputs.push(v);
+            }
+        }
+        let outputs = (self.func)(&inputs);
+        for (i, v) in outputs.into_iter().enumerate() {
+            if i % 2 == 0 {
+                self.out_even.push_back(v);
+            } else {
+                self.out_odd.push_back(v);
+            }
+        }
+        self.ready_at = Some(self.now + self.wait);
+        Ok(())
+    }
+
+    fn write_buffer(&mut self, buf: u8, value: i32) -> Result<(), ExecError> {
+        match buf {
+            0 => self.in_even.push(value),
+            1 => self.in_odd.push(value),
+            _ => {
+                return Err(ExecError::DeviceFault(format!(
+                    "buffer b{buf} is not an in-buffer"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn read_buffer(&mut self, buf: u8) -> Result<i32, ExecError> {
+        let ready_at = self.ready_at.ok_or_else(|| {
+            ExecError::DeviceFault("out-buffer read before the ip was started".to_owned())
+        })?;
+        if self.now < ready_at {
+            return Err(ExecError::DeviceFault(format!(
+                "out-buffer read at cycle {} but ip busy until {ready_at}",
+                self.now
+            )));
+        }
+        let q = match buf {
+            2 => &mut self.out_even,
+            3 => &mut self.out_odd,
+            _ => {
+                return Err(ExecError::DeviceFault(format!(
+                    "buffer b{buf} is not an out-buffer"
+                )))
+            }
+        };
+        q.pop_front()
+            .ok_or_else(|| ExecError::DeviceFault("out-buffer underflow".to_owned()))
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn busy(&self) -> bool {
+        matches!(self.ready_at, Some(r) if self.now < r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{emit_type0, emit_type1, DataLayout};
+    use crate::{check_feasibility, InterfaceKind};
+    use partita_asip::{CycleModel, ExecOptions, Executor, Kernel};
+    use partita_ip::func::FirFilter;
+    use partita_ip::IpFunction;
+    use partita_mop::MopProgram;
+
+    fn run_template(
+        func: partita_mop::Function,
+        kernel: &mut Kernel,
+        device: &mut dyn IpDevice,
+    ) -> Cycles {
+        let mut p = MopProgram::new();
+        let id = p.add_function(func).unwrap();
+        p.set_main(id).unwrap();
+        let opts = ExecOptions {
+            cycle_model: CycleModel::PerWord,
+            branch_penalty: 0, // templates use zero-overhead hardware loops
+            ..ExecOptions::default()
+        };
+        let report = Executor::new(&p)
+            .run_with_device(kernel, device, &opts)
+            .expect("template executes cleanly");
+        // Exclude the final halt word from the comparison.
+        report.cycles - Cycles(1)
+    }
+
+    fn fir_ip() -> IpBlock {
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(4, 4)
+            .latency(8)
+            .build()
+    }
+
+    /// End-to-end type-0 validation: executor cycles == predicted cycles ==
+    /// analytic T_IF, and the memory contents equal the reference filter.
+    #[test]
+    fn type0_cosim_matches_prediction_and_reference() {
+        let ip = fir_ip();
+        let n: u64 = 16; // words per memory side
+        let job = TransferJob::new(2 * n, 2 * n);
+        let layout = DataLayout {
+            in_x: 0,
+            in_y: 0,
+            out_x: 100,
+            out_y: 100,
+        };
+        let t = emit_type0(&ip, job, layout).unwrap();
+
+        // Input: interleaved x/y samples of a ramp.
+        let mut kernel = Kernel::new(256, 256);
+        let xs: Vec<i32> = (0..n as i32).map(|i| i * 3 - 7).collect();
+        let ys: Vec<i32> = (0..n as i32).map(|i| 11 - i).collect();
+        kernel.xdm.load(0, &xs).unwrap();
+        kernel.ydm.load(0, &ys).unwrap();
+
+        // The IP: a 2-in/2-out FIR pair filtering the X and Y streams.
+        let mut fx = FirFilter::new(vec![1, 1]);
+        let mut fy = FirFilter::new(vec![1, -1]);
+        let mut dev = StreamIpDevice::new(
+            &ip,
+            1,
+            Box::new(move |sample| {
+                let a = fx.step(sample[0]) as i32;
+                let b = fy.step(*sample.get(1).unwrap_or(&0)) as i32;
+                vec![a, b]
+            }),
+        );
+
+        let cycles = run_template(t.function.clone(), &mut kernel, &mut dev);
+        assert_eq!(cycles, t.predicted_cycles);
+
+        // Reference results.
+        let mut rx = FirFilter::new(vec![1, 1]);
+        let mut ry = FirFilter::new(vec![1, -1]);
+        let ex: Vec<i32> = xs.iter().map(|&v| rx.step(v) as i32).collect();
+        let ey: Vec<i32> = ys.iter().map(|&v| ry.step(v) as i32).collect();
+        assert_eq!(kernel.xdm.dump(100, n as u32).unwrap(), ex);
+        assert_eq!(kernel.ydm.dump(100, n as u32).unwrap(), ey);
+    }
+
+    #[test]
+    fn type0_slow_clock_cosim() {
+        let ip = IpBlock::builder("cmul")
+            .function(IpFunction::ComplexMul)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(4)
+            .build();
+        let profile = check_feasibility(&ip, InterfaceKind::Type0).unwrap();
+        assert_eq!(profile.slow_clock_factor, 2);
+        let job = TransferJob::new(16, 16);
+        let t = emit_type0(&ip, job, DataLayout { in_x: 0, in_y: 0, out_x: 50, out_y: 50 })
+            .unwrap();
+        let mut kernel = Kernel::new(128, 128);
+        kernel.xdm.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        kernel.ydm.load(0, &[8, 7, 6, 5, 4, 3, 2, 1]).unwrap();
+        let mut dev = StreamIpDevice::new(
+            &ip,
+            profile.slow_clock_factor,
+            Box::new(|s| vec![s[0] * 2, s[1] * 2]),
+        );
+        let cycles = run_template(t.function, &mut kernel, &mut dev);
+        assert_eq!(cycles, t.predicted_cycles);
+        assert_eq!(kernel.xdm.dump(50, 8).unwrap(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn type1_cosim_matches_prediction_and_reference() {
+        let ip = fir_ip();
+        let n: u64 = 12;
+        let job = TransferJob::new(2 * n, 2 * n);
+        let layout = DataLayout {
+            in_x: 0,
+            in_y: 0,
+            out_x: 60,
+            out_y: 60,
+        };
+        let t = emit_type1(&ip, job, layout, &[]).unwrap();
+        let mut kernel = Kernel::new(128, 128);
+        let xs: Vec<i32> = (0..n as i32).collect();
+        let ys: Vec<i32> = (0..n as i32).map(|i| -i).collect();
+        kernel.xdm.load(0, &xs).unwrap();
+        kernel.ydm.load(0, &ys).unwrap();
+        // Batch IP: negate everything.
+        let mut dev = BufferedIpDevice::new(
+            &ip,
+            job,
+            Box::new(|inputs| inputs.iter().map(|v| -v).collect()),
+        );
+        let cycles = run_template(t.function, &mut kernel, &mut dev);
+        assert_eq!(cycles, t.predicted_cycles);
+        let ex: Vec<i32> = xs.iter().map(|v| -v).collect();
+        let ey: Vec<i32> = ys.iter().map(|v| -v).collect();
+        assert_eq!(kernel.xdm.dump(60, n as u32).unwrap(), ex);
+        assert_eq!(kernel.ydm.dump(60, n as u32).unwrap(), ey);
+    }
+
+    #[test]
+    fn type1_with_parallel_code_same_cycles() {
+        use partita_mop::{AluOp, Mop, Reg};
+        let ip = fir_ip();
+        let job = TransferJob::new(16, 16);
+        let pc: Vec<Mop> = (0..6)
+            .map(|_| Mop::alu(AluOp::Add, Reg(5), Reg(5), 1))
+            .collect();
+        let t_idle = emit_type1(&ip, job, DataLayout::default(), &[]).unwrap();
+        let t_pc = emit_type1(&ip, job, DataLayout::default(), &pc).unwrap();
+        assert_eq!(t_idle.predicted_cycles, t_pc.predicted_cycles);
+        let mut kernel = Kernel::new(64, 64);
+        let mut dev = BufferedIpDevice::new(&ip, job, Box::new(|i| i.to_vec()));
+        let cycles = run_template(t_pc.function, &mut kernel, &mut dev);
+        assert_eq!(cycles, t_pc.predicted_cycles);
+        // The parallel code actually ran.
+        assert_eq!(kernel.reg(Reg(5)), 6);
+    }
+
+    #[test]
+    fn premature_buffer_read_is_a_timing_violation() {
+        let ip = fir_ip();
+        let mut dev = BufferedIpDevice::new(&ip, TransferJob::new(8, 8), Box::new(|i| i.to_vec()));
+        dev.write_buffer(0, 1).unwrap();
+        dev.start().unwrap();
+        assert!(dev.busy());
+        let err = dev.read_buffer(2).unwrap_err();
+        assert!(matches!(err, ExecError::DeviceFault(_)));
+        assert!(dev.wait_cycles().get() > 0);
+    }
+
+    #[test]
+    fn stream_device_rejects_buffer_ops() {
+        let ip = fir_ip();
+        let mut dev = StreamIpDevice::new(&ip, 1, Box::new(|s| s.to_vec()));
+        assert!(dev.write_buffer(0, 1).is_err());
+        assert!(dev.read_buffer(0).is_err());
+        assert_eq!(dev.starts(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Interface-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{InfeasibleReason, InterfaceKind};
+
+/// Errors raised by interface synthesis and co-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterfaceError {
+    /// The IP cannot use the requested interface type.
+    Infeasible {
+        /// The requested type.
+        kind: InterfaceKind,
+        /// Why it is rejected.
+        reason: InfeasibleReason,
+    },
+    /// The kernel read an IP output before the datapath produced it.
+    TimingViolation {
+        /// Kernel cycle at which the read happened.
+        at_cycle: u64,
+        /// Cycle at which the value becomes ready.
+        ready_at: u64,
+    },
+    /// A buffered access referenced a buffer the interface does not have.
+    UnknownBuffer(u8),
+    /// The co-simulated IP ran out of input data.
+    InputUnderflow,
+}
+
+impl fmt::Display for InterfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterfaceError::Infeasible { kind, reason } => {
+                write!(f, "interface {kind} infeasible: {reason}")
+            }
+            InterfaceError::TimingViolation { at_cycle, ready_at } => write!(
+                f,
+                "output read at cycle {at_cycle} but ready only at {ready_at}"
+            ),
+            InterfaceError::UnknownBuffer(b) => write!(f, "unknown interface buffer b{b}"),
+            InterfaceError::InputUnderflow => f.write_str("ip consumed more inputs than supplied"),
+        }
+    }
+}
+
+impl Error for InterfaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = InterfaceError::Infeasible {
+            kind: InterfaceKind::Type0,
+            reason: InfeasibleReason::TooManyPorts { ports: 4, max: 2 },
+        };
+        assert!(e.to_string().contains("IF0"));
+        assert!(InterfaceError::UnknownBuffer(3).to_string().contains("b3"));
+    }
+}

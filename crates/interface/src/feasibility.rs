@@ -1,0 +1,190 @@
+//! Which interface types an IP block admits (paper §3).
+
+use std::fmt;
+
+use partita_ip::IpBlock;
+
+use crate::InterfaceKind;
+
+/// Cycles per template iteration of the type-0 software interface (Fig. 4
+/// handles "a pipelined IP with 4 clock-cycle data in/out-rate").
+pub const TYPE0_BASE_RATE: u32 = 4;
+
+/// Why an interface type is rejected for an IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InfeasibleReason {
+    /// The kernel can move at most two operands per cycle, so bufferless
+    /// types cannot serve IPs with more than two in- or out-ports.
+    TooManyPorts {
+        /// Ports the IP has.
+        ports: u8,
+        /// Maximum a bufferless interface supports.
+        max: u8,
+    },
+    /// Type 0 cannot handle different input and output data rates.
+    RateMismatch {
+        /// Input rate (cycles/sample).
+        in_rate: u32,
+        /// Output rate (cycles/sample).
+        out_rate: u32,
+    },
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibleReason::TooManyPorts { ports, max } => {
+                write!(f, "ip has {ports} ports but a bufferless interface supports {max}")
+            }
+            InfeasibleReason::RateMismatch { in_rate, out_rate } => write!(
+                f,
+                "type 0 cannot serve unequal data rates (in {in_rate}, out {out_rate})"
+            ),
+        }
+    }
+}
+
+/// Feasibility result: how the type must be configured for this IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeasibleProfile {
+    /// Clock division applied to the IP. Type-0 interfaces cannot feed an IP
+    /// faster than one sample per [`TYPE0_BASE_RATE`] cycles, so IPs with
+    /// `in_rate < 4` run on a slowed clock: every IP cycle takes this many
+    /// kernel cycles (paper §3, "we have to slow down the clock signal
+    /// connected to IP").
+    pub slow_clock_factor: u64,
+}
+
+impl FeasibleProfile {
+    /// The profile for full-speed operation.
+    #[must_use]
+    pub fn full_speed() -> FeasibleProfile {
+        FeasibleProfile {
+            slow_clock_factor: 1,
+        }
+    }
+}
+
+/// Checks whether `ip` can be attached through interface `kind`.
+///
+/// # Errors
+///
+/// Returns the [`InfeasibleReason`] that rules the combination out.
+pub fn check_feasibility(
+    ip: &IpBlock,
+    kind: InterfaceKind,
+) -> Result<FeasibleProfile, InfeasibleReason> {
+    if !kind.has_buffers() {
+        let max_ports = ip.in_ports().max(ip.out_ports());
+        if max_ports > 2 {
+            return Err(InfeasibleReason::TooManyPorts {
+                ports: max_ports,
+                max: 2,
+            });
+        }
+    }
+    if kind == InterfaceKind::Type0 {
+        if ip.has_rate_mismatch() {
+            return Err(InfeasibleReason::RateMismatch {
+                in_rate: ip.in_rate(),
+                out_rate: ip.out_rate(),
+            });
+        }
+        let eff = crate::timing::effective_in_rate(ip);
+        if eff < TYPE0_BASE_RATE {
+            // Slow the IP clock so its per-sample rate matches the template.
+            let factor = u64::from(TYPE0_BASE_RATE.div_ceil(eff));
+            return Ok(FeasibleProfile {
+                slow_clock_factor: factor,
+            });
+        }
+    }
+    Ok(FeasibleProfile::full_speed())
+}
+
+/// All interface types `ip` admits, cheapest first.
+#[must_use]
+pub fn feasible_kinds(ip: &IpBlock) -> Vec<(InterfaceKind, FeasibleProfile)> {
+    InterfaceKind::ALL
+        .iter()
+        .filter_map(|&k| check_feasibility(ip, k).ok().map(|p| (k, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_ip::IpFunction;
+
+    fn ip(in_ports: u8, out_ports: u8, in_rate: u32, out_rate: u32) -> IpBlock {
+        IpBlock::builder("t")
+            .function(IpFunction::Fir)
+            .ports(in_ports, out_ports)
+            .rates(in_rate, out_rate)
+            .build()
+    }
+
+    #[test]
+    fn two_port_symmetric_ip_admits_everything() {
+        let b = ip(2, 2, 4, 4);
+        let kinds: Vec<_> = feasible_kinds(&b).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, InterfaceKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn many_ports_require_buffers() {
+        let b = ip(4, 2, 4, 4);
+        assert!(matches!(
+            check_feasibility(&b, InterfaceKind::Type0),
+            Err(InfeasibleReason::TooManyPorts { ports: 4, .. })
+        ));
+        assert!(check_feasibility(&b, InterfaceKind::Type2).is_err());
+        assert!(check_feasibility(&b, InterfaceKind::Type1).is_ok());
+        assert!(check_feasibility(&b, InterfaceKind::Type3).is_ok());
+    }
+
+    #[test]
+    fn rate_mismatch_excludes_type0_only() {
+        // An interpolation filter: out rate faster than in rate.
+        let b = ip(2, 2, 4, 2);
+        assert!(matches!(
+            check_feasibility(&b, InterfaceKind::Type0),
+            Err(InfeasibleReason::RateMismatch { .. })
+        ));
+        for k in [InterfaceKind::Type1, InterfaceKind::Type2, InterfaceKind::Type3] {
+            assert!(check_feasibility(&b, k).is_ok(), "{k} must stay feasible");
+        }
+    }
+
+    #[test]
+    fn fast_ip_gets_slowed_clock_on_type0() {
+        let b = ip(2, 2, 1, 1);
+        let p = check_feasibility(&b, InterfaceKind::Type0).unwrap();
+        assert_eq!(p.slow_clock_factor, 4);
+        let b2 = ip(2, 2, 3, 3);
+        assert_eq!(
+            check_feasibility(&b2, InterfaceKind::Type0)
+                .unwrap()
+                .slow_clock_factor,
+            2
+        );
+        // Full-speed on other types.
+        assert_eq!(
+            check_feasibility(&b, InterfaceKind::Type2)
+                .unwrap()
+                .slow_clock_factor,
+            1
+        );
+    }
+
+    #[test]
+    fn reason_display() {
+        assert!(InfeasibleReason::RateMismatch {
+            in_rate: 4,
+            out_rate: 2
+        }
+        .to_string()
+        .contains("unequal"));
+    }
+}

@@ -1,0 +1,94 @@
+//! The four interface types.
+
+use std::fmt;
+
+/// One of the paper's four kernel↔IP interface types (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterfaceKind {
+    /// Software in/out-controller, no buffers — cheapest, lowest performance.
+    Type0,
+    /// Software controller with in/out buffers — enables >2 ports, high
+    /// transfer rates and parallel execution.
+    Type1,
+    /// Hardware FSM controller (DMA), no buffers.
+    Type2,
+    /// Hardware FSM controller with buffers — most expensive and powerful.
+    Type3,
+}
+
+impl InterfaceKind {
+    /// All types, cheapest first.
+    pub const ALL: [InterfaceKind; 4] = [
+        InterfaceKind::Type0,
+        InterfaceKind::Type1,
+        InterfaceKind::Type2,
+        InterfaceKind::Type3,
+    ];
+
+    /// `true` for types with in/out buffers (1 and 3).
+    #[must_use]
+    pub fn has_buffers(self) -> bool {
+        matches!(self, InterfaceKind::Type1 | InterfaceKind::Type3)
+    }
+
+    /// `true` when the in/out-controller is a hardware FSM (2 and 3).
+    #[must_use]
+    pub fn is_hardware(self) -> bool {
+        matches!(self, InterfaceKind::Type2 | InterfaceKind::Type3)
+    }
+
+    /// `true` when kernel code can run in parallel with the IP.
+    ///
+    /// Buffers decouple the IP from the data memories, so types 1 and 3
+    /// qualify; type 2 "may not be adequate for parallel execution because
+    /// of the memory contention" (paper §3) and type 0 occupies the kernel
+    /// itself.
+    #[must_use]
+    pub fn supports_parallel(self) -> bool {
+        self.has_buffers()
+    }
+
+    /// Numeric id (0–3).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            InterfaceKind::Type0 => 0,
+            InterfaceKind::Type1 => 1,
+            InterfaceKind::Type2 => 2,
+            InterfaceKind::Type3 => 3,
+        }
+    }
+}
+
+impl fmt::Display for InterfaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IF{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper() {
+        use InterfaceKind::*;
+        assert!(!Type0.has_buffers() && !Type0.is_hardware() && !Type0.supports_parallel());
+        assert!(Type1.has_buffers() && !Type1.is_hardware() && Type1.supports_parallel());
+        assert!(!Type2.has_buffers() && Type2.is_hardware() && !Type2.supports_parallel());
+        assert!(Type3.has_buffers() && Type3.is_hardware() && Type3.supports_parallel());
+    }
+
+    #[test]
+    fn display_matches_tables() {
+        assert_eq!(InterfaceKind::Type0.to_string(), "IF0");
+        assert_eq!(InterfaceKind::Type3.to_string(), "IF3");
+    }
+
+    #[test]
+    fn all_is_ordered_by_cost_index() {
+        for (i, k) in InterfaceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Kernel↔IP interface synthesis: the four interface types of paper §3.
+//!
+//! | Type | Controller | Buffers | Parallel execution | Cost |
+//! |------|-----------|---------|--------------------|------|
+//! | 0    | software (µ-code) | no  | no  | cheapest |
+//! | 1    | software (µ-code) | yes | yes | + buffers |
+//! | 2    | hardware FSM (DMA) | no  | no (memory contention) | + FSM |
+//! | 3    | hardware FSM (DMA) | yes | yes | most expensive |
+//!
+//! The crate provides:
+//!
+//! * [`InterfaceKind`] and [`check_feasibility`] — which types an IP admits
+//!   (>2 ports need buffers; unequal in/out rates exclude type 0; type-0
+//!   IPs faster than the 4-cycle template need a slowed clock);
+//! * [`timing`] / [`execution_time`] / [`performance_gain`] — the paper's
+//!   analytic model (`MAX(T_IP, T_IF)`,
+//!   `T_IF_IN + MAX(T_IP, T_B) + T_IF_OUT − MIN(T_IP, T_C)`);
+//! * [`AreaModel`] — `A_CNT` and `A_B` per type;
+//! * [`template`] — emits the software templates of Figs 4 and 5 as real
+//!   µ-code, with predicted cycle counts that tests validate against the
+//!   `partita-asip` executor;
+//! * [`fsm`] — cycle-driven DMA controllers for types 2 and 3 (Figs 6, 7);
+//! * [`cosim`] — [`asip::IpDevice`](partita_asip::IpDevice) implementations
+//!   that replay a functional IP model behind the templates.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_interface::{check_feasibility, execution_time, InterfaceKind, TransferJob};
+//! use partita_ip::{IpBlock, IpFunction};
+//! use partita_mop::Cycles;
+//!
+//! let fir = IpBlock::builder("fir").function(IpFunction::Fir)
+//!     .rates(4, 4).latency(2000).build();
+//! let job = TransferJob::new(160, 160);
+//! assert!(check_feasibility(&fir, InterfaceKind::Type0).is_ok());
+//! let t0 = execution_time(&fir, InterfaceKind::Type0, job, None).unwrap();
+//! let t3 = execution_time(&fir, InterfaceKind::Type3, job, Some(Cycles(10_000))).unwrap();
+//! assert!(t3 < t0); // overlapping the long IP run with parallel code wins
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+pub mod cosim;
+mod error;
+mod feasibility;
+pub mod fsm;
+mod kind;
+pub mod template;
+pub(crate) mod timing;
+
+pub use area::{AreaModel, InterfaceArea};
+pub use error::InterfaceError;
+pub use feasibility::{
+    check_feasibility, feasible_kinds, FeasibleProfile, InfeasibleReason, TYPE0_BASE_RATE,
+};
+pub use kind::InterfaceKind;
+pub use timing::{
+    effective_in_rate, effective_out_rate, execution_time, performance_gain, protocol_overhead,
+    timing, InterfaceTiming, TransferJob,
+};

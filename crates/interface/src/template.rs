@@ -1,0 +1,349 @@
+//! Software interface templates (paper Figs 4 and 5) emitted as µ-code.
+//!
+//! The emitters produce straight-line µ-code (the kernel's zero-overhead
+//! hardware looping unrolls the `repeat` constructs of the figures) together
+//! with a predicted cycle count. The test-suite runs every emitted template
+//! on the `partita-asip` executor against a co-simulated IP and asserts the
+//! executor's cycle count equals the prediction — this pins the analytic
+//! timing model of [`crate::timing`] to real behaviour.
+//!
+//! Register/AGU conventions:
+//!
+//! | resource | use |
+//! |----------|-----|
+//! | `r0`, `r1` | input words (X / Y) |
+//! | `r2`, `r3` | output words (X / Y) |
+//! | `ax0` / `ay2` | input pointers into XDM / YDM |
+//! | `ax1` / `ay3` | output pointers into XDM / YDM |
+//! | IP port 0 / 1 | X-side / Y-side IP port |
+//! | buffer 0 / 1 | in-buffers (X / Y side) |
+//! | buffer 2 / 3 | out-buffers (X / Y side) |
+
+use partita_ip::IpBlock;
+use partita_mop::{Cycles, Function, Mop, Reg};
+
+use crate::{check_feasibility, timing, InterfaceError, InterfaceKind, TransferJob};
+
+/// Where the job's data lives in the kernel memories.
+///
+/// Input and output words are interleaved across XDM and YDM: word `2k`
+/// lives at `in_x + k`, word `2k+1` at `in_y + k` (and likewise for
+/// outputs) — the layout the dual-memory kernel fetches at full rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataLayout {
+    /// Base of even input words in XDM.
+    pub in_x: u32,
+    /// Base of odd input words in YDM.
+    pub in_y: u32,
+    /// Base of even output words in XDM.
+    pub out_x: u32,
+    /// Base of odd output words in YDM.
+    pub out_y: u32,
+}
+
+/// An emitted template: the µ-code function plus its predicted cycle count.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// The emitted µ-code (a single-block function ending in `halt`).
+    pub function: Function,
+    /// Predicted kernel cycles (excluding the final `halt` word).
+    pub predicted_cycles: Cycles,
+}
+
+/// Emits the type-0 template (Fig. 4): software in/out-controller without
+/// buffers, one `iter_len`-cycle iteration per IP sample.
+///
+/// # Errors
+///
+/// [`InterfaceError::Infeasible`] when the IP cannot use type 0.
+pub fn emit_type0(
+    ip: &IpBlock,
+    job: TransferJob,
+    layout: DataLayout,
+) -> Result<Template, InterfaceError> {
+    let profile =
+        check_feasibility(ip, InterfaceKind::Type0).map_err(|reason| InterfaceError::Infeasible {
+            kind: InterfaceKind::Type0,
+            reason,
+        })?;
+    let f = profile.slow_clock_factor;
+    let iter_len = u64::from(crate::timing::effective_in_rate(ip)) * f;
+    let fill = (u64::from(ip.latency()) * f).div_ceil(iter_len.max(1));
+    let s_in = job.samples_in(ip);
+    let s_out = job.samples_out(ip);
+    let iters = fill + s_in.max(s_out);
+
+    let mut func = Function::new("if0_template");
+    // Init: input pointers, then output pointers (2 words). The init lives
+    // in its own block so the word packer cannot merge loop code into it.
+    let init = func.add_block();
+    func.push_mop(init, Mop::agu_set(0, layout.in_x));
+    func.push_mop(init, Mop::agu_set(2, layout.in_y));
+    func.push_mop(init, Mop::agu_set(1, layout.out_x));
+    func.push_mop(init, Mop::agu_set(3, layout.out_y));
+    let b = func.add_block();
+
+    let mut in_words_left = job.in_words;
+    let mut out_words_left = job.out_words;
+    for m in 0..iters {
+        let do_in = m < s_in;
+        let do_out = m >= fill && (m - fill) < s_out;
+        let mut cycles_used = 0u64;
+        if do_in {
+            // Word 1: fetch up to two operands and post-step the pointers.
+            func.push_mop(b, Mop::load_x(Reg(0), 0));
+            func.push_mop(b, Mop::agu_step(0, 1));
+            let second_in = ip.in_ports() >= 2 && in_words_left > 1;
+            if second_in {
+                func.push_mop(b, Mop::load_y(Reg(1), 2));
+                func.push_mop(b, Mop::agu_step(2, 1));
+            }
+            // Word 2: pass operands to the IP.
+            func.push_mop(b, Mop::ip_write(0, Reg(0)));
+            if second_in {
+                func.push_mop(b, Mop::ip_write(1, Reg(1)));
+            }
+            in_words_left = in_words_left.saturating_sub(u64::from(ip.in_ports().min(2)));
+        } else {
+            func.push_mop(b, Mop::nop());
+            func.push_mop(b, Mop::nop());
+        }
+        cycles_used += 2;
+        if do_out {
+            // Word 3: collect results from the IP.
+            func.push_mop(b, Mop::ip_read(Reg(2), 0));
+            let second_out = ip.out_ports() >= 2 && out_words_left > 1;
+            if second_out {
+                func.push_mop(b, Mop::ip_read(Reg(3), 1));
+            }
+            // Word 4: store results and post-step the output pointers.
+            func.push_mop(b, Mop::store_x(Reg(2), 1));
+            func.push_mop(b, Mop::agu_step(1, 1));
+            if second_out {
+                func.push_mop(b, Mop::store_y(Reg(3), 3));
+                func.push_mop(b, Mop::agu_step(3, 1));
+            }
+            out_words_left = out_words_left.saturating_sub(u64::from(ip.out_ports().min(2)));
+        } else {
+            func.push_mop(b, Mop::nop());
+            func.push_mop(b, Mop::nop());
+        }
+        cycles_used += 2;
+        // Rate padding to the full iteration length.
+        for _ in cycles_used..iter_len {
+            func.push_mop(b, Mop::nop());
+        }
+    }
+    let end = func.add_block();
+    func.push_mop(end, Mop::halt());
+    func.compute_edges();
+
+    Ok(Template {
+        function: func,
+        predicted_cycles: Cycles(2 + iter_len * iters),
+    })
+}
+
+/// Emits the type-1 template (Fig. 5): software-filled buffers, IP started
+/// by strobe, optional parallel code while the IP runs, buffered drain.
+///
+/// `parallel_code` µ-operations are placed in the wait region ("Codes that
+/// will run in kernel while IP runs come here"); the wait is padded with
+/// idle words up to `MAX(T_IP, T_B)`.
+///
+/// # Errors
+///
+/// [`InterfaceError::Infeasible`] when the IP cannot use type 1.
+pub fn emit_type1(
+    ip: &IpBlock,
+    job: TransferJob,
+    layout: DataLayout,
+    parallel_code: &[Mop],
+) -> Result<Template, InterfaceError> {
+    check_feasibility(ip, InterfaceKind::Type1).map_err(|reason| InterfaceError::Infeasible {
+        kind: InterfaceKind::Type1,
+        reason,
+    })?;
+    let t = timing(ip, InterfaceKind::Type1, job).expect("feasibility already checked");
+    let wait_needed = t.t_ip.max(t.t_b).get();
+
+    let mut func = Function::new("if1_template");
+    // Each template section gets its own block so the word packer cannot
+    // merge operations across section boundaries.
+    let init = func.add_block();
+    func.push_mop(init, Mop::agu_set(0, layout.in_x));
+    func.push_mop(init, Mop::agu_set(2, layout.in_y));
+
+    // Fill the in-buffers, two words per 2-cycle beat (Fig. 5 lines 2-5).
+    let fill = func.add_block();
+    let mut in_words_left = job.in_words;
+    for _ in 0..job.kernel_beats_in() {
+        func.push_mop(fill, Mop::load_x(Reg(0), 0));
+        func.push_mop(fill, Mop::agu_step(0, 1));
+        if in_words_left > 1 {
+            func.push_mop(fill, Mop::load_y(Reg(1), 2));
+            func.push_mop(fill, Mop::agu_step(2, 1));
+        }
+        func.push_mop(fill, Mop::buf_write(0, Reg(0)));
+        if in_words_left > 1 {
+            func.push_mop(fill, Mop::buf_write(1, Reg(1)));
+        }
+        in_words_left = in_words_left.saturating_sub(2);
+    }
+
+    // Start strobe + output pointer setup share one word (Fig. 5 line 6).
+    let start = func.add_block();
+    func.push_mop(start, Mop::ip_start());
+    func.push_mop(start, Mop::agu_set(1, layout.out_x));
+    func.push_mop(start, Mop::agu_set(3, layout.out_y));
+
+    // Parallel-code region, padded to the wait the IP/buffer fabric needs.
+    let wait = func.add_block();
+    let pc_cost = packed_cost(parallel_code);
+    for m in parallel_code {
+        func.push_mop(wait, m.clone());
+    }
+    for _ in pc_cost..wait_needed {
+        func.push_mop(wait, Mop::nop());
+    }
+
+    // Drain the out-buffers, two words per 2-cycle beat (Fig. 5 lines 7-10).
+    let drain = func.add_block();
+    let mut out_words_left = job.out_words;
+    for _ in 0..job.kernel_beats_out() {
+        func.push_mop(drain, Mop::buf_read(Reg(2), 2));
+        if out_words_left > 1 {
+            func.push_mop(drain, Mop::buf_read(Reg(3), 3));
+        }
+        func.push_mop(drain, Mop::store_x(Reg(2), 1));
+        func.push_mop(drain, Mop::agu_step(1, 1));
+        if out_words_left > 1 {
+            func.push_mop(drain, Mop::store_y(Reg(3), 3));
+            func.push_mop(drain, Mop::agu_step(3, 1));
+        }
+        out_words_left = out_words_left.saturating_sub(2);
+    }
+    let end = func.add_block();
+    func.push_mop(end, Mop::halt());
+    func.compute_edges();
+
+    let predicted = 1
+        + 2 * job.kernel_beats_in()
+        + 1
+        + pc_cost.max(wait_needed)
+        + 2 * job.kernel_beats_out();
+    Ok(Template {
+        function: func,
+        predicted_cycles: Cycles(predicted),
+    })
+}
+
+/// Packed cycle cost of a straight-line µ-operation sequence.
+#[must_use]
+pub fn packed_cost(mops: &[Mop]) -> u64 {
+    if mops.is_empty() {
+        return 0;
+    }
+    let mut f = Function::new("pc_cost");
+    let b = f.add_block();
+    for m in mops {
+        f.push_mop(b, m.clone());
+    }
+    f.compute_edges();
+    partita_mop::pack_words(&f)[0].len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_ip::IpFunction;
+    use partita_mop::pack_words;
+
+    fn fir_ip() -> IpBlock {
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(4, 4)
+            .latency(8)
+            .build()
+    }
+
+    #[test]
+    fn type0_word_count_matches_prediction() {
+        let ip = fir_ip();
+        let job = TransferJob::new(16, 16);
+        let t = emit_type0(&ip, job, DataLayout::default()).unwrap();
+        let words: usize = pack_words(&t.function)
+            .iter()
+            .map(|ws| ws.len())
+            .sum();
+        // Last word is the halt.
+        assert_eq!(words as u64 - 1, t.predicted_cycles.get());
+        // Prediction agrees with the analytic model.
+        let analytic = timing(&ip, InterfaceKind::Type0, job).unwrap();
+        assert_eq!(t.predicted_cycles, analytic.t_if);
+    }
+
+    #[test]
+    fn type0_slow_clock_pads_iterations() {
+        let ip = IpBlock::builder("fast")
+            .function(IpFunction::ComplexMul)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(2)
+            .build();
+        let job = TransferJob::new(8, 8);
+        let t = emit_type0(&ip, job, DataLayout::default()).unwrap();
+        let analytic = timing(&ip, InterfaceKind::Type0, job).unwrap();
+        assert_eq!(t.predicted_cycles, analytic.t_if);
+        let words: usize = pack_words(&t.function).iter().map(|w| w.len()).sum();
+        assert_eq!(words as u64 - 1, t.predicted_cycles.get());
+    }
+
+    #[test]
+    fn type1_word_count_matches_prediction() {
+        let ip = fir_ip();
+        let job = TransferJob::new(16, 16);
+        let t = emit_type1(&ip, job, DataLayout::default(), &[]).unwrap();
+        let words: usize = pack_words(&t.function).iter().map(|w| w.len()).sum();
+        assert_eq!(words as u64 - 1, t.predicted_cycles.get());
+    }
+
+    #[test]
+    fn type1_parallel_code_replaces_idle_words() {
+        let ip = fir_ip();
+        let job = TransferJob::new(16, 16);
+        let idle = emit_type1(&ip, job, DataLayout::default(), &[]).unwrap();
+        // Short parallel code: same total (it fits inside the wait).
+        let pc: Vec<Mop> = (0..5).map(|i| Mop::load_imm(Reg(4), i)).collect();
+        let with_pc = emit_type1(&ip, job, DataLayout::default(), &pc).unwrap();
+        assert_eq!(idle.predicted_cycles, with_pc.predicted_cycles);
+        // Oversized parallel code extends the region.
+        let big: Vec<Mop> = (0..200).map(|i| Mop::load_imm(Reg(4), i)).collect();
+        let with_big = emit_type1(&ip, job, DataLayout::default(), &big).unwrap();
+        assert!(with_big.predicted_cycles > idle.predicted_cycles);
+    }
+
+    #[test]
+    fn infeasible_ip_is_rejected() {
+        let wide = IpBlock::builder("wide")
+            .function(IpFunction::Fft)
+            .ports(4, 4)
+            .build();
+        assert!(matches!(
+            emit_type0(&wide, TransferJob::new(8, 8), DataLayout::default()),
+            Err(InterfaceError::Infeasible { .. })
+        ));
+        // Type 1 accepts it.
+        assert!(emit_type1(&wide, TransferJob::new(8, 8), DataLayout::default(), &[]).is_ok());
+    }
+
+    #[test]
+    fn packed_cost_counts_words() {
+        assert_eq!(packed_cost(&[]), 0);
+        let two_words = [Mop::load_imm(Reg(0), 1), Mop::load_imm(Reg(0), 2)];
+        assert_eq!(packed_cost(&two_words), 2);
+        let one_word = [Mop::load_x(Reg(0), 0), Mop::load_y(Reg(1), 2)];
+        assert_eq!(packed_cost(&one_word), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The paper's analytic performance model (§3, "Performance gain and
+//! implementation cost").
+//!
+//! * Types 0/2 (no buffers): data passing overlaps IP operation, so the
+//!   execution time is `MAX(T_IP, T_IF)`.
+//! * Types 1/3 (buffers): `T_IF_IN + MAX(T_IP, T_B) + T_IF_OUT`, reduced by
+//!   `MIN(T_IP, T_C)` when a parallel code of length `T_C` is available.
+//!
+//! The per-type `T_IF` terms are the exact cycle counts of the template
+//! implementations in [`crate::template`] and [`crate::fsm`]; the test
+//! suites of those modules pin the two against each other.
+
+use partita_ip::{IpBlock, Protocol};
+use partita_mop::Cycles;
+
+use crate::{check_feasibility, InfeasibleReason, InterfaceKind};
+
+/// Per-sample cycle overhead of the protocol transformer (paper Fig. 1):
+/// synchronous pipelined blocks are the standard and cost nothing; streaming
+/// valid/ready adds one cycle per transfer, a two-phase handshake two.
+#[must_use]
+pub fn protocol_overhead(protocol: Protocol) -> u32 {
+    match protocol {
+        Protocol::Synchronous => 0,
+        Protocol::Stream => 1,
+        Protocol::Handshake => 2,
+    }
+}
+
+/// The IP's input rate as seen through the protocol transformer.
+#[must_use]
+pub fn effective_in_rate(ip: &IpBlock) -> u32 {
+    ip.in_rate() + protocol_overhead(ip.protocol())
+}
+
+/// The IP's output rate as seen through the protocol transformer.
+#[must_use]
+pub fn effective_out_rate(ip: &IpBlock) -> u32 {
+    ip.out_rate() + protocol_overhead(ip.protocol())
+}
+
+/// A transfer job: how much data one s-call invocation moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransferJob {
+    /// Input words read from the data memories.
+    pub in_words: u64,
+    /// Result words written back.
+    pub out_words: u64,
+}
+
+impl TransferJob {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(in_words: u64, out_words: u64) -> TransferJob {
+        TransferJob {
+            in_words,
+            out_words,
+        }
+    }
+
+    /// IP-side input samples: one sample feeds all input ports at once.
+    #[must_use]
+    pub fn samples_in(&self, ip: &IpBlock) -> u64 {
+        self.in_words.div_ceil(u64::from(ip.in_ports().max(1)))
+    }
+
+    /// IP-side output samples.
+    #[must_use]
+    pub fn samples_out(&self, ip: &IpBlock) -> u64 {
+        self.out_words.div_ceil(u64::from(ip.out_ports().max(1)))
+    }
+
+    /// Kernel-side transfer beats: the kernel moves at most two words per
+    /// cycle (one X, one Y).
+    #[must_use]
+    pub fn kernel_beats_in(&self) -> u64 {
+        self.in_words.div_ceil(2)
+    }
+
+    /// Kernel-side output beats.
+    #[must_use]
+    pub fn kernel_beats_out(&self) -> u64 {
+        self.out_words.div_ceil(2)
+    }
+}
+
+/// The timing decomposition of one (IP, interface, job) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterfaceTiming {
+    /// Interface type.
+    pub kind: InterfaceKind,
+    /// Effective IP busy time `T_IP` (slow-clock factor applied for type 0).
+    pub t_ip: Cycles,
+    /// `T_IF` — controller time for the bufferless types (0/2); zero for
+    /// buffered types.
+    pub t_if: Cycles,
+    /// `T_IF_IN` — in-buffer fill time (types 1/3; zero otherwise).
+    pub t_if_in: Cycles,
+    /// `T_B` — buffer↔IP transfer time (types 1/3; zero otherwise).
+    pub t_b: Cycles,
+    /// `T_IF_OUT` — out-buffer drain time (types 1/3; zero otherwise).
+    pub t_if_out: Cycles,
+}
+
+impl InterfaceTiming {
+    /// Total execution time of the S-instruction, optionally overlapping a
+    /// parallel code of length `t_c` (only effective on types 1/3).
+    #[must_use]
+    pub fn total(&self, parallel_code: Option<Cycles>) -> Cycles {
+        match self.kind {
+            InterfaceKind::Type0 | InterfaceKind::Type2 => self.t_ip.max(self.t_if),
+            InterfaceKind::Type1 | InterfaceKind::Type3 => {
+                let busy = self.t_if_in + Cycles(1) + self.t_ip.max(self.t_b) + self.t_if_out;
+                match parallel_code {
+                    Some(t_c) => busy.saturating_sub(self.t_ip.min(t_c)),
+                    None => busy,
+                }
+            }
+        }
+    }
+}
+
+/// Computes the timing decomposition.
+///
+/// # Errors
+///
+/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+pub fn timing(
+    ip: &IpBlock,
+    kind: InterfaceKind,
+    job: TransferJob,
+) -> Result<InterfaceTiming, InfeasibleReason> {
+    let profile = check_feasibility(ip, kind)?;
+    let f = profile.slow_clock_factor;
+    let samples_in = job.samples_in(ip);
+    let samples_out = job.samples_out(ip);
+    let t_ip = Cycles(ip.execution_cycles(samples_in).get().saturating_mul(f));
+
+    let zero = Cycles::ZERO;
+    let t = match kind {
+        InterfaceKind::Type0 => {
+            // Two pointer-setup words, then `iter_len`-cycle iterations:
+            // pipeline-fill iterations (input only) followed by max(in, out)
+            // steady/drain iterations (Fig. 4).
+            let iter_len = u64::from(effective_in_rate(ip)) * f;
+            let fill = (u64::from(ip.latency()) * f).div_ceil(iter_len.max(1));
+            let iters = fill + samples_in.max(samples_out);
+            InterfaceTiming {
+                kind,
+                t_ip,
+                t_if: Cycles(2 + iter_len * iters),
+                t_if_in: zero,
+                t_b: zero,
+                t_if_out: zero,
+            }
+        }
+        InterfaceKind::Type2 => {
+            // DMA: one bus-setup cycle, then one (1 + PT overhead)-cycle
+            // repeat line per beat (Fig. 6) — fill, then steady/drain.
+            let beat = 1 + u64::from(protocol_overhead(ip.protocol()));
+            let fill = u64::from(ip.latency()).div_ceil(u64::from(ip.in_rate().max(1)));
+            InterfaceTiming {
+                kind,
+                t_ip,
+                t_if: Cycles(1 + fill + beat * samples_in.max(samples_out)),
+                t_if_in: zero,
+                t_b: zero,
+                t_if_out: zero,
+            }
+        }
+        InterfaceKind::Type1 | InterfaceKind::Type3 => {
+            // Buffer fill/drain by the kernel (type 1: two words per 2-cycle
+            // iteration; type 3: DMA at one beat per cycle), plus the buffer
+            // controller feeding the IP at its own data rates.
+            let (t_if_in, t_if_out) = if kind == InterfaceKind::Type1 {
+                (
+                    Cycles(1 + 2 * job.kernel_beats_in()),
+                    Cycles(2 * job.kernel_beats_out()),
+                )
+            } else {
+                (
+                    Cycles(1 + job.kernel_beats_in()),
+                    Cycles(job.kernel_beats_out()),
+                )
+            };
+            let t_b = Cycles(
+                u64::from(effective_in_rate(ip)) * samples_in
+                    + u64::from(effective_out_rate(ip)) * samples_out,
+            );
+            InterfaceTiming {
+                kind,
+                t_ip,
+                t_if: zero,
+                t_if_in,
+                t_b,
+                t_if_out,
+            }
+        }
+    };
+    Ok(t)
+}
+
+/// Total execution time of the accelerated s-call.
+///
+/// # Errors
+///
+/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+pub fn execution_time(
+    ip: &IpBlock,
+    kind: InterfaceKind,
+    job: TransferJob,
+    parallel_code: Option<Cycles>,
+) -> Result<Cycles, InfeasibleReason> {
+    Ok(timing(ip, kind, job)?.total(parallel_code))
+}
+
+/// Performance gain `T_SW − execution_time` (saturating at zero).
+///
+/// # Errors
+///
+/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+pub fn performance_gain(
+    t_sw: Cycles,
+    ip: &IpBlock,
+    kind: InterfaceKind,
+    job: TransferJob,
+    parallel_code: Option<Cycles>,
+) -> Result<Cycles, InfeasibleReason> {
+    Ok(t_sw.saturating_sub(execution_time(ip, kind, job, parallel_code)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_ip::IpFunction;
+
+    fn fir(in_rate: u32, out_rate: u32, latency: u32) -> IpBlock {
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(in_rate, out_rate)
+            .latency(latency)
+            .build()
+    }
+
+    #[test]
+    fn type0_formula() {
+        let ip = fir(4, 4, 8);
+        let job = TransferJob::new(64, 64); // 32 samples each way
+        let t = timing(&ip, InterfaceKind::Type0, job).unwrap();
+        // iter_len 4, fill = 8/4 = 2, iters = 2 + 32 = 34 -> 2 + 136.
+        assert_eq!(t.t_if, Cycles(138));
+        // T_IP = 8 + 4*31 = 132; total = max(132, 138) = 138.
+        assert_eq!(t.t_ip, Cycles(132));
+        assert_eq!(t.total(None), Cycles(138));
+        // Parallel code cannot help a type-0 interface.
+        assert_eq!(t.total(Some(Cycles(1000))), Cycles(138));
+    }
+
+    #[test]
+    fn type0_slow_clock_scales_ip_time() {
+        let ip = fir(1, 1, 4);
+        let job = TransferJob::new(16, 16);
+        let t = timing(&ip, InterfaceKind::Type0, job).unwrap();
+        // Slow factor 4: T_IP = 4 * (4 + 1*(8-1)) = 44.
+        assert_eq!(t.t_ip, Cycles(44));
+        // iter_len = 4, fill = 16/4 = 4, iters = 4 + 8 = 12 -> 50.
+        assert_eq!(t.t_if, Cycles(50));
+    }
+
+    #[test]
+    fn type2_is_faster_than_type0() {
+        let ip = fir(4, 4, 8);
+        let job = TransferJob::new(64, 64);
+        let t0 = execution_time(&ip, InterfaceKind::Type0, job, None).unwrap();
+        let t2 = execution_time(&ip, InterfaceKind::Type2, job, None).unwrap();
+        assert!(t2 <= t0);
+        // Type 2: T_IF = 1 + 2 + 32 = 35; total = max(132, 35) = T_IP.
+        assert_eq!(t2, Cycles(132));
+    }
+
+    #[test]
+    fn buffered_types_pay_fill_and_drain() {
+        let ip = fir(4, 4, 8);
+        let job = TransferJob::new(64, 64);
+        let t1 = timing(&ip, InterfaceKind::Type1, job).unwrap();
+        assert_eq!(t1.t_if_in, Cycles(1 + 64));
+        assert_eq!(t1.t_if_out, Cycles(64));
+        assert_eq!(t1.t_b, Cycles(4 * 32 + 4 * 32));
+        // total = 65 + 1 + max(132, 256) + 64 = 386.
+        assert_eq!(t1.total(None), Cycles(386));
+        let t3 = timing(&ip, InterfaceKind::Type3, job).unwrap();
+        assert_eq!(t3.t_if_in, Cycles(33));
+        assert_eq!(t3.t_if_out, Cycles(32));
+        assert!(t3.total(None) < t1.total(None));
+    }
+
+    #[test]
+    fn parallel_code_reduces_by_min_tip_tc() {
+        let ip = fir(4, 4, 8);
+        let job = TransferJob::new(64, 64);
+        let t3 = timing(&ip, InterfaceKind::Type3, job).unwrap();
+        let base = t3.total(None);
+        // Short parallel code: full T_C recovered.
+        assert_eq!(t3.total(Some(Cycles(50))), base - Cycles(50));
+        // Long parallel code: capped at T_IP.
+        assert_eq!(t3.total(Some(Cycles(10_000))), base - t3.t_ip);
+    }
+
+    #[test]
+    fn slower_ip_with_parallel_code_can_win() {
+        // The paper: "a slower IP with a parallel code can be better than a
+        // faster IP without a parallel code".
+        let fast = fir(2, 2, 4);
+        let slow = fir(3, 3, 30);
+        let job = TransferJob::new(128, 128);
+        let t_fast = execution_time(&fast, InterfaceKind::Type3, job, None).unwrap();
+        let t_slow = execution_time(&slow, InterfaceKind::Type3, job, Some(Cycles(100_000)))
+            .unwrap();
+        assert!(t_slow < t_fast, "{t_slow} !< {t_fast}");
+    }
+
+    #[test]
+    fn gain_saturates_at_zero() {
+        let ip = fir(4, 4, 1000);
+        let job = TransferJob::new(4, 4);
+        let g = performance_gain(Cycles(10), &ip, InterfaceKind::Type0, job, None).unwrap();
+        assert_eq!(g, Cycles::ZERO);
+    }
+
+    #[test]
+    fn infeasible_combination_propagates() {
+        let interp = IpBlock::builder("interp")
+            .function(IpFunction::InterpFilter)
+            .rates(4, 2)
+            .build();
+        assert!(timing(&interp, InterfaceKind::Type0, TransferJob::new(8, 16)).is_err());
+        assert!(timing(&interp, InterfaceKind::Type1, TransferJob::new(8, 16)).is_ok());
+    }
+
+    #[test]
+    fn protocol_transformer_slows_transfers() {
+        use partita_ip::Protocol;
+        let sync = fir(4, 4, 8);
+        let hand = IpBlock::builder("fir_hs")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(4, 4)
+            .latency(8)
+            .protocol(Protocol::Handshake)
+            .build();
+        let job = TransferJob::new(32, 32);
+        for kind in InterfaceKind::ALL {
+            let t_sync = execution_time(&sync, kind, job, None).unwrap();
+            let t_hand = execution_time(&hand, kind, job, None).unwrap();
+            assert!(
+                t_hand >= t_sync,
+                "{kind}: handshake {t_hand} must not beat synchronous {t_sync}"
+            );
+        }
+        // Type 0's iteration stretches by the overhead: 2 + 6·(fill+iters).
+        let t0 = timing(&hand, InterfaceKind::Type0, job).unwrap();
+        assert_eq!(t0.t_if, Cycles(2 + 6 * (2 + 16)));
+        assert_eq!(protocol_overhead(Protocol::Synchronous), 0);
+        assert_eq!(protocol_overhead(Protocol::Stream), 1);
+        assert_eq!(protocol_overhead(Protocol::Handshake), 2);
+        assert_eq!(effective_in_rate(&hand), 6);
+        assert_eq!(effective_out_rate(&hand), 6);
+    }
+
+    #[test]
+    fn fast_handshake_ip_needs_less_clock_slowing() {
+        use partita_ip::Protocol;
+        // in_rate 1 + handshake overhead 2 = 3 effective -> factor 2, not 4.
+        let ip = IpBlock::builder("hs")
+            .function(IpFunction::ComplexMul)
+            .ports(2, 2)
+            .rates(1, 1)
+            .latency(4)
+            .protocol(Protocol::Handshake)
+            .build();
+        let p = check_feasibility(&ip, InterfaceKind::Type0).unwrap();
+        assert_eq!(p.slow_clock_factor, 2);
+    }
+
+    #[test]
+    fn job_sample_accounting() {
+        let wide = IpBlock::builder("wide")
+            .function(IpFunction::Fft)
+            .ports(4, 4)
+            .build();
+        let job = TransferJob::new(64, 64);
+        assert_eq!(job.samples_in(&wide), 16);
+        assert_eq!(job.kernel_beats_in(), 32);
+        assert_eq!(job.samples_out(&wide), 16);
+        let job_odd = TransferJob::new(7, 3);
+        assert_eq!(job_odd.kernel_beats_in(), 4);
+        assert_eq!(job_odd.kernel_beats_out(), 2);
+    }
+}

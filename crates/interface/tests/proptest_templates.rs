@@ -1,0 +1,133 @@
+//! Property tests: for random IP shapes and job sizes, the emitted software
+//! templates execute in exactly their predicted cycle counts, and the
+//! analytic timing model obeys its structural laws.
+
+use proptest::prelude::*;
+
+use partita_asip::{CycleModel, ExecOptions, Executor, IpDevice, Kernel};
+use partita_interface::cosim::{BufferedIpDevice, StreamIpDevice};
+use partita_interface::template::{emit_type0, emit_type1, DataLayout};
+use partita_interface::{
+    check_feasibility, execution_time, timing, InterfaceKind, TransferJob,
+};
+use partita_ip::{IpBlock, IpFunction, Protocol};
+use partita_mop::{Cycles, MopProgram};
+
+fn ip_strategy() -> impl Strategy<Value = IpBlock> {
+    (
+        1u32..=8,
+        1u32..=48,
+        1u8..=2,
+        prop::bool::ANY,
+        prop_oneof![
+            Just(Protocol::Synchronous),
+            Just(Protocol::Stream),
+            Just(Protocol::Handshake)
+        ],
+    )
+        .prop_map(|(rate, latency, ports, pipelined, protocol)| {
+            let mut b = IpBlock::builder("prop_ip")
+                .function(IpFunction::Fir)
+                .ports(ports, ports)
+                .rates(rate, rate)
+                .latency(latency)
+                .protocol(protocol);
+            if !pipelined {
+                b = b.not_pipelined();
+            }
+            b.build()
+        })
+}
+
+fn run_template(
+    func: partita_mop::Function,
+    device: &mut dyn IpDevice,
+) -> Result<Cycles, partita_asip::ExecError> {
+    let mut p = MopProgram::new();
+    let id = p.add_function(func).expect("fresh program");
+    p.set_main(id).expect("valid id");
+    let mut kernel = Kernel::new(4096, 4096);
+    let report = Executor::new(&p).run_with_device(
+        &mut kernel,
+        device,
+        &ExecOptions {
+            cycle_model: CycleModel::PerWord,
+            branch_penalty: 0,
+            ..ExecOptions::default()
+        },
+    )?;
+    Ok(report.cycles - Cycles(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The type-0 template executes in exactly its predicted (= analytic)
+    /// cycle count for any feasible IP/job combination.
+    #[test]
+    fn type0_template_cycles_exact(ip in ip_strategy(), beats in 1u64..40) {
+        let words = beats * u64::from(ip.in_ports().min(2));
+        let job = TransferJob::new(words, words);
+        let layout = DataLayout { in_x: 0, in_y: 0, out_x: 2000, out_y: 2000 };
+        let Ok(t) = emit_type0(&ip, job, layout) else {
+            return Ok(()); // infeasible shape: nothing to check
+        };
+        let profile = check_feasibility(&ip, InterfaceKind::Type0).expect("emitted => feasible");
+        let mut dev = StreamIpDevice::new(
+            &ip,
+            profile.slow_clock_factor,
+            Box::new(|s| s.to_vec()),
+        );
+        let got = run_template(t.function.clone(), &mut dev).expect("runs cleanly");
+        prop_assert_eq!(got, t.predicted_cycles);
+        let analytic = timing(&ip, InterfaceKind::Type0, job).expect("feasible");
+        prop_assert_eq!(analytic.t_if, t.predicted_cycles);
+    }
+
+    /// Same for type 1, with and without random parallel code.
+    #[test]
+    fn type1_template_cycles_exact(ip in ip_strategy(), beats in 1u64..40, pc_len in 0u64..60) {
+        let job = TransferJob::new(beats * 2, beats * 2);
+        let layout = DataLayout { in_x: 0, in_y: 0, out_x: 2000, out_y: 2000 };
+        let pc: Vec<partita_mop::Mop> = (0..pc_len)
+            .map(|i| partita_mop::Mop::load_imm(partita_mop::Reg(5), i as i32))
+            .collect();
+        let Ok(t) = emit_type1(&ip, job, layout, &pc) else {
+            return Ok(());
+        };
+        let mut dev = BufferedIpDevice::new(&ip, job, Box::new(|i| i.to_vec()));
+        let got = run_template(t.function.clone(), &mut dev).expect("runs cleanly");
+        prop_assert_eq!(got, t.predicted_cycles);
+    }
+
+    /// Structural laws of the analytic model: more data never takes fewer
+    /// cycles; a parallel code never hurts; types 0/2 ignore parallel code.
+    #[test]
+    fn timing_model_monotonicity(ip in ip_strategy(), beats in 1u64..60, pc in 0u64..5000) {
+        let small = TransferJob::new(beats * 2, beats * 2);
+        let large = TransferJob::new(beats * 4, beats * 4);
+        for kind in InterfaceKind::ALL {
+            let Ok(t_small) = execution_time(&ip, kind, small, None) else { continue };
+            let t_large = execution_time(&ip, kind, large, None).expect("same feasibility");
+            prop_assert!(t_large >= t_small, "{kind}: growing the job shrank the time");
+            let t_pc = execution_time(&ip, kind, small, Some(Cycles(pc))).expect("feasible");
+            prop_assert!(t_pc <= t_small, "{kind}: parallel code increased the time");
+            if !kind.supports_parallel() {
+                prop_assert_eq!(t_pc, t_small);
+            }
+        }
+    }
+
+    /// The gain of a buffered interface with parallel code is capped by
+    /// T_IP (the paper's MIN(T_IP, T_C) term).
+    #[test]
+    fn parallel_reduction_caps_at_t_ip(ip in ip_strategy(), beats in 1u64..40) {
+        let job = TransferJob::new(beats * 2, beats * 2);
+        for kind in [InterfaceKind::Type1, InterfaceKind::Type3] {
+            let t = timing(&ip, kind, job).expect("buffered always feasible for 2-port ips");
+            let base = t.total(None);
+            let huge_pc = t.total(Some(Cycles(u64::MAX / 4)));
+            prop_assert_eq!(base - huge_pc, t.t_ip);
+        }
+    }
+}

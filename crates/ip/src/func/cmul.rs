@@ -1,0 +1,157 @@
+//! Complex multiplication — the paper's C-MUL IP (JPEG system, Table 3).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number over `f64`, used by the FFT/DCT kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + i·im`.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar_unit(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Integer complex multiply: `(ar + i·ai)(br + i·bi)` in `i64`.
+///
+/// This is exactly the four-multiplier/two-adder datapath of the C-MUL IP.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::cmul_i32;
+/// assert_eq!(cmul_i32((1, 2), (3, 4)), (-5, 10));
+/// ```
+#[must_use]
+pub fn cmul_i32(a: (i32, i32), b: (i32, i32)) -> (i64, i64) {
+    let (ar, ai) = (i64::from(a.0), i64::from(a.1));
+    let (br, bi) = (i64::from(b.0), i64::from(b.1));
+    (ar * br - ai * bi, ar * bi + ai * br)
+}
+
+/// Element-wise complex multiply of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn cmul_slice(a: &[(i32, i32)], b: &[(i32, i32)]) -> Vec<(i64, i64)> {
+    assert_eq!(a.len(), b.len(), "complex slice length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| cmul_i32(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(cmul_i32((0, 1), (0, 1)), (-1, 0));
+    }
+
+    #[test]
+    fn conjugate_product_is_norm() {
+        let a = (3, 4);
+        let (re, im) = cmul_i32(a, (a.0, -a.1));
+        assert_eq!((re, im), (25, 0));
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn polar_unit_circle() {
+        let c = Complex::from_polar_unit(std::f64::consts::FRAC_PI_2);
+        assert!(c.re.abs() < 1e-12);
+        assert!((c.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_multiply() {
+        let out = cmul_slice(&[(1, 0), (0, 1)], &[(2, 0), (0, 2)]);
+        assert_eq!(out, vec![(2, 0), (-2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        let _ = cmul_slice(&[(1, 1)], &[]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Cross-correlation (the GSM codec's pitch/LTP search primitive).
+
+/// Cross-correlation `r[l] = Σ_n x[n] · y[n+l]` for lags `0..max_lag`.
+///
+/// Out-of-range `y` samples are treated as zero.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::cross_correlate;
+/// let r = cross_correlate(&[1, 2], &[0, 1, 2], 3);
+/// assert_eq!(r, vec![2, 5, 2]); // lag 1 aligns the sequences
+/// ```
+#[must_use]
+pub fn cross_correlate(x: &[i32], y: &[i32], max_lag: usize) -> Vec<i64> {
+    (0..max_lag)
+        .map(|lag| {
+            x.iter()
+                .enumerate()
+                .filter_map(|(n, &xv)| {
+                    y.get(n + lag)
+                        .map(|&yv| i64::from(xv) * i64::from(yv))
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Lag of the correlation peak over `0..max_lag` (the LTP lag estimate).
+///
+/// Returns `None` when `max_lag == 0`.
+#[must_use]
+pub fn normalized_peak_lag(x: &[i32], y: &[i32], max_lag: usize) -> Option<usize> {
+    let r = cross_correlate(x, y, max_lag);
+    r.iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(lag, _)| lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lag_is_dot_product() {
+        let r = cross_correlate(&[1, 2, 3], &[4, 5, 6], 1);
+        assert_eq!(r[0], 4 + 10 + 18);
+    }
+
+    #[test]
+    fn finds_embedded_delay() {
+        // y is x delayed by 3 samples.
+        let x = [5, -2, 7, 1];
+        let mut y = vec![0i32; 3];
+        y.extend_from_slice(&x);
+        assert_eq!(normalized_peak_lag(&x, &y, 6), Some(3));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(cross_correlate(&[], &[], 4).iter().all(|&v| v == 0));
+        assert_eq!(normalized_peak_lag(&[1], &[1], 0), None);
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let r = cross_correlate(&[-1, -1], &[-1, -1], 2);
+        assert_eq!(r, vec![2, 1]);
+    }
+}

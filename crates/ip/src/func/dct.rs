@@ -1,0 +1,168 @@
+//! Discrete cosine transforms (JPEG's 2D-DCT built from two 1D-DCT passes,
+//! exactly the hierarchy of the paper's Fig. 11).
+
+use std::f64::consts::PI;
+
+/// Orthonormal DCT-II of an arbitrary-length slice.
+///
+/// `X[k] = c(k) · Σ_n x[n] · cos(π(2n+1)k / 2N)` with
+/// `c(0) = √(1/N)`, `c(k>0) = √(2/N)`.
+#[must_use]
+pub fn dct1d(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|k| {
+            let c = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            c * x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * (PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Inverse of [`dct1d`] (DCT-III with matching normalisation).
+#[must_use]
+pub fn idct1d(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| {
+            x.iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    let c = if k == 0 {
+                        (1.0 / n as f64).sqrt()
+                    } else {
+                        (2.0 / n as f64).sqrt()
+                    };
+                    c * v * (PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Separable 2D DCT of a row-major `rows × cols` block: 1D DCT over every
+/// row, then over every column — the composition the paper's JPEG IP
+/// hierarchy exposes ("2D-DCT consists of two 1D-DCTs").
+///
+/// # Panics
+///
+/// Panics if `block.len() != rows * cols`.
+#[must_use]
+pub fn dct2d(block: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(block.len(), rows * cols, "block shape mismatch");
+    transform2d(block, rows, cols, dct1d)
+}
+
+/// Inverse 2D DCT.
+///
+/// # Panics
+///
+/// Panics if `block.len() != rows * cols`.
+#[must_use]
+pub fn idct2d(block: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(block.len(), rows * cols, "block shape mismatch");
+    transform2d(block, rows, cols, idct1d)
+}
+
+fn transform2d(
+    block: &[f64],
+    rows: usize,
+    cols: usize,
+    pass: fn(&[f64]) -> Vec<f64>,
+) -> Vec<f64> {
+    // Rows.
+    let mut tmp = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let out = pass(&block[r * cols..(r + 1) * cols]);
+        tmp[r * cols..(r + 1) * cols].copy_from_slice(&out);
+    }
+    // Columns.
+    let mut out = vec![0.0; rows * cols];
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = tmp[r * cols + c];
+        }
+        let t = pass(&col);
+        for r in 0..rows {
+            out[r * cols + c] = t[r];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dc_of_constant_signal() {
+        let x = vec![2.0; 8];
+        let y = dct1d(&x);
+        assert!((y[0] - 2.0 * 8.0f64.sqrt()).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        assert_close(&idct1d(&dct1d(&x)), &x, 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let block: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64).collect();
+        let freq = dct2d(&block, 8, 8);
+        assert_close(&idct2d(&freq, 8, 8), &block, 1e-9);
+    }
+
+    #[test]
+    fn orthonormal_energy_preserved() {
+        let x: Vec<f64> = (0..8).map(|i| (i as f64).cos()).collect();
+        let y = dct1d(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_blocks() {
+        let block: Vec<f64> = (0..12).map(f64::from).collect();
+        let freq = dct2d(&block, 3, 4);
+        assert_close(&idct2d(&freq, 3, 4), &block, 1e-10);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dct1d(&[]).is_empty());
+        assert!(idct1d(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_panics() {
+        let _ = dct2d(&[1.0; 5], 2, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Radix-2 fast Fourier transform (the JPEG system's FFT IP).
+
+use std::error::Error;
+use std::fmt;
+
+use super::Complex;
+
+/// Error raised for invalid FFT sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftError {
+    len: usize,
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fft length {} is not a power of two", self.len)
+    }
+}
+
+impl Error for FftError {}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`FftError`] when `data.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::{fft, Complex};
+/// let mut x = vec![Complex::ONE; 4];
+/// fft(&mut x)?;
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok::<(), partita_ip::func::FftError>(())
+/// ```
+pub fn fft(data: &mut [Complex]) -> Result<(), FftError> {
+    fft_dir(data, -1.0)
+}
+
+/// Inverse FFT (scaled by `1/N`).
+///
+/// # Errors
+///
+/// Returns [`FftError`] when `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) -> Result<(), FftError> {
+    fft_dir(data, 1.0)?;
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+    Ok(())
+}
+
+fn fft_dir(data: &mut [Complex], sign: f64) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(FftError { len: n });
+    }
+    // Bit-reversal permutation (a 1-point transform is the identity).
+    let bits = n.trailing_zeros();
+    if bits == 0 {
+        return Ok(());
+    }
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// O(N²) reference DFT used to validate the FFT.
+#[must_use]
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc + v * Complex::from_polar_unit(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let reference = dft_naive(&x);
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        for (f, r) in fast.iter().zip(&reference) {
+            assert!(close(*f, *r, 1e-9), "{f:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        ifft(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x).unwrap();
+        for v in &x {
+            assert!(close(*v, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::ZERO; 6];
+        assert!(fft(&mut x).is_err());
+        let mut e = vec![];
+        assert!(fft(&mut e).is_err());
+        assert!(FftError { len: 6 }.to_string().contains("6"));
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let mut x = vec![Complex::new(3.5, -1.0)];
+        fft(&mut x).unwrap();
+        assert!(close(x[0], Complex::new(3.5, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.abs().powi(2)).sum();
+        let mut y = x;
+        fft(&mut y).unwrap();
+        let freq_energy: f64 = y.iter().map(|v| v.abs().powi(2)).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+}

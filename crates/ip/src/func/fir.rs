@@ -1,0 +1,137 @@
+//! Finite impulse response filtering.
+
+/// Direct-form FIR: `y[n] = Σ_k h[k] · x[n−k]`, zero-padded history.
+///
+/// Returns one output per input sample, accumulated in `i64` (no overflow
+/// for |x|,|h| < 2³¹ and taps ≤ 2).
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::fir_direct;
+/// // Moving sum of 2.
+/// assert_eq!(fir_direct(&[1, 2, 3], &[1, 1]), vec![1, 3, 5]);
+/// ```
+#[must_use]
+pub fn fir_direct(x: &[i32], h: &[i32]) -> Vec<i64> {
+    x.iter()
+        .enumerate()
+        .map(|(n, _)| {
+            h.iter()
+                .enumerate()
+                .filter(|&(k, _)| k <= n)
+                .map(|(k, &hk)| i64::from(hk) * i64::from(x[n - k]))
+                .sum()
+        })
+        .collect()
+}
+
+/// A streaming FIR filter with internal delay line — the shape of the
+/// hardware block: one sample in, one sample out.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::FirFilter;
+/// let mut f = FirFilter::new(vec![1, 1]);
+/// assert_eq!(f.step(1), 1);
+/// assert_eq!(f.step(2), 3);
+/// assert_eq!(f.step(3), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirFilter {
+    taps: Vec<i32>,
+    delay: Vec<i32>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter with the given taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    #[must_use]
+    pub fn new(taps: Vec<i32>) -> FirFilter {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        let n = taps.len();
+        FirFilter {
+            taps,
+            delay: vec![0; n],
+            pos: 0,
+        }
+    }
+
+    /// The filter taps.
+    #[must_use]
+    pub fn taps(&self) -> &[i32] {
+        &self.taps
+    }
+
+    /// Pushes one sample and returns the filtered output.
+    pub fn step(&mut self, x: i32) -> i64 {
+        let n = self.taps.len();
+        self.delay[self.pos] = x;
+        let mut acc = 0i64;
+        for (k, &h) in self.taps.iter().enumerate() {
+            let idx = (self.pos + n - k) % n;
+            acc += i64::from(h) * i64::from(self.delay[idx]);
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.fill(0);
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter() {
+        assert_eq!(fir_direct(&[5, -3, 7], &[1]), vec![5, -3, 7]);
+    }
+
+    #[test]
+    fn streaming_matches_direct() {
+        let taps = vec![3, -1, 4, 1, -5];
+        let x: Vec<i32> = (0..32).map(|i| (i * 17 % 23) - 11).collect();
+        let direct = fir_direct(&x, &taps);
+        let mut f = FirFilter::new(taps);
+        let streamed: Vec<i64> = x.iter().map(|&s| f.step(s)).collect();
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = FirFilter::new(vec![1, 1]);
+        f.step(9);
+        f.reset();
+        assert_eq!(f.step(1), 1);
+    }
+
+    #[test]
+    fn linearity() {
+        let taps = vec![2, 0, -3];
+        let a: Vec<i32> = vec![1, 4, -2, 8];
+        let b: Vec<i32> = vec![5, -1, 0, 3];
+        let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ya = fir_direct(&a, &taps);
+        let yb = fir_direct(&b, &taps);
+        let ys = fir_direct(&sum, &taps);
+        for i in 0..4 {
+            assert_eq!(ys[i], ya[i] + yb[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = FirFilter::new(vec![]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Interpolation filter — the paper's example of an IP whose input and
+//! output data rates differ (§3, "Different input and output data rates"),
+//! which rules out the type-0 software interface.
+
+use super::fir_direct;
+
+/// Upsamples `x` by factor `l` (zero stuffing) and smooths with FIR `h`.
+///
+/// Produces `l` outputs per input — the rate mismatch that forces the
+/// interface selector away from type 0.
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::interpolate;
+/// // Linear interpolation by 2 with the triangle kernel [1, 2, 1] (gain 2).
+/// let y = interpolate(&[2, 4], 2, &[1, 2, 1]);
+/// assert_eq!(y, vec![2, 4, 6, 8]); // 6 = 2 + 4, the interpolated midpoint
+/// ```
+#[must_use]
+pub fn interpolate(x: &[i32], l: usize, h: &[i32]) -> Vec<i64> {
+    assert!(l > 0, "interpolation factor must be positive");
+    let mut up: Vec<i32> = Vec::with_capacity(x.len() * l);
+    for &v in x {
+        up.push(v);
+        up.extend(std::iter::repeat_n(0, l - 1));
+    }
+    fir_direct(&up, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rate_is_l_times_input_rate() {
+        let y = interpolate(&[1, 2, 3], 4, &[1]);
+        assert_eq!(y.len(), 12);
+    }
+
+    #[test]
+    fn factor_one_is_plain_fir() {
+        let x = [3, 1, 4];
+        assert_eq!(interpolate(&x, 1, &[1, 1]), fir_direct(&x, &[1, 1]));
+    }
+
+    #[test]
+    fn zero_stuffing_positions() {
+        let y = interpolate(&[7, 9], 3, &[1]);
+        assert_eq!(y, vec![7, 0, 0, 9, 0, 0]);
+    }
+
+    #[test]
+    fn linear_interpolation_midpoints() {
+        // Triangle kernel scaled by 2: midpoint = (a + b).
+        let y = interpolate(&[10, 20, 30], 2, &[1, 2, 1]);
+        // y[n] = up[n] + 2·up[n−1] + up[n−2] over up = [10,0,20,0,30,0].
+        assert_eq!(y[1], 20); // 2·10 (sample, gain 2)
+        assert_eq!(y[2], 30); // 20 + 10 (midpoint · 2... = x0 + x1)
+        assert_eq!(y[3], 40); // 2·20
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_factor_panics() {
+        let _ = interpolate(&[1], 0, &[1]);
+    }
+}

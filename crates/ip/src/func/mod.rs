@@ -1,0 +1,29 @@
+//! Reference functional implementations of the IP blocks the paper names.
+//!
+//! These are the "golden models": the co-simulator replays them when the
+//! kernel hands data to an IP, and the examples use them to show that an
+//! accelerated program computes the same results as the software path.
+//!
+//! Integer kernels (FIR, IIR, correlator, quantizer, interpolator, zig-zag,
+//! complex multiply) are bit-exact in `i64`; the transform kernels (DCT,
+//! FFT) use `f64` with documented tolerances.
+
+mod cmul;
+mod corr;
+mod dct;
+mod fft;
+mod fir;
+mod iir;
+mod interp;
+mod quant;
+mod zigzag;
+
+pub use cmul::{cmul_i32, cmul_slice, Complex};
+pub use corr::{cross_correlate, normalized_peak_lag};
+pub use dct::{dct1d, dct2d, idct1d, idct2d};
+pub use fft::{dft_naive, fft, ifft, FftError};
+pub use fir::{fir_direct, FirFilter};
+pub use iir::{iir_df1, Biquad};
+pub use interp::interpolate;
+pub use quant::{dequantize_uniform, quantize_table, quantize_uniform};
+pub use zigzag::{zigzag_indices, zigzag_inverse, zigzag_scan};

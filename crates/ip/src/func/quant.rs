@@ -1,0 +1,102 @@
+//! Quantizers (GSM RPE quantisation, JPEG coefficient quantisation).
+
+/// Uniform mid-tread quantizer: `round(x / step)`, clamped to
+/// `[-levels, levels]`.
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::quantize_uniform;
+/// assert_eq!(quantize_uniform(&[0, 7, 13, -13], 8, 3), vec![0, 1, 2, -2]);
+/// ```
+#[must_use]
+pub fn quantize_uniform(x: &[i32], step: i32, levels: i32) -> Vec<i32> {
+    assert!(step != 0, "quantizer step must be non-zero");
+    x.iter()
+        .map(|&v| {
+            let half = step / 2;
+            let q = if v >= 0 {
+                (v + half) / step
+            } else {
+                -((-v + half) / step)
+            };
+            q.clamp(-levels, levels)
+        })
+        .collect()
+}
+
+/// Inverse of [`quantize_uniform`]: `q · step`.
+#[must_use]
+pub fn dequantize_uniform(q: &[i32], step: i32) -> Vec<i32> {
+    q.iter().map(|&v| v * step).collect()
+}
+
+/// Table-driven quantizer (JPEG-style): element-wise `round(x / table)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any table entry is zero.
+#[must_use]
+pub fn quantize_table(x: &[i32], table: &[i32]) -> Vec<i32> {
+    assert_eq!(x.len(), table.len(), "value/table length mismatch");
+    x.iter()
+        .zip(table)
+        .map(|(&v, &t)| {
+            assert!(t != 0, "quantisation table entry must be non-zero");
+            let half = t / 2;
+            if v >= 0 {
+                (v + half) / t
+            } else {
+                -((-v + half) / t)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_around_zero() {
+        let q = quantize_uniform(&[9, -9], 4, 100);
+        assert_eq!(q[0], -q[1]);
+    }
+
+    #[test]
+    fn clamping_limits_levels() {
+        assert_eq!(quantize_uniform(&[1000, -1000], 1, 7), vec![7, -7]);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded() {
+        let step = 16;
+        let xs: Vec<i32> = (-100..100).collect();
+        let q = quantize_uniform(&xs, step, 1000);
+        let back = dequantize_uniform(&q, step);
+        for (x, b) in xs.iter().zip(&back) {
+            assert!((x - b).abs() <= step / 2, "{x} -> {b}");
+        }
+    }
+
+    #[test]
+    fn table_quantizer_elementwise() {
+        assert_eq!(quantize_table(&[16, 33, -7], &[16, 16, 8]), vec![1, 2, -1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn table_length_mismatch_panics() {
+        let _ = quantize_table(&[1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_step_panics() {
+        let _ = quantize_uniform(&[1], 0, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Zig-zag coefficient scan (the JPEG system's ZIG_ZAG IP, Table 3).
+
+/// The zig-zag visiting order of an `n × n` block as row-major indices.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::func::zigzag_indices;
+/// assert_eq!(zigzag_indices(2), vec![0, 1, 2, 3]);
+/// assert_eq!(zigzag_indices(3), vec![0, 1, 3, 6, 4, 2, 5, 7, 8]);
+/// ```
+#[must_use]
+pub fn zigzag_indices(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n * n);
+    for s in 0..(2 * n).saturating_sub(1) {
+        if s % 2 == 0 {
+            // Up-right: row decreasing.
+            let r0 = s.min(n - 1);
+            let c0 = s - r0;
+            let (mut r, mut c) = (r0 as isize, c0 as isize);
+            while r >= 0 && (c as usize) < n {
+                out.push(r as usize * n + c as usize);
+                r -= 1;
+                c += 1;
+            }
+        } else {
+            // Down-left: column decreasing.
+            let c0 = s.min(n - 1);
+            let r0 = s - c0;
+            let (mut r, mut c) = (r0 as isize, c0 as isize);
+            while c >= 0 && (r as usize) < n {
+                out.push(r as usize * n + c as usize);
+                r += 1;
+                c -= 1;
+            }
+        }
+    }
+    if n == 0 {
+        out.clear();
+    }
+    out
+}
+
+/// Scans a row-major `n × n` block in zig-zag order.
+///
+/// # Panics
+///
+/// Panics if `block.len() != n * n`.
+#[must_use]
+pub fn zigzag_scan(block: &[i32], n: usize) -> Vec<i32> {
+    assert_eq!(block.len(), n * n, "block shape mismatch");
+    zigzag_indices(n).into_iter().map(|i| block[i]).collect()
+}
+
+/// Undoes [`zigzag_scan`].
+///
+/// # Panics
+///
+/// Panics if `scanned.len() != n * n`.
+#[must_use]
+pub fn zigzag_inverse(scanned: &[i32], n: usize) -> Vec<i32> {
+    assert_eq!(scanned.len(), n * n, "scan length mismatch");
+    let mut out = vec![0; n * n];
+    for (pos, idx) in zigzag_indices(n).into_iter().enumerate() {
+        out[idx] = scanned[pos];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jpeg_8x8_order_prefix() {
+        // The canonical JPEG zig-zag starts 0, 1, 8, 16, 9, 2, 3, 10, ...
+        let idx = zigzag_indices(8);
+        assert_eq!(&idx[..8], &[0, 1, 8, 16, 9, 2, 3, 10]);
+        assert_eq!(idx.len(), 64);
+        assert_eq!(*idx.last().unwrap(), 63);
+    }
+
+    #[test]
+    fn indices_are_a_permutation() {
+        for n in 1..=9 {
+            let mut idx = zigzag_indices(n);
+            idx.sort_unstable();
+            assert_eq!(idx, (0..n * n).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_then_inverse_is_identity() {
+        let block: Vec<i32> = (0..49).collect();
+        let scanned = zigzag_scan(&block, 7);
+        assert_eq!(zigzag_inverse(&scanned, 7), block);
+    }
+
+    #[test]
+    fn low_frequencies_come_first() {
+        // Energy compaction: index sum (r+c) must be non-decreasing.
+        let idx = zigzag_indices(8);
+        let diag: Vec<usize> = idx.iter().map(|i| i / 8 + i % 8).collect();
+        assert!(diag.windows(2).all(|w| w[1] >= w[0] || w[1] + 1 >= w[0]));
+        assert_eq!(diag[0], 0);
+        assert_eq!(*diag.last().unwrap(), 14);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(zigzag_indices(0), Vec::<usize>::new());
+        assert_eq!(zigzag_indices(1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_block_panics() {
+        let _ = zigzag_scan(&[1, 2, 3], 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hardware IP block models and functional DSP kernels.
+//!
+//! The paper (§3, §5) accelerates s-calls with reusable IP blocks — filters,
+//! correlators, quantizers, DCT/FFT engines, complex multipliers, zig-zag
+//! scanners. This crate provides:
+//!
+//! * [`IpBlock`] — the structural/timing model the interface selector needs:
+//!   port counts, input/output data rates, pipeline latency, area, protocol,
+//!   and the set of functions the block implements (an *S-IP* implements
+//!   one function, an *M-IP* several — Definition 2);
+//! * [`IpLibrary`] — a searchable collection of blocks;
+//! * [`func`] — reference functional implementations of every block the
+//!   paper names, used by the co-simulator and the examples.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_ip::{IpBlock, IpFunction, IpLibrary};
+//! use partita_mop::AreaTenths;
+//!
+//! let fir = IpBlock::builder("fir16")
+//!     .function(IpFunction::Fir)
+//!     .ports(2, 2)
+//!     .rates(4, 4)
+//!     .latency(8)
+//!     .area(AreaTenths::from_units(3))
+//!     .build();
+//! let mut lib = IpLibrary::new();
+//! let id = lib.add(fir);
+//! assert!(lib.block(id).unwrap().supports(&IpFunction::Fir));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod func;
+mod library;
+mod model;
+
+pub use library::IpLibrary;
+pub use model::{IpBlock, IpBlockBuilder, IpFunction, IpId, Protocol};

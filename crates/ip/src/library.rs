@@ -1,0 +1,134 @@
+//! A searchable collection of IP blocks.
+
+use crate::{IpBlock, IpFunction, IpId};
+
+/// The IP library handed to the S-instruction generator.
+///
+/// # Example
+///
+/// ```
+/// use partita_ip::{IpBlock, IpFunction, IpLibrary};
+/// let mut lib = IpLibrary::new();
+/// lib.add(IpBlock::builder("fir_a").function(IpFunction::Fir).build());
+/// lib.add(IpBlock::builder("fir_b").function(IpFunction::Fir).build());
+/// assert_eq!(lib.supporting(&IpFunction::Fir).len(), 2);
+/// assert!(lib.supporting(&IpFunction::Fft).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IpLibrary {
+    blocks: Vec<IpBlock>,
+}
+
+impl IpLibrary {
+    /// Creates an empty library.
+    #[must_use]
+    pub fn new() -> IpLibrary {
+        IpLibrary::default()
+    }
+
+    /// Adds a block and returns its id within this library.
+    pub fn add(&mut self, mut block: IpBlock) -> IpId {
+        let id = IpId::from_index(self.blocks.len());
+        block.set_id(id);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Looks up a block by id.
+    #[must_use]
+    pub fn block(&self, id: IpId) -> Option<&IpBlock> {
+        self.blocks.get(id.index())
+    }
+
+    /// Looks up a block by name.
+    #[must_use]
+    pub fn block_by_name(&self, name: &str) -> Option<&IpBlock> {
+        self.blocks.iter().find(|b| b.name() == name)
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the library holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates over all blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, IpBlock> {
+        self.blocks.iter()
+    }
+
+    /// All blocks that implement `f`.
+    #[must_use]
+    pub fn supporting(&self, f: &IpFunction) -> Vec<&IpBlock> {
+        self.blocks.iter().filter(|b| b.supports(f)).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a IpLibrary {
+    type Item = &'a IpBlock;
+    type IntoIter = std::slice::Iter<'a, IpBlock>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+impl Extend<IpBlock> for IpLibrary {
+    fn extend<T: IntoIterator<Item = IpBlock>>(&mut self, iter: T) {
+        for b in iter {
+            self.add(b);
+        }
+    }
+}
+
+impl FromIterator<IpBlock> for IpLibrary {
+    fn from_iter<T: IntoIterator<Item = IpBlock>>(iter: T) -> IpLibrary {
+        let mut lib = IpLibrary::new();
+        lib.extend(iter);
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_assigned_sequentially() {
+        let mut lib = IpLibrary::new();
+        let a = lib.add(IpBlock::builder("a").function(IpFunction::Fir).build());
+        let b = lib.add(IpBlock::builder("b").function(IpFunction::Fft).build());
+        assert_eq!(a, IpId(0));
+        assert_eq!(b, IpId(1));
+        assert_eq!(lib.block(b).unwrap().name(), "b");
+        assert_eq!(lib.block(IpId(5)), None);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lib: IpLibrary = [IpBlock::builder("dct").function(IpFunction::Dct1d).build()]
+            .into_iter()
+            .collect();
+        assert!(lib.block_by_name("dct").is_some());
+        assert!(lib.block_by_name("nope").is_none());
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn iteration() {
+        let mut lib = IpLibrary::new();
+        lib.extend([
+            IpBlock::builder("a").function(IpFunction::Fir).build(),
+            IpBlock::builder("b").function(IpFunction::Iir).build(),
+        ]);
+        let names: Vec<_> = (&lib).into_iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(lib.iter().count(), 2);
+    }
+}

@@ -1,0 +1,431 @@
+//! Structural and timing model of an IP block.
+
+use std::fmt;
+
+use partita_mop::{AreaTenths, Cycles};
+
+/// Identifier of an IP block inside an [`crate::IpLibrary`].
+///
+/// Displayed as `IP12` to match the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IpId(pub u32);
+
+impl IpId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> IpId {
+        IpId(u32::try_from(index).expect("ip index overflows u32"))
+    }
+}
+
+impl fmt::Display for IpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IP{}", self.0)
+    }
+}
+
+/// The DSP function(s) an IP block can perform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IpFunction {
+    /// Finite impulse response filter.
+    Fir,
+    /// Infinite impulse response filter.
+    Iir,
+    /// Cross-correlator.
+    Correlator,
+    /// Quantizer.
+    Quantizer,
+    /// Interpolation filter (output rate differs from input rate).
+    InterpFilter,
+    /// One-dimensional DCT.
+    Dct1d,
+    /// Two-dimensional DCT.
+    Dct2d,
+    /// Fast Fourier transform.
+    Fft,
+    /// Complex multiplier.
+    ComplexMul,
+    /// Zig-zag scan of a coefficient block.
+    ZigZag,
+    /// Any other function, named.
+    Custom(String),
+}
+
+impl fmt::Display for IpFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpFunction::Fir => f.write_str("fir"),
+            IpFunction::Iir => f.write_str("iir"),
+            IpFunction::Correlator => f.write_str("correlator"),
+            IpFunction::Quantizer => f.write_str("quantizer"),
+            IpFunction::InterpFilter => f.write_str("interp_filter"),
+            IpFunction::Dct1d => f.write_str("dct1d"),
+            IpFunction::Dct2d => f.write_str("dct2d"),
+            IpFunction::Fft => f.write_str("fft"),
+            IpFunction::ComplexMul => f.write_str("cmul"),
+            IpFunction::ZigZag => f.write_str("zig_zag"),
+            IpFunction::Custom(name) => f.write_str(name),
+        }
+    }
+}
+
+/// On-wire protocol of the IP, consumed by the protocol transformer.
+///
+/// The paper standardises on a synchronous pipelined protocol and borrows
+/// published transformers for the rest; the interface crate models the
+/// transformer as a fixed per-transfer latency for non-synchronous blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protocol {
+    /// Synchronous (and typically pipelined) — the standard, zero-cost case.
+    #[default]
+    Synchronous,
+    /// Two-phase request/acknowledge handshake.
+    Handshake,
+    /// Valid/ready streaming.
+    Stream,
+}
+
+/// An IP block: the structural facts the interface selector needs.
+///
+/// Timing model (paper §3): a pipelined block producing `n` results runs for
+/// `latency + in_rate·(n−1)` cycles; a non-pipelined block runs for
+/// `latency·n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpBlock {
+    id: IpId,
+    name: String,
+    functions: Vec<IpFunction>,
+    in_ports: u8,
+    out_ports: u8,
+    in_rate: u32,
+    out_rate: u32,
+    latency: u32,
+    pipelined: bool,
+    area: AreaTenths,
+    protocol: Protocol,
+}
+
+impl IpBlock {
+    /// Starts building a block with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> IpBlockBuilder {
+        IpBlockBuilder::new(name)
+    }
+
+    /// The block's library id (set when added to a library).
+    #[must_use]
+    pub fn id(&self) -> IpId {
+        self.id
+    }
+
+    pub(crate) fn set_id(&mut self, id: IpId) {
+        self.id = id;
+    }
+
+    /// The block's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functions this block implements.
+    #[must_use]
+    pub fn functions(&self) -> &[IpFunction] {
+        &self.functions
+    }
+
+    /// `true` if this is a multi-function block (*M-IP*, Definition 2).
+    #[must_use]
+    pub fn is_multi_function(&self) -> bool {
+        self.functions.len() > 1
+    }
+
+    /// `true` if the block implements `f`.
+    #[must_use]
+    pub fn supports(&self, f: &IpFunction) -> bool {
+        self.functions.contains(f)
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn in_ports(&self) -> u8 {
+        self.in_ports
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn out_ports(&self) -> u8 {
+        self.out_ports
+    }
+
+    /// Input data rate: cycles between successive input samples.
+    #[must_use]
+    pub fn in_rate(&self) -> u32 {
+        self.in_rate
+    }
+
+    /// Output data rate: cycles between successive results.
+    #[must_use]
+    pub fn out_rate(&self) -> u32 {
+        self.out_rate
+    }
+
+    /// `true` if input and output rates differ (e.g. an interpolation
+    /// filter) — such blocks cannot use a type-0 interface (paper §3).
+    #[must_use]
+    pub fn has_rate_mismatch(&self) -> bool {
+        self.in_rate != self.out_rate
+    }
+
+    /// Latency from first input to first output, in IP clock cycles.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// `true` if the datapath is pipelined.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Silicon area of the bare block (`A_IP`).
+    #[must_use]
+    pub fn area(&self) -> AreaTenths {
+        self.area
+    }
+
+    /// On-wire protocol.
+    #[must_use]
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Total execution time `T_IP` for processing `items` samples.
+    ///
+    /// Pipelined: `latency + in_rate·(items − 1)`. Non-pipelined: each item
+    /// occupies the whole datapath for `latency` cycles.
+    #[must_use]
+    pub fn execution_cycles(&self, items: u64) -> Cycles {
+        if items == 0 {
+            return Cycles::ZERO;
+        }
+        if self.pipelined {
+            Cycles(u64::from(self.latency)) + Cycles(u64::from(self.in_rate)).scaled(items - 1)
+        } else {
+            Cycles(u64::from(self.latency)).scaled(items)
+        }
+    }
+}
+
+/// Builder for [`IpBlock`] (defaults: 2/2 ports, rate 4/4, latency 4,
+/// pipelined, synchronous, area 0).
+#[derive(Debug, Clone)]
+pub struct IpBlockBuilder {
+    name: String,
+    functions: Vec<IpFunction>,
+    in_ports: u8,
+    out_ports: u8,
+    in_rate: u32,
+    out_rate: u32,
+    latency: u32,
+    pipelined: bool,
+    area: AreaTenths,
+    protocol: Protocol,
+}
+
+impl IpBlockBuilder {
+    fn new(name: impl Into<String>) -> IpBlockBuilder {
+        IpBlockBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            in_ports: 2,
+            out_ports: 2,
+            in_rate: 4,
+            out_rate: 4,
+            latency: 4,
+            pipelined: true,
+            area: AreaTenths::ZERO,
+            protocol: Protocol::Synchronous,
+        }
+    }
+
+    /// Adds a supported function (call repeatedly for an M-IP).
+    #[must_use]
+    pub fn function(mut self, f: IpFunction) -> Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Sets input/output port counts.
+    #[must_use]
+    pub fn ports(mut self, inputs: u8, outputs: u8) -> Self {
+        self.in_ports = inputs;
+        self.out_ports = outputs;
+        self
+    }
+
+    /// Sets input/output data rates in cycles per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero.
+    #[must_use]
+    pub fn rates(mut self, input: u32, output: u32) -> Self {
+        assert!(input > 0 && output > 0, "data rates must be positive");
+        self.in_rate = input;
+        self.out_rate = output;
+        self
+    }
+
+    /// Sets the first-input-to-first-output latency.
+    #[must_use]
+    pub fn latency(mut self, cycles: u32) -> Self {
+        self.latency = cycles;
+        self
+    }
+
+    /// Marks the datapath as non-pipelined.
+    #[must_use]
+    pub fn not_pipelined(mut self) -> Self {
+        self.pipelined = false;
+        self
+    }
+
+    /// Sets the block area.
+    #[must_use]
+    pub fn area(mut self, area: AreaTenths) -> Self {
+        self.area = area;
+        self
+    }
+
+    /// Sets the on-wire protocol.
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Finalises the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function was declared — a block that implements nothing
+    /// cannot back an S-instruction.
+    #[must_use]
+    pub fn build(self) -> IpBlock {
+        assert!(
+            !self.functions.is_empty(),
+            "an IP block must implement at least one function"
+        );
+        IpBlock {
+            id: IpId(0),
+            name: self.name,
+            functions: self.functions,
+            in_ports: self.in_ports,
+            out_ports: self.out_ports,
+            in_rate: self.in_rate,
+            out_rate: self.out_rate,
+            latency: self.latency,
+            pipelined: self.pipelined,
+            area: self.area,
+            protocol: self.protocol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fir_block() -> IpBlock {
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(4, 4)
+            .latency(10)
+            .area(AreaTenths::from_units(3))
+            .build()
+    }
+
+    #[test]
+    fn pipelined_execution_time() {
+        let b = fir_block();
+        assert_eq!(b.execution_cycles(0), Cycles::ZERO);
+        assert_eq!(b.execution_cycles(1), Cycles(10));
+        assert_eq!(b.execution_cycles(5), Cycles(10 + 4 * 4));
+    }
+
+    #[test]
+    fn non_pipelined_execution_time() {
+        let b = IpBlock::builder("slow")
+            .function(IpFunction::Quantizer)
+            .latency(6)
+            .not_pipelined()
+            .build();
+        assert_eq!(b.execution_cycles(3), Cycles(18));
+        assert!(!b.is_pipelined());
+    }
+
+    #[test]
+    fn mip_detection() {
+        let m = IpBlock::builder("dsp-multi")
+            .function(IpFunction::Fir)
+            .function(IpFunction::Iir)
+            .build();
+        assert!(m.is_multi_function());
+        assert!(m.supports(&IpFunction::Iir));
+        assert!(!m.supports(&IpFunction::Fft));
+        assert!(!fir_block().is_multi_function());
+    }
+
+    #[test]
+    fn rate_mismatch_flag() {
+        let interp = IpBlock::builder("interp")
+            .function(IpFunction::InterpFilter)
+            .rates(4, 2)
+            .build();
+        assert!(interp.has_rate_mismatch());
+        assert!(!fir_block().has_rate_mismatch());
+    }
+
+    #[test]
+    fn display_matches_paper_table_style() {
+        assert_eq!(IpId(12).to_string(), "IP12");
+        assert_eq!(IpFunction::ZigZag.to_string(), "zig_zag");
+        assert_eq!(IpFunction::Custom("lpc".into()).to_string(), "lpc");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn functionless_block_rejected() {
+        let _ = IpBlock::builder("nothing").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_rejected() {
+        let _ = IpBlock::builder("x").function(IpFunction::Fir).rates(0, 4);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let b = IpBlock::builder("d").function(IpFunction::Fft).build();
+        assert_eq!(b.in_ports(), 2);
+        assert_eq!(b.in_rate(), 4);
+        assert!(b.is_pipelined());
+        assert_eq!(b.protocol(), Protocol::Synchronous);
+        assert_eq!(b.area(), AreaTenths::ZERO);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests over the functional DSP kernels.
+
+use proptest::prelude::*;
+
+use partita_ip::func::{
+    cmul_i32, cross_correlate, dct1d, dequantize_uniform, dft_naive, fft, fir_direct, idct1d,
+    ifft, interpolate, quantize_uniform, zigzag_inverse, zigzag_scan, Complex, FirFilter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fft_matches_naive_dft(raw in proptest::collection::vec(-100.0f64..100.0, 1..5usize)) {
+        // Round length up to a power of two by zero padding.
+        let n = raw.len().next_power_of_two();
+        let mut x: Vec<Complex> = raw.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        x.resize(n, Complex::ZERO);
+        let reference = dft_naive(&x);
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        for (f, r) in fast.iter().zip(&reference) {
+            prop_assert!((*f - *r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip(raw in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..33usize)) {
+        let n = raw.len().next_power_of_two();
+        let mut x: Vec<Complex> = raw.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        x.resize(n, Complex::ZERO);
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        ifft(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip(x in proptest::collection::vec(-100.0f64..100.0, 1..32usize)) {
+        let back = idct1d(&dct1d(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn streaming_fir_matches_direct(
+        taps in proptest::collection::vec(-20i32..20, 1..8usize),
+        x in proptest::collection::vec(-1000i32..1000, 0..64usize),
+    ) {
+        let direct = fir_direct(&x, &taps);
+        let mut f = FirFilter::new(taps);
+        let streamed: Vec<i64> = x.iter().map(|&s| f.step(s)).collect();
+        prop_assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn zigzag_is_invertible(n in 1usize..10, seed in any::<u64>()) {
+        let block: Vec<i32> = (0..n * n).map(|i| ((seed >> (i % 48)) & 0xff) as i32).collect();
+        let scanned = zigzag_scan(&block, n);
+        prop_assert_eq!(zigzag_inverse(&scanned, n), block);
+    }
+
+    #[test]
+    fn quantizer_error_bounded(
+        x in proptest::collection::vec(-10_000i32..10_000, 0..64usize),
+        step in 1i32..64,
+    ) {
+        let q = quantize_uniform(&x, step, i32::MAX / 128);
+        let back = dequantize_uniform(&q, step);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= step / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn correlation_is_symmetric_at_zero_lag(
+        x in proptest::collection::vec(-100i32..100, 1..32usize),
+    ) {
+        let r_xy = cross_correlate(&x, &x, 1);
+        prop_assert!(r_xy[0] >= 0); // autocorrelation at lag 0 is energy
+    }
+
+    #[test]
+    fn cmul_modulus_is_multiplicative(a in (-1000i32..1000, -1000i32..1000), b in (-1000i32..1000, -1000i32..1000)) {
+        let (re, im) = cmul_i32(a, b);
+        let lhs = re * re + im * im;
+        let na = i64::from(a.0) * i64::from(a.0) + i64::from(a.1) * i64::from(a.1);
+        let nb = i64::from(b.0) * i64::from(b.0) + i64::from(b.1) * i64::from(b.1);
+        prop_assert_eq!(lhs, na * nb);
+    }
+
+    #[test]
+    fn interpolation_length(x in proptest::collection::vec(-50i32..50, 0..20usize), l in 1usize..6) {
+        let y = interpolate(&x, l, &[1, 2, 1]);
+        prop_assert_eq!(y.len(), x.len() * l);
+    }
+}

@@ -1,0 +1,84 @@
+//! Basic blocks of µ-operations.
+
+use crate::{BlockId, MopId};
+
+/// A maximal straight-line sequence of µ-operations.
+///
+/// Blocks carry an execution count filled in by the profiler (the paper's
+/// "sample-execution with typical input data", §2); analyses that predate
+/// profiling see a count of `1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    id: BlockId,
+    mops: Vec<MopId>,
+    preds: Vec<BlockId>,
+    succs: Vec<BlockId>,
+    exec_count: u64,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(id: BlockId) -> BasicBlock {
+        BasicBlock {
+            id,
+            mops: Vec::new(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+            exec_count: 1,
+        }
+    }
+
+    /// The block's identifier.
+    #[must_use]
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// µ-operations of the block, in program order.
+    #[must_use]
+    pub fn mops(&self) -> &[MopId] {
+        &self.mops
+    }
+
+    /// Predecessor blocks (filled by [`crate::Function::compute_edges`]).
+    #[must_use]
+    pub fn preds(&self) -> &[BlockId] {
+        &self.preds
+    }
+
+    /// Successor blocks (filled by [`crate::Function::compute_edges`]).
+    #[must_use]
+    pub fn succs(&self) -> &[BlockId] {
+        &self.succs
+    }
+
+    /// Profiled execution count of this block.
+    #[must_use]
+    pub fn exec_count(&self) -> u64 {
+        self.exec_count
+    }
+
+    pub(crate) fn push_mop(&mut self, mop: MopId) {
+        self.mops.push(mop);
+    }
+
+    pub(crate) fn set_exec_count(&mut self, count: u64) {
+        self.exec_count = count;
+    }
+
+    pub(crate) fn clear_edges(&mut self) {
+        self.preds.clear();
+        self.succs.clear();
+    }
+
+    pub(crate) fn add_succ(&mut self, succ: BlockId) {
+        if !self.succs.contains(&succ) {
+            self.succs.push(succ);
+        }
+    }
+
+    pub(crate) fn add_pred(&mut self, pred: BlockId) {
+        if !self.preds.contains(&pred) {
+            self.preds.push(pred);
+        }
+    }
+}

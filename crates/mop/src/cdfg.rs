@@ -1,0 +1,579 @@
+//! Control/data flow graph over the µ-operations of a function.
+//!
+//! The paper's parallel-code machinery (Definitions 3–5) is phrased in terms
+//! of a CDFG "where each node represents a MOP and a directed edge between
+//! two nodes represents the data/control dependency"; a node with **no
+//! transitive-closure edge** to an s-call is *independent code* to it.
+//!
+//! This module builds that graph, computes its transitive closure with a
+//! dense bit matrix, and answers independence queries.
+
+use std::collections::BTreeMap;
+
+use crate::{Function, Mop, MopId, Reg};
+
+/// Which dependency created an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DepKind {
+    /// Register def → use.
+    Data,
+    /// Data-memory ordering (loads/stores/calls with overlapping regions).
+    Memory,
+    /// AGU pointer ordering.
+    Agu,
+    /// IP/buffer side-effect ordering.
+    IpOrder,
+    /// Control dependency on a branch.
+    Control,
+}
+
+/// One of the two data memories of the target ASIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemSpace {
+    /// X data memory (XDM).
+    X,
+    /// Y data memory (YDM).
+    Y,
+}
+
+/// A contiguous region of one data memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRegion {
+    /// Memory space.
+    pub space: MemSpace,
+    /// First word address.
+    pub base: u32,
+    /// Number of words.
+    pub len: u32,
+}
+
+impl MemRegion {
+    /// Creates a region.
+    #[must_use]
+    pub fn new(space: MemSpace, base: u32, len: u32) -> MemRegion {
+        MemRegion { space, base, len }
+    }
+
+    /// `true` if the two regions share at least one word.
+    #[must_use]
+    pub fn overlaps(&self, other: &MemRegion) -> bool {
+        self.space == other.space
+            && self.base < other.base.saturating_add(other.len)
+            && other.base < self.base.saturating_add(self.len)
+    }
+}
+
+/// Declared memory effects of a call µ-operation.
+///
+/// The caller of [`Cdfg::build`] supplies these per call site so that a call
+/// only conflicts with code touching its actual argument/result arrays —
+/// without this, no code after an s-call could ever be its parallel code.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallEffects {
+    /// Regions the call reads.
+    pub reads: Vec<MemRegion>,
+    /// Regions the call writes.
+    pub writes: Vec<MemRegion>,
+}
+
+impl CallEffects {
+    /// Effects reading `r` and writing `w`.
+    #[must_use]
+    pub fn new(reads: Vec<MemRegion>, writes: Vec<MemRegion>) -> CallEffects {
+        CallEffects { reads, writes }
+    }
+
+    /// Conservative effects: reads and writes all of both memories.
+    #[must_use]
+    pub fn conservative() -> CallEffects {
+        let all = |space| MemRegion::new(space, 0, u32::MAX);
+        CallEffects {
+            reads: vec![all(MemSpace::X), all(MemSpace::Y)],
+            writes: vec![all(MemSpace::X), all(MemSpace::Y)],
+        }
+    }
+
+    fn writes_overlap(&self, other: &CallEffects) -> bool {
+        let rw = self
+            .writes
+            .iter()
+            .any(|w| other.reads.iter().chain(&other.writes).any(|r| w.overlaps(r)));
+        let wr = other
+            .writes
+            .iter()
+            .any(|w| self.reads.iter().any(|r| w.overlaps(r)));
+        rw || wr
+    }
+}
+
+/// Options controlling CDFG construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CdfgOptions {
+    /// Memory effects per call µ-operation. Calls without an entry use
+    /// [`CallEffects::conservative`].
+    pub call_effects: BTreeMap<MopId, CallEffects>,
+}
+
+/// Dense square bit matrix used for reachability.
+#[derive(Debug, Clone)]
+struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> BitMatrix {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    fn set(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// `row(i) |= row(j)`; rows must be distinct.
+    fn or_row(&mut self, i: usize, j: usize) {
+        debug_assert_ne!(i, j);
+        let w = self.words_per_row;
+        let (lo, hi) = if i < j {
+            let (a, b) = self.bits.split_at_mut(j * w);
+            (&mut a[i * w..i * w + w], &b[..w])
+        } else {
+            let (a, b) = self.bits.split_at_mut(i * w);
+            (&mut b[..w], &a[j * w..j * w + w])
+        };
+        for (d, s) in lo.iter_mut().zip(hi) {
+            *d |= *s;
+        }
+    }
+}
+
+/// The control/data flow graph of one [`Function`], with transitive closure.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::{Function, Mop, AluOp, Reg, Cdfg};
+/// let mut f = Function::new("ex");
+/// let b = f.add_block();
+/// let m0 = f.push_mop(b, Mop::load_imm(Reg(0), 1));
+/// let m1 = f.push_mop(b, Mop::alu(AluOp::Add, Reg(1), Reg(0), 2)); // uses r0
+/// let m2 = f.push_mop(b, Mop::load_imm(Reg(2), 7));                 // independent
+/// f.compute_edges();
+/// let g = Cdfg::build(&f, &Default::default());
+/// assert!(g.related(m0, m1));
+/// assert!(!g.related(m0, m2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdfg {
+    /// MOPs in linear (block, program) order.
+    order: Vec<MopId>,
+    /// Linear index per MopId (arena index → order position).
+    position: Vec<usize>,
+    /// Direct edges `(from, to, kind)` in linear indices.
+    edges: Vec<(usize, usize, DepKind)>,
+    /// Transitive closure (forward reachability).
+    reach: BitMatrix,
+}
+
+impl Cdfg {
+    /// Builds the CDFG and its transitive closure for `func`.
+    ///
+    /// Dependencies recorded:
+    /// * register def→use (last definition in linear order),
+    /// * memory ordering: loads/stores are conservative over their whole
+    ///   memory space; calls use their declared [`CallEffects`],
+    /// * AGU pointer ordering,
+    /// * IP/buffer side-effect program order,
+    /// * control: a branch terminator orders every later µ-operation in its
+    ///   successor region.
+    ///
+    /// Loop back-edges are not tracked (loop-carried dependencies are out of
+    /// scope for parallel-code discovery, which the paper restricts to code
+    /// "in the same execution branch").
+    #[must_use]
+    pub fn build(func: &Function, opts: &CdfgOptions) -> Cdfg {
+        let mut order: Vec<MopId> = Vec::with_capacity(func.mop_count());
+        for b in func.blocks() {
+            order.extend_from_slice(b.mops());
+        }
+        let n = order.len();
+        let mut position = vec![usize::MAX; func.mop_count()];
+        for (i, m) in order.iter().enumerate() {
+            position[m.index()] = i;
+        }
+
+        let mops: Vec<&Mop> = order
+            .iter()
+            .map(|m| func.mop(*m).expect("ordered mop exists"))
+            .collect();
+
+        let mut edges: Vec<(usize, usize, DepKind)> = Vec::new();
+
+        // Register def → use.
+        let mut last_def: BTreeMap<Reg, usize> = BTreeMap::new();
+        for (i, m) in mops.iter().enumerate() {
+            for u in m.uses() {
+                if let Some(&d) = last_def.get(&u) {
+                    edges.push((d, i, DepKind::Data));
+                }
+            }
+            for d in m.defs() {
+                // Output dependency: order successive defs of the same reg.
+                if let Some(&prev) = last_def.get(&d) {
+                    edges.push((prev, i, DepKind::Data));
+                }
+                last_def.insert(d, i);
+            }
+        }
+
+        // Memory ordering. Effective regions per op.
+        let effects: Vec<Option<CallEffects>> = order
+            .iter()
+            .zip(&mops)
+            .map(|(id, m)| {
+                if m.callee().is_some() {
+                    Some(
+                        opts.call_effects
+                            .get(id)
+                            .cloned()
+                            .unwrap_or_else(CallEffects::conservative),
+                    )
+                } else {
+                    let mut e = CallEffects::default();
+                    if m.reads_xmem() {
+                        e.reads.push(MemRegion::new(MemSpace::X, 0, u32::MAX));
+                    }
+                    if m.reads_ymem() {
+                        e.reads.push(MemRegion::new(MemSpace::Y, 0, u32::MAX));
+                    }
+                    if m.writes_xmem() {
+                        e.writes.push(MemRegion::new(MemSpace::X, 0, u32::MAX));
+                    }
+                    if m.writes_ymem() {
+                        e.writes.push(MemRegion::new(MemSpace::Y, 0, u32::MAX));
+                    }
+                    if e.reads.is_empty() && e.writes.is_empty() {
+                        None
+                    } else {
+                        Some(e)
+                    }
+                }
+            })
+            .collect();
+        let touching: Vec<usize> = (0..n).filter(|&i| effects[i].is_some()).collect();
+        for (a, &i) in touching.iter().enumerate() {
+            let ei = effects[i].as_ref().expect("filtered");
+            for &j in &touching[a + 1..] {
+                let ej = effects[j].as_ref().expect("filtered");
+                if ei.writes_overlap(ej) {
+                    edges.push((i, j, DepKind::Memory));
+                }
+            }
+        }
+
+        // AGU ordering: write-read / read-write / write-write per pointer.
+        for agu in 0u8..4 {
+            let users: Vec<usize> = (0..n).filter(|&i| mops[i].touches_agu(agu)).collect();
+            for (a, &i) in users.iter().enumerate() {
+                for &j in &users[a + 1..] {
+                    if mops[i].writes_agu(agu) || mops[j].writes_agu(agu) {
+                        edges.push((i, j, DepKind::Agu));
+                    }
+                }
+            }
+        }
+
+        // IP/buffer side-effect order.
+        let mut prev_ip: Option<usize> = None;
+        for (i, m) in mops.iter().enumerate() {
+            if m.has_ip_side_effect() {
+                if let Some(p) = prev_ip {
+                    edges.push((p, i, DepKind::IpOrder));
+                }
+                prev_ip = Some(i);
+            }
+        }
+
+        // Control: a branch orders everything after it in linear order that
+        // lives in a different block (its region of influence).
+        for (i, m) in mops.iter().enumerate() {
+            if m.is_control() && m.callee().is_none() {
+                // Branch/jump/ret: order every op after it.
+                for j in i + 1..n {
+                    edges.push((i, j, DepKind::Control));
+                }
+            }
+        }
+
+        // Keep only forward edges (construction guarantees from < to except
+        // for degenerate same-index cases which we drop).
+        edges.retain(|&(a, b, _)| a < b);
+        edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        edges.dedup();
+
+        // Transitive closure by reverse-order DP (all edges are forward).
+        let mut reach = BitMatrix::new(n.max(1));
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b, _) in &edges {
+            succs[a].push(b);
+        }
+        for i in (0..n).rev() {
+            for &s in &succs[i] {
+                reach.set(i, s);
+                reach.or_row(i, s);
+            }
+        }
+
+        Cdfg {
+            order,
+            position,
+            edges,
+            reach,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// MOPs in linear order.
+    #[must_use]
+    pub fn order(&self) -> &[MopId] {
+        &self.order
+    }
+
+    /// Linear position of a MOP, or `None` if it is not in any block.
+    #[must_use]
+    pub fn position(&self, m: MopId) -> Option<usize> {
+        self.position
+            .get(m.index())
+            .copied()
+            .filter(|&p| p != usize::MAX)
+    }
+
+    /// Direct edges as `(from, to, kind)` linear indices.
+    #[must_use]
+    pub fn direct_edges(&self) -> &[(usize, usize, DepKind)] {
+        &self.edges
+    }
+
+    /// `true` if there is a transitive dependency path `a → b` **or** `b → a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either MOP is not part of a block.
+    #[must_use]
+    pub fn related(&self, a: MopId, b: MopId) -> bool {
+        let pa = self.position(a).expect("mop a not in cdfg");
+        let pb = self.position(b).expect("mop b not in cdfg");
+        pa == pb || self.reach.get(pa, pb) || self.reach.get(pb, pa)
+    }
+
+    /// All MOPs with no transitive-closure edge to or from `of` — the
+    /// *independent code* set `IC_i` of Definition 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is not part of a block.
+    #[must_use]
+    pub fn independent_mops(&self, of: MopId) -> Vec<MopId> {
+        let p = self.position(of).expect("mop not in cdfg");
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != p && !self.reach.get(p, i) && !self.reach.get(i, p))
+            .map(|(_, m)| *m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BlockId, FuncId};
+
+    fn straight(mops: Vec<Mop>) -> (Function, Vec<MopId>) {
+        let mut f = Function::new("t");
+        let b = f.add_block();
+        let ids = mops.into_iter().map(|m| f.push_mop(b, m)).collect();
+        f.compute_edges();
+        (f, ids)
+    }
+
+    #[test]
+    fn def_use_chain_is_transitive() {
+        let (f, ids) = straight(vec![
+            Mop::load_imm(Reg(0), 1),
+            Mop::alu(AluOp::Add, Reg(1), Reg(0), 1),
+            Mop::alu(AluOp::Add, Reg(2), Reg(1), 1),
+        ]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(ids[0], ids[2]));
+        assert!(g.related(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn unrelated_mops_are_independent() {
+        let (f, ids) = straight(vec![
+            Mop::load_imm(Reg(0), 1),
+            Mop::load_imm(Reg(1), 2),
+            Mop::alu(AluOp::Add, Reg(2), Reg(0), 1),
+        ]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(!g.related(ids[0], ids[1]));
+        let ind = g.independent_mops(ids[1]);
+        assert!(ind.contains(&ids[0]));
+        assert!(ind.contains(&ids[2]));
+    }
+
+    #[test]
+    fn output_dependency_orders_defs() {
+        let (f, ids) = straight(vec![Mop::load_imm(Reg(0), 1), Mop::load_imm(Reg(0), 2)]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn conservative_call_blocks_memory_ops() {
+        let (f, ids) = straight(vec![
+            Mop::call(FuncId(1)),
+            Mop::load_x(Reg(0), 0),
+            Mop::load_imm(Reg(1), 3),
+        ]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(ids[0], ids[1])); // memory conflict
+        assert!(!g.related(ids[0], ids[2])); // pure register code independent
+    }
+
+    #[test]
+    fn declared_effects_allow_disjoint_regions() {
+        let (f, ids) = straight(vec![
+            Mop::call(FuncId(1)),
+            Mop::load_imm(Reg(0), 7),
+            Mop::call(FuncId(2)),
+        ]);
+        let mut opts = CdfgOptions::default();
+        // Call 0 touches X[0..16); call 2 touches X[100..116).
+        opts.call_effects.insert(
+            ids[0],
+            CallEffects::new(
+                vec![MemRegion::new(MemSpace::X, 0, 16)],
+                vec![MemRegion::new(MemSpace::X, 0, 16)],
+            ),
+        );
+        opts.call_effects.insert(
+            ids[2],
+            CallEffects::new(
+                vec![MemRegion::new(MemSpace::X, 100, 16)],
+                vec![MemRegion::new(MemSpace::X, 100, 16)],
+            ),
+        );
+        let g = Cdfg::build(&f, &opts);
+        assert!(!g.related(ids[0], ids[2])); // disjoint regions
+        assert!(!g.related(ids[0], ids[1])); // register code independent
+
+        // A raw load is conservative over its whole memory space, so it
+        // relates to any call that touches that space — and transitively
+        // links calls on either side of it.
+        let (f2, ids2) = straight(vec![
+            Mop::call(FuncId(1)),
+            Mop::load_x(Reg(0), 0),
+            Mop::call(FuncId(2)),
+        ]);
+        let mut opts2 = CdfgOptions::default();
+        opts2.call_effects.insert(
+            ids2[0],
+            CallEffects::new(vec![], vec![MemRegion::new(MemSpace::X, 0, 16)]),
+        );
+        opts2.call_effects.insert(
+            ids2[2],
+            CallEffects::new(vec![], vec![MemRegion::new(MemSpace::X, 100, 16)]),
+        );
+        let g2 = Cdfg::build(&f2, &opts2);
+        assert!(g2.related(ids2[0], ids2[1]));
+        assert!(g2.related(ids2[0], ids2[2])); // transitively via the load
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let (f, ids) = straight(vec![Mop::load_x(Reg(0), 0), Mop::load_x(Reg(1), 1)]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(!g.related(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn branch_orders_following_code() {
+        let mut f = Function::new("br");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let c = f.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        let br = f.push_mop(b0, Mop::branch_nz(Reg(0), b1, b1));
+        let after = f.push_mop(b1, Mop::load_imm(Reg(1), 2));
+        f.compute_edges();
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(br, after));
+        assert!(g.related(c, after)); // via the branch
+        assert_eq!(g.position(br), Some(1));
+        assert_eq!(g.order()[0], c);
+        assert_eq!(BlockId(1), b1);
+    }
+
+    #[test]
+    fn ip_side_effects_keep_order() {
+        let (f, ids) = straight(vec![Mop::ip_start(), Mop::ip_read(Reg(0), 0)]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn agu_step_orders_loads() {
+        let (f, ids) = straight(vec![
+            Mop::load_x(Reg(0), 0),
+            Mop::agu_step(0, 1),
+            Mop::load_x(Reg(1), 0),
+        ]);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.related(ids[0], ids[1]));
+        assert!(g.related(ids[1], ids[2]));
+    }
+
+    #[test]
+    fn empty_function_builds() {
+        let f = Function::new("empty");
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert!(g.direct_edges().is_empty());
+    }
+
+    #[test]
+    fn mem_region_overlap_cases() {
+        let a = MemRegion::new(MemSpace::X, 0, 10);
+        let b = MemRegion::new(MemSpace::X, 9, 1);
+        let c = MemRegion::new(MemSpace::X, 10, 5);
+        let d = MemRegion::new(MemSpace::Y, 0, 100);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+}

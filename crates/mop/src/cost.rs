@@ -1,0 +1,240 @@
+//! Cost newtypes: execution cycles and silicon area.
+//!
+//! The paper reports performance gains in kernel clock cycles and areas in
+//! relative units that may be fractional (e.g. `15.5` for IP13 with a type-3
+//! interface in Table 1). We keep cycles as `u64` and areas as **tenths** in
+//! an `i64` so that every ILP coefficient is exact.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A number of kernel clock cycles.
+///
+/// Arithmetic saturates rather than wrapping: cycle budgets in the paper reach
+/// tens of millions (Table 3) and overflow would silently corrupt gains.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::Cycles;
+/// let t_ip = Cycles(120);
+/// let t_if = Cycles(80);
+/// assert_eq!(t_ip.max(t_if), Cycles(120));
+/// assert_eq!(t_ip + t_if, Cycles(200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; the paper's gain formulas never go negative.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two durations (`MAX(T_IP, T_IF)` in the paper).
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two durations (`MIN(T_IP, T_C)` in the paper).
+    #[must_use]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.min(rhs.0))
+    }
+
+    /// Multiplies by an execution frequency (profile count).
+    #[must_use]
+    pub fn scaled(self, times: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(times))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        self.scaled(rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Cycles {
+        Cycles(v)
+    }
+}
+
+/// A silicon area expressed in **tenths of a relative area unit**.
+///
+/// The paper's area column mixes integers (`3`, `14`) and halves (`15.5`,
+/// `27.5`); storing tenths keeps all ILP objective coefficients integral.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::AreaTenths;
+/// let a = AreaTenths::from_units(15) + AreaTenths::from_tenths(5);
+/// assert_eq!(a.to_string(), "15.5");
+/// assert_eq!(a.as_f64(), 15.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AreaTenths(pub i64);
+
+impl AreaTenths {
+    /// Zero area.
+    pub const ZERO: AreaTenths = AreaTenths(0);
+
+    /// Creates an area from whole relative units.
+    #[must_use]
+    pub fn from_units(units: i64) -> AreaTenths {
+        AreaTenths(units * 10)
+    }
+
+    /// Creates an area from tenths of a unit.
+    #[must_use]
+    pub fn from_tenths(tenths: i64) -> AreaTenths {
+        AreaTenths(tenths)
+    }
+
+    /// Returns the raw value in tenths.
+    #[must_use]
+    pub fn tenths(self) -> i64 {
+        self.0
+    }
+
+    /// Converts to floating point units (lossless: tenths / 10).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / 10.0
+    }
+}
+
+impl Add for AreaTenths {
+    type Output = AreaTenths;
+    fn add(self, rhs: AreaTenths) -> AreaTenths {
+        AreaTenths(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for AreaTenths {
+    fn add_assign(&mut self, rhs: AreaTenths) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for AreaTenths {
+    type Output = AreaTenths;
+    fn sub(self, rhs: AreaTenths) -> AreaTenths {
+        AreaTenths(self.0 - rhs.0)
+    }
+}
+
+impl Sum for AreaTenths {
+    fn sum<I: Iterator<Item = AreaTenths>>(iter: I) -> AreaTenths {
+        iter.fold(AreaTenths::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for AreaTenths {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 10 == 0 {
+            write!(f, "{}", self.0 / 10)
+        } else {
+            write!(f, "{}.{}", self.0 / 10, (self.0 % 10).abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_saturate() {
+        assert_eq!(Cycles(3) - Cycles(5), Cycles::ZERO);
+        assert_eq!(Cycles(u64::MAX) + Cycles(1), Cycles(u64::MAX));
+        assert_eq!(Cycles(u64::MAX).scaled(2), Cycles(u64::MAX));
+    }
+
+    #[test]
+    fn cycles_minmax_match_paper_formulas() {
+        // MAX(T_IP, T_IF) from section 3.
+        assert_eq!(Cycles(120).max(Cycles(80)), Cycles(120));
+        assert_eq!(Cycles(120).min(Cycles(80)), Cycles(80));
+    }
+
+    #[test]
+    fn cycles_sum_and_display() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+        assert_eq!(total.to_string(), "6 cyc");
+        assert_eq!(Cycles::from(9u64), Cycles(9));
+    }
+
+    #[test]
+    fn area_display_matches_paper_style() {
+        assert_eq!(AreaTenths::from_units(3).to_string(), "3");
+        assert_eq!(AreaTenths::from_tenths(155).to_string(), "15.5");
+        assert_eq!(AreaTenths::from_tenths(275).to_string(), "27.5");
+    }
+
+    #[test]
+    fn area_arithmetic() {
+        let total: AreaTenths = [
+            AreaTenths::from_units(3),
+            AreaTenths::from_tenths(155),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, AreaTenths::from_tenths(185));
+        assert_eq!((total - AreaTenths::from_units(3)).as_f64(), 15.5);
+    }
+}

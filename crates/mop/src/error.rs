@@ -1,0 +1,73 @@
+//! Error type for IR construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BlockId, FuncId, MopId};
+
+/// Errors raised while building or analysing MOP programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MopError {
+    /// A referenced block does not exist in the function.
+    UnknownBlock(BlockId),
+    /// A referenced µ-operation does not exist in the function.
+    UnknownMop(MopId),
+    /// A referenced function does not exist in the program.
+    UnknownFunction(FuncId),
+    /// A function with the same name was already registered.
+    DuplicateFunction(String),
+    /// The call graph is recursive; hierarchy levelling requires a DAG.
+    RecursiveCallGraph(String),
+    /// Path enumeration exceeded the configured limits.
+    PathLimitExceeded {
+        /// Function whose block graph was being enumerated.
+        func: FuncId,
+        /// Configured maximum number of paths.
+        max_paths: usize,
+    },
+}
+
+impl fmt::Display for MopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MopError::UnknownBlock(b) => write!(f, "unknown basic block {b}"),
+            MopError::UnknownMop(m) => write!(f, "unknown micro-operation {m}"),
+            MopError::UnknownFunction(func) => write!(f, "unknown function {func}"),
+            MopError::DuplicateFunction(name) => {
+                write!(f, "function `{name}` registered twice")
+            }
+            MopError::RecursiveCallGraph(name) => {
+                write!(f, "call graph is recursive at function `{name}`")
+            }
+            MopError::PathLimitExceeded { func, max_paths } => write!(
+                f,
+                "path enumeration in {func} exceeded the limit of {max_paths} paths"
+            ),
+        }
+    }
+}
+
+impl Error for MopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = MopError::UnknownBlock(BlockId(4));
+        assert_eq!(e.to_string(), "unknown basic block b4");
+        let e = MopError::PathLimitExceeded {
+            func: FuncId(0),
+            max_paths: 64,
+        };
+        assert!(e.to_string().contains("limit of 64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MopError>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Call graph and hierarchy levels for *IMP flatten* (paper §4, Fig. 11).
+//!
+//! The paper handles hierarchical applications (main → jpeg → dct2d → dct1d)
+//! by computing IMPs bottom-up: "IMPs of dct1d() at level 0 are considered in
+//! computing those of dct2d() at level 1", and so on. [`HierarchyLevels`]
+//! provides exactly that bottom-up order.
+
+use std::collections::BTreeMap;
+
+use crate::{FuncId, MopError, MopProgram};
+
+/// A node of the call graph: one function and its callees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraphNode {
+    /// The function.
+    pub func: FuncId,
+    /// Distinct callees with static call-site counts.
+    pub callees: BTreeMap<FuncId, usize>,
+}
+
+/// The static call graph of a [`MopProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    nodes: Vec<CallGraphNode>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from every call µ-operation in the program.
+    #[must_use]
+    pub fn build(program: &MopProgram) -> CallGraph {
+        let nodes = program
+            .functions()
+            .iter()
+            .map(|f| {
+                let mut callees: BTreeMap<FuncId, usize> = BTreeMap::new();
+                for (_, _, callee) in f.call_mops() {
+                    *callees.entry(callee).or_insert(0) += 1;
+                }
+                CallGraphNode {
+                    func: f.id(),
+                    callees,
+                }
+            })
+            .collect();
+        CallGraph { nodes }
+    }
+
+    /// The nodes, indexed by function id.
+    #[must_use]
+    pub fn nodes(&self) -> &[CallGraphNode] {
+        &self.nodes
+    }
+
+    /// Direct callees of `func` (empty for unknown ids).
+    #[must_use]
+    pub fn callees(&self, func: FuncId) -> Vec<FuncId> {
+        self.nodes
+            .get(func.index())
+            .map(|n| n.callees.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Computes hierarchy levels: leaves are level 0; a caller's level is
+    /// `1 + max(level of callees)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::RecursiveCallGraph`] if the graph has a cycle —
+    /// the paper's IMP flatten requires a DAG.
+    pub fn levels(&self, program: &MopProgram) -> Result<HierarchyLevels, MopError> {
+        let n = self.nodes.len();
+        let mut level = vec![usize::MAX; n];
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in-stack, 2 done
+
+        fn visit(
+            g: &CallGraph,
+            program: &MopProgram,
+            f: usize,
+            level: &mut [usize],
+            state: &mut [u8],
+        ) -> Result<usize, MopError> {
+            if state[f] == 2 {
+                return Ok(level[f]);
+            }
+            if state[f] == 1 {
+                let name = program
+                    .function(FuncId::from_index(f))
+                    .map(|func| func.name().to_owned())
+                    .unwrap_or_else(|_| format!("f{f}"));
+                return Err(MopError::RecursiveCallGraph(name));
+            }
+            state[f] = 1;
+            let mut lv = 0usize;
+            for &callee in g.nodes[f].callees.keys() {
+                if callee.index() < g.nodes.len() {
+                    lv = lv.max(1 + visit(g, program, callee.index(), level, state)?);
+                }
+            }
+            state[f] = 2;
+            level[f] = lv;
+            Ok(lv)
+        }
+
+        for f in 0..n {
+            visit(self, program, f, &mut level, &mut state)?;
+        }
+
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut by_level: Vec<Vec<FuncId>> = vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
+        for (f, &lv) in level.iter().enumerate() {
+            by_level[lv].push(FuncId::from_index(f));
+        }
+        Ok(HierarchyLevels { level, by_level })
+    }
+}
+
+/// Bottom-up hierarchy levels of a call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyLevels {
+    level: Vec<usize>,
+    by_level: Vec<Vec<FuncId>>,
+}
+
+impl HierarchyLevels {
+    /// Level of a function (0 = leaf). `None` for unknown ids.
+    #[must_use]
+    pub fn level(&self, func: FuncId) -> Option<usize> {
+        self.level.get(func.index()).copied()
+    }
+
+    /// Functions grouped by level, level 0 first — the IMP-flatten order.
+    #[must_use]
+    pub fn by_level(&self) -> &[Vec<FuncId>] {
+        &self.by_level
+    }
+
+    /// Functions in strict bottom-up order (all of level 0, then 1, …).
+    #[must_use]
+    pub fn bottom_up(&self) -> Vec<FuncId> {
+        self.by_level.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Function, Mop};
+
+    /// Builds the paper's Fig. 11 hierarchy:
+    /// main → jpeg → dct2d → dct1d → fft; jpeg → zigzag.
+    fn jpeg_program() -> MopProgram {
+        let mut p = MopProgram::new();
+        let names = ["main", "jpeg", "dct2d", "dct1d", "fft", "zigzag"];
+        let calls: &[(usize, usize)] = &[(0, 1), (1, 2), (1, 5), (2, 3), (3, 4)];
+        let mut funcs = Vec::new();
+        for name in names {
+            funcs.push(Function::new(name));
+        }
+        for (i, f) in funcs.iter_mut().enumerate() {
+            let b = f.add_block();
+            for &(caller, callee) in calls {
+                if caller == i {
+                    f.push_mop(b, Mop::call(FuncId::from_index(callee)));
+                }
+            }
+            f.push_mop(b, Mop::ret());
+        }
+        for f in funcs {
+            p.add_function(f).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn fig11_levels() {
+        let p = jpeg_program();
+        let g = CallGraph::build(&p);
+        let levels = g.levels(&p).unwrap();
+        let id = |name: &str| p.function_by_name(name).unwrap();
+        assert_eq!(levels.level(id("fft")), Some(0));
+        assert_eq!(levels.level(id("zigzag")), Some(0));
+        assert_eq!(levels.level(id("dct1d")), Some(1));
+        assert_eq!(levels.level(id("dct2d")), Some(2));
+        assert_eq!(levels.level(id("jpeg")), Some(3));
+        assert_eq!(levels.level(id("main")), Some(4));
+    }
+
+    #[test]
+    fn bottom_up_order_respects_levels() {
+        let p = jpeg_program();
+        let g = CallGraph::build(&p);
+        let levels = g.levels(&p).unwrap();
+        let order = levels.bottom_up();
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        let id = |name: &str| p.function_by_name(name).unwrap();
+        assert!(pos(id("fft")) < pos(id("dct1d")));
+        assert!(pos(id("dct1d")) < pos(id("dct2d")));
+        assert!(pos(id("dct2d")) < pos(id("jpeg")));
+    }
+
+    #[test]
+    fn callee_counts() {
+        let p = jpeg_program();
+        let g = CallGraph::build(&p);
+        let jpeg = p.function_by_name("jpeg").unwrap();
+        assert_eq!(g.callees(jpeg).len(), 2);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut p = MopProgram::new();
+        let mut a = Function::new("a");
+        let b = a.add_block();
+        a.push_mop(b, Mop::call(FuncId(1)));
+        a.push_mop(b, Mop::ret());
+        let mut c = Function::new("b");
+        let bb = c.add_block();
+        c.push_mop(bb, Mop::call(FuncId(0)));
+        c.push_mop(bb, Mop::ret());
+        p.add_function(a).unwrap();
+        p.add_function(c).unwrap();
+        let g = CallGraph::build(&p);
+        assert!(matches!(
+            g.levels(&p),
+            Err(MopError::RecursiveCallGraph(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_has_no_levels() {
+        let p = MopProgram::new();
+        let g = CallGraph::build(&p);
+        let levels = g.levels(&p).unwrap();
+        assert!(levels.by_level().is_empty());
+        assert!(levels.bottom_up().is_empty());
+    }
+}

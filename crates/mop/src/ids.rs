@@ -1,0 +1,100 @@
+//! Strongly-typed identifiers used throughout the IR.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an identifier from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a single µ-operation inside a [`crate::Function`].
+    MopId,
+    "m"
+);
+id_type!(
+    /// Identifier of a [`crate::BasicBlock`] inside a [`crate::Function`].
+    BlockId,
+    "b"
+);
+id_type!(
+    /// Identifier of a [`crate::Function`] inside a [`crate::MopProgram`].
+    FuncId,
+    "f"
+);
+id_type!(
+    /// Identifier of an execution path (see [`crate::ExecPath`]).
+    PathId,
+    "P"
+);
+id_type!(
+    /// Identifier of a call site (a potential *s-call*).
+    CallSiteId,
+    "sc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = MopId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(MopId(3).to_string(), "m3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(FuncId(7).to_string(), "f7");
+        assert_eq!(PathId(1).to_string(), "P1");
+        assert_eq!(CallSiteId(13).to_string(), "sc13");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(MopId(1) < MopId(2));
+        assert_eq!(BlockId::default(), BlockId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn from_index_overflow_panics() {
+        let _ = MopId::from_index(usize::MAX);
+    }
+}

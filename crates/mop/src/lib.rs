@@ -1,0 +1,53 @@
+//! Micro-operation (MOP) intermediate representation for the Partita ASIP
+//! synthesis flow.
+//!
+//! This crate is the foundation of the DAC'99 reproduction: every other crate
+//! speaks in terms of the types defined here.
+//!
+//! The paper's target ASIP executes *µ-code words* of eight fields; each
+//! operation in a field is a **MOP** (µ-operation). An application program is
+//! transformed into a MOP list, grouped into [`BasicBlock`]s inside
+//! [`Function`]s, and analysed through:
+//!
+//! * a [`Cdfg`] (control/data flow graph) whose transitive closure drives the
+//!   *parallel code* definitions (Definitions 3–5 of the paper),
+//! * [`ExecPath`] enumeration (per-path required performance gains, Eq. 2),
+//! * a [`CallGraph`] with topological levels for hierarchical *IMP flatten*.
+//!
+//! # Example
+//!
+//! ```
+//! use partita_mop::{Function, Mop, AluOp, Reg, Cycles};
+//!
+//! let mut f = Function::new("fir");
+//! let b = f.add_block();
+//! f.push_mop(b, Mop::alu(AluOp::Add, Reg(0), Reg(1), Reg(2)));
+//! f.push_mop(b, Mop::nop());
+//! assert_eq!(f.mop_count(), 2);
+//! assert_eq!(f.software_cycles(), Cycles(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod cdfg;
+mod cost;
+mod error;
+mod hierarchy;
+mod ids;
+mod op;
+mod paths;
+mod program;
+mod word;
+
+pub use block::BasicBlock;
+pub use cdfg::{CallEffects, Cdfg, CdfgOptions, DepKind, MemRegion, MemSpace};
+pub use cost::{AreaTenths, Cycles};
+pub use error::MopError;
+pub use hierarchy::{CallGraph, CallGraphNode, HierarchyLevels};
+pub use ids::{BlockId, CallSiteId, FuncId, MopId, PathId};
+pub use op::{AluOp, MacOp, Mop, MopKind, Operand, Reg, SeqOp};
+pub use paths::{enumerate_paths, ExecPath, PathEnumLimits};
+pub use program::{CallSite, Function, MopProgram};
+pub use word::{pack_words, FieldSlot, MicroWord};

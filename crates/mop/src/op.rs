@@ -1,0 +1,671 @@
+//! µ-operation (MOP) definitions.
+//!
+//! The target ASIP core (paper §2) is a pipelined DSP processor controlled by
+//! µ-programming: it has a separate address-generation unit (AGU) and two
+//! data memories (XDM and YDM) that can be accessed in the same cycle. Each
+//! operation placed in a field of a µ-code word is a MOP.
+
+use std::fmt;
+
+use crate::{BlockId, FuncId};
+
+/// A general-purpose kernel register.
+///
+/// The reproduction models a 16-entry register file; `Reg(0)`..`Reg(15)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A source operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// A signed immediate.
+    Imm(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Arithmetic/logic operations executed by the kernel ALU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Single-cycle multiply (DSP datapath).
+    Mul,
+    /// Signed division (`0` when dividing by zero, like a saturating DSP).
+    Div,
+    /// Signed remainder (`0` when dividing by zero).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Arithmetic shift left by `b` bits.
+    Shl,
+    /// Arithmetic shift right by `b` bits.
+    Shr,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+    /// `1` if `a == b` else `0`.
+    CmpEq,
+    /// `1` if `a < b` (signed) else `0`.
+    CmpLt,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::CmpEq => "cmpeq",
+            AluOp::CmpLt => "cmplt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Multiply-accumulate unit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacOp {
+    /// `acc += a * b`.
+    Mac,
+    /// `acc -= a * b`.
+    Msu,
+}
+
+impl fmt::Display for MacOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MacOp::Mac => "mac",
+            MacOp::Msu => "msu",
+        })
+    }
+}
+
+/// Sequencer operations (the control field of the µ-code word).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SeqOp {
+    /// Unconditional jump to a block in the same function.
+    Jump(BlockId),
+    /// Branch: if `cond != 0` go to `then_block` else `else_block`.
+    BranchNz {
+        /// Condition register.
+        cond: Reg,
+        /// Target when the condition is non-zero.
+        then_block: BlockId,
+        /// Target when the condition is zero.
+        else_block: BlockId,
+    },
+    /// Call another function (a potential *s-call* when IP-implementable).
+    Call(FuncId),
+    /// Return from the current function.
+    Return,
+    /// Stop the kernel (end of program).
+    Halt,
+}
+
+impl fmt::Display for SeqOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqOp::Jump(b) => write!(f, "jmp {b}"),
+            SeqOp::BranchNz {
+                cond,
+                then_block,
+                else_block,
+            } => write!(f, "bnz {cond}, {then_block}, {else_block}"),
+            SeqOp::Call(func) => write!(f, "call {func}"),
+            SeqOp::Return => f.write_str("ret"),
+            SeqOp::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// The kind of a µ-operation, one per µ-code word field class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MopKind {
+    /// ALU operation `dst = a <op> b`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// MAC operation `acc (+|-)= a * b`.
+    Mac {
+        /// The operation.
+        op: MacOp,
+        /// Accumulator register (read-modify-write).
+        acc: Reg,
+        /// First multiplicand.
+        a: Reg,
+        /// Second multiplicand.
+        b: Reg,
+    },
+    /// Register/immediate move `dst = src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Reg,
+    },
+    /// Load an immediate into a register.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// Load from X data memory at the address held by AGU pointer `agu`.
+    LoadX {
+        /// Destination register.
+        dst: Reg,
+        /// AGU pointer index (X side: 0 or 1).
+        agu: u8,
+    },
+    /// Load from Y data memory.
+    LoadY {
+        /// Destination register.
+        dst: Reg,
+        /// AGU pointer index (Y side: 2 or 3).
+        agu: u8,
+    },
+    /// Store to X data memory.
+    StoreX {
+        /// Source register.
+        src: Reg,
+        /// AGU pointer index (X side: 0 or 1).
+        agu: u8,
+    },
+    /// Store to Y data memory.
+    StoreY {
+        /// Source register.
+        src: Reg,
+        /// AGU pointer index (Y side: 2 or 3).
+        agu: u8,
+    },
+    /// Set an AGU pointer to an absolute address.
+    AguSet {
+        /// AGU pointer index (0..4).
+        agu: u8,
+        /// Absolute address.
+        addr: u32,
+    },
+    /// Post-modify an AGU pointer by a signed step.
+    AguStep {
+        /// AGU pointer index (0..4).
+        agu: u8,
+        /// Signed step added to the pointer.
+        step: i32,
+    },
+    /// Load an AGU pointer from a register (dynamic array indexing).
+    AguFromReg {
+        /// AGU pointer index (0..4).
+        agu: u8,
+        /// Register holding the address.
+        src: Reg,
+    },
+    /// Write a register to an IP input port (interface templates, Figs 4–7).
+    IpWrite {
+        /// IP input port index.
+        port: u8,
+        /// Source register.
+        src: Reg,
+    },
+    /// Read an IP output port into a register.
+    IpRead {
+        /// Destination register.
+        dst: Reg,
+        /// IP output port index.
+        port: u8,
+    },
+    /// Assert the IP start strobe (`IP_start = 1` in Fig. 5).
+    IpStart,
+    /// Write a register into an interface buffer word.
+    BufWrite {
+        /// Buffer index.
+        buf: u8,
+        /// Source register.
+        src: Reg,
+    },
+    /// Read an interface buffer word into a register.
+    BufRead {
+        /// Destination register.
+        dst: Reg,
+        /// Buffer index.
+        buf: u8,
+    },
+    /// Sequencer (control) operation.
+    Seq(SeqOp),
+    /// No operation (used to pad rate-mismatched type-0 templates).
+    Nop,
+}
+
+/// A single µ-operation.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::{Mop, AluOp, Reg};
+/// let m = Mop::alu(AluOp::Add, Reg(0), Reg(1), Reg(2));
+/// assert_eq!(m.defs(), vec![Reg(0)]);
+/// assert_eq!(m.uses(), vec![Reg(1), Reg(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mop {
+    kind: MopKind,
+}
+
+impl Mop {
+    /// Creates a MOP from a raw [`MopKind`].
+    #[must_use]
+    pub fn new(kind: MopKind) -> Mop {
+        Mop { kind }
+    }
+
+    /// The kind of this µ-operation.
+    #[must_use]
+    pub fn kind(&self) -> &MopKind {
+        &self.kind
+    }
+
+    /// ALU operation `dst = a <op> b`.
+    #[must_use]
+    pub fn alu(op: AluOp, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Mop {
+        Mop::new(MopKind::Alu {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// MAC operation.
+    #[must_use]
+    pub fn mac(op: MacOp, acc: Reg, a: Reg, b: Reg) -> Mop {
+        Mop::new(MopKind::Mac { op, acc, a, b })
+    }
+
+    /// Register move.
+    #[must_use]
+    pub fn mov(dst: Reg, src: Reg) -> Mop {
+        Mop::new(MopKind::Move { dst, src })
+    }
+
+    /// Immediate load.
+    #[must_use]
+    pub fn load_imm(dst: Reg, imm: i32) -> Mop {
+        Mop::new(MopKind::LoadImm { dst, imm })
+    }
+
+    /// X-memory load through AGU pointer `agu`.
+    #[must_use]
+    pub fn load_x(dst: Reg, agu: u8) -> Mop {
+        Mop::new(MopKind::LoadX { dst, agu })
+    }
+
+    /// Y-memory load through AGU pointer `agu`.
+    #[must_use]
+    pub fn load_y(dst: Reg, agu: u8) -> Mop {
+        Mop::new(MopKind::LoadY { dst, agu })
+    }
+
+    /// X-memory store through AGU pointer `agu`.
+    #[must_use]
+    pub fn store_x(src: Reg, agu: u8) -> Mop {
+        Mop::new(MopKind::StoreX { src, agu })
+    }
+
+    /// Y-memory store through AGU pointer `agu`.
+    #[must_use]
+    pub fn store_y(src: Reg, agu: u8) -> Mop {
+        Mop::new(MopKind::StoreY { src, agu })
+    }
+
+    /// Sets AGU pointer `agu` to `addr`.
+    #[must_use]
+    pub fn agu_set(agu: u8, addr: u32) -> Mop {
+        Mop::new(MopKind::AguSet { agu, addr })
+    }
+
+    /// Post-modifies AGU pointer `agu` by `step`.
+    #[must_use]
+    pub fn agu_step(agu: u8, step: i32) -> Mop {
+        Mop::new(MopKind::AguStep { agu, step })
+    }
+
+    /// Loads AGU pointer `agu` from register `src`.
+    #[must_use]
+    pub fn agu_from_reg(agu: u8, src: Reg) -> Mop {
+        Mop::new(MopKind::AguFromReg { agu, src })
+    }
+
+    /// Writes `src` to IP input port `port`.
+    #[must_use]
+    pub fn ip_write(port: u8, src: Reg) -> Mop {
+        Mop::new(MopKind::IpWrite { port, src })
+    }
+
+    /// Reads IP output port `port` into `dst`.
+    #[must_use]
+    pub fn ip_read(dst: Reg, port: u8) -> Mop {
+        Mop::new(MopKind::IpRead { dst, port })
+    }
+
+    /// Asserts the IP start strobe.
+    #[must_use]
+    pub fn ip_start() -> Mop {
+        Mop::new(MopKind::IpStart)
+    }
+
+    /// Writes `src` into interface buffer `buf`.
+    #[must_use]
+    pub fn buf_write(buf: u8, src: Reg) -> Mop {
+        Mop::new(MopKind::BufWrite { buf, src })
+    }
+
+    /// Reads interface buffer `buf` into `dst`.
+    #[must_use]
+    pub fn buf_read(dst: Reg, buf: u8) -> Mop {
+        Mop::new(MopKind::BufRead { dst, buf })
+    }
+
+    /// Unconditional jump.
+    #[must_use]
+    pub fn jump(target: BlockId) -> Mop {
+        Mop::new(MopKind::Seq(SeqOp::Jump(target)))
+    }
+
+    /// Conditional branch on `cond != 0`.
+    #[must_use]
+    pub fn branch_nz(cond: Reg, then_block: BlockId, else_block: BlockId) -> Mop {
+        Mop::new(MopKind::Seq(SeqOp::BranchNz {
+            cond,
+            then_block,
+            else_block,
+        }))
+    }
+
+    /// Function call.
+    #[must_use]
+    pub fn call(callee: FuncId) -> Mop {
+        Mop::new(MopKind::Seq(SeqOp::Call(callee)))
+    }
+
+    /// Function return.
+    #[must_use]
+    pub fn ret() -> Mop {
+        Mop::new(MopKind::Seq(SeqOp::Return))
+    }
+
+    /// Kernel halt.
+    #[must_use]
+    pub fn halt() -> Mop {
+        Mop::new(MopKind::Seq(SeqOp::Halt))
+    }
+
+    /// No-operation.
+    #[must_use]
+    pub fn nop() -> Mop {
+        Mop::new(MopKind::Nop)
+    }
+
+    /// Registers written by this MOP.
+    #[must_use]
+    pub fn defs(&self) -> Vec<Reg> {
+        match &self.kind {
+            MopKind::Alu { dst, .. }
+            | MopKind::Move { dst, .. }
+            | MopKind::LoadImm { dst, .. }
+            | MopKind::LoadX { dst, .. }
+            | MopKind::LoadY { dst, .. }
+            | MopKind::IpRead { dst, .. }
+            | MopKind::BufRead { dst, .. } => vec![*dst],
+            MopKind::Mac { acc, .. } => vec![*acc],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Registers read by this MOP.
+    #[must_use]
+    pub fn uses(&self) -> Vec<Reg> {
+        fn push_operand(out: &mut Vec<Reg>, op: Operand) {
+            if let Operand::Reg(r) = op {
+                out.push(r);
+            }
+        }
+        let mut out = Vec::new();
+        match &self.kind {
+            MopKind::Alu { a, b, .. } => {
+                push_operand(&mut out, *a);
+                push_operand(&mut out, *b);
+            }
+            MopKind::Mac { acc, a, b, .. } => {
+                out.push(*acc);
+                out.push(*a);
+                out.push(*b);
+            }
+            MopKind::Move { src, .. } => out.push(*src),
+            MopKind::StoreX { src, .. }
+            | MopKind::StoreY { src, .. }
+            | MopKind::IpWrite { src, .. }
+            | MopKind::BufWrite { src, .. }
+            | MopKind::AguFromReg { src, .. } => out.push(*src),
+            MopKind::Seq(SeqOp::BranchNz { cond, .. }) => out.push(*cond),
+            _ => {}
+        }
+        out
+    }
+
+    /// `true` if this MOP reads X data memory.
+    #[must_use]
+    pub fn reads_xmem(&self) -> bool {
+        matches!(self.kind, MopKind::LoadX { .. })
+    }
+
+    /// `true` if this MOP writes X data memory.
+    #[must_use]
+    pub fn writes_xmem(&self) -> bool {
+        matches!(self.kind, MopKind::StoreX { .. })
+    }
+
+    /// `true` if this MOP reads Y data memory.
+    #[must_use]
+    pub fn reads_ymem(&self) -> bool {
+        matches!(self.kind, MopKind::LoadY { .. })
+    }
+
+    /// `true` if this MOP writes Y data memory.
+    #[must_use]
+    pub fn writes_ymem(&self) -> bool {
+        matches!(self.kind, MopKind::StoreY { .. })
+    }
+
+    /// `true` if this MOP reads or writes an AGU pointer.
+    #[must_use]
+    pub fn touches_agu(&self, agu: u8) -> bool {
+        match self.kind {
+            MopKind::LoadX { agu: a, .. }
+            | MopKind::LoadY { agu: a, .. }
+            | MopKind::StoreX { agu: a, .. }
+            | MopKind::StoreY { agu: a, .. }
+            | MopKind::AguSet { agu: a, .. }
+            | MopKind::AguStep { agu: a, .. }
+            | MopKind::AguFromReg { agu: a, .. } => a == agu,
+            _ => false,
+        }
+    }
+
+    /// `true` if this MOP writes an AGU pointer.
+    #[must_use]
+    pub fn writes_agu(&self, agu: u8) -> bool {
+        match self.kind {
+            MopKind::AguSet { agu: a, .. }
+            | MopKind::AguStep { agu: a, .. }
+            | MopKind::AguFromReg { agu: a, .. } => a == agu,
+            _ => false,
+        }
+    }
+
+    /// `true` if this MOP interacts with the IP or interface buffers; such
+    /// operations must keep their mutual program order.
+    #[must_use]
+    pub fn has_ip_side_effect(&self) -> bool {
+        matches!(
+            self.kind,
+            MopKind::IpWrite { .. }
+                | MopKind::IpRead { .. }
+                | MopKind::IpStart
+                | MopKind::BufWrite { .. }
+                | MopKind::BufRead { .. }
+        )
+    }
+
+    /// `true` if this MOP is a sequencer (control) operation.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind, MopKind::Seq(_))
+    }
+
+    /// Returns the callee if this MOP is a call.
+    #[must_use]
+    pub fn callee(&self) -> Option<FuncId> {
+        match self.kind {
+            MopKind::Seq(SeqOp::Call(func)) => Some(func),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Mop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            MopKind::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            MopKind::Mac { op, acc, a, b } => write!(f, "{op} {acc}, {a}, {b}"),
+            MopKind::Move { dst, src } => write!(f, "mov {dst}, {src}"),
+            MopKind::LoadImm { dst, imm } => write!(f, "ldi {dst}, #{imm}"),
+            MopKind::LoadX { dst, agu } => write!(f, "ldx {dst}, [ax{agu}]"),
+            MopKind::LoadY { dst, agu } => write!(f, "ldy {dst}, [ay{agu}]"),
+            MopKind::StoreX { src, agu } => write!(f, "stx [ax{agu}], {src}"),
+            MopKind::StoreY { src, agu } => write!(f, "sty [ay{agu}], {src}"),
+            MopKind::AguSet { agu, addr } => write!(f, "aset a{agu}, {addr}"),
+            MopKind::AguStep { agu, step } => write!(f, "astep a{agu}, {step}"),
+            MopKind::AguFromReg { agu, src } => write!(f, "aldr a{agu}, {src}"),
+            MopKind::IpWrite { port, src } => write!(f, "ipw p{port}, {src}"),
+            MopKind::IpRead { dst, port } => write!(f, "ipr {dst}, p{port}"),
+            MopKind::IpStart => f.write_str("ipstart"),
+            MopKind::BufWrite { buf, src } => write!(f, "bufw b{buf}, {src}"),
+            MopKind::BufRead { dst, buf } => write!(f, "bufr {dst}, b{buf}"),
+            MopKind::Seq(op) => write!(f, "{op}"),
+            MopKind::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses_cover_alu() {
+        let m = Mop::alu(AluOp::Sub, Reg(3), Reg(1), 5);
+        assert_eq!(m.defs(), vec![Reg(3)]);
+        assert_eq!(m.uses(), vec![Reg(1)]);
+    }
+
+    #[test]
+    fn mac_reads_and_writes_accumulator() {
+        let m = Mop::mac(MacOp::Mac, Reg(7), Reg(1), Reg(2));
+        assert_eq!(m.defs(), vec![Reg(7)]);
+        assert!(m.uses().contains(&Reg(7)));
+    }
+
+    #[test]
+    fn memory_effect_flags() {
+        assert!(Mop::load_x(Reg(0), 0).reads_xmem());
+        assert!(Mop::store_y(Reg(0), 2).writes_ymem());
+        assert!(!Mop::load_x(Reg(0), 0).writes_xmem());
+    }
+
+    #[test]
+    fn agu_dependency_tracking() {
+        let step = Mop::agu_step(1, 1);
+        assert!(step.touches_agu(1));
+        assert!(step.writes_agu(1));
+        assert!(!step.touches_agu(0));
+        let ld = Mop::load_x(Reg(0), 1);
+        assert!(ld.touches_agu(1));
+        assert!(!ld.writes_agu(1));
+    }
+
+    #[test]
+    fn ip_ops_are_side_effecting() {
+        assert!(Mop::ip_start().has_ip_side_effect());
+        assert!(Mop::buf_read(Reg(1), 0).has_ip_side_effect());
+        assert!(!Mop::nop().has_ip_side_effect());
+    }
+
+    #[test]
+    fn callee_extraction() {
+        assert_eq!(Mop::call(FuncId(3)).callee(), Some(FuncId(3)));
+        assert_eq!(Mop::ret().callee(), None);
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(
+            Mop::alu(AluOp::Add, Reg(0), Reg(1), 2).to_string(),
+            "add r0, r1, #2"
+        );
+        assert_eq!(Mop::load_x(Reg(4), 1).to_string(), "ldx r4, [ax1]");
+        assert_eq!(
+            Mop::branch_nz(Reg(2), BlockId(1), BlockId(2)).to_string(),
+            "bnz r2, b1, b2"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Execution path enumeration.
+//!
+//! The ILP formulation (Eq. 2) imposes one required-gain constraint per
+//! execution path `P_k`; an execution path is an acyclic block sequence from
+//! the function entry to an exit.
+
+use crate::{BlockId, CallSiteId, Cycles, Function, FuncId, MopError, PathId};
+
+/// Safety limits for path enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathEnumLimits {
+    /// Maximum number of paths produced before erroring out.
+    pub max_paths: usize,
+    /// Maximum blocks on a single path.
+    pub max_len: usize,
+}
+
+impl Default for PathEnumLimits {
+    fn default() -> Self {
+        PathEnumLimits {
+            max_paths: 4096,
+            max_len: 1024,
+        }
+    }
+}
+
+/// An execution path: an acyclic block sequence from entry to an exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPath {
+    /// Path identifier (`P1`, `P2`, … in the paper's figures).
+    pub id: PathId,
+    /// Blocks on the path, entry first.
+    pub blocks: Vec<BlockId>,
+}
+
+impl ExecPath {
+    /// `true` if the path visits `block`.
+    #[must_use]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Profile-weighted software cycles spent on this path.
+    #[must_use]
+    pub fn software_cycles(&self, func: &Function) -> Cycles {
+        self.blocks
+            .iter()
+            .filter_map(|b| func.block(*b).ok())
+            .map(|b| Cycles(b.mops().len() as u64).scaled(b.exec_count()))
+            .sum()
+    }
+
+    /// Call sites of `func` that lie on this path, in path order.
+    ///
+    /// `sites` is the program-wide call-site list; only sites belonging to
+    /// `func_id` are considered.
+    #[must_use]
+    pub fn call_sites_on_path(
+        &self,
+        func_id: FuncId,
+        sites: &[crate::CallSite],
+    ) -> Vec<CallSiteId> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for s in sites {
+                if s.caller == func_id && s.block == *b {
+                    out.push(s.id);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates all acyclic execution paths of `func` (entry → exit).
+///
+/// Loop back-edges are cut by refusing to revisit a block already on the
+/// current path, which matches the paper's treatment of paths as distinct
+/// execution branches (Fig. 8) rather than unrolled traces.
+///
+/// # Errors
+///
+/// Returns [`MopError::PathLimitExceeded`] when `limits.max_paths` is hit.
+pub fn enumerate_paths(
+    func: &Function,
+    limits: PathEnumLimits,
+) -> Result<Vec<ExecPath>, MopError> {
+    let mut out: Vec<ExecPath> = Vec::new();
+    if func.blocks().is_empty() {
+        return Ok(out);
+    }
+    let mut stack: Vec<BlockId> = vec![func.entry()];
+    let mut on_path = vec![false; func.blocks().len()];
+
+    fn dfs(
+        func: &Function,
+        limits: PathEnumLimits,
+        stack: &mut Vec<BlockId>,
+        on_path: &mut [bool],
+        out: &mut Vec<ExecPath>,
+    ) -> Result<(), MopError> {
+        let cur = *stack.last().expect("dfs stack non-empty");
+        on_path[cur.index()] = true;
+        // Effective successors: a back edge to a block already on the path
+        // (a loop) is followed through to that block's own exits, so the
+        // path continues with the code after the loop instead of ending
+        // inside its body.
+        let mut succs: Vec<BlockId> = Vec::new();
+        let mut work: Vec<BlockId> = func
+            .block(cur)
+            .expect("block exists")
+            .succs()
+            .to_vec();
+        let mut expanded = vec![false; on_path.len()];
+        while let Some(s) = work.pop() {
+            if !on_path[s.index()] {
+                if !succs.contains(&s) {
+                    succs.push(s);
+                }
+            } else if !expanded[s.index()] {
+                expanded[s.index()] = true;
+                work.extend_from_slice(func.block(s).expect("block exists").succs());
+            }
+        }
+        succs.sort_unstable();
+        if succs.is_empty() || stack.len() >= limits.max_len {
+            if out.len() >= limits.max_paths {
+                on_path[cur.index()] = false;
+                return Err(MopError::PathLimitExceeded {
+                    func: func.id(),
+                    max_paths: limits.max_paths,
+                });
+            }
+            out.push(ExecPath {
+                id: PathId::from_index(out.len()),
+                blocks: stack.clone(),
+            });
+        } else {
+            for s in succs {
+                stack.push(s);
+                dfs(func, limits, stack, on_path, out)?;
+                stack.pop();
+            }
+        }
+        on_path[cur.index()] = false;
+        Ok(())
+    }
+
+    dfs(func, limits, &mut stack, &mut on_path, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mop, Reg};
+
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        f.push_mop(b0, Mop::branch_nz(Reg(0), b1, b2));
+        f.push_mop(b1, Mop::jump(b3));
+        f.push_mop(b2, Mop::jump(b3));
+        f.push_mop(b3, Mop::ret());
+        f.compute_edges();
+        f
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let f = diamond();
+        let paths = enumerate_paths(&f, PathEnumLimits::default()).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.blocks.first() == Some(&BlockId(0))));
+        assert!(paths.iter().all(|p| p.blocks.last() == Some(&BlockId(3))));
+        assert_ne!(paths[0].blocks, paths[1].blocks);
+        assert_eq!(paths[0].id, PathId(0));
+    }
+
+    #[test]
+    fn loop_is_cut() {
+        let mut f = Function::new("loop");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.push_mop(b0, Mop::load_imm(Reg(0), 4));
+        f.push_mop(b1, Mop::branch_nz(Reg(0), b1, b2)); // self loop
+        f.push_mop(b2, Mop::ret());
+        f.compute_edges();
+        let paths = enumerate_paths(&f, PathEnumLimits::default()).unwrap();
+        // b0 -> b1 -> b2 (self edge refused) = 1 path.
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].blocks, vec![b0, b1, b2]);
+    }
+
+    #[test]
+    fn limit_exceeded_errors() {
+        let f = diamond();
+        let err = enumerate_paths(
+            &f,
+            PathEnumLimits {
+                max_paths: 1,
+                max_len: 10,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MopError::PathLimitExceeded { max_paths: 1, .. }));
+    }
+
+    #[test]
+    fn path_software_cycles_weighted() {
+        let mut f = diamond();
+        f.set_exec_count(BlockId(0), 2).unwrap();
+        let paths = enumerate_paths(&f, PathEnumLimits::default()).unwrap();
+        // Path through b1: b0 (2 mops x2) + b1 (1 mop) + b3 (1 mop) = 6.
+        let p = paths.iter().find(|p| p.contains(BlockId(1))).unwrap();
+        assert_eq!(p.software_cycles(&f), Cycles(6));
+    }
+
+    #[test]
+    fn empty_function_has_no_paths() {
+        let f = Function::new("e");
+        assert!(enumerate_paths(&f, PathEnumLimits::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn call_sites_on_path_filters_by_block() {
+        use crate::{FuncId, MopProgram};
+        let mut p = MopProgram::new();
+        let mut main = Function::new("main");
+        let b0 = main.add_block();
+        let b1 = main.add_block();
+        let b2 = main.add_block();
+        let b3 = main.add_block();
+        main.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        main.push_mop(b0, Mop::branch_nz(Reg(0), b1, b2));
+        main.push_mop(b1, Mop::call(FuncId(1)));
+        main.push_mop(b1, Mop::jump(b3));
+        main.push_mop(b2, Mop::call(FuncId(2)));
+        main.push_mop(b2, Mop::jump(b3));
+        main.push_mop(b3, Mop::halt());
+        main.compute_edges();
+        let mid = p.add_function(main).unwrap();
+        p.add_function(Function::new("fir")).unwrap();
+        p.add_function(Function::new("dct")).unwrap();
+        let sites = p.call_sites();
+        let f = p.function(mid).unwrap();
+        let paths = enumerate_paths(f, PathEnumLimits::default()).unwrap();
+        assert_eq!(paths.len(), 2);
+        for path in &paths {
+            let on = path.call_sites_on_path(mid, &sites);
+            assert_eq!(on.len(), 1);
+        }
+    }
+}

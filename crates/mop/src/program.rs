@@ -1,0 +1,483 @@
+//! Functions and whole-program containers.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    BasicBlock, BlockId, CallSiteId, Cycles, FuncId, Mop, MopError, MopId, MopKind, SeqOp,
+};
+
+/// A call site inside a function: a potential *s-call* (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallSite {
+    /// Identifier of the call site within its program.
+    pub id: CallSiteId,
+    /// Function containing the call.
+    pub caller: FuncId,
+    /// Block containing the call µ-operation.
+    pub block: BlockId,
+    /// The call µ-operation itself.
+    pub mop: MopId,
+    /// Callee function.
+    pub callee: FuncId,
+}
+
+/// A function: an arena of µ-operations organised into basic blocks.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::{Function, Mop, AluOp, Reg};
+/// let mut f = Function::new("dot");
+/// let entry = f.add_block();
+/// f.push_mop(entry, Mop::load_imm(Reg(0), 0));
+/// f.push_mop(entry, Mop::ret());
+/// f.compute_edges();
+/// assert_eq!(f.entry(), entry);
+/// assert!(f.block(entry).unwrap().succs().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    id: FuncId,
+    name: String,
+    mops: Vec<Mop>,
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+}
+
+impl Function {
+    /// Creates an empty function with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            id: FuncId(0),
+            name: name.into(),
+            mops: Vec::new(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+        }
+    }
+
+    /// The function's identifier within its [`MopProgram`] (0 until added).
+    #[must_use]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    pub(crate) fn set_id(&mut self, id: FuncId) {
+        self.id = id;
+    }
+
+    /// The function's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block (the first block added).
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Appends a new empty basic block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(BasicBlock::new(id));
+        id
+    }
+
+    /// Appends a µ-operation to `block` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist; blocks are created by
+    /// [`Function::add_block`] so a bad id is a programming error.
+    pub fn push_mop(&mut self, block: BlockId, mop: Mop) -> MopId {
+        let id = MopId::from_index(self.mops.len());
+        self.mops.push(mop);
+        self.blocks
+            .get_mut(block.index())
+            .expect("push_mop: unknown block")
+            .push_mop(id);
+        id
+    }
+
+    /// Looks up a µ-operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownMop`] for out-of-range ids.
+    pub fn mop(&self, id: MopId) -> Result<&Mop, MopError> {
+        self.mops.get(id.index()).ok_or(MopError::UnknownMop(id))
+    }
+
+    /// Looks up a basic block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownBlock`] for out-of-range ids.
+    pub fn block(&self, id: BlockId) -> Result<&BasicBlock, MopError> {
+        self.blocks
+            .get(id.index())
+            .ok_or(MopError::UnknownBlock(id))
+    }
+
+    /// All blocks in creation order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All µ-operations in arena order.
+    #[must_use]
+    pub fn mops(&self) -> &[Mop] {
+        &self.mops
+    }
+
+    /// Total number of µ-operations.
+    #[must_use]
+    pub fn mop_count(&self) -> usize {
+        self.mops.len()
+    }
+
+    /// Static software execution time: one cycle per µ-operation, ignoring
+    /// profiling (each MOP occupies one µ-code word field issue slot).
+    #[must_use]
+    pub fn software_cycles(&self) -> Cycles {
+        Cycles(self.mops.len() as u64)
+    }
+
+    /// Profiled software execution time: per-block MOP counts weighted by the
+    /// block execution counts recorded by the profiler.
+    #[must_use]
+    pub fn profiled_cycles(&self) -> Cycles {
+        self.blocks
+            .iter()
+            .map(|b| Cycles(b.mops().len() as u64).scaled(b.exec_count()))
+            .sum()
+    }
+
+    /// Records a profiled execution count for `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownBlock`] for out-of-range ids.
+    pub fn set_exec_count(&mut self, block: BlockId, count: u64) -> Result<(), MopError> {
+        self.blocks
+            .get_mut(block.index())
+            .ok_or(MopError::UnknownBlock(block))?
+            .set_exec_count(count);
+        Ok(())
+    }
+
+    /// Recomputes predecessor/successor edges from block terminators.
+    ///
+    /// A block's terminator is its last µ-operation when that operation is a
+    /// sequencer op; a block whose last operation is not control falls
+    /// through to the next block in creation order.
+    pub fn compute_edges(&mut self) {
+        for b in &mut self.blocks {
+            b.clear_edges();
+        }
+        let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let this = b.id();
+            let term = b.mops().last().map(|m| &self.mops[m.index()]);
+            match term.map(Mop::kind) {
+                Some(MopKind::Seq(SeqOp::Jump(t))) => edges.push((this, *t)),
+                Some(MopKind::Seq(SeqOp::BranchNz {
+                    then_block,
+                    else_block,
+                    ..
+                })) => {
+                    edges.push((this, *then_block));
+                    edges.push((this, *else_block));
+                }
+                Some(MopKind::Seq(SeqOp::Return | SeqOp::Halt)) => {}
+                _ => {
+                    // Fall through (including calls, which return inline).
+                    if i + 1 < self.blocks.len() {
+                        edges.push((this, BlockId::from_index(i + 1)));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if to.index() < self.blocks.len() {
+                self.blocks[from.index()].add_succ(to);
+                self.blocks[to.index()].add_pred(from);
+            }
+        }
+    }
+
+    /// Iterates over all call µ-operations as `(block, mop, callee)` triples
+    /// in program order.
+    #[must_use]
+    pub fn call_mops(&self) -> Vec<(BlockId, MopId, FuncId)> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for &m in b.mops() {
+                if let Some(callee) = self.mops[m.index()].callee() {
+                    out.push((b.id(), m, callee));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Function {
+    /// Renders an assembly-style listing, one block per paragraph:
+    ///
+    /// ```text
+    /// fn fir:
+    ///   b0:
+    ///     ldi r0, #0
+    ///     jmp b1
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "fn {}:", self.name)?;
+        for b in &self.blocks {
+            writeln!(f, "  {}:", b.id())?;
+            for &m in b.mops() {
+                writeln!(f, "    {}", self.mops[m.index()])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole program: a set of functions with a designated `main`.
+///
+/// # Example
+///
+/// ```
+/// use partita_mop::{MopProgram, Function, Mop};
+/// let mut p = MopProgram::new();
+/// let mut main = Function::new("main");
+/// let b = main.add_block();
+/// main.push_mop(b, Mop::halt());
+/// let main_id = p.add_function(main)?;
+/// p.set_main(main_id)?;
+/// assert_eq!(p.function(main_id)?.name(), "main");
+/// # Ok::<(), partita_mop::MopError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MopProgram {
+    functions: Vec<Function>,
+    by_name: BTreeMap<String, FuncId>,
+    main: Option<FuncId>,
+}
+
+impl MopProgram {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> MopProgram {
+        MopProgram::default()
+    }
+
+    /// Adds a function and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::DuplicateFunction`] if a function of the same name
+    /// is already present.
+    pub fn add_function(&mut self, mut f: Function) -> Result<FuncId, MopError> {
+        if self.by_name.contains_key(f.name()) {
+            return Err(MopError::DuplicateFunction(f.name().to_owned()));
+        }
+        let id = FuncId::from_index(self.functions.len());
+        f.set_id(id);
+        self.by_name.insert(f.name().to_owned(), id);
+        self.functions.push(f);
+        Ok(id)
+    }
+
+    /// Marks `id` as the program entry function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownFunction`] for out-of-range ids.
+    pub fn set_main(&mut self, id: FuncId) -> Result<(), MopError> {
+        if id.index() >= self.functions.len() {
+            return Err(MopError::UnknownFunction(id));
+        }
+        self.main = Some(id);
+        Ok(())
+    }
+
+    /// The entry function, if set.
+    #[must_use]
+    pub fn main(&self) -> Option<FuncId> {
+        self.main
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownFunction`] for out-of-range ids.
+    pub fn function(&self, id: FuncId) -> Result<&Function, MopError> {
+        self.functions
+            .get(id.index())
+            .ok_or(MopError::UnknownFunction(id))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopError::UnknownFunction`] for out-of-range ids.
+    pub fn function_mut(&mut self, id: FuncId) -> Result<&mut Function, MopError> {
+        self.functions
+            .get_mut(id.index())
+            .ok_or(MopError::UnknownFunction(id))
+    }
+
+    /// Looks up a function id by name.
+    #[must_use]
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All functions in id order.
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Collects every call site in the program, numbered in
+    /// (function, program-order) order; these are the *s-call candidates*.
+    #[must_use]
+    pub fn call_sites(&self) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        for f in &self.functions {
+            for (block, mop, callee) in f.call_mops() {
+                out.push(CallSite {
+                    id: CallSiteId::from_index(out.len()),
+                    caller: f.id(),
+                    block,
+                    mop,
+                    callee,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Reg};
+
+    fn diamond() -> Function {
+        // b0 -> b1 / b2 -> b3
+        let mut f = Function::new("diamond");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.push_mop(b0, Mop::load_imm(Reg(0), 1));
+        f.push_mop(b0, Mop::branch_nz(Reg(0), b1, b2));
+        f.push_mop(b1, Mop::alu(AluOp::Add, Reg(1), Reg(1), 1));
+        f.push_mop(b1, Mop::jump(b3));
+        f.push_mop(b2, Mop::alu(AluOp::Sub, Reg(1), Reg(1), 1));
+        f.push_mop(b2, Mop::jump(b3));
+        f.push_mop(b3, Mop::ret());
+        f.compute_edges();
+        f
+    }
+
+    #[test]
+    fn edges_of_diamond() {
+        let f = diamond();
+        let b0 = f.block(BlockId(0)).unwrap();
+        assert_eq!(b0.succs(), &[BlockId(1), BlockId(2)]);
+        let b3 = f.block(BlockId(3)).unwrap();
+        assert_eq!(b3.preds(), &[BlockId(1), BlockId(2)]);
+        assert!(b3.succs().is_empty());
+    }
+
+    #[test]
+    fn fallthrough_edge() {
+        let mut f = Function::new("ft");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        f.push_mop(b0, Mop::nop());
+        f.push_mop(b1, Mop::ret());
+        f.compute_edges();
+        assert_eq!(f.block(b0).unwrap().succs(), &[b1]);
+    }
+
+    #[test]
+    fn software_cycles_counts_mops() {
+        let f = diamond();
+        assert_eq!(f.software_cycles(), Cycles(7));
+    }
+
+    #[test]
+    fn profiled_cycles_uses_counts() {
+        let mut f = diamond();
+        f.set_exec_count(BlockId(1), 10).unwrap();
+        f.set_exec_count(BlockId(2), 0).unwrap();
+        // b0: 2 mops * 1, b1: 2 * 10, b2: 2 * 0, b3: 1 * 1
+        assert_eq!(f.profiled_cycles(), Cycles((2 + 20) + 1));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let mut p = MopProgram::new();
+        p.add_function(Function::new("f")).unwrap();
+        assert_eq!(
+            p.add_function(Function::new("f")),
+            Err(MopError::DuplicateFunction("f".into()))
+        );
+    }
+
+    #[test]
+    fn listing_shows_blocks_and_mops() {
+        let f = diamond();
+        let listing = f.to_string();
+        assert!(listing.starts_with("fn diamond:"));
+        assert!(listing.contains("  b0:"));
+        assert!(listing.contains("    bnz r0, b1, b2"));
+        assert!(listing.contains("    ret"));
+    }
+
+    #[test]
+    fn call_sites_are_numbered_in_order() {
+        let mut p = MopProgram::new();
+        let mut main = Function::new("main");
+        let b = main.add_block();
+        main.push_mop(b, Mop::call(FuncId(1)));
+        main.push_mop(b, Mop::call(FuncId(1)));
+        main.push_mop(b, Mop::halt());
+        let m = p.add_function(main).unwrap();
+        p.add_function(Function::new("fir")).unwrap();
+        p.set_main(m).unwrap();
+        let scs = p.call_sites();
+        assert_eq!(scs.len(), 2);
+        assert_eq!(scs[0].id, CallSiteId(0));
+        assert_eq!(scs[1].id, CallSiteId(1));
+        assert_eq!(scs[0].callee, FuncId(1));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let p = MopProgram::new();
+        assert_eq!(
+            p.function(FuncId(0)).unwrap_err(),
+            MopError::UnknownFunction(FuncId(0))
+        );
+        let f = Function::new("g");
+        assert_eq!(
+            f.mop(MopId(0)).unwrap_err(),
+            MopError::UnknownMop(MopId(0))
+        );
+        assert_eq!(
+            f.block(BlockId(9)).unwrap_err(),
+            MopError::UnknownBlock(BlockId(9))
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! µ-code words: eight parallel fields per word (paper §2) and a greedy
+//! packer that bundles independent µ-operations into one word.
+
+use crate::{Function, Mop, MopId, MopKind, Reg};
+
+/// The eight µ-code word fields of the target ASIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldSlot {
+    /// ALU operation field.
+    Alu,
+    /// MAC operation field.
+    Mac,
+    /// X data-memory access field.
+    XMem,
+    /// Y data-memory access field.
+    YMem,
+    /// X-side AGU update field.
+    AguX,
+    /// Y-side AGU update field.
+    AguY,
+    /// Register move field.
+    Move,
+    /// Sequencer (control) field.
+    Seq,
+}
+
+impl FieldSlot {
+    /// All slots in field order.
+    pub const ALL: [FieldSlot; 8] = [
+        FieldSlot::Alu,
+        FieldSlot::Mac,
+        FieldSlot::XMem,
+        FieldSlot::YMem,
+        FieldSlot::AguX,
+        FieldSlot::AguY,
+        FieldSlot::Move,
+        FieldSlot::Seq,
+    ];
+
+    /// Index of the slot inside a [`MicroWord`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FieldSlot::Alu => 0,
+            FieldSlot::Mac => 1,
+            FieldSlot::XMem => 2,
+            FieldSlot::YMem => 3,
+            FieldSlot::AguX => 4,
+            FieldSlot::AguY => 5,
+            FieldSlot::Move => 6,
+            FieldSlot::Seq => 7,
+        }
+    }
+
+    /// The field a µ-operation occupies.
+    #[must_use]
+    pub fn of(mop: &Mop) -> FieldSlot {
+        match mop.kind() {
+            MopKind::Alu { .. } => FieldSlot::Alu,
+            MopKind::Mac { .. } => FieldSlot::Mac,
+            MopKind::LoadX { .. } | MopKind::StoreX { .. } => FieldSlot::XMem,
+            MopKind::LoadY { .. } | MopKind::StoreY { .. } => FieldSlot::YMem,
+            MopKind::AguSet { agu, .. }
+            | MopKind::AguStep { agu, .. }
+            | MopKind::AguFromReg { agu, .. } => {
+                if *agu < 2 {
+                    FieldSlot::AguX
+                } else {
+                    FieldSlot::AguY
+                }
+            }
+            MopKind::Move { .. } | MopKind::LoadImm { .. } => FieldSlot::Move,
+            // IP and buffer transfers ride the X/Y data buses: even ports
+            // and buffers use the X side, odd ones the Y side, so a paired
+            // transfer (paper Fig. 4 line 7) shares one word.
+            MopKind::IpWrite { port, .. } | MopKind::IpRead { port, .. } => {
+                if port % 2 == 0 {
+                    FieldSlot::XMem
+                } else {
+                    FieldSlot::YMem
+                }
+            }
+            MopKind::BufWrite { buf, .. } | MopKind::BufRead { buf, .. } => {
+                if buf % 2 == 0 {
+                    FieldSlot::XMem
+                } else {
+                    FieldSlot::YMem
+                }
+            }
+            MopKind::IpStart => FieldSlot::Move,
+            MopKind::Seq(_) => FieldSlot::Seq,
+            MopKind::Nop => FieldSlot::Move,
+        }
+    }
+}
+
+/// One µ-code word: up to eight µ-operations issued in the same cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MicroWord {
+    slots: [Option<MopId>; 8],
+}
+
+impl MicroWord {
+    /// Creates an empty word.
+    #[must_use]
+    pub fn new() -> MicroWord {
+        MicroWord::default()
+    }
+
+    /// The µ-operation in `slot`, if any.
+    #[must_use]
+    pub fn slot(&self, slot: FieldSlot) -> Option<MopId> {
+        self.slots[slot.index()]
+    }
+
+    /// Number of occupied fields.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// All occupied `(slot, mop)` pairs.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(FieldSlot, MopId)> {
+        FieldSlot::ALL
+            .iter()
+            .filter_map(|&s| self.slots[s.index()].map(|m| (s, m)))
+            .collect()
+    }
+
+    fn try_place(&mut self, slot: FieldSlot, mop: MopId) -> bool {
+        let cell = &mut self.slots[slot.index()];
+        if cell.is_none() {
+            *cell = Some(mop);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Greedily packs the µ-operations of `func` into µ-code words.
+///
+/// A µ-operation joins the current word when its field is free and it does
+/// not read a register defined earlier in the same word; sequencer operations
+/// close their word. This mirrors the paper's observation that "in lines 7
+/// and 8 several operations are processed in a cycle, since the kernel has
+/// enough resources and the µ-codes can utilize them" (Fig. 4).
+///
+/// Returns one `Vec<MicroWord>` per basic block, in block order.
+#[must_use]
+pub fn pack_words(func: &Function) -> Vec<Vec<MicroWord>> {
+    let mut out = Vec::with_capacity(func.blocks().len());
+    for block in func.blocks() {
+        let mut words: Vec<MicroWord> = Vec::new();
+        let mut cur = MicroWord::new();
+        let mut defined: Vec<Reg> = Vec::new();
+
+        let flush =
+            |words: &mut Vec<MicroWord>, cur: &mut MicroWord, defined: &mut Vec<Reg>| {
+                if cur.occupancy() > 0 {
+                    words.push(std::mem::take(cur));
+                }
+                defined.clear();
+            };
+
+        for &mid in block.mops() {
+            let mop = func.mop(mid).expect("block mop exists");
+            // A Nop is a full idle µ-word (rate padding in the interface
+            // templates): it never shares a word with other operations.
+            if matches!(mop.kind(), MopKind::Nop) {
+                flush(&mut words, &mut cur, &mut defined);
+                let mut w = MicroWord::new();
+                let placed = w.try_place(FieldSlot::Move, mid);
+                debug_assert!(placed);
+                words.push(w);
+                continue;
+            }
+            let slot = FieldSlot::of(mop);
+            let hazard = mop.uses().iter().any(|u| defined.contains(u));
+            if hazard || cur.slot(slot).is_some() {
+                flush(&mut words, &mut cur, &mut defined);
+            }
+            let placed = cur.try_place(slot, mid);
+            debug_assert!(placed, "slot must be free after flush");
+            defined.extend(mop.defs());
+            if mop.is_control() {
+                flush(&mut words, &mut cur, &mut defined);
+            }
+        }
+        flush(&mut words, &mut cur, &mut defined);
+        out.push(words);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Function, Mop};
+
+    #[test]
+    fn independent_ops_share_a_word() {
+        let mut f = Function::new("p");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_x(Reg(0), 0)); // XMem
+        f.push_mop(b, Mop::load_y(Reg(1), 2)); // YMem
+        f.push_mop(b, Mop::alu(AluOp::Add, Reg(2), Reg(3), Reg(4))); // Alu
+        f.compute_edges();
+        let words = pack_words(&f);
+        assert_eq!(words[0].len(), 1);
+        assert_eq!(words[0][0].occupancy(), 3);
+    }
+
+    #[test]
+    fn raw_hazard_splits_words() {
+        let mut f = Function::new("h");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_x(Reg(0), 0));
+        f.push_mop(b, Mop::alu(AluOp::Add, Reg(1), Reg(0), 1)); // uses r0
+        f.compute_edges();
+        let words = pack_words(&f);
+        assert_eq!(words[0].len(), 2);
+    }
+
+    #[test]
+    fn same_slot_splits_words() {
+        let mut f = Function::new("s");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_x(Reg(0), 0));
+        f.push_mop(b, Mop::load_x(Reg(1), 1));
+        f.compute_edges();
+        let words = pack_words(&f);
+        assert_eq!(words[0].len(), 2);
+    }
+
+    #[test]
+    fn control_closes_word() {
+        let mut f = Function::new("c");
+        let b = f.add_block();
+        f.push_mop(b, Mop::ret());
+        f.push_mop(b, Mop::nop());
+        f.compute_edges();
+        let words = pack_words(&f);
+        assert_eq!(words[0].len(), 2);
+        assert_eq!(
+            words[0][0].slot(FieldSlot::Seq),
+            Some(crate::MopId(0))
+        );
+    }
+
+    #[test]
+    fn slot_assignment_matches_kind() {
+        assert_eq!(FieldSlot::of(&Mop::load_x(Reg(0), 0)), FieldSlot::XMem);
+        assert_eq!(FieldSlot::of(&Mop::agu_step(3, 1)), FieldSlot::AguY);
+        assert_eq!(FieldSlot::of(&Mop::agu_step(0, 1)), FieldSlot::AguX);
+        assert_eq!(FieldSlot::of(&Mop::mov(Reg(0), Reg(1))), FieldSlot::Move);
+        assert_eq!(FieldSlot::of(&Mop::halt()), FieldSlot::Seq);
+    }
+
+    #[test]
+    fn entries_report_occupied_slots() {
+        let mut f = Function::new("e");
+        let b = f.add_block();
+        f.push_mop(b, Mop::load_x(Reg(0), 0));
+        f.compute_edges();
+        let words = pack_words(&f);
+        let entries = words[0][0].entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, FieldSlot::XMem);
+    }
+}

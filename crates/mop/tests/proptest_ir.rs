@@ -1,0 +1,125 @@
+//! Property tests over the IR: CDFG closure laws, word-packing safety and
+//! path-enumeration invariants.
+
+use proptest::prelude::*;
+
+use partita_mop::{
+    enumerate_paths, pack_words, AluOp, Cdfg, CdfgOptions, Function, Mop, PathEnumLimits, Reg,
+};
+
+fn mop_strategy() -> impl Strategy<Value = Mop> {
+    prop_oneof![
+        (0u8..8, 0u8..8, 0u8..8).prop_map(|(d, a, b)| Mop::alu(AluOp::Add, Reg(d), Reg(a), Reg(b))),
+        (0u8..8, -50i32..50).prop_map(|(d, v)| Mop::load_imm(Reg(d), v)),
+        (0u8..8, 0u8..2).prop_map(|(d, g)| Mop::load_x(Reg(d), g)),
+        (0u8..8, 2u8..4).prop_map(|(d, g)| Mop::load_y(Reg(d), g)),
+        (0u8..8, 0u8..2).prop_map(|(s, g)| Mop::store_x(Reg(s), g)),
+        (0u8..4, 1i32..3).prop_map(|(g, s)| Mop::agu_step(g, s)),
+        Just(Mop::nop()),
+    ]
+}
+
+fn straight_function(mops: Vec<Mop>) -> Function {
+    let mut f = Function::new("prop");
+    let b = f.add_block();
+    for m in mops {
+        f.push_mop(b, m);
+    }
+    f.compute_edges();
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `related` is symmetric, and the independent set is exactly its
+    /// complement (minus the query µ-op itself).
+    #[test]
+    fn closure_symmetry_and_complement(mops in proptest::collection::vec(mop_strategy(), 1..24)) {
+        let f = straight_function(mops);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        let order = g.order().to_vec();
+        for &a in &order {
+            let independent = g.independent_mops(a);
+            for &b in &order {
+                if a == b { continue; }
+                prop_assert_eq!(g.related(a, b), g.related(b, a));
+                prop_assert_eq!(independent.contains(&b), !g.related(a, b));
+            }
+        }
+    }
+
+    /// Direct edges imply relatedness (closure is a superset of the edges).
+    #[test]
+    fn edges_are_in_the_closure(mops in proptest::collection::vec(mop_strategy(), 1..24)) {
+        let f = straight_function(mops);
+        let g = Cdfg::build(&f, &CdfgOptions::default());
+        let order = g.order().to_vec();
+        for &(from, to, _) in g.direct_edges() {
+            prop_assert!(g.related(order[from], order[to]));
+        }
+    }
+
+    /// Word packing is a permutation-free partition: every µ-op lands in
+    /// exactly one slot of one word, never two ops in one slot, and no word
+    /// contains a read of a register defined earlier in the same word.
+    #[test]
+    fn packing_partitions_safely(mops in proptest::collection::vec(mop_strategy(), 1..32)) {
+        let f = straight_function(mops);
+        let packed = pack_words(&f);
+        let mut seen = vec![false; f.mop_count()];
+        for block in &packed {
+            for word in block {
+                // Check hazards in program order (entries() reports slot
+                // order, which is not the issue order within the word).
+                let mut entries = word.entries();
+                entries.sort_by_key(|(_, mid)| *mid);
+                let mut defined: Vec<Reg> = Vec::new();
+                for (_, mid) in &entries {
+                    prop_assert!(!seen[mid.index()], "duplicate {mid}");
+                    seen[mid.index()] = true;
+                    let m = f.mop(*mid).unwrap();
+                    for u in m.uses() {
+                        prop_assert!(!defined.contains(&u),
+                            "raw hazard inside a word on {u}");
+                    }
+                    defined.extend(m.defs());
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a µ-op was dropped by packing");
+    }
+
+    /// Every enumerated path starts at the entry and is acyclic.
+    #[test]
+    fn paths_start_at_entry_and_are_acyclic(
+        mops in proptest::collection::vec(mop_strategy(), 1..12),
+        split in 0usize..12,
+    ) {
+        // Two blocks with a conditional between them.
+        let mut f = Function::new("prop");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let split = split.min(mops.len());
+        for m in &mops[..split] {
+            f.push_mop(b0, m.clone());
+        }
+        f.push_mop(b0, Mop::branch_nz(Reg(0), b1, b2));
+        for m in &mops[split..] {
+            f.push_mop(b1, m.clone());
+        }
+        f.push_mop(b1, Mop::jump(b2));
+        f.push_mop(b2, Mop::ret());
+        f.compute_edges();
+        let paths = enumerate_paths(&f, PathEnumLimits::default()).unwrap();
+        prop_assert!(!paths.is_empty());
+        for p in &paths {
+            prop_assert_eq!(p.blocks[0], f.entry());
+            let mut sorted = p.blocks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.blocks.len(), "cycle in path");
+        }
+    }
+}

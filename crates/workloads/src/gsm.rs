@@ -1,0 +1,381 @@
+//! GSM(TDMA) codec models calibrated to Tables 1 and 2.
+//!
+//! Gains and areas of the published implementation methods are taken
+//! directly from the tables (e.g. `SC13: IP12,IF0,115037,3`); the remaining
+//! s-calls, IPs and IMPs — the alternatives the paper's tool enumerated but
+//! never selected — are filled in with dominated entries so the totals match
+//! the reported counts (encoder: 18 s-calls / 23 IPs / 42 IMPs; decoder:
+//! 11 s-calls / 10 IPs / 27 IMPs).
+
+use partita_core::{Imp, ImpDb, Instance, ParallelChoice, SCall};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction, IpId};
+use partita_mop::{AreaTenths, CallSiteId, Cycles};
+
+use crate::Workload;
+
+/// Interface area model used in the calibration (tenths): IF0 is charged in
+/// code memory (≈ 0), IF1 buffers cost 1.0, the IF2 FSM 0.5, IF3 1.5 — the
+/// deltas visible in Table 1 when SC14 moves from IF1 to IF3 (+0.5 over the
+/// buffer-only cost difference).
+fn if_area(kind: InterfaceKind) -> AreaTenths {
+    match kind {
+        InterfaceKind::Type0 => AreaTenths::from_tenths(0),
+        InterfaceKind::Type1 => AreaTenths::from_tenths(10),
+        InterfaceKind::Type2 => AreaTenths::from_tenths(5),
+        InterfaceKind::Type3 => AreaTenths::from_tenths(15),
+    }
+}
+
+fn imp(sc: u32, ip: IpId, kind: InterfaceKind, gain: u64, parallel: ParallelChoice) -> Imp {
+    Imp::new(
+        CallSiteId(sc),
+        vec![ip],
+        kind,
+        Cycles(gain),
+        if_area(kind),
+        parallel,
+    )
+}
+
+/// Adds `count` filler IP blocks (never-selected library alternatives).
+fn filler_ips(instance: &mut Instance, names: &[(&str, IpFunction, i64)]) -> Vec<IpId> {
+    names
+        .iter()
+        .map(|(name, func, area_units)| {
+            instance.library.add(
+                IpBlock::builder(*name)
+                    .function(func.clone())
+                    .area(AreaTenths::from_units(*area_units))
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+/// The GSM encoder instance of Table 1: 18 s-calls, 23 IPs, 42 IMPs.
+///
+/// The returned sweep reproduces the table's RG column.
+#[must_use]
+#[allow(clippy::vec_init_then_push)] // the pushes transcribe Table 1 row by row
+pub fn encoder() -> Workload {
+    let mut instance = Instance::new("gsm_encoder");
+
+    // ---- IP library (23 blocks; ids are 1-based like the paper) ----
+    // IP0 is a placeholder so that `IpId(12)` prints as the paper's IP12.
+    let lib: Vec<(&str, IpFunction, i64)> = vec![
+        ("pad", IpFunction::Custom("pad".into()), 99),         // IP0 (unused)
+        ("preemph_fir", IpFunction::Fir, 6),                   // IP1
+        ("offset_comp", IpFunction::Fir, 5),                   // IP2
+        ("lpc_analyzer", IpFunction::Custom("lpc".into()), 13), // IP3
+        ("autocorr_a", IpFunction::Correlator, 9),             // IP4
+        ("autocorr_b", IpFunction::Correlator, 15),            // IP5
+        ("schur_recursion", IpFunction::Iir, 8),               // IP6
+        ("lar_coder", IpFunction::Quantizer, 4),               // IP7
+        ("lar_decoder", IpFunction::Quantizer, 4),             // IP8
+        ("interp_narrow", IpFunction::InterpFilter, 3),        // IP9
+        ("interp_wide", IpFunction::InterpFilter, 2),          // IP10
+        ("st_filter_a", IpFunction::Fir, 5),                   // IP11
+        ("st_filter_b", IpFunction::Fir, 3),                   // IP12
+        ("ltp_searcher", IpFunction::Correlator, 14),          // IP13
+        ("ltp_filter", IpFunction::Iir, 7),                    // IP14
+        ("weighting_fir", IpFunction::Fir, 6),                 // IP15
+        ("rpe_grid_sel", IpFunction::Custom("rpe".into()), 25), // IP16 (2.5)
+        ("rpe_quantizer", IpFunction::Quantizer, 3),           // IP17
+        ("apcm_coder", IpFunction::Quantizer, 5),              // IP18
+        ("apcm_decoder", IpFunction::Quantizer, 5),            // IP19
+        ("multi_dsp_a", IpFunction::Fir, 16),                  // IP20 (M-IP)
+        ("multi_dsp_b", IpFunction::Iir, 18),                  // IP21 (M-IP)
+        ("frame_packer", IpFunction::Custom("pack".into()), 6), // IP22
+    ];
+    let mut ids = Vec::new();
+    for (i, (name, func, area)) in lib.iter().enumerate() {
+        let area = if *name == "rpe_grid_sel" {
+            AreaTenths::from_tenths(*area) // 2.5 units
+        } else {
+            AreaTenths::from_units(*area)
+        };
+        let id = instance.library.add(
+            IpBlock::builder(*name)
+                .function(func.clone())
+                .area(area)
+                .build(),
+        );
+        debug_assert_eq!(id.index(), i);
+        ids.push(id);
+    }
+    let ip = |n: u32| IpId(n);
+
+    // ---- 18 s-calls (SC1..SC18; SC0 is a placeholder) ----
+    let names: [(&str, IpFunction, u64); 19] = [
+        ("pad", IpFunction::Custom("pad".into()), 1),
+        ("preemphasis", IpFunction::Fir, 19_000),          // SC1
+        ("lpc_analysis", IpFunction::Custom("lpc".into()), 52_000), // SC2
+        ("autocorrelation", IpFunction::Correlator, 24_000), // SC3
+        ("reflection_coeffs", IpFunction::Iir, 14_000),    // SC4
+        ("lar_quantize", IpFunction::Quantizer, 9_000),    // SC5
+        ("lar_interpolate", IpFunction::InterpFilter, 1_600), // SC6
+        ("st_filter_seg1", IpFunction::Fir, 16_000),       // SC7
+        ("ltp_lag_search", IpFunction::Correlator, 30_000), // SC8
+        ("st_filter_seg2", IpFunction::Fir, 17_000),       // SC9
+        ("ltp_interpolate", IpFunction::InterpFilter, 1_600), // SC10
+        ("st_filter_seg3", IpFunction::Fir, 16_000),       // SC11
+        ("weight_interpolate", IpFunction::InterpFilter, 1_600), // SC12
+        ("st_analysis_filter", IpFunction::Fir, 140_000),  // SC13
+        ("ltp_residual_search", IpFunction::Correlator, 200_000), // SC14
+        ("rpe_grid_select", IpFunction::Custom("rpe".into()), 11_000), // SC15
+        ("rpe_quantize", IpFunction::Quantizer, 15_000),   // SC16
+        ("frame_pack", IpFunction::Custom("pack".into()), 6_000), // SC17
+        ("comfort_noise", IpFunction::Quantizer, 4_000),   // SC18
+    ];
+    for (name, func, sw) in &names {
+        instance.add_scall(SCall::new(*name, func.clone(), Cycles(*sw), TransferJob::new(160, 160)));
+    }
+    // Single execution path over SC1..SC18 (SC0 is never on a path).
+    instance.add_path((1..=18).map(CallSiteId).collect());
+
+    // ---- 42 IMPs ----
+    let mut imps: Vec<Imp> = Vec::new();
+    // Published (selected) methods of Table 1.
+    imps.push(imp(13, ip(12), InterfaceKind::Type0, 115_037, ParallelChoice::None));
+    imps.push(imp(7, ip(12), InterfaceKind::Type0, 12_531, ParallelChoice::None));
+    imps.push(imp(9, ip(12), InterfaceKind::Type0, 13_489, ParallelChoice::None));
+    imps.push(imp(11, ip(12), InterfaceKind::Type0, 12_531, ParallelChoice::None));
+    // SC2 exploits a parallel code on its buffered interface.
+    imps.push(imp(2, ip(3), InterfaceKind::Type1, 41_670, ParallelChoice::PlainPc));
+    imps.push(imp(14, ip(13), InterfaceKind::Type1, 162_612, ParallelChoice::None));
+    imps.push(imp(14, ip(13), InterfaceKind::Type3, 164_532, ParallelChoice::PlainPc));
+    imps.push(imp(15, ip(16), InterfaceKind::Type2, 8_200, ParallelChoice::None));
+    imps.push(imp(16, ip(17), InterfaceKind::Type0, 11_576, ParallelChoice::None));
+    imps.push(imp(6, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(10, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(12, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
+    // One IMP generated through the s-call hierarchy: the LPC analyzer
+    // composite covering SC2's inner autocorrelation (uses IP3 + IP4).
+    imps.push(Imp::new(
+        CallSiteId(2),
+        vec![ip(3), ip(4)],
+        InterfaceKind::Type1,
+        Cycles(43_100),
+        if_area(InterfaceKind::Type1) + if_area(InterfaceKind::Type0),
+        ParallelChoice::None,
+    ));
+    // One IMP using the software implementation of another s-call (SC17) as
+    // its parallel code — the third parallel-code exploiter.
+    imps.push(imp(
+        8,
+        ip(21),
+        InterfaceKind::Type3,
+        24_500,
+        ParallelChoice::SwScalls(vec![CallSiteId(17)]),
+    ));
+    // Dominated alternatives (never optimal, but part of the 42-entry
+    // database the tool enumerates).
+    let filler: &[(u32, u32, InterfaceKind, u64)] = &[
+        (1, 1, InterfaceKind::Type0, 9_400),
+        (1, 2, InterfaceKind::Type0, 8_100),
+        (1, 20, InterfaceKind::Type1, 12_800),
+        (2, 21, InterfaceKind::Type1, 30_900),
+        (3, 4, InterfaceKind::Type0, 11_300),
+        (3, 5, InterfaceKind::Type1, 13_800),
+        (4, 6, InterfaceKind::Type0, 6_200),
+        (4, 21, InterfaceKind::Type1, 7_000),
+        (5, 7, InterfaceKind::Type0, 3_800),
+        (5, 8, InterfaceKind::Type0, 3_300),
+        (6, 9, InterfaceKind::Type1, 1_100),
+        (7, 11, InterfaceKind::Type0, 9_900),
+        (7, 20, InterfaceKind::Type1, 10_800),
+        (8, 21, InterfaceKind::Type1, 21_700),
+        (8, 5, InterfaceKind::Type1, 14_900),
+        (9, 11, InterfaceKind::Type0, 10_400),
+        (10, 9, InterfaceKind::Type1, 1_050),
+        (11, 11, InterfaceKind::Type0, 9_900),
+        (12, 9, InterfaceKind::Type1, 1_020),
+        (13, 11, InterfaceKind::Type0, 88_000),
+        (13, 20, InterfaceKind::Type1, 96_500),
+        (14, 5, InterfaceKind::Type1, 35_000),
+        (15, 16, InterfaceKind::Type0, 6_250),
+        (16, 18, InterfaceKind::Type0, 8_900),
+        (17, 22, InterfaceKind::Type0, 2_700),
+        (18, 19, InterfaceKind::Type0, 1_900),
+        (18, 18, InterfaceKind::Type0, 1_700),
+        (16, 19, InterfaceKind::Type0, 8_100),
+    ];
+    for &(sc, ipn, kind, gain) in filler {
+        imps.push(imp(sc, ip(ipn), kind, gain, ParallelChoice::None));
+    }
+    debug_assert_eq!(imps.len(), 42, "table 1 reports 42 IMPs");
+    debug_assert_eq!(instance.library.len(), 23, "table 1 reports 23 IPs");
+    debug_assert_eq!(instance.scalls.len() - 1, 18, "encoder has 18 s-calls");
+
+    Workload {
+        instance,
+        imps: ImpDb::from_imps(imps),
+        rg_sweep: [
+            47_740u64, 95_480, 143_221, 190_961, 238_702, 286_442, 334_182, 381_923,
+        ]
+        .into_iter()
+        .map(Cycles)
+        .collect(),
+    }
+}
+
+/// The GSM decoder instance of Table 2: 11 s-calls, 10 IPs, 27 IMPs.
+#[must_use]
+#[allow(clippy::vec_init_then_push)] // the pushes transcribe Table 2 row by row
+pub fn decoder() -> Workload {
+    let mut instance = Instance::new("gsm_decoder");
+
+    // 10 IPs (+ placeholder IP0). IP2: short filter; IP4: big multi filter;
+    // IP5: synthesis filter; IP6: interpolator; IP8: APCM decoder;
+    // IP10: postprocessor.
+    let lib: Vec<(&str, IpFunction, i64)> = vec![
+        ("pad", IpFunction::Custom("pad".into()), 99),      // IP0 (unused)
+        ("deinterleave", IpFunction::Custom("pack".into()), 4), // IP1
+        ("short_filter", IpFunction::Fir, 2),               // IP2
+        ("ltp_synth", IpFunction::Iir, 6),                  // IP3
+        ("wide_filter", IpFunction::Fir, 32),               // IP4
+        ("synth_filter", IpFunction::Iir, 4),               // IP5
+        ("post_interp", IpFunction::InterpFilter, 3),       // IP6
+        ("lar_decoder", IpFunction::Quantizer, 4),          // IP7
+        ("apcm_decoder", IpFunction::Quantizer, 5),         // IP8
+        ("deemph_fir", IpFunction::Fir, 3),                 // IP9
+        ("postproc", IpFunction::Custom("post".into()), 3), // IP10
+    ];
+    filler_ips(&mut instance, &lib);
+    let ip = |n: u32| IpId(n);
+
+    let names: [(&str, u64); 12] = [
+        ("pad", 1),
+        ("frame_unpack", 5_000),       // SC1
+        ("st_synth_seg1", 18_000),     // SC2
+        ("param_decode_1", 4_900),     // SC3
+        ("st_synth_seg2", 19_000),     // SC4
+        ("param_decode_2", 4_900),     // SC5
+        ("st_synth_seg3", 18_000),     // SC6
+        ("param_decode_3", 4_900),     // SC7
+        ("st_synth_main", 150_000),    // SC8
+        ("apcm_decode", 12_000),       // SC9
+        ("post_interpolate", 18_000),  // SC10
+        ("postprocess", 12_500),       // SC11
+    ];
+    for (name, sw) in &names {
+        instance.add_scall(SCall::new(
+            *name,
+            IpFunction::Fir,
+            Cycles(*sw),
+            TransferJob::new(160, 160),
+        ));
+    }
+    instance.add_path((1..=11).map(CallSiteId).collect());
+
+    let mut imps: Vec<Imp> = Vec::new();
+    // Published methods of Table 2.
+    imps.push(imp(2, ip(5), InterfaceKind::Type0, 13_737, ParallelChoice::None));
+    imps.push(imp(4, ip(5), InterfaceKind::Type0, 14_787, ParallelChoice::None));
+    imps.push(imp(6, ip(5), InterfaceKind::Type0, 13_737, ParallelChoice::None));
+    imps.push(imp(8, ip(5), InterfaceKind::Type0, 126_087, ParallelChoice::None));
+    imps.push(imp(10, ip(6), InterfaceKind::Type0, 14_544, ParallelChoice::None));
+    imps.push(imp(10, ip(6), InterfaceKind::Type2, 15_048, ParallelChoice::None));
+    imps.push(imp(9, ip(8), InterfaceKind::Type0, 8_568, ParallelChoice::None));
+    imps.push(imp(11, ip(10), InterfaceKind::Type0, 9_028, ParallelChoice::None));
+    imps.push(imp(1, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(3, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(5, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(7, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(2, ip(4), InterfaceKind::Type0, 14_235, ParallelChoice::None));
+    imps.push(imp(4, ip(4), InterfaceKind::Type0, 15_327, ParallelChoice::None));
+    imps.push(imp(6, ip(4), InterfaceKind::Type0, 14_235, ParallelChoice::None));
+    imps.push(imp(8, ip(4), InterfaceKind::Type0, 131_079, ParallelChoice::None));
+    // Dominated alternatives (11 more → 27 total).
+    let filler: &[(u32, u32, InterfaceKind, u64)] = &[
+        (1, 1, InterfaceKind::Type0, 760),
+        (2, 3, InterfaceKind::Type0, 9_100),
+        (3, 7, InterfaceKind::Type0, 640),
+        (4, 3, InterfaceKind::Type0, 9_900),
+        (5, 7, InterfaceKind::Type0, 640),
+        (6, 3, InterfaceKind::Type0, 9_100),
+        (8, 3, InterfaceKind::Type1, 94_000),
+        (9, 7, InterfaceKind::Type0, 5_300),
+        (10, 9, InterfaceKind::Type0, 10_900),
+        (11, 7, InterfaceKind::Type0, 6_100),
+        (7, 7, InterfaceKind::Type0, 640),
+    ];
+    for &(sc, ipn, kind, gain) in filler {
+        imps.push(imp(sc, ip(ipn), kind, gain, ParallelChoice::None));
+    }
+    debug_assert_eq!(imps.len(), 27, "table 2 reports 27 IMPs");
+    debug_assert_eq!(instance.library.len(), 11, "10 IPs + placeholder");
+
+    Workload {
+        instance,
+        imps: ImpDb::from_imps(imps),
+        rg_sweep: [
+            22_240u64, 44_481, 111_203, 133_444, 155_684, 177_925, 200_166, 211_286,
+        ]
+        .into_iter()
+        .map(Cycles)
+        .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SolveOptions, Solver};
+
+    #[test]
+    fn encoder_shape_matches_paper() {
+        let w = encoder();
+        assert_eq!(w.imps.len(), 42);
+        assert_eq!(w.instance.library.len(), 23);
+        assert_eq!(w.instance.scalls.len(), 19); // SC0 placeholder + 18
+        assert_eq!(w.rg_sweep.len(), 8);
+    }
+
+    #[test]
+    fn decoder_shape_matches_paper() {
+        let w = decoder();
+        assert_eq!(w.imps.len(), 27);
+        assert_eq!(w.instance.library.len(), 11);
+        assert_eq!(w.rg_sweep.len(), 8);
+    }
+
+    #[test]
+    fn encoder_row1_instantiates_only_ip12() {
+        let w = encoder();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(47_740))))
+            .unwrap();
+        // The paper reports SC13 alone (G = 115037); our gain-maximising
+        // area tie-break also merges the other three IP12 s-calls in at the
+        // same (optimal) area — see EXPERIMENTS.md. The area, the IP and the
+        // S-instruction count all match the published row.
+        assert!(sel.chosen().iter().all(|i| i.ips == vec![IpId(12)]));
+        assert!(sel.chosen().iter().any(|i| i.scall == CallSiteId(13)));
+        assert!(sel.total_gain() >= Cycles(115_037));
+        assert_eq!(sel.total_area(), AreaTenths::from_units(3));
+        assert_eq!(sel.s_instruction_count(), 1);
+    }
+
+    #[test]
+    fn decoder_last_row_switches_to_wide_filter() {
+        let w = decoder();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(211_286))))
+            .unwrap();
+        // The paper: the four synthesis segments move from IP5 to IP4 and
+        // SC10's interface escalates from IF0 to IF2.
+        assert!(sel
+            .chosen()
+            .iter()
+            .any(|i| i.scall == CallSiteId(8) && i.ips == vec![IpId(4)]));
+        assert!(sel
+            .chosen()
+            .iter()
+            .any(|i| i.scall == CallSiteId(10) && i.interface == InterfaceKind::Type2));
+        assert_eq!(sel.total_gain(), Cycles(211_432));
+    }
+}

@@ -1,0 +1,255 @@
+//! JPEG encoder model calibrated to Table 3.
+//!
+//! "The JPEG encoder has 2D-DCT as its main function. 2D-DCT consists of two
+//! 1D-DCTs, and 1D-DCT calls FFT. In FFT, a number of complex number
+//! multiplications are performed. We supported five IPs: one for 2D-DCT,
+//! one for 1D-DCT, one for FFT, one for complex multiplication, and one for
+//! zig_zag. Seven IMPs were generated for 2D-DCT with considering the
+//! hierarchy and two IMPs were generated for zig_zag."
+//!
+//! [`encoder`] carries the seven flattened IMPs directly (calibrated to the
+//! table); [`encoder_hierarchical`] builds the composite IMPs through
+//! [`partita_core::hierarchy::flatten`] from explicit child call sites,
+//! demonstrating the mechanism of Fig. 11.
+
+use partita_core::hierarchy::{flatten, FlattenLimits, HierSpec};
+use partita_core::{Imp, ImpDb, Instance, ParallelChoice, SCall};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction, IpId};
+use partita_mop::{AreaTenths, CallSiteId, Cycles};
+
+use crate::Workload;
+
+fn add_jpeg_library(instance: &mut Instance) {
+    // IP0 placeholder keeps the paper's 1-based ids.
+    let lib: Vec<(&str, IpFunction, i64)> = vec![
+        ("pad", IpFunction::Custom("pad".into()), 990), // IP0 (unused)
+        ("dct2d_engine", IpFunction::Dct2d, 260),       // IP1: 26.0
+        ("dct1d_engine", IpFunction::Dct1d, 100),       // IP2: 10.0
+        ("fft_engine", IpFunction::Fft, 170),           // IP3: 17.0
+        ("cmul_unit", IpFunction::ComplexMul, 40),      // IP4: 4.0
+        ("zigzag_scanner", IpFunction::ZigZag, 50),     // IP5: 5.0
+    ];
+    for (name, func, tenths) in lib {
+        instance.library.add(
+            IpBlock::builder(name)
+                .function(func)
+                .area(AreaTenths::from_tenths(tenths))
+                .build(),
+        );
+    }
+}
+
+fn if_area(kind: InterfaceKind) -> AreaTenths {
+    match kind {
+        InterfaceKind::Type0 => AreaTenths::from_tenths(0),
+        InterfaceKind::Type1 => AreaTenths::from_tenths(10),
+        InterfaceKind::Type2 => AreaTenths::from_tenths(5),
+        InterfaceKind::Type3 => AreaTenths::from_tenths(15),
+    }
+}
+
+/// The Table 3 instance: SC1 = 2D-DCT (seven IMPs), SC2 = zig_zag (two).
+#[must_use]
+pub fn encoder() -> Workload {
+    let mut instance = Instance::new("jpeg_encoder");
+    add_jpeg_library(&mut instance);
+    let ip = |n: u32| IpId(n);
+
+    instance.add_scall(SCall::new(
+        "pad",
+        IpFunction::Custom("pad".into()),
+        Cycles(1),
+        TransferJob::new(2, 2),
+    ));
+    let sc1 = instance.add_scall(SCall::new(
+        "dct2d",
+        IpFunction::Dct2d,
+        Cycles(40_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let sc2 = instance.add_scall(SCall::new(
+        "zig_zag",
+        IpFunction::ZigZag,
+        Cycles(160_000),
+        TransferJob::new(64, 64),
+    ));
+    instance.add_path(vec![sc1, sc2]);
+
+    let mk = |sc: CallSiteId, ips: Vec<IpId>, kind, gain: u64, par| {
+        Imp::new(sc, ips, kind, Cycles(gain), if_area(kind), par)
+    };
+    let imps = vec![
+        // --- the seven 2D-DCT IMPs (hierarchy-flattened) ---
+        // Only the inner complex multiplications accelerated.
+        mk(sc1, vec![ip(4)], InterfaceKind::Type0, 15_040_512, ParallelChoice::None),
+        // Only the FFT accelerated.
+        mk(sc1, vec![ip(3)], InterfaceKind::Type1, 30_500_000, ParallelChoice::None),
+        // FFT + C-MUL together (a deeper composite).
+        mk(sc1, vec![ip(3), ip(4)], InterfaceKind::Type1, 31_000_000, ParallelChoice::None),
+        // Both 1D-DCT passes accelerated.
+        mk(sc1, vec![ip(2)], InterfaceKind::Type1, 37_081_088, ParallelChoice::None),
+        mk(sc1, vec![ip(2)], InterfaceKind::Type3, 37_090_000, ParallelChoice::PlainPc),
+        // The dedicated 2D-DCT engine.
+        mk(sc1, vec![ip(1)], InterfaceKind::Type1, 37_717_440, ParallelChoice::None),
+        mk(sc1, vec![ip(1)], InterfaceKind::Type3, 37_729_728, ParallelChoice::PlainPc),
+        // --- the two zig_zag IMPs ---
+        mk(sc2, vec![ip(5)], InterfaceKind::Type2, 113_984, ParallelChoice::None),
+        mk(sc2, vec![ip(5)], InterfaceKind::Type0, 91_000, ParallelChoice::None),
+    ];
+    debug_assert_eq!(imps.len(), 9, "7 dct2d + 2 zig_zag IMPs");
+
+    Workload {
+        instance,
+        imps: ImpDb::from_imps(imps),
+        rg_sweep: [
+            12_157_384u64,
+            20_262_307,
+            37_195_000,
+            37_282_645,
+            37_843_700,
+        ]
+        .into_iter()
+        .map(Cycles)
+        .collect(),
+    }
+}
+
+/// The same application modelled with explicit child call sites (two 1D-DCT
+/// passes, their FFTs, the FFTs' complex-multiply loops), with the 2D-DCT's
+/// composite IMPs produced by *IMP flatten* — the paper's Fig. 11 flow.
+#[must_use]
+pub fn encoder_hierarchical() -> Workload {
+    let mut instance = Instance::new("jpeg_encoder_hierarchical");
+    add_jpeg_library(&mut instance);
+    let ip = |n: u32| IpId(n);
+
+    instance.add_scall(SCall::new(
+        "pad",
+        IpFunction::Custom("pad".into()),
+        Cycles(1),
+        TransferJob::new(2, 2),
+    ));
+    let dct2d = instance.add_scall(SCall::new(
+        "dct2d",
+        IpFunction::Dct2d,
+        Cycles(40_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let zigzag = instance.add_scall(SCall::new(
+        "zig_zag",
+        IpFunction::ZigZag,
+        Cycles(160_000),
+        TransferJob::new(64, 64),
+    ));
+    // Children: the two 1D-DCT passes, each with an FFT, each FFT with its
+    // complex-multiply loop.
+    let dct1d_a = instance.add_scall(SCall::new("dct1d_rows", IpFunction::Dct1d, Cycles(20_000_000), TransferJob::new(64, 64)));
+    let dct1d_b = instance.add_scall(SCall::new("dct1d_cols", IpFunction::Dct1d, Cycles(20_000_000), TransferJob::new(64, 64)));
+    let fft_a = instance.add_scall(SCall::new("fft_rows", IpFunction::Fft, Cycles(17_000_000), TransferJob::new(64, 64)));
+    let fft_b = instance.add_scall(SCall::new("fft_cols", IpFunction::Fft, Cycles(17_000_000), TransferJob::new(64, 64)));
+    let cmul_a = instance.add_scall(SCall::new("cmul_rows", IpFunction::ComplexMul, Cycles(9_000_000), TransferJob::new(4, 2)));
+    let cmul_b = instance.add_scall(SCall::new("cmul_cols", IpFunction::ComplexMul, Cycles(9_000_000), TransferJob::new(4, 2)));
+    instance.add_path(vec![dct2d, zigzag]);
+
+    let mk = |sc: CallSiteId, ips: Vec<IpId>, kind, gain: u64| {
+        Imp::new(sc, ips, kind, Cycles(gain), if_area(kind), ParallelChoice::None)
+    };
+    // Leaf/intermediate IMPs; flatten folds them into the 2D-DCT.
+    let db = ImpDb::from_imps(vec![
+        mk(dct2d, vec![ip(1)], InterfaceKind::Type1, 37_717_440),
+        mk(dct1d_a, vec![ip(2)], InterfaceKind::Type1, 18_540_544),
+        mk(dct1d_b, vec![ip(2)], InterfaceKind::Type1, 18_540_544),
+        mk(fft_a, vec![ip(3)], InterfaceKind::Type1, 15_250_000),
+        mk(fft_b, vec![ip(3)], InterfaceKind::Type1, 15_250_000),
+        mk(cmul_a, vec![ip(4)], InterfaceKind::Type0, 7_520_256),
+        mk(cmul_b, vec![ip(4)], InterfaceKind::Type0, 7_520_256),
+        mk(zigzag, vec![ip(5)], InterfaceKind::Type2, 113_984),
+    ]);
+    // Bottom-up specs: fold cmul into fft, fft into dct1d, dct1ds into dct2d.
+    let specs = vec![
+        HierSpec { parent: fft_a, children: vec![cmul_a] },
+        HierSpec { parent: fft_b, children: vec![cmul_b] },
+        HierSpec { parent: dct1d_a, children: vec![fft_a] },
+        HierSpec { parent: dct1d_b, children: vec![fft_b] },
+        HierSpec { parent: dct2d, children: vec![dct1d_a, dct1d_b] },
+    ];
+    // `flatten` replaces child IMPs with parent composites — but the direct
+    // child IMPs (e.g. "accelerate only dct1d") must survive as composites
+    // of the parent, which is exactly what the fold produces.
+    let flat = flatten(&db, &specs, FlattenLimits::default());
+
+    Workload {
+        instance,
+        imps: flat,
+        rg_sweep: [12_157_384u64, 20_262_307, 37_000_000]
+            .into_iter()
+            .map(Cycles)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SolveOptions, Solver};
+
+    fn solve(w: &Workload, rg: u64) -> partita_core::Selection {
+        Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))
+            .unwrap()
+    }
+
+    #[test]
+    fn table3_row1_uses_cmul_only() {
+        let w = encoder();
+        let sel = solve(&w, 12_157_384);
+        assert_eq!(sel.chosen().len(), 1);
+        assert_eq!(sel.chosen()[0].ips, vec![IpId(4)]);
+        assert_eq!(sel.total_gain(), Cycles(15_040_512));
+        assert_eq!(sel.total_area(), AreaTenths::from_units(4));
+    }
+
+    #[test]
+    fn table3_escalates_ip_and_interface_with_rg() {
+        let w = encoder();
+        // Row 2: the 1D-DCT engine on IF1.
+        let r2 = solve(&w, 20_262_307);
+        assert_eq!(r2.chosen()[0].ips, vec![IpId(2)]);
+        assert_eq!(r2.chosen()[0].interface, InterfaceKind::Type1);
+        assert_eq!(r2.total_gain(), Cycles(37_081_088));
+        // Row 4: the 2D-DCT engine.
+        let r4 = solve(&w, 37_282_645);
+        assert_eq!(r4.chosen()[0].ips, vec![IpId(1)]);
+        assert_eq!(r4.total_gain(), Cycles(37_717_440));
+        // Row 5: 2D-DCT on IF3 plus the zig-zag IP.
+        let r5 = solve(&w, 37_843_700);
+        assert_eq!(r5.total_gain(), Cycles(37_843_712));
+        assert!(r5
+            .chosen()
+            .iter()
+            .any(|i| i.ips == vec![IpId(1)] && i.interface == InterfaceKind::Type3));
+        assert!(r5.chosen().iter().any(|i| i.ips == vec![IpId(5)]));
+        assert_eq!(r5.total_area(), AreaTenths::from_tenths(330));
+    }
+
+    #[test]
+    fn hierarchical_model_flattens_to_top_level() {
+        let w = encoder_hierarchical();
+        // Children have no IMPs after the fold.
+        for sc in 3..=8u32 {
+            assert!(w.imps.for_scall(CallSiteId(sc)).is_empty(), "sc{sc}");
+        }
+        // The 2D-DCT offers the direct engine plus composites.
+        let top = w.imps.for_scall(CallSiteId(1));
+        assert!(top.len() >= 4);
+        // A composite with both 1D-DCT passes reaches their combined gain.
+        assert!(top
+            .iter()
+            .any(|i| i.gain == Cycles(2 * 18_540_544) && i.ips == vec![IpId(2)]));
+        // Solving picks the best composite under a mid-range requirement.
+        let sel = solve(&w, 37_000_000);
+        assert!(sel.total_gain().get() >= 37_000_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload models for the DAC'99 evaluation (§5).
+//!
+//! The paper evaluates on two real DSP applications — a GSM(TDMA) codec and
+//! a JPEG codec — whose C sources and input data are not available. This
+//! crate substitutes **calibrated synthetic models**: instances whose s-call
+//! counts, IP libraries, IMP counts, gains and areas are back-derived from
+//! the published Tables 1–3, so the selector faces the identical decision
+//! structure (see `DESIGN.md`, "Substitutions").
+//!
+//! * [`gsm::encoder`] — 18 s-calls, 23 IPs, 42 IMPs (Table 1);
+//! * [`gsm::decoder`] — 11 s-calls, 10 IPs, 27 IMPs (Table 2);
+//! * [`jpeg::encoder`] — 2 top-level s-calls, 5 IPs, 7 hierarchy-flattened
+//!   IMPs for the 2D-DCT plus 2 for zig-zag (Table 3);
+//! * [`gsm_func`] — a functional RPE-LTP-style mini codec built from the
+//!   `partita-ip` kernels (the signal path behind the GSM instances);
+//! * [`synth`] — a seeded random instance generator for scaling studies and
+//!   ablations;
+//! * [`toy`] — a small Partita-C program exercising the full frontend →
+//!   profile → parallel-code → solve pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gsm;
+pub mod gsm_func;
+pub mod jpeg;
+pub mod synth;
+pub mod toy;
+
+/// A workload: the problem instance plus its IMP database.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The selection-problem instance.
+    pub instance: partita_core::Instance,
+    /// The implementation-method database.
+    pub imps: partita_core::ImpDb,
+    /// The required-gain sweep the paper's table uses (RG column).
+    pub rg_sweep: Vec<partita_mop::Cycles>,
+}

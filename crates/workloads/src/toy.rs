@@ -1,0 +1,191 @@
+//! A small Partita-C program exercising the full pipeline:
+//! compile → profile → parallel-code analysis → instance → solve.
+
+use partita_asip::{ExecOptions, Kernel};
+use partita_core::{parallel_code, ImpDb, Instance, SCall};
+use partita_frontend::{compile, profile, CompiledProgram};
+use partita_interface::TransferJob;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles, FuncId};
+
+use crate::Workload;
+
+/// The toy codec source: two filter stages over disjoint memory regions
+/// (each other's parallel-code candidates) and a dependent post-pass.
+#[must_use]
+pub fn source() -> &'static str {
+    "
+    xmem samples[16] @ 0;
+    ymem filtered[16] @ 0;
+    xmem weights[16] @ 32;
+    ymem output[16] @ 32;
+
+    fn fir() reads samples writes filtered {
+        let acc = 0;
+        let i = 0;
+        while (i < 16) {
+            acc = acc + samples[i];
+            filtered[i] = acc;
+            i = i + 1;
+        }
+    }
+
+    fn weight() reads weights writes output {
+        let i = 0;
+        while (i < 16) {
+            output[i] = weights[i] * 3;
+            i = i + 1;
+        }
+    }
+
+    fn post() reads filtered, output writes filtered {
+        let i = 0;
+        while (i < 16) {
+            filtered[i] = filtered[i] + output[i];
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        fir();
+        weight();
+        post();
+    }
+    "
+}
+
+/// Compiles and profiles the toy program on typical input data.
+///
+/// # Panics
+///
+/// Panics only if the embedded source regresses (guarded by tests).
+#[must_use]
+pub fn compiled() -> (CompiledProgram, Kernel) {
+    let mut compiled = compile(source()).expect("toy source compiles");
+    let mut kernel = Kernel::new(256, 256);
+    let samples: Vec<i32> = (0..16).map(|i| (i * 7 % 13) - 6).collect();
+    let weights: Vec<i32> = (0..16).map(|i| i + 1).collect();
+    kernel.xdm.load(0, &samples).expect("layout fits");
+    kernel.xdm.load(32, &weights).expect("layout fits");
+    profile(&mut compiled, &mut kernel, &ExecOptions::default()).expect("toy program runs");
+    (compiled, kernel)
+}
+
+/// Builds a selection instance from the compiled program: s-call software
+/// times from the profile, parallel-code data from the CDFG analysis, and a
+/// two-entry IP library.
+#[must_use]
+pub fn workload() -> Workload {
+    let (compiled, _) = compiled();
+    let mut instance = Instance::new("toy_codec");
+    instance.library.add(
+        IpBlock::builder("fir16")
+            .function(IpFunction::Fir)
+            .rates(4, 4)
+            .latency(8)
+            .area(AreaTenths::from_units(3))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("scaler")
+            .function(IpFunction::Quantizer)
+            .rates(4, 4)
+            .latency(4)
+            .area(AreaTenths::from_units(2))
+            .build(),
+    );
+
+    let main = compiled
+        .program
+        .function_by_name("main")
+        .expect("toy has main");
+    let infos =
+        parallel_code::analyze_function(&compiled, main).expect("parallel-code analysis");
+    let func = compiled.program.function(main).expect("main exists");
+
+    let mut ids = Vec::new();
+    for ((mop, info), (name, ipfunc)) in infos.iter().zip([
+        ("fir", IpFunction::Fir),
+        ("weight", IpFunction::Quantizer),
+        ("post", IpFunction::Custom("post".into())),
+    ]) {
+        let callee = func
+            .mop(*mop)
+            .ok()
+            .and_then(|m| m.callee())
+            .unwrap_or(FuncId(0));
+        let sw = compiled
+            .program
+            .function(callee)
+            .map(|f| f.profiled_cycles())
+            .unwrap_or(Cycles(1));
+        let sc = SCall::new(name, ipfunc, sw, TransferJob::new(32, 32))
+            .with_plain_pc(info.cycles);
+        ids.push(instance.add_scall(sc));
+    }
+    instance.add_path(ids.clone());
+    // fir and weight touch disjoint regions: each may serve as the other's
+    // software parallel code (found by the analysis, wired here).
+    let fir_candidates = infos[0].1.sw_candidate_mops.len();
+    if fir_candidates > 0 {
+        instance.scalls[0].sw_pc_candidates = vec![ids[1]];
+        instance.scalls[1].sw_pc_candidates = vec![ids[0]];
+    }
+
+    let imps = ImpDb::generate(&instance);
+    let max: u64 = instance
+        .scalls
+        .iter()
+        .map(|sc| {
+            imps.for_scall(sc.id)
+                .iter()
+                .map(|i| i.gain.get())
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    Workload {
+        instance,
+        imps,
+        rg_sweep: vec![Cycles(max / 4), Cycles(max / 2), Cycles(3 * max / 4)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SolveOptions, Solver};
+
+    #[test]
+    fn toy_program_computes_expected_results() {
+        let (_, kernel) = compiled();
+        // filtered[i] = prefix_sum(samples)[i] + weights[i] * 3.
+        let samples: Vec<i32> = (0..16).map(|i| (i * 7 % 13) - 6).collect();
+        let mut acc = 0;
+        for i in 0..16u32 {
+            acc += samples[i as usize];
+            let expected = acc + (i as i32 + 1) * 3;
+            assert_eq!(kernel.ydm.read(i).unwrap(), expected, "filtered[{i}]");
+        }
+    }
+
+    #[test]
+    fn parallel_code_analysis_feeds_the_instance() {
+        let w = workload();
+        // fir and weight are mutual software-PC candidates; post conflicts
+        // with both (reads their outputs).
+        assert_eq!(w.instance.scalls[0].sw_pc_candidates.len(), 1);
+        assert_eq!(w.instance.scalls[1].sw_pc_candidates.len(), 1);
+        assert!(w.instance.scalls[2].sw_pc_candidates.is_empty());
+    }
+
+    #[test]
+    fn toy_workload_is_solvable() {
+        let w = workload();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[0])))
+            .unwrap();
+        assert!(sel.total_gain() >= w.rg_sweep[0]);
+    }
+}

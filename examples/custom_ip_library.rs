@@ -1,0 +1,102 @@
+//! Bring your own application and IP library: the full Partita flow from
+//! C-like source to S-instruction selection.
+//!
+//! 1. compile Partita-C to µ-code,
+//! 2. sample-execute on the kernel simulator to profile it,
+//! 3. analyse parallel code on the CDFG,
+//! 4. generate the IMP database against a custom IP library,
+//! 5. solve for the cheapest IP/interface selection.
+//!
+//! Run with `cargo run --release --example custom_ip_library`.
+
+use partita::asip::{ExecOptions, Kernel};
+use partita::core::{
+    instance_from_compiled, parallel_code, RequiredGains, SCallBinding, SolveOptions, Solver,
+};
+use partita::frontend::{compile, profile};
+use partita::interface::TransferJob;
+use partita::ip::{IpBlock, IpFunction};
+use partita::mop::{AreaTenths, Cycles};
+
+const SOURCE: &str = "
+    xmem samples[64] @ 0;
+    ymem band_a[64] @ 0;
+    ymem band_b[64] @ 64;
+
+    fn split_low() reads samples writes band_a {
+        let acc = 0; let i = 0;
+        while (i < 64) { acc = acc + samples[i]; band_a[i] = acc; i = i + 1; }
+    }
+    fn split_high() reads samples writes band_b {
+        let prev = 0; let i = 0;
+        while (i < 64) { band_b[i] = samples[i] - prev; prev = samples[i]; i = i + 1; }
+    }
+    fn main() {
+        split_low();
+        split_high();
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Compile and profile with typical input data.
+    let mut compiled = compile(SOURCE)?;
+    let mut kernel = Kernel::new(256, 256);
+    let samples: Vec<i32> = (0..64).map(|i| ((i * 13) % 31) - 15).collect();
+    kernel.xdm.load(0, &samples)?;
+    let report = profile(&mut compiled, &mut kernel, &ExecOptions::default())?;
+    println!(
+        "profile: {} cycles, {} µ-operations retired",
+        report.cycles.get(),
+        report.mops_retired
+    );
+
+    // Parallel-code analysis: the two filters touch disjoint regions, so
+    // each is the other's software-parallel-code candidate.
+    let main_id = compiled.program.function_by_name("main").expect("main exists");
+    let infos = parallel_code::analyze_function(&compiled, main_id)?;
+    for (i, (_, info)) in infos.iter().enumerate() {
+        println!(
+            "call #{i}: plain PC = {} µ-ops, {} independent s-call(s)",
+            info.cycles.get(),
+            info.sw_candidate_mops.len()
+        );
+    }
+
+    // Build the instance straight from the compiled program: profiled
+    // software times, frequencies, parallel-code data and execution paths
+    // all come from the analysis above.
+    let bindings = [
+        SCallBinding::new("split_low", IpFunction::Fir, TransferJob::new(64, 64)),
+        SCallBinding::new("split_high", IpFunction::Iir, TransferJob::new(64, 64)),
+    ];
+    let mut instance =
+        instance_from_compiled(&compiled, main_id, &bindings, "subband_splitter")?;
+    instance.library.add(
+        IpBlock::builder("accumulator_fir")
+            .function(IpFunction::Fir)
+            .rates(4, 4)
+            .latency(6)
+            .area(AreaTenths::from_units(2))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("differencer")
+            .function(IpFunction::Iir)
+            .rates(2, 2)
+            .latency(4)
+            .area(AreaTenths::from_tenths(15))
+            .build(),
+    );
+
+    for rg_frac in [4u64, 2] {
+        let max: u64 = instance.scalls.iter().map(|s| s.sw_cycles.get()).sum();
+        let rg = Cycles(max / rg_frac / 2);
+        let sel = Solver::new(&instance)
+            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+        println!("\nRG {}: area {}, selections:", rg.get(), sel.total_area());
+        for imp in sel.chosen() {
+            println!("    {imp}  [{:?}]", imp.parallel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The JPEG pipeline end to end: the *functional* layer (real 2D-DCT,
+//! quantisation and zig-zag over an 8×8 block, built from this crate's DSP
+//! kernels) next to the *selection* layer (Table 3's IP/interface choices,
+//! including the hierarchical IMP-flatten model).
+//!
+//! Run with `cargo run --release --example jpeg_pipeline`.
+
+use partita::core::{RequiredGains, SolveOptions, Solver};
+use partita::ip::func::{dct2d, idct2d, quantize_table, zigzag_inverse, zigzag_scan};
+use partita::mop::Cycles;
+use partita::workloads::jpeg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- functional layer: one 8x8 block through DCT -> quant -> zig-zag ----
+    let block: Vec<f64> = (0..64)
+        .map(|i| {
+            let (r, c) = (i / 8, i % 8);
+            128.0 + 40.0 * ((r as f64) * 0.7).sin() + 25.0 * ((c as f64) * 0.9).cos()
+        })
+        .collect();
+    let freq = dct2d(&block, 8, 8);
+    let quantized: Vec<i32> = quantize_table(
+        &freq.iter().map(|v| v.round() as i32).collect::<Vec<_>>(),
+        &vec![16; 64],
+    );
+    let scanned = zigzag_scan(&quantized, 8);
+    let trailing_zeros = scanned.iter().rev().take_while(|&&v| v == 0).count();
+    println!("8x8 block: {} trailing zeros after zig-zag (energy compaction)", trailing_zeros);
+
+    // Round-trip sanity: dequantise and invert.
+    let dequant: Vec<f64> = zigzag_inverse(&scanned, 8)
+        .into_iter()
+        .map(|v| f64::from(v * 16))
+        .collect();
+    let restored = idct2d(&dequant, 8, 8);
+    let max_err = block
+        .iter()
+        .zip(&restored)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("reconstruction error after 16x quantisation: {max_err:.1} (bounded by the step)");
+    assert!(max_err < 48.0);
+
+    // ---- selection layer: Table 3 ----
+    let w = jpeg::encoder();
+    println!("\nTable 3 sweep (IP1: 2D-DCT, IP2: 1D-DCT, IP3: FFT, IP4: C-MUL, IP5: ZIG_ZAG):");
+    for &rg in &w.rg_sweep {
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+        let picks: Vec<String> = sel.chosen().iter().map(|i| i.to_string()).collect();
+        println!(
+            "    RG {:>9}: gain {:>9}, area {:>5} -> {}",
+            rg.get(),
+            sel.total_gain().get(),
+            sel.total_area(),
+            picks.join(" | ")
+        );
+    }
+
+    // ---- the hierarchical model (Fig. 11) ----
+    let h = jpeg::encoder_hierarchical();
+    let sel = Solver::new(&h.instance)
+        .with_imps(h.imps.clone())
+        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(30_000_000))))?;
+    println!(
+        "\nhierarchical model: IMP flatten produced {} 2D-DCT alternatives; \
+         RG 30M met with area {}",
+        h.imps.for_scall(partita::mop::CallSiteId(1)).len(),
+        sel.total_area()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: select IPs and interfaces for a small DSP application.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use partita::core::{Instance, RequiredGains, SCall, SolveOptions, Solver};
+use partita::interface::TransferJob;
+use partita::ip::{IpBlock, IpFunction};
+use partita::mop::{AreaTenths, Cycles};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the IP library: two accelerators with different
+    //    port/rate/latency/area trade-offs.
+    let mut instance = Instance::new("quickstart");
+    instance.library.add(
+        IpBlock::builder("fir16")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(4, 4)
+            .latency(8)
+            .area(AreaTenths::from_units(3))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("dct8")
+            .function(IpFunction::Dct1d)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(24)
+            .area(AreaTenths::from_units(8))
+            .build(),
+    );
+
+    // 2. Describe the application's s-calls: software cycle counts from the
+    //    profiler, data volumes, frequencies and available parallel code.
+    let fir = instance.add_scall(
+        SCall::new("fir", IpFunction::Fir, Cycles(12_000), TransferJob::new(320, 320))
+            .with_freq(4)
+            .with_plain_pc(Cycles(150)),
+    );
+    let dct = instance.add_scall(
+        SCall::new("dct", IpFunction::Dct1d, Cycles(30_000), TransferJob::new(128, 128))
+            .with_freq(2),
+    );
+    instance.add_path(vec![fir, dct]);
+
+    // 3. Solve for increasing performance requirements and watch the
+    //    selection escalate.
+    for rg in [20_000u64, 60_000, 100_000] {
+        let selection = Solver::new(&instance)
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))?;
+        println!(
+            "RG {rg:>7}: gain {:>7}, area {:>5}, {} S-instruction(s)",
+            selection.total_gain().get(),
+            selection.total_area(),
+            selection.s_instruction_count()
+        );
+        for imp in selection.chosen() {
+            println!("    {imp}");
+        }
+    }
+    Ok(())
+}

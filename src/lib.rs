@@ -1,0 +1,42 @@
+//! **partita** — a reproduction of *"Exploiting Intellectual Properties in
+//! ASIP Designs for Embedded DSP Software"* (Choi, Yi, Lee, Park, Kyung —
+//! DAC 1999).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`mop`] — µ-operation IR, CDFG, execution paths, call hierarchy.
+//! * [`frontend`] — C-like DSL, profiler, lowering to MOP lists.
+//! * [`asip`] — cycle-accurate pipelined DSP kernel simulator.
+//! * [`ip`] — hardware IP models and bit-true DSP kernels.
+//! * [`interface`] — the four kernel↔IP interface types, timing/area models.
+//! * [`ilp`] — 0/1 integer linear programming (simplex + branch-and-bound).
+//! * [`core`] — optimal S-instruction generation (the paper's contribution).
+//! * [`workloads`] — GSM(TDMA) and JPEG workload models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use partita::workloads::gsm;
+//! use partita::core::{RequiredGains, Solver, SolveOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = gsm::encoder();
+//! let rg = workload.rg_sweep[0];
+//! let solution = Solver::new(&workload.instance)
+//!     .with_imps(workload.imps.clone())
+//!     .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+//! assert!(solution.total_gain() >= rg);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use partita_asip as asip;
+pub use partita_core as core;
+pub use partita_frontend as frontend;
+pub use partita_ilp as ilp;
+pub use partita_interface as interface;
+pub use partita_ip as ip;
+pub use partita_mop as mop;
+pub use partita_workloads as workloads;

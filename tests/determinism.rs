@@ -1,0 +1,49 @@
+//! Reproducibility: every published sweep point must decode to the same
+//! selection on repeated solves — the tables in EXPERIMENTS.md are only
+//! meaningful if the solver is deterministic.
+
+use partita::core::{RequiredGains, SolveOptions, Solver};
+use partita::workloads::{gsm, jpeg, synth};
+
+#[test]
+fn calibrated_sweeps_are_deterministic() {
+    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+        for &rg in &w.rg_sweep {
+            let opts = SolveOptions::new(RequiredGains::Uniform(rg));
+            let a = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&opts)
+                .expect("sweep point feasible");
+            let b = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&opts)
+                .expect("sweep point feasible");
+            assert_eq!(
+                a.chosen(),
+                b.chosen(),
+                "{} at RG {} must decode identically",
+                w.instance.name,
+                rg.get()
+            );
+            assert_eq!(a.total_area(), b.total_area());
+            assert_eq!(a.total_gain(), b.total_gain());
+        }
+    }
+}
+
+#[test]
+fn synthetic_instances_are_deterministic() {
+    let w1 = synth::generate(synth::SynthParams::default());
+    let w2 = synth::generate(synth::SynthParams::default());
+    assert_eq!(w1.imps.imps(), w2.imps.imps());
+    assert_eq!(w1.rg_sweep, w2.rg_sweep);
+    let rg = w1.rg_sweep[0];
+    let opts = SolveOptions::new(RequiredGains::Uniform(rg));
+    let a = Solver::new(&w1.instance).with_imps(w1.imps.clone()).solve(&opts);
+    let b = Solver::new(&w2.instance).with_imps(w2.imps.clone()).solve(&opts);
+    match (a, b) {
+        (Ok(a), Ok(b)) => assert_eq!(a.chosen(), b.chosen()),
+        (Err(_), Err(_)) => {}
+        other => panic!("determinism violated: {other:?}"),
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end integration: Partita-C source → µ-code → profile →
+//! parallel-code analysis → IMP generation → ILP selection, spanning every
+//! crate in the workspace.
+
+use partita::asip::{ExecOptions, Kernel};
+use partita::core::{
+    parallel_code, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver,
+};
+use partita::frontend::{compile, profile};
+use partita::interface::{InterfaceKind, TransferJob};
+use partita::ip::{IpBlock, IpFunction};
+use partita::mop::{AreaTenths, Cycles};
+
+const PIPELINE_SRC: &str = "
+    xmem input[32] @ 0;
+    ymem stage1[32] @ 0;
+    xmem stage2[32] @ 64;
+    ymem result[32] @ 64;
+
+    fn prefilter() reads input writes stage1 {
+        let acc = 0; let i = 0;
+        while (i < 32) { acc = acc + input[i]; stage1[i] = acc; i = i + 1; }
+    }
+    fn sidechain() reads input writes stage2 {
+        let i = 0;
+        while (i < 32) { stage2[i] = input[i] * 2; i = i + 1; }
+    }
+    fn combine() reads stage1, stage2 writes result {
+        let i = 0;
+        while (i < 32) { result[i] = stage1[i] + stage2[i]; i = i + 1; }
+    }
+    fn main() { prefilter(); sidechain(); combine(); }
+";
+
+fn compiled_pipeline() -> (partita::frontend::CompiledProgram, Kernel) {
+    let mut compiled = compile(PIPELINE_SRC).expect("pipeline source compiles");
+    let mut kernel = Kernel::new(256, 256);
+    let input: Vec<i32> = (0..32).map(|i| (i % 7) - 3).collect();
+    kernel.xdm.load(0, &input).expect("input fits");
+    profile(&mut compiled, &mut kernel, &ExecOptions::default()).expect("pipeline runs");
+    (compiled, kernel)
+}
+
+#[test]
+fn compiled_program_computes_correct_results() {
+    let (_, kernel) = compiled_pipeline();
+    let input: Vec<i32> = (0..32).map(|i| (i % 7) - 3).collect();
+    let mut acc = 0;
+    for i in 0..32u32 {
+        acc += input[i as usize];
+        let expected = acc + input[i as usize] * 2;
+        assert_eq!(kernel.ydm.read(64 + i).unwrap(), expected, "result[{i}]");
+    }
+}
+
+#[test]
+fn profile_feeds_software_cycle_counts() {
+    let (compiled, _) = compiled_pipeline();
+    for name in ["prefilter", "sidechain", "combine"] {
+        let id = compiled.program.function_by_name(name).unwrap();
+        let cycles = compiled.program.function(id).unwrap().profiled_cycles();
+        assert!(
+            cycles.get() > 32,
+            "{name} must account for its 32 loop iterations, got {cycles}"
+        );
+    }
+}
+
+#[test]
+fn parallel_code_analysis_finds_the_independent_pair() {
+    let (compiled, _) = compiled_pipeline();
+    let main_id = compiled.program.function_by_name("main").unwrap();
+    let infos = parallel_code::analyze_function(&compiled, main_id).unwrap();
+    assert_eq!(infos.len(), 3);
+    // prefilter and sidechain are mutually independent; combine depends on
+    // both.
+    assert_eq!(infos[0].1.sw_candidate_mops.len(), 1);
+    assert_eq!(infos[1].1.sw_candidate_mops.len(), 1);
+    assert!(infos[2].1.sw_candidate_mops.is_empty());
+}
+
+/// The full flow: everything from source to a solved selection, asserting
+/// that the Problem 2 solution exploits the analysis results.
+#[test]
+fn source_to_selection() {
+    let (compiled, _) = compiled_pipeline();
+    let main_id = compiled.program.function_by_name("main").unwrap();
+    let infos = parallel_code::analyze_function(&compiled, main_id).unwrap();
+
+    let mut instance = Instance::new("pipeline");
+    instance.library.add(
+        IpBlock::builder("mac_fir")
+            .function(IpFunction::Fir)
+            .rates(4, 4)
+            .latency(8)
+            .area(AreaTenths::from_units(2))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("scaler")
+            .function(IpFunction::Quantizer)
+            .rates(2, 2)
+            .latency(2)
+            .area(AreaTenths::from_units(1))
+            .build(),
+    );
+    let specs = [
+        ("prefilter", IpFunction::Fir),
+        ("sidechain", IpFunction::Quantizer),
+        ("combine", IpFunction::Fir),
+    ];
+    let mut ids = Vec::new();
+    for ((_, info), (name, ipf)) in infos.iter().zip(specs) {
+        let callee = compiled.program.function_by_name(name).unwrap();
+        let sw = compiled.program.function(callee).unwrap().profiled_cycles();
+        ids.push(instance.add_scall(
+            SCall::new(name, ipf, sw, TransferJob::new(64, 64)).with_plain_pc(info.cycles),
+        ));
+    }
+    instance.scalls[0].sw_pc_candidates = vec![ids[1]];
+    instance.add_path(ids);
+
+    let db = ImpDb::generate(&instance);
+    assert!(!db.is_empty());
+    // All four interface kinds appear for the 2-port FIR.
+    let kinds: std::collections::BTreeSet<_> =
+        db.for_scall(ids_first(&instance)).iter().map(|i| i.interface).collect();
+    assert!(kinds.contains(&InterfaceKind::Type0));
+    assert!(kinds.contains(&InterfaceKind::Type3));
+
+    let max_gain: u64 = instance
+        .scalls
+        .iter()
+        .map(|sc| {
+            db.for_scall(sc.id)
+                .iter()
+                .map(|i| i.gain.get())
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    let sel = Solver::new(&instance)
+        .with_imps(db)
+        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(max_gain / 2))))
+        .expect("mid-range requirement feasible");
+    assert!(sel.total_gain().get() >= max_gain / 2);
+    assert!(sel.total_area() > AreaTenths::ZERO);
+    assert!(sel.s_instruction_count() <= sel.selected_scall_count());
+}
+
+fn ids_first(instance: &Instance) -> partita::mop::CallSiteId {
+    instance.scalls[0].id
+}
+
+/// The §2 back-end flow: a solved selection becomes S-class instructions in
+/// the ASIP's instruction set, with interface templates as their µ-coded
+/// bodies and the µ-ROM folding shared words.
+#[test]
+fn selection_to_instruction_set() {
+    use partita::asip::{InstrClass, InstructionSet};
+    use partita::core::merge;
+    use partita::interface::template::{emit_type0, DataLayout};
+    use partita::workloads::gsm;
+
+    let w = gsm::encoder();
+    let sel = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(334_182))))
+        .expect("published sweep point");
+
+    // Merge into S-instructions and register them in the ISA.
+    let mut isa = InstructionSet::with_baseline_p_class();
+    let merged = merge::merge(sel.chosen());
+    for group in &merged {
+        let ips: Vec<String> = group.ips.iter().map(ToString::to_string).collect();
+        isa.add(
+            InstrClass::S,
+            format!("s_{}_{}", ips.join("_"), group.interface),
+        );
+    }
+    assert_eq!(isa.of_class(InstrClass::S).len(), sel.s_instruction_count());
+    let enc = isa.encode();
+    assert_eq!(enc.used, 18 + sel.s_instruction_count());
+    assert!(enc.opcode_bits >= 5);
+
+    // Emit a µ-coded body for a type-0 S-instruction and account its ROM.
+    let fir = IpBlock::builder("fir16")
+        .function(IpFunction::Fir)
+        .rates(4, 4)
+        .latency(8)
+        .build();
+    let t = emit_type0(&fir, TransferJob::new(32, 32), DataLayout::default())
+        .expect("type 0 feasible");
+    let stats = isa.microcode_stats([&t.function]);
+    assert!(stats.total_words as u64 >= t.predicted_cycles.get());
+    assert!(stats.unique_words < stats.total_words, "nop padding must fold");
+}
