@@ -236,7 +236,9 @@ impl<'p> Executor<'p> {
             report.mops_retired += 1;
             let cost = match options.cycle_model {
                 CycleModel::PerMop => 1,
-                CycleModel::PerWord => u64::from(self.word_costs[frame.func.index()][mop_id.index()]),
+                CycleModel::PerWord => {
+                    u64::from(self.word_costs[frame.func.index()][mop_id.index()])
+                }
             };
             charge(&mut report, device, cost);
 
@@ -348,9 +350,7 @@ impl<'p> Executor<'p> {
                         if callee_func.blocks().is_empty() {
                             // Empty callee: a no-op call.
                         } else {
-                            let window = options
-                                .register_windows
-                                .then(|| save_window(kernel));
+                            let window = options.register_windows.then(|| save_window(kernel));
                             stack.push((next, window));
                             transfer = Some(Frame {
                                 func: *callee,
@@ -403,7 +403,10 @@ fn save_window(kernel: &Kernel) -> Window {
     for (i, r) in regs.iter_mut().enumerate() {
         *r = kernel.reg(partita_mop::Reg(i as u8));
     }
-    Window { regs, agu: kernel.agu }
+    Window {
+        regs,
+        agu: kernel.agu,
+    }
 }
 
 fn restore_window(kernel: &mut Kernel, w: &Window) {
@@ -483,7 +486,9 @@ mod tests {
         f.compute_edges();
         let p = program_of(vec![f]);
         let mut k = Kernel::new(16, 16);
-        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        let r = Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert_eq!(k.reg(Reg(2)), 42);
         assert!(r.halted);
         assert_eq!(r.mops_retired, 4);
@@ -503,12 +508,21 @@ mod tests {
         f.compute_edges();
         let mut p = program_of(vec![f]);
         let mut k = Kernel::new(4, 4);
-        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        let r = Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert_eq!(k.reg(Reg(0)), 0);
         assert_eq!(r.block_count(FuncId(0), b1), 5);
         assert_eq!(r.block_count(FuncId(0), b2), 1);
         r.apply_profile(&mut p).unwrap();
-        assert_eq!(p.function(FuncId(0)).unwrap().block(b1).unwrap().exec_count(), 5);
+        assert_eq!(
+            p.function(FuncId(0))
+                .unwrap()
+                .block(b1)
+                .unwrap()
+                .exec_count(),
+            5
+        );
     }
 
     #[test]
@@ -525,7 +539,9 @@ mod tests {
         f.compute_edges();
         let p = program_of(vec![f]);
         let mut k = Kernel::new(8, 8);
-        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert_eq!(k.xdm.read(3).unwrap(), 99);
         assert_eq!(k.ydm.read(1).unwrap(), -5);
     }
@@ -587,7 +603,9 @@ mod tests {
         main.compute_edges();
         let p = program_of(vec![main, callee]);
         let mut k = Kernel::new(8, 8);
-        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert_eq!(k.reg(Reg(0)), 5);
         assert_eq!(k.agu.ptr(0).unwrap(), 3);
     }
@@ -710,7 +728,9 @@ mod tests {
         f.compute_edges();
         let p = program_of(vec![f]);
         let mut k = Kernel::new(4, 4);
-        let r = Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        let r = Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert!(r.halted);
     }
 
@@ -749,7 +769,9 @@ mod tests {
         f.compute_edges();
         let p = program_of(vec![f]);
         let mut k = Kernel::new(4, 4);
-        Executor::new(&p).run(&mut k, &ExecOptions::default()).unwrap();
+        Executor::new(&p)
+            .run(&mut k, &ExecOptions::default())
+            .unwrap();
         assert_eq!(k.reg(Reg(0)), 10 + 12 - 9);
     }
 }

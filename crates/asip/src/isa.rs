@@ -70,8 +70,8 @@ pub struct InstructionSet {
 /// The baseline P-class mnemonics (arithmetic, logic, memory, control) that
 /// every generated ASIP supports.
 pub const BASELINE_P_CLASS: [&str; 18] = [
-    "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "min", "max", "cmpeq", "cmplt",
-    "ld", "st", "ldi", "br", "call", "ret",
+    "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "min", "max", "cmpeq", "cmplt", "ld",
+    "st", "ldi", "br", "call", "ret",
 ];
 
 impl InstructionSet {

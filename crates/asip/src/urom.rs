@@ -78,10 +78,7 @@ impl MicroRom {
                 for word in block {
                     let mut s = String::new();
                     for (slot, mop) in word.entries() {
-                        let text = f
-                            .mop(mop)
-                            .map(|m| m.to_string())
-                            .unwrap_or_default();
+                        let text = f.mop(mop).map(|m| m.to_string()).unwrap_or_default();
                         s.push_str(&format!("{slot:?}:{text};"));
                     }
                     rendered.push(s);

@@ -32,7 +32,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..8, -1000i32..1000).prop_map(|(d, v)| Op::Imm(d, v)),
         (alu, 0u8..8, 0u8..8, 0u8..8).prop_map(|(o, d, a, b)| Op::Alu(o, d, a, b)),
-        (prop_oneof![Just(MacOp::Mac), Just(MacOp::Msu)], 0u8..8, 0u8..8, 0u8..8)
+        (
+            prop_oneof![Just(MacOp::Mac), Just(MacOp::Msu)],
+            0u8..8,
+            0u8..8,
+            0u8..8
+        )
             .prop_map(|(o, d, a, b)| Op::Mac(o, d, a, b)),
         (0u8..8, 0u8..8).prop_map(|(d, s)| Op::Mov(d, s)),
     ]
@@ -50,8 +55,20 @@ fn reference(ops: &[Op]) -> [i32; 8] {
                     AluOp::Add => x.wrapping_add(y),
                     AluOp::Sub => x.wrapping_sub(y),
                     AluOp::Mul => x.wrapping_mul(y),
-                    AluOp::Div => if y == 0 { 0 } else { x.wrapping_div(y) },
-                    AluOp::Rem => if y == 0 { 0 } else { x.wrapping_rem(y) },
+                    AluOp::Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    AluOp::Rem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
                     AluOp::And => x & y,
                     AluOp::Or => x | y,
                     AluOp::Xor => x ^ y,

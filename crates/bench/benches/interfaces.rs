@@ -49,7 +49,12 @@ fn benches(c: &mut Criterion) {
     }
     group.bench_function("cosim_type0_64words", |b| {
         let job = TransferJob::new(64, 64);
-        let layout = DataLayout { in_x: 0, in_y: 0, out_x: 200, out_y: 200 };
+        let layout = DataLayout {
+            in_x: 0,
+            in_y: 0,
+            out_x: 200,
+            out_y: 200,
+        };
         let template = emit_type0(&ip, job, layout).unwrap();
         b.iter(|| {
             let mut program = MopProgram::new();

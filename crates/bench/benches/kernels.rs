@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use partita_ip::func::{
-    cross_correlate, dct2d, fft, fir_direct, iir_df1, interpolate, quantize_uniform,
-    zigzag_scan, Complex,
+    cross_correlate, dct2d, fft, fir_direct, iir_df1, interpolate, quantize_uniform, zigzag_scan,
+    Complex,
 };
 
 fn benches(c: &mut Criterion) {

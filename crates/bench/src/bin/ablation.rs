@@ -2,9 +2,9 @@
 //! the greedy heuristic vs the no-interface prior approach \[8\], over random
 //! instances and the calibrated workloads.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use partita_core::{baseline, RequiredGains, SolveOptions, Solver};
+use partita_core::{baseline, RequiredGains, SolveBudget, SolveOptions, Solver};
 use partita_mop::Cycles;
 use partita_workloads::{gsm, jpeg, synth, Workload};
 
@@ -19,7 +19,11 @@ fn run_one(name: &str, w: &Workload, rg: Cycles) {
     let noif = baseline::solve_no_interface(&w.instance, &w.imps, &gains);
 
     let fmt = |r: &Result<partita_core::Selection, partita_core::CoreError>| match r {
-        Ok(s) => format!("area {:>7}, gain {:>10}", s.total_area().to_string(), s.total_gain().get()),
+        Ok(s) => format!(
+            "area {:>7}, gain {:>10}",
+            s.total_area().to_string(),
+            s.total_gain().get()
+        ),
         Err(_) => "infeasible".to_owned(),
     };
     println!("{name} @ RG {}", rg.get());
@@ -55,7 +59,7 @@ fn main() {
         run_one(&format!("synth(seed={seed})"), &w, rg);
     }
 
-    println!("\nsolver scaling (s-calls -> solve time):");
+    println!("\nsolver scaling (s-calls -> solve time, 5 s deadline per point):");
     for n in [8usize, 12, 16, 20, 24] {
         let w = synth::generate(synth::SynthParams {
             scalls: n,
@@ -63,16 +67,57 @@ fn main() {
             paths: 2,
             seed: 99,
         });
+        let opts = SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[1]))
+            .with_budget(SolveBudget::default().with_deadline(Duration::from_secs(5)));
         let t0 = Instant::now();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[1])));
+            .solve(&opts);
         println!(
             "    {n:>3} s-calls, {:>4} IMPs: {:>9.2?} ({})",
             w.imps.len(),
             t0.elapsed(),
-            sel.map(|s| format!("nodes {}", s.nodes_explored))
+            sel.map(|s| format!("nodes {}, {}", s.trace.nodes_explored, s.status))
                 .unwrap_or_else(|e| e.to_string())
+        );
+    }
+
+    warm_start_sweep("GSM encoder", &gsm::encoder());
+    let synth3 = synth::generate(synth::SynthParams {
+        scalls: 14,
+        ips: 10,
+        paths: 2,
+        seed: 3,
+    });
+    warm_start_sweep("synth(seed=3)", &synth3);
+}
+
+/// Solves every RG-sweep point of `w` twice — with and without the greedy
+/// warm start — and prints the branch-and-bound effort side by side.
+fn warm_start_sweep(name: &str, w: &Workload) {
+    println!("\nwarm-start ablation ({name} RG sweep, B&B nodes explored):");
+    for &rg in &w.rg_sweep {
+        let solve = |warm: bool| {
+            Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)).with_warm_start(warm))
+        };
+        let (Ok(cold), Ok(warm)) = (solve(false), solve(true)) else {
+            println!("    RG {:>8}: infeasible", rg.get());
+            continue;
+        };
+        println!(
+            "    RG {:>8}: cold {:>5} nodes / {:>6} pivots, warm {:>5} nodes / {:>6} pivots{}",
+            rg.get(),
+            cold.trace.nodes_explored,
+            cold.trace.simplex_iterations,
+            warm.trace.nodes_explored,
+            warm.trace.simplex_iterations,
+            if warm.trace.warm_start_accepted {
+                ""
+            } else {
+                "  (warm start rejected)"
+            }
         );
     }
 }

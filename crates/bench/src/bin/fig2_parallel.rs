@@ -45,8 +45,18 @@ fn main() {
     let pc_mops: Vec<Mop> = (0..pc.get())
         .map(|_| Mop::alu(AluOp::Add, Reg(5), Reg(5), 1))
         .collect();
-    let t = emit_type1(&ip, job, DataLayout { in_x: 0, in_y: 0, out_x: 100, out_y: 100 }, &pc_mops)
-        .expect("type 1 feasible");
+    let t = emit_type1(
+        &ip,
+        job,
+        DataLayout {
+            in_x: 0,
+            in_y: 0,
+            out_x: 100,
+            out_y: 100,
+        },
+        &pc_mops,
+    )
+    .expect("type 1 feasible");
     let mut program = MopProgram::new();
     let id = program.add_function(t.function).expect("fresh program");
     program.set_main(id).expect("id valid");

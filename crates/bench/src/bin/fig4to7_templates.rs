@@ -49,7 +49,12 @@ fn main() {
         .latency(8)
         .build();
     let job = TransferJob::new(64, 64);
-    let layout = DataLayout { in_x: 0, in_y: 0, out_x: 200, out_y: 200 };
+    let layout = DataLayout {
+        in_x: 0,
+        in_y: 0,
+        out_x: 200,
+        out_y: 200,
+    };
 
     println!("Figs 4–7 — interface templates vs the analytic model\n");
 
@@ -61,7 +66,12 @@ fn main() {
     let mut dev0 = StreamIpDevice::new(
         &ip,
         profile.slow_clock_factor,
-        Box::new(move |s| vec![fx.step(s[0]) as i32, fy.step(*s.get(1).unwrap_or(&0)) as i32]),
+        Box::new(move |s| {
+            vec![
+                fx.step(s[0]) as i32,
+                fy.step(*s.get(1).unwrap_or(&0)) as i32,
+            ]
+        }),
     );
     let got0 = run(t0.function.clone(), &mut dev0);
     let analytic0 = timing(&ip, InterfaceKind::Type0, job).expect("feasible");

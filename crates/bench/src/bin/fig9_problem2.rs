@@ -4,8 +4,7 @@
 //! code of another — finishing earlier and/or cheaper.
 
 use partita_core::{
-    Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall, SolveOptions,
-    Solver,
+    Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall, SolveOptions, Solver,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
@@ -20,9 +19,24 @@ fn main() {
             .build(),
     );
     let t_sw = Cycles(1000);
-    let a = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
-    let b = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
-    let c = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
+    let a = inst.add_scall(SCall::new(
+        "fir",
+        IpFunction::Fir,
+        t_sw,
+        TransferJob::new(8, 8),
+    ));
+    let b = inst.add_scall(SCall::new(
+        "fir",
+        IpFunction::Fir,
+        t_sw,
+        TransferJob::new(8, 8),
+    ));
+    let c = inst.add_scall(SCall::new(
+        "fir",
+        IpFunction::Fir,
+        t_sw,
+        TransferJob::new(8, 8),
+    ));
     inst.add_path(vec![a, b, c]);
 
     let mk = |sc, gain: u64, par| {

@@ -1,6 +1,6 @@
 //! Reproduces **Table 2**: GSM decoder selections across the RG sweep.
 
-use partita_bench::{compare_line, sweep_rows};
+use partita_bench::{compare_line, sweep_rows_traced, trace_json_line};
 use partita_core::report::render_table;
 use partita_workloads::gsm;
 
@@ -24,7 +24,8 @@ fn main() {
         w.instance.library.len(),
         w.imps.len()
     );
-    let rows = sweep_rows(&w);
+    let traced = sweep_rows_traced(&w);
+    let rows: Vec<_> = traced.iter().map(|(row, _)| row.clone()).collect();
     println!("{}", render_table("Table 2: GSM decoder", &rows));
 
     println!("paper-vs-measured (G column; ties at equal area overshoot, see EXPERIMENTS.md):");
@@ -36,5 +37,10 @@ fn main() {
             a_tenths as f64 / 10.0,
             row.area
         );
+    }
+
+    println!("\nsolve traces (one JSON line per sweep point):");
+    for (row, trace) in &traced {
+        println!("{}", trace_json_line(row.required_gain, trace));
     }
 }

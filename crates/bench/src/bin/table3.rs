@@ -1,7 +1,7 @@
 //! Reproduces **Table 3**: JPEG encoder selections across the RG sweep
 //! (IP1: 2D-DCT, IP2: 1D-DCT, IP3: FFT, IP4: C-MUL, IP5: ZIG_ZAG).
 
-use partita_bench::{compare_line, sweep_rows};
+use partita_bench::{compare_line, sweep_rows_traced, trace_json_line};
 use partita_core::report::render_table;
 use partita_workloads::jpeg;
 
@@ -22,7 +22,8 @@ fn main() {
         w.imps.len(),
         w.imps.len() - 2
     );
-    let rows = sweep_rows(&w);
+    let traced = sweep_rows_traced(&w);
+    let rows: Vec<_> = traced.iter().map(|(row, _)| row.clone()).collect();
     println!("{}", render_table("Table 3: JPEG encoder", &rows));
 
     println!("paper-vs-measured:");
@@ -40,4 +41,9 @@ fn main() {
         }
     }
     println!("{exact}/5 rows reproduce the published G exactly");
+
+    println!("\nsolve traces (one JSON line per sweep point):");
+    for (row, trace) in &traced {
+        println!("{}", trace_json_line(row.required_gain, trace));
+    }
 }

@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use partita_core::{report::TableRow, RequiredGains, SolveOptions, Solver};
+use partita_core::{report::TableRow, RequiredGains, SolveOptions, SolveTrace, Solver};
 use partita_mop::Cycles;
 use partita_workloads::Workload;
 
@@ -31,6 +31,20 @@ use partita_workloads::Workload;
 /// feasible across their published sweeps by construction.
 #[must_use]
 pub fn sweep_rows(workload: &Workload) -> Vec<TableRow> {
+    sweep_rows_traced(workload)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
+}
+
+/// Like [`sweep_rows`], additionally returning each sweep point's
+/// [`SolveTrace`].
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible (see [`sweep_rows`]).
+#[must_use]
+pub fn sweep_rows_traced(workload: &Workload) -> Vec<(TableRow, SolveTrace)> {
     workload
         .rg_sweep
         .iter()
@@ -39,9 +53,21 @@ pub fn sweep_rows(workload: &Workload) -> Vec<TableRow> {
                 .with_imps(workload.imps.clone())
                 .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
                 .unwrap_or_else(|e| panic!("RG {} infeasible: {e}", rg.get()));
-            TableRow::from_selection_with_library(rg, &sel, &workload.instance.library)
+            let trace = sel.trace.clone();
+            (
+                TableRow::from_selection_with_library(rg, &sel, &workload.instance.library),
+                trace,
+            )
         })
         .collect()
+}
+
+/// Renders one sweep point's trace as a JSON line tagged with its RG value:
+/// `{"rg":47740,"trace":{...}}`. The table binaries emit one such line per
+/// sweep point so runs can be scraped by tooling.
+#[must_use]
+pub fn trace_json_line(rg: Cycles, trace: &SolveTrace) -> String {
+    format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), trace.to_json())
 }
 
 /// Formats a paper-vs-measured comparison line.
@@ -67,6 +93,50 @@ mod tests {
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].gain, Cycles(15_040_512));
         assert_eq!(rows[4].gain, Cycles(37_843_712));
+    }
+
+    #[test]
+    fn traced_sweep_carries_solver_telemetry() {
+        let traced = sweep_rows_traced(&jpeg::encoder());
+        assert_eq!(traced.len(), 5);
+        for (row, trace) in &traced {
+            assert!(trace.num_vars > 0, "RG {}", row.required_gain.get());
+            assert!(trace.nodes_explored >= 1);
+            let line = trace_json_line(row.required_gain, trace);
+            assert!(line.starts_with(&format!("{{\"rg\":{}", row.required_gain.get())));
+            assert!(line.contains("\"status\":\"optimal\""));
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_nodes_on_rg_sweep_instance() {
+        // Root probing against the greedy incumbent narrows the tree on this
+        // seeded synthetic workload's sweep point; the reduction must be
+        // strict, and both runs must agree on the optimum.
+        let w = partita_workloads::synth::generate(partita_workloads::synth::SynthParams {
+            scalls: 14,
+            ips: 10,
+            paths: 2,
+            seed: 3,
+        });
+        let rg = w.rg_sweep[2];
+        let solve = |warm: bool| {
+            Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)).with_warm_start(warm))
+                .expect("sweep point feasible")
+        };
+        let cold = solve(false);
+        let warm = solve(true);
+        assert!(warm.trace.warm_start_accepted);
+        assert!(warm.trace.vars_fixed > 0);
+        assert_eq!(cold.total_area(), warm.total_area());
+        assert!(
+            warm.trace.nodes_explored < cold.trace.nodes_explored,
+            "warm {} !< cold {}",
+            warm.trace.nodes_explored,
+            cold.trace.nodes_explored
+        );
     }
 
     #[test]

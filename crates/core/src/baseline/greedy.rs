@@ -57,7 +57,7 @@ pub fn solve_greedy(
                 instance,
                 chosen,
                 objective as f64,
-                0,
+                crate::OptimalityStatus::Heuristic,
             ));
         }
 
@@ -73,9 +73,7 @@ pub fn solve_greedy(
             // Gain only counts toward paths still in deficit.
             let useful: u64 = deficit
                 .iter()
-                .filter(|&&(pi, d)| {
-                    d > Cycles::ZERO && paths[pi].scalls.contains(&imp.scall)
-                })
+                .filter(|&&(pi, d)| d > Cycles::ZERO && paths[pi].scalls.contains(&imp.scall))
                 .map(|_| imp.gain.get())
                 .max()
                 .unwrap_or(0);
@@ -253,8 +251,7 @@ mod tests {
     fn empty_db_is_rejected() {
         let inst = Instance::new("e");
         assert_eq!(
-            solve_greedy(&inst, &ImpDb::default(), &RequiredGains::Uniform(Cycles(1)))
-                .unwrap_err(),
+            solve_greedy(&inst, &ImpDb::default(), &RequiredGains::Uniform(Cycles(1))).unwrap_err(),
             CoreError::NoImps
         );
     }

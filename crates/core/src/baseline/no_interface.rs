@@ -29,9 +29,7 @@ pub fn solve_no_interface(
     let filtered: Vec<_> = db
         .imps()
         .iter()
-        .filter(|imp| {
-            imp.interface == InterfaceKind::Type0 && imp.parallel == ParallelChoice::None
-        })
+        .filter(|imp| imp.interface == InterfaceKind::Type0 && imp.parallel == ParallelChoice::None)
         .cloned()
         .collect();
     if filtered.is_empty() {
@@ -107,8 +105,7 @@ mod tests {
     #[test]
     fn baseline_succeeds_within_type0_reach() {
         let (inst, db) = instance_with_parallel_edge();
-        let sel =
-            solve_no_interface(&inst, &db, &RequiredGains::Uniform(Cycles(300))).unwrap();
+        let sel = solve_no_interface(&inst, &db, &RequiredGains::Uniform(Cycles(300))).unwrap();
         assert_eq!(sel.chosen().len(), 1);
         assert_eq!(sel.chosen()[0].interface, InterfaceKind::Type0);
         assert_eq!(sel.chosen()[0].ips, vec![IpId(0)]);
@@ -125,8 +122,7 @@ mod tests {
             .collect();
         let db3 = ImpDb::from_imps(only_t3);
         assert_eq!(
-            solve_no_interface(&inst, &db3, &RequiredGains::Uniform(Cycles(1)))
-                .unwrap_err(),
+            solve_no_interface(&inst, &db3, &RequiredGains::Uniform(Cycles(1))).unwrap_err(),
             CoreError::NoImps
         );
     }

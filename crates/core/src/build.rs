@@ -77,7 +77,11 @@ pub fn instance_from_compiled(
         let Some(binding) = bindings.iter().find(|b| b.callee == callee_func.name()) else {
             continue;
         };
-        let freq = func.block(block).map(|b| b.exec_count()).unwrap_or(1).max(1);
+        let freq = func
+            .block(block)
+            .map(|b| b.exec_count())
+            .unwrap_or(1)
+            .max(1);
         let info = infos.iter().find(|(m, _)| *m == mop);
         let mut sc = SCall::new(
             callee_func.name(),

@@ -77,14 +77,20 @@ mod tests {
 
     #[test]
     fn no_sw_pc_means_no_conflicts() {
-        let db = ImpDb::from_imps(vec![imp(0, ParallelChoice::None), imp(1, ParallelChoice::PlainPc)]);
+        let db = ImpDb::from_imps(vec![
+            imp(0, ParallelChoice::None),
+            imp(1, ParallelChoice::PlainPc),
+        ]);
         assert!(sc_pc_conflicts(&db).is_empty());
     }
 
     #[test]
     fn multi_consumption_conflicts_with_every_member() {
         let db = ImpDb::from_imps(vec![
-            imp(0, ParallelChoice::SwScalls(vec![CallSiteId(1), CallSiteId(2)])),
+            imp(
+                0,
+                ParallelChoice::SwScalls(vec![CallSiteId(1), CallSiteId(2)]),
+            ),
             imp(1, ParallelChoice::None),
             imp(2, ParallelChoice::None),
         ]);

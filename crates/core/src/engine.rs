@@ -1,0 +1,437 @@
+//! The solver-engine layer: pluggable backends, budgets with graceful
+//! fallback, and solve telemetry.
+//!
+//! [`crate::Solver::solve`] no longer calls branch-and-bound directly; it
+//! dispatches through a [`SolverBackend`] chosen by
+//! [`crate::SolveOptions::backend`] and bounded by a [`SolveBudget`]. Budget
+//! exhaustion is never silent: every [`crate::Selection`] carries an
+//! [`OptimalityStatus`] saying whether the result is proven optimal, the
+//! best feasible point a exhausted budget allowed, or a heuristic fallback —
+//! plus a [`SolveTrace`] recording model dimensions, per-phase wall times and
+//! search effort.
+
+use std::fmt;
+use std::time::Duration;
+
+use partita_ilp::{
+    solve_binary_exhaustive_counted, BranchBound, BranchBoundStats, Model, Termination,
+};
+
+use crate::formulate::VarMap;
+use crate::solver::RequiredGains;
+use crate::{CoreError, ImpDb, ImpId, Instance};
+
+/// Which solver backend answers a [`crate::Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Best-first branch-and-bound over the LP relaxation (the default):
+    /// proves optimality when its budget suffices.
+    #[default]
+    BranchBound,
+    /// Brute-force enumeration of every binary assignment. Exact but only
+    /// viable on small models ([`partita_ilp::MAX_EXHAUSTIVE_BINARIES`]).
+    Exhaustive,
+    /// The gain/area-ratio greedy heuristic. Fast, never proves optimality.
+    Greedy,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::BranchBound => "branch_bound",
+            Backend::Exhaustive => "exhaustive",
+            Backend::Greedy => "greedy",
+        })
+    }
+}
+
+/// Limits on the work a solve is allowed to do, and what to do when they run
+/// out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Branch-and-bound node cap.
+    pub max_nodes: usize,
+    /// Optional wall-clock deadline, checked once per node.
+    pub deadline: Option<Duration>,
+    /// Backend to fall back to when the budget runs out before *any*
+    /// feasible point is found. `None` turns budget exhaustion into
+    /// [`CoreError::BudgetExhausted`].
+    pub fallback: Option<Backend>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget {
+            max_nodes: 200_000,
+            deadline: None,
+            fallback: Some(Backend::Greedy),
+        }
+    }
+}
+
+impl SolveBudget {
+    /// Caps the branch-and-bound node count.
+    #[must_use]
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> SolveBudget {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> SolveBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the fallback backend (`None` disables fallback).
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Option<Backend>) -> SolveBudget {
+        self.fallback = fallback;
+        self
+    }
+}
+
+/// How much trust a solution deserves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimalityStatus {
+    /// The backend proved this selection optimal.
+    #[default]
+    Optimal,
+    /// The budget ran out, but the search had already found this feasible
+    /// (not proven optimal) selection — it is the best incumbent seen.
+    FeasibleBudgetExhausted,
+    /// The primary backend's budget ran out with no feasible point; this
+    /// selection comes from the [`SolveBudget::fallback`] backend.
+    FallbackUsed,
+    /// The caller explicitly picked a heuristic backend; no optimality claim
+    /// was ever on the table.
+    Heuristic,
+}
+
+impl OptimalityStatus {
+    /// `true` when the selection is proven optimal.
+    #[must_use]
+    pub fn is_optimal(self) -> bool {
+        self == OptimalityStatus::Optimal
+    }
+}
+
+impl fmt::Display for OptimalityStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptimalityStatus::Optimal => "optimal",
+            OptimalityStatus::FeasibleBudgetExhausted => "feasible_budget_exhausted",
+            OptimalityStatus::FallbackUsed => "fallback_used",
+            OptimalityStatus::Heuristic => "heuristic",
+        })
+    }
+}
+
+/// End-to-end telemetry of one [`crate::Solver::solve`] call.
+///
+/// Durations are wall-clock. A default-constructed trace (all zeros) marks a
+/// [`crate::Selection`] that was not produced by the solver pipeline, e.g.
+/// one built by a standalone baseline heuristic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveTrace {
+    /// Backend that produced the accepted solution.
+    pub backend: Backend,
+    /// Trust level of the accepted solution.
+    pub status: OptimalityStatus,
+    /// Decision variables in the ILP model.
+    pub num_vars: usize,
+    /// Constraints in the ILP model.
+    pub num_constraints: usize,
+    /// Implementation methods considered.
+    pub num_imps: usize,
+    /// Branch-and-bound nodes explored (binary assignments for the
+    /// exhaustive backend, 0 for greedy).
+    pub nodes_explored: usize,
+    /// Branch-and-bound nodes pruned by bound.
+    pub nodes_pruned: usize,
+    /// Times the incumbent improved during the search.
+    pub incumbent_updates: usize,
+    /// Simplex pivots summed over every node LP.
+    pub simplex_iterations: usize,
+    /// Whether a greedy warm start seeded the branch-and-bound incumbent.
+    pub warm_start_accepted: bool,
+    /// Binaries permanently fixed by warm-start root probing.
+    pub vars_fixed: usize,
+    /// Time spent generating the IMP database (zero when prebuilt).
+    pub imp_generation: Duration,
+    /// Time spent building the ILP model.
+    pub formulation: Duration,
+    /// Time spent in the backend (including any fallback).
+    pub solve: Duration,
+    /// Time spent decoding the solution into a selection.
+    pub decode: Duration,
+}
+
+impl SolveTrace {
+    /// Total wall time across all recorded phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.imp_generation + self.formulation + self.solve + self.decode
+    }
+
+    /// Renders the trace as a single JSON object (no external dependencies,
+    /// so the encoding is hand-rolled; all durations are integer
+    /// microseconds).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backend\":\"{}\",\"status\":\"{}\",",
+                "\"num_vars\":{},\"num_constraints\":{},\"num_imps\":{},",
+                "\"nodes_explored\":{},\"nodes_pruned\":{},",
+                "\"incumbent_updates\":{},\"simplex_iterations\":{},",
+                "\"warm_start_accepted\":{},\"vars_fixed\":{},",
+                "\"imp_generation_us\":{},\"formulation_us\":{},",
+                "\"solve_us\":{},\"decode_us\":{},\"total_us\":{}}}"
+            ),
+            self.backend,
+            self.status,
+            self.num_vars,
+            self.num_constraints,
+            self.num_imps,
+            self.nodes_explored,
+            self.nodes_pruned,
+            self.incumbent_updates,
+            self.simplex_iterations,
+            self.warm_start_accepted,
+            self.vars_fixed,
+            self.imp_generation.as_micros(),
+            self.formulation.as_micros(),
+            self.solve.as_micros(),
+            self.decode.as_micros(),
+            self.total().as_micros(),
+        )
+    }
+}
+
+/// A backend's answer, in model space: variable values plus the effort it
+/// took to find them. [`crate::Solver::solve`] decodes this into a
+/// [`crate::Selection`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSolution {
+    /// Objective value under the model's own objective.
+    pub objective: f64,
+    /// Value per model variable.
+    pub values: Vec<f64>,
+    /// Trust level of this solution.
+    pub status: OptimalityStatus,
+    /// Search-effort counters (zeroed where a backend has no such notion).
+    pub effort: BranchBoundStats,
+}
+
+/// A pluggable solve strategy over a formulated ILP [`Model`].
+///
+/// Implementations must return a solution whose `values` satisfy the model's
+/// constraints, or an error; budget exhaustion without any feasible point is
+/// [`CoreError::BudgetExhausted`] so the dispatcher can try the fallback.
+pub trait SolverBackend {
+    /// Solves `model` within `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] when the backend proves (or, for
+    /// heuristics, concludes) no feasible point exists,
+    /// [`CoreError::BudgetExhausted`] when the budget ran out first, plus
+    /// ILP-layer errors.
+    fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError>;
+}
+
+/// Branch-and-bound backend, optionally warm-started with a known feasible
+/// point (see [`crate::SolveOptions::warm_start`]).
+#[derive(Debug, Clone, Default)]
+pub struct BranchBoundBackend {
+    /// Optional feasible assignment seeding the incumbent; infeasible or
+    /// malformed warm starts are ignored.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl SolverBackend for BranchBoundBackend {
+    fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        let mut bb = BranchBound::new().with_max_nodes(budget.max_nodes);
+        if let Some(d) = budget.deadline {
+            bb = bb.with_deadline(d);
+        }
+        let run = bb.run(model, self.warm_start.as_deref())?;
+        let status = match run.termination {
+            Termination::Optimal => OptimalityStatus::Optimal,
+            Termination::NodeLimit | Termination::Deadline => {
+                OptimalityStatus::FeasibleBudgetExhausted
+            }
+        };
+        match run.solution {
+            Some(sol) => Ok(EngineSolution {
+                objective: sol.objective,
+                values: sol.values,
+                status,
+                effort: run.stats,
+            }),
+            None => Err(CoreError::BudgetExhausted),
+        }
+    }
+}
+
+/// Exhaustive-enumeration backend: exact, ignores the budget, and only
+/// viable on small models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveBackend;
+
+impl SolverBackend for ExhaustiveBackend {
+    fn solve(&self, model: &Model, _budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        let (sol, assignments) = solve_binary_exhaustive_counted(model)?;
+        Ok(EngineSolution {
+            objective: sol.objective,
+            values: sol.values,
+            status: OptimalityStatus::Optimal,
+            effort: BranchBoundStats {
+                nodes_explored: assignments,
+                ..BranchBoundStats::default()
+            },
+        })
+    }
+}
+
+/// Greedy backend: wraps [`crate::baseline::solve_greedy`] and encodes its
+/// selection back into model space so it goes through the same decode and
+/// verification path as the exact backends.
+///
+/// Constructed internally by [`crate::Solver`]; the greedy heuristic needs
+/// the instance, IMP database and variable mapping, which only the solver
+/// holds.
+#[derive(Debug, Clone)]
+pub struct GreedyBackend<'a> {
+    instance: &'a Instance,
+    db: &'a ImpDb,
+    gains: &'a RequiredGains,
+    map: &'a VarMap,
+}
+
+impl<'a> GreedyBackend<'a> {
+    pub(crate) fn new(
+        instance: &'a Instance,
+        db: &'a ImpDb,
+        gains: &'a RequiredGains,
+        map: &'a VarMap,
+    ) -> GreedyBackend<'a> {
+        GreedyBackend {
+            instance,
+            db,
+            gains,
+            map,
+        }
+    }
+}
+
+impl SolverBackend for GreedyBackend<'_> {
+    fn solve(&self, model: &Model, _budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        let selection = crate::baseline::solve_greedy(self.instance, self.db, self.gains)?;
+        let chosen: Vec<ImpId> = selection.chosen().iter().map(|imp| imp.id).collect();
+        let values = encode_selection(model, self.map, self.db, &chosen);
+        // The greedy heuristic knows nothing about constraints that only
+        // exist in the model (power budgets, Problem 1 shape ties); a
+        // selection that violates them is a greedy failure, consistent with
+        // greedy's documented incompleteness.
+        if !model.is_feasible(&values, 1e-6) {
+            return Err(CoreError::Infeasible { path: None });
+        }
+        Ok(EngineSolution {
+            objective: model.objective().eval(&values),
+            values,
+            status: OptimalityStatus::Heuristic,
+            effort: BranchBoundStats::default(),
+        })
+    }
+}
+
+/// Encodes a set of chosen IMPs as a full model-space assignment: the
+/// matching `x` variables and the `z` indicators of every IP they use.
+pub(crate) fn encode_selection(
+    model: &Model,
+    map: &VarMap,
+    db: &ImpDb,
+    chosen: &[ImpId],
+) -> Vec<f64> {
+    let mut values = vec![0.0; model.num_vars()];
+    for &id in chosen {
+        let Some(imp) = db.get(id) else { continue };
+        let Some(Some(xv)) = map.x.get(id.index()) else {
+            continue;
+        };
+        values[xv.index()] = 1.0;
+        for ip in &imp.ips {
+            if let Some(zv) = map.z.get(ip) {
+                values[zv.index()] = 1.0;
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_snake_case() {
+        assert_eq!(Backend::BranchBound.to_string(), "branch_bound");
+        assert_eq!(Backend::Greedy.to_string(), "greedy");
+        assert_eq!(
+            OptimalityStatus::FeasibleBudgetExhausted.to_string(),
+            "feasible_budget_exhausted"
+        );
+    }
+
+    #[test]
+    fn default_budget_falls_back_to_greedy() {
+        let b = SolveBudget::default();
+        assert_eq!(b.max_nodes, 200_000);
+        assert_eq!(b.fallback, Some(Backend::Greedy));
+        assert!(b.deadline.is_none());
+    }
+
+    #[test]
+    fn trace_json_is_well_formed() {
+        let trace = SolveTrace {
+            backend: Backend::BranchBound,
+            status: OptimalityStatus::Optimal,
+            num_vars: 7,
+            num_constraints: 9,
+            num_imps: 4,
+            nodes_explored: 3,
+            nodes_pruned: 1,
+            incumbent_updates: 2,
+            simplex_iterations: 42,
+            warm_start_accepted: true,
+            vars_fixed: 2,
+            imp_generation: Duration::from_micros(10),
+            formulation: Duration::from_micros(20),
+            solve: Duration::from_micros(30),
+            decode: Duration::from_micros(40),
+        };
+        let json = trace.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"backend\":\"branch_bound\""));
+        assert!(json.contains("\"status\":\"optimal\""));
+        assert!(json.contains("\"simplex_iterations\":42"));
+        assert!(json.contains("\"warm_start_accepted\":true"));
+        assert!(json.contains("\"total_us\":100"));
+        // Balanced braces and quotes (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn trace_total_sums_phases() {
+        let trace = SolveTrace {
+            formulation: Duration::from_millis(2),
+            solve: Duration::from_millis(3),
+            ..SolveTrace::default()
+        };
+        assert_eq!(trace.total(), Duration::from_millis(5));
+    }
+}

@@ -27,6 +27,11 @@ pub enum CoreError {
         /// The missing s-call.
         scall: CallSiteId,
     },
+    /// Every solve budget ran out before any feasible selection was found;
+    /// the problem was *not* proven infeasible. Raised only when
+    /// [`crate::SolveBudget::fallback`] is disabled or the fallback backend
+    /// also fails.
+    BudgetExhausted,
     /// The underlying ILP solver failed.
     Ilp(IlpError),
     /// A selection failed independent verification.
@@ -38,7 +43,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::NoImps => f.write_str("no implementation methods available"),
             CoreError::Infeasible { path: Some(p) } => {
-                write!(f, "no ip/interface selection meets the required gain on {p}")
+                write!(
+                    f,
+                    "no ip/interface selection meets the required gain on {p}"
+                )
             }
             CoreError::Infeasible { path: None } => {
                 f.write_str("no ip/interface selection meets the required gains")
@@ -46,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownSCall(sc) => write!(f, "unknown s-call {sc}"),
             CoreError::BadPath { path, scall } => {
                 write!(f, "{path} references unknown s-call {scall}")
+            }
+            CoreError::BudgetExhausted => {
+                f.write_str("solve budget exhausted before a feasible selection was found")
             }
             CoreError::Ilp(e) => write!(f, "ilp solver failed: {e}"),
             CoreError::InvalidSelection(why) => write!(f, "invalid selection: {why}"),

@@ -44,8 +44,8 @@ pub(crate) fn build_model(
     // Decision variables x_ij.
     let mut x: Vec<Option<VarId>> = Vec::with_capacity(db.len());
     for imp in db.imps() {
-        let excluded = problem == ProblemKind::Problem1
-            && matches!(imp.parallel, ParallelChoice::SwScalls(_));
+        let excluded =
+            problem == ProblemKind::Problem1 && matches!(imp.parallel, ParallelChoice::SwScalls(_));
         if excluded {
             x.push(None);
         } else {
@@ -62,7 +62,12 @@ pub(crate) fn build_model(
             .collect();
         if !terms.is_empty() {
             model
-                .add_labeled_constraint(terms, Relation::Le, 1.0, Some(format!("one_imp_{}", sc.id)))
+                .add_labeled_constraint(
+                    terms,
+                    Relation::Le,
+                    1.0,
+                    Some(format!("one_imp_{}", sc.id)),
+                )
                 .map_err(CoreError::Ilp)?;
         }
     }
@@ -132,7 +137,12 @@ pub(crate) fn build_model(
                         // No matching shape for the follower: the leader
                         // cannot use this shape either.
                         model
-                            .add_labeled_constraint([(lv, 1.0)], Relation::Le, 0.0, Some("same_way"))
+                            .add_labeled_constraint(
+                                [(lv, 1.0)],
+                                Relation::Le,
+                                0.0,
+                                Some("same_way"),
+                            )
                             .map_err(CoreError::Ilp)?;
                     }
                 }
@@ -244,11 +254,7 @@ impl RequiredGains {
 }
 
 /// Decodes which IMPs a solution selected.
-pub(crate) fn decode(
-    db: &ImpDb,
-    map: &VarMap,
-    solution: &partita_ilp::IlpSolution,
-) -> Vec<ImpId> {
+pub(crate) fn decode(db: &ImpDb, map: &VarMap, solution: &partita_ilp::IlpSolution) -> Vec<ImpId> {
     db.imps()
         .iter()
         .filter(|imp| {

@@ -201,7 +201,7 @@ mod tests {
     fn multi_level_flatten_bottom_up() {
         // fft (sc2) inside dct1d (sc1) inside dct2d (sc0).
         let db = ImpDb::from_imps(vec![
-            imp(2, 3, 50, InterfaceKind::Type0), // FFT IP
+            imp(2, 3, 50, InterfaceKind::Type0),  // FFT IP
             imp(1, 2, 200, InterfaceKind::Type0), // 1D-DCT IP
         ]);
         let specs = vec![

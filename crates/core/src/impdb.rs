@@ -179,9 +179,14 @@ mod tests {
         let mut inst = Instance::new("t");
         inst.library.add(fir_block("fir_a", 8));
         inst.add_scall(
-            SCall::new("fir", IpFunction::Fir, Cycles(4000), TransferJob::new(64, 64))
-                .with_freq(2)
-                .with_plain_pc(Cycles(100)),
+            SCall::new(
+                "fir",
+                IpFunction::Fir,
+                Cycles(4000),
+                TransferJob::new(64, 64),
+            )
+            .with_freq(2)
+            .with_plain_pc(Cycles(100)),
         );
         inst
     }
@@ -197,8 +202,7 @@ mod tests {
         assert!(db
             .imps()
             .iter()
-            .any(|i| i.interface == InterfaceKind::Type3
-                && i.parallel == ParallelChoice::PlainPc));
+            .any(|i| i.interface == InterfaceKind::Type3 && i.parallel == ParallelChoice::PlainPc));
     }
 
     #[test]
@@ -233,9 +237,7 @@ mod tests {
         let with_pc = db
             .imps()
             .iter()
-            .find(|i| {
-                i.interface == InterfaceKind::Type3 && i.parallel == ParallelChoice::PlainPc
-            })
+            .find(|i| i.interface == InterfaceKind::Type3 && i.parallel == ParallelChoice::PlainPc)
             .unwrap();
         assert!(with_pc.gain > base.gain);
     }
@@ -259,8 +261,13 @@ mod tests {
             TransferJob::new(16, 16),
         ));
         inst.add_scall(
-            SCall::new("fir", IpFunction::Fir, Cycles(4000), TransferJob::new(64, 64))
-                .with_sw_pc_candidates(vec![other1, other2]),
+            SCall::new(
+                "fir",
+                IpFunction::Fir,
+                Cycles(4000),
+                TransferJob::new(64, 64),
+            )
+            .with_sw_pc_candidates(vec![other1, other2]),
         );
         let db = ImpDb::generate(&inst);
         let sw_variants: Vec<_> = db

@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn total_sw_scales_with_frequency() {
-        let sc = SCall::new("fir", IpFunction::Fir, Cycles(100), TransferJob::new(8, 8))
-            .with_freq(7);
+        let sc =
+            SCall::new("fir", IpFunction::Fir, Cycles(100), TransferJob::new(8, 8)).with_freq(7);
         assert_eq!(sc.total_sw_cycles(), Cycles(700));
     }
 

@@ -18,7 +18,10 @@
 //!    composite IMPs (*IMP flatten*, Fig. 11).
 //! 5. [`Solver`] builds the 0/1 ILP (Problem 1 with its restrictions, or the
 //!    general Problem 2 with SC/SC-PC conflict constraints), minimises
-//!    `Σ z_k·a_k + Σ x_ij·c_ij`, and decodes a [`Selection`].
+//!    `Σ z_k·a_k + Σ x_ij·c_ij` through a pluggable [`engine`] backend
+//!    (branch-and-bound, exhaustive, or greedy) under a [`SolveBudget`],
+//!    and decodes a [`Selection`] tagged with an [`OptimalityStatus`] and a
+//!    full [`SolveTrace`].
 //! 6. [`merge::s_instruction_count`] merges same-(IP, interface) selections
 //!    into single S-instructions (the **S** column of Tables 1–3), and
 //!    [`report`] renders paper-style rows.
@@ -59,6 +62,7 @@
 pub mod baseline;
 mod build;
 mod conflict;
+pub mod engine;
 mod error;
 mod formulate;
 pub mod hierarchy;
@@ -72,10 +76,12 @@ mod solver;
 
 pub use build::{instance_from_compiled, SCallBinding};
 pub use conflict::{sc_pc_conflicts, ConflictPair};
+pub use engine::{
+    Backend, BranchBoundBackend, EngineSolution, ExhaustiveBackend, GreedyBackend,
+    OptimalityStatus, SolveBudget, SolveTrace, SolverBackend,
+};
 pub use error::CoreError;
 pub use imp::{Imp, ImpId, ParallelChoice};
 pub use impdb::ImpDb;
 pub use instance::{Instance, PathSpec, SCall};
-pub use solver::{
-    ProblemKind, RequiredGains, Selection, SolveOptions, Solver,
-};
+pub use solver::{ProblemKind, RequiredGains, Selection, SolveOptions, Solver};

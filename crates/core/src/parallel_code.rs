@@ -43,11 +43,7 @@ pub fn analyze(
     opts: &CdfgOptions,
     scall_mop: MopId,
 ) -> Result<ParallelCodeInfo, CoreError> {
-    let is_call = func
-        .mop(scall_mop)
-        .ok()
-        .and_then(|m| m.callee())
-        .is_some();
+    let is_call = func.mop(scall_mop).ok().and_then(|m| m.callee()).is_some();
     if !is_call {
         return Err(CoreError::UnknownSCall(CallSiteId(scall_mop.0)));
     }
@@ -77,18 +73,12 @@ pub fn analyze(
 
     // Enumerate execution paths through the s-call's block.
     let paths = enumerate_paths(func, PathEnumLimits::default()).unwrap_or_default();
-    let relevant: Vec<_> = paths
-        .iter()
-        .filter(|p| p.contains(scall_block))
-        .collect();
+    let relevant: Vec<_> = paths.iter().filter(|p| p.contains(scall_block)).collect();
 
     // Per path: the largest ICS at-or-after the s-call.
     let mut binding: Option<(Cycles, Vec<MopId>)> = None;
     let path_segments = |blocks: &[partita_mop::BlockId]| -> (Cycles, Vec<MopId>) {
-        let start = blocks
-            .iter()
-            .position(|&b| b == scall_block)
-            .unwrap_or(0);
+        let start = blocks.iter().position(|&b| b == scall_block).unwrap_or(0);
         let mut best: Vec<MopId> = Vec::new();
         for &b in &blocks[start..] {
             let Ok(block) = func.block(b) else { continue };

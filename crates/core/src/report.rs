@@ -1,9 +1,9 @@
-//! Paper-style table rendering (Tables 1–3).
+//! Paper-style table rendering (Tables 1–3) and solve-trace reports.
 
 use partita_ip::IpLibrary;
 use partita_mop::Cycles;
 
-use crate::Selection;
+use crate::{Selection, SolveTrace};
 
 /// One row of a results table: a required gain and the selection found.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,10 +113,49 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     out
 }
 
+/// Renders a [`SolveTrace`] as a short human-readable block: backend and
+/// status, model dimensions, search effort and per-phase wall times.
+#[must_use]
+pub fn render_trace(trace: &SolveTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "solve: backend={} status={}\n",
+        trace.backend, trace.status
+    ));
+    out.push_str(&format!(
+        "model: {} vars, {} constraints, {} imps\n",
+        trace.num_vars, trace.num_constraints, trace.num_imps
+    ));
+    out.push_str(&format!(
+        "search: {} nodes explored, {} pruned, {} incumbent updates, {} simplex iterations{}\n",
+        trace.nodes_explored,
+        trace.nodes_pruned,
+        trace.incumbent_updates,
+        trace.simplex_iterations,
+        if trace.warm_start_accepted {
+            format!(
+                ", warm-started ({} vars fixed by probing)",
+                trace.vars_fixed
+            )
+        } else {
+            String::new()
+        }
+    ));
+    out.push_str(&format!(
+        "time: imp-gen {:?}, formulate {:?}, solve {:?}, decode {:?} (total {:?})\n",
+        trace.imp_generation,
+        trace.formulation,
+        trace.solve,
+        trace.decode,
+        trace.total()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Imp, Instance, ParallelChoice, Selection};
+    use crate::{Imp, Instance, OptimalityStatus, ParallelChoice, Selection};
     use partita_interface::InterfaceKind;
     use partita_ip::IpId;
     use partita_mop::{AreaTenths, CallSiteId};
@@ -132,7 +171,7 @@ mod tests {
             AreaTenths::from_units(3),
             ParallelChoice::None,
         )];
-        let sel = Selection::from_chosen(&inst, chosen, 30.0, 1);
+        let sel = Selection::from_chosen(&inst, chosen, 30.0, OptimalityStatus::Optimal);
         let row = TableRow::from_selection(Cycles(47_740), &sel);
         assert!(row.methods.contains("SC13: IP12,IF0,115037,3"));
         assert_eq!(row.gain, Cycles(115_037));
@@ -161,15 +200,37 @@ mod tests {
             AreaTenths::ZERO,
             ParallelChoice::None,
         )];
-        let sel = Selection::from_chosen(&inst, chosen, 30.0, 1);
+        let sel = Selection::from_chosen(&inst, chosen, 30.0, OptimalityStatus::Optimal);
         let row = TableRow::from_selection_with_library(Cycles(47_740), &sel, &inst.library);
         // The paper's style: per-method area = IP area + interface area.
-        assert!(row.methods.contains("SC13: IP0,IF0,115037,3"), "{}", row.methods);
+        assert!(
+            row.methods.contains("SC13: IP0,IF0,115037,3"),
+            "{}",
+            row.methods
+        );
     }
 
     #[test]
     fn empty_table() {
         let t = render_table("empty", &[]);
         assert!(t.contains("empty"));
+    }
+
+    #[test]
+    fn trace_rendering_mentions_every_section() {
+        let trace = SolveTrace {
+            backend: crate::Backend::BranchBound,
+            status: OptimalityStatus::FeasibleBudgetExhausted,
+            num_vars: 5,
+            nodes_explored: 7,
+            warm_start_accepted: true,
+            ..SolveTrace::default()
+        };
+        let t = render_trace(&trace);
+        assert!(t.contains("backend=branch_bound"));
+        assert!(t.contains("status=feasible_budget_exhausted"));
+        assert!(t.contains("7 nodes explored"));
+        assert!(t.contains("warm-started"));
+        assert!(t.contains("total"));
     }
 }

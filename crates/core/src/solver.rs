@@ -1,9 +1,14 @@
 //! The optimal S-instruction selector.
 
-use partita_ilp::BranchBound;
+use std::time::Instant;
+
 use partita_mop::{AreaTenths, CallSiteId, Cycles, PathId};
 
-use crate::formulate::{build_model, decode};
+use crate::engine::{
+    encode_selection, Backend, BranchBoundBackend, EngineSolution, ExhaustiveBackend,
+    GreedyBackend, OptimalityStatus, SolveBudget, SolveTrace, SolverBackend,
+};
+use crate::formulate::{build_model, decode, VarMap};
 use crate::{CoreError, Imp, ImpDb, Instance};
 
 /// Which formulation to solve.
@@ -37,16 +42,28 @@ pub struct SolveOptions {
     /// power draw must stay below it (the paper carries power per IMP; this
     /// is the natural constraint it supports).
     pub power_budget_mw: Option<u64>,
+    /// Which solver backend answers the call.
+    pub backend: Backend,
+    /// Work limits and fallback policy.
+    pub budget: SolveBudget,
+    /// Seed branch-and-bound with the greedy selection as its initial
+    /// incumbent (ignored by the other backends; an infeasible greedy
+    /// selection is silently skipped).
+    pub warm_start: bool,
 }
 
 impl SolveOptions {
-    /// Problem 2 with the given gains.
+    /// Problem 2 with the given gains, branch-and-bound backend, default
+    /// budget and warm-starting enabled.
     #[must_use]
     pub fn new(gains: RequiredGains) -> SolveOptions {
         SolveOptions {
             problem: ProblemKind::Problem2,
             gains,
             power_budget_mw: None,
+            backend: Backend::default(),
+            budget: SolveBudget::default(),
+            warm_start: true,
         }
     }
 
@@ -61,6 +78,27 @@ impl SolveOptions {
     #[must_use]
     pub fn with_power_budget_mw(mut self, budget: u64) -> SolveOptions {
         self.power_budget_mw = Some(budget);
+        self
+    }
+
+    /// Switches the solver backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> SolveOptions {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the solve budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> SolveOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables greedy warm-starting of branch-and-bound.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> SolveOptions {
+        self.warm_start = warm_start;
         self
     }
 }
@@ -83,8 +121,13 @@ pub struct Selection {
     pub interface_area: AreaTenths,
     /// Achieved gain per execution path.
     pub gain_per_path: Vec<(PathId, Cycles)>,
-    /// Branch-and-bound nodes explored.
-    pub nodes_explored: usize,
+    /// How much trust this selection deserves (proven optimal, best feasible
+    /// under an exhausted budget, heuristic fallback, …).
+    pub status: OptimalityStatus,
+    /// End-to-end solve telemetry. Default-constructed (all zeros) when the
+    /// selection was built outside the solver pipeline, e.g. by a standalone
+    /// baseline heuristic.
+    pub trace: SolveTrace,
 }
 
 impl Selection {
@@ -92,7 +135,7 @@ impl Selection {
         instance: &Instance,
         chosen: Vec<Imp>,
         objective: f64,
-        nodes_explored: usize,
+        status: OptimalityStatus,
     ) -> Selection {
         let mut ips: Vec<_> = chosen.iter().flat_map(|i| i.ips.iter().copied()).collect();
         ips.sort_unstable();
@@ -121,7 +164,8 @@ impl Selection {
             ip_area,
             interface_area,
             gain_per_path,
-            nodes_explored,
+            status,
+            trace: SolveTrace::default(),
         }
     }
 
@@ -250,13 +294,23 @@ impl<'a> Solver<'a> {
         self
     }
 
-    /// Solves to proven optimality.
+    /// Solves through the configured backend (branch-and-bound by default,
+    /// which proves optimality when its budget suffices).
+    ///
+    /// Budget exhaustion is reported, not hidden: the returned selection's
+    /// [`Selection::status`] says whether it is proven optimal, the best
+    /// feasible incumbent under an exhausted budget, or a heuristic
+    /// fallback. [`Selection::trace`] carries full solve telemetry.
     ///
     /// # Errors
     ///
     /// [`CoreError::Infeasible`] when no selection meets the required gains,
-    /// plus formulation errors.
+    /// [`CoreError::BudgetExhausted`] when the budget runs out with no
+    /// feasible point and no (working) fallback, plus formulation errors.
     pub fn solve(&self, options: &SolveOptions) -> Result<Selection, CoreError> {
+        let mut trace = SolveTrace::default();
+
+        let t = Instant::now();
         let generated;
         let db = match &self.imps {
             Some(db) => db,
@@ -265,6 +319,9 @@ impl<'a> Solver<'a> {
                 &generated
             }
         };
+        trace.imp_generation = t.elapsed();
+
+        let t = Instant::now();
         let (model, map) = build_model(
             self.instance,
             db,
@@ -272,8 +329,29 @@ impl<'a> Solver<'a> {
             &options.gains,
             options.power_budget_mw,
         )?;
-        let solution = BranchBound::new().solve(&model)?;
-        let chosen_ids = decode(db, &map, &solution);
+        trace.formulation = t.elapsed();
+        trace.num_vars = model.num_vars();
+        trace.num_constraints = model.num_constraints();
+        trace.num_imps = db.len();
+
+        let t = Instant::now();
+        let (solution, backend) = self.dispatch(options, &model, &map, db)?;
+        trace.solve = t.elapsed();
+        trace.backend = backend;
+        trace.status = solution.status;
+        trace.nodes_explored = solution.effort.nodes_explored;
+        trace.nodes_pruned = solution.effort.nodes_pruned;
+        trace.incumbent_updates = solution.effort.incumbent_updates;
+        trace.simplex_iterations = solution.effort.simplex_iterations;
+        trace.warm_start_accepted = solution.effort.warm_start_accepted;
+        trace.vars_fixed = solution.effort.vars_fixed;
+
+        let t = Instant::now();
+        let ilp_solution = partita_ilp::IlpSolution {
+            objective: solution.objective,
+            values: solution.values,
+        };
+        let chosen_ids = decode(db, &map, &ilp_solution);
         let chosen: Vec<Imp> = chosen_ids
             .iter()
             .filter_map(|id| db.get(*id).cloned())
@@ -283,17 +361,77 @@ impl<'a> Solver<'a> {
             for (&ip, &zv) in &map.z {
                 let used = chosen.iter().any(|imp| imp.uses_ip(ip));
                 debug_assert!(
-                    !used || solution.is_set(zv),
+                    !used || ilp_solution.is_set(zv),
                     "indicator for {ip} must be set when the ip is used"
                 );
             }
         }
-        Ok(Selection::from_chosen(
+        let mut selection = Selection::from_chosen(
             self.instance,
             chosen,
-            solution.objective,
-            solution.nodes_explored,
-        ))
+            ilp_solution.objective,
+            solution.status,
+        );
+        trace.decode = t.elapsed();
+        selection.trace = trace;
+        Ok(selection)
+    }
+
+    /// Routes the solve to the configured backend; on
+    /// [`CoreError::BudgetExhausted`] from branch-and-bound, retries once
+    /// with the budget's fallback backend.
+    ///
+    /// Returns the solution and the backend that actually produced it.
+    fn dispatch(
+        &self,
+        options: &SolveOptions,
+        model: &partita_ilp::Model,
+        map: &VarMap,
+        db: &ImpDb,
+    ) -> Result<(EngineSolution, Backend), CoreError> {
+        let budget = &options.budget;
+        match options.backend {
+            Backend::Exhaustive => ExhaustiveBackend
+                .solve(model, budget)
+                .map(|s| (s, Backend::Exhaustive)),
+            Backend::Greedy => GreedyBackend::new(self.instance, db, &options.gains, map)
+                .solve(model, budget)
+                .map(|s| (s, Backend::Greedy)),
+            Backend::BranchBound => {
+                let warm_start = if options.warm_start {
+                    crate::baseline::solve_greedy(self.instance, db, &options.gains)
+                        .ok()
+                        .map(|sel| {
+                            let ids: Vec<_> = sel.chosen().iter().map(|imp| imp.id).collect();
+                            encode_selection(model, map, db, &ids)
+                        })
+                } else {
+                    None
+                };
+                let primary = BranchBoundBackend { warm_start }.solve(model, budget);
+                match (primary, budget.fallback) {
+                    (Err(CoreError::BudgetExhausted), Some(fallback)) => {
+                        let rescued = match fallback {
+                            Backend::Exhaustive => ExhaustiveBackend.solve(model, budget),
+                            // Falling back to the backend that just ran dry
+                            // would exhaust again; route it to greedy.
+                            Backend::Greedy | Backend::BranchBound => {
+                                GreedyBackend::new(self.instance, db, &options.gains, map)
+                                    .solve(model, budget)
+                            }
+                        }?;
+                        Ok((
+                            EngineSolution {
+                                status: OptimalityStatus::FallbackUsed,
+                                ..rescued
+                            },
+                            fallback,
+                        ))
+                    }
+                    (result, _) => result.map(|s| (s, Backend::BranchBound)),
+                }
+            }
+        }
     }
 }
 
@@ -316,9 +454,24 @@ mod tests {
                 .build(),
         );
         let t_sw = Cycles(1000);
-        let a = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
-        let b = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
-        let c = inst.add_scall(SCall::new("fir", IpFunction::Fir, t_sw, TransferJob::new(8, 8)));
+        let a = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            t_sw,
+            TransferJob::new(8, 8),
+        ));
+        let b = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            t_sw,
+            TransferJob::new(8, 8),
+        ));
+        let c = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            t_sw,
+            TransferJob::new(8, 8),
+        ));
         inst.add_path(vec![a, b, c]);
         // Hand-built IMPs: plain IP gains 600 each; IMP for `b` that uses
         // the software fir `c` as parallel code gains 900.
@@ -347,7 +500,10 @@ mod tests {
         // Requirement 1500: a(600) + b-with-sw-c(900) reaches it with two
         // IMPs; Problem 1 needs all three (1800).
         let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
-        let p2 = Solver::new(&inst).with_imps(db.clone()).solve(&opts).unwrap();
+        let p2 = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&opts)
+            .unwrap();
         assert_eq!(p2.chosen().len(), 2);
         assert!(p2
             .chosen()
@@ -400,8 +556,13 @@ mod tests {
                 .build(),
         );
         let sc = inst.add_scall(
-            SCall::new("fir", IpFunction::Fir, Cycles(5000), TransferJob::new(64, 64))
-                .with_freq(3),
+            SCall::new(
+                "fir",
+                IpFunction::Fir,
+                Cycles(5000),
+                TransferJob::new(64, 64),
+            )
+            .with_freq(3),
         );
         inst.add_path(vec![sc]);
         let sel = Solver::new(&inst)
@@ -431,10 +592,24 @@ mod tests {
         ));
         inst.add_path(vec![sc]);
         let db = ImpDb::from_imps(vec![
-            Imp::new(sc, vec![ip], InterfaceKind::Type3, Cycles(900), AreaTenths::ZERO, ParallelChoice::None)
-                .with_power_mw(500),
-            Imp::new(sc, vec![ip], InterfaceKind::Type0, Cycles(600), AreaTenths::ZERO, ParallelChoice::None)
-                .with_power_mw(100),
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type3,
+                Cycles(900),
+                AreaTenths::ZERO,
+                ParallelChoice::None,
+            )
+            .with_power_mw(500),
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type0,
+                Cycles(600),
+                AreaTenths::ZERO,
+                ParallelChoice::None,
+            )
+            .with_power_mw(100),
         ]);
         // Without a budget the higher-gain type-3 wins the area tie.
         let free = Solver::new(&inst)
@@ -446,8 +621,7 @@ mod tests {
         let capped = Solver::new(&inst)
             .with_imps(db.clone())
             .solve(
-                &SolveOptions::new(RequiredGains::Uniform(Cycles(500)))
-                    .with_power_budget_mw(200),
+                &SolveOptions::new(RequiredGains::Uniform(Cycles(500))).with_power_budget_mw(200),
             )
             .unwrap();
         assert_eq!(capped.chosen()[0].interface, InterfaceKind::Type0);
@@ -455,12 +629,135 @@ mod tests {
         // An impossible budget is infeasible.
         let err = Solver::new(&inst)
             .with_imps(db)
-            .solve(
-                &SolveOptions::new(RequiredGains::Uniform(Cycles(500)))
-                    .with_power_budget_mw(50),
-            )
+            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(500))).with_power_budget_mw(50))
             .unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    /// Two s-calls with one 600-gain IMP each and a 700 requirement: the LP
+    /// relaxation sets one x to 1 and the other to 1/6, whose rounding (to
+    /// zero) misses the gain row — so a 1-node branch-and-bound run finds no
+    /// incumbent and must exhaust its budget.
+    fn needs_two_imps() -> (Instance, ImpDb) {
+        let mut inst = Instance::new("two-needed");
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(2))
+                .build(),
+        );
+        let a = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+        let b = inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+        inst.add_path(vec![a, b]);
+        let mk = |sc| {
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type1,
+                Cycles(600),
+                AreaTenths::from_tenths(2),
+                ParallelChoice::None,
+            )
+        };
+        let db = ImpDb::from_imps(vec![mk(a), mk(b)]);
+        (inst, db)
+    }
+
+    #[test]
+    fn one_node_budget_falls_back_to_greedy() {
+        let (inst, db) = needs_two_imps();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
+            .with_warm_start(false)
+            .with_budget(crate::SolveBudget::default().with_max_nodes(1));
+        let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
+        assert_eq!(sel.status, crate::OptimalityStatus::FallbackUsed);
+        assert_eq!(sel.trace.backend, crate::Backend::Greedy);
+        // The fallback selection is still feasible end to end.
+        sel.verify(&inst, &opts).unwrap();
+        assert!(sel.total_gain().get() >= 700);
+    }
+
+    #[test]
+    fn one_node_budget_without_fallback_errors() {
+        let (inst, db) = needs_two_imps();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
+            .with_warm_start(false)
+            .with_budget(
+                crate::SolveBudget::default()
+                    .with_max_nodes(1)
+                    .with_fallback(None),
+            );
+        let err = Solver::new(&inst).with_imps(db).solve(&opts).unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted);
+    }
+
+    #[test]
+    fn warm_start_survives_budget_exhaustion() {
+        // Same 1-node budget, but the greedy warm start seeds a feasible
+        // incumbent, so branch-and-bound reports the best incumbent instead
+        // of falling back.
+        let (inst, db) = needs_two_imps();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
+            .with_budget(crate::SolveBudget::default().with_max_nodes(1));
+        let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
+        assert_eq!(sel.status, crate::OptimalityStatus::FeasibleBudgetExhausted);
+        assert!(sel.trace.warm_start_accepted);
+        sel.verify(&inst, &opts).unwrap();
+    }
+
+    #[test]
+    fn exhaustive_backend_matches_branch_bound() {
+        let (inst, db) = three_firs();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let bb = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&opts)
+            .unwrap();
+        let ex = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&opts.clone().with_backend(crate::Backend::Exhaustive))
+            .unwrap();
+        assert!((bb.objective - ex.objective).abs() < 1e-6);
+        assert_eq!(ex.status, crate::OptimalityStatus::Optimal);
+        assert_eq!(ex.trace.backend, crate::Backend::Exhaustive);
+        // Exhaustive explored every binary assignment of the model.
+        assert!(ex.trace.nodes_explored >= 1);
+    }
+
+    #[test]
+    fn greedy_backend_reports_heuristic_status() {
+        let (inst, db) = three_firs();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1200)))
+            .with_backend(crate::Backend::Greedy);
+        let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
+        assert_eq!(sel.status, crate::OptimalityStatus::Heuristic);
+        sel.verify(&inst, &opts).unwrap();
+    }
+
+    #[test]
+    fn trace_is_populated_on_default_solve() {
+        let (inst, db) = three_firs();
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
+        assert_eq!(sel.status, crate::OptimalityStatus::Optimal);
+        let t = &sel.trace;
+        assert_eq!(t.backend, crate::Backend::BranchBound);
+        assert!(t.num_vars > 0 && t.num_constraints > 0 && t.num_imps == 4);
+        assert!(t.nodes_explored >= 1);
+        assert!(t.simplex_iterations >= 1);
+        // The JSON view round-trips the same numbers.
+        let json = t.to_json();
+        assert!(json.contains(&format!("\"nodes_explored\":{}", t.nodes_explored)));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use partita_core::{
-    baseline, Imp, ImpDb, Instance, ParallelChoice, RequiredGains, SCall, SolveOptions, Solver,
+    baseline, Backend, Imp, ImpDb, Instance, OptimalityStatus, ParallelChoice, RequiredGains,
+    SCall, SolveOptions, Solver,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction, IpId};
@@ -145,6 +146,32 @@ proptest! {
         prop_assert!(sel.s_instruction_count() <= sel.selected_scall_count());
         if let Ok(greedy) = baseline::solve_greedy(&inst, &db, &gains) {
             prop_assert!(sel.total_area() <= greedy.total_area());
+        }
+    }
+
+    /// The warm-started branch-and-bound backend under its (generous)
+    /// default budget agrees with the exhaustive backend: same minimum area,
+    /// same feasibility verdict, both proven optimal.
+    #[test]
+    fn branch_bound_backend_matches_exhaustive_backend(si in small_instance()) {
+        let (inst, db) = build(&si);
+        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(si.required)));
+        let bb = Solver::new(&inst).with_imps(db.clone()).solve(&opts);
+        let ex = Solver::new(&inst)
+            .with_imps(db)
+            .solve(&opts.clone().with_backend(Backend::Exhaustive));
+        match (bb, ex) {
+            (Ok(b), Ok(e)) => {
+                prop_assert_eq!(
+                    b.total_area().tenths(), e.total_area().tenths(),
+                    "branch-and-bound area {} vs exhaustive {}", b.total_area(), e.total_area()
+                );
+                prop_assert_eq!(b.status, OptimalityStatus::Optimal);
+                prop_assert_eq!(e.status, OptimalityStatus::Optimal);
+                prop_assert!(e.trace.nodes_explored >= 1);
+            }
+            (Err(_), Err(_)) => {}
+            (b, e) => prop_assert!(false, "backend feasibility mismatch: {b:?} vs {e:?}"),
         }
     }
 }

@@ -82,10 +82,15 @@ impl fmt::Display for FrontendError {
                 write!(f, "unexpected end of input, expected {expected}")
             }
             FrontendError::UnknownIdent { name } => write!(f, "unknown identifier `{name}`"),
-            FrontendError::UnknownFunction { name } => write!(f, "call to unknown function `{name}`"),
+            FrontendError::UnknownFunction { name } => {
+                write!(f, "call to unknown function `{name}`")
+            }
             FrontendError::Duplicate { name } => write!(f, "`{name}` declared twice"),
             FrontendError::RegisterPressure { func } => {
-                write!(f, "function `{func}` needs more registers than the kernel has")
+                write!(
+                    f,
+                    "function `{func}` needs more registers than the kernel has"
+                )
             }
             FrontendError::KindMismatch { name } => {
                 write!(f, "`{name}` used with the wrong shape (scalar vs array)")

@@ -155,12 +155,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, FrontendError> {
                         break;
                     }
                 }
-                let value: i32 = text
-                    .parse()
-                    .map_err(|_| FrontendError::IntOutOfRange {
-                        text: text.clone(),
-                        line,
-                    })?;
+                let value: i32 = text.parse().map_err(|_| FrontendError::IntOutOfRange {
+                    text: text.clone(),
+                    line,
+                })?;
                 out.push(Token {
                     kind: TokenKind::Int(value),
                     line,

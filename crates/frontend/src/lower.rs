@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 
 use partita_asip::{ExecError, ExecOptions, ExecReport, Executor, Kernel};
 use partita_mop::{
-    AluOp, BlockId, CallEffects, CdfgOptions, FuncId, Function, MemRegion, MemSpace, Mop,
-    MopId, MopProgram, Operand, Reg,
+    AluOp, BlockId, CallEffects, CdfgOptions, FuncId, Function, MemRegion, MemSpace, Mop, MopId,
+    MopProgram, Operand, Reg,
 };
 
 use crate::ast::{BinOp, Expr, FnDecl, Program, RegionDecl, RegionSpace, Stmt, UnOp};
@@ -37,11 +37,7 @@ impl CompiledProgram {
     #[must_use]
     pub fn cdfg_options(&self, func: FuncId) -> CdfgOptions {
         CdfgOptions {
-            call_effects: self
-                .call_effects
-                .get(&func)
-                .cloned()
-                .unwrap_or_default(),
+            call_effects: self.call_effects.get(&func).cloned().unwrap_or_default(),
         }
     }
 
@@ -284,13 +280,11 @@ impl<'a> FnLowerer<'a> {
                 Ok(())
             }
             Stmt::Call(name) => {
-                let callee =
-                    self.fn_ids
-                        .get(name)
-                        .copied()
-                        .ok_or_else(|| FrontendError::UnknownFunction {
-                            name: name.clone(),
-                        })?;
+                let callee = self
+                    .fn_ids
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| FrontendError::UnknownFunction { name: name.clone() })?;
                 let mop = self.push(Mop::call(callee));
                 // Record the callee's declared memory effects at this site.
                 let callee_decl = &self.ast.functions[callee.index()];
@@ -475,30 +469,27 @@ mod tests {
 
     #[test]
     fn arithmetic_to_memory() {
-        let (_, kernel) = run("xmem out[4] @ 0; fn main() { out[0] = 2 + 3 * 4; out[1] = (2 + 3) * 4; }");
+        let (_, kernel) =
+            run("xmem out[4] @ 0; fn main() { out[0] = 2 + 3 * 4; out[1] = (2 + 3) * 4; }");
         assert_eq!(kernel.xdm.read(0).unwrap(), 14);
         assert_eq!(kernel.xdm.read(1).unwrap(), 20);
     }
 
     #[test]
     fn comparisons_and_logic() {
-        let (_, kernel) = run(
-            "ymem out[8] @ 0; fn main() {
+        let (_, kernel) = run("ymem out[8] @ 0; fn main() {
                 out[0] = 1 < 2; out[1] = 2 <= 2; out[2] = 3 > 4; out[3] = 3 >= 4;
                 out[4] = 5 == 5; out[5] = 5 != 5; out[6] = 1 && 0; out[7] = 2 || 0;
-            }",
-        );
+            }");
         let got = kernel.ydm.dump(0, 8).unwrap();
         assert_eq!(got, vec![1, 1, 0, 0, 1, 0, 0, 1]);
     }
 
     #[test]
     fn division_and_remainder() {
-        let (_, kernel) = run(
-            "xmem o[4] @ 0; fn main() {
+        let (_, kernel) = run("xmem o[4] @ 0; fn main() {
                 o[0] = 17 / 5; o[1] = 17 % 5; o[2] = -17 / 5; o[3] = 7 / 0;
-            }",
-        );
+            }");
         assert_eq!(kernel.xdm.dump(0, 4).unwrap(), vec![3, 2, -3, 0]);
     }
 
@@ -511,27 +502,23 @@ mod tests {
 
     #[test]
     fn while_loop_sums() {
-        let (_, kernel) = run(
-            "xmem data[8] @ 0; ymem out[1] @ 0;
+        let (_, kernel) = run("xmem data[8] @ 0; ymem out[1] @ 0;
              fn main() {
                  let i = 0;
                  while (i < 8) { data[i] = i * i; i = i + 1; }
                  let acc = 0; i = 0;
                  while (i < 8) { acc = acc + data[i]; i = i + 1; }
                  out[0] = acc;
-             }",
-        );
+             }");
         assert_eq!(kernel.ydm.read(0).unwrap(), (0..8).map(|i| i * i).sum());
     }
 
     #[test]
     fn if_else_branches() {
-        let (_, kernel) = run(
-            "xmem o[2] @ 0; fn main() {
+        let (_, kernel) = run("xmem o[2] @ 0; fn main() {
                 if (1 < 2) { o[0] = 10; } else { o[0] = 20; }
                 if (2 < 1) { o[1] = 10; } else { o[1] = 20; }
-            }",
-        );
+            }");
         assert_eq!(kernel.xdm.dump(0, 2).unwrap(), vec![10, 20]);
     }
 
@@ -554,9 +541,8 @@ mod tests {
 
     #[test]
     fn profile_counts_loop_blocks() {
-        let (compiled, _) = run(
-            "xmem d[1] @ 0; fn main() { let i = 0; while (i < 5) { d[0] = i; i = i + 1; } }",
-        );
+        let (compiled, _) =
+            run("xmem d[1] @ 0; fn main() { let i = 0; while (i < 5) { d[0] = i; i = i + 1; } }");
         let main = compiled.program.function_by_name("main").unwrap();
         let f = compiled.program.function(main).unwrap();
         // Some block ran exactly 5 times (the loop body).
@@ -565,11 +551,9 @@ mod tests {
 
     #[test]
     fn early_return() {
-        let (_, kernel) = run(
-            "xmem o[1] @ 0;
+        let (_, kernel) = run("xmem o[1] @ 0;
              fn f() writes o { o[0] = 1; return; }
-             fn main() { f(); if (o[0] == 1) { o[0] = 42; } }",
-        );
+             fn main() { f(); if (o[0] == 1) { o[0] = 42; } }");
         assert_eq!(kernel.xdm.read(0).unwrap(), 42);
     }
 

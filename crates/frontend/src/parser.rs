@@ -11,11 +11,7 @@ use crate::FrontendError;
 /// Lexical and syntactic errors with line positions.
 pub fn parse(src: &str) -> Result<Program, FrontendError> {
     let tokens = tokenize(src)?;
-    Parser {
-        tokens,
-        pos: 0,
-    }
-    .program()
+    Parser { tokens, pos: 0 }.program()
 }
 
 struct Parser {
@@ -334,10 +330,7 @@ mod tests {
 
     #[test]
     fn parses_regions_and_functions() {
-        let p = parse(
-            "xmem a[16] @ 0; ymem b[8] @ 4;\n fn main() { a[0] = 1; }",
-        )
-        .unwrap();
+        let p = parse("xmem a[16] @ 0; ymem b[8] @ 4;\n fn main() { a[0] = 1; }").unwrap();
         assert_eq!(p.regions.len(), 2);
         assert_eq!(p.regions[0].space, RegionSpace::X);
         assert_eq!(p.regions[1].base, 4);
@@ -362,10 +355,9 @@ mod tests {
 
     #[test]
     fn control_flow_and_calls() {
-        let p = parse(
-            "fn f() { }\n fn main() { if (1 < 2) { f(); } else { return; } while (0) { } }",
-        )
-        .unwrap();
+        let p =
+            parse("fn f() { }\n fn main() { if (1 < 2) { f(); } else { return; } while (0) { } }")
+                .unwrap();
         assert!(matches!(p.functions[1].body[0], Stmt::If(..)));
         assert!(matches!(p.functions[1].body[1], Stmt::While(..)));
     }

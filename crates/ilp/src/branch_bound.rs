@@ -2,16 +2,24 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 use crate::simplex::{solve_with_bounds, SimplexOptions};
 use crate::{IlpError, IlpSolution, Model, Sense, VarId};
 
 const INT_TOL: f64 = 1e-6;
 
+/// Cap on root-probing LP re-solves; bounds the fixed cost probing adds on
+/// models with many binaries.
+const MAX_ROOT_PROBES: usize = 32;
+
 /// Branch-and-bound solver for models with binary variables.
 ///
 /// Nodes are explored best-bound-first; branching picks the most fractional
-/// binary of the node's LP optimum.
+/// binary of the node's LP optimum. Search effort is bounded by a node budget
+/// and an optional wall-clock deadline; [`BranchBound::run`] reports budget
+/// exhaustion as a [`Termination`] alongside the best incumbent found so far
+/// instead of discarding it.
 ///
 /// # Example
 ///
@@ -33,6 +41,7 @@ const INT_TOL: f64 = 1e-6;
 #[derive(Debug, Clone)]
 pub struct BranchBound {
     max_nodes: usize,
+    deadline: Option<Duration>,
     simplex: SimplexOptions,
 }
 
@@ -40,6 +49,7 @@ impl Default for BranchBound {
     fn default() -> Self {
         BranchBound {
             max_nodes: 200_000,
+            deadline: None,
             simplex: SimplexOptions::default(),
         }
     }
@@ -52,6 +62,43 @@ pub struct BranchBoundStats {
     pub nodes_explored: usize,
     /// Nodes pruned by bound.
     pub nodes_pruned: usize,
+    /// Times the incumbent improved during the search (excludes a warm-start
+    /// incumbent supplied by the caller).
+    pub incumbent_updates: usize,
+    /// Simplex pivots summed over every node LP solved.
+    pub simplex_iterations: usize,
+    /// Whether a caller-supplied warm start was feasible and seeded the
+    /// incumbent.
+    pub warm_start_accepted: bool,
+    /// Binaries permanently fixed by reduced-cost probing at the root
+    /// (requires a warm-start incumbent).
+    pub vars_fixed: usize,
+}
+
+/// Why a branch-and-bound run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The search tree was exhausted: the incumbent is proven optimal.
+    Optimal,
+    /// The node budget ran out first; the incumbent (if any) is feasible but
+    /// not proven optimal.
+    NodeLimit,
+    /// The wall-clock deadline passed first; the incumbent (if any) is
+    /// feasible but not proven optimal.
+    Deadline,
+}
+
+/// Outcome of [`BranchBound::run`]: the best incumbent (if any), why the
+/// search stopped, and how much work it did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchBoundRun {
+    /// Best integer-feasible solution found, `None` when the budget ran out
+    /// before any incumbent appeared.
+    pub solution: Option<IlpSolution>,
+    /// Why the search stopped.
+    pub termination: Termination,
+    /// Search-effort counters.
+    pub stats: BranchBoundStats,
 }
 
 struct Node {
@@ -96,19 +143,31 @@ impl BranchBound {
         self
     }
 
+    /// Sets a wall-clock deadline, checked once per node.
+    ///
+    /// The LP solve of the node in flight is never interrupted, so a run may
+    /// overshoot the deadline by one node's worth of simplex work.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> BranchBound {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Solves `model` to proven optimality.
     ///
     /// # Errors
     ///
     /// [`IlpError::Infeasible`] when no integer assignment satisfies the
     /// constraints, [`IlpError::Unbounded`] when the relaxation is unbounded,
-    /// [`IlpError::NodeLimit`] when the node budget is exhausted.
+    /// [`IlpError::NodeLimit`] when the node budget is exhausted,
+    /// [`IlpError::DeadlineExceeded`] when the deadline passes first. Budget
+    /// errors discard any incumbent; use [`BranchBound::run`] to keep it.
     pub fn solve(&self, model: &Model) -> Result<IlpSolution, IlpError> {
         let (sol, _stats) = self.solve_with_stats(model)?;
         Ok(sol)
     }
 
-    /// Solves and also returns search statistics.
+    /// Solves to proven optimality and also returns search statistics.
     ///
     /// # Errors
     ///
@@ -117,9 +176,67 @@ impl BranchBound {
         &self,
         model: &Model,
     ) -> Result<(IlpSolution, BranchBoundStats), IlpError> {
+        let run = self.run(model, None)?;
+        match run.termination {
+            Termination::Optimal => {
+                let sol = run.solution.expect("optimal termination implies incumbent");
+                Ok((sol, run.stats))
+            }
+            Termination::NodeLimit => Err(IlpError::NodeLimit {
+                limit: self.max_nodes,
+            }),
+            Termination::Deadline => Err(IlpError::DeadlineExceeded),
+        }
+    }
+
+    /// Runs the search under the configured budgets.
+    ///
+    /// `warm_start` optionally seeds the incumbent with a known feasible
+    /// point (full-length variable assignment, binaries integral); an
+    /// infeasible or malformed warm start is ignored rather than rejected, so
+    /// callers can pass a heuristic guess unconditionally. Budget exhaustion
+    /// is reported through [`BranchBoundRun::termination`], not as an error,
+    /// and keeps the best incumbent found so far.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::Infeasible`] when the search proves no integer assignment
+    /// exists, [`IlpError::Unbounded`] when the relaxation is unbounded,
+    /// [`IlpError::IterationLimit`] when a node LP exceeds the simplex pivot
+    /// cap.
+    pub fn run(
+        &self,
+        model: &Model,
+        warm_start: Option<&[f64]>,
+    ) -> Result<BranchBoundRun, IlpError> {
         let n = model.num_vars();
         let minimize = model.sense() == Sense::Minimize;
         let norm = |obj: f64| if minimize { obj } else { -obj };
+        let started = Instant::now();
+        let binaries = model.binary_vars();
+
+        let mut stats = BranchBoundStats::default();
+        let mut incumbent: Option<IlpSolution> = None;
+        let mut incumbent_score = f64::INFINITY;
+
+        // Seed the incumbent from the warm start when it checks out: the
+        // bound prunes against it from the very first node.
+        if let Some(values) = warm_start {
+            let integral = binaries.iter().all(|&v| {
+                values
+                    .get(v.index())
+                    .is_some_and(|x| x.fract().abs() <= INT_TOL)
+            });
+            if values.len() == n && integral && model.is_feasible(values, 1e-6) {
+                let objective = model.objective().eval(values);
+                incumbent_score = norm(objective);
+                incumbent = Some(IlpSolution {
+                    objective,
+                    values: values.to_vec(),
+                });
+                stats.warm_start_accepted = true;
+            }
+        }
 
         let mut root_lower = Vec::with_capacity(n);
         let mut root_upper = Vec::with_capacity(n);
@@ -129,7 +246,6 @@ impl BranchBound {
             root_upper.push(u);
         }
 
-        let mut stats = BranchBoundStats::default();
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
         heap.push(Node {
             score: f64::NEG_INFINITY,
@@ -137,19 +253,25 @@ impl BranchBound {
             upper: root_upper,
         });
 
-        let binaries = model.binary_vars();
-        let mut incumbent: Option<IlpSolution> = None;
-        let mut incumbent_score = f64::INFINITY;
         let mut root = true;
 
-        while let Some(node) = heap.pop() {
+        while let Some(mut node) = heap.pop() {
             if node.score >= incumbent_score - 1e-9 {
                 stats.nodes_pruned += 1;
                 continue;
             }
             if stats.nodes_explored >= self.max_nodes {
-                return Err(IlpError::NodeLimit {
-                    limit: self.max_nodes,
+                return Ok(BranchBoundRun {
+                    solution: incumbent,
+                    termination: Termination::NodeLimit,
+                    stats,
+                });
+            }
+            if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                return Ok(BranchBoundRun {
+                    solution: incumbent,
+                    termination: Termination::Deadline,
+                    stats,
                 });
             }
             stats.nodes_explored += 1;
@@ -166,6 +288,7 @@ impl BranchBound {
                 Err(e) => return Err(e),
             };
             root = false;
+            stats.simplex_iterations += lp.iterations;
             let bound = norm(lp.objective);
             if bound >= incumbent_score - 1e-9 {
                 stats.nodes_pruned += 1;
@@ -188,8 +311,59 @@ impl BranchBound {
                         incumbent = Some(IlpSolution {
                             objective,
                             values: rounded,
-                            nodes_explored: stats.nodes_explored,
                         });
+                        stats.incumbent_updates += 1;
+                    }
+                }
+            }
+
+            // Reduced-cost probing, once, at the root: a warm start supplies
+            // a tight incumbent before any search happens, so flipping a
+            // binary that sits at a bound in the root LP and re-solving tells
+            // us whether that flip can ever pay off. If the probed LP bound
+            // already meets the incumbent (or is infeasible), the binary is
+            // fixed at its LP value for the entire tree. Without a warm start
+            // the first incumbent only appears after the root LP, too late to
+            // narrow the tree from node one.
+            if stats.nodes_explored == 1 && stats.warm_start_accepted && incumbent.is_some() {
+                let mut candidates: Vec<(VarId, f64)> = binaries
+                    .iter()
+                    .map(|&v| (v, lp.value(v)))
+                    .filter(|&(v, x)| {
+                        node.lower[v.index()] < node.upper[v.index()]
+                            && (x <= INT_TOL || x >= 1.0 - INT_TOL)
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| {
+                    let c = |v: VarId| model.objective().coeff(v).abs();
+                    c(b.0).partial_cmp(&c(a.0)).unwrap_or(Ordering::Equal)
+                });
+                for (v, x) in candidates.into_iter().take(MAX_ROOT_PROBES) {
+                    if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                        break;
+                    }
+                    let flipped = if x <= INT_TOL { 1.0 } else { 0.0 };
+                    let (saved_l, saved_u) = (node.lower[v.index()], node.upper[v.index()]);
+                    node.lower[v.index()] = flipped;
+                    node.upper[v.index()] = flipped;
+                    let fixable =
+                        match solve_with_bounds(model, &node.lower, &node.upper, self.simplex) {
+                            Ok(probe) => {
+                                stats.simplex_iterations += probe.iterations;
+                                norm(probe.objective) >= incumbent_score - 1e-9
+                            }
+                            Err(IlpError::Infeasible) => true,
+                            Err(e) => return Err(e),
+                        };
+                    if fixable {
+                        // The flip cannot beat the incumbent: pin the binary
+                        // to its relaxation value for all descendants.
+                        node.lower[v.index()] = x.round();
+                        node.upper[v.index()] = x.round();
+                        stats.vars_fixed += 1;
+                    } else {
+                        node.lower[v.index()] = saved_l;
+                        node.upper[v.index()] = saved_u;
                     }
                 }
             }
@@ -208,9 +382,7 @@ impl BranchBound {
                         let c = model.objective().coeff(*v).abs().max(1e-6);
                         f * c
                     };
-                    weight(a)
-                        .partial_cmp(&weight(b))
-                        .unwrap_or(Ordering::Equal)
+                    weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
                 });
 
             match frac {
@@ -224,11 +396,8 @@ impl BranchBound {
                     let score = norm(objective);
                     if score < incumbent_score {
                         incumbent_score = score;
-                        incumbent = Some(IlpSolution {
-                            objective,
-                            values,
-                            nodes_explored: stats.nodes_explored,
-                        });
+                        incumbent = Some(IlpSolution { objective, values });
+                        stats.incumbent_updates += 1;
                     }
                 }
                 Some((v, x)) => {
@@ -252,10 +421,11 @@ impl BranchBound {
         }
 
         match incumbent {
-            Some(mut sol) => {
-                sol.nodes_explored = stats.nodes_explored;
-                Ok((sol, stats))
-            }
+            Some(sol) => Ok(BranchBoundRun {
+                solution: Some(sol),
+                termination: Termination::Optimal,
+                stats,
+            }),
             None => Err(IlpError::Infeasible),
         }
     }
@@ -321,18 +491,142 @@ mod tests {
         assert!(!s.is_set(z));
     }
 
-    #[test]
-    fn node_limit_enforced() {
+    /// A 12-binary model whose relaxation stays fractional, so one node is
+    /// never enough to prove optimality.
+    fn tight_budget_model() -> (Model, Vec<VarId>) {
         let mut m = Model::new(Sense::Maximize);
         let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
         m.set_objective(vars.iter().map(|&v| (v, 1.0)));
         // Odd-sum style constraint keeps relaxation fractional.
         m.add_constraint(vars.iter().map(|&v| (v, 2.0)), Relation::Le, 11.0)
             .unwrap();
+        (m, vars)
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let (m, _) = tight_budget_model();
         let solver = BranchBound::new().with_max_nodes(1);
         // One node is enough only if the relaxation happens to be integral;
         // here it is not, so we must hit the limit.
         assert_eq!(solver.solve(&m), Err(IlpError::NodeLimit { limit: 1 }));
+    }
+
+    #[test]
+    fn run_keeps_incumbent_on_node_limit() {
+        // min 2a + 3b s.t. 3a + 5b >= 4. Root LP picks b = 0.8 (fractional),
+        // and rounding it up to b = 1 is feasible, so the root already yields
+        // an incumbent before the 1-node budget runs out.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective([(a, 2.0), (b, 3.0)]);
+        m.add_constraint([(a, 3.0), (b, 5.0)], Relation::Ge, 4.0)
+            .unwrap();
+        let run = BranchBound::new().with_max_nodes(1).run(&m, None).unwrap();
+        assert_eq!(run.termination, Termination::NodeLimit);
+        // The rounding heuristic finds a feasible point at the root, so the
+        // incumbent survives budget exhaustion instead of being discarded.
+        let sol = run.solution.expect("rounding heuristic seeds an incumbent");
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        assert_eq!(sol.objective.round() as i64, 3);
+        assert_eq!(run.stats.nodes_explored, 1);
+    }
+
+    #[test]
+    fn deadline_zero_stops_immediately() {
+        let (m, _) = tight_budget_model();
+        let run = BranchBound::new()
+            .with_deadline(Duration::ZERO)
+            .run(&m, None)
+            .unwrap();
+        assert_eq!(run.termination, Termination::Deadline);
+        assert_eq!(run.stats.nodes_explored, 0);
+        assert!(run.solution.is_none());
+    }
+
+    #[test]
+    fn deadline_maps_to_error_in_solve() {
+        let (m, _) = tight_budget_model();
+        let solver = BranchBound::new().with_deadline(Duration::ZERO);
+        assert_eq!(solver.solve(&m), Err(IlpError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn warm_start_seeds_incumbent() {
+        let (m, vars) = tight_budget_model();
+        // All-zero is feasible (0 <= 11); a valid if weak warm start.
+        let warm = vec![0.0; vars.len()];
+        let run = BranchBound::new().run(&m, Some(&warm)).unwrap();
+        assert!(run.stats.warm_start_accepted);
+        assert_eq!(run.termination, Termination::Optimal);
+        // Optimum picks 5 variables (2*5 = 10 <= 11).
+        let sol = run.solution.unwrap();
+        assert_eq!(sol.objective.round() as i64, 5);
+    }
+
+    #[test]
+    fn infeasible_warm_start_ignored() {
+        let (m, vars) = tight_budget_model();
+        // All-ones violates the knapsack row (24 > 11).
+        let warm = vec![1.0; vars.len()];
+        let run = BranchBound::new().run(&m, Some(&warm)).unwrap();
+        assert!(!run.stats.warm_start_accepted);
+        assert_eq!(run.termination, Termination::Optimal);
+    }
+
+    #[test]
+    fn warm_start_prunes_search() {
+        // Seeding the true optimum must not explore more nodes than the cold
+        // run, and on this model strictly fewer.
+        let (m, vars) = tight_budget_model();
+        let cold = BranchBound::new().run(&m, None).unwrap();
+        let mut warm_values = vec![0.0; vars.len()];
+        for v in vars.iter().take(5) {
+            warm_values[v.index()] = 1.0;
+        }
+        let warm = BranchBound::new().run(&m, Some(&warm_values)).unwrap();
+        assert!(warm.stats.warm_start_accepted);
+        assert!(
+            warm.stats.nodes_explored <= cold.stats.nodes_explored,
+            "warm {} > cold {}",
+            warm.stats.nodes_explored,
+            cold.stats.nodes_explored
+        );
+    }
+
+    #[test]
+    fn root_probing_fixes_vars_and_prunes() {
+        // min 10a + 2b + 2c s.t. 3b + 3c >= 4. Optimum is b = c = 1 (obj 4);
+        // the root LP is fractional (b = 1, c = 1/3) and rounds down to an
+        // infeasible point, so the cold run has to branch its way to an
+        // incumbent. Warm-starting with the optimum lets root probing fix
+        // both a (flipping it to 1 costs 10 > 4) and b (flipping it to 0 is
+        // infeasible), leaving only c to branch on.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective([(a, 10.0), (b, 2.0), (c, 2.0)]);
+        m.add_constraint([(b, 3.0), (c, 3.0)], Relation::Ge, 4.0)
+            .unwrap();
+
+        let cold = BranchBound::new().run(&m, None).unwrap();
+        let warm_point = vec![0.0, 1.0, 1.0];
+        let warm = BranchBound::new().run(&m, Some(&warm_point)).unwrap();
+
+        assert!(warm.stats.warm_start_accepted);
+        assert!(warm.stats.vars_fixed >= 2, "{:?}", warm.stats);
+        assert_eq!(cold.stats.vars_fixed, 0);
+        let (cs, ws) = (cold.solution.unwrap(), warm.solution.unwrap());
+        assert_eq!(cs.objective.round() as i64, 4);
+        assert_eq!(ws.objective.round() as i64, 4);
+        assert!(
+            warm.stats.nodes_explored < cold.stats.nodes_explored,
+            "warm {} !< cold {}",
+            warm.stats.nodes_explored,
+            cold.stats.nodes_explored
+        );
     }
 
     #[test]
@@ -344,6 +638,7 @@ mod tests {
         let (s, stats) = BranchBound::new().solve_with_stats(&m).unwrap();
         assert_eq!(s.objective.round() as i64, 1);
         assert!(stats.nodes_explored >= 1);
+        assert!(stats.incumbent_updates >= 1);
     }
 
     #[test]

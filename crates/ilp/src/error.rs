@@ -32,6 +32,9 @@ pub enum IlpError {
         /// Configured limit.
         limit: usize,
     },
+    /// Branch-and-bound ran past its wall-clock deadline without proving
+    /// optimality.
+    DeadlineExceeded,
     /// The exhaustive solver was asked for too many binaries.
     TooManyBinaries {
         /// Number of binaries in the model.
@@ -56,8 +59,12 @@ impl fmt::Display for IlpError {
             IlpError::NodeLimit { limit } => {
                 write!(f, "branch-and-bound exceeded {limit} nodes")
             }
+            IlpError::DeadlineExceeded => f.write_str("branch-and-bound ran past its deadline"),
             IlpError::TooManyBinaries { count, max } => {
-                write!(f, "exhaustive solver supports at most {max} binaries, got {count}")
+                write!(
+                    f,
+                    "exhaustive solver supports at most {max} binaries, got {count}"
+                )
             }
         }
     }

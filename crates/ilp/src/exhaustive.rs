@@ -18,6 +18,16 @@ pub const MAX_EXHAUSTIVE_BINARIES: usize = 24;
 /// [`MAX_EXHAUSTIVE_BINARIES`] binaries, [`IlpError::Infeasible`] when no
 /// assignment is feasible.
 pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
+    solve_binary_exhaustive_counted(model).map(|(sol, _)| sol)
+}
+
+/// Like [`solve_binary_exhaustive`], also returning the number of binary
+/// assignments enumerated (for solve telemetry).
+///
+/// # Errors
+///
+/// Same as [`solve_binary_exhaustive`].
+pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, usize), IlpError> {
     let binaries = model.binary_vars();
     if binaries.len() > MAX_EXHAUSTIVE_BINARIES {
         return Err(IlpError::TooManyBinaries {
@@ -37,12 +47,9 @@ pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
 
     let mut best: Option<IlpSolution> = None;
     let mut best_score = f64::INFINITY;
-    let mut assignments_checked = 0usize;
+    let assignments_checked = 1usize << binaries.len();
 
-    // Counts assignments (not an index): reported as `nodes_explored`.
-    #[allow(clippy::explicit_counter_loop)]
     for mask in 0u64..(1u64 << binaries.len()) {
-        assignments_checked += 1;
         let mut lower = Vec::with_capacity(n);
         let mut upper = Vec::with_capacity(n);
         for i in 0..n {
@@ -75,16 +82,13 @@ pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
             let score = norm(objective);
             if score < best_score {
                 best_score = score;
-                best = Some(IlpSolution {
-                    objective,
-                    values,
-                    nodes_explored: assignments_checked,
-                });
+                best = Some(IlpSolution { objective, values });
             }
         }
     }
 
     best.ok_or(IlpError::Infeasible)
+        .map(|sol| (sol, assignments_checked))
 }
 
 #[cfg(test)]

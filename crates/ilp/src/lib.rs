@@ -45,9 +45,11 @@ mod model;
 pub mod simplex;
 mod solution;
 
-pub use branch_bound::{BranchBound, BranchBoundStats};
+pub use branch_bound::{BranchBound, BranchBoundRun, BranchBoundStats, Termination};
 pub use error::IlpError;
-pub use exhaustive::{solve_binary_exhaustive, MAX_EXHAUSTIVE_BINARIES};
+pub use exhaustive::{
+    solve_binary_exhaustive, solve_binary_exhaustive_counted, MAX_EXHAUSTIVE_BINARIES,
+};
 pub use expr::LinExpr;
 pub use model::{Model, Relation, Sense, VarId, VarKind};
 pub use solution::{IlpSolution, LpSolution};

@@ -335,15 +335,16 @@ impl fmt::Display for Model {
         writeln!(f, "s.t.")?;
         for (i, c) in self.constraints.iter().enumerate() {
             let label = c.label.as_deref().unwrap_or("");
-            writeln!(f, "  c{i}{}{label}: {} {} {}",
+            writeln!(
+                f,
+                "  c{i}{}{label}: {} {} {}",
                 if label.is_empty() { "" } else { ":" },
-                c.expr, c.relation, c.rhs)?;
+                c.expr,
+                c.relation,
+                c.rhs
+            )?;
         }
-        let binaries: Vec<String> = self
-            .binary_vars()
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let binaries: Vec<String> = self.binary_vars().iter().map(ToString::to_string).collect();
         if !binaries.is_empty() {
             writeln!(f, "binaries: {}", binaries.join(" "))?;
         }

@@ -94,6 +94,7 @@ pub fn solve_with_bounds(
         return Ok(LpSolution {
             objective: model.objective().eval(&values),
             values,
+            iterations: 0,
         });
     }
 
@@ -261,7 +262,11 @@ pub fn solve_with_bounds(
     if objective.abs() < 1e-9 {
         objective = 0.0;
     }
-    Ok(LpSolution { objective, values })
+    Ok(LpSolution {
+        objective,
+        values,
+        iterations: iters,
+    })
 }
 
 /// Runs simplex iterations on the tableau until optimality.
@@ -335,7 +340,6 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_co
     basis[row] = col;
     let _ = rhs_col;
 }
-
 
 /// Checks a fully pinned assignment against the model's constraints.
 fn feasible_point(model: &Model, values: &[f64]) -> bool {
@@ -423,6 +427,7 @@ fn solve_reduced(
     Ok(LpSolution {
         objective: model.objective().eval(&values),
         values,
+        iterations: sub.iterations,
     })
 }
 
@@ -512,8 +517,7 @@ mod tests {
         m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
             .unwrap();
         // Fix x = 1.
-        let s = solve_with_bounds(&m, &[1.0, 0.0], &[1.0, 1.0], SimplexOptions::default())
-            .unwrap();
+        let s = solve_with_bounds(&m, &[1.0, 0.0], &[1.0, 1.0], SimplexOptions::default()).unwrap();
         approx(s.value(x), 1.0);
         approx(s.objective, 1.0);
         // Contradictory bounds are infeasible.

@@ -9,6 +9,8 @@ pub struct LpSolution {
     pub objective: f64,
     /// Value per variable, indexed by [`VarId`].
     pub values: Vec<f64>,
+    /// Simplex pivots spent producing this solution (both phases).
+    pub iterations: usize,
 }
 
 impl LpSolution {
@@ -20,14 +22,17 @@ impl LpSolution {
 }
 
 /// An optimal integer solution.
+///
+/// Search effort (nodes explored, pruning counts, simplex iterations) is
+/// reported separately via [`crate::BranchBoundStats`] so the solution type
+/// stays a pure value: two solutions assigning the same point compare equal
+/// regardless of how hard the solver worked to find them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IlpSolution {
     /// Optimal objective value in the model's own sense.
     pub objective: f64,
     /// Value per variable, indexed by [`VarId`]; binaries are exactly 0 or 1.
     pub values: Vec<f64>,
-    /// Number of branch-and-bound nodes explored.
-    pub nodes_explored: usize,
 }
 
 impl IlpSolution {
@@ -53,6 +58,7 @@ mod tests {
         let s = LpSolution {
             objective: 1.0,
             values: vec![0.5],
+            iterations: 3,
         };
         assert_eq!(s.value(VarId(0)), 0.5);
         assert_eq!(s.value(VarId(9)), 0.0);
@@ -63,7 +69,6 @@ mod tests {
         let s = IlpSolution {
             objective: 0.0,
             values: vec![1.0, 0.0],
-            nodes_explored: 1,
         };
         assert!(s.is_set(VarId(0)));
         assert!(!s.is_set(VarId(1)));

@@ -26,10 +26,7 @@ fn instance_strategy(max_vars: usize) -> impl Strategy<Value = Instance> {
             proptest::collection::vec((0..n, 0..n), 0..4),
         )
             .prop_map(|(areas, gains, required, raw_conflicts)| {
-                let conflicts = raw_conflicts
-                    .into_iter()
-                    .filter(|(a, b)| a != b)
-                    .collect();
+                let conflicts = raw_conflicts.into_iter().filter(|(a, b)| a != b).collect();
                 Instance {
                     areas,
                     gains,

@@ -67,7 +67,8 @@ impl AreaModel {
         let buffers = if kind.has_buffers() {
             let depth = job.in_words.max(job.out_words);
             AreaTenths::from_tenths(
-                self.buffer_per_16_words.tenths() * i64::try_from(depth.div_ceil(16)).unwrap_or(i64::MAX),
+                self.buffer_per_16_words.tenths()
+                    * i64::try_from(depth.div_ceil(16)).unwrap_or(i64::MAX),
             )
         } else {
             AreaTenths::ZERO

@@ -364,8 +364,17 @@ mod tests {
         let profile = check_feasibility(&ip, InterfaceKind::Type0).unwrap();
         assert_eq!(profile.slow_clock_factor, 2);
         let job = TransferJob::new(16, 16);
-        let t = emit_type0(&ip, job, DataLayout { in_x: 0, in_y: 0, out_x: 50, out_y: 50 })
-            .unwrap();
+        let t = emit_type0(
+            &ip,
+            job,
+            DataLayout {
+                in_x: 0,
+                in_y: 0,
+                out_x: 50,
+                out_y: 50,
+            },
+        )
+        .unwrap();
         let mut kernel = Kernel::new(128, 128);
         kernel.xdm.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         kernel.ydm.load(0, &[8, 7, 6, 5, 4, 3, 2, 1]).unwrap();
@@ -376,7 +385,10 @@ mod tests {
         );
         let cycles = run_template(t.function, &mut kernel, &mut dev);
         assert_eq!(cycles, t.predicted_cycles);
-        assert_eq!(kernel.xdm.dump(50, 8).unwrap(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(
+            kernel.xdm.dump(50, 8).unwrap(),
+            vec![2, 4, 6, 8, 10, 12, 14, 16]
+        );
     }
 
     #[test]

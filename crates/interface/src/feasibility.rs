@@ -35,7 +35,10 @@ impl fmt::Display for InfeasibleReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InfeasibleReason::TooManyPorts { ports, max } => {
-                write!(f, "ip has {ports} ports but a bufferless interface supports {max}")
+                write!(
+                    f,
+                    "ip has {ports} ports but a bufferless interface supports {max}"
+                )
             }
             InfeasibleReason::RateMismatch { in_rate, out_rate } => write!(
                 f,
@@ -152,7 +155,11 @@ mod tests {
             check_feasibility(&b, InterfaceKind::Type0),
             Err(InfeasibleReason::RateMismatch { .. })
         ));
-        for k in [InterfaceKind::Type1, InterfaceKind::Type2, InterfaceKind::Type3] {
+        for k in [
+            InterfaceKind::Type1,
+            InterfaceKind::Type2,
+            InterfaceKind::Type3,
+        ] {
             assert!(check_feasibility(&b, k).is_ok(), "{k} must stay feasible");
         }
     }

@@ -78,12 +78,18 @@ pub fn run_dma(
         if k.is_multiple_of(2) {
             kernel
                 .xdm
-                .write(layout.out_x + u32::try_from(k / 2).expect("address fits"), v)
+                .write(
+                    layout.out_x + u32::try_from(k / 2).expect("address fits"),
+                    v,
+                )
                 .expect("layout fits x memory");
         } else {
             kernel
                 .ydm
-                .write(layout.out_y + u32::try_from(k / 2).expect("address fits"), v)
+                .write(
+                    layout.out_y + u32::try_from(k / 2).expect("address fits"),
+                    v,
+                )
                 .expect("layout fits y memory");
         }
     }
@@ -113,7 +119,8 @@ pub fn run_dma(
                     // Result j emerges out_rate-spaced after the pipeline
                     // latency of its generating sample.
                     let gen = issue(j.min(s_in.saturating_sub(1)));
-                    let ready = gen + latency + (j.saturating_sub(s_in.saturating_sub(1))) * out_rate;
+                    let ready =
+                        gen + latency + (j.saturating_sub(s_in.saturating_sub(1))) * out_rate;
                     w = ready.max(w + 1);
                 }
                 last = last.max(w);
@@ -170,10 +177,20 @@ mod tests {
         kernel.ydm.load(0, &ys).unwrap();
 
         let mut apply = |inputs: &[i32]| -> Vec<i32> {
-            fir_direct(inputs, &[1, 1]).into_iter().map(|v| v as i32).collect()
+            fir_direct(inputs, &[1, 1])
+                .into_iter()
+                .map(|v| v as i32)
+                .collect()
         };
-        let report = run_dma(&ip, InterfaceKind::Type2, job, layout, &mut kernel, &mut apply)
-            .unwrap();
+        let report = run_dma(
+            &ip,
+            InterfaceKind::Type2,
+            job,
+            layout,
+            &mut kernel,
+            &mut apply,
+        )
+        .unwrap();
         // Functional result landed in memory.
         let flat: Vec<i32> = (0..32)
             .map(|k| {
@@ -211,7 +228,12 @@ mod tests {
             &ip,
             InterfaceKind::Type3,
             job,
-            DataLayout { in_x: 0, in_y: 0, out_x: 40, out_y: 40 },
+            DataLayout {
+                in_x: 0,
+                in_y: 0,
+                out_x: 40,
+                out_y: 40,
+            },
             &mut kernel,
             &mut id,
         )
@@ -246,7 +268,12 @@ mod tests {
             &ip,
             InterfaceKind::Type2,
             job,
-            DataLayout { in_x: 0, in_y: 0, out_x: 64, out_y: 64 },
+            DataLayout {
+                in_x: 0,
+                in_y: 0,
+                out_x: 64,
+                out_y: 64,
+            },
             &mut kernel,
             &mut id,
         )
@@ -271,7 +298,12 @@ mod tests {
             &slow,
             InterfaceKind::Type2,
             job,
-            DataLayout { in_x: 0, in_y: 0, out_x: 20, out_y: 20 },
+            DataLayout {
+                in_x: 0,
+                in_y: 0,
+                out_x: 20,
+                out_y: 20,
+            },
             &mut kernel,
             &mut id,
         )

@@ -61,11 +61,12 @@ pub fn emit_type0(
     job: TransferJob,
     layout: DataLayout,
 ) -> Result<Template, InterfaceError> {
-    let profile =
-        check_feasibility(ip, InterfaceKind::Type0).map_err(|reason| InterfaceError::Infeasible {
+    let profile = check_feasibility(ip, InterfaceKind::Type0).map_err(|reason| {
+        InterfaceError::Infeasible {
             kind: InterfaceKind::Type0,
             reason,
-        })?;
+        }
+    })?;
     let f = profile.slow_clock_factor;
     let iter_len = u64::from(crate::timing::effective_in_rate(ip)) * f;
     let fill = (u64::from(ip.latency()) * f).div_ceil(iter_len.max(1));
@@ -227,11 +228,8 @@ pub fn emit_type1(
     func.push_mop(end, Mop::halt());
     func.compute_edges();
 
-    let predicted = 1
-        + 2 * job.kernel_beats_in()
-        + 1
-        + pc_cost.max(wait_needed)
-        + 2 * job.kernel_beats_out();
+    let predicted =
+        1 + 2 * job.kernel_beats_in() + 1 + pc_cost.max(wait_needed) + 2 * job.kernel_beats_out();
     Ok(Template {
         function: func,
         predicted_cycles: Cycles(predicted),
@@ -273,10 +271,7 @@ mod tests {
         let ip = fir_ip();
         let job = TransferJob::new(16, 16);
         let t = emit_type0(&ip, job, DataLayout::default()).unwrap();
-        let words: usize = pack_words(&t.function)
-            .iter()
-            .map(|ws| ws.len())
-            .sum();
+        let words: usize = pack_words(&t.function).iter().map(|ws| ws.len()).sum();
         // Last word is the halt.
         assert_eq!(words as u64 - 1, t.predicted_cycles.get());
         // Prediction agrees with the analytic model.

@@ -315,8 +315,8 @@ mod tests {
         let slow = fir(3, 3, 30);
         let job = TransferJob::new(128, 128);
         let t_fast = execution_time(&fast, InterfaceKind::Type3, job, None).unwrap();
-        let t_slow = execution_time(&slow, InterfaceKind::Type3, job, Some(Cycles(100_000)))
-            .unwrap();
+        let t_slow =
+            execution_time(&slow, InterfaceKind::Type3, job, Some(Cycles(100_000))).unwrap();
         assert!(t_slow < t_fast, "{t_slow} !< {t_fast}");
     }
 

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use partita_asip::{CycleModel, ExecOptions, Executor, IpDevice, Kernel};
 use partita_interface::cosim::{BufferedIpDevice, StreamIpDevice};
 use partita_interface::template::{emit_type0, emit_type1, DataLayout};
-use partita_interface::{
-    check_feasibility, execution_time, timing, InterfaceKind, TransferJob,
-};
+use partita_interface::{check_feasibility, execution_time, timing, InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction, Protocol};
 use partita_mop::{Cycles, MopProgram};
 

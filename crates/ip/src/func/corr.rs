@@ -17,10 +17,7 @@ pub fn cross_correlate(x: &[i32], y: &[i32], max_lag: usize) -> Vec<i64> {
         .map(|lag| {
             x.iter()
                 .enumerate()
-                .filter_map(|(n, &xv)| {
-                    y.get(n + lag)
-                        .map(|&yv| i64::from(xv) * i64::from(yv))
-                })
+                .filter_map(|(n, &xv)| y.get(n + lag).map(|&yv| i64::from(xv) * i64::from(yv)))
                 .sum()
         })
         .collect()

@@ -23,7 +23,9 @@ pub fn dct1d(x: &[f64]) -> Vec<f64> {
             c * x
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| v * (PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                .map(|(i, &v)| {
+                    v * (PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos()
+                })
                 .sum::<f64>()
         })
         .collect()
@@ -77,12 +79,7 @@ pub fn idct2d(block: &[f64], rows: usize, cols: usize) -> Vec<f64> {
     transform2d(block, rows, cols, idct1d)
 }
 
-fn transform2d(
-    block: &[f64],
-    rows: usize,
-    cols: usize,
-    pass: fn(&[f64]) -> Vec<f64>,
-) -> Vec<f64> {
+fn transform2d(block: &[f64], rows: usize, cols: usize, pass: fn(&[f64]) -> Vec<f64>) -> Vec<f64> {
     // Rows.
     let mut tmp = vec![0.0; rows * cols];
     for r in 0..rows {

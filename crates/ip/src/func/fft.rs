@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn roundtrip_identity() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let mut y = x.clone();
         fft(&mut y).unwrap();
         ifft(&mut y).unwrap();

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use partita_ip::func::{
-    cmul_i32, cross_correlate, dct1d, dequantize_uniform, dft_naive, fft, fir_direct, idct1d,
-    ifft, interpolate, quantize_uniform, zigzag_inverse, zigzag_scan, Complex, FirFilter,
+    cmul_i32, cross_correlate, dct1d, dequantize_uniform, dft_naive, fft, fir_direct, idct1d, ifft,
+    interpolate, quantize_uniform, zigzag_inverse, zigzag_scan, Complex, FirFilter,
 };
 
 proptest! {

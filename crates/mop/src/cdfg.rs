@@ -95,10 +95,13 @@ impl CallEffects {
     }
 
     fn writes_overlap(&self, other: &CallEffects) -> bool {
-        let rw = self
-            .writes
-            .iter()
-            .any(|w| other.reads.iter().chain(&other.writes).any(|r| w.overlaps(r)));
+        let rw = self.writes.iter().any(|w| {
+            other
+                .reads
+                .iter()
+                .chain(&other.writes)
+                .any(|r| w.overlaps(r))
+        });
         let wr = other
             .writes
             .iter()

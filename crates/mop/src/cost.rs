@@ -228,12 +228,9 @@ mod tests {
 
     #[test]
     fn area_arithmetic() {
-        let total: AreaTenths = [
-            AreaTenths::from_units(3),
-            AreaTenths::from_tenths(155),
-        ]
-        .into_iter()
-        .sum();
+        let total: AreaTenths = [AreaTenths::from_units(3), AreaTenths::from_tenths(155)]
+            .into_iter()
+            .sum();
         assert_eq!(total, AreaTenths::from_tenths(185));
         assert_eq!((total - AreaTenths::from_units(3)).as_f64(), 15.5);
     }

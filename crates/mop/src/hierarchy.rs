@@ -106,7 +106,8 @@ impl CallGraph {
         }
 
         let max_level = level.iter().copied().max().unwrap_or(0);
-        let mut by_level: Vec<Vec<FuncId>> = vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
+        let mut by_level: Vec<Vec<FuncId>> =
+            vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
         for (f, &lv) in level.iter().enumerate() {
             by_level[lv].push(FuncId::from_index(f));
         }
@@ -220,10 +221,7 @@ mod tests {
         p.add_function(a).unwrap();
         p.add_function(c).unwrap();
         let g = CallGraph::build(&p);
-        assert!(matches!(
-            g.levels(&p),
-            Err(MopError::RecursiveCallGraph(_))
-        ));
+        assert!(matches!(g.levels(&p), Err(MopError::RecursiveCallGraph(_))));
     }
 
     #[test]

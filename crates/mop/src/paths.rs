@@ -4,7 +4,7 @@
 //! execution path `P_k`; an execution path is an acyclic block sequence from
 //! the function entry to an exit.
 
-use crate::{BlockId, CallSiteId, Cycles, Function, FuncId, MopError, PathId};
+use crate::{BlockId, CallSiteId, Cycles, FuncId, Function, MopError, PathId};
 
 /// Safety limits for path enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,10 +81,7 @@ impl ExecPath {
 /// # Errors
 ///
 /// Returns [`MopError::PathLimitExceeded`] when `limits.max_paths` is hit.
-pub fn enumerate_paths(
-    func: &Function,
-    limits: PathEnumLimits,
-) -> Result<Vec<ExecPath>, MopError> {
+pub fn enumerate_paths(func: &Function, limits: PathEnumLimits) -> Result<Vec<ExecPath>, MopError> {
     let mut out: Vec<ExecPath> = Vec::new();
     if func.blocks().is_empty() {
         return Ok(out);
@@ -106,11 +103,7 @@ pub fn enumerate_paths(
         // path continues with the code after the loop instead of ending
         // inside its body.
         let mut succs: Vec<BlockId> = Vec::new();
-        let mut work: Vec<BlockId> = func
-            .block(cur)
-            .expect("block exists")
-            .succs()
-            .to_vec();
+        let mut work: Vec<BlockId> = func.block(cur).expect("block exists").succs().to_vec();
         let mut expanded = vec![false; on_path.len()];
         while let Some(s) = work.pop() {
             if !on_path[s.index()] {
@@ -208,7 +201,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, MopError::PathLimitExceeded { max_paths: 1, .. }));
+        assert!(matches!(
+            err,
+            MopError::PathLimitExceeded { max_paths: 1, .. }
+        ));
     }
 
     #[test]

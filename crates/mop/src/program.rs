@@ -471,10 +471,7 @@ mod tests {
             MopError::UnknownFunction(FuncId(0))
         );
         let f = Function::new("g");
-        assert_eq!(
-            f.mop(MopId(0)).unwrap_err(),
-            MopError::UnknownMop(MopId(0))
-        );
+        assert_eq!(f.mop(MopId(0)).unwrap_err(), MopError::UnknownMop(MopId(0)));
         assert_eq!(
             f.block(BlockId(9)).unwrap_err(),
             MopError::UnknownBlock(BlockId(9))

@@ -156,13 +156,12 @@ pub fn pack_words(func: &Function) -> Vec<Vec<MicroWord>> {
         let mut cur = MicroWord::new();
         let mut defined: Vec<Reg> = Vec::new();
 
-        let flush =
-            |words: &mut Vec<MicroWord>, cur: &mut MicroWord, defined: &mut Vec<Reg>| {
-                if cur.occupancy() > 0 {
-                    words.push(std::mem::take(cur));
-                }
-                defined.clear();
-            };
+        let flush = |words: &mut Vec<MicroWord>, cur: &mut MicroWord, defined: &mut Vec<Reg>| {
+            if cur.occupancy() > 0 {
+                words.push(std::mem::take(cur));
+            }
+            defined.clear();
+        };
 
         for &mid in block.mops() {
             let mop = func.mop(mid).expect("block mop exists");
@@ -243,10 +242,7 @@ mod tests {
         f.compute_edges();
         let words = pack_words(&f);
         assert_eq!(words[0].len(), 2);
-        assert_eq!(
-            words[0][0].slot(FieldSlot::Seq),
-            Some(crate::MopId(0))
-        );
+        assert_eq!(words[0][0].slot(FieldSlot::Seq), Some(crate::MopId(0)));
     }
 
     #[test]

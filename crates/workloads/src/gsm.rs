@@ -64,28 +64,28 @@ pub fn encoder() -> Workload {
     // ---- IP library (23 blocks; ids are 1-based like the paper) ----
     // IP0 is a placeholder so that `IpId(12)` prints as the paper's IP12.
     let lib: Vec<(&str, IpFunction, i64)> = vec![
-        ("pad", IpFunction::Custom("pad".into()), 99),         // IP0 (unused)
-        ("preemph_fir", IpFunction::Fir, 6),                   // IP1
-        ("offset_comp", IpFunction::Fir, 5),                   // IP2
+        ("pad", IpFunction::Custom("pad".into()), 99), // IP0 (unused)
+        ("preemph_fir", IpFunction::Fir, 6),           // IP1
+        ("offset_comp", IpFunction::Fir, 5),           // IP2
         ("lpc_analyzer", IpFunction::Custom("lpc".into()), 13), // IP3
-        ("autocorr_a", IpFunction::Correlator, 9),             // IP4
-        ("autocorr_b", IpFunction::Correlator, 15),            // IP5
-        ("schur_recursion", IpFunction::Iir, 8),               // IP6
-        ("lar_coder", IpFunction::Quantizer, 4),               // IP7
-        ("lar_decoder", IpFunction::Quantizer, 4),             // IP8
-        ("interp_narrow", IpFunction::InterpFilter, 3),        // IP9
-        ("interp_wide", IpFunction::InterpFilter, 2),          // IP10
-        ("st_filter_a", IpFunction::Fir, 5),                   // IP11
-        ("st_filter_b", IpFunction::Fir, 3),                   // IP12
-        ("ltp_searcher", IpFunction::Correlator, 14),          // IP13
-        ("ltp_filter", IpFunction::Iir, 7),                    // IP14
-        ("weighting_fir", IpFunction::Fir, 6),                 // IP15
+        ("autocorr_a", IpFunction::Correlator, 9),     // IP4
+        ("autocorr_b", IpFunction::Correlator, 15),    // IP5
+        ("schur_recursion", IpFunction::Iir, 8),       // IP6
+        ("lar_coder", IpFunction::Quantizer, 4),       // IP7
+        ("lar_decoder", IpFunction::Quantizer, 4),     // IP8
+        ("interp_narrow", IpFunction::InterpFilter, 3), // IP9
+        ("interp_wide", IpFunction::InterpFilter, 2),  // IP10
+        ("st_filter_a", IpFunction::Fir, 5),           // IP11
+        ("st_filter_b", IpFunction::Fir, 3),           // IP12
+        ("ltp_searcher", IpFunction::Correlator, 14),  // IP13
+        ("ltp_filter", IpFunction::Iir, 7),            // IP14
+        ("weighting_fir", IpFunction::Fir, 6),         // IP15
         ("rpe_grid_sel", IpFunction::Custom("rpe".into()), 25), // IP16 (2.5)
-        ("rpe_quantizer", IpFunction::Quantizer, 3),           // IP17
-        ("apcm_coder", IpFunction::Quantizer, 5),              // IP18
-        ("apcm_decoder", IpFunction::Quantizer, 5),            // IP19
-        ("multi_dsp_a", IpFunction::Fir, 16),                  // IP20 (M-IP)
-        ("multi_dsp_b", IpFunction::Iir, 18),                  // IP21 (M-IP)
+        ("rpe_quantizer", IpFunction::Quantizer, 3),   // IP17
+        ("apcm_coder", IpFunction::Quantizer, 5),      // IP18
+        ("apcm_decoder", IpFunction::Quantizer, 5),    // IP19
+        ("multi_dsp_a", IpFunction::Fir, 16),          // IP20 (M-IP)
+        ("multi_dsp_b", IpFunction::Iir, 18),          // IP21 (M-IP)
         ("frame_packer", IpFunction::Custom("pack".into()), 6), // IP22
     ];
     let mut ids = Vec::new();
@@ -109,27 +109,32 @@ pub fn encoder() -> Workload {
     // ---- 18 s-calls (SC1..SC18; SC0 is a placeholder) ----
     let names: [(&str, IpFunction, u64); 19] = [
         ("pad", IpFunction::Custom("pad".into()), 1),
-        ("preemphasis", IpFunction::Fir, 19_000),          // SC1
+        ("preemphasis", IpFunction::Fir, 19_000), // SC1
         ("lpc_analysis", IpFunction::Custom("lpc".into()), 52_000), // SC2
         ("autocorrelation", IpFunction::Correlator, 24_000), // SC3
-        ("reflection_coeffs", IpFunction::Iir, 14_000),    // SC4
-        ("lar_quantize", IpFunction::Quantizer, 9_000),    // SC5
+        ("reflection_coeffs", IpFunction::Iir, 14_000), // SC4
+        ("lar_quantize", IpFunction::Quantizer, 9_000), // SC5
         ("lar_interpolate", IpFunction::InterpFilter, 1_600), // SC6
-        ("st_filter_seg1", IpFunction::Fir, 16_000),       // SC7
+        ("st_filter_seg1", IpFunction::Fir, 16_000), // SC7
         ("ltp_lag_search", IpFunction::Correlator, 30_000), // SC8
-        ("st_filter_seg2", IpFunction::Fir, 17_000),       // SC9
+        ("st_filter_seg2", IpFunction::Fir, 17_000), // SC9
         ("ltp_interpolate", IpFunction::InterpFilter, 1_600), // SC10
-        ("st_filter_seg3", IpFunction::Fir, 16_000),       // SC11
+        ("st_filter_seg3", IpFunction::Fir, 16_000), // SC11
         ("weight_interpolate", IpFunction::InterpFilter, 1_600), // SC12
-        ("st_analysis_filter", IpFunction::Fir, 140_000),  // SC13
+        ("st_analysis_filter", IpFunction::Fir, 140_000), // SC13
         ("ltp_residual_search", IpFunction::Correlator, 200_000), // SC14
         ("rpe_grid_select", IpFunction::Custom("rpe".into()), 11_000), // SC15
-        ("rpe_quantize", IpFunction::Quantizer, 15_000),   // SC16
+        ("rpe_quantize", IpFunction::Quantizer, 15_000), // SC16
         ("frame_pack", IpFunction::Custom("pack".into()), 6_000), // SC17
-        ("comfort_noise", IpFunction::Quantizer, 4_000),   // SC18
+        ("comfort_noise", IpFunction::Quantizer, 4_000), // SC18
     ];
     for (name, func, sw) in &names {
-        instance.add_scall(SCall::new(*name, func.clone(), Cycles(*sw), TransferJob::new(160, 160)));
+        instance.add_scall(SCall::new(
+            *name,
+            func.clone(),
+            Cycles(*sw),
+            TransferJob::new(160, 160),
+        ));
     }
     // Single execution path over SC1..SC18 (SC0 is never on a path).
     instance.add_path((1..=18).map(CallSiteId).collect());
@@ -137,19 +142,91 @@ pub fn encoder() -> Workload {
     // ---- 42 IMPs ----
     let mut imps: Vec<Imp> = Vec::new();
     // Published (selected) methods of Table 1.
-    imps.push(imp(13, ip(12), InterfaceKind::Type0, 115_037, ParallelChoice::None));
-    imps.push(imp(7, ip(12), InterfaceKind::Type0, 12_531, ParallelChoice::None));
-    imps.push(imp(9, ip(12), InterfaceKind::Type0, 13_489, ParallelChoice::None));
-    imps.push(imp(11, ip(12), InterfaceKind::Type0, 12_531, ParallelChoice::None));
+    imps.push(imp(
+        13,
+        ip(12),
+        InterfaceKind::Type0,
+        115_037,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        7,
+        ip(12),
+        InterfaceKind::Type0,
+        12_531,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        9,
+        ip(12),
+        InterfaceKind::Type0,
+        13_489,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        11,
+        ip(12),
+        InterfaceKind::Type0,
+        12_531,
+        ParallelChoice::None,
+    ));
     // SC2 exploits a parallel code on its buffered interface.
-    imps.push(imp(2, ip(3), InterfaceKind::Type1, 41_670, ParallelChoice::PlainPc));
-    imps.push(imp(14, ip(13), InterfaceKind::Type1, 162_612, ParallelChoice::None));
-    imps.push(imp(14, ip(13), InterfaceKind::Type3, 164_532, ParallelChoice::PlainPc));
-    imps.push(imp(15, ip(16), InterfaceKind::Type2, 8_200, ParallelChoice::None));
-    imps.push(imp(16, ip(17), InterfaceKind::Type0, 11_576, ParallelChoice::None));
-    imps.push(imp(6, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(10, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(12, ip(10), InterfaceKind::Type0, 978, ParallelChoice::None));
+    imps.push(imp(
+        2,
+        ip(3),
+        InterfaceKind::Type1,
+        41_670,
+        ParallelChoice::PlainPc,
+    ));
+    imps.push(imp(
+        14,
+        ip(13),
+        InterfaceKind::Type1,
+        162_612,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        14,
+        ip(13),
+        InterfaceKind::Type3,
+        164_532,
+        ParallelChoice::PlainPc,
+    ));
+    imps.push(imp(
+        15,
+        ip(16),
+        InterfaceKind::Type2,
+        8_200,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        16,
+        ip(17),
+        InterfaceKind::Type0,
+        11_576,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        6,
+        ip(10),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        10,
+        ip(10),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        12,
+        ip(10),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
     // One IMP generated through the s-call hierarchy: the LPC analyzer
     // composite covering SC2's inner autocorrelation (uses IP3 + IP4).
     imps.push(Imp::new(
@@ -230,16 +307,16 @@ pub fn decoder() -> Workload {
     // IP5: synthesis filter; IP6: interpolator; IP8: APCM decoder;
     // IP10: postprocessor.
     let lib: Vec<(&str, IpFunction, i64)> = vec![
-        ("pad", IpFunction::Custom("pad".into()), 99),      // IP0 (unused)
+        ("pad", IpFunction::Custom("pad".into()), 99), // IP0 (unused)
         ("deinterleave", IpFunction::Custom("pack".into()), 4), // IP1
-        ("short_filter", IpFunction::Fir, 2),               // IP2
-        ("ltp_synth", IpFunction::Iir, 6),                  // IP3
-        ("wide_filter", IpFunction::Fir, 32),               // IP4
-        ("synth_filter", IpFunction::Iir, 4),               // IP5
-        ("post_interp", IpFunction::InterpFilter, 3),       // IP6
-        ("lar_decoder", IpFunction::Quantizer, 4),          // IP7
-        ("apcm_decoder", IpFunction::Quantizer, 5),         // IP8
-        ("deemph_fir", IpFunction::Fir, 3),                 // IP9
+        ("short_filter", IpFunction::Fir, 2),          // IP2
+        ("ltp_synth", IpFunction::Iir, 6),             // IP3
+        ("wide_filter", IpFunction::Fir, 32),          // IP4
+        ("synth_filter", IpFunction::Iir, 4),          // IP5
+        ("post_interp", IpFunction::InterpFilter, 3),  // IP6
+        ("lar_decoder", IpFunction::Quantizer, 4),     // IP7
+        ("apcm_decoder", IpFunction::Quantizer, 5),    // IP8
+        ("deemph_fir", IpFunction::Fir, 3),            // IP9
         ("postproc", IpFunction::Custom("post".into()), 3), // IP10
     ];
     filler_ips(&mut instance, &lib);
@@ -247,17 +324,17 @@ pub fn decoder() -> Workload {
 
     let names: [(&str, u64); 12] = [
         ("pad", 1),
-        ("frame_unpack", 5_000),       // SC1
-        ("st_synth_seg1", 18_000),     // SC2
-        ("param_decode_1", 4_900),     // SC3
-        ("st_synth_seg2", 19_000),     // SC4
-        ("param_decode_2", 4_900),     // SC5
-        ("st_synth_seg3", 18_000),     // SC6
-        ("param_decode_3", 4_900),     // SC7
-        ("st_synth_main", 150_000),    // SC8
-        ("apcm_decode", 12_000),       // SC9
-        ("post_interpolate", 18_000),  // SC10
-        ("postprocess", 12_500),       // SC11
+        ("frame_unpack", 5_000),      // SC1
+        ("st_synth_seg1", 18_000),    // SC2
+        ("param_decode_1", 4_900),    // SC3
+        ("st_synth_seg2", 19_000),    // SC4
+        ("param_decode_2", 4_900),    // SC5
+        ("st_synth_seg3", 18_000),    // SC6
+        ("param_decode_3", 4_900),    // SC7
+        ("st_synth_main", 150_000),   // SC8
+        ("apcm_decode", 12_000),      // SC9
+        ("post_interpolate", 18_000), // SC10
+        ("postprocess", 12_500),      // SC11
     ];
     for (name, sw) in &names {
         instance.add_scall(SCall::new(
@@ -271,22 +348,118 @@ pub fn decoder() -> Workload {
 
     let mut imps: Vec<Imp> = Vec::new();
     // Published methods of Table 2.
-    imps.push(imp(2, ip(5), InterfaceKind::Type0, 13_737, ParallelChoice::None));
-    imps.push(imp(4, ip(5), InterfaceKind::Type0, 14_787, ParallelChoice::None));
-    imps.push(imp(6, ip(5), InterfaceKind::Type0, 13_737, ParallelChoice::None));
-    imps.push(imp(8, ip(5), InterfaceKind::Type0, 126_087, ParallelChoice::None));
-    imps.push(imp(10, ip(6), InterfaceKind::Type0, 14_544, ParallelChoice::None));
-    imps.push(imp(10, ip(6), InterfaceKind::Type2, 15_048, ParallelChoice::None));
-    imps.push(imp(9, ip(8), InterfaceKind::Type0, 8_568, ParallelChoice::None));
-    imps.push(imp(11, ip(10), InterfaceKind::Type0, 9_028, ParallelChoice::None));
-    imps.push(imp(1, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(3, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(5, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(7, ip(2), InterfaceKind::Type0, 978, ParallelChoice::None));
-    imps.push(imp(2, ip(4), InterfaceKind::Type0, 14_235, ParallelChoice::None));
-    imps.push(imp(4, ip(4), InterfaceKind::Type0, 15_327, ParallelChoice::None));
-    imps.push(imp(6, ip(4), InterfaceKind::Type0, 14_235, ParallelChoice::None));
-    imps.push(imp(8, ip(4), InterfaceKind::Type0, 131_079, ParallelChoice::None));
+    imps.push(imp(
+        2,
+        ip(5),
+        InterfaceKind::Type0,
+        13_737,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        4,
+        ip(5),
+        InterfaceKind::Type0,
+        14_787,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        6,
+        ip(5),
+        InterfaceKind::Type0,
+        13_737,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        8,
+        ip(5),
+        InterfaceKind::Type0,
+        126_087,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        10,
+        ip(6),
+        InterfaceKind::Type0,
+        14_544,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        10,
+        ip(6),
+        InterfaceKind::Type2,
+        15_048,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        9,
+        ip(8),
+        InterfaceKind::Type0,
+        8_568,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        11,
+        ip(10),
+        InterfaceKind::Type0,
+        9_028,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        1,
+        ip(2),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        3,
+        ip(2),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        5,
+        ip(2),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        7,
+        ip(2),
+        InterfaceKind::Type0,
+        978,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        2,
+        ip(4),
+        InterfaceKind::Type0,
+        14_235,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        4,
+        ip(4),
+        InterfaceKind::Type0,
+        15_327,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        6,
+        ip(4),
+        InterfaceKind::Type0,
+        14_235,
+        ParallelChoice::None,
+    ));
+    imps.push(imp(
+        8,
+        ip(4),
+        InterfaceKind::Type0,
+        131_079,
+        ParallelChoice::None,
+    ));
     // Dominated alternatives (11 more → 27 total).
     let filler: &[(u32, u32, InterfaceKind, u64)] = &[
         (1, 1, InterfaceKind::Type0, 760),

@@ -272,7 +272,9 @@ mod tests {
     fn ltp_lag_finds_the_pitch_period() {
         // Periodic signal with period 40: the lag search must return a
         // multiple of 40 (±1 for boundary effects).
-        let x: Vec<i32> = (0..FRAME as i32).map(|n| if n % 40 == 0 { 1000 } else { 0 }).collect();
+        let x: Vec<i32> = (0..FRAME as i32)
+            .map(|n| if n % 40 == 0 { 1000 } else { 0 })
+            .collect();
         let sub = &x[120..160];
         let lag = ltp_lag(sub, &x[..120], 16, 100);
         assert!(
@@ -325,12 +327,17 @@ mod tests {
         let enc = encode(&speechish(9));
         assert_eq!(enc.ltp_lags.len(), SUBFRAMES);
         assert_eq!(enc.grids.len(), SUBFRAMES);
-        assert_eq!(enc.residual.len(), SUBFRAMES * (FRAME / SUBFRAMES).div_ceil(GRID));
+        assert_eq!(
+            enc.residual.len(),
+            SUBFRAMES * (FRAME / SUBFRAMES).div_ceil(GRID)
+        );
     }
 
     #[test]
     fn smoothing_reduces_energy_of_noise() {
-        let noise: Vec<i32> = (0..256).map(|n| if n % 2 == 0 { 100 } else { -100 }).collect();
+        let noise: Vec<i32> = (0..256)
+            .map(|n| if n % 2 == 0 { 100 } else { -100 })
+            .collect();
         let smoothed = smooth(&noise);
         let e_in: i64 = noise.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
         let e_out: i64 = smoothed.iter().map(|&v| i64::from(v) * i64::from(v)).sum();

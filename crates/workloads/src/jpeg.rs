@@ -82,20 +82,74 @@ pub fn encoder() -> Workload {
     let imps = vec![
         // --- the seven 2D-DCT IMPs (hierarchy-flattened) ---
         // Only the inner complex multiplications accelerated.
-        mk(sc1, vec![ip(4)], InterfaceKind::Type0, 15_040_512, ParallelChoice::None),
+        mk(
+            sc1,
+            vec![ip(4)],
+            InterfaceKind::Type0,
+            15_040_512,
+            ParallelChoice::None,
+        ),
         // Only the FFT accelerated.
-        mk(sc1, vec![ip(3)], InterfaceKind::Type1, 30_500_000, ParallelChoice::None),
+        mk(
+            sc1,
+            vec![ip(3)],
+            InterfaceKind::Type1,
+            30_500_000,
+            ParallelChoice::None,
+        ),
         // FFT + C-MUL together (a deeper composite).
-        mk(sc1, vec![ip(3), ip(4)], InterfaceKind::Type1, 31_000_000, ParallelChoice::None),
+        mk(
+            sc1,
+            vec![ip(3), ip(4)],
+            InterfaceKind::Type1,
+            31_000_000,
+            ParallelChoice::None,
+        ),
         // Both 1D-DCT passes accelerated.
-        mk(sc1, vec![ip(2)], InterfaceKind::Type1, 37_081_088, ParallelChoice::None),
-        mk(sc1, vec![ip(2)], InterfaceKind::Type3, 37_090_000, ParallelChoice::PlainPc),
+        mk(
+            sc1,
+            vec![ip(2)],
+            InterfaceKind::Type1,
+            37_081_088,
+            ParallelChoice::None,
+        ),
+        mk(
+            sc1,
+            vec![ip(2)],
+            InterfaceKind::Type3,
+            37_090_000,
+            ParallelChoice::PlainPc,
+        ),
         // The dedicated 2D-DCT engine.
-        mk(sc1, vec![ip(1)], InterfaceKind::Type1, 37_717_440, ParallelChoice::None),
-        mk(sc1, vec![ip(1)], InterfaceKind::Type3, 37_729_728, ParallelChoice::PlainPc),
+        mk(
+            sc1,
+            vec![ip(1)],
+            InterfaceKind::Type1,
+            37_717_440,
+            ParallelChoice::None,
+        ),
+        mk(
+            sc1,
+            vec![ip(1)],
+            InterfaceKind::Type3,
+            37_729_728,
+            ParallelChoice::PlainPc,
+        ),
         // --- the two zig_zag IMPs ---
-        mk(sc2, vec![ip(5)], InterfaceKind::Type2, 113_984, ParallelChoice::None),
-        mk(sc2, vec![ip(5)], InterfaceKind::Type0, 91_000, ParallelChoice::None),
+        mk(
+            sc2,
+            vec![ip(5)],
+            InterfaceKind::Type2,
+            113_984,
+            ParallelChoice::None,
+        ),
+        mk(
+            sc2,
+            vec![ip(5)],
+            InterfaceKind::Type0,
+            91_000,
+            ParallelChoice::None,
+        ),
     ];
     debug_assert_eq!(imps.len(), 9, "7 dct2d + 2 zig_zag IMPs");
 
@@ -144,16 +198,53 @@ pub fn encoder_hierarchical() -> Workload {
     ));
     // Children: the two 1D-DCT passes, each with an FFT, each FFT with its
     // complex-multiply loop.
-    let dct1d_a = instance.add_scall(SCall::new("dct1d_rows", IpFunction::Dct1d, Cycles(20_000_000), TransferJob::new(64, 64)));
-    let dct1d_b = instance.add_scall(SCall::new("dct1d_cols", IpFunction::Dct1d, Cycles(20_000_000), TransferJob::new(64, 64)));
-    let fft_a = instance.add_scall(SCall::new("fft_rows", IpFunction::Fft, Cycles(17_000_000), TransferJob::new(64, 64)));
-    let fft_b = instance.add_scall(SCall::new("fft_cols", IpFunction::Fft, Cycles(17_000_000), TransferJob::new(64, 64)));
-    let cmul_a = instance.add_scall(SCall::new("cmul_rows", IpFunction::ComplexMul, Cycles(9_000_000), TransferJob::new(4, 2)));
-    let cmul_b = instance.add_scall(SCall::new("cmul_cols", IpFunction::ComplexMul, Cycles(9_000_000), TransferJob::new(4, 2)));
+    let dct1d_a = instance.add_scall(SCall::new(
+        "dct1d_rows",
+        IpFunction::Dct1d,
+        Cycles(20_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let dct1d_b = instance.add_scall(SCall::new(
+        "dct1d_cols",
+        IpFunction::Dct1d,
+        Cycles(20_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let fft_a = instance.add_scall(SCall::new(
+        "fft_rows",
+        IpFunction::Fft,
+        Cycles(17_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let fft_b = instance.add_scall(SCall::new(
+        "fft_cols",
+        IpFunction::Fft,
+        Cycles(17_000_000),
+        TransferJob::new(64, 64),
+    ));
+    let cmul_a = instance.add_scall(SCall::new(
+        "cmul_rows",
+        IpFunction::ComplexMul,
+        Cycles(9_000_000),
+        TransferJob::new(4, 2),
+    ));
+    let cmul_b = instance.add_scall(SCall::new(
+        "cmul_cols",
+        IpFunction::ComplexMul,
+        Cycles(9_000_000),
+        TransferJob::new(4, 2),
+    ));
     instance.add_path(vec![dct2d, zigzag]);
 
     let mk = |sc: CallSiteId, ips: Vec<IpId>, kind, gain: u64| {
-        Imp::new(sc, ips, kind, Cycles(gain), if_area(kind), ParallelChoice::None)
+        Imp::new(
+            sc,
+            ips,
+            kind,
+            Cycles(gain),
+            if_area(kind),
+            ParallelChoice::None,
+        )
     };
     // Leaf/intermediate IMPs; flatten folds them into the 2D-DCT.
     let db = ImpDb::from_imps(vec![
@@ -168,11 +259,26 @@ pub fn encoder_hierarchical() -> Workload {
     ]);
     // Bottom-up specs: fold cmul into fft, fft into dct1d, dct1ds into dct2d.
     let specs = vec![
-        HierSpec { parent: fft_a, children: vec![cmul_a] },
-        HierSpec { parent: fft_b, children: vec![cmul_b] },
-        HierSpec { parent: dct1d_a, children: vec![fft_a] },
-        HierSpec { parent: dct1d_b, children: vec![fft_b] },
-        HierSpec { parent: dct2d, children: vec![dct1d_a, dct1d_b] },
+        HierSpec {
+            parent: fft_a,
+            children: vec![cmul_a],
+        },
+        HierSpec {
+            parent: fft_b,
+            children: vec![cmul_b],
+        },
+        HierSpec {
+            parent: dct1d_a,
+            children: vec![fft_a],
+        },
+        HierSpec {
+            parent: dct1d_b,
+            children: vec![fft_b],
+        },
+        HierSpec {
+            parent: dct2d,
+            children: vec![dct1d_a, dct1d_b],
+        },
     ];
     // `flatten` replaces child IMPs with parent composites — but the direct
     // child IMPs (e.g. "accelerate only dct1d") must survive as composites

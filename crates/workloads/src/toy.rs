@@ -99,8 +99,7 @@ pub fn workload() -> Workload {
         .program
         .function_by_name("main")
         .expect("toy has main");
-    let infos =
-        parallel_code::analyze_function(&compiled, main).expect("parallel-code analysis");
+    let infos = parallel_code::analyze_function(&compiled, main).expect("parallel-code analysis");
     let func = compiled.program.function(main).expect("main exists");
 
     let mut ids = Vec::new();
@@ -119,8 +118,7 @@ pub fn workload() -> Workload {
             .function(callee)
             .map(|f| f.profiled_cycles())
             .unwrap_or(Cycles(1));
-        let sc = SCall::new(name, ipfunc, sw, TransferJob::new(32, 32))
-            .with_plain_pc(info.cycles);
+        let sc = SCall::new(name, ipfunc, sw, TransferJob::new(32, 32)).with_plain_pc(info.cycles);
         ids.push(instance.add_scall(sc));
     }
     instance.add_path(ids.clone());

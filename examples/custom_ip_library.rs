@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Parallel-code analysis: the two filters touch disjoint regions, so
     // each is the other's software-parallel-code candidate.
-    let main_id = compiled.program.function_by_name("main").expect("main exists");
+    let main_id = compiled
+        .program
+        .function_by_name("main")
+        .expect("main exists");
     let infos = parallel_code::analyze_function(&compiled, main_id)?;
     for (i, (_, info)) in infos.iter().enumerate() {
         println!(
@@ -69,8 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SCallBinding::new("split_low", IpFunction::Fir, TransferJob::new(64, 64)),
         SCallBinding::new("split_high", IpFunction::Iir, TransferJob::new(64, 64)),
     ];
-    let mut instance =
-        instance_from_compiled(&compiled, main_id, &bindings, "subband_splitter")?;
+    let mut instance = instance_from_compiled(&compiled, main_id, &bindings, "subband_splitter")?;
     instance.library.add(
         IpBlock::builder("accumulator_fir")
             .function(IpFunction::Fir)
@@ -91,8 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rg_frac in [4u64, 2] {
         let max: u64 = instance.scalls.iter().map(|s| s.sw_cycles.get()).sum();
         let rg = Cycles(max / rg_frac / 2);
-        let sel = Solver::new(&instance)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+        let sel = Solver::new(&instance).solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
         println!("\nRG {}: area {}, selections:", rg.get(), sel.total_area());
         for imp in sel.chosen() {
             println!("    {imp}  [{:?}]", imp.parallel);

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example gsm_codec`.
 
-use partita::core::{baseline, report::TableRow, RequiredGains, SolveOptions, Solver};
 use partita::core::report::render_table;
+use partita::core::{baseline, report::TableRow, RequiredGains, SolveOptions, Solver};
 use partita::workloads::{gsm, gsm_func};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         decoded.len()
     );
 
-    for (title, workload) in [("GSM encoder", gsm::encoder()), ("GSM decoder", gsm::decoder())] {
+    for (title, workload) in [
+        ("GSM encoder", gsm::encoder()),
+        ("GSM decoder", gsm::decoder()),
+    ] {
         println!(
             "{title}: {} s-calls, {} IPs, {} implementation methods",
             workload.instance.scalls.len() - 1,

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let scanned = zigzag_scan(&quantized, 8);
     let trailing_zeros = scanned.iter().rev().take_while(|&&v| v == 0).count();
-    println!("8x8 block: {} trailing zeros after zig-zag (energy compaction)", trailing_zeros);
+    println!(
+        "8x8 block: {} trailing zeros after zig-zag (energy compaction)",
+        trailing_zeros
+    );
 
     // Round-trip sanity: dequantise and invert.
     let dequant: Vec<f64> = zigzag_inverse(&scanned, 8)
@@ -62,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = jpeg::encoder_hierarchical();
     let sel = Solver::new(&h.instance)
         .with_imps(h.imps.clone())
-        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(30_000_000))))?;
+        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(
+            30_000_000,
+        ))))?;
     println!(
         "\nhierarchical model: IMP flatten produced {} 2D-DCT alternatives; \
          RG 30M met with area {}",

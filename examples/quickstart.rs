@@ -33,21 +33,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Describe the application's s-calls: software cycle counts from the
     //    profiler, data volumes, frequencies and available parallel code.
     let fir = instance.add_scall(
-        SCall::new("fir", IpFunction::Fir, Cycles(12_000), TransferJob::new(320, 320))
-            .with_freq(4)
-            .with_plain_pc(Cycles(150)),
+        SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(12_000),
+            TransferJob::new(320, 320),
+        )
+        .with_freq(4)
+        .with_plain_pc(Cycles(150)),
     );
     let dct = instance.add_scall(
-        SCall::new("dct", IpFunction::Dct1d, Cycles(30_000), TransferJob::new(128, 128))
-            .with_freq(2),
+        SCall::new(
+            "dct",
+            IpFunction::Dct1d,
+            Cycles(30_000),
+            TransferJob::new(128, 128),
+        )
+        .with_freq(2),
     );
     instance.add_path(vec![fir, dct]);
 
     // 3. Solve for increasing performance requirements and watch the
     //    selection escalate.
     for rg in [20_000u64, 60_000, 100_000] {
-        let selection = Solver::new(&instance)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))?;
+        let selection =
+            Solver::new(&instance).solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))?;
         println!(
             "RG {rg:>7}: gain {:>7}, area {:>5}, {} S-instruction(s)",
             selection.total_gain().get(),

@@ -39,8 +39,12 @@ fn synthetic_instances_are_deterministic() {
     assert_eq!(w1.rg_sweep, w2.rg_sweep);
     let rg = w1.rg_sweep[0];
     let opts = SolveOptions::new(RequiredGains::Uniform(rg));
-    let a = Solver::new(&w1.instance).with_imps(w1.imps.clone()).solve(&opts);
-    let b = Solver::new(&w2.instance).with_imps(w2.imps.clone()).solve(&opts);
+    let a = Solver::new(&w1.instance)
+        .with_imps(w1.imps.clone())
+        .solve(&opts);
+    let b = Solver::new(&w2.instance)
+        .with_imps(w2.imps.clone())
+        .solve(&opts);
     match (a, b) {
         (Ok(a), Ok(b)) => assert_eq!(a.chosen(), b.chosen()),
         (Err(_), Err(_)) => {}

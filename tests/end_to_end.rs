@@ -3,9 +3,7 @@
 //! crate in the workspace.
 
 use partita::asip::{ExecOptions, Kernel};
-use partita::core::{
-    parallel_code, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver,
-};
+use partita::core::{parallel_code, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver};
 use partita::frontend::{compile, profile};
 use partita::interface::{InterfaceKind, TransferJob};
 use partita::ip::{IpBlock, IpFunction};
@@ -123,8 +121,11 @@ fn source_to_selection() {
     let db = ImpDb::generate(&instance);
     assert!(!db.is_empty());
     // All four interface kinds appear for the 2-port FIR.
-    let kinds: std::collections::BTreeSet<_> =
-        db.for_scall(ids_first(&instance)).iter().map(|i| i.interface).collect();
+    let kinds: std::collections::BTreeSet<_> = db
+        .for_scall(ids_first(&instance))
+        .iter()
+        .map(|i| i.interface)
+        .collect();
     assert!(kinds.contains(&InterfaceKind::Type0));
     assert!(kinds.contains(&InterfaceKind::Type3));
 
@@ -141,7 +142,9 @@ fn source_to_selection() {
         .sum();
     let sel = Solver::new(&instance)
         .with_imps(db)
-        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(max_gain / 2))))
+        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(
+            max_gain / 2,
+        ))))
         .expect("mid-range requirement feasible");
     assert!(sel.total_gain().get() >= max_gain / 2);
     assert!(sel.total_area() > AreaTenths::ZERO);
@@ -189,9 +192,12 @@ fn selection_to_instruction_set() {
         .rates(4, 4)
         .latency(8)
         .build();
-    let t = emit_type0(&fir, TransferJob::new(32, 32), DataLayout::default())
-        .expect("type 0 feasible");
+    let t =
+        emit_type0(&fir, TransferJob::new(32, 32), DataLayout::default()).expect("type 0 feasible");
     let stats = isa.microcode_stats([&t.function]);
     assert!(stats.total_words as u64 >= t.predicted_cycles.get());
-    assert!(stats.unique_words < stats.total_words, "nop padding must fold");
+    assert!(
+        stats.unique_words < stats.total_words,
+        "nop padding must fold"
+    );
 }

@@ -1,9 +1,7 @@
 //! Integration tests pinning the paper's headline claims, table by table
 //! and figure by figure (the executable form of EXPERIMENTS.md).
 
-use partita::core::{
-    baseline, CoreError, ProblemKind, RequiredGains, SolveOptions, Solver,
-};
+use partita::core::{baseline, CoreError, ProblemKind, RequiredGains, SolveOptions, Solver};
 use partita::interface::InterfaceKind;
 use partita::ip::IpId;
 use partita::mop::{AreaTenths, CallSiteId, Cycles};
