@@ -90,6 +90,53 @@ fn main() {
         seed: 3,
     });
     warm_start_sweep("synth(seed=3)", &synth3);
+
+    thread_scaling();
+}
+
+/// Solves one synthetic instance at growing worker-thread counts and prints
+/// wall time plus node throughput; the selection must be identical at every
+/// thread count (determinism contract). Speedup is hardware-dependent —
+/// on a single-core container expect ~1x with a small scheduling overhead;
+/// the invariant this section enforces is identical results, not a ratio.
+fn thread_scaling() {
+    println!("\nthread scaling (synth 16 s-calls, area at every count must match):");
+    let w = synth::generate(synth::SynthParams {
+        scalls: 16,
+        ips: 8,
+        paths: 2,
+        seed: 99,
+    });
+    let rg = w.rg_sweep[1];
+    let mut base: Option<(partita_mop::AreaTenths, Duration)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = SolveOptions::new(RequiredGains::Uniform(rg))
+            .with_budget(SolveBudget::default().with_threads(threads));
+        let t0 = Instant::now();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&opts)
+            .expect("sweep point feasible");
+        let wall = t0.elapsed();
+        let speedup = match &base {
+            None => {
+                base = Some((sel.total_area(), wall));
+                1.0
+            }
+            Some((area, serial_wall)) => {
+                assert_eq!(
+                    *area,
+                    sel.total_area(),
+                    "selection diverged at {threads} threads"
+                );
+                serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+            }
+        };
+        println!(
+            "    {threads} thr: {wall:>9.2?}  nodes {:>6}  per-worker {:?}  speedup x{speedup:.2}",
+            sel.trace.nodes_explored, sel.trace.worker_nodes
+        );
+    }
 }
 
 /// Solves every RG-sweep point of `w` twice — with and without the greedy

@@ -1,7 +1,7 @@
 //! Reproduces **Table 3**: JPEG encoder selections across the RG sweep
 //! (IP1: 2D-DCT, IP2: 1D-DCT, IP3: FFT, IP4: C-MUL, IP5: ZIG_ZAG).
 
-use partita_bench::{compare_line, sweep_rows_traced, trace_json_line};
+use partita_bench::{compare_line, sweep_rows_traced, thread_scaling_lines, trace_json_line};
 use partita_core::report::render_table;
 use partita_workloads::jpeg;
 
@@ -45,5 +45,10 @@ fn main() {
     println!("\nsolve traces (one JSON line per sweep point):");
     for (row, trace) in &traced {
         println!("{}", trace_json_line(row.required_gain, trace));
+    }
+
+    println!("\nthread scaling (1 vs 4 workers, one JSON line per point):");
+    for line in thread_scaling_lines(&w, &[1, 4]) {
+        println!("{line}");
     }
 }

@@ -19,7 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use partita_core::{report::TableRow, RequiredGains, SolveOptions, SolveTrace, Solver};
+use partita_core::{
+    report::TableRow, RequiredGains, SolveBudget, SolveOptions, SolveTrace, Solver,
+};
 use partita_mop::Cycles;
 use partita_workloads::Workload;
 
@@ -60,6 +62,84 @@ pub fn sweep_rows_traced(workload: &Workload) -> Vec<(TableRow, SolveTrace)> {
             )
         })
         .collect()
+}
+
+/// Like [`sweep_rows_traced`], forcing the branch-and-bound worker-thread
+/// count instead of inheriting the `PARTITA_THREADS` default.
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible (see [`sweep_rows`]).
+#[must_use]
+pub fn sweep_rows_traced_threads(
+    workload: &Workload,
+    threads: usize,
+) -> Vec<(TableRow, SolveTrace)> {
+    workload
+        .rg_sweep
+        .iter()
+        .map(|&rg| {
+            let sel = Solver::new(&workload.instance)
+                .with_imps(workload.imps.clone())
+                .solve(
+                    &SolveOptions::new(RequiredGains::Uniform(rg))
+                        .with_budget(SolveBudget::default().with_threads(threads)),
+                )
+                .unwrap_or_else(|e| panic!("RG {} infeasible: {e}", rg.get()));
+            let trace = sel.trace.clone();
+            (
+                TableRow::from_selection_with_library(rg, &sel, &workload.instance.library),
+                trace,
+            )
+        })
+        .collect()
+}
+
+/// Runs the workload's RG sweep once per thread count and renders one JSON
+/// line per (threads, sweep point) — each line's trace carries its
+/// `"threads"` and `"solve_us"` fields, so scraping the output yields the
+/// parallel-speedup table directly. The final element is a human-readable
+/// summary comparing total solve time per thread count.
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible, or if two thread counts disagree
+/// on any sweep point's selection (area or gain): completed solves are
+/// covered by the solver's determinism contract, so a mismatch is a bug.
+#[must_use]
+pub fn thread_scaling_lines(workload: &Workload, thread_counts: &[usize]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut reference: Option<Vec<(Cycles, TableRow)>> = None;
+    let mut summary = String::from("thread-scaling total solve time:");
+    for &threads in thread_counts {
+        let traced = sweep_rows_traced_threads(workload, threads);
+        let mut total_us: u128 = 0;
+        for (row, trace) in &traced {
+            total_us += trace.solve.as_micros();
+            lines.push(trace_json_line(row.required_gain, trace));
+        }
+        summary.push_str(&format!("  {threads} thr {total_us} us;"));
+        let rows: Vec<(Cycles, TableRow)> = traced
+            .into_iter()
+            .map(|(row, _)| (row.required_gain, row))
+            .collect();
+        match &reference {
+            None => reference = Some(rows),
+            Some(reference) => {
+                for ((rg, base), (_, got)) in reference.iter().zip(&rows) {
+                    assert!(
+                        base.area == got.area && base.gain == got.gain,
+                        "thread count {} diverged from {} at RG {}",
+                        threads,
+                        thread_counts[0],
+                        rg.get()
+                    );
+                }
+            }
+        }
+    }
+    lines.push(summary);
+    lines
 }
 
 /// Renders one sweep point's trace as a JSON line tagged with its RG value:
@@ -137,6 +217,22 @@ mod tests {
             warm.trace.nodes_explored,
             cold.trace.nodes_explored
         );
+    }
+
+    #[test]
+    fn thread_scaling_lines_tag_thread_count() {
+        let lines = thread_scaling_lines(&jpeg::encoder(), &[1, 2]);
+        // 5 sweep points x 2 thread counts + 1 summary line.
+        assert_eq!(lines.len(), 11);
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"threads\":1")).count(),
+            5
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"threads\":2")).count(),
+            5
+        );
+        assert!(lines.last().unwrap().starts_with("thread-scaling"));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Smoke test for the ablation binary's thread-scaling section: the
+//! instance it times must complete unbudgeted in reasonable time and give
+//! identical selections at every thread count.
+
+use std::time::Instant;
+
+use partita_core::{RequiredGains, SolveBudget, SolveOptions, Solver};
+use partita_workloads::synth;
+
+#[test]
+fn thread_scaling_instance_completes_and_is_deterministic() {
+    let w = synth::generate(synth::SynthParams {
+        scalls: 16,
+        ips: 8,
+        paths: 2,
+        seed: 99,
+    });
+    let rg = w.rg_sweep[1];
+    let mut area = None;
+    for threads in [1usize, 4] {
+        let t0 = Instant::now();
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(
+                &SolveOptions::new(RequiredGains::Uniform(rg))
+                    .with_budget(SolveBudget::default().with_threads(threads)),
+            )
+            .expect("feasible");
+        println!(
+            "threads {threads}: {:?}, nodes {}, status {}",
+            t0.elapsed(),
+            sel.trace.nodes_explored,
+            sel.status
+        );
+        assert!(sel.status.is_optimal());
+        match area {
+            None => area = Some(sel.total_area()),
+            Some(a) => assert_eq!(a, sel.total_area()),
+        }
+    }
+}

@@ -14,7 +14,7 @@ use std::fmt;
 use std::time::Duration;
 
 use partita_ilp::{
-    solve_binary_exhaustive_counted, BranchBound, BranchBoundStats, Model, Termination,
+    solve_binary_exhaustive_counted, BranchBound, BranchBoundStats, Model, Termination, WorkerStats,
 };
 
 use crate::formulate::VarMap;
@@ -57,6 +57,21 @@ pub struct SolveBudget {
     /// feasible point is found. `None` turns budget exhaustion into
     /// [`CoreError::BudgetExhausted`].
     pub fallback: Option<Backend>,
+    /// Worker threads for the branch-and-bound backend (minimum 1). The
+    /// default is read once from the `PARTITA_THREADS` environment variable,
+    /// falling back to 1 (serial) when unset or unparsable.
+    pub threads: usize,
+}
+
+/// Reads `PARTITA_THREADS` once; the answer is process-wide.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("PARTITA_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(1, |t| t.max(1))
+    })
 }
 
 impl Default for SolveBudget {
@@ -65,6 +80,7 @@ impl Default for SolveBudget {
             max_nodes: 200_000,
             deadline: None,
             fallback: Some(Backend::Greedy),
+            threads: default_threads(),
         }
     }
 }
@@ -88,6 +104,16 @@ impl SolveBudget {
     #[must_use]
     pub fn with_fallback(mut self, fallback: Option<Backend>) -> SolveBudget {
         self.fallback = fallback;
+        self
+    }
+
+    /// Sets the branch-and-bound worker-thread count (clamped to at least
+    /// 1). Results are identical across thread counts for solves that finish
+    /// within budget; see the `partita-ilp` branch-and-bound determinism
+    /// contract.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SolveBudget {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -158,6 +184,12 @@ pub struct SolveTrace {
     pub warm_start_accepted: bool,
     /// Binaries permanently fixed by warm-start root probing.
     pub vars_fixed: usize,
+    /// Worker threads the branch-and-bound search ran with (1 for serial
+    /// and for the non-branch-and-bound backends).
+    pub threads: usize,
+    /// Nodes explored per worker (one entry per worker; empty for backends
+    /// without a worker pool).
+    pub worker_nodes: Vec<usize>,
     /// Time spent generating the IMP database (zero when prebuilt).
     pub imp_generation: Duration,
     /// Time spent building the ILP model.
@@ -187,6 +219,7 @@ impl SolveTrace {
                 "\"nodes_explored\":{},\"nodes_pruned\":{},",
                 "\"incumbent_updates\":{},\"simplex_iterations\":{},",
                 "\"warm_start_accepted\":{},\"vars_fixed\":{},",
+                "\"threads\":{},\"worker_nodes\":[{}],",
                 "\"imp_generation_us\":{},\"formulation_us\":{},",
                 "\"solve_us\":{},\"decode_us\":{},\"total_us\":{}}}"
             ),
@@ -201,6 +234,12 @@ impl SolveTrace {
             self.simplex_iterations,
             self.warm_start_accepted,
             self.vars_fixed,
+            self.threads,
+            self.worker_nodes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
             self.imp_generation.as_micros(),
             self.formulation.as_micros(),
             self.solve.as_micros(),
@@ -253,7 +292,9 @@ pub struct BranchBoundBackend {
 
 impl SolverBackend for BranchBoundBackend {
     fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
-        let mut bb = BranchBound::new().with_max_nodes(budget.max_nodes);
+        let mut bb = BranchBound::new()
+            .with_max_nodes(budget.max_nodes)
+            .with_threads(budget.threads);
         if let Some(d) = budget.deadline {
             bb = bb.with_deadline(d);
         }
@@ -290,6 +331,11 @@ impl SolverBackend for ExhaustiveBackend {
             status: OptimalityStatus::Optimal,
             effort: BranchBoundStats {
                 nodes_explored: assignments,
+                threads: 1,
+                per_worker: vec![WorkerStats {
+                    nodes_explored: assignments,
+                    ..WorkerStats::default()
+                }],
                 ..BranchBoundStats::default()
             },
         })
@@ -343,7 +389,10 @@ impl SolverBackend for GreedyBackend<'_> {
             objective: model.objective().eval(&values),
             values,
             status: OptimalityStatus::Heuristic,
-            effort: BranchBoundStats::default(),
+            effort: BranchBoundStats {
+                threads: 1,
+                ..BranchBoundStats::default()
+            },
         })
     }
 }
@@ -392,6 +441,8 @@ mod tests {
         assert_eq!(b.max_nodes, 200_000);
         assert_eq!(b.fallback, Some(Backend::Greedy));
         assert!(b.deadline.is_none());
+        assert!(b.threads >= 1);
+        assert_eq!(b.with_threads(0).threads, 1);
     }
 
     #[test]
@@ -408,6 +459,8 @@ mod tests {
             simplex_iterations: 42,
             warm_start_accepted: true,
             vars_fixed: 2,
+            threads: 2,
+            worker_nodes: vec![2, 1],
             imp_generation: Duration::from_micros(10),
             formulation: Duration::from_micros(20),
             solve: Duration::from_micros(30),
@@ -419,6 +472,8 @@ mod tests {
         assert!(json.contains("\"status\":\"optimal\""));
         assert!(json.contains("\"simplex_iterations\":42"));
         assert!(json.contains("\"warm_start_accepted\":true"));
+        assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"worker_nodes\":[2,1]"));
         assert!(json.contains("\"total_us\":100"));
         // Balanced braces and quotes (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

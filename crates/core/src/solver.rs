@@ -345,6 +345,13 @@ impl<'a> Solver<'a> {
         trace.simplex_iterations = solution.effort.simplex_iterations;
         trace.warm_start_accepted = solution.effort.warm_start_accepted;
         trace.vars_fixed = solution.effort.vars_fixed;
+        trace.threads = solution.effort.threads;
+        trace.worker_nodes = solution
+            .effort
+            .per_worker
+            .iter()
+            .map(|w| w.nodes_explored)
+            .collect();
 
         let t = Instant::now();
         let ilp_solution = partita_ilp::IlpSolution {

@@ -1,13 +1,38 @@
-//! Best-first branch-and-bound over the simplex LP relaxation.
+//! Best-first branch-and-bound over the simplex LP relaxation, with an
+//! optional multi-threaded search.
+//!
+//! The parallel search (see [`BranchBound::with_threads`]) runs a pool of
+//! workers over [`std::thread::scope`]. Workers share a best-bound node pool
+//! (a mutex-guarded heap other workers steal from) while diving depth-first
+//! on one child of each expansion, and prune against a shared incumbent
+//! whose score is mirrored in an atomic for lock-free reads. Each worker
+//! owns a [`SimplexScratch`] so node LPs never re-allocate the tableau.
+//!
+//! # Determinism contract
+//!
+//! The reported solution is independent of thread count and interleaving:
+//! nodes are pruned only when their bound is *strictly* worse than the
+//! incumbent (ties stay alive), and the incumbent accepts an equal-objective
+//! point only when its assignment is lexicographically smaller. The search
+//! therefore always converges to the lexicographically smallest optimal
+//! assignment, at 1 thread or 8. Budget-exhausted runs report whatever
+//! incumbent was found in time and are exempt from the contract (they are
+//! flagged via [`Termination`], never silently).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::simplex::{solve_with_bounds, SimplexOptions};
+use crate::simplex::{solve_with_bounds_scratch, SimplexOptions, SimplexScratch};
 use crate::{IlpError, IlpSolution, Model, Sense, VarId};
 
 const INT_TOL: f64 = 1e-6;
+
+/// Tolerance under which two objective values count as tied (and pruning
+/// must keep the node alive for the lexicographic tie-break).
+const TIE_TOL: f64 = 1e-9;
 
 /// Cap on root-probing LP re-solves; bounds the fixed cost probing adds on
 /// models with many binaries.
@@ -19,7 +44,8 @@ const MAX_ROOT_PROBES: usize = 32;
 /// binary of the node's LP optimum. Search effort is bounded by a node budget
 /// and an optional wall-clock deadline; [`BranchBound::run`] reports budget
 /// exhaustion as a [`Termination`] alongside the best incumbent found so far
-/// instead of discarding it.
+/// instead of discarding it. [`BranchBound::with_threads`] parallelises the
+/// search without giving up reproducibility (see the module docs).
 ///
 /// # Example
 ///
@@ -43,6 +69,7 @@ pub struct BranchBound {
     max_nodes: usize,
     deadline: Option<Duration>,
     simplex: SimplexOptions,
+    threads: usize,
 }
 
 impl Default for BranchBound {
@@ -51,16 +78,40 @@ impl Default for BranchBound {
             max_nodes: 200_000,
             deadline: None,
             simplex: SimplexOptions::default(),
+            threads: 1,
         }
     }
 }
 
-/// Statistics of a branch-and-bound run.
+/// Search-effort counters of one worker thread (the serial search reports a
+/// single worker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct BranchBoundStats {
-    /// Nodes whose LP relaxation was solved.
+pub struct WorkerStats {
+    /// Nodes whose LP relaxation this worker solved.
     pub nodes_explored: usize,
-    /// Nodes pruned by bound.
+    /// Nodes this worker pruned by bound.
+    pub nodes_pruned: usize,
+    /// Incumbent installations performed by this worker.
+    pub incumbent_updates: usize,
+    /// Simplex pivots across this worker's node LPs.
+    pub simplex_iterations: usize,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: WorkerStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.nodes_pruned += other.nodes_pruned;
+        self.incumbent_updates += other.incumbent_updates;
+        self.simplex_iterations += other.simplex_iterations;
+    }
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BranchBoundStats {
+    /// Nodes whose LP relaxation was solved (all workers).
+    pub nodes_explored: usize,
+    /// Nodes pruned by bound (all workers).
     pub nodes_pruned: usize,
     /// Times the incumbent improved during the search (excludes a warm-start
     /// incumbent supplied by the caller).
@@ -73,6 +124,41 @@ pub struct BranchBoundStats {
     /// Binaries permanently fixed by reduced-cost probing at the root
     /// (requires a warm-start incumbent).
     pub vars_fixed: usize,
+    /// Worker threads that ran the search (1 for the serial path).
+    pub threads: usize,
+    /// Per-worker breakdown of the aggregate counters above. Root-node work
+    /// (the root LP and probing) is attributed to worker 0.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl BranchBoundStats {
+    fn from_workers(
+        root: WorkerStats,
+        workers: Vec<WorkerStats>,
+        warm_start_accepted: bool,
+        vars_fixed: usize,
+    ) -> BranchBoundStats {
+        let mut per_worker = if workers.is_empty() {
+            vec![WorkerStats::default()]
+        } else {
+            workers
+        };
+        per_worker[0].absorb(root);
+        let mut totals = WorkerStats::default();
+        for w in &per_worker {
+            totals.absorb(*w);
+        }
+        BranchBoundStats {
+            nodes_explored: totals.nodes_explored,
+            nodes_pruned: totals.nodes_pruned,
+            incumbent_updates: totals.incumbent_updates,
+            simplex_iterations: totals.simplex_iterations,
+            warm_start_accepted,
+            vars_fixed,
+            threads: per_worker.len(),
+            per_worker,
+        }
+    }
 }
 
 /// Why a branch-and-bound run stopped.
@@ -129,6 +215,353 @@ impl Ord for Node {
     }
 }
 
+/// `true` when a node with bound `bound` cannot contain a solution that is
+/// strictly better than *or tied with* the incumbent. Ties must survive so
+/// the lexicographic tie-break is independent of search order.
+fn prunable(bound: f64, incumbent_score: f64) -> bool {
+    bound > incumbent_score + TIE_TOL
+}
+
+/// `true` when `a` is lexicographically smaller than `b`.
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// The best integer-feasible point found so far, keyed by its normalised
+/// (minimisation) score with assignment-lexicographic tie-breaking.
+struct Incumbent {
+    score: f64,
+    solution: Option<IlpSolution>,
+}
+
+impl Incumbent {
+    fn new() -> Incumbent {
+        Incumbent {
+            score: f64::INFINITY,
+            solution: None,
+        }
+    }
+
+    fn improves(&self, score: f64, values: &[f64]) -> bool {
+        match &self.solution {
+            None => true,
+            Some(sol) => {
+                score < self.score - TIE_TOL
+                    || (score <= self.score + TIE_TOL && lex_less(values, &sol.values))
+            }
+        }
+    }
+
+    fn install(&mut self, score: f64, objective: f64, values: Vec<f64>) {
+        // `min` guards against the stored score drifting upward across
+        // repeated lexicographic replacements inside the tie tolerance.
+        self.score = self.score.min(score);
+        self.solution = Some(IlpSolution { objective, values });
+    }
+}
+
+/// How the search consults and updates the incumbent: a plain struct on the
+/// serial path, a mutex + atomic score mirror when workers share it.
+trait IncumbentView {
+    /// Current best normalised score (may be slightly stale on the shared
+    /// path, which only ever under-prunes).
+    fn current_score(&self) -> f64;
+    /// Offers a feasible point (`score` = normalised objective); returns
+    /// `true` when it was installed.
+    fn offer(&mut self, score: f64, objective: f64, values: Vec<f64>) -> bool;
+}
+
+impl IncumbentView for Incumbent {
+    fn current_score(&self) -> f64 {
+        self.score
+    }
+
+    fn offer(&mut self, score: f64, objective: f64, values: Vec<f64>) -> bool {
+        if self.improves(score, &values) {
+            self.install(score, objective, values);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The shared incumbent of the parallel search: solution under a mutex, the
+/// score mirrored into an atomic so pruning never takes the lock.
+struct SharedIncumbent {
+    cell: Mutex<Incumbent>,
+    score_bits: AtomicU64,
+}
+
+impl SharedIncumbent {
+    fn new(seed: Incumbent) -> SharedIncumbent {
+        let bits = seed.score.to_bits();
+        SharedIncumbent {
+            cell: Mutex::new(seed),
+            score_bits: AtomicU64::new(bits),
+        }
+    }
+}
+
+impl IncumbentView for &SharedIncumbent {
+    fn current_score(&self) -> f64 {
+        f64::from_bits(self.score_bits.load(AtomicOrdering::Relaxed))
+    }
+
+    fn offer(&mut self, score: f64, objective: f64, values: Vec<f64>) -> bool {
+        // Cheap lock-free reject for the common case of a dominated point.
+        if score > self.current_score() + TIE_TOL {
+            return false;
+        }
+        let mut cell = self.cell.lock().expect("incumbent lock");
+        if cell.improves(score, &values) {
+            cell.install(score, objective, values);
+            self.score_bits
+                .store(cell.score.to_bits(), AtomicOrdering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Immutable per-run search context shared by the root, the serial loop and
+/// every parallel worker.
+struct SearchCtx<'a> {
+    model: &'a Model,
+    binaries: &'a [VarId],
+    minimize: bool,
+    simplex: SimplexOptions,
+}
+
+impl SearchCtx<'_> {
+    fn norm(&self, obj: f64) -> f64 {
+        if self.minimize {
+            obj
+        } else {
+            -obj
+        }
+    }
+
+    /// Rounds the binaries of `values` in place and offers the point when
+    /// feasible; returns whether the incumbent improved.
+    fn offer_rounded(&self, mut values: Vec<f64>, inc: &mut dyn IncumbentView) -> bool {
+        for &v in self.binaries {
+            values[v.index()] = values[v.index()].round();
+        }
+        if !self.model.is_feasible(&values, 1e-6) {
+            return false;
+        }
+        let objective = self.model.objective().eval(&values);
+        inc.offer(self.norm(objective), objective, values)
+    }
+
+    /// Solves a node's LP and either closes the node (infeasible, pruned or
+    /// integer-feasible) or returns the down/up children to enqueue.
+    fn expand(
+        &self,
+        scratch: &mut SimplexScratch,
+        node: Node,
+        inc: &mut dyn IncumbentView,
+        stats: &mut WorkerStats,
+    ) -> Result<Option<(Node, Node)>, IlpError> {
+        let lp = match solve_with_bounds_scratch(
+            self.model,
+            &node.lower,
+            &node.upper,
+            self.simplex,
+            scratch,
+        ) {
+            Ok(lp) => lp,
+            Err(IlpError::Infeasible) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        stats.simplex_iterations += lp.iterations;
+        let bound = self.norm(lp.objective);
+        if prunable(bound, inc.current_score()) {
+            stats.nodes_pruned += 1;
+            return Ok(None);
+        }
+
+        // Rounding heuristic: snapping the LP optimum to the nearest
+        // integers often yields a feasible incumbent immediately on
+        // coverage-style models, which tightens pruning dramatically.
+        if self.offer_rounded(lp.values.clone(), inc) {
+            stats.incumbent_updates += 1;
+        }
+
+        // Branch on the fractional binary with the largest
+        // objective×fractionality impact: deciding heavy variables first
+        // moves the bound fastest (plain most-fractional branching
+        // enumerates plateaus on coverage models).
+        let frac = self
+            .binaries
+            .iter()
+            .map(|&v| (v, lp.value(v)))
+            .filter(|(_, x)| (x - x.round()).abs() > INT_TOL)
+            .max_by(|a, b| {
+                let weight = |(v, x): &(VarId, f64)| {
+                    let f = (x - x.round()).abs();
+                    let c = self.model.objective().coeff(*v).abs().max(1e-6);
+                    f * c
+                };
+                weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
+            });
+
+        match frac {
+            None => {
+                // Integer feasible: snap binaries and record.
+                if self.offer_rounded(lp.values, inc) {
+                    stats.incumbent_updates += 1;
+                }
+                Ok(None)
+            }
+            Some((v, x)) => {
+                // Branch down (x = 0) and up (x = 1).
+                let mut down = Node {
+                    score: bound,
+                    lower: node.lower.clone(),
+                    upper: node.upper.clone(),
+                };
+                down.upper[v.index()] = x.floor();
+                let mut up = Node {
+                    score: bound,
+                    lower: node.lower,
+                    upper: node.upper,
+                };
+                up.lower[v.index()] = x.ceil();
+                Ok(Some((down, up)))
+            }
+        }
+    }
+}
+
+/// State of the shared node pool: the stealable heap plus termination
+/// bookkeeping.
+struct PoolState {
+    heap: BinaryHeap<Node>,
+    idle: usize,
+    done: bool,
+    termination: Termination,
+    error: Option<IlpError>,
+}
+
+/// Everything the parallel workers share.
+struct Shared<'a> {
+    ctx: SearchCtx<'a>,
+    pool: Mutex<PoolState>,
+    available: Condvar,
+    incumbent: SharedIncumbent,
+    /// Global count of nodes taken for exploration (the root counts as 1).
+    explored: AtomicUsize,
+    max_nodes: usize,
+    deadline: Option<Duration>,
+    started: Instant,
+    threads: usize,
+}
+
+impl Shared<'_> {
+    /// Stops the search because a budget ran out; the first stop wins.
+    fn stop(&self, termination: Termination) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.termination == Termination::Optimal {
+            pool.termination = termination;
+        }
+        pool.done = true;
+        self.available.notify_all();
+    }
+
+    /// Aborts the search on a solver error; the first error wins.
+    fn fail(&self, error: IlpError) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.error.is_none() {
+            pool.error = Some(error);
+        }
+        pool.done = true;
+        self.available.notify_all();
+    }
+}
+
+/// One parallel worker: steal a node (or pop the local dive stack), expand
+/// it, keep one child local and publish the other to the shared pool.
+fn worker(shared: &Shared<'_>) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut scratch = SimplexScratch::new();
+    let mut local: Vec<Node> = Vec::new();
+    let mut inc = &shared.incumbent;
+    loop {
+        let node = match local.pop() {
+            Some(n) => n,
+            None => {
+                let mut pool = shared.pool.lock().expect("pool lock");
+                loop {
+                    if pool.done {
+                        return stats;
+                    }
+                    if let Some(n) = pool.heap.pop() {
+                        break n;
+                    }
+                    pool.idle += 1;
+                    if pool.idle == shared.threads {
+                        // Every worker is out of work and the pool is
+                        // empty: the tree is exhausted.
+                        pool.done = true;
+                        shared.available.notify_all();
+                        return stats;
+                    }
+                    pool = shared.available.wait(pool).expect("pool lock");
+                    pool.idle -= 1;
+                }
+            }
+        };
+        if prunable(node.score, inc.current_score()) {
+            stats.nodes_pruned += 1;
+            continue;
+        }
+        let taken = shared.explored.fetch_add(1, AtomicOrdering::Relaxed);
+        if taken >= shared.max_nodes {
+            shared.stop(Termination::NodeLimit);
+            return stats;
+        }
+        if shared
+            .deadline
+            .is_some_and(|d| shared.started.elapsed() >= d)
+        {
+            shared.stop(Termination::Deadline);
+            return stats;
+        }
+        stats.nodes_explored += 1;
+        match shared.ctx.expand(&mut scratch, node, &mut inc, &mut stats) {
+            Ok(Some((down, up))) => {
+                // Dive on the down child; make the up child stealable.
+                local.push(down);
+                let mut pool = shared.pool.lock().expect("pool lock");
+                pool.heap.push(up);
+                self::notify_one(shared, &pool);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                shared.fail(e);
+                return stats;
+            }
+        }
+    }
+}
+
+/// Wakes one idle worker when new work lands in the pool.
+fn notify_one(shared: &Shared<'_>, pool: &PoolState) {
+    if pool.idle > 0 {
+        shared.available.notify_one();
+    }
+}
+
 impl BranchBound {
     /// Creates a solver with default limits.
     #[must_use]
@@ -150,6 +583,18 @@ impl BranchBound {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> BranchBound {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    ///
+    /// The reported solution is identical across thread counts for runs
+    /// that terminate [`Termination::Optimal`] — see the module docs for
+    /// the determinism contract. Node/prune counts and budget-exhausted
+    /// incumbents may differ.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> BranchBound {
+        self.threads = threads.max(1);
         self
     }
 
@@ -211,13 +656,17 @@ impl BranchBound {
     ) -> Result<BranchBoundRun, IlpError> {
         let n = model.num_vars();
         let minimize = model.sense() == Sense::Minimize;
-        let norm = |obj: f64| if minimize { obj } else { -obj };
         let started = Instant::now();
         let binaries = model.binary_vars();
+        let ctx = SearchCtx {
+            model,
+            binaries: &binaries,
+            minimize,
+            simplex: self.simplex,
+        };
 
-        let mut stats = BranchBoundStats::default();
-        let mut incumbent: Option<IlpSolution> = None;
-        let mut incumbent_score = f64::INFINITY;
+        let mut incumbent = Incumbent::new();
+        let mut warm_start_accepted = false;
 
         // Seed the incumbent from the warm start when it checks out: the
         // bound prunes against it from the very first node.
@@ -229,13 +678,47 @@ impl BranchBound {
             });
             if values.len() == n && integral && model.is_feasible(values, 1e-6) {
                 let objective = model.objective().eval(values);
-                incumbent_score = norm(objective);
-                incumbent = Some(IlpSolution {
-                    objective,
-                    values: values.to_vec(),
-                });
-                stats.warm_start_accepted = true;
+                incumbent.install(ctx.norm(objective), objective, values.to_vec());
+                warm_start_accepted = true;
             }
+        }
+
+        let mut root_stats = WorkerStats::default();
+        let mut vars_fixed = 0usize;
+        let finish = |incumbent: Incumbent,
+                      termination: Termination,
+                      root_stats: WorkerStats,
+                      workers: Vec<WorkerStats>,
+                      vars_fixed: usize| {
+            let stats = BranchBoundStats::from_workers(
+                root_stats,
+                workers,
+                warm_start_accepted,
+                vars_fixed,
+            );
+            match termination {
+                Termination::Optimal => match incumbent.solution {
+                    Some(sol) => Ok(BranchBoundRun {
+                        solution: Some(sol),
+                        termination: Termination::Optimal,
+                        stats,
+                    }),
+                    None => Err(IlpError::Infeasible),
+                },
+                t => Ok(BranchBoundRun {
+                    solution: incumbent.solution,
+                    termination: t,
+                    stats,
+                }),
+            }
+        };
+
+        // The budgets are checked before every node, the root included.
+        if self.max_nodes == 0 {
+            return finish(incumbent, Termination::NodeLimit, root_stats, vec![], 0);
+        }
+        if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+            return finish(incumbent, Termination::Deadline, root_stats, vec![], 0);
         }
 
         let mut root_lower = Vec::with_capacity(n);
@@ -245,189 +728,238 @@ impl BranchBound {
             root_lower.push(l);
             root_upper.push(u);
         }
-
-        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-        heap.push(Node {
+        let mut node = Node {
             score: f64::NEG_INFINITY,
             lower: root_lower,
             upper: root_upper,
-        });
+        };
 
-        let mut root = true;
-
-        while let Some(mut node) = heap.pop() {
-            if node.score >= incumbent_score - 1e-9 {
-                stats.nodes_pruned += 1;
-                continue;
-            }
-            if stats.nodes_explored >= self.max_nodes {
-                return Ok(BranchBoundRun {
-                    solution: incumbent,
-                    termination: Termination::NodeLimit,
-                    stats,
-                });
-            }
-            if self.deadline.is_some_and(|d| started.elapsed() >= d) {
-                return Ok(BranchBoundRun {
-                    solution: incumbent,
-                    termination: Termination::Deadline,
-                    stats,
-                });
-            }
-            stats.nodes_explored += 1;
-
-            let lp = match solve_with_bounds(model, &node.lower, &node.upper, self.simplex) {
-                Ok(lp) => lp,
-                Err(IlpError::Infeasible) => {
-                    if root && heap.is_empty() && incumbent.is_none() {
-                        return Err(IlpError::Infeasible);
+        // Root expansion runs serially (also under `threads > 1`): it hosts
+        // the one-shot reduced-cost probing and seeds the pool.
+        let mut scratch = SimplexScratch::new();
+        root_stats.nodes_explored += 1;
+        let lp = match solve_with_bounds_scratch(
+            model,
+            &node.lower,
+            &node.upper,
+            self.simplex,
+            &mut scratch,
+        ) {
+            Ok(lp) => Some(lp),
+            Err(IlpError::Infeasible) => None,
+            Err(e) => return Err(e),
+        };
+        let children = match lp {
+            None => None,
+            Some(lp) => {
+                root_stats.simplex_iterations += lp.iterations;
+                let bound = ctx.norm(lp.objective);
+                if prunable(bound, incumbent.score) {
+                    // Only possible when a warm start already dominates.
+                    root_stats.nodes_pruned += 1;
+                    None
+                } else {
+                    if ctx.offer_rounded(lp.values.clone(), &mut incumbent) {
+                        root_stats.incumbent_updates += 1;
                     }
-                    root = false;
+
+                    // Reduced-cost probing, once, at the root: a warm start
+                    // supplies a tight incumbent before any search happens,
+                    // so flipping a binary that sits at a bound in the root
+                    // LP and re-solving tells us whether that flip can ever
+                    // pay off. If the probed LP bound is strictly worse than
+                    // the incumbent (or infeasible), the binary is fixed at
+                    // its LP value for the entire tree. Without a warm start
+                    // the first incumbent only appears after the root LP,
+                    // too late to narrow the tree from node one.
+                    if warm_start_accepted && incumbent.solution.is_some() {
+                        let mut candidates: Vec<(VarId, f64)> = binaries
+                            .iter()
+                            .map(|&v| (v, lp.value(v)))
+                            .filter(|&(v, x)| {
+                                node.lower[v.index()] < node.upper[v.index()]
+                                    && (x <= INT_TOL || x >= 1.0 - INT_TOL)
+                            })
+                            .collect();
+                        candidates.sort_by(|a, b| {
+                            let c = |v: VarId| model.objective().coeff(v).abs();
+                            c(b.0).partial_cmp(&c(a.0)).unwrap_or(Ordering::Equal)
+                        });
+                        for (v, x) in candidates.into_iter().take(MAX_ROOT_PROBES) {
+                            if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                                break;
+                            }
+                            let flipped = if x <= INT_TOL { 1.0 } else { 0.0 };
+                            let (saved_l, saved_u) = (node.lower[v.index()], node.upper[v.index()]);
+                            node.lower[v.index()] = flipped;
+                            node.upper[v.index()] = flipped;
+                            let fixable = match solve_with_bounds_scratch(
+                                model,
+                                &node.lower,
+                                &node.upper,
+                                self.simplex,
+                                &mut scratch,
+                            ) {
+                                Ok(probe) => {
+                                    root_stats.simplex_iterations += probe.iterations;
+                                    prunable(ctx.norm(probe.objective), incumbent.score)
+                                }
+                                Err(IlpError::Infeasible) => true,
+                                Err(e) => return Err(e),
+                            };
+                            if fixable {
+                                // The flip cannot beat (or tie) the
+                                // incumbent: pin the binary to its
+                                // relaxation value for all descendants.
+                                node.lower[v.index()] = x.round();
+                                node.upper[v.index()] = x.round();
+                                vars_fixed += 1;
+                            } else {
+                                node.lower[v.index()] = saved_l;
+                                node.upper[v.index()] = saved_u;
+                            }
+                        }
+                    }
+
+                    // Branch the root exactly like any other node.
+                    let frac = binaries
+                        .iter()
+                        .map(|&v| (v, lp.value(v)))
+                        .filter(|(_, x)| (x - x.round()).abs() > INT_TOL)
+                        .max_by(|a, b| {
+                            let weight = |(v, x): &(VarId, f64)| {
+                                let f = (x - x.round()).abs();
+                                let c = model.objective().coeff(*v).abs().max(1e-6);
+                                f * c
+                            };
+                            weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
+                        });
+                    match frac {
+                        None => {
+                            if ctx.offer_rounded(lp.values, &mut incumbent) {
+                                root_stats.incumbent_updates += 1;
+                            }
+                            None
+                        }
+                        Some((v, x)) => {
+                            let mut down = Node {
+                                score: bound,
+                                lower: node.lower.clone(),
+                                upper: node.upper.clone(),
+                            };
+                            down.upper[v.index()] = x.floor();
+                            let mut up = Node {
+                                score: bound,
+                                lower: node.lower,
+                                upper: node.upper,
+                            };
+                            up.lower[v.index()] = x.ceil();
+                            Some((down, up))
+                        }
+                    }
+                }
+            }
+        };
+
+        let Some((down, up)) = children else {
+            return finish(
+                incumbent,
+                Termination::Optimal,
+                root_stats,
+                vec![],
+                vars_fixed,
+            );
+        };
+
+        if self.threads <= 1 {
+            // Serial best-first loop, reusing the root's scratch.
+            let mut stats = WorkerStats::default();
+            let mut heap = BinaryHeap::new();
+            heap.push(down);
+            heap.push(up);
+            let mut explored = 1usize; // the root
+            while let Some(node) = heap.pop() {
+                if prunable(node.score, incumbent.score) {
+                    stats.nodes_pruned += 1;
                     continue;
                 }
-                Err(e) => return Err(e),
-            };
-            root = false;
-            stats.simplex_iterations += lp.iterations;
-            let bound = norm(lp.objective);
-            if bound >= incumbent_score - 1e-9 {
-                stats.nodes_pruned += 1;
-                continue;
-            }
-
-            // Rounding heuristic: snapping the LP optimum to the nearest
-            // integers often yields a feasible incumbent immediately on
-            // coverage-style models, which tightens pruning dramatically.
-            {
-                let mut rounded = lp.values.clone();
-                for &v in &binaries {
-                    rounded[v.index()] = rounded[v.index()].round();
+                if explored >= self.max_nodes {
+                    return finish(
+                        incumbent,
+                        Termination::NodeLimit,
+                        root_stats,
+                        vec![stats],
+                        vars_fixed,
+                    );
                 }
-                if model.is_feasible(&rounded, 1e-6) {
-                    let objective = model.objective().eval(&rounded);
-                    let score = norm(objective);
-                    if score < incumbent_score {
-                        incumbent_score = score;
-                        incumbent = Some(IlpSolution {
-                            objective,
-                            values: rounded,
-                        });
-                        stats.incumbent_updates += 1;
-                    }
+                if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                    return finish(
+                        incumbent,
+                        Termination::Deadline,
+                        root_stats,
+                        vec![stats],
+                        vars_fixed,
+                    );
                 }
-            }
-
-            // Reduced-cost probing, once, at the root: a warm start supplies
-            // a tight incumbent before any search happens, so flipping a
-            // binary that sits at a bound in the root LP and re-solving tells
-            // us whether that flip can ever pay off. If the probed LP bound
-            // already meets the incumbent (or is infeasible), the binary is
-            // fixed at its LP value for the entire tree. Without a warm start
-            // the first incumbent only appears after the root LP, too late to
-            // narrow the tree from node one.
-            if stats.nodes_explored == 1 && stats.warm_start_accepted && incumbent.is_some() {
-                let mut candidates: Vec<(VarId, f64)> = binaries
-                    .iter()
-                    .map(|&v| (v, lp.value(v)))
-                    .filter(|&(v, x)| {
-                        node.lower[v.index()] < node.upper[v.index()]
-                            && (x <= INT_TOL || x >= 1.0 - INT_TOL)
-                    })
-                    .collect();
-                candidates.sort_by(|a, b| {
-                    let c = |v: VarId| model.objective().coeff(v).abs();
-                    c(b.0).partial_cmp(&c(a.0)).unwrap_or(Ordering::Equal)
-                });
-                for (v, x) in candidates.into_iter().take(MAX_ROOT_PROBES) {
-                    if self.deadline.is_some_and(|d| started.elapsed() >= d) {
-                        break;
-                    }
-                    let flipped = if x <= INT_TOL { 1.0 } else { 0.0 };
-                    let (saved_l, saved_u) = (node.lower[v.index()], node.upper[v.index()]);
-                    node.lower[v.index()] = flipped;
-                    node.upper[v.index()] = flipped;
-                    let fixable =
-                        match solve_with_bounds(model, &node.lower, &node.upper, self.simplex) {
-                            Ok(probe) => {
-                                stats.simplex_iterations += probe.iterations;
-                                norm(probe.objective) >= incumbent_score - 1e-9
-                            }
-                            Err(IlpError::Infeasible) => true,
-                            Err(e) => return Err(e),
-                        };
-                    if fixable {
-                        // The flip cannot beat the incumbent: pin the binary
-                        // to its relaxation value for all descendants.
-                        node.lower[v.index()] = x.round();
-                        node.upper[v.index()] = x.round();
-                        stats.vars_fixed += 1;
-                    } else {
-                        node.lower[v.index()] = saved_l;
-                        node.upper[v.index()] = saved_u;
-                    }
-                }
-            }
-
-            // Branch on the fractional binary with the largest
-            // objective×fractionality impact: deciding heavy variables first
-            // moves the bound fastest (plain most-fractional branching
-            // enumerates plateaus on coverage models).
-            let frac = binaries
-                .iter()
-                .map(|&v| (v, lp.value(v)))
-                .filter(|(_, x)| (x - x.round()).abs() > INT_TOL)
-                .max_by(|a, b| {
-                    let weight = |(v, x): &(VarId, f64)| {
-                        let f = (x - x.round()).abs();
-                        let c = model.objective().coeff(*v).abs().max(1e-6);
-                        f * c
-                    };
-                    weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
-                });
-
-            match frac {
-                None => {
-                    // Integer feasible: snap binaries and record.
-                    let mut values = lp.values.clone();
-                    for &v in &binaries {
-                        values[v.index()] = values[v.index()].round();
-                    }
-                    let objective = model.objective().eval(&values);
-                    let score = norm(objective);
-                    if score < incumbent_score {
-                        incumbent_score = score;
-                        incumbent = Some(IlpSolution { objective, values });
-                        stats.incumbent_updates += 1;
-                    }
-                }
-                Some((v, x)) => {
-                    // Branch down (x = 0) and up (x = 1).
-                    let mut down = Node {
-                        score: bound,
-                        lower: node.lower.clone(),
-                        upper: node.upper.clone(),
-                    };
-                    down.upper[v.index()] = x.floor();
-                    let mut up = Node {
-                        score: bound,
-                        lower: node.lower,
-                        upper: node.upper,
-                    };
-                    up.lower[v.index()] = x.ceil();
+                explored += 1;
+                stats.nodes_explored += 1;
+                if let Some((down, up)) =
+                    ctx.expand(&mut scratch, node, &mut incumbent, &mut stats)?
+                {
                     heap.push(down);
                     heap.push(up);
                 }
             }
+            return finish(
+                incumbent,
+                Termination::Optimal,
+                root_stats,
+                vec![stats],
+                vars_fixed,
+            );
         }
 
-        match incumbent {
-            Some(sol) => Ok(BranchBoundRun {
-                solution: Some(sol),
+        // Parallel search: seed the pool with the root's children and let
+        // the workers steal.
+        let mut heap = BinaryHeap::new();
+        heap.push(down);
+        heap.push(up);
+        let shared = Shared {
+            ctx,
+            pool: Mutex::new(PoolState {
+                heap,
+                idle: 0,
+                done: false,
                 termination: Termination::Optimal,
-                stats,
+                error: None,
             }),
-            None => Err(IlpError::Infeasible),
+            available: Condvar::new(),
+            incumbent: SharedIncumbent::new(incumbent),
+            explored: AtomicUsize::new(1), // the root
+            max_nodes: self.max_nodes,
+            deadline: self.deadline,
+            started,
+            threads: self.threads,
+        };
+
+        let mut workers: Vec<WorkerStats> = Vec::with_capacity(self.threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| s.spawn(|| worker(&shared)))
+                .collect();
+            for h in handles {
+                workers.push(h.join().expect("branch-and-bound worker panicked"));
+            }
+        });
+
+        let PoolState {
+            termination, error, ..
+        } = shared.pool.into_inner().expect("pool lock");
+        if let Some(e) = error {
+            return Err(e);
         }
+        let incumbent = shared.incumbent.cell.into_inner().expect("incumbent lock");
+        finish(incumbent, termination, root_stats, workers, vars_fixed)
     }
 }
 
@@ -639,6 +1171,9 @@ mod tests {
         assert_eq!(s.objective.round() as i64, 1);
         assert!(stats.nodes_explored >= 1);
         assert!(stats.incumbent_updates >= 1);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.per_worker.len(), 1);
+        assert_eq!(stats.per_worker[0].nodes_explored, stats.nodes_explored);
     }
 
     #[test]
@@ -650,5 +1185,85 @@ mod tests {
         let s = BranchBound::new().solve(&m).unwrap();
         assert_eq!(s.objective.round() as i64, -3);
         assert!(!s.is_set(a) && s.is_set(b));
+    }
+
+    #[test]
+    fn parallel_matches_serial_objective() {
+        let (m, _) = tight_budget_model();
+        let serial = BranchBound::new().solve(&m).unwrap();
+        for threads in [2, 4, 8] {
+            let par = BranchBound::new().with_threads(threads).solve(&m).unwrap();
+            assert!(
+                (serial.objective - par.objective).abs() < 1e-6,
+                "threads {threads}: {} vs {}",
+                serial.objective,
+                par.objective
+            );
+            assert_eq!(serial.values, par.values, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn tie_break_is_lexicographic_across_thread_counts() {
+        // min a + b s.t. 2a + 2b >= 1: the root LP sits at a fractional
+        // vertex (0.5, 0), and branching discovers the two tied optima
+        // (1,0) and (0,1) in different subtrees. Because tied nodes are
+        // never pruned and the incumbent breaks ties lexicographically,
+        // every thread count and interleaving must report the
+        // lexicographically smallest optimum (0,1).
+        for threads in [1usize, 2, 4] {
+            for _ in 0..5 {
+                let mut m = Model::new(Sense::Minimize);
+                let a = m.add_binary("a");
+                let b = m.add_binary("b");
+                m.set_objective([(a, 1.0), (b, 1.0)]);
+                m.add_constraint([(a, 2.0), (b, 2.0)], Relation::Ge, 1.0)
+                    .unwrap();
+                let s = BranchBound::new().with_threads(threads).solve(&m).unwrap();
+                assert_eq!(s.objective.round() as i64, 1, "threads {threads}");
+                assert_eq!(
+                    (s.value(a).round() as i64, s.value(b).round() as i64),
+                    (0, 1),
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_node_budget() {
+        let (m, _) = tight_budget_model();
+        let run = BranchBound::new()
+            .with_threads(4)
+            .with_max_nodes(2)
+            .run(&m, None)
+            .unwrap();
+        assert_eq!(run.termination, Termination::NodeLimit);
+        assert!(run.stats.nodes_explored <= 2);
+    }
+
+    #[test]
+    fn parallel_reports_per_worker_stats() {
+        let (m, _) = tight_budget_model();
+        let run = BranchBound::new().with_threads(3).run(&m, None).unwrap();
+        assert_eq!(run.termination, Termination::Optimal);
+        assert_eq!(run.stats.threads, 3);
+        assert_eq!(run.stats.per_worker.len(), 3);
+        let sum: usize = run.stats.per_worker.iter().map(|w| w.nodes_explored).sum();
+        assert_eq!(sum, run.stats.nodes_explored);
+    }
+
+    #[test]
+    fn parallel_infeasible_model_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective([(a, 1.0), (b, 1.0)]);
+        m.add_constraint([(a, 1.0), (b, 1.0)], Relation::Ge, 3.0)
+            .unwrap();
+        assert_eq!(
+            BranchBound::new().with_threads(4).solve(&m),
+            Err(IlpError::Infeasible)
+        );
     }
 }

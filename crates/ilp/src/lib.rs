@@ -45,7 +45,7 @@ mod model;
 pub mod simplex;
 mod solution;
 
-pub use branch_bound::{BranchBound, BranchBoundRun, BranchBoundStats, Termination};
+pub use branch_bound::{BranchBound, BranchBoundRun, BranchBoundStats, Termination, WorkerStats};
 pub use error::IlpError;
 pub use exhaustive::{
     solve_binary_exhaustive, solve_binary_exhaustive_counted, MAX_EXHAUSTIVE_BINARIES,

@@ -36,6 +36,35 @@ impl Default for SimplexOptions {
     }
 }
 
+/// Reusable buffers for repeated LP solves.
+///
+/// Branch-and-bound solves one LP per node, and the tableau is by far the
+/// largest allocation of each solve. A scratch kept per worker lets
+/// [`solve_with_bounds_scratch`] reuse the tableau rows, the basis vector and
+/// the row bookkeeping across nodes instead of re-allocating them.
+/// Capacities only grow, so a scratch warmed up on the root LP serves every
+/// descendant without further allocation.
+#[derive(Debug, Default)]
+pub struct SimplexScratch {
+    /// Tableau rows (`m + 1` rows of `width` columns), pooled across solves.
+    tableau: Vec<Vec<f64>>,
+    /// Basis column per row.
+    basis: Vec<usize>,
+    /// Per-row `(relation, shifted rhs)` collected before the tableau is
+    /// sized (the artificial-variable count depends on it).
+    row_meta: Vec<(Relation, f64)>,
+    /// Variable index backing each upper-bound row.
+    bound_vars: Vec<usize>,
+}
+
+impl SimplexScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> SimplexScratch {
+        SimplexScratch::default()
+    }
+}
+
 /// Solves the LP relaxation of `model` with the model's own bounds.
 ///
 /// # Errors
@@ -69,6 +98,23 @@ pub fn solve_with_bounds(
     upper: &[f64],
     options: SimplexOptions,
 ) -> Result<LpSolution, IlpError> {
+    solve_with_bounds_scratch(model, lower, upper, options, &mut SimplexScratch::new())
+}
+
+/// Like [`solve_with_bounds`], reusing the buffers in `scratch` for the
+/// tableau and row bookkeeping. Repeated callers (one LP per
+/// branch-and-bound node) should hold one scratch per worker thread.
+///
+/// # Errors
+///
+/// Same as [`solve_with_bounds`].
+pub fn solve_with_bounds_scratch(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    options: SimplexOptions,
+    scratch: &mut SimplexScratch,
+) -> Result<LpSolution, IlpError> {
     let n = model.num_vars();
     assert_eq!(lower.len(), n, "lower bounds arity");
     assert_eq!(upper.len(), n, "upper bounds arity");
@@ -83,7 +129,7 @@ pub fn solve_with_bounds(
     // tableau small deep in the search tree.
     let fixed: Vec<bool> = (0..n).map(|i| upper[i] - lower[i] <= EPS).collect();
     if fixed.iter().any(|&f| f) && !fixed.iter().all(|&f| f) {
-        return solve_reduced(model, lower, upper, &fixed, options);
+        return solve_reduced(model, lower, upper, &fixed, options, scratch);
     }
     if fixed.iter().all(|&f| f) && n > 0 {
         // Everything pinned: just evaluate feasibility.
@@ -98,85 +144,91 @@ pub fn solve_with_bounds(
         });
     }
 
-    // Row data in shifted space y = x - lower.
-    struct Row {
-        coeffs: Vec<f64>, // length n
-        relation: Relation,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::new();
+    // Pass 1 — row metadata in shifted space y = x - lower: the constraint
+    // rows' shifted rhs, then one upper-bound row y_i <= u_i - l_i per
+    // finite-width variable. The artificial count (and so the tableau
+    // width) depends on this, hence the separate pass before any
+    // coefficients are written.
+    let SimplexScratch {
+        tableau,
+        basis,
+        row_meta,
+        bound_vars,
+    } = scratch;
+    row_meta.clear();
+    bound_vars.clear();
     for c in model.constraints() {
-        let mut coeffs = vec![0.0; n];
         let mut shift = 0.0;
         for (v, k) in c.expr.terms() {
-            coeffs[v.index()] = k;
             shift += k * lower[v.index()];
         }
-        rows.push(Row {
-            coeffs,
-            relation: c.relation,
-            rhs: c.rhs - c.expr.constant() - shift,
-        });
+        row_meta.push((c.relation, c.rhs - c.expr.constant() - shift));
     }
-    // Upper-bound rows y_i <= u_i - l_i (skip infinite and zero-width ==
-    // zero-width still needs the row to pin y at 0 ... width 0 gives y<=0
-    // which with y>=0 fixes it; keep it).
     for i in 0..n {
         let width = upper[i] - lower[i];
         if width.is_finite() {
-            let mut coeffs = vec![0.0; n];
-            coeffs[i] = 1.0;
-            rows.push(Row {
-                coeffs,
-                relation: Relation::Le,
-                rhs: width,
-            });
+            row_meta.push((Relation::Le, width));
+            bound_vars.push(i);
         }
     }
 
-    let m = rows.len();
+    let m = row_meta.len();
     // Normalise every row to rhs >= 0 and decide its initial basis column:
     // a `<=` row whose slack keeps coefficient +1 starts basic on its slack
     // (no artificial needed); `>=`/`=`/negated rows get an artificial.
     // Columns: n structural + m slack/surplus + one artificial per row that
     // needs one + 1 rhs.
     let slack0 = n;
-    let needs_artificial: Vec<bool> = rows
-        .iter()
-        .map(|row| {
-            let negated = row.rhs < 0.0;
-            match row.relation {
-                Relation::Le => negated,
-                Relation::Ge => !negated,
-                Relation::Eq => true,
-            }
-        })
-        .collect();
+    let needs_artificial = |relation: Relation, rhs: f64| {
+        let negated = rhs < 0.0;
+        match relation {
+            Relation::Le => negated,
+            Relation::Ge => !negated,
+            Relation::Eq => true,
+        }
+    };
     let art0 = n + m;
-    let n_art = needs_artificial.iter().filter(|&&b| b).count();
+    let n_art = row_meta
+        .iter()
+        .filter(|&&(rel, rhs)| needs_artificial(rel, rhs))
+        .count();
     let width = n + m + n_art + 1;
     let rhs_col = width - 1;
-    let mut t = vec![vec![0.0; width]; m + 1]; // last row = objective
-    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    if tableau.len() < m + 1 {
+        tableau.resize_with(m + 1, Vec::new);
+    }
+    for row in &mut tableau[..m + 1] {
+        row.clear();
+        row.resize(width, 0.0);
+    }
+    let t = &mut tableau[..m + 1]; // last row = objective
+    basis.clear();
+    basis.resize(m, usize::MAX);
 
+    // Pass 2 — fill the coefficients straight into the pooled tableau rows.
+    let n_constraints = model.constraints().len();
     let mut next_art = art0;
-    for (r, row) in rows.iter().enumerate() {
+    for (r, &(relation, raw_rhs)) in row_meta.iter().enumerate() {
         let mut sign = 1.0;
-        let mut rhs = row.rhs;
+        let mut rhs = raw_rhs;
         if rhs < 0.0 {
             sign = -1.0;
             rhs = -rhs;
         }
-        for (j, &c) in row.coeffs.iter().enumerate() {
-            t[r][j] = sign * c;
+        if r < n_constraints {
+            for (v, k) in model.constraints()[r].expr.terms() {
+                t[r][v.index()] = sign * k;
+            }
+        } else {
+            t[r][bound_vars[r - n_constraints]] = sign;
         }
-        match row.relation {
+        match relation {
             Relation::Le => t[r][slack0 + r] = sign,
             Relation::Ge => t[r][slack0 + r] = -sign,
             Relation::Eq => {}
         }
         t[r][rhs_col] = rhs;
-        if needs_artificial[r] {
+        if needs_artificial(relation, raw_rhs) {
             t[r][next_art] = 1.0;
             basis[r] = next_art;
             next_art += 1;
@@ -203,7 +255,7 @@ pub fn solve_with_bounds(
                 }
             }
         }
-        run_simplex(&mut t, &mut basis, m, art0, rhs_col, &mut iters, options)?;
+        run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
         let phase1 = -t[m][rhs_col];
         if phase1 > 1e-6 {
             return Err(IlpError::Infeasible);
@@ -216,7 +268,7 @@ pub fn solve_with_bounds(
     for r in 0..m {
         if basis[r] >= art0 && t[r][rhs_col].abs() <= 1e-7 {
             if let Some(j) = (0..art0).find(|&j| t[r][j].abs() > 1e-7) {
-                pivot(&mut t, &mut basis, r, j, rhs_col);
+                pivot(t, basis, r, j, rhs_col);
             }
         }
     }
@@ -241,7 +293,7 @@ pub fn solve_with_bounds(
         }
     }
 
-    run_simplex(&mut t, &mut basis, m, art0, rhs_col, &mut iters, options)?;
+    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
 
     // Extract y values, translate back to x.
     let mut y = vec![0.0; n];
@@ -360,6 +412,7 @@ fn solve_reduced(
     upper: &[f64],
     fixed: &[bool],
     options: SimplexOptions,
+    scratch: &mut SimplexScratch,
 ) -> Result<LpSolution, IlpError> {
     let n = model.num_vars();
     // Map original -> reduced indices.
@@ -415,7 +468,7 @@ fn solve_reduced(
     }
     reduced.set_objective(objective);
 
-    let sub = solve_with_bounds(&reduced, &rlower, &rupper, options)?;
+    let sub = solve_with_bounds_scratch(&reduced, &rlower, &rupper, options, scratch)?;
     let mut values = vec![0.0; n];
     for i in 0..n {
         values[i] = if fixed[i] {

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use partita_ilp::{
     fixed_charge, solve_binary_exhaustive, BranchBound, IlpError, Model, Relation, Sense,
+    Termination,
 };
 
 /// A random selection instance: minimise area subject to gain covers and
@@ -78,6 +79,69 @@ proptest! {
             }
             (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
             (e, b) => prop_assert!(false, "status mismatch: {e:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial(inst in instance_strategy(10), threads in 2usize..=8) {
+        // The shared-incumbent path: a parallel solve must agree with the
+        // serial one on feasibility, objective *and* the tie-broken
+        // assignment, whatever the worker count or interleaving.
+        let m = build_model(&inst);
+        let serial = BranchBound::new().solve(&m);
+        let parallel = BranchBound::new().with_threads(threads).solve(&m);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert!((s.objective - p.objective).abs() < 1e-6,
+                    "objective mismatch at {threads} threads: serial {} vs parallel {}",
+                    s.objective, p.objective);
+                prop_assert_eq!(s.values, p.values,
+                    "assignment mismatch at {} threads", threads);
+            }
+            (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
+            (s, p) => prop_assert!(false, "status mismatch at {threads} threads: {s:?} vs {p:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_never_a_silent_optimal(
+        inst in instance_strategy(12),
+        threads in 1usize..=4,
+        max_nodes in 1usize..=3,
+    ) {
+        // Starving the search must surface as a budget termination with a
+        // feasible (or absent) incumbent — never as a wrong "optimal". Runs
+        // that do finish within the tiny budget must match exhaustive.
+        let m = build_model(&inst);
+        let run = BranchBound::new()
+            .with_threads(threads)
+            .with_max_nodes(max_nodes)
+            .run(&m, None);
+        match run {
+            Ok(run) => {
+                if let Some(sol) = &run.solution {
+                    prop_assert!(m.is_feasible(&sol.values, 1e-6),
+                        "incumbent infeasible under {:?}", run.termination);
+                }
+                match run.termination {
+                    Termination::Optimal => {
+                        let sol = run.solution.expect("optimal implies incumbent");
+                        let exact = solve_binary_exhaustive(&m).expect("b&b found a point");
+                        prop_assert!((sol.objective - exact.objective).abs() < 1e-6,
+                            "claimed optimal {} but exhaustive found {}",
+                            sol.objective, exact.objective);
+                    }
+                    Termination::NodeLimit => {
+                        prop_assert!(run.stats.nodes_explored <= max_nodes);
+                    }
+                    Termination::Deadline => prop_assert!(false, "no deadline was set"),
+                }
+            }
+            Err(IlpError::Infeasible) => {
+                prop_assert!(solve_binary_exhaustive(&m).is_err(),
+                    "b&b claimed infeasible but exhaustive found a point");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e:?}"),
         }
     }
 

@@ -2,8 +2,41 @@
 //! selection on repeated solves — the tables in EXPERIMENTS.md are only
 //! meaningful if the solver is deterministic.
 
-use partita::core::{RequiredGains, SolveOptions, Solver};
-use partita::workloads::{gsm, jpeg, synth};
+use partita::core::{RequiredGains, Selection, SolveBudget, SolveOptions, Solver};
+use partita::workloads::{gsm, jpeg, synth, Workload};
+
+/// Serializes everything reproducible about a selection — the chosen IMPs,
+/// objective, totals and per-path gains — excluding the trace (wall times
+/// and per-worker node counts legitimately vary between runs). Byte equality
+/// of these strings is the determinism contract.
+fn serialize_selection(sel: &Selection) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "objective={};area={};gain={};status={}\n",
+        sel.objective,
+        sel.total_area(),
+        sel.total_gain().get(),
+        sel.status
+    ));
+    for imp in sel.chosen() {
+        out.push_str(&format!("{imp:?}\n"));
+    }
+    for (path, gain) in &sel.gain_per_path {
+        out.push_str(&format!("{path:?}={}\n", gain.get()));
+    }
+    out
+}
+
+/// Solves one sweep point with an explicit branch-and-bound thread count.
+fn solve_with_threads(w: &Workload, rg: partita::mop::Cycles, threads: usize) -> Selection {
+    Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(
+            &SolveOptions::new(RequiredGains::Uniform(rg))
+                .with_budget(SolveBudget::default().with_threads(threads)),
+        )
+        .expect("sweep point feasible")
+}
 
 #[test]
 fn calibrated_sweeps_are_deterministic() {
@@ -27,6 +60,50 @@ fn calibrated_sweeps_are_deterministic() {
             );
             assert_eq!(a.total_area(), b.total_area());
             assert_eq!(a.total_gain(), b.total_gain());
+        }
+    }
+}
+
+/// The parallel backend must produce byte-identical selections at 1, 2 and
+/// 8 worker threads, across repeated runs, on every published sweep point:
+/// thread count is a performance knob, never a result knob.
+#[test]
+fn selections_are_byte_identical_across_thread_counts() {
+    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+        for &rg in &w.rg_sweep {
+            let reference = serialize_selection(&solve_with_threads(&w, rg, 1));
+            for threads in [1usize, 2, 8] {
+                for run in 0..2 {
+                    let got = serialize_selection(&solve_with_threads(&w, rg, threads));
+                    assert_eq!(
+                        reference,
+                        got,
+                        "{} at RG {}: {threads}-thread run {run} diverged from serial",
+                        w.instance.name,
+                        rg.get()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same contract on a synthetic instance whose search tree is deep enough
+/// that the parallel pool actually interleaves.
+#[test]
+fn synth_selection_byte_identical_across_thread_counts() {
+    let w = synth::generate(synth::SynthParams {
+        scalls: 14,
+        ips: 10,
+        paths: 2,
+        seed: 3,
+    });
+    let rg = w.rg_sweep[2];
+    let reference = serialize_selection(&solve_with_threads(&w, rg, 1));
+    for threads in [2usize, 8] {
+        for _ in 0..3 {
+            let got = serialize_selection(&solve_with_threads(&w, rg, threads));
+            assert_eq!(reference, got, "{threads} threads diverged");
         }
     }
 }

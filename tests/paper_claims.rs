@@ -174,6 +174,86 @@ fn problem2_never_worse_than_problem1() {
     }
 }
 
+/// Golden schema of the table binaries' JSON-lines output: every trace line
+/// must carry exactly this key set, in this order. The table1-3 binaries
+/// and any scraping tooling depend on these names; a missing or renamed key
+/// is a breaking change to the bench output format.
+#[test]
+fn trace_json_lines_match_golden_schema() {
+    const GOLDEN_KEYS: [&str; 17] = [
+        "rg",
+        "trace",
+        "backend",
+        "status",
+        "num_vars",
+        "num_constraints",
+        "num_imps",
+        "nodes_explored",
+        "nodes_pruned",
+        "incumbent_updates",
+        "simplex_iterations",
+        "warm_start_accepted",
+        "vars_fixed",
+        "threads",
+        "worker_nodes",
+        "imp_generation_us",
+        "formulation_us",
+    ];
+    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+        for &rg in &w.rg_sweep {
+            let options = SolveOptions::new(RequiredGains::Uniform(rg));
+            let sel = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&options)
+                .expect("published sweep point feasible");
+            let line = format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), sel.trace.to_json());
+            let mut cursor = 0usize;
+            for key in GOLDEN_KEYS {
+                let needle = format!("\"{key}\":");
+                let at = line[cursor..].find(&needle).unwrap_or_else(|| {
+                    panic!(
+                        "{} at RG {}: key {key:?} missing or out of order in {line}",
+                        w.instance.name,
+                        rg.get()
+                    )
+                });
+                cursor += at + needle.len();
+            }
+            // Completed published sweeps always solve within budget.
+            assert!(
+                line.contains("\"status\":\"optimal\""),
+                "{} at RG {}",
+                w.instance.name,
+                rg.get()
+            );
+            assert!(line.contains("\"solve_us\":"));
+            assert!(line.contains("\"total_us\":"));
+        }
+    }
+}
+
+/// The paper-claim invariant behind every table: area is monotone along the
+/// RG sweep — relaxing the required gain can only shrink (or keep) the
+/// minimum area, never grow it.
+#[test]
+fn areas_monotone_as_rg_relaxes() {
+    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+        let mut prev: Option<AreaTenths> = None;
+        for &rg in &w.rg_sweep {
+            let area = solve(&w, rg.get()).total_area();
+            if let Some(prev) = prev {
+                assert!(
+                    prev <= area,
+                    "{}: tightening RG to {} shrank area {prev} -> {area}",
+                    w.instance.name,
+                    rg.get()
+                );
+            }
+            prev = Some(area);
+        }
+    }
+}
+
 /// Greedy is never better than the exact ILP on any calibrated workload.
 #[test]
 fn ilp_dominates_greedy_everywhere() {
