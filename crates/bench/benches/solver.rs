@@ -55,15 +55,15 @@ fn benches(c: &mut Criterion) {
             b.iter(|| {
                 Solver::new(&w.instance)
                     .with_imps(w.imps.clone())
-                    .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+                    .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))
             });
         });
         group.bench_with_input(BenchmarkId::new("greedy", scalls), &w, |b, w| {
-            b.iter(|| baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::Uniform(rg)));
+            b.iter(|| baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::uniform(rg)));
         });
         group.bench_with_input(BenchmarkId::new("no_interface", scalls), &w, |b, w| {
             b.iter(|| {
-                baseline::solve_no_interface(&w.instance, &w.imps, &RequiredGains::Uniform(rg))
+                baseline::solve_no_interface(&w.instance, &w.imps, &RequiredGains::uniform(rg))
             });
         });
     }

@@ -15,7 +15,7 @@ fn bench_workload(c: &mut Criterion, name: &str, w: &Workload) {
             b.iter(|| {
                 Solver::new(&w.instance)
                     .with_imps(w.imps.clone())
-                    .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+                    .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))
                     .expect("sweep point feasible")
             });
         });

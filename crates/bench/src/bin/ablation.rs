@@ -4,16 +4,19 @@
 
 use std::time::{Duration, Instant};
 
-use partita_core::{baseline, RequiredGains, SolveBudget, SolveOptions, Solver};
+use partita_bench::cold_vs_chained_sweep;
+use partita_core::{
+    baseline, BatchJob, RequiredGains, SolveBudget, SolveOptions, Solver, SweepSession, SweepTrace,
+};
 use partita_mop::Cycles;
 use partita_workloads::{gsm, jpeg, synth, Workload};
 
 fn run_one(name: &str, w: &Workload, rg: Cycles) {
-    let gains = RequiredGains::Uniform(rg);
+    let gains = RequiredGains::uniform(rg);
     let t0 = Instant::now();
     let ilp = Solver::new(&w.instance)
         .with_imps(w.imps.clone())
-        .solve(&SolveOptions::new(gains.clone()));
+        .solve(&SolveOptions::problem2(gains.clone()));
     let ilp_time = t0.elapsed();
     let greedy = baseline::solve_greedy(&w.instance, &w.imps, &gains);
     let noif = baseline::solve_no_interface(&w.instance, &w.imps, &gains);
@@ -67,8 +70,8 @@ fn main() {
             paths: 2,
             seed: 99,
         });
-        let opts = SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[1]))
-            .with_budget(SolveBudget::default().with_deadline(Duration::from_secs(5)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[1]))
+            .budget(SolveBudget::default().with_deadline(Duration::from_secs(5)));
         let t0 = Instant::now();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
@@ -92,6 +95,62 @@ fn main() {
     warm_start_sweep("synth(seed=3)", &synth3);
 
     thread_scaling();
+    sweep_orchestration();
+}
+
+/// Cold vs descending-RG chained sweeps on the three published tables, plus
+/// a batched solve of the whole JPEG sweep. Chaining must never change a
+/// selection; the node savings are the point of the sweep layer.
+fn sweep_orchestration() {
+    println!("\nsweep orchestration (independent cold solves vs chained sweep, B&B nodes):");
+    let mut cold_total = 0u64;
+    let mut chained_total = 0u64;
+    for (label, w) in [
+        ("gsm_encoder", gsm::encoder()),
+        ("gsm_decoder", gsm::decoder()),
+        ("jpeg_encoder", jpeg::encoder()),
+    ] {
+        let (cold, chained) = cold_vs_chained_sweep(&w, &SolveOptions::default());
+        cold_total += cold.total_nodes();
+        chained_total += chained.total_nodes();
+        println!("{}", SweepTrace::compare_json(label, &cold, &chained));
+    }
+    println!(
+        "    total: cold {cold_total} nodes, chained {chained_total} nodes, saved {}",
+        cold_total as i64 - chained_total as i64
+    );
+
+    println!("\nbatched sweep (JPEG encoder, 4-thread pool, shared solve cache):");
+    let w = jpeg::encoder();
+    let jobs: Vec<BatchJob<'_>> = w
+        .rg_sweep
+        .iter()
+        .map(|&rg| BatchJob {
+            instance: &w.instance,
+            db: &w.imps,
+            options: SolveOptions::problem2(RequiredGains::uniform(rg)),
+        })
+        .collect();
+    let mut session = SweepSession::new();
+    let t0 = Instant::now();
+    let first = session.solve_batch(&jobs, 4);
+    let first_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let second = session.solve_batch(&jobs, 4);
+    let second_wall = t1.elapsed();
+    for (a, b) in first.iter().zip(&second) {
+        let (a, b) = (a.as_ref().expect("feasible"), b.as_ref().expect("feasible"));
+        assert_eq!(a, b, "cached batch must be byte-identical");
+    }
+    let trace = session.take_trace();
+    println!(
+        "    {} jobs: first batch {first_wall:.2?}, cached batch {second_wall:.2?} \
+         ({} cache hits / {} misses)",
+        jobs.len(),
+        trace.cache_hits,
+        trace.cache_misses
+    );
+    println!("{}", trace.to_json("jpeg_batch"));
 }
 
 /// Solves one synthetic instance at growing worker-thread counts and prints
@@ -110,8 +169,8 @@ fn thread_scaling() {
     let rg = w.rg_sweep[1];
     let mut base: Option<(partita_mop::AreaTenths, Duration)> = None;
     for threads in [1usize, 2, 4, 8] {
-        let opts = SolveOptions::new(RequiredGains::Uniform(rg))
-            .with_budget(SolveBudget::default().with_threads(threads));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(rg))
+            .budget(SolveBudget::default().with_threads(threads));
         let t0 = Instant::now();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
@@ -147,7 +206,7 @@ fn warm_start_sweep(name: &str, w: &Workload) {
         let solve = |warm: bool| {
             Solver::new(&w.instance)
                 .with_imps(w.imps.clone())
-                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)).with_warm_start(warm))
+                .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)).warm_start(warm))
         };
         let (Ok(cold), Ok(warm)) = (solve(false), solve(true)) else {
             println!("    RG {:>8}: infeasible", rg.get());

@@ -6,8 +6,7 @@
 //! software — legal in Problem 2, impossible in Problem 1.
 
 use partita_core::{
-    CoreError, Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall,
-    SolveOptions, Solver,
+    CoreError, Imp, ImpDb, Instance, ParallelChoice, RequiredGains, SCall, SolveOptions, Solver,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
@@ -58,7 +57,7 @@ fn main() {
 
     // P1 needs 1200 (met by f1+f2+iir without the common fir); P2 needs
     // 1100 (met only by dct-with-software-fir: 800 + 250 = 1050 < 1100).
-    let gains = RequiredGains::PerPath(vec![
+    let gains = RequiredGains::per_path(vec![
         (PathId(p1.0), Cycles(1200)),
         (PathId(p2.0), Cycles(1100)),
     ]);
@@ -66,7 +65,7 @@ fn main() {
     println!("Fig. 10 — common s-call on paths P1 and P2\n");
     let p1_result = Solver::new(&inst)
         .with_imps(db.clone())
-        .solve(&SolveOptions::new(gains.clone()).with_problem(ProblemKind::Problem1));
+        .solve(&SolveOptions::problem1(gains.clone()));
     match p1_result {
         Err(CoreError::Infeasible { .. }) => {
             println!("Problem 1: infeasible (as the paper observes)")
@@ -76,7 +75,7 @@ fn main() {
 
     let sel = Solver::new(&inst)
         .with_imps(db)
-        .solve(&SolveOptions::new(gains).with_problem(ProblemKind::Problem2))
+        .solve(&SolveOptions::problem2(gains))
         .expect("Problem 2 solves the Fig. 10 instance");
     println!("Problem 2: area {}, selections:", sel.total_area());
     for imp in sel.chosen() {

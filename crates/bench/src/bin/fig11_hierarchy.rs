@@ -2,7 +2,7 @@
 //! flatten — IMPs of `dct1d` are folded into `dct2d`'s alternatives, which
 //! in turn absorb the `fft` and complex-multiply levels.
 
-use partita_core::{RequiredGains, SolveOptions, Solver};
+use partita_core::{SolveOptions, SweepSession};
 use partita_mop::{CallSiteId, Cycles};
 use partita_workloads::jpeg;
 
@@ -22,13 +22,15 @@ fn main() {
         );
     }
 
-    // Sweep: watch the selection climb the hierarchy as RG grows.
+    // Sweep: watch the selection climb the hierarchy as RG grows. The
+    // chained session solves high-RG first and reuses each optimum as the
+    // next point's incumbent.
     println!("\nselection vs required gain:");
-    for &rg in &w.rg_sweep {
-        let sel = Solver::new(&w.instance)
-            .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
-            .expect("hierarchical sweep feasible");
+    let mut session = SweepSession::new();
+    let sweep = session
+        .sweep(&w.instance, &w.imps, &SolveOptions::default(), &w.rg_sweep)
+        .expect("hierarchical sweep feasible");
+    for (sel, &rg) in sweep.iter().zip(&w.rg_sweep) {
         let picks: Vec<String> = sel.chosen().iter().map(|i| format!("{i}")).collect();
         println!(
             "    RG {:>10}: gain {:>10}, area {:>6} -> {}",
@@ -40,18 +42,19 @@ fn main() {
     }
 
     // The low requirement is met by a deep-level composite (cheap C-MUL),
-    // the high one by shallower, more powerful engines.
-    let low = Solver::new(&w.instance)
-        .with_imps(w.imps.clone())
-        .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[0])))
-        .expect("low RG feasible");
-    let high = Solver::new(&w.instance)
-        .with_imps(w.imps.clone())
-        .solve(&SolveOptions::new(RequiredGains::Uniform(
-            *w.rg_sweep.last().expect("sweep non-empty"),
-        )))
-        .expect("high RG feasible");
+    // the high one by shallower, more powerful engines. Replaying the sweep
+    // is answered entirely from the session's solve cache.
+    let low = sweep.first().expect("sweep non-empty");
+    let high = sweep.last().expect("sweep non-empty");
     assert!(high.total_area() >= low.total_area());
     assert!(high.total_gain() > Cycles(30_000_000));
+    let again = session
+        .sweep(&w.instance, &w.imps, &SolveOptions::default(), &w.rg_sweep)
+        .expect("cached replay");
+    assert_eq!(
+        again, sweep,
+        "session cache must replay the sweep byte-identically"
+    );
     println!("\nthe selection escalates through the hierarchy as RG grows");
+    println!("{}", session.take_trace().to_json("fig11"));
 }

@@ -4,7 +4,8 @@
 //! code of another — finishing earlier and/or cheaper.
 
 use partita_core::{
-    Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall, SolveOptions, Solver,
+    BatchJob, Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall,
+    SolveOptions, SweepSession,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
@@ -58,16 +59,24 @@ fn main() {
         mk(b, 900, ParallelChoice::SwScalls(vec![c])),
     ]);
 
-    let rg = RequiredGains::Uniform(Cycles(1500));
+    let rg = RequiredGains::uniform(Cycles(1500));
     println!("Fig. 9 — three fir() calls, RG = 1500\n");
-    for (name, problem) in [
-        ("Problem 1 (all-in-IP)", ProblemKind::Problem1),
-        ("Problem 2 (one fir in kernel)", ProblemKind::Problem2),
-    ] {
-        let sel = Solver::new(&inst)
-            .with_imps(db.clone())
-            .solve(&SolveOptions::new(rg.clone()).with_problem(problem))
-            .expect("feasible");
+    // Both problem variants go through one batched session: two jobs, one
+    // shared worker pool, the selections memoized for the re-solve below.
+    let labels = ["Problem 1 (all-in-IP)", "Problem 2 (one fir in kernel)"];
+    let jobs: Vec<BatchJob<'_>> = [ProblemKind::Problem1, ProblemKind::Problem2]
+        .iter()
+        .map(|&problem| BatchJob {
+            instance: &inst,
+            db: &db,
+            options: SolveOptions::for_problem(problem, rg.clone()),
+        })
+        .collect();
+    let mut session = SweepSession::new();
+    let mut results = session.solve_batch(&jobs, 2).into_iter();
+    let p1 = results.next().expect("two jobs").expect("p1 feasible");
+    let p2 = results.next().expect("two jobs").expect("p2 feasible");
+    for (name, sel) in labels.iter().zip([&p1, &p2]) {
         println!(
             "{name:<32} selected {} IMP(s), gain {}, area {}",
             sel.chosen().len(),
@@ -78,14 +87,10 @@ fn main() {
             println!("    {impsel}  [{:?}]", impsel.parallel);
         }
     }
-    let p1 = Solver::new(&inst)
-        .with_imps(db.clone())
-        .solve(&SolveOptions::new(rg.clone()).with_problem(ProblemKind::Problem1))
-        .expect("p1 feasible");
-    let p2 = Solver::new(&inst)
-        .with_imps(db)
-        .solve(&SolveOptions::new(rg).with_problem(ProblemKind::Problem2))
-        .expect("p2 feasible");
+    let p2_again = session
+        .solve(&inst, &db, &jobs[1].options)
+        .expect("cached p2");
+    assert_eq!(p2_again, p2, "session cache must replay the batch job");
     assert!(p2.total_area() < p1.total_area());
     println!(
         "\nProblem 2 meets the constraint with area {} vs Problem 1's {} — the Fig. 9 effect",

@@ -1,7 +1,9 @@
 //! Reproduces **Table 3**: JPEG encoder selections across the RG sweep
 //! (IP1: 2D-DCT, IP2: 1D-DCT, IP3: FFT, IP4: C-MUL, IP5: ZIG_ZAG).
 
-use partita_bench::{compare_line, sweep_rows_traced, thread_scaling_lines, trace_json_line};
+use partita_bench::{
+    compare_line, sweep_comparison_lines, sweep_rows_traced, thread_scaling_lines, trace_json_line,
+};
 use partita_core::report::render_table;
 use partita_workloads::jpeg;
 
@@ -49,6 +51,11 @@ fn main() {
 
     println!("\nthread scaling (1 vs 4 workers, one JSON line per point):");
     for line in thread_scaling_lines(&w, &[1, 4]) {
+        println!("{line}");
+    }
+
+    println!("\nsweep orchestration (cold vs descending-RG chained, one JSON line per point):");
+    for line in sweep_comparison_lines("table3", &w) {
         println!("{line}");
     }
 }

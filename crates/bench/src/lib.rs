@@ -20,7 +20,7 @@
 #![warn(missing_docs)]
 
 use partita_core::{
-    report::TableRow, RequiredGains, SolveBudget, SolveOptions, SolveTrace, Solver,
+    report::TableRow, Selection, SolveBudget, SolveOptions, SolveTrace, SweepSession, SweepTrace,
 };
 use partita_mop::Cycles;
 use partita_workloads::Workload;
@@ -40,21 +40,38 @@ pub fn sweep_rows(workload: &Workload) -> Vec<TableRow> {
 }
 
 /// Like [`sweep_rows`], additionally returning each sweep point's
-/// [`SolveTrace`].
+/// [`SolveTrace`]. The sweep runs through a fresh chained [`SweepSession`]
+/// (descending-RG warm-start chaining), which never changes any selection —
+/// only the branch-and-bound effort recorded in the traces.
 ///
 /// # Panics
 ///
 /// Panics if any sweep point is infeasible (see [`sweep_rows`]).
 #[must_use]
 pub fn sweep_rows_traced(workload: &Workload) -> Vec<(TableRow, SolveTrace)> {
-    workload
-        .rg_sweep
-        .iter()
-        .map(|&rg| {
-            let sel = Solver::new(&workload.instance)
-                .with_imps(workload.imps.clone())
-                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
-                .unwrap_or_else(|e| panic!("RG {} infeasible: {e}", rg.get()));
+    let mut session = SweepSession::new();
+    sweep_rows_traced_in(workload, &mut session, &SolveOptions::default())
+}
+
+/// Runs the workload's published RG sweep through `session` with
+/// [`SweepSession::sweep`] chaining, under `base` options (gains are
+/// overridden per sweep point).
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible (see [`sweep_rows`]).
+#[must_use]
+pub fn sweep_rows_traced_in(
+    workload: &Workload,
+    session: &mut SweepSession,
+    base: &SolveOptions,
+) -> Vec<(TableRow, SolveTrace)> {
+    session
+        .sweep(&workload.instance, &workload.imps, base, &workload.rg_sweep)
+        .unwrap_or_else(|e| panic!("{} sweep infeasible: {e}", workload.instance.name))
+        .into_iter()
+        .zip(&workload.rg_sweep)
+        .map(|(sel, &rg)| {
             let trace = sel.trace.clone();
             (
                 TableRow::from_selection_with_library(rg, &sel, &workload.instance.library),
@@ -75,24 +92,55 @@ pub fn sweep_rows_traced_threads(
     workload: &Workload,
     threads: usize,
 ) -> Vec<(TableRow, SolveTrace)> {
-    workload
-        .rg_sweep
-        .iter()
-        .map(|&rg| {
-            let sel = Solver::new(&workload.instance)
-                .with_imps(workload.imps.clone())
-                .solve(
-                    &SolveOptions::new(RequiredGains::Uniform(rg))
-                        .with_budget(SolveBudget::default().with_threads(threads)),
-                )
-                .unwrap_or_else(|e| panic!("RG {} infeasible: {e}", rg.get()));
-            let trace = sel.trace.clone();
-            (
-                TableRow::from_selection_with_library(rg, &sel, &workload.instance.library),
-                trace,
-            )
-        })
-        .collect()
+    let mut session = SweepSession::new();
+    let base = SolveOptions::default().budget(SolveBudget::default().with_threads(threads));
+    sweep_rows_traced_in(workload, &mut session, &base)
+}
+
+/// Runs the workload's published RG sweep twice — independent cold solves,
+/// then descending-RG chained solves — through two fresh sessions, checks
+/// that every per-point [`Selection`] is identical, and returns the two
+/// [`SweepTrace`]s `(cold, chained)` for reporting.
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible, or if chaining changes any
+/// point's selection (it must not: completed solves are covered by the
+/// solver's determinism contract).
+#[must_use]
+pub fn cold_vs_chained_sweep(workload: &Workload, base: &SolveOptions) -> (SweepTrace, SweepTrace) {
+    let mut cold_session = SweepSession::new();
+    let cold: Vec<Selection> = cold_session
+        .sweep_cold(&workload.instance, &workload.imps, base, &workload.rg_sweep)
+        .unwrap_or_else(|e| panic!("{} sweep infeasible: {e}", workload.instance.name));
+    let mut chained_session = SweepSession::new();
+    let chained: Vec<Selection> = chained_session
+        .sweep(&workload.instance, &workload.imps, base, &workload.rg_sweep)
+        .unwrap_or_else(|e| panic!("{} sweep infeasible: {e}", workload.instance.name));
+    for ((c, f), &rg) in cold.iter().zip(&chained).zip(&workload.rg_sweep) {
+        assert!(
+            c.chosen() == f.chosen() && c.total_area() == f.total_area() && c.status == f.status,
+            "{}: chaining changed the selection at RG {}",
+            workload.instance.name,
+            rg.get()
+        );
+    }
+    (cold_session.take_trace(), chained_session.take_trace())
+}
+
+/// Renders the cold-vs-chained sweep comparison of a workload as JSON lines:
+/// one line per chained sweep point, the chained summary, and a final
+/// `nodes_saved` comparison line (see [`SweepTrace::compare_json`]).
+///
+/// # Panics
+///
+/// Panics as [`cold_vs_chained_sweep`] does.
+#[must_use]
+pub fn sweep_comparison_lines(label: &str, workload: &Workload) -> Vec<String> {
+    let (cold, chained) = cold_vs_chained_sweep(workload, &SolveOptions::default());
+    let mut lines = chained.json_lines(label);
+    lines.push(SweepTrace::compare_json(label, &cold, &chained));
+    lines
 }
 
 /// Runs the workload's RG sweep once per thread count and renders one JSON
@@ -165,6 +213,7 @@ pub fn compare_line(label: &str, paper: u64, measured: Cycles) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use partita_core::{RequiredGains, Solver};
     use partita_workloads::jpeg;
 
     #[test]
@@ -203,7 +252,7 @@ mod tests {
         let solve = |warm: bool| {
             Solver::new(&w.instance)
                 .with_imps(w.imps.clone())
-                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)).with_warm_start(warm))
+                .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)).warm_start(warm))
                 .expect("sweep point feasible")
         };
         let cold = solve(false);

@@ -1,0 +1,47 @@
+//! Regression gate for the sweep orchestration layer: on the published
+//! table sweeps, descending-RG chained sweeps must (a) return exactly the
+//! selections of independent cold solves and (b) explore fewer total
+//! branch-and-bound nodes. Node counts are compared at one worker thread so
+//! the totals are deterministic run to run.
+
+use partita_bench::cold_vs_chained_sweep;
+use partita_core::{SolveBudget, SolveOptions};
+use partita_workloads::{gsm, jpeg};
+
+#[test]
+fn chained_sweeps_save_nodes_on_published_tables() {
+    let base = SolveOptions::default().budget(SolveBudget::default().with_threads(1));
+    let mut cold_total = 0u64;
+    let mut chained_total = 0u64;
+    for (label, w) in [
+        ("table1", gsm::encoder()),
+        ("table2", gsm::decoder()),
+        ("table3", jpeg::encoder()),
+    ] {
+        // cold_vs_chained_sweep panics if any per-point selection differs.
+        let (cold, chained) = cold_vs_chained_sweep(&w, &base);
+        assert_eq!(cold.points.len(), w.rg_sweep.len(), "{label}");
+        assert_eq!(chained.points.len(), w.rg_sweep.len(), "{label}");
+        // Every point below the top of the sweep chains its predecessor's
+        // optimum (the monotone-feasibility argument never rejects it).
+        assert_eq!(
+            chained.chained_accepts,
+            w.rg_sweep.len() as u64 - 1,
+            "{label}"
+        );
+        assert_eq!(cold.chained_accepts, 0, "{label}");
+        assert!(
+            chained.total_nodes() <= cold.total_nodes(),
+            "{label}: chaining must never cost nodes ({} > {})",
+            chained.total_nodes(),
+            cold.total_nodes()
+        );
+        cold_total += cold.total_nodes();
+        chained_total += chained.total_nodes();
+    }
+    assert!(
+        chained_total < cold_total,
+        "chained sweeps must explore strictly fewer nodes across Tables 1-3 \
+         (chained {chained_total} !< cold {cold_total})"
+    );
+}

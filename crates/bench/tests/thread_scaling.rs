@@ -22,8 +22,8 @@ fn thread_scaling_instance_completes_and_is_deterministic() {
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
             .solve(
-                &SolveOptions::new(RequiredGains::Uniform(rg))
-                    .with_budget(SolveBudget::default().with_threads(threads)),
+                &SolveOptions::problem2(RequiredGains::uniform(rg))
+                    .budget(SolveBudget::default().with_threads(threads)),
             )
             .expect("feasible");
         println!(

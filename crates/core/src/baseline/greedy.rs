@@ -182,12 +182,12 @@ mod tests {
     #[test]
     fn greedy_meets_gains_but_ilp_is_cheaper() {
         let (inst, db) = trap_instance();
-        let gains = RequiredGains::Uniform(Cycles(160));
+        let gains = RequiredGains::uniform(Cycles(160));
         let greedy = solve_greedy(&inst, &db, &gains).unwrap();
         assert!(greedy.total_gain().get() >= 160);
         let exact = Solver::new(&inst)
             .with_imps(db)
-            .solve(&SolveOptions::new(gains))
+            .solve(&SolveOptions::problem2(gains))
             .unwrap();
         assert!(exact.total_gain().get() >= 160);
         assert!(
@@ -240,10 +240,10 @@ mod tests {
         ]);
         // Greedy takes the 100-gain IMP; the s1 IMP is then blocked, so a
         // requirement of 120 is greedy-infeasible.
-        let err = solve_greedy(&inst, &db, &RequiredGains::Uniform(Cycles(120))).unwrap_err();
+        let err = solve_greedy(&inst, &db, &RequiredGains::uniform(Cycles(120))).unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
         // But 100 is fine and uses one imp.
-        let ok = solve_greedy(&inst, &db, &RequiredGains::Uniform(Cycles(100))).unwrap();
+        let ok = solve_greedy(&inst, &db, &RequiredGains::uniform(Cycles(100))).unwrap();
         assert_eq!(ok.chosen().len(), 1);
     }
 
@@ -251,7 +251,7 @@ mod tests {
     fn empty_db_is_rejected() {
         let inst = Instance::new("e");
         assert_eq!(
-            solve_greedy(&inst, &ImpDb::default(), &RequiredGains::Uniform(Cycles(1))).unwrap_err(),
+            solve_greedy(&inst, &ImpDb::default(), &RequiredGains::uniform(Cycles(1))).unwrap_err(),
             CoreError::NoImps
         );
     }

@@ -38,7 +38,7 @@ pub fn solve_no_interface(
     let restricted = ImpDb::from_imps(filtered);
     Solver::new(instance)
         .with_imps(restricted)
-        .solve(&SolveOptions::new(gains.clone()))
+        .solve(&SolveOptions::problem2(gains.clone()))
 }
 
 #[cfg(test)]
@@ -90,14 +90,14 @@ mod tests {
         let (inst, db) = instance_with_parallel_edge();
         // 800 needs the type-3 + parallel IMP: baseline fails, full solver
         // succeeds — the paper's headline comparison.
-        let gains = RequiredGains::Uniform(Cycles(800));
+        let gains = RequiredGains::uniform(Cycles(800));
         assert!(matches!(
             solve_no_interface(&inst, &db, &gains),
             Err(CoreError::Infeasible { .. })
         ));
         let full = Solver::new(&inst)
             .with_imps(db)
-            .solve(&SolveOptions::new(gains))
+            .solve(&SolveOptions::problem2(gains))
             .unwrap();
         assert_eq!(full.chosen()[0].interface, InterfaceKind::Type3);
     }
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn baseline_succeeds_within_type0_reach() {
         let (inst, db) = instance_with_parallel_edge();
-        let sel = solve_no_interface(&inst, &db, &RequiredGains::Uniform(Cycles(300))).unwrap();
+        let sel = solve_no_interface(&inst, &db, &RequiredGains::uniform(Cycles(300))).unwrap();
         assert_eq!(sel.chosen().len(), 1);
         assert_eq!(sel.chosen()[0].interface, InterfaceKind::Type0);
         assert_eq!(sel.chosen()[0].ips, vec![IpId(0)]);
@@ -122,7 +122,7 @@ mod tests {
             .collect();
         let db3 = ImpDb::from_imps(only_t3);
         assert_eq!(
-            solve_no_interface(&inst, &db3, &RequiredGains::Uniform(Cycles(1))).unwrap_err(),
+            solve_no_interface(&inst, &db3, &RequiredGains::uniform(Cycles(1))).unwrap_err(),
             CoreError::NoImps
         );
     }

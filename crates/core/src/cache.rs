@@ -1,0 +1,126 @@
+//! Bounded LRU memo behind the sweep session's model and solve caches.
+//!
+//! Keys are full canonical strings (see `crate::sweep`), not hashes, so a
+//! cache hit can never be a collision: two requests share an entry only when
+//! their canonical forms are byte-identical. Recency is tracked with a
+//! monotonic tick per access; eviction scans for the stalest entry, which is
+//! O(len) but irrelevant at the cache sizes the sweep layer uses.
+
+use std::collections::HashMap;
+
+/// A least-recently-used cache over canonical string keys.
+#[derive(Debug, Clone)]
+pub(crate) struct LruCache<V> {
+    map: HashMap<String, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: String, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+            }
+        }
+        let tick = self.tick;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), 1);
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.insert("a".into(), 1);
+        c.insert("a".into(), 2);
+        assert_eq!(c.get("a"), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        // Touch `a` so `b` is the stalest.
+        assert_eq!(c.get("a"), Some(&1));
+        c.insert("c".into(), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(&1));
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get("a").is_none());
+        assert_eq!(c.get("b"), Some(&2));
+    }
+}

@@ -200,6 +200,27 @@ pub struct SolveTrace {
     pub decode: Duration,
 }
 
+/// Escapes a string for embedding in a hand-rolled JSON document: quotes,
+/// backslashes and control characters, per RFC 8259.
+#[must_use]
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl SolveTrace {
     /// Total wall time across all recorded phases.
     #[must_use]
@@ -223,8 +244,8 @@ impl SolveTrace {
                 "\"imp_generation_us\":{},\"formulation_us\":{},",
                 "\"solve_us\":{},\"decode_us\":{},\"total_us\":{}}}"
             ),
-            self.backend,
-            self.status,
+            json_escape(&self.backend.to_string()),
+            json_escape(&self.status.to_string()),
             self.num_vars,
             self.num_constraints,
             self.num_imps,
@@ -281,13 +302,14 @@ pub trait SolverBackend {
     fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError>;
 }
 
-/// Branch-and-bound backend, optionally warm-started with a known feasible
-/// point (see [`crate::SolveOptions::warm_start`]).
+/// Branch-and-bound backend, optionally warm-started with known feasible
+/// points (see [`crate::SolveOptions::warm_start`] and
+/// [`crate::SolveOptions::warm_start_hint`]).
 #[derive(Debug, Clone, Default)]
 pub struct BranchBoundBackend {
-    /// Optional feasible assignment seeding the incumbent; infeasible or
-    /// malformed warm starts are ignored.
-    pub warm_start: Option<Vec<f64>>,
+    /// Candidate assignments seeding the incumbent (the best feasible one
+    /// wins); infeasible or malformed seeds are ignored.
+    pub seeds: Vec<Vec<f64>>,
 }
 
 impl SolverBackend for BranchBoundBackend {
@@ -298,7 +320,7 @@ impl SolverBackend for BranchBoundBackend {
         if let Some(d) = budget.deadline {
             bb = bb.with_deadline(d);
         }
-        let run = bb.run(model, self.warm_start.as_deref())?;
+        let run = bb.run_seeded(model, &self.seeds)?;
         let status = match run.termination {
             Termination::Optimal => OptimalityStatus::Optimal,
             Termination::NodeLimit | Termination::Deadline => {
@@ -478,6 +500,14 @@ mod tests {
         // Balanced braces and quotes (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -238,21 +238,6 @@ pub(crate) fn build_model(
     Ok((model, VarMap { x, z }))
 }
 
-impl RequiredGains {
-    /// The required gain for one path.
-    #[must_use]
-    pub fn for_path(&self, path: partita_mop::PathId) -> Cycles {
-        match self {
-            RequiredGains::Uniform(g) => *g,
-            RequiredGains::PerPath(v) => v
-                .iter()
-                .find(|(p, _)| *p == path)
-                .map(|(_, g)| *g)
-                .unwrap_or(Cycles::ZERO),
-        }
-    }
-}
-
 /// Decodes which IMPs a solution selected.
 pub(crate) fn decode(db: &ImpDb, map: &VarMap, solution: &partita_ilp::IlpSolution) -> Vec<ImpId> {
     db.imps()
@@ -324,7 +309,7 @@ mod tests {
             &inst,
             &db,
             ProblemKind::Problem2,
-            &RequiredGains::Uniform(Cycles(100)),
+            &RequiredGains::uniform(Cycles(100)),
             None,
         )
         .unwrap();
@@ -342,7 +327,7 @@ mod tests {
             &inst,
             &db,
             ProblemKind::Problem2,
-            &RequiredGains::Uniform(Cycles(1_000_000)),
+            &RequiredGains::uniform(Cycles(1_000_000)),
             None,
         )
         .unwrap();
@@ -364,7 +349,7 @@ mod tests {
             &inst,
             &db,
             ProblemKind::Problem1,
-            &RequiredGains::Uniform(Cycles(10)),
+            &RequiredGains::uniform(Cycles(10)),
             None,
         )
         .unwrap();
@@ -373,7 +358,7 @@ mod tests {
             &inst,
             &db,
             ProblemKind::Problem2,
-            &RequiredGains::Uniform(Cycles(10)),
+            &RequiredGains::uniform(Cycles(10)),
             None,
         )
         .unwrap();
@@ -388,7 +373,7 @@ mod tests {
             &inst,
             &db,
             ProblemKind::Problem2,
-            &RequiredGains::Uniform(Cycles(10)),
+            &RequiredGains::uniform(Cycles(10)),
             None,
         )
         .unwrap_err();
@@ -403,7 +388,7 @@ mod tests {
                 &inst,
                 &ImpDb::default(),
                 ProblemKind::Problem2,
-                &RequiredGains::Uniform(Cycles(1)),
+                &RequiredGains::uniform(Cycles(1)),
                 None,
             )
             .unwrap_err(),
@@ -413,7 +398,7 @@ mod tests {
 
     #[test]
     fn per_path_gains() {
-        let g = RequiredGains::PerPath(vec![
+        let g = RequiredGains::per_path(vec![
             (partita_mop::PathId(0), Cycles(10)),
             (partita_mop::PathId(1), Cycles(20)),
         ]);

@@ -50,7 +50,7 @@
 //! let db = ImpDb::generate(&instance);
 //! let sel = Solver::new(&instance)
 //!     .with_imps(db)
-//!     .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(1000))))?;
+//!     .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(1000))))?;
 //! assert!(sel.chosen().iter().any(|imp| imp.ips.contains(&fir)));
 //! # Ok(())
 //! # }
@@ -61,6 +61,7 @@
 
 pub mod baseline;
 mod build;
+mod cache;
 mod conflict;
 pub mod engine;
 mod error;
@@ -73,6 +74,7 @@ pub mod merge;
 pub mod parallel_code;
 pub mod report;
 mod solver;
+pub mod sweep;
 
 pub use build::{instance_from_compiled, SCallBinding};
 pub use conflict::{sc_pc_conflicts, ConflictPair};
@@ -85,3 +87,4 @@ pub use imp::{Imp, ImpId, ParallelChoice};
 pub use impdb::ImpDb;
 pub use instance::{Instance, PathSpec, SCall};
 pub use solver::{ProblemKind, RequiredGains, Selection, SolveOptions, Solver};
+pub use sweep::{BatchJob, SweepPoint, SweepSession, SweepTrace};

@@ -9,7 +9,7 @@ use crate::engine::{
     GreedyBackend, OptimalityStatus, SolveBudget, SolveTrace, SolverBackend,
 };
 use crate::formulate::{build_model, decode, VarMap};
-use crate::{CoreError, Imp, ImpDb, Instance};
+use crate::{CoreError, Imp, ImpDb, ImpId, Instance};
 
 /// Which formulation to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,90 +22,242 @@ pub enum ProblemKind {
     Problem2,
 }
 
-/// Required performance gains `T_k`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RequiredGains {
+/// Required performance gains `T_k`, held in canonical form.
+///
+/// Construction normalizes the specification so *equal requirements compare
+/// equal* regardless of how they were written: per-path entries are sorted by
+/// path, later duplicates win, zero requirements are dropped, and an
+/// all-zero per-path spec collapses to the uniform-zero requirement. This
+/// makes `RequiredGains` safe to use as (part of) a solve-cache key — e.g.
+/// `per_path([(p, 0)])` equals `uniform(0)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequiredGains(Gains);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Gains {
     /// The same requirement on every execution path (the paper's RG sweep).
     Uniform(Cycles),
-    /// Individual per-path requirements; unlisted paths require zero.
+    /// Per-path requirements, sorted by path, no zero entries; unlisted
+    /// paths require zero.
     PerPath(Vec<(PathId, Cycles)>),
 }
 
-/// Solve options.
+impl RequiredGains {
+    /// The same requirement on every execution path (the paper's RG sweep).
+    #[must_use]
+    pub fn uniform(gain: Cycles) -> RequiredGains {
+        RequiredGains(Gains::Uniform(gain))
+    }
+
+    /// Individual per-path requirements; unlisted paths require zero.
+    ///
+    /// The entries are canonicalized: sorted by path, with a later entry for
+    /// the same path overriding an earlier one, and zero entries dropped (an
+    /// unlisted path already requires zero). An empty or all-zero spec is
+    /// the uniform-zero requirement.
+    #[must_use]
+    pub fn per_path(entries: impl IntoIterator<Item = (PathId, Cycles)>) -> RequiredGains {
+        let mut canon: Vec<(PathId, Cycles)> = Vec::new();
+        for (path, gain) in entries {
+            match canon.iter_mut().find(|(p, _)| *p == path) {
+                Some(slot) => slot.1 = gain,
+                None => canon.push((path, gain)),
+            }
+        }
+        canon.retain(|&(_, g)| g != Cycles::ZERO);
+        canon.sort_unstable_by_key(|&(p, _)| p);
+        if canon.is_empty() {
+            RequiredGains(Gains::Uniform(Cycles::ZERO))
+        } else {
+            RequiredGains(Gains::PerPath(canon))
+        }
+    }
+
+    /// The required gain for one path.
+    #[must_use]
+    pub fn for_path(&self, path: PathId) -> Cycles {
+        match &self.0 {
+            Gains::Uniform(g) => *g,
+            Gains::PerPath(v) => v
+                .iter()
+                .find(|(p, _)| *p == path)
+                .map(|(_, g)| *g)
+                .unwrap_or(Cycles::ZERO),
+        }
+    }
+
+    /// `true` when the same gain is required on every path.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.0, Gains::Uniform(_))
+    }
+
+    /// The uniform requirement, when there is one (`None` for genuinely
+    /// per-path gains). Used by sweep telemetry to tag points with their RG.
+    #[must_use]
+    pub fn as_uniform(&self) -> Option<Cycles> {
+        match &self.0 {
+            Gains::Uniform(g) => Some(*g),
+            Gains::PerPath(_) => None,
+        }
+    }
+}
+
+impl Default for RequiredGains {
+    fn default() -> Self {
+        RequiredGains::uniform(Cycles::ZERO)
+    }
+}
+
+/// Solve options, built fluently:
+///
+/// ```
+/// use partita_core::{Backend, RequiredGains, SolveBudget, SolveOptions};
+/// use partita_mop::Cycles;
+///
+/// let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1500)))
+///     .backend(Backend::BranchBound)
+///     .budget(SolveBudget::default().with_max_nodes(10_000))
+///     .power_budget_mw(250);
+/// assert_eq!(opts.power_budget(), Some(250));
+/// ```
+///
+/// The fields are not public: construct via [`SolveOptions::problem1`],
+/// [`SolveOptions::problem2`] or [`SolveOptions::for_problem`], refine with
+/// the fluent setters and read back through the accessors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolveOptions {
-    /// Which formulation.
-    pub problem: ProblemKind,
-    /// Required gains.
-    pub gains: RequiredGains,
-    /// Optional power budget in milliwatts: the selected IMPs' combined
-    /// power draw must stay below it (the paper carries power per IMP; this
-    /// is the natural constraint it supports).
-    pub power_budget_mw: Option<u64>,
-    /// Which solver backend answers the call.
-    pub backend: Backend,
-    /// Work limits and fallback policy.
-    pub budget: SolveBudget,
-    /// Seed branch-and-bound with the greedy selection as its initial
-    /// incumbent (ignored by the other backends; an infeasible greedy
-    /// selection is silently skipped).
-    pub warm_start: bool,
+    pub(crate) problem: ProblemKind,
+    pub(crate) gains: RequiredGains,
+    pub(crate) power_budget_mw: Option<u64>,
+    pub(crate) backend: Backend,
+    pub(crate) budget: SolveBudget,
+    pub(crate) warm_start: bool,
+    pub(crate) hint: Option<Vec<ImpId>>,
 }
 
 impl SolveOptions {
-    /// Problem 2 with the given gains, branch-and-bound backend, default
-    /// budget and warm-starting enabled.
-    #[must_use]
-    pub fn new(gains: RequiredGains) -> SolveOptions {
+    fn with_defaults(problem: ProblemKind, gains: RequiredGains) -> SolveOptions {
         SolveOptions {
-            problem: ProblemKind::Problem2,
+            problem,
             gains,
             power_budget_mw: None,
             backend: Backend::default(),
             budget: SolveBudget::default(),
             warm_start: true,
+            hint: None,
         }
     }
 
-    /// Switches the formulation.
+    /// Problem 2 (the general formulation, the default) with the given
+    /// gains, branch-and-bound backend, default budget and warm-starting
+    /// enabled.
     #[must_use]
-    pub fn with_problem(mut self, problem: ProblemKind) -> SolveOptions {
-        self.problem = problem;
-        self
+    pub fn problem2(gains: RequiredGains) -> SolveOptions {
+        SolveOptions::with_defaults(ProblemKind::Problem2, gains)
     }
 
-    /// Caps the selection's combined power draw.
+    /// Problem 1 (the restricted formulation) with the given gains and the
+    /// same defaults as [`SolveOptions::problem2`].
     #[must_use]
-    pub fn with_power_budget_mw(mut self, budget: u64) -> SolveOptions {
+    pub fn problem1(gains: RequiredGains) -> SolveOptions {
+        SolveOptions::with_defaults(ProblemKind::Problem1, gains)
+    }
+
+    /// Either formulation, picked at runtime (drivers that sweep both).
+    #[must_use]
+    pub fn for_problem(problem: ProblemKind, gains: RequiredGains) -> SolveOptions {
+        SolveOptions::with_defaults(problem, gains)
+    }
+
+    /// Caps the selection's combined power draw in milliwatts (the paper
+    /// carries power per IMP; this is the natural constraint it supports).
+    #[must_use]
+    pub fn power_budget_mw(mut self, budget: u64) -> SolveOptions {
         self.power_budget_mw = Some(budget);
         self
     }
 
     /// Switches the solver backend.
     #[must_use]
-    pub fn with_backend(mut self, backend: Backend) -> SolveOptions {
+    pub fn backend(mut self, backend: Backend) -> SolveOptions {
         self.backend = backend;
         self
     }
 
     /// Overrides the solve budget.
     #[must_use]
-    pub fn with_budget(mut self, budget: SolveBudget) -> SolveOptions {
+    pub fn budget(mut self, budget: SolveBudget) -> SolveOptions {
         self.budget = budget;
         self
     }
 
-    /// Enables or disables greedy warm-starting of branch-and-bound.
+    /// Enables or disables greedy warm-starting of branch-and-bound (an
+    /// infeasible greedy selection is silently skipped; the other backends
+    /// ignore this).
     #[must_use]
-    pub fn with_warm_start(mut self, warm_start: bool) -> SolveOptions {
+    pub fn warm_start(mut self, warm_start: bool) -> SolveOptions {
         self.warm_start = warm_start;
         self
+    }
+
+    /// Seeds branch-and-bound with a caller-supplied candidate selection as
+    /// an extra warm-start incumbent, alongside (not instead of) the greedy
+    /// warm start. The sweep layer chains the previous RG point's optimum
+    /// through this hook; an infeasible hint is silently skipped, so the
+    /// returned selection is never affected — only the search effort.
+    #[must_use]
+    pub fn warm_start_hint(mut self, chosen: Vec<ImpId>) -> SolveOptions {
+        self.hint = Some(chosen);
+        self
+    }
+
+    /// Which formulation.
+    #[must_use]
+    pub fn problem(&self) -> ProblemKind {
+        self.problem
+    }
+
+    /// Required gains.
+    #[must_use]
+    pub fn gains(&self) -> &RequiredGains {
+        &self.gains
+    }
+
+    /// Optional power budget in milliwatts.
+    #[must_use]
+    pub fn power_budget(&self) -> Option<u64> {
+        self.power_budget_mw
+    }
+
+    /// Which solver backend answers the call.
+    #[must_use]
+    pub fn solver_backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Work limits and fallback policy.
+    #[must_use]
+    pub fn solve_budget(&self) -> &SolveBudget {
+        &self.budget
+    }
+
+    /// Whether greedy warm-starting is enabled.
+    #[must_use]
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_start
+    }
+
+    /// The caller-supplied warm-start candidate, if any.
+    #[must_use]
+    pub fn hint(&self) -> Option<&[ImpId]> {
+        self.hint.as_deref()
     }
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions::new(RequiredGains::Uniform(Cycles::ZERO))
+        SolveOptions::problem2(RequiredGains::default())
     }
 }
 
@@ -330,113 +482,130 @@ impl<'a> Solver<'a> {
             options.power_budget_mw,
         )?;
         trace.formulation = t.elapsed();
-        trace.num_vars = model.num_vars();
-        trace.num_constraints = model.num_constraints();
-        trace.num_imps = db.len();
 
-        let t = Instant::now();
-        let (solution, backend) = self.dispatch(options, &model, &map, db)?;
-        trace.solve = t.elapsed();
-        trace.backend = backend;
-        trace.status = solution.status;
-        trace.nodes_explored = solution.effort.nodes_explored;
-        trace.nodes_pruned = solution.effort.nodes_pruned;
-        trace.incumbent_updates = solution.effort.incumbent_updates;
-        trace.simplex_iterations = solution.effort.simplex_iterations;
-        trace.warm_start_accepted = solution.effort.warm_start_accepted;
-        trace.vars_fixed = solution.effort.vars_fixed;
-        trace.threads = solution.effort.threads;
-        trace.worker_nodes = solution
-            .effort
-            .per_worker
-            .iter()
-            .map(|w| w.nodes_explored)
-            .collect();
-
-        let t = Instant::now();
-        let ilp_solution = partita_ilp::IlpSolution {
-            objective: solution.objective,
-            values: solution.values,
-        };
-        let chosen_ids = decode(db, &map, &ilp_solution);
-        let chosen: Vec<Imp> = chosen_ids
-            .iter()
-            .filter_map(|id| db.get(*id).cloned())
-            .collect();
-        // The fixed-charge indicators must agree with the decoded IP set.
-        if cfg!(debug_assertions) {
-            for (&ip, &zv) in &map.z {
-                let used = chosen.iter().any(|imp| imp.uses_ip(ip));
-                debug_assert!(
-                    !used || ilp_solution.is_set(zv),
-                    "indicator for {ip} must be set when the ip is used"
-                );
-            }
-        }
-        let mut selection = Selection::from_chosen(
-            self.instance,
-            chosen,
-            ilp_solution.objective,
-            solution.status,
-        );
-        trace.decode = t.elapsed();
-        selection.trace = trace;
-        Ok(selection)
+        solve_prepared(self.instance, db, &model, &map, options, trace)
     }
+}
 
-    /// Routes the solve to the configured backend; on
-    /// [`CoreError::BudgetExhausted`] from branch-and-bound, retries once
-    /// with the budget's fallback backend.
-    ///
-    /// Returns the solution and the backend that actually produced it.
-    fn dispatch(
-        &self,
-        options: &SolveOptions,
-        model: &partita_ilp::Model,
-        map: &VarMap,
-        db: &ImpDb,
-    ) -> Result<(EngineSolution, Backend), CoreError> {
-        let budget = &options.budget;
-        match options.backend {
-            Backend::Exhaustive => ExhaustiveBackend
-                .solve(model, budget)
-                .map(|s| (s, Backend::Exhaustive)),
-            Backend::Greedy => GreedyBackend::new(self.instance, db, &options.gains, map)
-                .solve(model, budget)
-                .map(|s| (s, Backend::Greedy)),
-            Backend::BranchBound => {
-                let warm_start = if options.warm_start {
-                    crate::baseline::solve_greedy(self.instance, db, &options.gains)
-                        .ok()
-                        .map(|sel| {
-                            let ids: Vec<_> = sel.chosen().iter().map(|imp| imp.id).collect();
-                            encode_selection(model, map, db, &ids)
-                        })
-                } else {
-                    None
-                };
-                let primary = BranchBoundBackend { warm_start }.solve(model, budget);
-                match (primary, budget.fallback) {
-                    (Err(CoreError::BudgetExhausted), Some(fallback)) => {
-                        let rescued = match fallback {
-                            Backend::Exhaustive => ExhaustiveBackend.solve(model, budget),
-                            // Falling back to the backend that just ran dry
-                            // would exhaust again; route it to greedy.
-                            Backend::Greedy | Backend::BranchBound => {
-                                GreedyBackend::new(self.instance, db, &options.gains, map)
-                                    .solve(model, budget)
-                            }
-                        }?;
-                        Ok((
-                            EngineSolution {
-                                status: OptimalityStatus::FallbackUsed,
-                                ..rescued
-                            },
-                            fallback,
-                        ))
-                    }
-                    (result, _) => result.map(|s| (s, Backend::BranchBound)),
+/// Dispatch + decode over an already-built model: the shared tail of
+/// [`Solver::solve`], also entered directly by the sweep layer when the
+/// formulation came out of its model cache (the trace then carries the
+/// *original* formulation time).
+pub(crate) fn solve_prepared(
+    instance: &Instance,
+    db: &ImpDb,
+    model: &partita_ilp::Model,
+    map: &VarMap,
+    options: &SolveOptions,
+    mut trace: SolveTrace,
+) -> Result<Selection, CoreError> {
+    trace.num_vars = model.num_vars();
+    trace.num_constraints = model.num_constraints();
+    trace.num_imps = db.len();
+
+    let t = Instant::now();
+    let (solution, backend) = dispatch(instance, db, options, model, map)?;
+    trace.solve = t.elapsed();
+    trace.backend = backend;
+    trace.status = solution.status;
+    trace.nodes_explored = solution.effort.nodes_explored;
+    trace.nodes_pruned = solution.effort.nodes_pruned;
+    trace.incumbent_updates = solution.effort.incumbent_updates;
+    trace.simplex_iterations = solution.effort.simplex_iterations;
+    trace.warm_start_accepted = solution.effort.warm_start_accepted;
+    trace.vars_fixed = solution.effort.vars_fixed;
+    trace.threads = solution.effort.threads;
+    trace.worker_nodes = solution
+        .effort
+        .per_worker
+        .iter()
+        .map(|w| w.nodes_explored)
+        .collect();
+
+    let t = Instant::now();
+    let ilp_solution = partita_ilp::IlpSolution {
+        objective: solution.objective,
+        values: solution.values,
+    };
+    let chosen_ids = decode(db, map, &ilp_solution);
+    let chosen: Vec<Imp> = chosen_ids
+        .iter()
+        .filter_map(|id| db.get(*id).cloned())
+        .collect();
+    // The fixed-charge indicators must agree with the decoded IP set.
+    if cfg!(debug_assertions) {
+        for (&ip, &zv) in &map.z {
+            let used = chosen.iter().any(|imp| imp.uses_ip(ip));
+            debug_assert!(
+                !used || ilp_solution.is_set(zv),
+                "indicator for {ip} must be set when the ip is used"
+            );
+        }
+    }
+    let mut selection =
+        Selection::from_chosen(instance, chosen, ilp_solution.objective, solution.status);
+    trace.decode = t.elapsed();
+    selection.trace = trace;
+    Ok(selection)
+}
+
+/// Routes the solve to the configured backend; on
+/// [`CoreError::BudgetExhausted`] from branch-and-bound, retries once
+/// with the budget's fallback backend.
+///
+/// Returns the solution and the backend that actually produced it.
+fn dispatch(
+    instance: &Instance,
+    db: &ImpDb,
+    options: &SolveOptions,
+    model: &partita_ilp::Model,
+    map: &VarMap,
+) -> Result<(EngineSolution, Backend), CoreError> {
+    let budget = &options.budget;
+    match options.backend {
+        Backend::Exhaustive => ExhaustiveBackend
+            .solve(model, budget)
+            .map(|s| (s, Backend::Exhaustive)),
+        Backend::Greedy => GreedyBackend::new(instance, db, &options.gains, map)
+            .solve(model, budget)
+            .map(|s| (s, Backend::Greedy)),
+        Backend::BranchBound => {
+            // Seed the incumbent with every candidate on offer: the
+            // caller's hint (e.g. the previous sweep point's optimum) and
+            // the greedy selection. Infeasible seeds are skipped inside
+            // the search, so seeding never changes the returned optimum —
+            // only how much of the tree survives pruning.
+            let mut seeds: Vec<Vec<f64>> = Vec::new();
+            if let Some(hint) = &options.hint {
+                seeds.push(encode_selection(model, map, db, hint));
+            }
+            if options.warm_start {
+                if let Ok(sel) = crate::baseline::solve_greedy(instance, db, &options.gains) {
+                    let ids: Vec<_> = sel.chosen().iter().map(|imp| imp.id).collect();
+                    seeds.push(encode_selection(model, map, db, &ids));
                 }
+            }
+            let primary = BranchBoundBackend { seeds }.solve(model, budget);
+            match (primary, budget.fallback) {
+                (Err(CoreError::BudgetExhausted), Some(fallback)) => {
+                    let rescued = match fallback {
+                        Backend::Exhaustive => ExhaustiveBackend.solve(model, budget),
+                        // Falling back to the backend that just ran dry
+                        // would exhaust again; route it to greedy.
+                        Backend::Greedy | Backend::BranchBound => {
+                            GreedyBackend::new(instance, db, &options.gains, map)
+                                .solve(model, budget)
+                        }
+                    }?;
+                    Ok((
+                        EngineSolution {
+                            status: OptimalityStatus::FallbackUsed,
+                            ..rescued
+                        },
+                        fallback,
+                    ))
+                }
+                (result, _) => result.map(|s| (s, Backend::BranchBound)),
             }
         }
     }
@@ -506,7 +675,7 @@ mod tests {
         let (inst, db) = three_firs();
         // Requirement 1500: a(600) + b-with-sw-c(900) reaches it with two
         // IMPs; Problem 1 needs all three (1800).
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1500)));
         let p2 = Solver::new(&inst)
             .with_imps(db.clone())
             .solve(&opts)
@@ -519,7 +688,9 @@ mod tests {
 
         let p1 = Solver::new(&inst)
             .with_imps(db)
-            .solve(&opts.clone().with_problem(ProblemKind::Problem1))
+            .solve(&SolveOptions::problem1(RequiredGains::uniform(Cycles(
+                1500,
+            ))))
             .unwrap();
         assert_eq!(p1.chosen().len(), 3);
         assert!(p1.total_area() > p2.total_area());
@@ -531,7 +702,7 @@ mod tests {
         // Require 2100: cannot take the 900 variant AND implement c (600+600+900
         // violates the conflict), so the only way is 600*3 = 1800 < 2100 or
         // 600 + 900 = 1500 — infeasible either way above 1800.
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(2000)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(2000)));
         let err = Solver::new(&inst).with_imps(db).solve(&opts).unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
     }
@@ -541,7 +712,9 @@ mod tests {
         let (inst, db) = three_firs();
         let sel = Solver::new(&inst)
             .with_imps(db)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(1200))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
+                1200,
+            ))))
             .unwrap();
         assert_eq!(sel.ip_area, AreaTenths::from_units(3)); // IP once
         assert_eq!(sel.total_area(), sel.ip_area + sel.interface_area);
@@ -573,7 +746,9 @@ mod tests {
         );
         inst.add_path(vec![sc]);
         let sel = Solver::new(&inst)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(1000))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
+                1000,
+            ))))
             .unwrap();
         assert_eq!(sel.chosen().len(), 1);
         assert_eq!(sel.chosen()[0].ips, vec![IpId(0)]);
@@ -621,14 +796,14 @@ mod tests {
         // Without a budget the higher-gain type-3 wins the area tie.
         let free = Solver::new(&inst)
             .with_imps(db.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(500))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(500))))
             .unwrap();
         assert_eq!(free.chosen()[0].interface, InterfaceKind::Type3);
         // A 200 mW budget forces the frugal type-0 implementation.
         let capped = Solver::new(&inst)
             .with_imps(db.clone())
             .solve(
-                &SolveOptions::new(RequiredGains::Uniform(Cycles(500))).with_power_budget_mw(200),
+                &SolveOptions::problem2(RequiredGains::uniform(Cycles(500))).power_budget_mw(200),
             )
             .unwrap();
         assert_eq!(capped.chosen()[0].interface, InterfaceKind::Type0);
@@ -636,7 +811,7 @@ mod tests {
         // An impossible budget is infeasible.
         let err = Solver::new(&inst)
             .with_imps(db)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(500))).with_power_budget_mw(50))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(500))).power_budget_mw(50))
             .unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
     }
@@ -683,9 +858,9 @@ mod tests {
     #[test]
     fn one_node_budget_falls_back_to_greedy() {
         let (inst, db) = needs_two_imps();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
-            .with_warm_start(false)
-            .with_budget(crate::SolveBudget::default().with_max_nodes(1));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(700)))
+            .warm_start(false)
+            .budget(crate::SolveBudget::default().with_max_nodes(1));
         let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
         assert_eq!(sel.status, crate::OptimalityStatus::FallbackUsed);
         assert_eq!(sel.trace.backend, crate::Backend::Greedy);
@@ -697,9 +872,9 @@ mod tests {
     #[test]
     fn one_node_budget_without_fallback_errors() {
         let (inst, db) = needs_two_imps();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
-            .with_warm_start(false)
-            .with_budget(
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(700)))
+            .warm_start(false)
+            .budget(
                 crate::SolveBudget::default()
                     .with_max_nodes(1)
                     .with_fallback(None),
@@ -714,8 +889,8 @@ mod tests {
         // incumbent, so branch-and-bound reports the best incumbent instead
         // of falling back.
         let (inst, db) = needs_two_imps();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(700)))
-            .with_budget(crate::SolveBudget::default().with_max_nodes(1));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(700)))
+            .budget(crate::SolveBudget::default().with_max_nodes(1));
         let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
         assert_eq!(sel.status, crate::OptimalityStatus::FeasibleBudgetExhausted);
         assert!(sel.trace.warm_start_accepted);
@@ -725,14 +900,14 @@ mod tests {
     #[test]
     fn exhaustive_backend_matches_branch_bound() {
         let (inst, db) = three_firs();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1500)));
         let bb = Solver::new(&inst)
             .with_imps(db.clone())
             .solve(&opts)
             .unwrap();
         let ex = Solver::new(&inst)
             .with_imps(db)
-            .solve(&opts.clone().with_backend(crate::Backend::Exhaustive))
+            .solve(&opts.clone().backend(crate::Backend::Exhaustive))
             .unwrap();
         assert!((bb.objective - ex.objective).abs() < 1e-6);
         assert_eq!(ex.status, crate::OptimalityStatus::Optimal);
@@ -744,8 +919,8 @@ mod tests {
     #[test]
     fn greedy_backend_reports_heuristic_status() {
         let (inst, db) = three_firs();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1200)))
-            .with_backend(crate::Backend::Greedy);
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1200)))
+            .backend(crate::Backend::Greedy);
         let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
         assert_eq!(sel.status, crate::OptimalityStatus::Heuristic);
         sel.verify(&inst, &opts).unwrap();
@@ -754,7 +929,7 @@ mod tests {
     #[test]
     fn trace_is_populated_on_default_solve() {
         let (inst, db) = three_firs();
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(1500)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1500)));
         let sel = Solver::new(&inst).with_imps(db).solve(&opts).unwrap();
         assert_eq!(sel.status, crate::OptimalityStatus::Optimal);
         let t = &sel.trace;
@@ -765,6 +940,69 @@ mod tests {
         // The JSON view round-trips the same numbers.
         let json = t.to_json();
         assert!(json.contains(&format!("\"nodes_explored\":{}", t.nodes_explored)));
+    }
+
+    #[test]
+    fn required_gains_canonical_form() {
+        use partita_mop::PathId;
+        // A zero per-path entry is the same requirement as uniform zero.
+        assert_eq!(
+            RequiredGains::per_path(vec![(PathId(0), Cycles::ZERO)]),
+            RequiredGains::uniform(Cycles::ZERO)
+        );
+        assert_eq!(RequiredGains::per_path(vec![]), RequiredGains::default());
+        // Order-insensitive; a later duplicate wins; zeros are dropped.
+        let a = RequiredGains::per_path(vec![
+            (PathId(1), Cycles(5)),
+            (PathId(0), Cycles(7)),
+            (PathId(2), Cycles(3)),
+            (PathId(2), Cycles::ZERO),
+            (PathId(0), Cycles(9)),
+        ]);
+        let b = RequiredGains::per_path(vec![(PathId(0), Cycles(9)), (PathId(1), Cycles(5))]);
+        assert_eq!(a, b);
+        assert!(!a.is_uniform());
+        assert_eq!(a.for_path(PathId(0)), Cycles(9));
+        assert_eq!(a.for_path(PathId(2)), Cycles::ZERO);
+        // Unlisted paths require zero.
+        assert_eq!(a.for_path(PathId(17)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn builder_accessors_round_trip() {
+        let opts = SolveOptions::problem1(RequiredGains::uniform(Cycles(42)))
+            .backend(crate::Backend::Exhaustive)
+            .budget(crate::SolveBudget::default().with_max_nodes(7))
+            .power_budget_mw(99)
+            .warm_start(false)
+            .warm_start_hint(vec![ImpId(3)]);
+        assert_eq!(opts.problem(), ProblemKind::Problem1);
+        assert_eq!(opts.gains(), &RequiredGains::uniform(Cycles(42)));
+        assert_eq!(opts.solver_backend(), crate::Backend::Exhaustive);
+        assert_eq!(opts.solve_budget().max_nodes, 7);
+        assert_eq!(opts.power_budget(), Some(99));
+        assert!(!opts.warm_start_enabled());
+        assert_eq!(opts.hint(), Some(&[ImpId(3)][..]));
+    }
+
+    #[test]
+    fn warm_start_hint_does_not_change_the_selection() {
+        let (inst, db) = three_firs();
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1500)));
+        let cold = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&opts)
+            .unwrap();
+        let ids: Vec<ImpId> = cold.chosen().iter().map(|i| i.id).collect();
+        // Seeding the known optimum (or garbage) never changes the result.
+        for hint in [ids, vec![ImpId(999)]] {
+            let hinted = Solver::new(&inst)
+                .with_imps(db.clone())
+                .solve(&opts.clone().warm_start_hint(hint))
+                .unwrap();
+            assert_eq!(hinted.chosen(), cold.chosen());
+            assert_eq!(hinted.total_area(), cold.total_area());
+        }
     }
 
     #[test]

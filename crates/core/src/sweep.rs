@@ -1,0 +1,928 @@
+//! Sweep/batch orchestration: canonical-instance solve caching and
+//! cross-RG warm-start chaining.
+//!
+//! The paper's headline experiments (Tables 1–3, Figs 8–11) are RG
+//! *sweeps*: the same instance solved at many required-gain points. Driving
+//! each point as a cold, independent [`crate::Solver::solve`] call rebuilds
+//! the ILP model and restarts branch-and-bound from scratch every time. A
+//! [`SweepSession`] removes both redundancies:
+//!
+//! * **Canonical-instance caching.** Every request is canonicalized into a
+//!   stable content key over the instance *structure* (s-calls, library,
+//!   paths, area model — everything except the display name) plus the IMP
+//!   database and the solve configuration. Built models and returned
+//!   [`Selection`]s are memoized in bounded LRU caches, so duplicate or
+//!   isomorphic requests hit the cache and return byte-identical results.
+//! * **Descending-RG warm-start chaining.** A uniform-gain sweep has
+//!   monotone structure: a selection feasible at gain `r` is feasible at
+//!   every `r' < r` (it achieves at least `r` on every path). So
+//!   [`SweepSession::sweep`] solves points in descending-RG order and
+//!   chains each point's optimum into the next point's branch-and-bound as
+//!   a warm-start incumbent via [`crate::SolveOptions::warm_start_hint`].
+//!   Seeding only tightens pruning — the lexicographic tie-break still
+//!   picks the same optimum — so every chained selection is identical to
+//!   its cold-solve counterpart (for solves that finish within budget; a
+//!   budget-exhausted incumbent is exempt, exactly as for thread counts).
+//! * **Batched fan-out.** [`SweepSession::solve_batch`] fans independent
+//!   (instance, options) jobs across a scoped worker pool with per-job
+//!   budgets, sharing both caches across the batch.
+//!
+//! All of it is observable: the session accumulates a [`SweepTrace`] with
+//! cache hits/misses, chained-incumbent accepts, per-point node counts and
+//! wall times, rendered as JSON lines for scraping.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use partita_mop::Cycles;
+
+use crate::cache::LruCache;
+use crate::engine::json_escape;
+use crate::formulate::{build_model, VarMap};
+use crate::solver::solve_prepared;
+use crate::{CoreError, ImpDb, Instance, RequiredGains, Selection, SolveOptions, SolveTrace};
+
+/// A formulated model kept by the model cache, with the wall time it
+/// originally took to build (charged to every solve that reuses it, so
+/// cached traces stay honest about formulation cost).
+#[derive(Debug)]
+struct PreparedModel {
+    model: partita_ilp::Model,
+    map: VarMap,
+    formulation: Duration,
+}
+
+/// One solve job for [`SweepSession::solve_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchJob<'a> {
+    /// The problem instance.
+    pub instance: &'a Instance,
+    /// Its IMP database.
+    pub db: &'a ImpDb,
+    /// Solve configuration (carries its own per-job budget).
+    pub options: SolveOptions,
+}
+
+/// Telemetry of one sweep point or batch job run through a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// FNV-1a 64 digest of the canonical solve key (telemetry only — cache
+    /// lookups compare full keys, never digests).
+    pub digest: u64,
+    /// The uniform required gain, when the point's gains are uniform.
+    pub rg: Option<Cycles>,
+    /// Whether the solve cache answered without running a solver.
+    pub cache_hit: bool,
+    /// Whether a chained warm-start incumbent was injected.
+    pub chained: bool,
+    /// Branch-and-bound nodes explored (0 on a cache hit — no new search).
+    pub nodes_explored: usize,
+    /// Wall time of this point, cache lookups included.
+    pub wall: Duration,
+}
+
+/// Aggregated telemetry of a [`SweepSession`]: totals plus one
+/// [`SweepPoint`] per request, in request order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepTrace {
+    /// Requests answered from the solve cache.
+    pub cache_hits: u64,
+    /// Requests that had to run a solver.
+    pub cache_misses: u64,
+    /// Solver runs that reused a cached model.
+    pub model_hits: u64,
+    /// Solver runs that built their model.
+    pub model_misses: u64,
+    /// Sweep points that were seeded with the previous (higher-RG) point's
+    /// verified-feasible optimum.
+    pub chained_accepts: u64,
+    /// Per-request telemetry, in request order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepTrace {
+    /// Total branch-and-bound nodes explored across all recorded points
+    /// (cache hits contribute 0).
+    #[must_use]
+    pub fn total_nodes(&self) -> u64 {
+        self.points.iter().map(|p| p.nodes_explored as u64).sum()
+    }
+
+    /// Total wall time across all recorded points.
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.points.iter().map(|p| p.wall).sum()
+    }
+
+    /// Renders the aggregate counters as one JSON object tagged with
+    /// `label`.
+    #[must_use]
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\"sweep\":\"{}\",\"points\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"model_hits\":{},\"model_misses\":{},",
+                "\"chained_accepts\":{},\"nodes\":{},\"wall_us\":{}}}"
+            ),
+            json_escape(label),
+            self.points.len(),
+            self.cache_hits,
+            self.cache_misses,
+            self.model_hits,
+            self.model_misses,
+            self.chained_accepts,
+            self.total_nodes(),
+            self.total_wall().as_micros(),
+        )
+    }
+
+    /// Renders one JSON line per recorded point, followed by the
+    /// [`SweepTrace::to_json`] summary line.
+    #[must_use]
+    pub fn json_lines(&self, label: &str) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                format!(
+                    concat!(
+                        "{{\"sweep\":\"{}\",\"point\":{},\"digest\":\"{:016x}\",",
+                        "\"rg\":{},\"cache_hit\":{},\"chained\":{},",
+                        "\"nodes\":{},\"wall_us\":{}}}"
+                    ),
+                    json_escape(label),
+                    i,
+                    p.digest,
+                    p.rg.map_or_else(|| "null".to_string(), |rg| rg.get().to_string()),
+                    p.cache_hit,
+                    p.chained,
+                    p.nodes_explored,
+                    p.wall.as_micros(),
+                )
+            })
+            .collect();
+        lines.push(self.to_json(label));
+        lines
+    }
+
+    /// Renders a cold-vs-chained comparison as one JSON object: total
+    /// nodes and wall time of both traces plus the nodes saved by chaining
+    /// (negative if chaining somehow cost nodes).
+    #[must_use]
+    pub fn compare_json(label: &str, cold: &SweepTrace, chained: &SweepTrace) -> String {
+        let saved = cold.total_nodes() as i64 - chained.total_nodes() as i64;
+        format!(
+            concat!(
+                "{{\"sweep\":\"{}\",\"cold_nodes\":{},\"chained_nodes\":{},",
+                "\"nodes_saved\":{},\"chained_accepts\":{},",
+                "\"cold_wall_us\":{},\"chained_wall_us\":{}}}"
+            ),
+            json_escape(label),
+            cold.total_nodes(),
+            chained.total_nodes(),
+            saved,
+            chained.chained_accepts,
+            cold.total_wall().as_micros(),
+            chained.total_wall().as_micros(),
+        )
+    }
+}
+
+/// FNV-1a 64-bit digest, reported in telemetry so sweep points can be
+/// correlated across runs without dumping full canonical keys.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical content key of an instance + IMP database: every structural
+/// field, *excluding* the instance's display name, so isomorphic instances
+/// (same structure, different name) share cache entries. The `Debug`
+/// renderings of the constituent types are deterministic (plain data,
+/// `BTreeMap`-backed where ordered iteration matters).
+fn instance_key(instance: &Instance, db: &ImpDb) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}",
+        instance.scalls, instance.library, instance.paths, instance.area_model, db
+    )
+}
+
+/// Model-cache key: the instance key plus everything that shapes the
+/// formulation.
+fn model_key(ikey: &str, options: &SolveOptions) -> String {
+    format!(
+        "{ikey}|{:?}|{:?}|{:?}",
+        options.problem, options.gains, options.power_budget_mw
+    )
+}
+
+/// Solve-cache key: the model key plus everything that can change the
+/// returned selection *or its trace* (backend, budget incl. threads, seeds).
+fn solve_key(ikey: &str, options: &SolveOptions) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{:?}",
+        model_key(ikey, options),
+        options.backend,
+        options.budget,
+        options.warm_start,
+        options.hint
+    )
+}
+
+/// A caching, chaining, batching solve session.
+///
+/// See the module docs for the design; the short version:
+///
+/// ```
+/// use partita_core::{sweep::SweepSession, ImpDb, Instance, RequiredGains,
+///     SCall, SolveOptions};
+/// use partita_ip::{IpBlock, IpFunction};
+/// use partita_interface::TransferJob;
+/// use partita_mop::{AreaTenths, Cycles};
+///
+/// # fn main() -> Result<(), partita_core::CoreError> {
+/// let mut instance = Instance::new("demo");
+/// instance.library.add(
+///     IpBlock::builder("fir16").function(IpFunction::Fir)
+///         .rates(4, 4).latency(8)
+///         .area(AreaTenths::from_units(3)).build(),
+/// );
+/// let sc = instance.add_scall(
+///     SCall::new("fir", IpFunction::Fir, Cycles(4000), TransferJob::new(160, 160)),
+/// );
+/// instance.add_path(vec![sc]);
+/// let db = ImpDb::generate(&instance);
+///
+/// let mut session = SweepSession::new();
+/// let base = SolveOptions::default();
+/// let sweep = session.sweep(&instance, &db, &base, &[Cycles(500), Cycles(1000)])?;
+/// assert_eq!(sweep.len(), 2);
+/// // Re-running the same sweep is answered entirely from the cache.
+/// let again = session.sweep(&instance, &db, &base, &[Cycles(500), Cycles(1000)])?;
+/// assert_eq!(sweep, again);
+/// assert!(session.trace().cache_hits >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepSession {
+    models: LruCache<Arc<PreparedModel>>,
+    solves: LruCache<Selection>,
+    trace: SweepTrace,
+}
+
+impl Default for SweepSession {
+    fn default() -> Self {
+        SweepSession::new()
+    }
+}
+
+impl SweepSession {
+    /// Default cache bounds: 32 formulated models, 256 memoized selections.
+    #[must_use]
+    pub fn new() -> SweepSession {
+        SweepSession::with_capacities(32, 256)
+    }
+
+    /// A session with explicit cache bounds (each clamped to at least 1).
+    #[must_use]
+    pub fn with_capacities(models: usize, solves: usize) -> SweepSession {
+        SweepSession {
+            models: LruCache::new(models),
+            solves: LruCache::new(solves),
+            trace: SweepTrace::default(),
+        }
+    }
+
+    /// Telemetry accumulated since construction (or the last
+    /// [`SweepSession::take_trace`]).
+    #[must_use]
+    pub fn trace(&self) -> &SweepTrace {
+        &self.trace
+    }
+
+    /// Drains and returns the accumulated telemetry, resetting it — lets a
+    /// driver emit one trace per phase (e.g. cold sweep vs. chained sweep)
+    /// from a single session.
+    pub fn take_trace(&mut self) -> SweepTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of memoized selections currently held.
+    #[must_use]
+    pub fn cached_solves(&self) -> usize {
+        self.solves.len()
+    }
+
+    /// Number of formulated models currently held.
+    #[must_use]
+    pub fn cached_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Bound on memoized selections.
+    #[must_use]
+    pub fn solve_capacity(&self) -> usize {
+        self.solves.capacity()
+    }
+
+    /// Bound on cached models.
+    #[must_use]
+    pub fn model_capacity(&self) -> usize {
+        self.models.capacity()
+    }
+
+    /// A single cache-aware solve: answers from the solve cache when the
+    /// canonical key matches a memoized request (byte-identical
+    /// [`Selection`], trace included), otherwise formulates (or reuses) the
+    /// model and dispatches like [`crate::Solver::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`crate::Solver::solve`]; errors are not cached.
+    pub fn solve(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        options: &SolveOptions,
+    ) -> Result<Selection, CoreError> {
+        self.solve_point(instance, db, options, false)
+    }
+
+    /// Runs a uniform-gain RG sweep with descending-RG warm-start chaining:
+    /// points are solved from the highest requirement down, each optimum
+    /// seeding the next point's branch-and-bound (after an independent
+    /// feasibility check), and the selections are returned in the order of
+    /// `rgs`. `base` supplies everything except the gains, which are
+    /// overridden per point.
+    ///
+    /// Chaining never changes a within-budget selection — see the module
+    /// docs — so the result is identical to [`SweepSession::sweep_cold`]
+    /// point for point, only cheaper.
+    ///
+    /// # Errors
+    ///
+    /// The first point error, in descending-RG solve order.
+    pub fn sweep(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        base: &SolveOptions,
+        rgs: &[Cycles],
+    ) -> Result<Vec<Selection>, CoreError> {
+        self.sweep_impl(instance, db, base, rgs, true)
+    }
+
+    /// The uncached-structure baseline for [`SweepSession::sweep`]: the same
+    /// sweep points solved independently, with no cross-point chaining (the
+    /// solve and model caches still apply — a repeated point still hits).
+    ///
+    /// # Errors
+    ///
+    /// The first point error, in descending-RG solve order.
+    pub fn sweep_cold(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        base: &SolveOptions,
+        rgs: &[Cycles],
+    ) -> Result<Vec<Selection>, CoreError> {
+        self.sweep_impl(instance, db, base, rgs, false)
+    }
+
+    fn sweep_impl(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        base: &SolveOptions,
+        rgs: &[Cycles],
+        chain: bool,
+    ) -> Result<Vec<Selection>, CoreError> {
+        let mut order: Vec<usize> = (0..rgs.len()).collect();
+        order.sort_by(|&a, &b| rgs[b].cmp(&rgs[a]));
+        let mut results: Vec<Option<Selection>> = vec![None; rgs.len()];
+        let mut prev: Option<Selection> = None;
+        for &i in &order {
+            let mut opts = base.clone();
+            opts.gains = RequiredGains::uniform(rgs[i]);
+            opts.hint = None;
+            let mut chained = false;
+            if chain {
+                if let Some(prev_sel) = &prev {
+                    // The monotone-sweep argument says the higher-RG optimum
+                    // is feasible here; verify independently anyway so a
+                    // non-uniform base or a heuristic previous point can
+                    // never inject a bogus incumbent.
+                    if prev_sel.verify(instance, &opts).is_ok() {
+                        opts.hint = Some(prev_sel.chosen().iter().map(|imp| imp.id).collect());
+                        chained = true;
+                        self.trace.chained_accepts += 1;
+                    }
+                }
+            }
+            let sel = self.solve_point(instance, db, &opts, chained)?;
+            prev = Some(sel.clone());
+            results[i] = Some(sel);
+        }
+        Ok(results
+            .into_iter()
+            .map(|s| s.expect("every sweep index solved exactly once"))
+            .collect())
+    }
+
+    /// Fans independent jobs across `pool_threads` scoped workers, sharing
+    /// this session's caches: cached jobs are answered up front, the misses
+    /// are solved concurrently (each under its own
+    /// [`crate::SolveOptions::solve_budget`]), and every result lands in
+    /// the cache for the next batch. Results come back in job order,
+    /// per-job errors in place.
+    pub fn solve_batch(
+        &mut self,
+        jobs: &[BatchJob<'_>],
+        pool_threads: usize,
+    ) -> Vec<Result<Selection, CoreError>> {
+        let pool_threads = pool_threads.max(1);
+        let mut out: Vec<Option<Result<Selection, CoreError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+
+        // Phase 1 (serial): probe the solve cache, prepare models for the
+        // misses. Keeping cache mutation on one thread keeps the LRU simple.
+        struct Pending {
+            job: usize,
+            skey: String,
+            digest: u64,
+            prepared: Arc<PreparedModel>,
+            model_hit: bool,
+        }
+        let mut pending: Vec<Pending> = Vec::new();
+        // Canonically identical jobs within one batch collapse to a single
+        // solve; the duplicates ride along as followers and are answered
+        // with the exact same Selection (so a duplicate can never diverge
+        // from its twin by trace timing).
+        let mut by_key: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let started = Instant::now();
+            let ikey = instance_key(job.instance, job.db);
+            let skey = solve_key(&ikey, &job.options);
+            let digest = fnv1a64(&skey);
+            if let Some(sel) = self.solves.get(&skey) {
+                let sel = sel.clone();
+                self.trace.cache_hits += 1;
+                self.trace.points.push(SweepPoint {
+                    digest,
+                    rg: job.options.gains.as_uniform(),
+                    cache_hit: true,
+                    chained: false,
+                    nodes_explored: 0,
+                    wall: started.elapsed(),
+                });
+                out[i] = Some(Ok(sel));
+                continue;
+            }
+            if let Some(&twin) = by_key.get(&skey) {
+                self.trace.cache_hits += 1;
+                self.trace.points.push(SweepPoint {
+                    digest,
+                    rg: job.options.gains.as_uniform(),
+                    cache_hit: true,
+                    chained: false,
+                    nodes_explored: 0,
+                    wall: started.elapsed(),
+                });
+                followers.push((i, twin));
+                continue;
+            }
+            match self.prepared_model(job.instance, job.db, &job.options, &ikey) {
+                Ok((prepared, model_hit)) => {
+                    by_key.insert(skey.clone(), pending.len());
+                    pending.push(Pending {
+                        job: i,
+                        skey,
+                        digest,
+                        prepared,
+                        model_hit,
+                    });
+                }
+                Err(e) => {
+                    self.trace.cache_misses += 1;
+                    out[i] = Some(Err(e));
+                }
+            }
+        }
+
+        // Phase 2 (parallel): solve the misses. Workers pull jobs off a
+        // shared counter — the work-stealing is at job granularity; each
+        // job's own branch-and-bound may still run its internal pool.
+        type Outcome = (Result<Selection, CoreError>, Duration);
+        let next = AtomicUsize::new(0);
+        let solved: Mutex<Vec<Option<Outcome>>> =
+            Mutex::new((0..pending.len()).map(|_| None).collect());
+        let run_one = |p: &Pending| {
+            let started = Instant::now();
+            let job = &jobs[p.job];
+            let trace = SolveTrace {
+                formulation: p.prepared.formulation,
+                ..SolveTrace::default()
+            };
+            let result = solve_prepared(
+                job.instance,
+                job.db,
+                &p.prepared.model,
+                &p.prepared.map,
+                &job.options,
+                trace,
+            );
+            (result, started.elapsed())
+        };
+        if pool_threads == 1 || pending.len() <= 1 {
+            let mut solved = solved.lock().expect("batch results lock");
+            for (k, p) in pending.iter().enumerate() {
+                solved[k] = Some(run_one(p));
+            }
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..pool_threads.min(pending.len()) {
+                    s.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(p) = pending.get(k) else { return };
+                        let outcome = run_one(p);
+                        solved.lock().expect("batch results lock")[k] = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        // Phase 3 (serial): record telemetry, memoize, fill the output.
+        let solved = solved.into_inner().expect("batch results lock");
+        let mut resolved: Vec<Result<Selection, CoreError>> = Vec::with_capacity(pending.len());
+        for (p, outcome) in pending.iter().zip(solved) {
+            let (result, wall) = outcome.expect("every pending job solved");
+            self.trace.cache_misses += 1;
+            if p.model_hit {
+                self.trace.model_hits += 1;
+            } else {
+                self.trace.model_misses += 1;
+            }
+            let nodes = result
+                .as_ref()
+                .map(|sel| sel.trace.nodes_explored)
+                .unwrap_or(0);
+            self.trace.points.push(SweepPoint {
+                digest: p.digest,
+                rg: jobs[p.job].options.gains.as_uniform(),
+                cache_hit: false,
+                chained: false,
+                nodes_explored: nodes,
+                wall,
+            });
+            if let Ok(sel) = &result {
+                self.solves.insert(p.skey.clone(), sel.clone());
+            }
+            resolved.push(result);
+        }
+        for (job, twin) in followers {
+            out[job] = Some(resolved[twin].clone());
+        }
+        for (p, result) in pending.iter().zip(resolved) {
+            out[p.job] = Some(result);
+        }
+
+        out.into_iter()
+            .map(|r| r.expect("every job answered"))
+            .collect()
+    }
+
+    /// Fetches the formulated model for (instance, options) from the model
+    /// cache, building and memoizing it on a miss. Returns the model and
+    /// whether it was a hit.
+    fn prepared_model(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        options: &SolveOptions,
+        ikey: &str,
+    ) -> Result<(Arc<PreparedModel>, bool), CoreError> {
+        let mkey = model_key(ikey, options);
+        if let Some(m) = self.models.get(&mkey) {
+            return Ok((Arc::clone(m), true));
+        }
+        let t = Instant::now();
+        let (model, map) = build_model(
+            instance,
+            db,
+            options.problem,
+            &options.gains,
+            options.power_budget_mw,
+        )?;
+        let prepared = Arc::new(PreparedModel {
+            model,
+            map,
+            formulation: t.elapsed(),
+        });
+        self.models.insert(mkey, Arc::clone(&prepared));
+        Ok((prepared, false))
+    }
+
+    /// The single-request path shared by [`SweepSession::solve`] and the
+    /// sweep loop.
+    fn solve_point(
+        &mut self,
+        instance: &Instance,
+        db: &ImpDb,
+        options: &SolveOptions,
+        chained: bool,
+    ) -> Result<Selection, CoreError> {
+        let started = Instant::now();
+        let ikey = instance_key(instance, db);
+        let skey = solve_key(&ikey, options);
+        let digest = fnv1a64(&skey);
+        let rg = options.gains.as_uniform();
+        if let Some(sel) = self.solves.get(&skey) {
+            let sel = sel.clone();
+            self.trace.cache_hits += 1;
+            self.trace.points.push(SweepPoint {
+                digest,
+                rg,
+                cache_hit: true,
+                chained,
+                nodes_explored: 0,
+                wall: started.elapsed(),
+            });
+            return Ok(sel);
+        }
+        self.trace.cache_misses += 1;
+        let (prepared, model_hit) = self.prepared_model(instance, db, options, &ikey)?;
+        if model_hit {
+            self.trace.model_hits += 1;
+        } else {
+            self.trace.model_misses += 1;
+        }
+        let trace = SolveTrace {
+            formulation: prepared.formulation,
+            ..SolveTrace::default()
+        };
+        let sel = solve_prepared(instance, db, &prepared.model, &prepared.map, options, trace)?;
+        self.trace.points.push(SweepPoint {
+            digest,
+            rg,
+            cache_hit: false,
+            chained,
+            nodes_explored: sel.trace.nodes_explored,
+            wall: started.elapsed(),
+        });
+        self.solves.insert(skey, sel.clone());
+        Ok(sel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Imp, ParallelChoice, SCall};
+    use partita_interface::{InterfaceKind, TransferJob};
+    use partita_ip::{IpBlock, IpFunction};
+    use partita_mop::AreaTenths;
+
+    /// Three fir() s-calls on one path, one shared IP — small enough for
+    /// instant solves, rich enough for a 3-point sweep.
+    fn three_firs(name: &str) -> (Instance, ImpDb) {
+        let mut inst = Instance::new(name);
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        let mut scs = Vec::new();
+        for _ in 0..3 {
+            scs.push(inst.add_scall(SCall::new(
+                "fir",
+                IpFunction::Fir,
+                Cycles(1000),
+                TransferJob::new(8, 8),
+            )));
+        }
+        inst.add_path(scs.clone());
+        let db = ImpDb::from_imps(
+            scs.iter()
+                .map(|&sc| {
+                    Imp::new(
+                        sc,
+                        vec![ip],
+                        InterfaceKind::Type1,
+                        Cycles(600),
+                        AreaTenths::from_tenths(2),
+                        ParallelChoice::None,
+                    )
+                })
+                .collect(),
+        );
+        (inst, db)
+    }
+
+    #[test]
+    fn repeat_solve_hits_cache_with_identical_selection() {
+        let (inst, db) = three_firs("a");
+        let mut s = SweepSession::new();
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1200)));
+        let cold = s.solve(&inst, &db, &opts).unwrap();
+        let hit = s.solve(&inst, &db, &opts).unwrap();
+        assert_eq!(
+            cold, hit,
+            "cache hit must be byte-identical, trace included"
+        );
+        assert_eq!(s.trace().cache_hits, 1);
+        assert_eq!(s.trace().cache_misses, 1);
+        assert_eq!(s.cached_solves(), 1);
+    }
+
+    #[test]
+    fn isomorphic_instance_hits_cache() {
+        let (a, db_a) = three_firs("first-name");
+        let (b, db_b) = three_firs("totally-different-name");
+        let mut s = SweepSession::new();
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(1200)));
+        let first = s.solve(&a, &db_a, &opts).unwrap();
+        let second = s.solve(&b, &db_b, &opts).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s.trace().cache_hits, 1, "same structure, different name");
+    }
+
+    #[test]
+    fn different_gains_do_not_collide() {
+        let (inst, db) = three_firs("a");
+        let mut s = SweepSession::new();
+        let lo = s
+            .solve(
+                &inst,
+                &db,
+                &SolveOptions::problem2(RequiredGains::uniform(Cycles(600))),
+            )
+            .unwrap();
+        let hi = s
+            .solve(
+                &inst,
+                &db,
+                &SolveOptions::problem2(RequiredGains::uniform(Cycles(1800))),
+            )
+            .unwrap();
+        assert_eq!(s.trace().cache_hits, 0);
+        assert!(lo.chosen().len() < hi.chosen().len());
+    }
+
+    #[test]
+    fn canonical_gains_share_cache_entries() {
+        use partita_mop::PathId;
+        let (inst, db) = three_firs("a");
+        let mut s = SweepSession::new();
+        let uniform_zero = SolveOptions::problem2(RequiredGains::uniform(Cycles::ZERO));
+        let per_path_zero =
+            SolveOptions::problem2(RequiredGains::per_path(vec![(PathId(0), Cycles::ZERO)]));
+        s.solve(&inst, &db, &uniform_zero).unwrap();
+        s.solve(&inst, &db, &per_path_zero).unwrap();
+        assert_eq!(
+            s.trace().cache_hits,
+            1,
+            "per_path([(p,0)]) must share uniform(0)'s cache entry"
+        );
+    }
+
+    #[test]
+    fn chained_sweep_matches_cold_sweep() {
+        let (inst, db) = three_firs("a");
+        let rgs = [Cycles(600), Cycles(1200), Cycles(1800)];
+        let base = SolveOptions::default();
+        let mut chained = SweepSession::new();
+        let chained_sels = chained.sweep(&inst, &db, &base, &rgs).unwrap();
+        let mut cold = SweepSession::new();
+        let cold_sels = cold.sweep_cold(&inst, &db, &base, &rgs).unwrap();
+        assert_eq!(chained_sels.len(), 3);
+        for (c, f) in chained_sels.iter().zip(&cold_sels) {
+            assert_eq!(c.chosen(), f.chosen());
+            assert_eq!(c.total_area(), f.total_area());
+            assert_eq!(c.status, f.status);
+        }
+        // Two of the three points chain off a higher-RG optimum.
+        assert_eq!(chained.trace().chained_accepts, 2);
+        assert_eq!(cold.trace().chained_accepts, 0);
+        // Results come back in input order, not solve order.
+        assert!(chained_sels[0].total_gain() >= Cycles(600));
+        assert!(chained_sels[2].total_gain() >= Cycles(1800));
+    }
+
+    #[test]
+    fn solve_batch_matches_individual_solves_and_caches() {
+        let (inst, db) = three_firs("a");
+        let jobs: Vec<BatchJob<'_>> = [600u64, 1200, 1800, 600]
+            .iter()
+            .map(|&rg| BatchJob {
+                instance: &inst,
+                db: &db,
+                options: SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))),
+            })
+            .collect();
+        let mut batch = SweepSession::new();
+        let results = batch.solve_batch(&jobs, 4);
+        assert_eq!(results.len(), 4);
+        let mut single = SweepSession::new();
+        for (job, result) in jobs.iter().zip(&results) {
+            let expected = single.solve(job.instance, job.db, &job.options).unwrap();
+            let got = result.as_ref().expect("batch job feasible");
+            assert_eq!(got.chosen(), expected.chosen());
+            assert_eq!(got.total_area(), expected.total_area());
+        }
+        // The duplicate 600 job is solved at most once; a second identical
+        // batch is answered entirely from cache.
+        assert!(batch.trace().cache_misses <= 4);
+        let again = batch.solve_batch(&jobs, 4);
+        assert!(batch.trace().cache_hits >= 4);
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_job_errors_in_place() {
+        let (inst, db) = three_firs("a");
+        let jobs = vec![
+            BatchJob {
+                instance: &inst,
+                db: &db,
+                options: SolveOptions::problem2(RequiredGains::uniform(Cycles(1200))),
+            },
+            BatchJob {
+                instance: &inst,
+                db: &db,
+                // Unreachable: 3 imps x 600 = 1800 max.
+                options: SolveOptions::problem2(RequiredGains::uniform(Cycles(10_000))),
+            },
+        ];
+        let mut s = SweepSession::new();
+        let results = s.solve_batch(&jobs, 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn lru_bound_evicts_old_solves() {
+        let (inst, db) = three_firs("a");
+        let mut s = SweepSession::with_capacities(1, 2);
+        for rg in [600u64, 1200, 1800] {
+            s.solve(
+                &inst,
+                &db,
+                &SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))),
+            )
+            .unwrap();
+        }
+        assert_eq!(s.cached_solves(), 2);
+        assert_eq!(s.cached_models(), 1);
+        // The oldest entry (600) was evicted: solving it again is a miss.
+        s.solve(
+            &inst,
+            &db,
+            &SolveOptions::problem2(RequiredGains::uniform(Cycles(600))),
+        )
+        .unwrap();
+        assert_eq!(s.trace().cache_hits, 0);
+        assert_eq!(s.trace().cache_misses, 4);
+    }
+
+    #[test]
+    fn trace_json_lines_are_tagged_and_escaped() {
+        let (inst, db) = three_firs("a");
+        let mut s = SweepSession::new();
+        s.sweep(
+            &inst,
+            &db,
+            &SolveOptions::default(),
+            &[Cycles(600), Cycles(1200)],
+        )
+        .unwrap();
+        let lines = s.trace().json_lines("tab\"le");
+        assert_eq!(lines.len(), 3, "2 points + summary");
+        for line in &lines {
+            assert!(line.starts_with("{\"sweep\":\"tab\\\"le\""), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(
+            lines[0].contains("\"rg\":1200"),
+            "descending solve order: {}",
+            lines[0]
+        );
+        assert!(lines[2].contains("\"chained_accepts\":1"));
+        let cold = s.take_trace();
+        assert!(s.trace().points.is_empty());
+        let cmp = SweepTrace::compare_json("x", &cold, &SweepTrace::default());
+        assert!(cmp.contains("\"nodes_saved\":"));
+        assert!(cmp.contains(&format!("\"cold_nodes\":{}", cold.total_nodes())));
+    }
+}

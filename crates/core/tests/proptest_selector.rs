@@ -118,7 +118,7 @@ proptest! {
         let exact = exhaustive_best(&inst, &db, si.required);
         let solved = Solver::new(&inst)
             .with_imps(db)
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(si.required))));
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required))));
         match (exact, solved) {
             (Some(area), Ok(sel)) => {
                 prop_assert_eq!(
@@ -127,7 +127,7 @@ proptest! {
                 );
                 prop_assert!(sel.total_gain().get() >= si.required);
                 prop_assert!(sel
-                    .verify(&inst, &SolveOptions::new(RequiredGains::Uniform(Cycles(si.required))))
+                    .verify(&inst, &SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required))))
                     .is_ok());
             }
             (None, Err(_)) => {}
@@ -140,9 +140,9 @@ proptest! {
     #[test]
     fn greedy_dominated_and_counts_consistent(si in small_instance()) {
         let (inst, db) = build(&si);
-        let gains = RequiredGains::Uniform(Cycles(si.required));
+        let gains = RequiredGains::uniform(Cycles(si.required));
         let Ok(sel) = Solver::new(&inst).with_imps(db.clone())
-            .solve(&SolveOptions::new(gains.clone())) else { return Ok(()); };
+            .solve(&SolveOptions::problem2(gains.clone())) else { return Ok(()); };
         prop_assert!(sel.s_instruction_count() <= sel.selected_scall_count());
         if let Ok(greedy) = baseline::solve_greedy(&inst, &db, &gains) {
             prop_assert!(sel.total_area() <= greedy.total_area());
@@ -155,11 +155,11 @@ proptest! {
     #[test]
     fn branch_bound_backend_matches_exhaustive_backend(si in small_instance()) {
         let (inst, db) = build(&si);
-        let opts = SolveOptions::new(RequiredGains::Uniform(Cycles(si.required)));
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required)));
         let bb = Solver::new(&inst).with_imps(db.clone()).solve(&opts);
         let ex = Solver::new(&inst)
             .with_imps(db)
-            .solve(&opts.clone().with_backend(Backend::Exhaustive));
+            .solve(&opts.clone().backend(Backend::Exhaustive));
         match (bb, ex) {
             (Ok(b), Ok(e)) => {
                 prop_assert_eq!(

@@ -654,6 +654,27 @@ impl BranchBound {
         model: &Model,
         warm_start: Option<&[f64]>,
     ) -> Result<BranchBoundRun, IlpError> {
+        match warm_start {
+            Some(values) => self.run_seeded(model, &[values.to_vec()]),
+            None => self.run_seeded(model, &[]),
+        }
+    }
+
+    /// The incumbent-injection hook behind [`BranchBound::run`]: like `run`,
+    /// but seeds the incumbent with *every* feasible candidate in
+    /// `warm_starts` (the best one — under the lexicographic tie-break —
+    /// wins). Sweep orchestration chains the previous sweep point's optimum
+    /// alongside a heuristic guess this way; infeasible or malformed
+    /// candidates are skipped, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BranchBound::run`].
+    pub fn run_seeded(
+        &self,
+        model: &Model,
+        warm_starts: &[Vec<f64>],
+    ) -> Result<BranchBoundRun, IlpError> {
         let n = model.num_vars();
         let minimize = model.sense() == Sense::Minimize;
         let started = Instant::now();
@@ -668,9 +689,9 @@ impl BranchBound {
         let mut incumbent = Incumbent::new();
         let mut warm_start_accepted = false;
 
-        // Seed the incumbent from the warm start when it checks out: the
-        // bound prunes against it from the very first node.
-        if let Some(values) = warm_start {
+        // Seed the incumbent from every warm start that checks out: the
+        // bound prunes against the best of them from the very first node.
+        for values in warm_starts {
             let integral = binaries.iter().all(|&v| {
                 values
                     .get(v.index())
@@ -678,7 +699,7 @@ impl BranchBound {
             });
             if values.len() == n && integral && model.is_feasible(values, 1e-6) {
                 let objective = model.objective().eval(values);
-                incumbent.install(ctx.norm(objective), objective, values.to_vec());
+                incumbent.offer(ctx.norm(objective), objective, values.clone());
                 warm_start_accepted = true;
             }
         }
@@ -1105,6 +1126,39 @@ mod tests {
         let run = BranchBound::new().run(&m, Some(&warm)).unwrap();
         assert!(!run.stats.warm_start_accepted);
         assert_eq!(run.termination, Termination::Optimal);
+    }
+
+    #[test]
+    fn run_seeded_takes_best_of_multiple_seeds() {
+        let (m, vars) = tight_budget_model();
+        // Maximisation: the all-zero seed is feasible but weak (objective 0),
+        // the 5-ones seed is the optimum, all-ones is infeasible (skipped).
+        let weak = vec![0.0; vars.len()];
+        let mut strong = vec![0.0; vars.len()];
+        for v in vars.iter().take(5) {
+            strong[v.index()] = 1.0;
+        }
+        let infeasible = vec![1.0; vars.len()];
+        let seeded = BranchBound::new()
+            .run_seeded(&m, &[infeasible, weak, strong.clone()])
+            .unwrap();
+        assert!(seeded.stats.warm_start_accepted);
+        assert_eq!(seeded.termination, Termination::Optimal);
+        // The best seed wins: the run behaves exactly like one warm-started
+        // with the strong point alone.
+        let single = BranchBound::new().run(&m, Some(&strong)).unwrap();
+        assert_eq!(seeded.solution, single.solution);
+        assert_eq!(seeded.stats.nodes_explored, single.stats.nodes_explored);
+    }
+
+    #[test]
+    fn run_seeded_with_no_seeds_matches_cold_run() {
+        let (m, _) = tight_budget_model();
+        let cold = BranchBound::new().run(&m, None).unwrap();
+        let seeded = BranchBound::new().run_seeded(&m, &[]).unwrap();
+        assert!(!seeded.stats.warm_start_accepted);
+        assert_eq!(cold.solution, seeded.solution);
+        assert_eq!(cold.stats.nodes_explored, seeded.stats.nodes_explored);
     }
 
     #[test]

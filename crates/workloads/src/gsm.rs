@@ -519,7 +519,9 @@ mod tests {
         let w = encoder();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(47_740))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
+                47_740,
+            ))))
             .unwrap();
         // The paper reports SC13 alone (G = 115037); our gain-maximising
         // area tie-break also merges the other three IP12 s-calls in at the
@@ -537,7 +539,9 @@ mod tests {
         let w = decoder();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(211_286))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
+                211_286,
+            ))))
             .unwrap();
         // The paper: the four synthesis segments move from IP5 to IP4 and
         // SC10's interface escalates from IF0 to IF2.

@@ -303,7 +303,7 @@ mod tests {
     fn solve(w: &Workload, rg: u64) -> partita_core::Selection {
         Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))))
             .unwrap()
     }
 

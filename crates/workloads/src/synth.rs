@@ -170,7 +170,7 @@ mod tests {
         let rg = w.rg_sweep[0];
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))
             .unwrap();
         for (_, g) in &sel.gain_per_path {
             let _ = g;
@@ -178,7 +178,7 @@ mod tests {
         // Greedy on the same instance is feasible or infeasible, but if
         // feasible it can never beat the ILP's area.
         if let Ok(greedy) =
-            baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::Uniform(rg))
+            baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::uniform(rg))
         {
             assert!(greedy.total_area() >= sel.total_area());
         }

@@ -182,7 +182,9 @@ mod tests {
         let w = workload();
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(w.rg_sweep[0])))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(
+                w.rg_sweep[0],
+            )))
             .unwrap();
         assert!(sel.total_gain() >= w.rg_sweep[0]);
     }

@@ -93,7 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rg_frac in [4u64, 2] {
         let max: u64 = instance.scalls.iter().map(|s| s.sw_cycles.get()).sum();
         let rg = Cycles(max / rg_frac / 2);
-        let sel = Solver::new(&instance).solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+        let sel =
+            Solver::new(&instance).solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))?;
         println!("\nRG {}: area {}, selections:", rg.get(), sel.total_area());
         for imp in sel.chosen() {
             println!("    {imp}  [{:?}]", imp.parallel);

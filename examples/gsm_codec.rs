@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &rg in &workload.rg_sweep {
             let sel = Solver::new(&workload.instance)
                 .with_imps(workload.imps.clone())
-                .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+                .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))?;
             rows.push(TableRow::from_selection(rg, &sel));
         }
         println!("{}", render_table(title, &rows));
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match baseline::solve_no_interface(
             &workload.instance,
             &workload.imps,
-            &RequiredGains::Uniform(top),
+            &RequiredGains::uniform(top),
         ) {
             Ok(sel) => println!(
                 "no-interface baseline @ RG {}: area {}\n",

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &rg in &w.rg_sweep {
         let sel = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))?;
         let picks: Vec<String> = sel.chosen().iter().map(|i| i.to_string()).collect();
         println!(
             "    RG {:>9}: gain {:>9}, area {:>5} -> {}",
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = jpeg::encoder_hierarchical();
     let sel = Solver::new(&h.instance)
         .with_imps(h.imps.clone())
-        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(
+        .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
             30_000_000,
         ))))?;
     println!(

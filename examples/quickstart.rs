@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Solve for increasing performance requirements and watch the
     //    selection escalate.
     for rg in [20_000u64, 60_000, 100_000] {
-        let selection =
-            Solver::new(&instance).solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(rg))))?;
+        let selection = Solver::new(&instance)
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))))?;
         println!(
             "RG {rg:>7}: gain {:>7}, area {:>5}, {} S-instruction(s)",
             selection.total_gain().get(),

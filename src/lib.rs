@@ -24,7 +24,7 @@
 //! let rg = workload.rg_sweep[0];
 //! let solution = Solver::new(&workload.instance)
 //!     .with_imps(workload.imps.clone())
-//!     .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))?;
+//!     .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))?;
 //! assert!(solution.total_gain() >= rg);
 //! # Ok(())
 //! # }

@@ -2,7 +2,7 @@
 //! selection on repeated solves — the tables in EXPERIMENTS.md are only
 //! meaningful if the solver is deterministic.
 
-use partita::core::{RequiredGains, Selection, SolveBudget, SolveOptions, Solver};
+use partita::core::{RequiredGains, Selection, SolveBudget, SolveOptions, Solver, SweepSession};
 use partita::workloads::{gsm, jpeg, synth, Workload};
 
 /// Serializes everything reproducible about a selection — the chosen IMPs,
@@ -32,8 +32,8 @@ fn solve_with_threads(w: &Workload, rg: partita::mop::Cycles, threads: usize) ->
     Solver::new(&w.instance)
         .with_imps(w.imps.clone())
         .solve(
-            &SolveOptions::new(RequiredGains::Uniform(rg))
-                .with_budget(SolveBudget::default().with_threads(threads)),
+            &SolveOptions::problem2(RequiredGains::uniform(rg))
+                .budget(SolveBudget::default().with_threads(threads)),
         )
         .expect("sweep point feasible")
 }
@@ -42,7 +42,7 @@ fn solve_with_threads(w: &Workload, rg: partita::mop::Cycles, threads: usize) ->
 fn calibrated_sweeps_are_deterministic() {
     for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
         for &rg in &w.rg_sweep {
-            let opts = SolveOptions::new(RequiredGains::Uniform(rg));
+            let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
             let a = Solver::new(&w.instance)
                 .with_imps(w.imps.clone())
                 .solve(&opts)
@@ -108,6 +108,67 @@ fn synth_selection_byte_identical_across_thread_counts() {
     }
 }
 
+/// A [`SweepSession`] cache hit must hand back the cold solve verbatim —
+/// including the trace — at 1 and 4 branch-and-bound worker threads. The
+/// thread count is part of the solve key, so the two configurations get
+/// separate entries but each replays its own cold result exactly.
+#[test]
+fn session_cache_hit_is_byte_identical_across_thread_counts() {
+    for w in [gsm::encoder(), jpeg::encoder()] {
+        let mut session = SweepSession::new();
+        for threads in [1usize, 4] {
+            for &rg in &w.rg_sweep {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg))
+                    .budget(SolveBudget::default().with_threads(threads));
+                let cold = session
+                    .solve(&w.instance, &w.imps, &opts)
+                    .expect("sweep point feasible");
+                let hit = session
+                    .solve(&w.instance, &w.imps, &opts)
+                    .expect("cached sweep point");
+                assert_eq!(
+                    cold,
+                    hit,
+                    "{} at RG {} ({threads} threads): cache hit diverged",
+                    w.instance.name,
+                    rg.get()
+                );
+                assert_eq!(serialize_selection(&cold), serialize_selection(&hit));
+            }
+        }
+        let trace = session.trace();
+        let per_config = 2 * w.rg_sweep.len() as u64;
+        assert_eq!(trace.cache_hits, per_config, "{}", w.instance.name);
+        assert_eq!(trace.cache_misses, per_config, "{}", w.instance.name);
+    }
+}
+
+/// Chained sweeps and independent cold solves agree point for point on
+/// every published table — the orchestration layer is a performance knob,
+/// never a result knob.
+#[test]
+fn chained_sweep_selections_match_independent_solves() {
+    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+        let mut session = SweepSession::new();
+        let sweep = session
+            .sweep(&w.instance, &w.imps, &SolveOptions::default(), &w.rg_sweep)
+            .expect("published sweep feasible");
+        for (sel, &rg) in sweep.iter().zip(&w.rg_sweep) {
+            let lone = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))
+                .expect("sweep point feasible");
+            assert_eq!(
+                serialize_selection(sel),
+                serialize_selection(&lone),
+                "{} at RG {}: chained sweep diverged from lone solve",
+                w.instance.name,
+                rg.get()
+            );
+        }
+    }
+}
+
 #[test]
 fn synthetic_instances_are_deterministic() {
     let w1 = synth::generate(synth::SynthParams::default());
@@ -115,7 +176,7 @@ fn synthetic_instances_are_deterministic() {
     assert_eq!(w1.imps.imps(), w2.imps.imps());
     assert_eq!(w1.rg_sweep, w2.rg_sweep);
     let rg = w1.rg_sweep[0];
-    let opts = SolveOptions::new(RequiredGains::Uniform(rg));
+    let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
     let a = Solver::new(&w1.instance)
         .with_imps(w1.imps.clone())
         .solve(&opts);

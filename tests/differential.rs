@@ -9,7 +9,7 @@
 //! the corpus parameters are sized so at least 50 (seed, RG) points survive.
 
 use partita::core::{
-    Backend, CoreError, RequiredGains, Selection, SolveBudget, SolveOptions, Solver,
+    Backend, CoreError, RequiredGains, Selection, SolveBudget, SolveOptions, Solver, SweepSession,
 };
 use partita::ilp::IlpError;
 use partita::workloads::synth::{generate, SynthParams};
@@ -64,11 +64,11 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
         for &rg in &w.rg_sweep {
             let solve = |backend: Backend, threads: usize| {
                 Solver::new(&w.instance).with_imps(w.imps.clone()).solve(
-                    &SolveOptions::new(RequiredGains::Uniform(rg))
-                        .with_backend(backend)
+                    &SolveOptions::problem2(RequiredGains::uniform(rg))
+                        .backend(backend)
                         // No fallback: a budget problem must surface as an
                         // error, not silently degrade the comparison.
-                        .with_budget(
+                        .budget(
                             SolveBudget::default()
                                 .with_fallback(None)
                                 .with_threads(threads),
@@ -111,5 +111,53 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
         compared >= 50,
         "differential corpus too small: {compared} compared, {skipped} skipped \
          (grow the seed range or shrink the instances)"
+    );
+}
+
+/// The sweep session against the uncached solver, over the same corpus: at
+/// 1 and 4 branch-and-bound threads, a session solve (cache miss) and its
+/// immediate replay (cache hit) must both be byte-identical — trace
+/// included — to the plain `Solver::solve` result for the same options.
+#[test]
+fn session_cache_agrees_with_uncached_solver_on_corpus() {
+    let mut compared = 0usize;
+    for seed in 0..10u64 {
+        let w = generate(SynthParams {
+            scalls: 3 + (seed % 3) as usize,
+            ips: 2 + (seed % 2) as usize,
+            paths: 1 + (seed % 2) as usize,
+            seed,
+        });
+        let mut session = SweepSession::new();
+        for &rg in &w.rg_sweep {
+            for threads in [1usize, 4] {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg))
+                    .budget(SolveBudget::default().with_threads(threads));
+                let lone = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts);
+                let cold = session.solve(&w.instance, &w.imps, &opts);
+                let hit = session.solve(&w.instance, &w.imps, &opts);
+                let ctx = format!("seed {seed}, RG {}, {threads} threads", rg.get());
+                match (lone, cold, hit) {
+                    (Ok(lone), Ok(cold), Ok(hit)) => {
+                        // The lone solve ran outside the session, so wall
+                        // times differ; the decoded result must not.
+                        assert_eq!(lone.chosen(), cold.chosen(), "{ctx}");
+                        assert_eq!(lone.total_area(), cold.total_area(), "{ctx}");
+                        assert_eq!(lone.status, cold.status, "{ctx}");
+                        // The replay is the memoized value, bit for bit.
+                        assert_eq!(cold, hit, "{ctx}: cache hit diverged");
+                        compared += 1;
+                    }
+                    (Err(_), Err(_), Err(_)) => {}
+                    other => panic!("session vs solver diverged at {ctx}: {other:?}"),
+                }
+            }
+        }
+    }
+    assert!(
+        compared >= 20,
+        "session corpus too small: {compared} compared"
     );
 }

@@ -142,7 +142,7 @@ fn source_to_selection() {
         .sum();
     let sel = Solver::new(&instance)
         .with_imps(db)
-        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(
+        .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
             max_gain / 2,
         ))))
         .expect("mid-range requirement feasible");
@@ -153,6 +153,59 @@ fn source_to_selection() {
 
 fn ids_first(instance: &Instance) -> partita::mop::CallSiteId {
     instance.scalls[0].id
+}
+
+/// Per-path requirements through the whole pipeline: an unlisted path
+/// requires zero gain, listing every path at one value is exactly the
+/// uniform requirement, and constraining only one of two paths can never
+/// cost more area than constraining both.
+#[test]
+fn per_path_requirements_with_unlisted_paths() {
+    use partita::mop::PathId;
+    let w = partita::workloads::synth::generate(partita::workloads::synth::SynthParams {
+        scalls: 8,
+        ips: 4,
+        paths: 2,
+        seed: 7,
+    });
+    assert_eq!(w.instance.paths.len(), 2, "two-path corpus instance");
+    let (p0, p1) = (w.instance.paths[0].id, w.instance.paths[1].id);
+    let rg = w.rg_sweep[1];
+    let solve = |gains: RequiredGains| {
+        Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::problem2(gains))
+            .expect("corpus sweep point feasible")
+    };
+
+    let uniform = solve(RequiredGains::uniform(rg));
+    let listed_both = solve(RequiredGains::per_path(vec![(p0, rg), (p1, rg)]));
+    assert_eq!(
+        uniform.chosen(),
+        listed_both.chosen(),
+        "listing every path at RG equals the uniform requirement"
+    );
+
+    let only_p0 = solve(RequiredGains::per_path(vec![(p0, rg)]));
+    assert!(
+        only_p0.total_area() <= uniform.total_area(),
+        "dropping the second path's requirement can only relax the problem"
+    );
+    assert!(only_p0
+        .verify(
+            &w.instance,
+            &SolveOptions::problem2(RequiredGains::per_path(vec![(p0, rg)])),
+        )
+        .is_ok());
+    // The relaxed selection need not meet RG on the unlisted path, but an
+    // unknown path id in the spec is simply inert (requires zero anywhere).
+    let ghost = solve(RequiredGains::per_path(vec![(p0, rg), (PathId(99), rg)]));
+    assert_eq!(ghost.chosen(), only_p0.chosen());
+
+    let empty = solve(RequiredGains::per_path(Vec::new()));
+    let zero = solve(RequiredGains::uniform(Cycles::ZERO));
+    assert_eq!(empty.chosen(), zero.chosen());
+    assert_eq!(empty.total_area(), AreaTenths::ZERO);
 }
 
 /// The §2 back-end flow: a solved selection becomes S-class instructions in
@@ -168,7 +221,9 @@ fn selection_to_instruction_set() {
     let w = gsm::encoder();
     let sel = Solver::new(&w.instance)
         .with_imps(w.imps.clone())
-        .solve(&SolveOptions::new(RequiredGains::Uniform(Cycles(334_182))))
+        .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(
+            334_182,
+        ))))
         .expect("published sweep point");
 
     // Merge into S-instructions and register them in the ISA.

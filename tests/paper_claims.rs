@@ -1,14 +1,14 @@
 //! Integration tests pinning the paper's headline claims, table by table
 //! and figure by figure (the executable form of EXPERIMENTS.md).
 
-use partita::core::{baseline, CoreError, ProblemKind, RequiredGains, SolveOptions, Solver};
+use partita::core::{baseline, CoreError, RequiredGains, SolveOptions, Solver};
 use partita::interface::InterfaceKind;
 use partita::ip::IpId;
 use partita::mop::{AreaTenths, CallSiteId, Cycles};
 use partita::workloads::{gsm, jpeg, Workload};
 
 fn solve(w: &Workload, rg: u64) -> partita::core::Selection {
-    let options = SolveOptions::new(RequiredGains::Uniform(Cycles(rg)));
+    let options = SolveOptions::problem2(RequiredGains::uniform(Cycles(rg)));
     let sel = Solver::new(&w.instance)
         .with_imps(w.imps.clone())
         .solve(&options)
@@ -144,7 +144,7 @@ fn no_interface_baseline_fails_at_the_top() {
     for w in [gsm::encoder(), gsm::decoder()] {
         let top = *w.rg_sweep.last().unwrap();
         let result =
-            baseline::solve_no_interface(&w.instance, &w.imps, &RequiredGains::Uniform(top));
+            baseline::solve_no_interface(&w.instance, &w.imps, &RequiredGains::uniform(top));
         assert!(
             matches!(result, Err(CoreError::Infeasible { .. })),
             "{} should be out of the baseline's reach at RG {}",
@@ -164,11 +164,12 @@ fn problem2_never_worse_than_problem1() {
     for &rg in &w.rg_sweep {
         let p2 = Solver::new(&w.instance)
             .with_imps(w.imps.clone())
-            .solve(&SolveOptions::new(RequiredGains::Uniform(rg)))
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(rg)))
             .expect("p2 feasible on sweep");
-        if let Ok(p1) = Solver::new(&w.instance).with_imps(w.imps.clone()).solve(
-            &SolveOptions::new(RequiredGains::Uniform(rg)).with_problem(ProblemKind::Problem1),
-        ) {
+        if let Ok(p1) = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::problem1(RequiredGains::uniform(rg)))
+        {
             assert!(p2.total_area() <= p1.total_area(), "RG {}", rg.get());
         }
     }
@@ -201,7 +202,7 @@ fn trace_json_lines_match_golden_schema() {
     ];
     for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
         for &rg in &w.rg_sweep {
-            let options = SolveOptions::new(RequiredGains::Uniform(rg));
+            let options = SolveOptions::problem2(RequiredGains::uniform(rg));
             let sel = Solver::new(&w.instance)
                 .with_imps(w.imps.clone())
                 .solve(&options)
@@ -230,6 +231,99 @@ fn trace_json_lines_match_golden_schema() {
             assert!(line.contains("\"total_us\":"));
         }
     }
+}
+
+/// Round-trip of the trace JSON: every scalar field parses back out of the
+/// rendered line with exactly the value the trace struct holds, and string
+/// fields come back quoted and escaped. Together with the key-order test
+/// above this pins the full schema, not just the key names.
+#[test]
+fn trace_json_round_trips_field_values() {
+    /// Extracts the raw value of `key` from a flat JSON object (arrays
+    /// allowed, nested objects not).
+    fn field(json: &str, key: &str) -> String {
+        let needle = format!("\"{key}\":");
+        let at = json
+            .find(&needle)
+            .unwrap_or_else(|| panic!("key {key:?} missing in {json}"))
+            + needle.len();
+        let rest = &json[at..];
+        let end = if rest.starts_with('[') {
+            rest.find(']').expect("closing bracket") + 1
+        } else {
+            rest.find([',', '}']).expect("value terminator")
+        };
+        rest[..end].to_string()
+    }
+
+    let w = jpeg::encoder();
+    let options = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[2]));
+    let sel = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&options)
+        .expect("published sweep point feasible");
+    let trace = &sel.trace;
+    let json = trace.to_json();
+
+    assert_eq!(field(&json, "backend"), format!("\"{}\"", trace.backend));
+    assert_eq!(field(&json, "status"), format!("\"{}\"", trace.status));
+    assert_eq!(field(&json, "num_vars"), trace.num_vars.to_string());
+    assert_eq!(
+        field(&json, "num_constraints"),
+        trace.num_constraints.to_string()
+    );
+    assert_eq!(field(&json, "num_imps"), trace.num_imps.to_string());
+    assert_eq!(
+        field(&json, "nodes_explored"),
+        trace.nodes_explored.to_string()
+    );
+    assert_eq!(field(&json, "nodes_pruned"), trace.nodes_pruned.to_string());
+    assert_eq!(
+        field(&json, "incumbent_updates"),
+        trace.incumbent_updates.to_string()
+    );
+    assert_eq!(
+        field(&json, "simplex_iterations"),
+        trace.simplex_iterations.to_string()
+    );
+    assert_eq!(
+        field(&json, "warm_start_accepted"),
+        trace.warm_start_accepted.to_string()
+    );
+    assert_eq!(field(&json, "vars_fixed"), trace.vars_fixed.to_string());
+    assert_eq!(field(&json, "threads"), trace.threads.to_string());
+    let workers: String = field(&json, "worker_nodes");
+    assert_eq!(
+        workers,
+        format!(
+            "[{}]",
+            trace
+                .worker_nodes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    );
+    assert_eq!(
+        field(&json, "imp_generation_us"),
+        trace.imp_generation.as_micros().to_string()
+    );
+    assert_eq!(
+        field(&json, "formulation_us"),
+        trace.formulation.as_micros().to_string()
+    );
+    assert_eq!(
+        field(&json, "solve_us"),
+        trace.solve.as_micros().to_string()
+    );
+    assert_eq!(
+        field(&json, "decode_us"),
+        trace.decode.as_micros().to_string()
+    );
+    // The status/backend strings contain no characters needing escapes, so
+    // the quoted value must be escape-free.
+    assert!(!field(&json, "status").contains('\\'));
 }
 
 /// The paper-claim invariant behind every table: area is monotone along the
@@ -261,7 +355,7 @@ fn ilp_dominates_greedy_everywhere() {
         for &rg in &w.rg_sweep {
             let exact = solve(&w, rg.get());
             if let Ok(greedy) =
-                baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::Uniform(rg))
+                baseline::solve_greedy(&w.instance, &w.imps, &RequiredGains::uniform(rg))
             {
                 assert!(
                     exact.total_area() <= greedy.total_area(),
