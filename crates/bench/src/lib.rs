@@ -190,6 +190,37 @@ pub fn thread_scaling_lines(workload: &Workload, thread_counts: &[usize]) -> Vec
     lines
 }
 
+/// Audits every point of a workload's published RG sweep with the
+/// independent [`partita_core::SelectionAuditor`] and returns the total
+/// violation count (zero for a healthy solver). Each point is solved
+/// fresh — no session cache — so the audit covers exactly what
+/// [`sweep_rows`] reports.
+///
+/// # Panics
+///
+/// Panics if any sweep point is infeasible (see [`sweep_rows`]).
+#[must_use]
+pub fn audit_sweep(workload: &Workload) -> usize {
+    use partita_core::{RequiredGains, SelectionAuditor, Solver};
+    let mut violations = 0;
+    for &rg in &workload.rg_sweep {
+        let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+        let sel = Solver::new(&workload.instance)
+            .with_imps(workload.imps.clone())
+            .solve(&opts)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} sweep point RG {} infeasible: {e}",
+                    workload.instance.name,
+                    rg.get()
+                )
+            });
+        let report = SelectionAuditor::new(&workload.instance, &workload.imps).audit(&sel, &opts);
+        violations += report.violations.len();
+    }
+    violations
+}
+
 /// Renders one sweep point's trace as a JSON line tagged with its RG value:
 /// `{"rg":47740,"trace":{...}}`. The table binaries emit one such line per
 /// sweep point so runs can be scraped by tooling.

@@ -74,6 +74,21 @@ fn default_threads() -> usize {
     })
 }
 
+/// Reads `PARTITA_AUDIT` once; the answer is process-wide. Any value other
+/// than empty, `0`, or `false` (case-insensitive) opts every solve into the
+/// post-solve [`crate::verify::SelectionAuditor`] pass.
+pub(crate) fn default_audit() -> bool {
+    static AUDIT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AUDIT.get_or_init(|| {
+        std::env::var("PARTITA_AUDIT")
+            .map(|v| {
+                let v = v.trim();
+                !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+            })
+            .unwrap_or(false)
+    })
+}
+
 impl Default for SolveBudget {
     fn default() -> Self {
         SolveBudget {

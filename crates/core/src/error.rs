@@ -36,6 +36,23 @@ pub enum CoreError {
     Ilp(IlpError),
     /// A selection failed independent verification.
     InvalidSelection(String),
+    /// A call-hierarchy specification is structurally invalid (empty child
+    /// list, duplicate or self-referential children, a child consumed
+    /// twice, …).
+    MalformedHierarchy {
+        /// The parent s-call of the offending spec.
+        parent: CallSiteId,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The post-solve audit ([`crate::verify::SelectionAuditor`]) found
+    /// violations in a selection the solver claimed was feasible.
+    AuditFailed {
+        /// Number of violations.
+        violations: usize,
+        /// The JSON rendering of the full [`crate::verify::AuditReport`].
+        report: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +77,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::Ilp(e) => write!(f, "ilp solver failed: {e}"),
             CoreError::InvalidSelection(why) => write!(f, "invalid selection: {why}"),
+            CoreError::MalformedHierarchy { parent, detail } => {
+                write!(f, "malformed hierarchy at {parent}: {detail}")
+            }
+            CoreError::AuditFailed { violations, report } => {
+                write!(
+                    f,
+                    "selection failed audit with {violations} violation(s): {report}"
+                )
+            }
         }
     }
 }
@@ -105,5 +131,21 @@ mod tests {
             path: Some(PathId(2)),
         };
         assert!(e.to_string().contains("P2"));
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let e = CoreError::MalformedHierarchy {
+            parent: CallSiteId(4),
+            detail: "parent listed among its own children".into(),
+        };
+        assert!(e.to_string().contains("sc4"));
+        assert!(e.to_string().contains("children"));
+        let e = CoreError::AuditFailed {
+            violations: 3,
+            report: "{\"clean\":false}".into(),
+        };
+        assert!(e.to_string().contains("3 violation(s)"));
+        assert!(e.to_string().contains("clean"));
     }
 }

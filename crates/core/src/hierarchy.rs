@@ -14,7 +14,7 @@
 
 use partita_mop::{CallSiteId, Cycles};
 
-use crate::{Imp, ImpDb, ParallelChoice};
+use crate::{CoreError, Imp, ImpDb, ParallelChoice};
 
 /// One level of hierarchy: a parent s-call whose software implementation
 /// contains child s-calls.
@@ -45,11 +45,86 @@ impl Default for FlattenLimits {
     }
 }
 
+/// Structurally validates a hierarchy before flattening.
+///
+/// A malformed spec list used to slide silently through [`flatten`] and
+/// produce nonsense composites (or lose IMPs); now each defect surfaces as
+/// a typed [`CoreError::MalformedHierarchy`]:
+///
+/// * a spec with no children,
+/// * a parent that lists itself among its children,
+/// * the same child listed twice within one spec,
+/// * a child consumed by two different specs,
+/// * two specs folding into the same parent,
+/// * a spec whose parent was already consumed as an earlier spec's child
+///   (its IMPs are gone by the time it would fold — a bottom-up ordering
+///   violation).
+///
+/// # Errors
+///
+/// [`CoreError::MalformedHierarchy`] naming the offending parent.
+pub fn validate_specs(specs: &[HierSpec]) -> Result<(), CoreError> {
+    let err = |parent: CallSiteId, detail: &str| {
+        Err(CoreError::MalformedHierarchy {
+            parent,
+            detail: detail.to_string(),
+        })
+    };
+    let mut consumed: Vec<CallSiteId> = Vec::new();
+    let mut parents: Vec<CallSiteId> = Vec::new();
+    for spec in specs {
+        if spec.children.is_empty() {
+            return err(spec.parent, "spec has no children");
+        }
+        if spec.children.contains(&spec.parent) {
+            return err(spec.parent, "parent listed among its own children");
+        }
+        if parents.contains(&spec.parent) {
+            return err(spec.parent, "two specs fold into the same parent");
+        }
+        if consumed.contains(&spec.parent) {
+            return err(
+                spec.parent,
+                "parent was already consumed as an earlier spec's child",
+            );
+        }
+        for (i, &child) in spec.children.iter().enumerate() {
+            if spec.children[..i].contains(&child) {
+                return err(spec.parent, "spec lists the same child twice");
+            }
+            if consumed.contains(&child) {
+                return err(spec.parent, "child already consumed by an earlier spec");
+            }
+        }
+        parents.push(spec.parent);
+        consumed.extend(spec.children.iter().copied());
+    }
+    Ok(())
+}
+
+/// Validating wrapper around [`flatten`]: rejects malformed hierarchies
+/// with a typed error instead of folding them into a nonsense database.
+///
+/// # Errors
+///
+/// [`CoreError::MalformedHierarchy`] from [`validate_specs`].
+pub fn try_flatten(
+    db: &ImpDb,
+    specs: &[HierSpec],
+    limits: FlattenLimits,
+) -> Result<ImpDb, CoreError> {
+    validate_specs(specs)?;
+    Ok(flatten(db, specs, limits))
+}
+
 /// Folds child IMPs into composite parent IMPs.
 ///
 /// Apply bottom-up (inner specs first) for multi-level hierarchies — exactly
 /// the paper's "IMPs of dct1d() at level 0 are considered in computing those
 /// of dct2d() at level 1" order.
+///
+/// This function does not validate its input; use [`try_flatten`] (or
+/// [`validate_specs`]) to reject malformed hierarchies first.
 #[must_use]
 pub fn flatten(db: &ImpDb, specs: &[HierSpec], limits: FlattenLimits) -> ImpDb {
     let mut current = db.clone();
@@ -223,6 +298,48 @@ mod tests {
         assert!(gains.contains(&50));
         assert!(flat.for_scall(CallSiteId(1)).is_empty());
         assert!(flat.for_scall(CallSiteId(2)).is_empty());
+    }
+
+    #[test]
+    fn malformed_hierarchies_error_instead_of_folding() {
+        let db = ImpDb::from_imps(vec![
+            imp(1, 2, 300, InterfaceKind::Type0),
+            imp(2, 2, 300, InterfaceKind::Type0),
+        ]);
+        let spec = |parent: u32, children: Vec<u32>| HierSpec {
+            parent: CallSiteId(parent),
+            children: children.into_iter().map(CallSiteId).collect(),
+        };
+        let assert_malformed = |specs: &[HierSpec], needle: &str| {
+            let err = try_flatten(&db, specs, FlattenLimits::default()).unwrap_err();
+            match err {
+                CoreError::MalformedHierarchy { detail, .. } => {
+                    assert!(detail.contains(needle), "{detail:?} missing {needle:?}");
+                }
+                other => panic!("expected MalformedHierarchy, got {other:?}"),
+            }
+        };
+        assert_malformed(&[spec(0, vec![])], "no children");
+        assert_malformed(&[spec(0, vec![1, 0])], "own children");
+        assert_malformed(&[spec(0, vec![1, 1])], "twice");
+        assert_malformed(
+            &[spec(0, vec![1]), spec(3, vec![1])],
+            "already consumed by an earlier spec",
+        );
+        assert_malformed(&[spec(0, vec![1]), spec(0, vec![2])], "same parent");
+        assert_malformed(
+            &[spec(0, vec![1]), spec(1, vec![2])],
+            "consumed as an earlier spec's child",
+        );
+        // A well-formed multi-level hierarchy still flattens.
+        let ok = try_flatten(
+            &db,
+            &[spec(3, vec![2]), spec(0, vec![1, 3])],
+            FlattenLimits::default(),
+        )
+        .unwrap();
+        assert!(!ok.for_scall(CallSiteId(0)).is_empty());
+        assert!(ok.for_scall(CallSiteId(1)).is_empty());
     }
 
     #[test]

@@ -1,9 +1,22 @@
 //! IMP database generation.
 
-use partita_interface::{feasible_kinds, performance_gain};
+use partita_interface::{feasible_kinds, performance_gain, TimingError};
 use partita_mop::{CallSiteId, Cycles};
 
 use crate::{Imp, ImpId, Instance, ParallelChoice};
+
+/// Resolves a timing-model gain during generation: feasibility was already
+/// established by [`feasible_kinds`], so the only expected error is a cycle
+/// overflow on an absurdly large job — treat that variant as zero gain (it
+/// is simply skipped, since only strictly positive gains enter the
+/// database) rather than fabricating a clamped figure.
+fn gain_or_zero(result: Result<Cycles, TimingError>) -> Cycles {
+    match result {
+        Ok(g) => g,
+        Err(TimingError::CycleOverflow { .. }) => Cycles::ZERO,
+        Err(e) => panic!("kind reported feasible: {e}"),
+    }
+}
 
 /// The database of implementation methods for every s-call.
 ///
@@ -91,8 +104,7 @@ impl ImpDb {
             for ip in instance.library.supporting(&sc.function) {
                 for (kind, _profile) in feasible_kinds(ip) {
                     let area = instance.area_model.interface_area(kind, sc.job).total();
-                    let base = performance_gain(sc.sw_cycles, ip, kind, sc.job, None)
-                        .expect("kind reported feasible");
+                    let base = gain_or_zero(performance_gain(sc.sw_cycles, ip, kind, sc.job, None));
                     let base_total = base.scaled(sc.freq);
                     if base_total > Cycles::ZERO {
                         db.add(Imp::new(
@@ -110,9 +122,14 @@ impl ImpDb {
                     // Plain parallel code.
                     let mut best = base_total;
                     if sc.plain_pc > Cycles::ZERO {
-                        let g = performance_gain(sc.sw_cycles, ip, kind, sc.job, Some(sc.plain_pc))
-                            .expect("kind reported feasible")
-                            .scaled(sc.freq);
+                        let g = gain_or_zero(performance_gain(
+                            sc.sw_cycles,
+                            ip,
+                            kind,
+                            sc.job,
+                            Some(sc.plain_pc),
+                        ))
+                        .scaled(sc.freq);
                         if g > best {
                             db.add(Imp::new(
                                 sc.id,
@@ -135,9 +152,14 @@ impl ImpDb {
                         };
                         pc += other.sw_cycles;
                         consumed.push(j);
-                        let g = performance_gain(sc.sw_cycles, ip, kind, sc.job, Some(pc))
-                            .expect("kind reported feasible")
-                            .scaled(sc.freq);
+                        let g = gain_or_zero(performance_gain(
+                            sc.sw_cycles,
+                            ip,
+                            kind,
+                            sc.job,
+                            Some(pc),
+                        ))
+                        .scaled(sc.freq);
                         if g > best {
                             db.add(Imp::new(
                                 sc.id,
@@ -283,6 +305,39 @@ mod tests {
         assert!(sw_variants
             .iter()
             .any(|i| i.parallel == ParallelChoice::SwScalls(vec![other1, other2])));
+    }
+
+    #[test]
+    fn overflowing_job_generates_no_bogus_imps() {
+        // A near-u64::MAX transfer job overflows the slow-clock-scaled T_IP
+        // on a slow-clocked type-0 pairing. The old saturating clamp could
+        // understate T_IP and fabricate gain; now the overflow reads as
+        // zero gain, so the variant simply never enters the database.
+        let mut inst = Instance::new("huge");
+        inst.library.add(
+            IpBlock::builder("fir_slow")
+                .function(IpFunction::Fir)
+                .ports(2, 2)
+                .rates(1, 1)
+                .latency(4)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        // 2^63 input words: the type-0 slow-clock ×4 overflows u64, while
+        // the buffered types' (unscaled) cycle counts still fit.
+        inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            Cycles(u64::MAX),
+            TransferJob::new(1u64 << 63, 0),
+        ));
+        let db = ImpDb::generate(&inst);
+        assert!(
+            !db.imps()
+                .iter()
+                .any(|i| i.interface == InterfaceKind::Type0),
+            "overflowing type-0 pairing must be skipped, not clamped"
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod parallel_code;
 pub mod report;
 mod solver;
 pub mod sweep;
+pub mod verify;
 
 pub use build::{instance_from_compiled, SCallBinding};
 pub use conflict::{sc_pc_conflicts, ConflictPair};
@@ -88,3 +89,7 @@ pub use impdb::ImpDb;
 pub use instance::{Instance, PathSpec, SCall};
 pub use solver::{ProblemKind, RequiredGains, Selection, SolveOptions, Solver};
 pub use sweep::{BatchJob, SweepPoint, SweepSession, SweepTrace};
+pub use verify::{
+    AuditCheck, AuditReport, AuditViolation, Fault, FaultPlan, FaultVerdict, GainPolicy,
+    SelectionAuditor,
+};

@@ -134,6 +134,7 @@ pub struct SolveOptions {
     pub(crate) budget: SolveBudget,
     pub(crate) warm_start: bool,
     pub(crate) hint: Option<Vec<ImpId>>,
+    pub(crate) audit: bool,
 }
 
 impl SolveOptions {
@@ -146,6 +147,7 @@ impl SolveOptions {
             budget: SolveBudget::default(),
             warm_start: true,
             hint: None,
+            audit: crate::engine::default_audit(),
         }
     }
 
@@ -252,6 +254,23 @@ impl SolveOptions {
     #[must_use]
     pub fn hint(&self) -> Option<&[ImpId]> {
         self.hint.as_deref()
+    }
+
+    /// Enables or disables the independent post-solve audit
+    /// ([`crate::verify::SelectionAuditor`]): every returned selection is
+    /// re-verified against the raw instance and database, and violations
+    /// surface as [`CoreError::AuditFailed`]. The default is read once from
+    /// the `PARTITA_AUDIT` environment variable (off when unset or `0`).
+    #[must_use]
+    pub fn audit(mut self, audit: bool) -> SolveOptions {
+        self.audit = audit;
+        self
+    }
+
+    /// Whether the post-solve audit runs.
+    #[must_use]
+    pub fn audit_enabled(&self) -> bool {
+        self.audit
     }
 }
 
@@ -546,6 +565,11 @@ pub(crate) fn solve_prepared(
         Selection::from_chosen(instance, chosen, ilp_solution.objective, solution.status);
     trace.decode = t.elapsed();
     selection.trace = trace;
+    if options.audit {
+        crate::verify::SelectionAuditor::new(instance, db)
+            .audit(&selection, options)
+            .into_result()?;
+    }
     Ok(selection)
 }
 

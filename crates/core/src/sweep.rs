@@ -484,7 +484,9 @@ impl SweepSession {
                     nodes_explored: 0,
                     wall: started.elapsed(),
                 });
-                out[i] = Some(Ok(sel));
+                // The audit flag is not part of the cache key, so a hit must
+                // run its own audit when this job asked for one.
+                out[i] = Some(audit_cached(job.instance, job.db, &job.options, sel));
                 continue;
             }
             if let Some(&twin) = by_key.get(&skey) {
@@ -589,7 +591,11 @@ impl SweepSession {
             resolved.push(result);
         }
         for (job, twin) in followers {
-            out[job] = Some(resolved[twin].clone());
+            let r = match resolved[twin].clone() {
+                Ok(sel) => audit_cached(jobs[job].instance, jobs[job].db, &jobs[job].options, sel),
+                err => err,
+            };
+            out[job] = Some(r);
         }
         for (p, result) in pending.iter().zip(resolved) {
             out[p.job] = Some(result);
@@ -656,7 +662,9 @@ impl SweepSession {
                 nodes_explored: 0,
                 wall: started.elapsed(),
             });
-            return Ok(sel);
+            // The audit flag is not part of the cache key, so a hit must run
+            // its own audit when this request asked for one.
+            return audit_cached(instance, db, options, sel);
         }
         self.trace.cache_misses += 1;
         let (prepared, model_hit) = self.prepared_model(instance, db, options, &ikey)?;
@@ -681,6 +689,24 @@ impl SweepSession {
         self.solves.insert(skey, sel.clone());
         Ok(sel)
     }
+}
+
+/// Audits a cache-served [`Selection`] when the request opted in. Fresh
+/// solves are audited inside the solver; cached ones bypass it because the
+/// audit flag is deliberately excluded from the solve key (auditing must
+/// never change *what* is solved, only whether the answer is checked).
+fn audit_cached(
+    instance: &Instance,
+    db: &ImpDb,
+    options: &SolveOptions,
+    sel: Selection,
+) -> Result<Selection, CoreError> {
+    if options.audit {
+        crate::verify::SelectionAuditor::new(instance, db)
+            .audit(&sel, options)
+            .into_result()?;
+    }
+    Ok(sel)
 }
 
 #[cfg(test)]

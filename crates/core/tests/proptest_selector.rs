@@ -4,12 +4,12 @@
 use proptest::prelude::*;
 
 use partita_core::{
-    baseline, Backend, Imp, ImpDb, Instance, OptimalityStatus, ParallelChoice, RequiredGains,
-    SCall, SolveOptions, Solver,
+    baseline, Backend, FaultPlan, Imp, ImpDb, ImpId, Instance, OptimalityStatus, ParallelChoice,
+    RequiredGains, SCall, SelectionAuditor, SolveOptions, Solver,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction, IpId};
-use partita_mop::{AreaTenths, CallSiteId, Cycles};
+use partita_mop::{AreaTenths, CallSiteId, Cycles, PathId};
 
 #[derive(Debug, Clone)]
 struct SmallInstance {
@@ -117,7 +117,7 @@ proptest! {
         let (inst, db) = build(&si);
         let exact = exhaustive_best(&inst, &db, si.required);
         let solved = Solver::new(&inst)
-            .with_imps(db)
+            .with_imps(db.clone())
             .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required))));
         match (exact, solved) {
             (Some(area), Ok(sel)) => {
@@ -126,9 +126,11 @@ proptest! {
                     "ilp found area {} vs brute force {}", sel.total_area(), area
                 );
                 prop_assert!(sel.total_gain().get() >= si.required);
-                prop_assert!(sel
-                    .verify(&inst, &SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required))))
-                    .is_ok());
+                let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required)));
+                prop_assert!(sel.verify(&inst, &opts).is_ok());
+                // Independent audit oracle alongside the built-in verify.
+                let report = SelectionAuditor::new(&inst, &db).audit(&sel, &opts);
+                prop_assert!(report.is_clean(), "audit violations: {}", report.to_json());
             }
             (None, Err(_)) => {}
             (e, s) => prop_assert!(false, "feasibility mismatch: {e:?} vs {s:?}"),
@@ -172,6 +174,45 @@ proptest! {
             }
             (Err(_), Err(_)) => {}
             (b, e) => prop_assert!(false, "backend feasibility mismatch: {b:?} vs {e:?}"),
+        }
+    }
+
+    /// Under every injected fault — node-cap exhaustion, an expired
+    /// deadline, a poisoned warm-start hint, fallback disabled — the solver
+    /// either returns an audit-clean feasible selection or a typed error.
+    /// It never silently hands back an infeasible or tampered selection.
+    #[test]
+    fn fault_injection_never_silently_infeasible(si in small_instance(), which in 0usize..6) {
+        let (inst, db) = build(&si);
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(si.required)));
+        let plan = match which {
+            0 => FaultPlan::new().node_cap(1),
+            1 => FaultPlan::new().node_cap(1).without_fallback(),
+            2 => FaultPlan::new().deadline(std::time::Duration::ZERO),
+            3 => FaultPlan::new().poisoned_hint(vec![ImpId(999)]),
+            4 => FaultPlan::new().without_warm_start(),
+            _ => FaultPlan::new()
+                .node_cap(1)
+                .poisoned_hint(vec![ImpId(999)])
+                .without_warm_start(),
+        };
+        let verdict = plan.run(&inst, &db, &opts);
+        prop_assert!(verdict.is_sound(), "unsound degraded solve: {verdict:?}");
+    }
+
+    /// Per-path requirements on path 0 only: the solved selection must pass
+    /// the audit, whose per-path gain check re-walks every path from the raw
+    /// instance rather than trusting the ILP constraint rows.
+    #[test]
+    fn per_path_requirements_audit_clean(si in small_instance()) {
+        let (inst, db) = build(&si);
+        let opts = SolveOptions::problem2(RequiredGains::per_path([(
+            PathId(0),
+            Cycles(si.required),
+        )]));
+        if let Ok(sel) = Solver::new(&inst).with_imps(db.clone()).solve(&opts) {
+            let report = SelectionAuditor::new(&inst, &db).audit(&sel, &opts);
+            prop_assert!(report.is_clean(), "audit violations: {}", report.to_json());
         }
     }
 }

@@ -22,17 +22,57 @@ use crate::{IlpError, LpSolution, Model, Relation, Sense};
 const EPS: f64 = 1e-10;
 
 /// Options for the simplex solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The three tolerances used to be scattered magic literals
+/// (`1e-6`/`1e-7`/`1e-9`) inside the solve path; they are hoisted here so
+/// every feasibility decision in one solve uses one consistent set, and so
+/// callers can tighten or relax them deliberately.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimplexOptions {
     /// Hard cap on pivots across both phases.
     pub max_iterations: usize,
+    /// Constraint-satisfaction slack: phase-1 residuals below this count as
+    /// feasible, and pinned-point / constant-constraint checks allow this
+    /// much violation.
+    pub feasibility_tol: f64,
+    /// Smallest tableau element treated as a usable pivot when driving
+    /// artificials out of the basis.
+    pub pivot_tol: f64,
+    /// Objective values within this of zero are snapped to exactly zero.
+    pub objective_tol: f64,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
         SimplexOptions {
             max_iterations: 50_000,
+            feasibility_tol: 1e-6,
+            pivot_tol: 1e-7,
+            objective_tol: 1e-9,
         }
+    }
+}
+
+impl SimplexOptions {
+    /// Overrides the feasibility tolerance.
+    #[must_use]
+    pub fn with_feasibility_tol(mut self, tol: f64) -> SimplexOptions {
+        self.feasibility_tol = tol;
+        self
+    }
+
+    /// Overrides the pivot tolerance.
+    #[must_use]
+    pub fn with_pivot_tol(mut self, tol: f64) -> SimplexOptions {
+        self.pivot_tol = tol;
+        self
+    }
+
+    /// Overrides the objective zero-snap tolerance.
+    #[must_use]
+    pub fn with_objective_tol(mut self, tol: f64) -> SimplexOptions {
+        self.objective_tol = tol;
+        self
     }
 }
 
@@ -134,7 +174,7 @@ pub fn solve_with_bounds_scratch(
     if fixed.iter().all(|&f| f) && n > 0 {
         // Everything pinned: just evaluate feasibility.
         let values: Vec<f64> = lower.to_vec();
-        if !feasible_point(model, &values) {
+        if !feasible_point(model, &values, options.feasibility_tol) {
             return Err(IlpError::Infeasible);
         }
         return Ok(LpSolution {
@@ -257,7 +297,7 @@ pub fn solve_with_bounds_scratch(
         }
         run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
         let phase1 = -t[m][rhs_col];
-        if phase1 > 1e-6 {
+        if phase1 > options.feasibility_tol {
             return Err(IlpError::Infeasible);
         }
     }
@@ -266,8 +306,8 @@ pub fn solve_with_bounds_scratch(
     // by leaving them (their rhs is 0 and artificial stays basic at 0 — we
     // forbid artificials from re-entering in phase 2 instead of removing).
     for r in 0..m {
-        if basis[r] >= art0 && t[r][rhs_col].abs() <= 1e-7 {
-            if let Some(j) = (0..art0).find(|&j| t[r][j].abs() > 1e-7) {
+        if basis[r] >= art0 && t[r][rhs_col].abs() <= options.pivot_tol {
+            if let Some(j) = (0..art0).find(|&j| t[r][j].abs() > options.pivot_tol) {
                 pivot(t, basis, r, j, rhs_col);
             }
         }
@@ -311,7 +351,7 @@ pub fn solve_with_bounds_scratch(
             .map(|(v, c)| c * values[v.index()])
             .sum::<f64>();
     // Clean tiny noise.
-    if objective.abs() < 1e-9 {
+    if objective.abs() < options.objective_tol {
         objective = 0.0;
     }
     Ok(LpSolution {
@@ -394,13 +434,13 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_co
 }
 
 /// Checks a fully pinned assignment against the model's constraints.
-fn feasible_point(model: &Model, values: &[f64]) -> bool {
+fn feasible_point(model: &Model, values: &[f64], tol: f64) -> bool {
     model.constraints().iter().all(|c| {
         let lhs = c.expr.eval(values);
         match c.relation {
-            Relation::Le => lhs <= c.rhs + 1e-6,
-            Relation::Ge => lhs >= c.rhs - 1e-6,
-            Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+            Relation::Le => lhs <= c.rhs + tol,
+            Relation::Ge => lhs >= c.rhs - tol,
+            Relation::Eq => (lhs - c.rhs).abs() <= tol,
         }
     })
 }
@@ -446,10 +486,11 @@ fn solve_reduced(
         let rhs = c.rhs - c.expr.constant() - shift;
         if terms.is_empty() {
             // Constant constraint: check it outright.
+            let tol = options.feasibility_tol;
             let ok = match c.relation {
-                Relation::Le => 0.0 <= rhs + 1e-6,
-                Relation::Ge => 0.0 >= rhs - 1e-6,
-                Relation::Eq => rhs.abs() <= 1e-6,
+                Relation::Le => 0.0 <= rhs + tol,
+                Relation::Ge => 0.0 >= rhs - tol,
+                Relation::Eq => rhs.abs() <= tol,
             };
             if !ok {
                 return Err(IlpError::Infeasible);
@@ -605,6 +646,31 @@ mod tests {
             .unwrap();
         let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
         approx(s.objective, 1.0);
+    }
+
+    /// A phase-1 residual of 1e-8 sits between the old ad-hoc thresholds
+    /// (infeasibility cut-off 1e-6, objective snap 1e-9). With the default
+    /// feasibility tolerance the point passes as feasible; tightening the
+    /// tolerance below the residual flips the verdict to infeasible — the
+    /// decision now belongs to [`SimplexOptions`], not a buried literal.
+    #[test]
+    fn feasibility_tolerance_decides_boundary_phase1_exit() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.set_objective([(x, 1.0)]);
+        // Requires x >= 1 + 1e-8 while x <= 1: violated by exactly 1e-8.
+        m.add_constraint([(x, 1.0)], Relation::Ge, 1.0 + 1e-8)
+            .unwrap();
+        let lax = solve_relaxation(&m, SimplexOptions::default()).unwrap();
+        approx(lax.value(x), 1.0);
+        let tight = SimplexOptions::default().with_feasibility_tol(1e-9);
+        assert_eq!(solve_relaxation(&m, tight), Err(IlpError::Infeasible));
+        // The same knob governs the fully pinned fast path.
+        assert!(solve_with_bounds(&m, &[1.0], &[1.0], SimplexOptions::default()).is_ok());
+        assert_eq!(
+            solve_with_bounds(&m, &[1.0], &[1.0], tight),
+            Err(IlpError::Infeasible)
+        );
     }
 
     #[test]

@@ -47,6 +47,48 @@ impl fmt::Display for InterfaceError {
 
 impl Error for InterfaceError {}
 
+/// Errors raised by the analytic timing model.
+///
+/// Infeasible (IP, interface-type) pairings were historically the only
+/// failure mode; [`TimingError::CycleOverflow`] was added when the silent
+/// `saturating_mul` clamp on IP execution cycles turned out to *understate*
+/// `T_IP` for very large sample counts — inflating the apparent gain instead
+/// of failing loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The IP cannot use the requested interface type.
+    Infeasible(InfeasibleReason),
+    /// The slow-clock-scaled IP busy time does not fit in a `u64` cycle
+    /// count; any clamped value would understate `T_IP` and overstate gain.
+    CycleOverflow {
+        /// Unscaled IP execution cycles.
+        cycles: u64,
+        /// The slow-clock factor the overflow occurred under.
+        factor: u64,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::Infeasible(reason) => write!(f, "infeasible interface: {reason}"),
+            TimingError::CycleOverflow { cycles, factor } => write!(
+                f,
+                "ip busy time overflows: {cycles} cycles at slow-clock factor {factor}"
+            ),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+impl From<InfeasibleReason> for TimingError {
+    fn from(reason: InfeasibleReason) -> TimingError {
+        TimingError::Infeasible(reason)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +101,16 @@ mod tests {
         };
         assert!(e.to_string().contains("IF0"));
         assert!(InterfaceError::UnknownBuffer(3).to_string().contains("b3"));
+    }
+
+    #[test]
+    fn timing_error_display_and_conversion() {
+        let e = TimingError::CycleOverflow {
+            cycles: u64::MAX,
+            factor: 4,
+        };
+        assert!(e.to_string().contains("factor 4"));
+        let from: TimingError = InfeasibleReason::TooManyPorts { ports: 4, max: 2 }.into();
+        assert!(matches!(from, TimingError::Infeasible(_)));
     }
 }

@@ -52,7 +52,7 @@ pub mod template;
 pub(crate) mod timing;
 
 pub use area::{AreaModel, InterfaceArea};
-pub use error::InterfaceError;
+pub use error::{InterfaceError, TimingError};
 pub use feasibility::{
     check_feasibility, feasible_kinds, FeasibleProfile, InfeasibleReason, TYPE0_BASE_RATE,
 };

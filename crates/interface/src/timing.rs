@@ -13,7 +13,7 @@
 use partita_ip::{IpBlock, Protocol};
 use partita_mop::Cycles;
 
-use crate::{check_feasibility, InfeasibleReason, InterfaceKind};
+use crate::{check_feasibility, InterfaceKind, TimingError};
 
 /// Per-sample cycle overhead of the protocol transformer (paper Fig. 1):
 /// synchronous pipelined blocks are the standard and cost nothing; streaming
@@ -112,6 +112,9 @@ impl InterfaceTiming {
             InterfaceKind::Type1 | InterfaceKind::Type3 => {
                 let busy = self.t_if_in + Cycles(1) + self.t_ip.max(self.t_b) + self.t_if_out;
                 match parallel_code {
+                    // Saturation here is semantic, not a clamp hazard: the
+                    // recovered overlap MIN(T_IP, T_C) never exceeds `busy`
+                    // mathematically, so saturating merely guards rounding.
                     Some(t_c) => busy.saturating_sub(self.t_ip.min(t_c)),
                     None => busy,
                 }
@@ -124,17 +127,24 @@ impl InterfaceTiming {
 ///
 /// # Errors
 ///
-/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+/// [`TimingError::Infeasible`] when `ip` cannot use `kind`;
+/// [`TimingError::CycleOverflow`] when the slow-clock-scaled IP busy time
+/// does not fit in a `u64` — a saturated value here would *understate*
+/// `T_IP` and silently inflate the apparent gain.
 pub fn timing(
     ip: &IpBlock,
     kind: InterfaceKind,
     job: TransferJob,
-) -> Result<InterfaceTiming, InfeasibleReason> {
+) -> Result<InterfaceTiming, TimingError> {
     let profile = check_feasibility(ip, kind)?;
     let f = profile.slow_clock_factor;
     let samples_in = job.samples_in(ip);
     let samples_out = job.samples_out(ip);
-    let t_ip = Cycles(ip.execution_cycles(samples_in).get().saturating_mul(f));
+    let raw = ip.execution_cycles(samples_in).get();
+    let t_ip = Cycles(raw.checked_mul(f).ok_or(TimingError::CycleOverflow {
+        cycles: raw,
+        factor: f,
+    })?);
 
     let zero = Cycles::ZERO;
     let t = match kind {
@@ -204,28 +214,30 @@ pub fn timing(
 ///
 /// # Errors
 ///
-/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+/// Propagates [`TimingError`] from [`timing`].
 pub fn execution_time(
     ip: &IpBlock,
     kind: InterfaceKind,
     job: TransferJob,
     parallel_code: Option<Cycles>,
-) -> Result<Cycles, InfeasibleReason> {
+) -> Result<Cycles, TimingError> {
     Ok(timing(ip, kind, job)?.total(parallel_code))
 }
 
-/// Performance gain `T_SW − execution_time` (saturating at zero).
+/// Performance gain `T_SW − execution_time`, saturating at zero: an IP
+/// slower than software is a zero-gain implementation, not an error, so
+/// this `saturating_sub` is semantic rather than a clamp hazard.
 ///
 /// # Errors
 ///
-/// Returns the [`InfeasibleReason`] when `ip` cannot use `kind`.
+/// Propagates [`TimingError`] from [`timing`].
 pub fn performance_gain(
     t_sw: Cycles,
     ip: &IpBlock,
     kind: InterfaceKind,
     job: TransferJob,
     parallel_code: Option<Cycles>,
-) -> Result<Cycles, InfeasibleReason> {
+) -> Result<Cycles, TimingError> {
     Ok(t_sw.saturating_sub(execution_time(ip, kind, job, parallel_code)?))
 }
 
@@ -326,6 +338,26 @@ mod tests {
         let job = TransferJob::new(4, 4);
         let g = performance_gain(Cycles(10), &ip, InterfaceKind::Type0, job, None).unwrap();
         assert_eq!(g, Cycles::ZERO);
+    }
+
+    #[test]
+    fn huge_job_overflows_loudly_instead_of_clamping() {
+        // fir(1,1,4) needs slow-clock factor 4 on type 0; a near-u64::MAX
+        // job pushes the scaled busy time past u64. The old saturating_mul
+        // clamped T_IP to u64::MAX here, which *understated* the busy time
+        // relative to the (also huge) T_IF and could fabricate gain.
+        let ip = fir(1, 1, 4);
+        let job = TransferJob::new(u64::MAX, u64::MAX);
+        let err = timing(&ip, InterfaceKind::Type0, job).unwrap_err();
+        assert!(
+            matches!(err, TimingError::CycleOverflow { factor: 4, .. }),
+            "{err}"
+        );
+        // The overflow propagates through the gain API as a typed error.
+        let gain = performance_gain(Cycles(10), &ip, InterfaceKind::Type0, job, None);
+        assert!(matches!(gain, Err(TimingError::CycleOverflow { .. })));
+        // Sane jobs on the same IP are unaffected.
+        assert!(timing(&ip, InterfaceKind::Type0, TransferJob::new(16, 16)).is_ok());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! selection on repeated solves — the tables in EXPERIMENTS.md are only
 //! meaningful if the solver is deterministic.
 
-use partita::core::{RequiredGains, Selection, SolveBudget, SolveOptions, Solver, SweepSession};
+use partita::core::{
+    RequiredGains, Selection, SelectionAuditor, SolveBudget, SolveOptions, Solver, SweepSession,
+};
 use partita::workloads::{gsm, jpeg, synth, Workload};
 
 /// Serializes everything reproducible about a selection — the chosen IMPs,
@@ -60,6 +62,16 @@ fn calibrated_sweeps_are_deterministic() {
             );
             assert_eq!(a.total_area(), b.total_area());
             assert_eq!(a.total_gain(), b.total_gain());
+            // Audit oracle over every published table point: the selection
+            // must re-derive cleanly from the calibrated IMP database.
+            let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&a, &opts);
+            assert!(
+                report.is_clean(),
+                "{} at RG {} failed the audit: {}",
+                w.instance.name,
+                rg.get(),
+                report.to_json()
+            );
         }
     }
 }

@@ -9,7 +9,8 @@
 //! the corpus parameters are sized so at least 50 (seed, RG) points survive.
 
 use partita::core::{
-    Backend, CoreError, RequiredGains, Selection, SolveBudget, SolveOptions, Solver, SweepSession,
+    Backend, CoreError, RequiredGains, Selection, SelectionAuditor, SolveBudget, SolveOptions,
+    Solver, SweepSession,
 };
 use partita::ilp::IlpError;
 use partita::workloads::synth::{generate, SynthParams};
@@ -75,12 +76,25 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
                         ),
                 )
             };
+            let ctx = format!("seed {seed}, RG {}", rg.get());
             let Some(oracle) = verdict(solve(Backend::Exhaustive, 1)) else {
                 skipped += 1;
                 continue;
             };
-            let serial =
-                verdict(solve(Backend::BranchBound, 1)).expect("branch-and-bound has no size cap");
+            let serial_result = solve(Backend::BranchBound, 1);
+            // Independent audit oracle: every feasible selection must
+            // re-derive cleanly from the raw instance and IMP database,
+            // without consulting the ILP model that produced it.
+            if let Ok(sel) = &serial_result {
+                let report = SelectionAuditor::new(&w.instance, &w.imps)
+                    .audit(sel, &SolveOptions::problem2(RequiredGains::uniform(rg)));
+                assert!(
+                    report.is_clean(),
+                    "audit oracle rejected the solution at {ctx}: {}",
+                    report.to_json()
+                );
+            }
+            let serial = verdict(serial_result).expect("branch-and-bound has no size cap");
             let parallel = verdict(solve(Backend::BranchBound, PARALLEL_THREADS))
                 .expect("branch-and-bound has no size cap");
 
@@ -88,7 +102,6 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
             // objective (area) — ties in the assignment are allowed to
             // differ between branch-and-bound and the enumeration oracle,
             // but area and gain are part of the objective contract.
-            let ctx = format!("seed {seed}, RG {}", rg.get());
             match (&oracle, &serial, &parallel) {
                 (
                     Verdict::Feasible { area: oa, .. },
@@ -131,8 +144,13 @@ fn session_cache_agrees_with_uncached_solver_on_corpus() {
         let mut session = SweepSession::new();
         for &rg in &w.rg_sweep {
             for threads in [1usize, 4] {
+                // `.audit(true)` routes every solve — the lone one, the
+                // session miss, and the session cache hit — through the
+                // post-solve auditor; a violation would surface as
+                // `CoreError::AuditFailed` and trip the divergence match.
                 let opts = SolveOptions::problem2(RequiredGains::uniform(rg))
-                    .budget(SolveBudget::default().with_threads(threads));
+                    .budget(SolveBudget::default().with_threads(threads))
+                    .audit(true);
                 let lone = Solver::new(&w.instance)
                     .with_imps(w.imps.clone())
                     .solve(&opts);

@@ -208,6 +208,118 @@ fn per_path_requirements_with_unlisted_paths() {
     assert_eq!(empty.total_area(), AreaTenths::ZERO);
 }
 
+/// Zero required gain on every published sweep point: the cheapest answer
+/// is always "stay in software" — an empty selection with zero area — and
+/// that degenerate selection must itself pass the independent audit, both
+/// on a cold solve and on a sweep-session cache hit.
+#[test]
+fn zero_rg_selects_nothing_and_audits_clean() {
+    use partita::core::{SelectionAuditor, SweepSession};
+    use partita::workloads::gsm;
+
+    let w = gsm::encoder();
+    let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles::ZERO));
+    let sel = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&opts)
+        .expect("zero requirement is trivially feasible");
+    assert!(sel.chosen().is_empty(), "zero RG must not buy hardware");
+    assert_eq!(sel.total_area(), AreaTenths::ZERO);
+    let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+    assert!(report.is_clean(), "{}", report.to_json());
+
+    // The cache-hit path runs its own audit (the flag is not in the key).
+    let audited = opts.audit(true);
+    let mut session = SweepSession::new();
+    let cold = session
+        .solve(&w.instance, &w.imps, &audited)
+        .expect("audited cold solve");
+    let hit = session
+        .solve(&w.instance, &w.imps, &audited)
+        .expect("audited cache hit");
+    assert_eq!(cold, hit);
+    assert_eq!(session.trace().cache_hits, 1);
+}
+
+/// A path with no s-calls accumulates zero gain by construction: it is
+/// inert at zero requirement and typed-infeasible at any positive one —
+/// never a panic, never a silent wrong answer.
+#[test]
+fn empty_path_is_inert_at_zero_rg_and_infeasible_above() {
+    use partita::core::{CoreError, SelectionAuditor};
+    use partita::mop::PathId;
+
+    let mut instance = Instance::new("empty-path");
+    instance.library.add(
+        IpBlock::builder("fir16")
+            .function(IpFunction::Fir)
+            .rates(4, 4)
+            .latency(8)
+            .area(AreaTenths::from_units(2))
+            .build(),
+    );
+    let sc = instance.add_scall(SCall::new(
+        "fir",
+        IpFunction::Fir,
+        Cycles(4000),
+        TransferJob::new(64, 64),
+    ));
+    instance.add_path(vec![sc]);
+    let empty = instance.add_path(vec![]);
+    let db = ImpDb::generate(&instance);
+
+    let zero = SolveOptions::problem2(RequiredGains::per_path(vec![(empty, Cycles::ZERO)]));
+    let sel = Solver::new(&instance)
+        .with_imps(db.clone())
+        .solve(&zero)
+        .expect("an empty path requiring zero gain is inert");
+    let report = SelectionAuditor::new(&instance, &db).audit(&sel, &zero);
+    assert!(report.is_clean(), "{}", report.to_json());
+
+    let err = Solver::new(&instance)
+        .with_imps(db)
+        .solve(&SolveOptions::problem2(RequiredGains::per_path(vec![(
+            empty,
+            Cycles(1),
+        )])))
+        .expect_err("no IMP can speed up a path with no s-calls");
+    assert!(
+        matches!(
+            err,
+            CoreError::Infeasible {
+                path: None | Some(PathId(1))
+            }
+        ),
+        "expected a typed infeasibility, got {err}"
+    );
+}
+
+/// An s-call whose function no library IP implements generates an empty
+/// IMP database: the solver reports the typed [`CoreError::NoImps`] rather
+/// than fabricating a do-nothing selection or panicking.
+#[test]
+fn software_only_instance_reports_no_imps() {
+    use partita::core::CoreError;
+
+    let mut instance = Instance::new("sw-only");
+    let sc = instance.add_scall(SCall::new(
+        "vlc",
+        IpFunction::Custom("vlc".into()),
+        Cycles(9000),
+        TransferJob::new(16, 16),
+    ));
+    instance.add_path(vec![sc]);
+    let db = ImpDb::generate(&instance);
+    assert!(db.is_empty(), "no IP supports the custom function");
+    for rg in [0u64, 100] {
+        let err = Solver::new(&instance)
+            .with_imps(db.clone())
+            .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))))
+            .expect_err("an empty database cannot produce a selection");
+        assert!(matches!(err, CoreError::NoImps), "RG {rg}: got {err}");
+    }
+}
+
 /// The §2 back-end flow: a solved selection becomes S-class instructions in
 /// the ASIP's instruction set, with interface templates as their µ-coded
 /// bodies and the µ-ROM folding shared words.
