@@ -1,0 +1,125 @@
+//! The benchsuite runner: drives every headline workload (Tables 1–3,
+//! Fig. 9, Fig. 11) cold and chained at each requested thread count and
+//! writes the perf-trajectory report to `BENCH_partita.json`.
+//!
+//! ```text
+//! benchsuite [--out PATH] [--compare BASELINE] [--threads 1,4]
+//!            [--quick] [--threshold 0.15]
+//! ```
+//!
+//! With `--compare`, the fresh run is gated against the baseline report:
+//! any portable drift, any single-threaded node-count growth, or a wall
+//! time regression beyond the threshold (15% by default, with a 10ms
+//! absolute noise floor) exits nonzero.
+
+use std::process::ExitCode;
+
+use partita_bench::suite::{
+    compare_reports, run_suite, SuiteConfig, SuiteReport, DEFAULT_WALL_THRESHOLD,
+};
+
+struct Args {
+    out: String,
+    compare: Option<String>,
+    config: SuiteConfig,
+    threshold: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchsuite [--out PATH] [--compare BASELINE] \
+         [--threads N,N,...] [--quick] [--threshold FRAC]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_partita.json".to_string(),
+        compare: None,
+        config: SuiteConfig::default(),
+        threshold: DEFAULT_WALL_THRESHOLD,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| usage_for(flag));
+        fn usage_for(flag: &str) -> String {
+            eprintln!("missing value for {flag}");
+            usage()
+        }
+        match flag.as_str() {
+            "--out" => args.out = value("--out"),
+            "--compare" => args.compare = Some(value("--compare")),
+            "--threads" => {
+                args.config.threads = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.config.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--quick" => args.config.quick = true,
+            "--threshold" => {
+                args.threshold = value("--threshold").parse().unwrap_or_else(|_| usage());
+                if !(args.threshold.is_finite() && args.threshold >= 0.0) {
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "benchsuite: running {} workloads at threads {:?}",
+        if args.config.quick { "quick" } else { "all" },
+        args.config.threads
+    );
+    let report = run_suite(&args.config);
+    let rendered = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("benchsuite: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "benchsuite: wrote {} ({} configs)",
+        args.out,
+        report.configs.len()
+    );
+    let Some(baseline_path) = args.compare else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("benchsuite: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match SuiteReport::from_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("benchsuite: bad baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = compare_reports(&baseline, &report, args.threshold);
+    if regressions.is_empty() {
+        eprintln!("benchsuite: no regressions against {baseline_path}");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION {r}");
+        }
+        eprintln!(
+            "benchsuite: {} regression(s) against {baseline_path}",
+            regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

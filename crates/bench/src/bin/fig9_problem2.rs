@@ -2,62 +2,17 @@
 //! IP, Problem 1's best plan maps all three into the IP (total time = IP
 //! time), while Problem 2 runs one `fir()` in the kernel as the parallel
 //! code of another — finishing earlier and/or cheaper.
+//!
+//! The instance lives in [`partita_bench::suite::fig9_workload`] so the
+//! benchsuite sweeps the same structure this figure demonstrates.
 
-use partita_core::{
-    BatchJob, Imp, ImpDb, Instance, ParallelChoice, ProblemKind, RequiredGains, SCall,
-    SolveOptions, SweepSession,
-};
-use partita_interface::{InterfaceKind, TransferJob};
-use partita_ip::{IpBlock, IpFunction};
-use partita_mop::{AreaTenths, Cycles};
+use partita_bench::suite::fig9_workload;
+use partita_core::{BatchJob, ProblemKind, RequiredGains, SolveOptions, SweepSession};
+use partita_mop::Cycles;
 
 fn main() {
-    let mut inst = Instance::new("fig9");
-    let ip = inst.library.add(
-        IpBlock::builder("fir")
-            .function(IpFunction::Fir)
-            .area(AreaTenths::from_units(3))
-            .build(),
-    );
-    let t_sw = Cycles(1000);
-    let a = inst.add_scall(SCall::new(
-        "fir",
-        IpFunction::Fir,
-        t_sw,
-        TransferJob::new(8, 8),
-    ));
-    let b = inst.add_scall(SCall::new(
-        "fir",
-        IpFunction::Fir,
-        t_sw,
-        TransferJob::new(8, 8),
-    ));
-    let c = inst.add_scall(SCall::new(
-        "fir",
-        IpFunction::Fir,
-        t_sw,
-        TransferJob::new(8, 8),
-    ));
-    inst.add_path(vec![a, b, c]);
-
-    let mk = |sc, gain: u64, par| {
-        Imp::new(
-            sc,
-            vec![ip],
-            InterfaceKind::Type1,
-            Cycles(gain),
-            AreaTenths::from_tenths(2),
-            par,
-        )
-    };
-    // Plain IP gains 600 per call; overlapping c's software run with b's IP
-    // run recovers c's 300-cycle hardware-visible share -> gain 900.
-    let db = ImpDb::from_imps(vec![
-        mk(a, 600, ParallelChoice::None),
-        mk(b, 600, ParallelChoice::None),
-        mk(c, 600, ParallelChoice::None),
-        mk(b, 900, ParallelChoice::SwScalls(vec![c])),
-    ]);
+    let w = fig9_workload();
+    let (inst, db) = (&w.instance, &w.imps);
 
     let rg = RequiredGains::uniform(Cycles(1500));
     println!("Fig. 9 — three fir() calls, RG = 1500\n");
@@ -67,8 +22,8 @@ fn main() {
     let jobs: Vec<BatchJob<'_>> = [ProblemKind::Problem1, ProblemKind::Problem2]
         .iter()
         .map(|&problem| BatchJob {
-            instance: &inst,
-            db: &db,
+            instance: inst,
+            db,
             options: SolveOptions::for_problem(problem, rg.clone()),
         })
         .collect();
@@ -88,7 +43,7 @@ fn main() {
         }
     }
     let p2_again = session
-        .solve(&inst, &db, &jobs[1].options)
+        .solve(inst, db, &jobs[1].options)
         .expect("cached p2");
     assert_eq!(p2_again, p2, "session cache must replay the batch job");
     assert!(p2.total_area() < p1.total_area());

@@ -1,0 +1,431 @@
+//! The benchsuite: one runner that drives every headline workload of the
+//! paper's evaluation (Tables 1–3, Fig. 9, Fig. 11) cold and chained at a
+//! set of thread counts, and folds the results into a single
+//! `BENCH_partita.json` perf-trajectory report.
+//!
+//! The report separates **portable** results (selection quality, cache
+//! behaviour, and — single-threaded — branch-and-bound node counts, all of
+//! which must be identical on any machine) from **machine** results (wall
+//! times, peak RSS, multi-threaded node counts, which vary with hardware
+//! and scheduling). [`compare_reports`] gates on both: any portable drift
+//! or single-threaded node-count growth is a regression outright, while
+//! wall time gets a relative threshold plus an absolute noise floor.
+
+use std::time::Instant;
+
+use partita_core::telemetry::json::JsonValue;
+use partita_core::{
+    Imp, ImpDb, Instance, ParallelChoice, SCall, Selection, SolveBudget, SolveOptions,
+    SweepSession, SweepTrace,
+};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles};
+use partita_workloads::{gsm, jpeg, Workload};
+
+/// Report schema version (independent of the telemetry event schema).
+pub const SUITE_SCHEMA: u32 = 1;
+
+/// Default wall-time regression threshold for [`compare_reports`]: 15%.
+pub const DEFAULT_WALL_THRESHOLD: f64 = 0.15;
+
+/// Absolute wall-time noise floor in microseconds: a config must regress by
+/// at least this much on top of the relative threshold before it counts.
+/// Sub-10ms configs are dominated by scheduler noise.
+pub const WALL_NOISE_FLOOR_US: u64 = 10_000;
+
+/// The Fig. 9 instance as a reusable workload: three independent `fir()`
+/// calls, one FIR IP, and a Problem-2 IMP that runs one call in the kernel
+/// as another's parallel code. The sweep covers the published RG = 1500
+/// point plus two easier points.
+#[must_use]
+pub fn fig9_workload() -> Workload {
+    let mut inst = Instance::new("fig9");
+    let ip = inst.library.add(
+        IpBlock::builder("fir")
+            .function(IpFunction::Fir)
+            .area(AreaTenths::from_units(3))
+            .build(),
+    );
+    let t_sw = Cycles(1000);
+    let mut scs = Vec::new();
+    for _ in 0..3 {
+        scs.push(inst.add_scall(SCall::new(
+            "fir",
+            IpFunction::Fir,
+            t_sw,
+            TransferJob::new(8, 8),
+        )));
+    }
+    inst.add_path(scs.clone());
+    let mk = |sc, gain: u64, par| {
+        Imp::new(
+            sc,
+            vec![ip],
+            InterfaceKind::Type1,
+            Cycles(gain),
+            AreaTenths::from_tenths(2),
+            par,
+        )
+    };
+    let imps = ImpDb::from_imps(vec![
+        mk(scs[0], 600, ParallelChoice::None),
+        mk(scs[1], 600, ParallelChoice::None),
+        mk(scs[2], 600, ParallelChoice::None),
+        mk(scs[1], 900, ParallelChoice::SwScalls(vec![scs[2]])),
+    ]);
+    Workload {
+        instance: inst,
+        imps,
+        rg_sweep: vec![Cycles(600), Cycles(1200), Cycles(1500)],
+    }
+}
+
+/// What the suite should run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Branch-and-bound thread counts to run every workload at.
+    pub threads: Vec<usize>,
+    /// Restrict to the two fastest workloads (CI smoke mode).
+    pub quick: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            threads: vec![1, 4],
+            quick: false,
+        }
+    }
+}
+
+/// Whether a sweep runs its points independently or chained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Cold,
+    Chained,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Cold => "cold",
+            Mode::Chained => "chained",
+        }
+    }
+}
+
+/// One sweep point's portable outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointResult {
+    /// Uniform required gain of the point.
+    pub rg: u64,
+    /// Total gain of the returned selection.
+    pub gain: u64,
+    /// Total area of the returned selection, in area tenths.
+    pub area_tenths: i64,
+    /// Optimality status string (`optimal`, `feasible`, …).
+    pub status: String,
+}
+
+/// Session cache counters of one config run (portable: cache behaviour is
+/// deterministic for a fixed request sequence).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the solve cache.
+    pub cache_hits: u64,
+    /// Requests that ran a solver.
+    pub cache_misses: u64,
+    /// Solver runs that reused a cached model.
+    pub model_hits: u64,
+    /// Solver runs that built their model.
+    pub model_misses: u64,
+    /// Points seeded with the previous point's verified optimum.
+    pub chained_accepts: u64,
+    /// Points whose carry-over candidate was rejected.
+    pub chained_rejects: u64,
+}
+
+impl CacheStats {
+    fn from_trace(t: &SweepTrace) -> CacheStats {
+        CacheStats {
+            cache_hits: t.cache_hits,
+            cache_misses: t.cache_misses,
+            model_hits: t.model_hits,
+            model_misses: t.model_misses,
+            chained_accepts: t.chained_accepts,
+            chained_rejects: t.chained_rejects,
+        }
+    }
+}
+
+/// The full result of one `{workload}:{mode}:t{threads}` config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigResult {
+    /// Per-point selection outcomes, in sweep order.
+    pub points: Vec<PointResult>,
+    /// Session cache counters.
+    pub cache: CacheStats,
+    /// Total branch-and-bound nodes when the search is single-threaded
+    /// (deterministic, hence portable); `None` at higher thread counts.
+    pub portable_nodes: Option<u64>,
+    /// Total wall time of the config, in microseconds.
+    pub wall_us: u64,
+    /// Total nodes at multi-threaded counts (machine-dependent: the
+    /// parallel frontier explores a schedule-dependent node set).
+    pub machine_nodes: Option<u64>,
+    /// Peak resident set of the process so far, from `/proc/self/status`
+    /// `VmHWM` (`None` where unavailable).
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// A full benchsuite run: config keys (sorted) mapped to results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SuiteReport {
+    /// `(key, result)` pairs, sorted by key.
+    pub configs: Vec<(String, ConfigResult)>,
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The workloads the suite drives, as `(key, workload)` pairs.
+#[must_use]
+pub fn suite_workloads(quick: bool) -> Vec<(&'static str, Workload)> {
+    if quick {
+        vec![("fig9", fig9_workload()), ("table3", jpeg::encoder())]
+    } else {
+        vec![
+            ("table1", gsm::encoder()),
+            ("table2", gsm::decoder()),
+            ("table3", jpeg::encoder()),
+            ("fig9", fig9_workload()),
+            ("fig11", jpeg::encoder_hierarchical()),
+        ]
+    }
+}
+
+fn run_config(w: &Workload, mode: Mode, threads: usize) -> ConfigResult {
+    let base = SolveOptions::default().budget(SolveBudget::default().with_threads(threads));
+    let mut session = SweepSession::new();
+    let started = Instant::now();
+    let sels: Vec<Selection> = match mode {
+        Mode::Cold => session.sweep_cold(&w.instance, &w.imps, &base, &w.rg_sweep),
+        Mode::Chained => session.sweep(&w.instance, &w.imps, &base, &w.rg_sweep),
+    }
+    .unwrap_or_else(|e| panic!("{} sweep infeasible: {e}", w.instance.name));
+    let wall = started.elapsed();
+    let trace = session.take_trace();
+    let nodes = trace.total_nodes();
+    let points = sels
+        .iter()
+        .zip(&w.rg_sweep)
+        .map(|(sel, &rg)| PointResult {
+            rg: rg.get(),
+            gain: sel.total_gain().get(),
+            area_tenths: sel.total_area().tenths(),
+            status: sel.status.to_string(),
+        })
+        .collect();
+    ConfigResult {
+        points,
+        cache: CacheStats::from_trace(&trace),
+        portable_nodes: (threads <= 1).then_some(nodes),
+        wall_us: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+        machine_nodes: (threads > 1).then_some(nodes),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the whole suite per `config` and returns the report, configs
+/// sorted by key.
+#[must_use]
+pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
+    let mut configs = Vec::new();
+    for (name, w) in suite_workloads(config.quick) {
+        for &threads in &config.threads {
+            for mode in [Mode::Cold, Mode::Chained] {
+                let key = format!("{name}:{}:t{threads}", mode.name());
+                configs.push((key, run_config(&w, mode, threads.max(1))));
+            }
+        }
+    }
+    configs.sort_by(|a, b| a.0.cmp(&b.0));
+    SuiteReport { configs }
+}
+
+fn opt_u64_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+impl SuiteReport {
+    /// Serializes the report as one pretty-stable JSON document: keys in a
+    /// fixed order, configs sorted, portable and machine sections separated.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": {SUITE_SCHEMA},\n  \"suite\": \"partita-benchsuite\",\n  \"configs\": {{\n"
+        ));
+        let mut sorted: Vec<&(String, ConfigResult)> = self.configs.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (key, c)) in sorted.iter().enumerate() {
+            let points: Vec<String> = c
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"rg\":{},\"gain\":{},\"area_tenths\":{},\"status\":\"{}\"}}",
+                        p.rg, p.gain, p.area_tenths, p.status
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                concat!(
+                    "    \"{}\": {{\n",
+                    "      \"portable\": {{\"points\": [{}], ",
+                    "\"cache\": {{\"cache_hits\":{},\"cache_misses\":{},",
+                    "\"model_hits\":{},\"model_misses\":{},",
+                    "\"chained_accepts\":{},\"chained_rejects\":{}}}, ",
+                    "\"nodes\": {}}},\n",
+                    "      \"machine\": {{\"wall_us\": {}, \"nodes\": {}, ",
+                    "\"peak_rss_kb\": {}}}\n",
+                    "    }}{}\n"
+                ),
+                key,
+                points.join(","),
+                c.cache.cache_hits,
+                c.cache.cache_misses,
+                c.cache.model_hits,
+                c.cache.model_misses,
+                c.cache.chained_accepts,
+                c.cache.chained_rejects,
+                opt_u64_json(c.portable_nodes),
+                c.wall_us,
+                opt_u64_json(c.machine_nodes),
+                opt_u64_json(c.peak_rss_kb),
+                if i + 1 == sorted.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report serialized by [`SuiteReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json(text: &str) -> Result<SuiteReport, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema")?;
+        if schema != u64::from(SUITE_SCHEMA) {
+            return Err(format!("unsupported suite schema {schema}"));
+        }
+        let configs_obj = doc.get("configs").ok_or("missing configs")?;
+        let mut configs = Vec::new();
+        for (key, cfg) in configs_obj.entries().ok_or("configs not an object")? {
+            let portable = cfg.get("portable").ok_or("missing portable")?;
+            let machine = cfg.get("machine").ok_or("missing machine")?;
+            let cache = portable.get("cache").ok_or("missing cache")?;
+            let get = |obj: &JsonValue, k: &str| -> Result<u64, String> {
+                obj.get(k)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("missing {k}"))
+            };
+            let opt = |obj: &JsonValue, k: &str| -> Option<u64> {
+                obj.get(k).and_then(JsonValue::as_u64)
+            };
+            let mut points = Vec::new();
+            for p in portable
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing points")?
+            {
+                points.push(PointResult {
+                    rg: get(p, "rg")?,
+                    gain: get(p, "gain")?,
+                    area_tenths: get(p, "area_tenths")? as i64,
+                    status: p
+                        .get("status")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("missing status")?
+                        .to_string(),
+                });
+            }
+            configs.push((
+                key.clone(),
+                ConfigResult {
+                    points,
+                    cache: CacheStats {
+                        cache_hits: get(cache, "cache_hits")?,
+                        cache_misses: get(cache, "cache_misses")?,
+                        model_hits: get(cache, "model_hits")?,
+                        model_misses: get(cache, "model_misses")?,
+                        chained_accepts: get(cache, "chained_accepts")?,
+                        chained_rejects: get(cache, "chained_rejects")?,
+                    },
+                    portable_nodes: opt(portable, "nodes"),
+                    wall_us: get(machine, "wall_us")?,
+                    machine_nodes: opt(machine, "nodes"),
+                    peak_rss_kb: opt(machine, "peak_rss_kb"),
+                },
+            ));
+        }
+        configs.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(SuiteReport { configs })
+    }
+}
+
+/// Compares `current` against `baseline` and returns one message per
+/// regression (empty = pass):
+///
+/// * a config present in the baseline but missing from the current run;
+/// * any **portable** drift — per-point gain, area, or status changed, or
+///   cache counters changed;
+/// * any single-threaded **node-count** growth (strict: the search is
+///   deterministic at one thread, so even +1 node is a real change);
+/// * **wall time** beyond `baseline * (1 + wall_threshold)` *and* beyond
+///   an absolute [`WALL_NOISE_FLOOR_US`] above the baseline.
+#[must_use]
+pub fn compare_reports(
+    baseline: &SuiteReport,
+    current: &SuiteReport,
+    wall_threshold: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for (key, base) in &baseline.configs {
+        let Some((_, cur)) = current.configs.iter().find(|(k, _)| k == key) else {
+            regressions.push(format!("{key}: config missing from current run"));
+            continue;
+        };
+        if cur.points != base.points {
+            regressions.push(format!("{key}: portable selection results drifted"));
+        }
+        if cur.cache != base.cache {
+            regressions.push(format!("{key}: portable cache counters drifted"));
+        }
+        if let (Some(b), Some(c)) = (base.portable_nodes, cur.portable_nodes) {
+            if c > b {
+                regressions.push(format!("{key}: node count regressed {b} -> {c}"));
+            }
+        }
+        let allowed = (base.wall_us as f64 * (1.0 + wall_threshold)) as u64;
+        let allowed = allowed.max(base.wall_us.saturating_add(WALL_NOISE_FLOOR_US));
+        if cur.wall_us > allowed {
+            regressions.push(format!(
+                "{key}: wall time regressed {} us -> {} us (allowed {} us)",
+                base.wall_us, cur.wall_us, allowed
+            ));
+        }
+    }
+    regressions
+}

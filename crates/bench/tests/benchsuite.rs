@@ -1,0 +1,125 @@
+//! Contracts of the benchsuite report: stable serialization, lossless
+//! round-trips, and a compare gate that passes on itself and fails on
+//! injected regressions.
+
+use partita_bench::suite::{
+    compare_reports, fig9_workload, run_suite, SuiteConfig, SuiteReport, DEFAULT_WALL_THRESHOLD,
+    WALL_NOISE_FLOOR_US,
+};
+use partita_core::telemetry::json::JsonValue;
+
+fn quick_report() -> SuiteReport {
+    run_suite(&SuiteConfig {
+        threads: vec![1],
+        quick: true,
+    })
+}
+
+#[test]
+fn quick_suite_report_parses_with_sorted_keys() {
+    let report = quick_report();
+    let rendered = report.to_json();
+    let doc = JsonValue::parse(&rendered).expect("report is valid JSON");
+    assert_eq!(doc.get("schema").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        doc.get("suite").and_then(JsonValue::as_str),
+        Some("partita-benchsuite")
+    );
+    let keys = doc
+        .get("configs")
+        .and_then(JsonValue::keys)
+        .expect("configs object");
+    assert_eq!(keys.len(), 4, "2 quick workloads x cold/chained x t1");
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "config keys must serialize sorted");
+    for key in keys {
+        let cfg = doc.get("configs").unwrap().get(key).unwrap();
+        assert!(cfg.get("portable").is_some(), "{key}: portable section");
+        assert!(cfg.get("machine").is_some(), "{key}: machine section");
+        let nodes = cfg.get("portable").unwrap().get("nodes").unwrap();
+        assert!(
+            nodes.as_u64().is_some(),
+            "{key}: single-threaded nodes are portable"
+        );
+    }
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = quick_report();
+    let parsed = SuiteReport::from_json(&report.to_json()).expect("round-trip parses");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn compare_passes_against_itself() {
+    let report = quick_report();
+    assert_eq!(
+        compare_reports(&report, &report, DEFAULT_WALL_THRESHOLD),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn compare_flags_injected_regressions() {
+    let baseline = quick_report();
+    // Node regression: the current run explores one more node than baseline.
+    let mut current = baseline.clone();
+    let key = current.configs[0].0.clone();
+    current.configs[0].1.portable_nodes = baseline.configs[0].1.portable_nodes.map(|n| n + 1);
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert!(regressions[0].starts_with(&key));
+    assert!(regressions[0].contains("node count regressed"));
+
+    // Wall regression: beyond both the 15% threshold and the noise floor.
+    let mut current = baseline.clone();
+    current.configs[1].1.wall_us = baseline.configs[1]
+        .1
+        .wall_us
+        .saturating_mul(2)
+        .saturating_add(2 * WALL_NOISE_FLOOR_US);
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert!(regressions[0].contains("wall time regressed"));
+
+    // Sub-noise-floor wall growth is NOT a regression.
+    let mut current = baseline.clone();
+    current.configs[1].1.wall_us += WALL_NOISE_FLOOR_US / 2;
+    assert!(compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD).is_empty());
+
+    // Portable drift: a selection changed area.
+    let mut current = baseline.clone();
+    current.configs[2].1.points[0].area_tenths += 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert!(regressions[0].contains("portable selection results drifted"));
+
+    // Missing config.
+    let mut current = baseline.clone();
+    current.configs.remove(3);
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert!(regressions[0].contains("config missing"));
+}
+
+#[test]
+fn fig9_workload_reproduces_the_problem2_advantage() {
+    use partita_core::{ProblemKind, RequiredGains, SolveOptions, Solver};
+    use partita_mop::Cycles;
+    let w = fig9_workload();
+    let rg = RequiredGains::uniform(Cycles(1500));
+    let solve = |problem| {
+        Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&SolveOptions::for_problem(problem, rg.clone()))
+            .expect("fig9 feasible")
+    };
+    let p1 = solve(ProblemKind::Problem1);
+    let p2 = solve(ProblemKind::Problem2);
+    assert!(
+        p2.total_area() < p1.total_area(),
+        "Problem 2 must beat Problem 1 on the Fig. 9 instance"
+    );
+}

@@ -205,6 +205,10 @@ pub struct SolveTrace {
     /// Nodes explored per worker (one entry per worker; empty for backends
     /// without a worker pool).
     pub worker_nodes: Vec<usize>,
+    /// Nodes each worker took from the shared pool instead of its local
+    /// dive stack (parallel to [`SolveTrace::worker_nodes`]; all zero for
+    /// the serial search, which has no pool).
+    pub worker_steals: Vec<usize>,
     /// Time spent generating the IMP database (zero when prebuilt).
     pub imp_generation: Duration,
     /// Time spent building the ILP model.
@@ -215,27 +219,6 @@ pub struct SolveTrace {
     pub decode: Duration,
 }
 
-/// Escapes a string for embedding in a hand-rolled JSON document: quotes,
-/// backslashes and control characters, per RFC 8259.
-#[must_use]
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl SolveTrace {
     /// Total wall time across all recorded phases.
     #[must_use]
@@ -243,45 +226,17 @@ impl SolveTrace {
         self.imp_generation + self.formulation + self.solve + self.decode
     }
 
-    /// Renders the trace as a single JSON object (no external dependencies,
-    /// so the encoding is hand-rolled; all durations are integer
-    /// microseconds).
+    /// Renders the trace as a single JSON object through the telemetry
+    /// layer: a schema-tagged [`crate::telemetry::Event::SolveFinished`]
+    /// event (all durations are integer microseconds). The legacy field
+    /// order of PRs 1–3 is preserved; the `schema`/`event` tags are
+    /// prepended and `worker_steals` rides after `worker_nodes`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"backend\":\"{}\",\"status\":\"{}\",",
-                "\"num_vars\":{},\"num_constraints\":{},\"num_imps\":{},",
-                "\"nodes_explored\":{},\"nodes_pruned\":{},",
-                "\"incumbent_updates\":{},\"simplex_iterations\":{},",
-                "\"warm_start_accepted\":{},\"vars_fixed\":{},",
-                "\"threads\":{},\"worker_nodes\":[{}],",
-                "\"imp_generation_us\":{},\"formulation_us\":{},",
-                "\"solve_us\":{},\"decode_us\":{},\"total_us\":{}}}"
-            ),
-            json_escape(&self.backend.to_string()),
-            json_escape(&self.status.to_string()),
-            self.num_vars,
-            self.num_constraints,
-            self.num_imps,
-            self.nodes_explored,
-            self.nodes_pruned,
-            self.incumbent_updates,
-            self.simplex_iterations,
-            self.warm_start_accepted,
-            self.vars_fixed,
-            self.threads,
-            self.worker_nodes
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join(","),
-            self.imp_generation.as_micros(),
-            self.formulation.as_micros(),
-            self.solve.as_micros(),
-            self.decode.as_micros(),
-            self.total().as_micros(),
-        )
+        crate::telemetry::Event::SolveFinished {
+            trace: self.clone(),
+        }
+        .to_json()
     }
 }
 
@@ -498,31 +453,26 @@ mod tests {
             vars_fixed: 2,
             threads: 2,
             worker_nodes: vec![2, 1],
+            worker_steals: vec![1, 1],
             imp_generation: Duration::from_micros(10),
             formulation: Duration::from_micros(20),
             solve: Duration::from_micros(30),
             decode: Duration::from_micros(40),
         };
         let json = trace.to_json();
-        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.starts_with("{\"schema\":1,\"event\":\"solve_finished\""));
+        assert!(json.ends_with('}'));
         assert!(json.contains("\"backend\":\"branch_bound\""));
         assert!(json.contains("\"status\":\"optimal\""));
         assert!(json.contains("\"simplex_iterations\":42"));
         assert!(json.contains("\"warm_start_accepted\":true"));
         assert!(json.contains("\"threads\":2"));
         assert!(json.contains("\"worker_nodes\":[2,1]"));
+        assert!(json.contains("\"worker_steals\":[1,1]"));
         assert!(json.contains("\"total_us\":100"));
         // Balanced braces and quotes (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('"').count() % 2, 0);
-    }
-
-    #[test]
-    fn json_escape_handles_special_characters() {
-        assert_eq!(json_escape("plain"), "plain");
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

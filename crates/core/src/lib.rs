@@ -28,6 +28,20 @@
 //!
 //! Baselines for the evaluation live in [`baseline`].
 //!
+//! # Module map
+//!
+//! | Module | Role | Paper anchor |
+//! |---|---|---|
+//! | [`instance`](Instance) / [`impdb`](ImpDb) | Problem description, IMP enumeration | §3, Defs. 1–2 |
+//! | [`parallel_code`] | `PC_i` computation on the CDFG | §3, Defs. 3–5 |
+//! | [`hierarchy`] | IMP flatten across call levels | §5, Fig. 11 |
+//! | [`engine`] | Pluggable 0/1 ILP backends + budgets | §4, Problems 1–2 |
+//! | [`sweep`] | RG sweeps: caching, chaining, batching | Tables 1–3, Figs. 8–11 |
+//! | [`verify`] | Independent selection audit, fault injection | §4 optimality claims |
+//! | [`merge`] / [`report`] | S-instruction merge, paper-style rows | Tables 1–3 (**S** column) |
+//! | [`baseline`] | All-software / greedy reference points | §6 |
+//! | [`telemetry`] | Structured events, sinks, trace schema | — (observability layer) |
+//!
 //! # Example
 //!
 //! ```
@@ -75,6 +89,7 @@ pub mod parallel_code;
 pub mod report;
 mod solver;
 pub mod sweep;
+pub mod telemetry;
 pub mod verify;
 
 pub use build::{instance_from_compiled, SCallBinding};
@@ -89,6 +104,9 @@ pub use impdb::ImpDb;
 pub use instance::{Instance, PathSpec, SCall};
 pub use solver::{ProblemKind, RequiredGains, Selection, SolveOptions, Solver};
 pub use sweep::{BatchJob, SweepPoint, SweepSession, SweepTrace};
+pub use telemetry::{
+    Event, EventKind, JsonLinesSink, NullSink, RecordingSink, Redaction, TelemetrySink,
+};
 pub use verify::{
     AuditCheck, AuditReport, AuditViolation, Fault, FaultPlan, FaultVerdict, GainPolicy,
     SelectionAuditor,

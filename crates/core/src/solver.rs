@@ -1,6 +1,7 @@
 //! The optimal S-instruction selector.
 
-use std::time::Instant;
+use std::fmt;
+use std::sync::Arc;
 
 use partita_mop::{AreaTenths, CallSiteId, Cycles, PathId};
 
@@ -9,6 +10,7 @@ use crate::engine::{
     GreedyBackend, OptimalityStatus, SolveBudget, SolveTrace, SolverBackend,
 };
 use crate::formulate::{build_model, decode, VarMap};
+use crate::telemetry::{Event, Phase, SpanTimer, TelemetrySink};
 use crate::{CoreError, Imp, ImpDb, ImpId, Instance};
 
 /// Which formulation to solve.
@@ -20,6 +22,23 @@ pub enum ProblemKind {
     /// The general formulation with SC-PC conflict constraints.
     #[default]
     Problem2,
+}
+
+impl ProblemKind {
+    /// The snake_case name used in telemetry events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemKind::Problem1 => "problem1",
+            ProblemKind::Problem2 => "problem2",
+        }
+    }
+}
+
+impl fmt::Display for ProblemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Required performance gains `T_k`, held in canonical form.
@@ -441,10 +460,21 @@ impl Selection {
 /// The optimal S-instruction generator.
 ///
 /// See the crate docs for a full example.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Solver<'a> {
     instance: &'a Instance,
     imps: Option<ImpDb>,
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl fmt::Debug for Solver<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("instance", &self.instance)
+            .field("imps", &self.imps)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn TelemetrySink"))
+            .finish()
+    }
 }
 
 impl<'a> Solver<'a> {
@@ -454,6 +484,7 @@ impl<'a> Solver<'a> {
         Solver {
             instance,
             imps: None,
+            sink: None,
         }
     }
 
@@ -462,6 +493,15 @@ impl<'a> Solver<'a> {
     #[must_use]
     pub fn with_imps(mut self, imps: ImpDb) -> Solver<'a> {
         self.imps = Some(imps);
+        self
+    }
+
+    /// Routes this solver's telemetry events into `sink` instead of the
+    /// process-wide [`crate::telemetry::global`] sink. Telemetry never
+    /// affects the returned [`Selection`] — only what is observed.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Solver<'a> {
+        self.sink = Some(sink);
         self
     }
 
@@ -479,9 +519,18 @@ impl<'a> Solver<'a> {
     /// [`CoreError::BudgetExhausted`] when the budget runs out with no
     /// feasible point and no (working) fallback, plus formulation errors.
     pub fn solve(&self, options: &SolveOptions) -> Result<Selection, CoreError> {
+        let sink = crate::telemetry::resolve(self.sink.as_ref());
         let mut trace = SolveTrace::default();
+        if sink.enabled() {
+            sink.emit(&Event::SolveStarted {
+                instance: self.instance.name.clone(),
+                problem: options.problem,
+                backend: options.backend,
+                threads: options.budget.threads,
+            });
+        }
 
-        let t = Instant::now();
+        let span = SpanTimer::start(Phase::ImpGeneration);
         let generated;
         let db = match &self.imps {
             Some(db) => db,
@@ -490,9 +539,9 @@ impl<'a> Solver<'a> {
                 &generated
             }
         };
-        trace.imp_generation = t.elapsed();
+        trace.imp_generation = span.finish(sink);
 
-        let t = Instant::now();
+        let span = SpanTimer::start(Phase::Formulation);
         let (model, map) = build_model(
             self.instance,
             db,
@@ -500,9 +549,9 @@ impl<'a> Solver<'a> {
             &options.gains,
             options.power_budget_mw,
         )?;
-        trace.formulation = t.elapsed();
+        trace.formulation = span.finish(sink);
 
-        solve_prepared(self.instance, db, &model, &map, options, trace)
+        solve_prepared(self.instance, db, &model, &map, options, trace, sink)
     }
 }
 
@@ -517,14 +566,15 @@ pub(crate) fn solve_prepared(
     map: &VarMap,
     options: &SolveOptions,
     mut trace: SolveTrace,
+    sink: &dyn TelemetrySink,
 ) -> Result<Selection, CoreError> {
     trace.num_vars = model.num_vars();
     trace.num_constraints = model.num_constraints();
     trace.num_imps = db.len();
 
-    let t = Instant::now();
+    let span = SpanTimer::start(Phase::Solve);
     let (solution, backend) = dispatch(instance, db, options, model, map)?;
-    trace.solve = t.elapsed();
+    trace.solve = span.finish(sink);
     trace.backend = backend;
     trace.status = solution.status;
     trace.nodes_explored = solution.effort.nodes_explored;
@@ -540,8 +590,25 @@ pub(crate) fn solve_prepared(
         .iter()
         .map(|w| w.nodes_explored)
         .collect();
+    trace.worker_steals = solution
+        .effort
+        .per_worker
+        .iter()
+        .map(|w| w.steals)
+        .collect();
+    if sink.enabled() {
+        for (i, w) in solution.effort.per_worker.iter().enumerate() {
+            sink.emit(&Event::WorkerFinished {
+                worker: i,
+                nodes_explored: w.nodes_explored,
+                nodes_pruned: w.nodes_pruned,
+                steals: w.steals,
+                simplex_iterations: w.simplex_iterations,
+            });
+        }
+    }
 
-    let t = Instant::now();
+    let span = SpanTimer::start(Phase::Decode);
     let ilp_solution = partita_ilp::IlpSolution {
         objective: solution.objective,
         values: solution.values,
@@ -563,12 +630,18 @@ pub(crate) fn solve_prepared(
     }
     let mut selection =
         Selection::from_chosen(instance, chosen, ilp_solution.objective, solution.status);
-    trace.decode = t.elapsed();
+    trace.decode = span.finish(sink);
     selection.trace = trace;
     if options.audit {
         crate::verify::SelectionAuditor::new(instance, db)
+            .with_sink(sink)
             .audit(&selection, options)
             .into_result()?;
+    }
+    if sink.enabled() {
+        sink.emit(&Event::SolveFinished {
+            trace: selection.trace.clone(),
+        });
     }
     Ok(selection)
 }

@@ -38,9 +38,9 @@ use std::time::{Duration, Instant};
 use partita_mop::Cycles;
 
 use crate::cache::LruCache;
-use crate::engine::json_escape;
 use crate::formulate::{build_model, VarMap};
 use crate::solver::solve_prepared;
+use crate::telemetry::{CacheKind, Event, TelemetrySink};
 use crate::{CoreError, ImpDb, Instance, RequiredGains, Selection, SolveOptions, SolveTrace};
 
 /// A formulated model kept by the model cache, with the wall time it
@@ -97,6 +97,10 @@ pub struct SweepTrace {
     /// Sweep points that were seeded with the previous (higher-RG) point's
     /// verified-feasible optimum.
     pub chained_accepts: u64,
+    /// Sweep points whose carry-over candidate failed the independent
+    /// feasibility check and was dropped (e.g. under a non-uniform base or
+    /// a budget-exhausted predecessor).
+    pub chained_rejects: u64,
     /// Per-request telemetry, in request order.
     pub points: Vec<SweepPoint>,
 }
@@ -115,30 +119,27 @@ impl SweepTrace {
         self.points.iter().map(|p| p.wall).sum()
     }
 
-    /// Renders the aggregate counters as one JSON object tagged with
-    /// `label`.
+    /// Renders the aggregate counters as one schema-tagged
+    /// [`Event::SweepSummary`] JSON object labelled `label`.
     #[must_use]
     pub fn to_json(&self, label: &str) -> String {
-        format!(
-            concat!(
-                "{{\"sweep\":\"{}\",\"points\":{},",
-                "\"cache_hits\":{},\"cache_misses\":{},",
-                "\"model_hits\":{},\"model_misses\":{},",
-                "\"chained_accepts\":{},\"nodes\":{},\"wall_us\":{}}}"
-            ),
-            json_escape(label),
-            self.points.len(),
-            self.cache_hits,
-            self.cache_misses,
-            self.model_hits,
-            self.model_misses,
-            self.chained_accepts,
-            self.total_nodes(),
-            self.total_wall().as_micros(),
-        )
+        Event::SweepSummary {
+            sweep: label.to_string(),
+            points: self.points.len(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            model_hits: self.model_hits,
+            model_misses: self.model_misses,
+            chained_accepts: self.chained_accepts,
+            chained_rejects: self.chained_rejects,
+            nodes: self.total_nodes(),
+            wall: self.total_wall(),
+        }
+        .to_json()
     }
 
-    /// Renders one JSON line per recorded point, followed by the
+    /// Renders one [`Event::SweepPoint`] JSON line per recorded point
+    /// (with `sweep`/`point` filled in retrospectively), followed by the
     /// [`SweepTrace::to_json`] summary line.
     #[must_use]
     pub fn json_lines(&self, label: &str) -> Vec<String> {
@@ -147,47 +148,39 @@ impl SweepTrace {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                format!(
-                    concat!(
-                        "{{\"sweep\":\"{}\",\"point\":{},\"digest\":\"{:016x}\",",
-                        "\"rg\":{},\"cache_hit\":{},\"chained\":{},",
-                        "\"nodes\":{},\"wall_us\":{}}}"
-                    ),
-                    json_escape(label),
-                    i,
-                    p.digest,
-                    p.rg.map_or_else(|| "null".to_string(), |rg| rg.get().to_string()),
-                    p.cache_hit,
-                    p.chained,
-                    p.nodes_explored,
-                    p.wall.as_micros(),
-                )
+                Event::SweepPoint {
+                    sweep: Some(label.to_string()),
+                    point: Some(i),
+                    digest: p.digest,
+                    rg: p.rg.map(partita_mop::Cycles::get),
+                    cache_hit: p.cache_hit,
+                    chained: p.chained,
+                    nodes: p.nodes_explored,
+                    wall: p.wall,
+                }
+                .to_json()
             })
             .collect();
         lines.push(self.to_json(label));
         lines
     }
 
-    /// Renders a cold-vs-chained comparison as one JSON object: total
-    /// nodes and wall time of both traces plus the nodes saved by chaining
-    /// (negative if chaining somehow cost nodes).
+    /// Renders a cold-vs-chained comparison as one schema-tagged
+    /// [`Event::SweepCompare`] JSON object: total nodes and wall time of
+    /// both traces plus the nodes saved by chaining (negative if chaining
+    /// somehow cost nodes).
     #[must_use]
     pub fn compare_json(label: &str, cold: &SweepTrace, chained: &SweepTrace) -> String {
-        let saved = cold.total_nodes() as i64 - chained.total_nodes() as i64;
-        format!(
-            concat!(
-                "{{\"sweep\":\"{}\",\"cold_nodes\":{},\"chained_nodes\":{},",
-                "\"nodes_saved\":{},\"chained_accepts\":{},",
-                "\"cold_wall_us\":{},\"chained_wall_us\":{}}}"
-            ),
-            json_escape(label),
-            cold.total_nodes(),
-            chained.total_nodes(),
-            saved,
-            chained.chained_accepts,
-            cold.total_wall().as_micros(),
-            chained.total_wall().as_micros(),
-        )
+        Event::SweepCompare {
+            sweep: label.to_string(),
+            cold_nodes: cold.total_nodes(),
+            chained_nodes: chained.total_nodes(),
+            nodes_saved: cold.total_nodes() as i64 - chained.total_nodes() as i64,
+            chained_accepts: chained.chained_accepts,
+            cold_wall: cold.total_wall(),
+            chained_wall: chained.total_wall(),
+        }
+        .to_json()
     }
 }
 
@@ -271,11 +264,22 @@ fn solve_key(ikey: &str, options: &SolveOptions) -> String {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct SweepSession {
     models: LruCache<Arc<PreparedModel>>,
     solves: LruCache<Selection>,
     trace: SweepTrace,
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for SweepSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSession")
+            .field("models", &self.models)
+            .field("solves", &self.solves)
+            .field("trace", &self.trace)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn TelemetrySink"))
+            .finish()
+    }
 }
 
 impl Default for SweepSession {
@@ -291,13 +295,82 @@ impl SweepSession {
         SweepSession::with_capacities(32, 256)
     }
 
-    /// A session with explicit cache bounds (each clamped to at least 1).
+    /// A session with explicit cache bounds.
+    ///
+    /// # Invariants
+    ///
+    /// * Each bound is clamped to at least 1 — a session always caches
+    ///   *something*, so `with_capacities(0, 0)` cannot disable memoization
+    ///   (construct a fresh session per solve for that).
+    /// * Eviction is least-recently-used; a hit refreshes the entry. The
+    ///   bounds cap *entry counts*, not bytes — a formulated model for a
+    ///   large instance dwarfs a memoized [`Selection`], which is why the
+    ///   default model bound (32) is far below the solve bound (256).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use partita_core::sweep::SweepSession;
+    ///
+    /// let session = SweepSession::with_capacities(0, 8);
+    /// // The zero model bound was clamped; both caches start empty.
+    /// assert_eq!(session.cached_models(), 0);
+    /// assert_eq!(session.cached_solves(), 0);
+    /// ```
     #[must_use]
     pub fn with_capacities(models: usize, solves: usize) -> SweepSession {
         SweepSession {
             models: LruCache::new(models),
             solves: LruCache::new(solves),
             trace: SweepTrace::default(),
+            sink: None,
+        }
+    }
+
+    /// Routes this session's live telemetry ([`Event::CacheLookup`],
+    /// [`Event::ChainDecision`], [`Event::SweepPoint`],
+    /// [`Event::BatchStarted`]) — and the inner solves it dispatches —
+    /// to `sink` instead of the process-wide [`crate::telemetry::global`]
+    /// sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> SweepSession {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The sink live events go to: the explicit one, else the global one.
+    fn sink(&self) -> &dyn TelemetrySink {
+        crate::telemetry::resolve(self.sink.as_ref())
+    }
+
+    /// Emits a [`Event::CacheLookup`] for a probe of `cache` keyed by `key`.
+    fn emit_cache(&self, cache: CacheKind, hit: bool, key: &str) {
+        let sink = self.sink();
+        if sink.enabled() {
+            sink.emit(&Event::CacheLookup {
+                cache,
+                hit,
+                digest: fnv1a64(key),
+            });
+        }
+    }
+
+    /// Emits the live [`Event::SweepPoint`] for a just-recorded point
+    /// (`sweep`/`point` stay `None` — live streams have no label; the
+    /// retrospective [`SweepTrace::json_lines`] renderer fills them in).
+    fn emit_point(&self, p: &SweepPoint) {
+        let sink = self.sink();
+        if sink.enabled() {
+            sink.emit(&Event::SweepPoint {
+                sweep: None,
+                point: None,
+                digest: p.digest,
+                rg: p.rg.map(Cycles::get),
+                cache_hit: p.cache_hit,
+                chained: p.chained,
+                nodes: p.nodes_explored,
+                wall: p.wall,
+            });
         }
     }
 
@@ -424,6 +497,15 @@ impl SweepSession {
                         opts.hint = Some(prev_sel.chosen().iter().map(|imp| imp.id).collect());
                         chained = true;
                         self.trace.chained_accepts += 1;
+                    } else {
+                        self.trace.chained_rejects += 1;
+                    }
+                    let sink = self.sink();
+                    if sink.enabled() {
+                        sink.emit(&Event::ChainDecision {
+                            rg: Some(rgs[i].get()),
+                            accepted: chained,
+                        });
                     }
                 }
             }
@@ -476,29 +558,35 @@ impl SweepSession {
             if let Some(sel) = self.solves.get(&skey) {
                 let sel = sel.clone();
                 self.trace.cache_hits += 1;
-                self.trace.points.push(SweepPoint {
+                self.emit_cache(CacheKind::Solve, true, &skey);
+                let point = SweepPoint {
                     digest,
                     rg: job.options.gains.as_uniform(),
                     cache_hit: true,
                     chained: false,
                     nodes_explored: 0,
                     wall: started.elapsed(),
-                });
+                };
+                self.emit_point(&point);
+                self.trace.points.push(point);
                 // The audit flag is not part of the cache key, so a hit must
                 // run its own audit when this job asked for one.
                 out[i] = Some(audit_cached(job.instance, job.db, &job.options, sel));
                 continue;
             }
+            self.emit_cache(CacheKind::Solve, false, &skey);
             if let Some(&twin) = by_key.get(&skey) {
                 self.trace.cache_hits += 1;
-                self.trace.points.push(SweepPoint {
+                let point = SweepPoint {
                     digest,
                     rg: job.options.gains.as_uniform(),
                     cache_hit: true,
                     chained: false,
                     nodes_explored: 0,
                     wall: started.elapsed(),
-                });
+                };
+                self.emit_point(&point);
+                self.trace.points.push(point);
                 followers.push((i, twin));
                 continue;
             }
@@ -520,9 +608,21 @@ impl SweepSession {
             }
         }
 
+        let sink = self.sink();
+        if sink.enabled() {
+            sink.emit(&Event::BatchStarted {
+                jobs: jobs.len(),
+                unique: pending.len(),
+                followers: followers.len(),
+                pool_threads,
+            });
+        }
+
         // Phase 2 (parallel): solve the misses. Workers pull jobs off a
         // shared counter — the work-stealing is at job granularity; each
         // job's own branch-and-bound may still run its internal pool.
+        // Workers share the session sink: every solve's events land in one
+        // stream, each JSON line written atomically by the sink.
         type Outcome = (Result<Selection, CoreError>, Duration);
         let next = AtomicUsize::new(0);
         let solved: Mutex<Vec<Option<Outcome>>> =
@@ -541,6 +641,7 @@ impl SweepSession {
                 &p.prepared.map,
                 &job.options,
                 trace,
+                sink,
             );
             (result, started.elapsed())
         };
@@ -577,14 +678,16 @@ impl SweepSession {
                 .as_ref()
                 .map(|sel| sel.trace.nodes_explored)
                 .unwrap_or(0);
-            self.trace.points.push(SweepPoint {
+            let point = SweepPoint {
                 digest: p.digest,
                 rg: jobs[p.job].options.gains.as_uniform(),
                 cache_hit: false,
                 chained: false,
                 nodes_explored: nodes,
                 wall,
-            });
+            };
+            self.emit_point(&point);
+            self.trace.points.push(point);
             if let Ok(sel) = &result {
                 self.solves.insert(p.skey.clone(), sel.clone());
             }
@@ -618,8 +721,11 @@ impl SweepSession {
     ) -> Result<(Arc<PreparedModel>, bool), CoreError> {
         let mkey = model_key(ikey, options);
         if let Some(m) = self.models.get(&mkey) {
-            return Ok((Arc::clone(m), true));
+            let m = Arc::clone(m);
+            self.emit_cache(CacheKind::Model, true, &mkey);
+            return Ok((m, true));
         }
+        self.emit_cache(CacheKind::Model, false, &mkey);
         let t = Instant::now();
         let (model, map) = build_model(
             instance,
@@ -654,19 +760,23 @@ impl SweepSession {
         if let Some(sel) = self.solves.get(&skey) {
             let sel = sel.clone();
             self.trace.cache_hits += 1;
-            self.trace.points.push(SweepPoint {
+            self.emit_cache(CacheKind::Solve, true, &skey);
+            let point = SweepPoint {
                 digest,
                 rg,
                 cache_hit: true,
                 chained,
                 nodes_explored: 0,
                 wall: started.elapsed(),
-            });
+            };
+            self.emit_point(&point);
+            self.trace.points.push(point);
             // The audit flag is not part of the cache key, so a hit must run
             // its own audit when this request asked for one.
             return audit_cached(instance, db, options, sel);
         }
         self.trace.cache_misses += 1;
+        self.emit_cache(CacheKind::Solve, false, &skey);
         let (prepared, model_hit) = self.prepared_model(instance, db, options, &ikey)?;
         if model_hit {
             self.trace.model_hits += 1;
@@ -677,15 +787,25 @@ impl SweepSession {
             formulation: prepared.formulation,
             ..SolveTrace::default()
         };
-        let sel = solve_prepared(instance, db, &prepared.model, &prepared.map, options, trace)?;
-        self.trace.points.push(SweepPoint {
+        let sel = solve_prepared(
+            instance,
+            db,
+            &prepared.model,
+            &prepared.map,
+            options,
+            trace,
+            self.sink(),
+        )?;
+        let point = SweepPoint {
             digest,
             rg,
             cache_hit: false,
             chained,
             nodes_explored: sel.trace.nodes_explored,
             wall: started.elapsed(),
-        });
+        };
+        self.emit_point(&point);
+        self.trace.points.push(point);
         self.solves.insert(skey, sel.clone());
         Ok(sel)
     }
@@ -838,6 +958,7 @@ mod tests {
         }
         // Two of the three points chain off a higher-RG optimum.
         assert_eq!(chained.trace().chained_accepts, 2);
+        assert_eq!(chained.trace().chained_rejects, 0);
         assert_eq!(cold.trace().chained_accepts, 0);
         // Results come back in input order, not solve order.
         assert!(chained_sels[0].total_gain() >= Cycles(600));
@@ -936,7 +1057,11 @@ mod tests {
         let lines = s.trace().json_lines("tab\"le");
         assert_eq!(lines.len(), 3, "2 points + summary");
         for line in &lines {
-            assert!(line.starts_with("{\"sweep\":\"tab\\\"le\""), "{line}");
+            assert!(
+                line.starts_with("{\"schema\":1,\"event\":\"sweep_"),
+                "{line}"
+            );
+            assert!(line.contains("\"sweep\":\"tab\\\"le\""), "{line}");
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
         assert!(

@@ -54,8 +54,8 @@ use partita_interface::performance_gain;
 use partita_ip::IpId;
 use partita_mop::{AreaTenths, CallSiteId, Cycles, PathId};
 
-use crate::engine::json_escape;
 use crate::hierarchy::HierSpec;
+use crate::telemetry::json_escape;
 use crate::{
     sc_pc_conflicts, CoreError, Imp, ImpDb, ImpId, Instance, ParallelChoice, ProblemKind,
     Selection, SolveOptions, Solver,
@@ -211,6 +211,26 @@ impl fmt::Display for AuditViolation {
 }
 
 /// The structured result of one audit.
+///
+/// # Invariants
+///
+/// * `checks_run` counts audit *dimensions* exercised, not individual
+///   assertions; it is independent of whether violations were found.
+/// * A clean report ([`AuditReport::is_clean`]) has an empty `violations`
+///   vector — the two are never out of sync because cleanliness is defined
+///   as that emptiness.
+///
+/// # Examples
+///
+/// ```
+/// use partita_core::verify::AuditReport;
+///
+/// let report = AuditReport::default();
+/// assert!(report.is_clean());
+/// // Clean reports convert into `Ok(())`; dirty ones into
+/// // `CoreError::AuditFailed`.
+/// assert!(report.into_result().is_ok());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AuditReport {
     /// Every violation found (empty when the selection is clean).
@@ -327,12 +347,25 @@ pub enum GainPolicy {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SelectionAuditor<'a> {
     instance: &'a Instance,
     db: &'a ImpDb,
     hierarchy: &'a [HierSpec],
     policy: GainPolicy,
+    sink: Option<&'a dyn crate::telemetry::TelemetrySink>,
+}
+
+impl std::fmt::Debug for SelectionAuditor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectionAuditor")
+            .field("instance", &self.instance)
+            .field("db", &self.db)
+            .field("hierarchy", &self.hierarchy)
+            .field("policy", &self.policy)
+            .field("sink", &self.sink.map(|_| "dyn TelemetrySink"))
+            .finish()
+    }
 }
 
 impl<'a> SelectionAuditor<'a> {
@@ -344,7 +377,21 @@ impl<'a> SelectionAuditor<'a> {
             db,
             hierarchy: &[],
             policy: GainPolicy::Auto,
+            sink: None,
         }
+    }
+
+    /// Routes this auditor's [`crate::telemetry::Event::AuditFinished`]
+    /// event into `sink` instead of the process-wide
+    /// [`crate::telemetry::global`] sink. The solver passes its own sink
+    /// through here when [`SolveOptions::audit`] is on.
+    #[must_use]
+    pub fn with_sink(
+        mut self,
+        sink: &'a dyn crate::telemetry::TelemetrySink,
+    ) -> SelectionAuditor<'a> {
+        self.sink = Some(sink);
+        self
     }
 
     /// Supplies the hierarchy specs the database was flattened with, so the
@@ -768,13 +815,28 @@ impl<'a> SelectionAuditor<'a> {
             }
         }
 
-        AuditReport {
+        let report = AuditReport {
             violations: v,
             checks_run: 12,
             imps_audited: chosen.len(),
             paths_audited: paths.len(),
             gain_rederived: rederive,
+        };
+        let sink: &dyn crate::telemetry::TelemetrySink = match self.sink {
+            Some(s) => s,
+            None => crate::telemetry::global(),
+        };
+        if sink.enabled() {
+            sink.emit(&crate::telemetry::Event::AuditFinished {
+                clean: report.is_clean(),
+                violations: report.violations.len(),
+                checks_run: report.checks_run,
+                imps_audited: report.imps_audited,
+                paths_audited: report.paths_audited,
+                gain_rederived: report.gain_rederived,
+            });
         }
+        report
     }
 }
 

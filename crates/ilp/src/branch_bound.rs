@@ -95,6 +95,10 @@ pub struct WorkerStats {
     pub incumbent_updates: usize,
     /// Simplex pivots across this worker's node LPs.
     pub simplex_iterations: usize,
+    /// Nodes this worker took from the shared pool instead of its local
+    /// dive stack — the work-stealing traffic (0 for the serial search,
+    /// which has no pool).
+    pub steals: usize,
 }
 
 impl WorkerStats {
@@ -103,6 +107,7 @@ impl WorkerStats {
         self.nodes_pruned += other.nodes_pruned;
         self.incumbent_updates += other.incumbent_updates;
         self.simplex_iterations += other.simplex_iterations;
+        self.steals += other.steals;
     }
 }
 
@@ -118,6 +123,9 @@ pub struct BranchBoundStats {
     pub incumbent_updates: usize,
     /// Simplex pivots summed over every node LP solved.
     pub simplex_iterations: usize,
+    /// Nodes taken from the shared pool rather than a local dive stack,
+    /// summed over all workers (0 for the serial search).
+    pub steals: usize,
     /// Whether a caller-supplied warm start was feasible and seeded the
     /// incumbent.
     pub warm_start_accepted: bool,
@@ -153,6 +161,7 @@ impl BranchBoundStats {
             nodes_pruned: totals.nodes_pruned,
             incumbent_updates: totals.incumbent_updates,
             simplex_iterations: totals.simplex_iterations,
+            steals: totals.steals,
             warm_start_accepted,
             vars_fixed,
             threads: per_worker.len(),
@@ -506,6 +515,7 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
                         return stats;
                     }
                     if let Some(n) = pool.heap.pop() {
+                        stats.steals += 1;
                         break n;
                     }
                     pool.idle += 1;
