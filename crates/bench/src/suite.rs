@@ -13,10 +13,11 @@
 
 use std::time::Instant;
 
+use partita_core::delta::{DeltaSession, InstanceDelta};
 use partita_core::telemetry::json::JsonValue;
 use partita_core::{
-    Imp, ImpDb, Instance, ParallelChoice, SCall, Selection, SolveBudget, SolveOptions,
-    SweepSession, SweepTrace,
+    Imp, ImpDb, Instance, ParallelChoice, RequiredGains, SCall, Selection, SelectionAuditor,
+    SolveBudget, SolveOptions, Solver, SweepSession, SweepTrace,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
@@ -75,8 +76,8 @@ pub fn fig9_workload() -> Workload {
         mk(scs[1], 900, ParallelChoice::SwScalls(vec![scs[2]])),
     ]);
     Workload {
-        instance: inst,
-        imps,
+        instance: inst.into(),
+        imps: imps.into(),
         rg_sweep: vec![Cycles(600), Cycles(1200), Cycles(1500)],
     }
 }
@@ -179,11 +180,41 @@ pub struct ConfigResult {
     pub peak_rss_kb: Option<u64>,
 }
 
-/// A full benchsuite run: config keys (sorted) mapped to results.
+/// One workload's incremental re-solve benchmark: the full published RG
+/// sweep walked **descending** as `SetRg` patches through a
+/// [`DeltaSession`] (basis repair + incumbent carry), each point compared
+/// inline against a cold `Solver::solve` of the identical patched options.
+/// The run itself asserts the selections are identical and audit-clean;
+/// the report carries the effort numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveResult {
+    /// Sweep points walked (delta and cold alike).
+    pub points: u64,
+    /// Total branch-and-bound nodes of the per-point cold solves
+    /// (threads = 1, deterministic, hence portable).
+    pub cold_nodes: u64,
+    /// Total nodes of the delta re-solves over the same points (portable).
+    pub delta_nodes: u64,
+    /// Points whose re-solve repaired the retained basis (portable).
+    pub basis_reused: u64,
+    /// p50 of per-point delta re-solve wall latency, microseconds
+    /// (machine-dependent).
+    pub p50_us: u64,
+    /// p99 (nearest-rank) of per-point delta re-solve latency (machine).
+    pub p99_us: u64,
+    /// p50 of the matching cold solves, for scale (machine).
+    pub cold_p50_us: u64,
+}
+
+/// A full benchsuite run: config keys (sorted) mapped to results, plus the
+/// incremental re-solve section (Tables 1–3; empty in quick mode before
+/// schema additions, or when parsed from an older report).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SuiteReport {
     /// `(key, result)` pairs, sorted by key.
     pub configs: Vec<(String, ConfigResult)>,
+    /// `(workload key, resolve benchmark)` pairs, sorted by key.
+    pub resolve: Vec<(String, ResolveResult)>,
 }
 
 /// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
@@ -242,11 +273,99 @@ fn run_config(w: &Workload, mode: Mode, threads: usize) -> ConfigResult {
     }
 }
 
+/// Repetitions of the descending resolve walk pooled into the latency
+/// percentiles (node counts come from the first walk; at one thread the
+/// repeats are deterministic replicas).
+const RESOLVE_REPS: usize = 3;
+
+/// Nearest-rank percentile of an unsorted latency sample, `p` in percent.
+fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Walks the workload's published RG sweep descending through a
+/// [`DeltaSession`] and, per point, a cold solve of the identical patched
+/// options. Panics on any divergence or audit violation — the benchmark
+/// doubles as an equivalence check.
+fn run_resolve(w: &Workload) -> ResolveResult {
+    let budget = SolveBudget::default().with_threads(1);
+    let name = &w.instance.name;
+    let mut points: Vec<Cycles> = w.rg_sweep.clone();
+    points.reverse();
+    let mut delta_lat = Vec::new();
+    let mut cold_lat = Vec::new();
+    let (mut cold_nodes, mut delta_nodes, mut basis_reused) = (0u64, 0u64, 0u64);
+    for rep in 0..RESOLVE_REPS {
+        let opts = SolveOptions::problem2(RequiredGains::uniform(points[0]))
+            .budget(budget);
+        let mut session = DeltaSession::new(w.instance.clone(), w.imps.clone(), opts)
+            .unwrap_or_else(|e| panic!("{name}: resolve-bench formulation failed: {e}"));
+        for (i, &rg) in points.iter().enumerate() {
+            if i > 0 {
+                session
+                    .apply(InstanceDelta::SetRg(RequiredGains::uniform(rg)))
+                    .expect("SetRg is a pure RHS patch");
+            }
+            let started = Instant::now();
+            let warm = session
+                .resolve()
+                .unwrap_or_else(|e| panic!("{name}: delta re-solve failed at RG {}: {e}", rg.get()));
+            delta_lat.push(elapsed_us(started));
+            let started = Instant::now();
+            let cold = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(session.options())
+                .unwrap_or_else(|e| panic!("{name}: cold solve failed at RG {}: {e}", rg.get()));
+            cold_lat.push(elapsed_us(started));
+            assert_eq!(
+                warm.chosen(),
+                cold.chosen(),
+                "{name}: delta selection diverged from cold at RG {}",
+                rg.get()
+            );
+            assert_eq!(warm.total_area(), cold.total_area(), "{name}: area diverged");
+            assert_eq!(warm.status, cold.status, "{name}: status diverged");
+            if rep == 0 {
+                let report = SelectionAuditor::new(&w.instance, &w.imps)
+                    .audit(&warm, session.options());
+                assert!(
+                    report.is_clean(),
+                    "{name}: delta re-solve failed the audit at RG {}: {}",
+                    rg.get(),
+                    report.to_json()
+                );
+                delta_nodes += warm.trace.nodes_explored as u64;
+                cold_nodes += cold.trace.nodes_explored as u64;
+                basis_reused += u64::from(warm.trace.basis_reused);
+            }
+        }
+    }
+    ResolveResult {
+        points: points.len() as u64,
+        cold_nodes,
+        delta_nodes,
+        basis_reused,
+        p50_us: percentile_us(&mut delta_lat, 50.0),
+        p99_us: percentile_us(&mut delta_lat, 99.0),
+        cold_p50_us: percentile_us(&mut cold_lat, 50.0),
+    }
+}
+
 /// Runs the whole suite per `config` and returns the report, configs
 /// sorted by key.
 #[must_use]
 pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
     let mut configs = Vec::new();
+    let mut resolve = Vec::new();
     for (name, w) in suite_workloads(config.quick) {
         for &threads in &config.threads {
             for mode in [Mode::Cold, Mode::Chained] {
@@ -254,9 +373,15 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
                 configs.push((key, run_config(&w, mode, threads.max(1))));
             }
         }
+        // The incremental re-solve benchmark runs on the published table
+        // instances (the paper's interactive-exploration workloads).
+        if name.starts_with("table") && w.rg_sweep.len() >= 2 {
+            resolve.push((name.to_string(), run_resolve(&w)));
+        }
     }
     configs.sort_by(|a, b| a.0.cmp(&b.0));
-    SuiteReport { configs }
+    resolve.sort_by(|a, b| a.0.cmp(&b.0));
+    SuiteReport { configs, resolve }
 }
 
 fn opt_u64_json(v: Option<u64>) -> String {
@@ -309,6 +434,30 @@ impl SuiteReport {
                 c.wall_us,
                 opt_u64_json(c.machine_nodes),
                 opt_u64_json(c.peak_rss_kb),
+                if i + 1 == sorted.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  },\n  \"resolve\": {\n");
+        let mut sorted: Vec<&(String, ResolveResult)> = self.resolve.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (key, r)) in sorted.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    \"{}\": {{\n",
+                    "      \"portable\": {{\"points\":{},\"cold_nodes\":{},",
+                    "\"delta_nodes\":{},\"basis_reused\":{}}},\n",
+                    "      \"machine\": {{\"p50_us\":{},\"p99_us\":{},",
+                    "\"cold_p50_us\":{}}}\n",
+                    "    }}{}\n"
+                ),
+                key,
+                r.points,
+                r.cold_nodes,
+                r.delta_nodes,
+                r.basis_reused,
+                r.p50_us,
+                r.p99_us,
+                r.cold_p50_us,
                 if i + 1 == sorted.len() { "" } else { "," },
             ));
         }
@@ -381,7 +530,34 @@ impl SuiteReport {
             ));
         }
         configs.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(SuiteReport { configs })
+        // The resolve section is additive: reports written before it
+        // existed parse to an empty section.
+        let mut resolve = Vec::new();
+        if let Some(resolve_obj) = doc.get("resolve") {
+            for (key, r) in resolve_obj.entries().ok_or("resolve not an object")? {
+                let portable = r.get("portable").ok_or("missing resolve portable")?;
+                let machine = r.get("machine").ok_or("missing resolve machine")?;
+                let get = |obj: &JsonValue, k: &str| -> Result<u64, String> {
+                    obj.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("missing resolve {k}"))
+                };
+                resolve.push((
+                    key.clone(),
+                    ResolveResult {
+                        points: get(portable, "points")?,
+                        cold_nodes: get(portable, "cold_nodes")?,
+                        delta_nodes: get(portable, "delta_nodes")?,
+                        basis_reused: get(portable, "basis_reused")?,
+                        p50_us: get(machine, "p50_us")?,
+                        p99_us: get(machine, "p99_us")?,
+                        cold_p50_us: get(machine, "cold_p50_us")?,
+                    },
+                ));
+            }
+        }
+        resolve.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(SuiteReport { configs, resolve })
     }
 }
 
@@ -426,6 +602,45 @@ pub fn compare_reports(
                 base.wall_us, cur.wall_us, allowed
             ));
         }
+    }
+    // Incremental re-solve gates. Portable drift is measured against the
+    // baseline (when it has a resolve section); the node-saving property is
+    // self-contained, so it gates the *current* run outright: per workload
+    // the delta walk must never cost nodes, and across the section it must
+    // save strictly (matching the chained-sweep regression lock).
+    for (key, base) in &baseline.resolve {
+        let Some((_, cur)) = current.resolve.iter().find(|(k, _)| k == key) else {
+            regressions.push(format!("resolve/{key}: missing from current run"));
+            continue;
+        };
+        if (cur.points, cur.cold_nodes, cur.delta_nodes, cur.basis_reused)
+            != (
+                base.points,
+                base.cold_nodes,
+                base.delta_nodes,
+                base.basis_reused,
+            )
+        {
+            regressions.push(format!("resolve/{key}: portable resolve counters drifted"));
+        }
+    }
+    let mut delta_total = 0u64;
+    let mut cold_total = 0u64;
+    for (key, cur) in &current.resolve {
+        if cur.delta_nodes > cur.cold_nodes {
+            regressions.push(format!(
+                "resolve/{key}: delta re-solve cost nodes ({} > {})",
+                cur.delta_nodes, cur.cold_nodes
+            ));
+        }
+        delta_total += cur.delta_nodes;
+        cold_total += cur.cold_nodes;
+    }
+    if !current.resolve.is_empty() && delta_total >= cold_total {
+        regressions.push(format!(
+            "resolve: delta re-solves must explore strictly fewer nodes in aggregate \
+             (delta {delta_total} !< cold {cold_total})"
+        ));
     }
     regressions
 }

@@ -105,6 +105,72 @@ fn compare_flags_injected_regressions() {
 }
 
 #[test]
+fn resolve_section_saves_nodes_and_gates_regressions() {
+    let baseline = quick_report();
+    // Quick mode still benches the incremental layer on table3.
+    assert_eq!(baseline.resolve.len(), 1, "quick mode benches table3");
+    assert_eq!(baseline.resolve[0].0, "table3");
+    let r = &baseline.resolve[0].1;
+    assert!(
+        r.delta_nodes < r.cold_nodes,
+        "delta walk must save nodes on table3 ({} !< {})",
+        r.delta_nodes,
+        r.cold_nodes
+    );
+    assert!(
+        r.basis_reused >= 1,
+        "descending SetRg patches must repair the retained basis"
+    );
+
+    // Portable drift in the resolve section is a regression.
+    let mut current = baseline.clone();
+    current.resolve[0].1.basis_reused += 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("portable resolve counters drifted")),
+        "{regressions:?}"
+    );
+
+    // A delta walk that costs nodes fails the self-contained gate even if
+    // the baseline agreed.
+    let mut current = baseline.clone();
+    current.resolve[0].1.delta_nodes = current.resolve[0].1.cold_nodes + 1;
+    let mut drifted = baseline.clone();
+    drifted.resolve[0].1.delta_nodes = current.resolve[0].1.delta_nodes;
+    let regressions = compare_reports(&drifted, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions.iter().any(|m| m.contains("cost nodes")),
+        "{regressions:?}"
+    );
+
+    // A resolve entry the baseline had must not vanish.
+    let mut current = baseline.clone();
+    current.resolve.clear();
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("missing from current run")),
+        "{regressions:?}"
+    );
+}
+
+#[test]
+fn reports_without_a_resolve_section_still_parse() {
+    let baseline = quick_report();
+    let rendered = baseline.to_json();
+    let idx = rendered
+        .find(",\n  \"resolve\"")
+        .expect("rendered report has a resolve section");
+    let legacy = format!("{}\n}}\n", &rendered[..idx]);
+    let parsed = SuiteReport::from_json(&legacy).expect("pre-resolve reports parse");
+    assert!(parsed.resolve.is_empty());
+    assert_eq!(parsed.configs, baseline.configs);
+}
+
+#[test]
 fn fig9_workload_reproduces_the_problem2_advantage() {
     use partita_core::{ProblemKind, RequiredGains, SolveOptions, Solver};
     use partita_mop::Cycles;

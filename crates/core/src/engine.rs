@@ -11,10 +11,12 @@
 //! search effort.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use partita_ilp::{
-    solve_binary_exhaustive_counted, BranchBound, BranchBoundStats, Model, Termination, WorkerStats,
+    solve_binary_exhaustive_counted, Basis, BranchBound, BranchBoundStats, Model, Termination,
+    WorkerStats,
 };
 
 use crate::formulate::VarMap;
@@ -199,6 +201,9 @@ pub struct SolveTrace {
     pub warm_start_accepted: bool,
     /// Binaries permanently fixed by warm-start root probing.
     pub vars_fixed: usize,
+    /// Whether a retained root-LP basis from a previous solve was installed
+    /// and dual-repaired instead of running two-phase simplex from scratch.
+    pub basis_reused: bool,
     /// Worker threads the branch-and-bound search ran with (1 for serial
     /// and for the non-branch-and-bound backends).
     pub threads: usize,
@@ -253,6 +258,9 @@ pub struct EngineSolution {
     pub status: OptimalityStatus,
     /// Search-effort counters (zeroed where a backend has no such notion).
     pub effort: BranchBoundStats,
+    /// Root-LP basis retained by the branch-and-bound backend, reusable to
+    /// warm-start the next same-shaped solve (`None` for other backends).
+    pub root_basis: Option<Arc<Basis>>,
 }
 
 /// A pluggable solve strategy over a formulated ILP [`Model`].
@@ -280,6 +288,10 @@ pub struct BranchBoundBackend {
     /// Candidate assignments seeding the incumbent (the best feasible one
     /// wins); infeasible or malformed seeds are ignored.
     pub seeds: Vec<Vec<f64>>,
+    /// Retained root-LP basis from a previous same-shaped solve; installed
+    /// and dual-repaired at the root, silently falling back to the cold
+    /// two-phase path when stale or incompatible.
+    pub root_basis: Option<Arc<Basis>>,
 }
 
 impl SolverBackend for BranchBoundBackend {
@@ -289,6 +301,9 @@ impl SolverBackend for BranchBoundBackend {
             .with_threads(budget.threads);
         if let Some(d) = budget.deadline {
             bb = bb.with_deadline(d);
+        }
+        if let Some(basis) = &self.root_basis {
+            bb = bb.with_root_basis(basis.clone());
         }
         let run = bb.run_seeded(model, &self.seeds)?;
         let status = match run.termination {
@@ -303,6 +318,7 @@ impl SolverBackend for BranchBoundBackend {
                 values: sol.values,
                 status,
                 effort: run.stats,
+                root_basis: run.root_basis,
             }),
             None => Err(CoreError::BudgetExhausted),
         }
@@ -321,6 +337,7 @@ impl SolverBackend for ExhaustiveBackend {
             objective: sol.objective,
             values: sol.values,
             status: OptimalityStatus::Optimal,
+            root_basis: None,
             effort: BranchBoundStats {
                 nodes_explored: assignments,
                 threads: 1,
@@ -381,6 +398,7 @@ impl SolverBackend for GreedyBackend<'_> {
             objective: model.objective().eval(&values),
             values,
             status: OptimalityStatus::Heuristic,
+            root_basis: None,
             effort: BranchBoundStats {
                 threads: 1,
                 ..BranchBoundStats::default()
@@ -451,6 +469,7 @@ mod tests {
             simplex_iterations: 42,
             warm_start_accepted: true,
             vars_fixed: 2,
+            basis_reused: true,
             threads: 2,
             worker_nodes: vec![2, 1],
             worker_steals: vec![1, 1],
@@ -466,6 +485,7 @@ mod tests {
         assert!(json.contains("\"status\":\"optimal\""));
         assert!(json.contains("\"simplex_iterations\":42"));
         assert!(json.contains("\"warm_start_accepted\":true"));
+        assert!(json.contains("\"basis_reused\":true"));
         assert!(json.contains("\"threads\":2"));
         assert!(json.contains("\"worker_nodes\":[2,1]"));
         assert!(json.contains("\"worker_steals\":[1,1]"));

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use partita_ilp::{fixed_charge, Model, Relation, Sense, VarId};
 use partita_ip::IpId;
-use partita_mop::Cycles;
+use partita_mop::{Cycles, PathId};
 
 use crate::solver::{ProblemKind, RequiredGains};
 use crate::{sc_pc_conflicts, CoreError, ImpDb, ImpId, Instance, ParallelChoice};
@@ -12,10 +12,23 @@ use crate::{sc_pc_conflicts, CoreError, ImpDb, ImpId, Instance, ParallelChoice};
 /// Mapping from decision variables back to IMPs and IPs.
 #[derive(Debug, Clone)]
 pub(crate) struct VarMap {
-    /// `x_ij` per IMP; `None` when the IMP is excluded (Problem 1 filters).
+    /// `x_ij` per IMP; `None` when the IMP is excluded (Problem 1 filters,
+    /// or retired in the database at build time outside delta mode).
     pub x: Vec<Option<VarId>>,
     /// `z_k` per IP that any active IMP uses.
     pub z: BTreeMap<IpId, VarId>,
+}
+
+/// A model built for in-place patching by the incremental layer
+/// ([`crate::delta`]): gain rows are always emitted (and indexed), and
+/// retired IMPs keep their columns, pinned to zero by bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaFormulation {
+    pub model: Model,
+    pub map: VarMap,
+    /// Constraint index of every path's gain row, so a required-gain edit
+    /// is a pure right-hand-side patch.
+    pub gain_rows: Vec<(PathId, usize)>,
 }
 
 /// Builds the 0/1 ILP.
@@ -29,6 +42,9 @@ pub(crate) struct VarMap {
 ///   function are tied to identical implementation shapes.
 ///
 /// Objective: minimise `Σ_k z_k·a_k + Σ_ij x_ij·c_ij` (areas in tenths).
+///
+/// IMPs retired in `db` get no column (`x` holds `None`), exactly like the
+/// Problem 1 filter, so they can never be selected.
 pub(crate) fn build_model(
     instance: &Instance,
     db: &ImpDb,
@@ -36,27 +52,93 @@ pub(crate) fn build_model(
     gains: &RequiredGains,
     power_budget_mw: Option<u64>,
 ) -> Result<(Model, VarMap), CoreError> {
+    let (model, map, _) = build_model_impl(instance, db, problem, gains, power_budget_mw, false)?;
+    Ok((model, map))
+}
+
+/// Builds the patchable variant of [`build_model`] for the incremental
+/// layer. Two deliberate differences:
+///
+/// * Every path's gain row is emitted even when its requirement is zero
+///   (`Σ g·x ≥ 0` is redundant, so selections are unaffected), and its
+///   constraint index is recorded — a required-gain edit becomes a pure
+///   RHS patch that keeps the tableau shape, and with it any retained
+///   simplex basis, intact.
+/// * Retired IMPs keep their columns and row coefficients but are pinned
+///   to zero by variable bounds — retiring or restoring an IMP later is a
+///   pure bound patch. Since a pinned column contributes nothing to any
+///   row, selections match the mask-filtered cold model (the surviving
+///   columns appear in the same order, so the branch-and-bound
+///   lexicographic tie-break agrees too).
+pub(crate) fn build_model_delta(
+    instance: &Instance,
+    db: &ImpDb,
+    problem: ProblemKind,
+    gains: &RequiredGains,
+    power_budget_mw: Option<u64>,
+) -> Result<DeltaFormulation, CoreError> {
+    let (model, map, gain_rows) =
+        build_model_impl(instance, db, problem, gains, power_budget_mw, true)?;
+    Ok(DeltaFormulation {
+        model,
+        map,
+        gain_rows,
+    })
+}
+
+/// The built ILP, its variable map, and the (path, gain-row index) table
+/// the delta layer patches.
+type BuiltModel = (Model, VarMap, Vec<(PathId, usize)>);
+
+fn build_model_impl(
+    instance: &Instance,
+    db: &ImpDb,
+    problem: ProblemKind,
+    gains: &RequiredGains,
+    power_budget_mw: Option<u64>,
+    delta: bool,
+) -> Result<BuiltModel, CoreError> {
     if db.is_empty() {
         return Err(CoreError::NoImps);
     }
     let mut model = Model::new(Sense::Minimize);
 
+    // Row terms come from the unmasked IMP list in delta mode (retired
+    // columns are pinned by bounds instead, below) and the masked one
+    // otherwise.
+    let imps_of = |sc| {
+        if delta {
+            db.for_scall_all(sc)
+        } else {
+            db.for_scall(sc)
+        }
+    };
+
     // Decision variables x_ij.
     let mut x: Vec<Option<VarId>> = Vec::with_capacity(db.len());
     for imp in db.imps() {
-        let excluded =
-            problem == ProblemKind::Problem1 && matches!(imp.parallel, ParallelChoice::SwScalls(_));
+        let excluded = (problem == ProblemKind::Problem1
+            && matches!(imp.parallel, ParallelChoice::SwScalls(_)))
+            || (!delta && !db.is_active(imp.id));
         if excluded {
             x.push(None);
         } else {
             x.push(Some(model.add_binary(format!("x_{}", imp.id))));
         }
     }
+    if delta {
+        for imp in db.imps() {
+            if !db.is_active(imp.id) {
+                if let Some(v) = x[imp.id.index()] {
+                    model.set_var_bounds(v, 0.0, 0.0).map_err(CoreError::Ilp)?;
+                }
+            }
+        }
+    }
 
     // Eq. 1: at most one IMP per s-call.
     for sc in &instance.scalls {
-        let terms: Vec<(VarId, f64)> = db
-            .for_scall(sc.id)
+        let terms: Vec<(VarId, f64)> = imps_of(sc.id)
             .iter()
             .filter_map(|imp| x[imp.id.index()].map(|v| (v, 1.0)))
             .collect();
@@ -72,10 +154,13 @@ pub(crate) fn build_model(
         }
     }
 
-    // Eq. 2: per-path required gain.
+    // Eq. 2: per-path required gain. Delta mode always emits the row (and
+    // records its index) so the requirement stays patchable; the cold path
+    // skips redundant zero-requirement rows.
+    let mut gain_rows: Vec<(PathId, usize)> = Vec::new();
     for path in instance.effective_paths() {
         let required = gains.for_path(path.id);
-        if required == Cycles::ZERO {
+        if !delta && required == Cycles::ZERO {
             continue;
         }
         let mut terms: Vec<(VarId, f64)> = Vec::new();
@@ -86,12 +171,13 @@ pub(crate) fn build_model(
                     scall: sc,
                 });
             }
-            for imp in db.for_scall(sc) {
+            for imp in imps_of(sc) {
                 if let Some(v) = x[imp.id.index()] {
                     terms.push((v, imp.gain.get() as f64));
                 }
             }
         }
+        let row = model.num_constraints();
         model
             .add_labeled_constraint(
                 terms,
@@ -100,10 +186,16 @@ pub(crate) fn build_model(
                 Some(format!("gain_{}", path.id)),
             )
             .map_err(CoreError::Ilp)?;
+        if delta {
+            gain_rows.push((path.id, row));
+        }
     }
 
     // Problem 1: s-calls to the same function are always implemented in the
-    // same way — tie matching implementation shapes together.
+    // same way — tie matching implementation shapes together. Always built
+    // from the *masked* view: which ties exist depends on which IMPs are
+    // live, which is why a mask-changing delta under Problem 1 forces a
+    // cold rebuild (see `crate::delta`).
     if problem == ProblemKind::Problem1 {
         let mut by_name: BTreeMap<&str, Vec<&crate::SCall>> = BTreeMap::new();
         for sc in &instance.scalls {
@@ -203,12 +295,15 @@ pub(crate) fn build_model(
     // as many as possible" (§5.1). The weight is scaled per instance so the
     // total tie-break stays below 0.4 area tenths (well under the area
     // granularity) while every per-variable coefficient stays orders of
-    // magnitude above the simplex optimality tolerance.
+    // magnitude above the simplex optimality tolerance. Computed over the
+    // *unmasked* IMP list so retiring or restoring an IMP never changes the
+    // objective coefficients — the patched delta model and a cold rebuild of
+    // the same masked database must agree term for term.
     let max_total_gain: u64 = instance
         .scalls
         .iter()
         .map(|sc| {
-            db.for_scall(sc.id)
+            db.for_scall_all(sc.id)
                 .iter()
                 .map(|i| i.gain.get())
                 .max()
@@ -235,7 +330,7 @@ pub(crate) fn build_model(
     }
     model.set_objective(objective);
 
-    Ok((model, VarMap { x, z }))
+    Ok((model, VarMap { x, z }, gain_rows))
 }
 
 /// Decodes which IMPs a solution selected.

@@ -3,6 +3,8 @@
 use partita_interface::{feasible_kinds, performance_gain, TimingError};
 use partita_mop::{CallSiteId, Cycles};
 
+use std::sync::Arc;
+
 use crate::{Imp, ImpId, Instance, ParallelChoice};
 
 /// Resolves a timing-model gain during generation: feasibility was already
@@ -24,10 +26,24 @@ fn gain_or_zero(result: Result<Cycles, TimingError>) -> Cycles {
 /// "data base of IMP_i is built up ... using the MOP list and IP library")
 /// or directly from published per-IMP data ([`ImpDb::from_imps`], used to
 /// reproduce Tables 1–3 exactly).
+///
+/// # Retiring IMPs
+///
+/// The incremental re-solve layer ([`crate::delta`]) edits a database in
+/// place: removing an IP block or banning an interface kind *retires* the
+/// affected IMPs ([`ImpDb::retire`]) instead of regenerating the database,
+/// so every surviving IMP keeps its id — a prerequisite for patching the
+/// built ILP model rather than rebuilding it. Retired IMPs stay resident
+/// (and visible to [`ImpDb::get`]/[`ImpDb::imps`], so provenance lookups
+/// keep working) but disappear from [`ImpDb::for_scall`], which is what
+/// formulation consumes. The mask participates in `Debug` and `PartialEq`,
+/// so masked and unmasked databases never collide in content-keyed caches.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ImpDb {
     imps: Vec<Imp>,
     per_scall: Vec<Vec<ImpId>>,
+    /// `active[i]` gates `ImpId(i)`; parallel to `imps`.
+    active: Vec<bool>,
 }
 
 impl ImpDb {
@@ -51,7 +67,45 @@ impl ImpDb {
         }
         self.per_scall[sc].push(id);
         self.imps.push(imp);
+        self.active.push(true);
         id
+    }
+
+    /// Retires an IMP: it keeps its id and stays visible to [`ImpDb::get`],
+    /// but no longer appears in [`ImpDb::for_scall`] (and therefore in any
+    /// formulation built from this database). Returns `false` for an
+    /// unknown id. Idempotent.
+    pub fn retire(&mut self, id: ImpId) -> bool {
+        match self.active.get_mut(id.index()) {
+            Some(a) => {
+                *a = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Undoes [`ImpDb::retire`]. Returns `false` for an unknown id.
+    pub fn restore(&mut self, id: ImpId) -> bool {
+        match self.active.get_mut(id.index()) {
+            Some(a) => {
+                *a = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when the IMP exists and has not been retired.
+    #[must_use]
+    pub fn is_active(&self, id: ImpId) -> bool {
+        self.active.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of IMPs that have not been retired.
+    #[must_use]
+    pub fn active_len(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
     }
 
     /// All IMPs.
@@ -79,9 +133,26 @@ impl ImpDb {
         self.imps.get(id.index())
     }
 
-    /// The IMPs of one s-call.
+    /// The active (non-retired) IMPs of one s-call.
     #[must_use]
     pub fn for_scall(&self, scall: CallSiteId) -> Vec<&Imp> {
+        self.per_scall
+            .get(scall.index())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|id| self.active[id.index()])
+                    .map(|id| &self.imps[id.index()])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every IMP of one s-call, retired ones included. The delta-mode
+    /// formulation builds its rows from this so a later
+    /// [`ImpDb::restore`] is a pure bound patch (the retired IMP's column
+    /// and coefficients are already in the matrix, pinned to zero).
+    #[must_use]
+    pub fn for_scall_all(&self, scall: CallSiteId) -> Vec<&Imp> {
         self.per_scall
             .get(scall.index())
             .map(|ids| ids.iter().map(|id| &self.imps[id.index()]).collect())
@@ -102,80 +173,121 @@ impl ImpDb {
         let mut db = ImpDb::default();
         for sc in &instance.scalls {
             for ip in instance.library.supporting(&sc.function) {
-                for (kind, _profile) in feasible_kinds(ip) {
-                    let area = instance.area_model.interface_area(kind, sc.job).total();
-                    let base = gain_or_zero(performance_gain(sc.sw_cycles, ip, kind, sc.job, None));
-                    let base_total = base.scaled(sc.freq);
-                    if base_total > Cycles::ZERO {
-                        db.add(Imp::new(
-                            sc.id,
-                            vec![ip.id()],
-                            kind,
-                            base_total,
-                            area,
-                            ParallelChoice::None,
-                        ));
-                    }
-                    if !kind.supports_parallel() {
-                        continue;
-                    }
-                    // Plain parallel code.
-                    let mut best = base_total;
-                    if sc.plain_pc > Cycles::ZERO {
-                        let g = gain_or_zero(performance_gain(
-                            sc.sw_cycles,
-                            ip,
-                            kind,
-                            sc.job,
-                            Some(sc.plain_pc),
-                        ))
-                        .scaled(sc.freq);
-                        if g > best {
-                            db.add(Imp::new(
-                                sc.id,
-                                vec![ip.id()],
-                                kind,
-                                g,
-                                area,
-                                ParallelChoice::PlainPc,
-                            ));
-                            best = g;
-                        }
-                    }
-                    // Problem 2: software implementations of other s-calls
-                    // appended to the parallel code, one prefix at a time.
-                    let mut pc = sc.plain_pc;
-                    let mut consumed = Vec::new();
-                    for &j in &sc.sw_pc_candidates {
-                        let Some(other) = instance.scall(j) else {
-                            continue;
-                        };
-                        pc += other.sw_cycles;
-                        consumed.push(j);
-                        let g = gain_or_zero(performance_gain(
-                            sc.sw_cycles,
-                            ip,
-                            kind,
-                            sc.job,
-                            Some(pc),
-                        ))
-                        .scaled(sc.freq);
-                        if g > best {
-                            db.add(Imp::new(
-                                sc.id,
-                                vec![ip.id()],
-                                kind,
-                                g,
-                                area,
-                                ParallelChoice::SwScalls(consumed.clone()),
-                            ));
-                            best = g;
-                        }
-                    }
-                }
+                db.add_variants(instance, sc, ip);
             }
         }
         db
+    }
+
+    /// Appends the IMPs a freshly added IP block contributes, without
+    /// touching existing entries — ids already handed out stay stable,
+    /// which is what lets the incremental layer ([`crate::delta`]) treat an
+    /// IP addition as an append-only database edit. Returns how many IMPs
+    /// were added.
+    pub fn extend_for_ip(&mut self, instance: &Instance, ip: partita_ip::IpId) -> usize {
+        let mut added = 0;
+        for sc in &instance.scalls {
+            for block in instance.library.supporting(&sc.function) {
+                if block.id() == ip {
+                    added += self.add_variants(instance, sc, block);
+                }
+            }
+        }
+        added
+    }
+
+    /// Generates every variant of one (s-call, IP) pairing: each feasible
+    /// interface type, plus parallel-code choices where they strictly
+    /// improve the gain. Returns the number of IMPs added.
+    fn add_variants(
+        &mut self,
+        instance: &Instance,
+        sc: &crate::SCall,
+        ip: &partita_ip::IpBlock,
+    ) -> usize {
+        let before = self.len();
+        for (kind, _profile) in feasible_kinds(ip) {
+            let area = instance.area_model.interface_area(kind, sc.job).total();
+            let base = gain_or_zero(performance_gain(sc.sw_cycles, ip, kind, sc.job, None));
+            let base_total = base.scaled(sc.freq);
+            if base_total > Cycles::ZERO {
+                self.add(Imp::new(
+                    sc.id,
+                    vec![ip.id()],
+                    kind,
+                    base_total,
+                    area,
+                    ParallelChoice::None,
+                ));
+            }
+            if !kind.supports_parallel() {
+                continue;
+            }
+            // Plain parallel code.
+            let mut best = base_total;
+            if sc.plain_pc > Cycles::ZERO {
+                let g = gain_or_zero(performance_gain(
+                    sc.sw_cycles,
+                    ip,
+                    kind,
+                    sc.job,
+                    Some(sc.plain_pc),
+                ))
+                .scaled(sc.freq);
+                if g > best {
+                    self.add(Imp::new(
+                        sc.id,
+                        vec![ip.id()],
+                        kind,
+                        g,
+                        area,
+                        ParallelChoice::PlainPc,
+                    ));
+                    best = g;
+                }
+            }
+            // Problem 2: software implementations of other s-calls
+            // appended to the parallel code, one prefix at a time.
+            let mut pc = sc.plain_pc;
+            let mut consumed = Vec::new();
+            for &j in &sc.sw_pc_candidates {
+                let Some(other) = instance.scall(j) else {
+                    continue;
+                };
+                pc += other.sw_cycles;
+                consumed.push(j);
+                let g = gain_or_zero(performance_gain(
+                    sc.sw_cycles,
+                    ip,
+                    kind,
+                    sc.job,
+                    Some(pc),
+                ))
+                .scaled(sc.freq);
+                if g > best {
+                    self.add(Imp::new(
+                        sc.id,
+                        vec![ip.id()],
+                        kind,
+                        g,
+                        area,
+                        ParallelChoice::SwScalls(consumed.clone()),
+                    ));
+                    best = g;
+                }
+            }
+        }
+        self.len() - before
+    }
+}
+
+/// Wraps a borrowed database in a fresh `Arc` by deep-copying it. This is
+/// the compatibility path for APIs that take `impl Into<Arc<ImpDb>>`;
+/// callers that already hold an `Arc<ImpDb>` should hand over a clone of
+/// the handle instead, which copies nothing.
+impl From<&ImpDb> for Arc<ImpDb> {
+    fn from(db: &ImpDb) -> Arc<ImpDb> {
+        Arc::new(db.clone())
     }
 }
 
@@ -353,6 +465,49 @@ mod tests {
         assert!(db.is_empty());
         assert!(db.for_scall(CallSiteId(0)).is_empty());
         assert!(db.for_scall(CallSiteId(7)).is_empty());
+    }
+
+    #[test]
+    fn retire_masks_for_scall_but_keeps_get_and_ids() {
+        use partita_ip::IpId;
+        let mut db = ImpDb::from_imps(vec![
+            Imp::new(
+                CallSiteId(0),
+                vec![IpId(1)],
+                InterfaceKind::Type0,
+                Cycles(5),
+                AreaTenths::ZERO,
+                ParallelChoice::None,
+            ),
+            Imp::new(
+                CallSiteId(0),
+                vec![IpId(2)],
+                InterfaceKind::Type1,
+                Cycles(9),
+                AreaTenths::ZERO,
+                ParallelChoice::None,
+            ),
+        ]);
+        assert!(db.retire(ImpId(0)));
+        assert!(!db.is_active(ImpId(0)));
+        assert_eq!(db.active_len(), 1);
+        assert_eq!(db.len(), 2, "retired IMPs stay resident");
+        assert!(db.get(ImpId(0)).is_some(), "provenance lookups survive");
+        let visible = db.for_scall(CallSiteId(0));
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].id, ImpId(1), "surviving ids are stable");
+        // Masked and unmasked databases must not collide in content keys.
+        let unmasked = {
+            let mut d = db.clone();
+            d.restore(ImpId(0));
+            d
+        };
+        assert_ne!(format!("{db:?}"), format!("{unmasked:?}"));
+        assert_ne!(db, unmasked);
+        assert!(db.restore(ImpId(0)));
+        assert_eq!(db, unmasked);
+        assert!(!db.retire(ImpId(99)), "unknown ids are reported");
+        assert!(!db.is_active(ImpId(99)));
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod baseline;
 mod build;
 mod cache;
 mod conflict;
+pub mod delta;
 pub mod engine;
 mod error;
 mod formulate;
@@ -94,6 +95,7 @@ pub mod verify;
 
 pub use build::{instance_from_compiled, SCallBinding};
 pub use conflict::{sc_pc_conflicts, ConflictPair};
+pub use delta::{DeltaSession, InstanceDelta};
 pub use engine::{
     Backend, BranchBoundBackend, EngineSolution, ExhaustiveBackend, GreedyBackend,
     OptimalityStatus, SolveBudget, SolveTrace, SolverBackend,

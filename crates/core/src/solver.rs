@@ -154,6 +154,11 @@ pub struct SolveOptions {
     pub(crate) warm_start: bool,
     pub(crate) hint: Option<Vec<ImpId>>,
     pub(crate) audit: bool,
+    /// Retained root-LP basis from a previous same-shaped solve (set by the
+    /// delta/sweep layers, never by callers directly). Like `hint` and
+    /// `audit`, this can never change the returned selection — only the
+    /// work done — and is excluded from sweep cache keys.
+    pub(crate) root_basis: Option<Arc<partita_ilp::Basis>>,
 }
 
 impl SolveOptions {
@@ -167,6 +172,7 @@ impl SolveOptions {
             warm_start: true,
             hint: None,
             audit: crate::engine::default_audit(),
+            root_basis: None,
         }
     }
 
@@ -463,7 +469,7 @@ impl Selection {
 #[derive(Clone)]
 pub struct Solver<'a> {
     instance: &'a Instance,
-    imps: Option<ImpDb>,
+    imps: Option<Arc<ImpDb>>,
     sink: Option<Arc<dyn TelemetrySink>>,
 }
 
@@ -489,10 +495,11 @@ impl<'a> Solver<'a> {
     }
 
     /// Supplies a prebuilt IMP database (otherwise [`ImpDb::generate`] is
-    /// used).
+    /// used). Accepts an owned [`ImpDb`] or an `Arc<ImpDb>` handle — sharing
+    /// the handle avoids deep-cloning the database per solve.
     #[must_use]
-    pub fn with_imps(mut self, imps: ImpDb) -> Solver<'a> {
-        self.imps = Some(imps);
+    pub fn with_imps(mut self, imps: impl Into<Arc<ImpDb>>) -> Solver<'a> {
+        self.imps = Some(imps.into());
         self
     }
 
@@ -532,7 +539,7 @@ impl<'a> Solver<'a> {
 
         let span = SpanTimer::start(Phase::ImpGeneration);
         let generated;
-        let db = match &self.imps {
+        let db: &ImpDb = match &self.imps {
             Some(db) => db,
             None => {
                 generated = ImpDb::generate(self.instance);
@@ -551,14 +558,16 @@ impl<'a> Solver<'a> {
         )?;
         trace.formulation = span.finish(sink);
 
-        solve_prepared(self.instance, db, &model, &map, options, trace, sink)
+        solve_prepared(self.instance, db, &model, &map, options, trace, sink).map(|(sel, _)| sel)
     }
 }
 
 /// Dispatch + decode over an already-built model: the shared tail of
-/// [`Solver::solve`], also entered directly by the sweep layer when the
-/// formulation came out of its model cache (the trace then carries the
-/// *original* formulation time).
+/// [`Solver::solve`], also entered directly by the sweep and delta layers
+/// when the formulation came out of a cache (the trace then carries the
+/// *original* formulation time). Alongside the selection it returns the
+/// root-LP basis retained by the branch-and-bound backend, which those
+/// layers thread into the next same-shaped solve.
 pub(crate) fn solve_prepared(
     instance: &Instance,
     db: &ImpDb,
@@ -567,7 +576,7 @@ pub(crate) fn solve_prepared(
     options: &SolveOptions,
     mut trace: SolveTrace,
     sink: &dyn TelemetrySink,
-) -> Result<Selection, CoreError> {
+) -> Result<(Selection, Option<Arc<partita_ilp::Basis>>), CoreError> {
     trace.num_vars = model.num_vars();
     trace.num_constraints = model.num_constraints();
     trace.num_imps = db.len();
@@ -583,6 +592,7 @@ pub(crate) fn solve_prepared(
     trace.simplex_iterations = solution.effort.simplex_iterations;
     trace.warm_start_accepted = solution.effort.warm_start_accepted;
     trace.vars_fixed = solution.effort.vars_fixed;
+    trace.basis_reused = solution.effort.basis_reused;
     trace.threads = solution.effort.threads;
     trace.worker_nodes = solution
         .effort
@@ -609,6 +619,7 @@ pub(crate) fn solve_prepared(
     }
 
     let span = SpanTimer::start(Phase::Decode);
+    let root_basis = solution.root_basis.clone();
     let ilp_solution = partita_ilp::IlpSolution {
         objective: solution.objective,
         values: solution.values,
@@ -643,7 +654,7 @@ pub(crate) fn solve_prepared(
             trace: selection.trace.clone(),
         });
     }
-    Ok(selection)
+    Ok((selection, root_basis))
 }
 
 /// Routes the solve to the configured backend; on
@@ -682,7 +693,11 @@ fn dispatch(
                     seeds.push(encode_selection(model, map, db, &ids));
                 }
             }
-            let primary = BranchBoundBackend { seeds }.solve(model, budget);
+            let primary = BranchBoundBackend {
+                seeds,
+                root_basis: options.root_basis.clone(),
+            }
+            .solve(model, budget);
             match (primary, budget.fallback) {
                 (Err(CoreError::BudgetExhausted), Some(fallback)) => {
                     let rescued = match fallback {

@@ -218,6 +218,11 @@ fn model_key(ikey: &str, options: &SolveOptions) -> String {
 
 /// Solve-cache key: the model key plus everything that can change the
 /// returned selection *or its trace* (backend, budget incl. threads, seeds).
+///
+/// Deliberately excluded: `audit` (checking an answer must never change
+/// *what* is solved) and `root_basis` (basis repair only changes how fast
+/// the identical lex-min optimum is reached — keying on it would defeat the
+/// cache across chained sweeps).
 fn solve_key(ikey: &str, options: &SolveOptions) -> String {
     format!(
         "{}|{:?}|{:?}|{:?}|{:?}",
@@ -427,6 +432,7 @@ impl SweepSession {
         options: &SolveOptions,
     ) -> Result<Selection, CoreError> {
         self.solve_point(instance, db, options, false)
+            .map(|(sel, _basis)| sel)
     }
 
     /// Runs a uniform-gain RG sweep with descending-RG warm-start chaining:
@@ -482,10 +488,12 @@ impl SweepSession {
         order.sort_by(|&a, &b| rgs[b].cmp(&rgs[a]));
         let mut results: Vec<Option<Selection>> = vec![None; rgs.len()];
         let mut prev: Option<Selection> = None;
+        let mut prev_basis: Option<Arc<partita_ilp::Basis>> = None;
         for &i in &order {
             let mut opts = base.clone();
             opts.gains = RequiredGains::uniform(rgs[i]);
             opts.hint = None;
+            opts.root_basis = None;
             let mut chained = false;
             if chain {
                 if let Some(prev_sel) = &prev {
@@ -500,6 +508,12 @@ impl SweepSession {
                     } else {
                         self.trace.chained_rejects += 1;
                     }
+                    // The retained root basis rides along even when the
+                    // incumbent was rejected: an RG edit is a pure RHS
+                    // change, so the previous optimal basis stays
+                    // dual-feasible, and the warm path falls back to a cold
+                    // factorization on any mismatch anyway.
+                    opts.root_basis = prev_basis.clone();
                     let sink = self.sink();
                     if sink.enabled() {
                         sink.emit(&Event::ChainDecision {
@@ -509,7 +523,10 @@ impl SweepSession {
                     }
                 }
             }
-            let sel = self.solve_point(instance, db, &opts, chained)?;
+            let (sel, basis) = self.solve_point(instance, db, &opts, chained)?;
+            if basis.is_some() {
+                prev_basis = basis;
+            }
             prev = Some(sel.clone());
             results[i] = Some(sel);
         }
@@ -634,6 +651,8 @@ impl SweepSession {
                 formulation: p.prepared.formulation,
                 ..SolveTrace::default()
             };
+            // Batch jobs are independent — the returned root basis has no
+            // next point to seed, so it is dropped here.
             let result = solve_prepared(
                 job.instance,
                 job.db,
@@ -642,7 +661,8 @@ impl SweepSession {
                 &job.options,
                 trace,
                 sink,
-            );
+            )
+            .map(|(sel, _basis)| sel);
             (result, started.elapsed())
         };
         if pool_threads == 1 || pending.len() <= 1 {
@@ -744,14 +764,17 @@ impl SweepSession {
     }
 
     /// The single-request path shared by [`SweepSession::solve`] and the
-    /// sweep loop.
+    /// sweep loop. Alongside the selection it returns the branch-and-bound
+    /// root basis (when the backend produced one and the answer was not
+    /// served from cache), so the sweep loop can seed the next point's LP
+    /// relaxation.
     fn solve_point(
         &mut self,
         instance: &Instance,
         db: &ImpDb,
         options: &SolveOptions,
         chained: bool,
-    ) -> Result<Selection, CoreError> {
+    ) -> Result<(Selection, Option<Arc<partita_ilp::Basis>>), CoreError> {
         let started = Instant::now();
         let ikey = instance_key(instance, db);
         let skey = solve_key(&ikey, options);
@@ -772,8 +795,9 @@ impl SweepSession {
             self.emit_point(&point);
             self.trace.points.push(point);
             // The audit flag is not part of the cache key, so a hit must run
-            // its own audit when this request asked for one.
-            return audit_cached(instance, db, options, sel);
+            // its own audit when this request asked for one. A cached answer
+            // carries no live factorization, hence no basis.
+            return audit_cached(instance, db, options, sel).map(|sel| (sel, None));
         }
         self.trace.cache_misses += 1;
         self.emit_cache(CacheKind::Solve, false, &skey);
@@ -787,7 +811,7 @@ impl SweepSession {
             formulation: prepared.formulation,
             ..SolveTrace::default()
         };
-        let sel = solve_prepared(
+        let (sel, basis) = solve_prepared(
             instance,
             db,
             &prepared.model,
@@ -807,7 +831,7 @@ impl SweepSession {
         self.emit_point(&point);
         self.trace.points.push(point);
         self.solves.insert(skey, sel.clone());
-        Ok(sel)
+        Ok((sel, basis))
     }
 }
 
@@ -1041,6 +1065,47 @@ mod tests {
         .unwrap();
         assert_eq!(s.trace().cache_hits, 0);
         assert_eq!(s.trace().cache_misses, 4);
+    }
+
+    #[test]
+    fn solve_key_excludes_root_basis_and_audit() {
+        let (inst, db) = three_firs("a");
+        let ikey = instance_key(&inst, &db);
+        let a = SolveOptions::problem2(RequiredGains::uniform(Cycles(1200)));
+        let mut b = a.clone();
+        b.root_basis = Some(Arc::new(partita_ilp::Basis::slack(4, 7)));
+        b.audit = !a.audit;
+        assert_eq!(
+            solve_key(&ikey, &a),
+            solve_key(&ikey, &b),
+            "root_basis/audit must not shape the canonical solve key"
+        );
+    }
+
+    #[test]
+    fn chained_sweep_threads_root_basis() {
+        let (inst, db) = three_firs("a");
+        let rgs = [Cycles(600), Cycles(1200), Cycles(1800)];
+        let mut s = SweepSession::new();
+        let sels = s.sweep(&inst, &db, &SolveOptions::default(), &rgs).unwrap();
+        // Descending solve order puts 1800 first (cold); the two lower
+        // points inherit its root basis, and an RG edit is a pure RHS
+        // change, so at least one repair must succeed.
+        let reused = sels.iter().filter(|sel| sel.trace.basis_reused).count();
+        assert!(
+            reused >= 1,
+            "no sweep point repaired the chained root basis"
+        );
+        // And reuse never changes the answers (checked in depth by
+        // chained_sweep_matches_cold_sweep; re-asserted cheaply here).
+        let mut cold = SweepSession::new();
+        let cold_sels = cold
+            .sweep_cold(&inst, &db, &SolveOptions::default(), &rgs)
+            .unwrap();
+        for (c, f) in sels.iter().zip(&cold_sels) {
+            assert_eq!(c.chosen(), f.chosen());
+            assert_eq!(c.total_area(), f.total_area());
+        }
     }
 
     #[test]

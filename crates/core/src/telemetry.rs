@@ -242,6 +242,12 @@ pub enum EventKind {
     SweepCompare,
     /// A [`crate::SweepSession::solve_batch`] fan-out began.
     BatchStarted,
+    /// A [`crate::delta::DeltaSession`] applied an [`crate::InstanceDelta`]
+    /// to the built model (in place, or by forcing a cold rebuild).
+    ModelPatched,
+    /// A delta re-solve reported whether the retained root-LP basis was
+    /// installed and dual-repaired or fell back to the cold two-phase path.
+    BasisReused,
     /// A free-form monotonic counter sample.
     Counter,
     /// A free-form instantaneous gauge sample.
@@ -250,7 +256,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every event kind, in the order they are documented.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::SolveStarted,
         EventKind::PhaseFinished,
         EventKind::WorkerFinished,
@@ -262,6 +268,8 @@ impl EventKind {
         EventKind::SweepSummary,
         EventKind::SweepCompare,
         EventKind::BatchStarted,
+        EventKind::ModelPatched,
+        EventKind::BasisReused,
         EventKind::Counter,
         EventKind::Gauge,
     ];
@@ -281,6 +289,8 @@ impl EventKind {
             EventKind::SweepSummary => "sweep_summary",
             EventKind::SweepCompare => "sweep_compare",
             EventKind::BatchStarted => "batch_started",
+            EventKind::ModelPatched => "model_patched",
+            EventKind::BasisReused => "basis_reused",
             EventKind::Counter => "counter",
             EventKind::Gauge => "gauge",
         }
@@ -437,6 +447,29 @@ pub enum Event {
         /// Worker threads fanning out the unique solves.
         pool_threads: usize,
     },
+    /// A delta op was applied to the built model.
+    ModelPatched {
+        /// Display name of the instance being edited.
+        instance: String,
+        /// The delta op's snake_case name (`set_rg`, `add_ip`, `remove_ip`,
+        /// `set_interface_kind`).
+        op: String,
+        /// `patch` when the built model was edited in place, `rebuild`
+        /// when the op forced a cold build+formulate pass.
+        mode: String,
+        /// Constraint rows whose RHS the patch rewrote.
+        rows_touched: usize,
+        /// Variable columns pinned to zero (retired) or released.
+        cols_retired: usize,
+    },
+    /// A delta re-solve's basis-reuse outcome.
+    BasisReused {
+        /// Whether the retained basis was installed and dual-repaired
+        /// (`false` means the cold two-phase path ran).
+        accepted: bool,
+        /// Rows of the basis offered to the solve (0 when none was held).
+        rows: usize,
+    },
     /// A free-form monotonic counter sample.
     Counter {
         /// Instrument name.
@@ -519,6 +552,8 @@ impl Event {
             Event::SweepSummary { .. } => EventKind::SweepSummary,
             Event::SweepCompare { .. } => EventKind::SweepCompare,
             Event::BatchStarted { .. } => EventKind::BatchStarted,
+            Event::ModelPatched { .. } => EventKind::ModelPatched,
+            Event::BasisReused { .. } => EventKind::BasisReused,
             Event::Counter { .. } => EventKind::Counter,
             Event::Gauge { .. } => EventKind::Gauge,
         }
@@ -578,6 +613,7 @@ impl Event {
                 w.raw("simplex_iterations", r.effort(trace.simplex_iterations));
                 w.raw("warm_start_accepted", trace.warm_start_accepted);
                 w.raw("vars_fixed", trace.vars_fixed);
+                w.raw("basis_reused", trace.basis_reused);
                 w.raw("threads", trace.threads);
                 w.usize_array(
                     "worker_nodes",
@@ -689,6 +725,23 @@ impl Event {
                 w.raw("unique", unique);
                 w.raw("followers", followers);
                 w.raw("pool_threads", pool_threads);
+            }
+            Event::ModelPatched {
+                instance,
+                op,
+                mode,
+                rows_touched,
+                cols_retired,
+            } => {
+                w.string("instance", instance);
+                w.string("op", op);
+                w.string("mode", mode);
+                w.raw("rows_touched", rows_touched);
+                w.raw("cols_retired", cols_retired);
+            }
+            Event::BasisReused { accepted, rows } => {
+                w.raw("accepted", accepted);
+                w.raw("rows", rows);
             }
             Event::Counter { name, value } => {
                 w.string("name", name);

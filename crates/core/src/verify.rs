@@ -850,6 +850,10 @@ pub enum Fault {
     Deadline(Duration),
     /// Seed the warm start with this (possibly garbage) candidate.
     PoisonedHint(Vec<ImpId>),
+    /// Seed the root LP with this (possibly stale or shape-mismatched)
+    /// retained basis. The repair path must degrade to a cold
+    /// factorization, never to a silent wrong answer.
+    PoisonedBasis(std::sync::Arc<partita_ilp::Basis>),
     /// Disable the budget-exhaustion fallback backend.
     NoFallback,
     /// Disable the greedy warm start.
@@ -941,6 +945,14 @@ impl FaultPlan {
         self
     }
 
+    /// Injects a poisoned retained root-LP basis (stale, foreign, or
+    /// deliberately mismatched to the model's shape).
+    #[must_use]
+    pub fn poisoned_basis(mut self, basis: impl Into<std::sync::Arc<partita_ilp::Basis>>) -> FaultPlan {
+        self.faults.push(Fault::PoisonedBasis(basis.into()));
+        self
+    }
+
     /// Disables the budget-exhaustion fallback.
     #[must_use]
     pub fn without_fallback(mut self) -> FaultPlan {
@@ -976,6 +988,10 @@ impl FaultPlan {
                     out.budget(budget)
                 }
                 Fault::PoisonedHint(hint) => out.warm_start_hint(hint.clone()),
+                Fault::PoisonedBasis(basis) => {
+                    out.root_basis = Some(std::sync::Arc::clone(basis));
+                    out
+                }
                 Fault::NoFallback => {
                     let budget = out.solve_budget().with_fallback(None);
                     out.budget(budget)
@@ -993,15 +1009,21 @@ impl FaultPlan {
     /// corruption; the audit itself runs here, against the *undistorted*
     /// requirements.
     #[must_use]
-    pub fn run(&self, instance: &Instance, db: &ImpDb, options: &SolveOptions) -> FaultVerdict {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        db: impl Into<std::sync::Arc<ImpDb>>,
+        options: &SolveOptions,
+    ) -> FaultVerdict {
+        let db = db.into();
         let distorted = self.distort(options).audit(false);
         match Solver::new(instance)
-            .with_imps(db.clone())
+            .with_imps(std::sync::Arc::clone(&db))
             .solve(&distorted)
         {
             Err(e) => FaultVerdict::TypedError(e),
             Ok(sel) => {
-                let report = SelectionAuditor::new(instance, db).audit(&sel, options);
+                let report = SelectionAuditor::new(instance, &db).audit(&sel, options);
                 if report.is_clean() {
                     FaultVerdict::Clean(Box::new(sel), report)
                 } else {
@@ -1380,6 +1402,36 @@ mod tests {
         // The no-fallback plan must refuse with a typed error rather than
         // hand back anything unverified.
         assert!(typed_errors >= 1);
+    }
+
+    #[test]
+    fn poisoned_basis_degrades_to_cold_never_to_garbage() {
+        let (inst, db) = needs_two();
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles(700)));
+        let clean = Solver::new(&inst)
+            .with_imps(&db)
+            .solve(&opts)
+            .expect("clean reference solve");
+        // A spread of hostile bases: shape-mismatched (both too small and
+        // too large), and a plausibly-shaped all-slack basis, which the
+        // repair may legitimately accept — acceptance is fine, a changed
+        // answer is not.
+        let bases = [
+            partita_ilp::Basis::slack(1, 1),
+            partita_ilp::Basis::slack(200, 90),
+            partita_ilp::Basis::slack(db.len() + inst.library.len(), 8),
+        ];
+        for basis in bases {
+            let verdict = FaultPlan::new().poisoned_basis(basis.clone()).run(&inst, &db, &opts);
+            match verdict {
+                FaultVerdict::Clean(sel, report) => {
+                    assert!(report.is_clean());
+                    assert_eq!(sel.chosen(), clean.chosen(), "basis {basis:?} changed the answer");
+                    assert_eq!(sel.total_area(), clean.total_area());
+                }
+                other => panic!("poisoned basis {basis:?} must degrade cleanly, got {other:?}"),
+            }
+        }
     }
 
     #[test]

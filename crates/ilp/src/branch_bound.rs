@@ -22,10 +22,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::simplex::{solve_with_bounds_scratch, SimplexOptions, SimplexScratch};
+use crate::simplex::{
+    solve_with_basis, solve_with_bounds_scratch, Basis, SimplexOptions, SimplexScratch,
+};
 use crate::{IlpError, IlpSolution, Model, Sense, VarId};
 
 const INT_TOL: f64 = 1e-6;
@@ -70,6 +72,7 @@ pub struct BranchBound {
     deadline: Option<Duration>,
     simplex: SimplexOptions,
     threads: usize,
+    root_basis: Option<Arc<Basis>>,
 }
 
 impl Default for BranchBound {
@@ -79,6 +82,7 @@ impl Default for BranchBound {
             deadline: None,
             simplex: SimplexOptions::default(),
             threads: 1,
+            root_basis: None,
         }
     }
 }
@@ -134,6 +138,10 @@ pub struct BranchBoundStats {
     pub vars_fixed: usize,
     /// Worker threads that ran the search (1 for the serial path).
     pub threads: usize,
+    /// Whether a caller-supplied root basis was installed and repaired by
+    /// the dual simplex (`false` when no basis was supplied or it fell back
+    /// to the cold two-phase solve).
+    pub basis_reused: bool,
     /// Per-worker breakdown of the aggregate counters above. Root-node work
     /// (the root LP and probing) is attributed to worker 0.
     pub per_worker: Vec<WorkerStats>,
@@ -145,6 +153,7 @@ impl BranchBoundStats {
         workers: Vec<WorkerStats>,
         warm_start_accepted: bool,
         vars_fixed: usize,
+        basis_reused: bool,
     ) -> BranchBoundStats {
         let mut per_worker = if workers.is_empty() {
             vec![WorkerStats::default()]
@@ -165,6 +174,7 @@ impl BranchBoundStats {
             warm_start_accepted,
             vars_fixed,
             threads: per_worker.len(),
+            basis_reused,
             per_worker,
         }
     }
@@ -194,6 +204,10 @@ pub struct BranchBoundRun {
     pub termination: Termination,
     /// Search-effort counters.
     pub stats: BranchBoundStats,
+    /// The optimal basis of the root LP relaxation, reusable as
+    /// [`BranchBound::with_root_basis`] input for the next same-shaped solve
+    /// (`None` when the root was infeasible or its basis kept an artificial).
+    pub root_basis: Option<Arc<Basis>>,
 }
 
 struct Node {
@@ -608,6 +622,18 @@ impl BranchBound {
         self
     }
 
+    /// Supplies a retained root-LP basis from a previous solve of a
+    /// same-shaped model (see [`BranchBoundRun::root_basis`]). The root LP
+    /// re-installs it and repairs primal feasibility with dual-simplex
+    /// pivots instead of running two-phase from scratch; an incompatible or
+    /// stale basis silently falls back to the cold solve, so this can never
+    /// change the reported solution — only the work done to reach it.
+    #[must_use]
+    pub fn with_root_basis(mut self, basis: Arc<Basis>) -> BranchBound {
+        self.root_basis = Some(basis);
+        self
+    }
+
     /// Solves `model` to proven optimality.
     ///
     /// # Errors
@@ -720,12 +746,15 @@ impl BranchBound {
                       termination: Termination,
                       root_stats: WorkerStats,
                       workers: Vec<WorkerStats>,
-                      vars_fixed: usize| {
+                      vars_fixed: usize,
+                      basis_reused: bool,
+                      root_basis: Option<Arc<Basis>>| {
             let stats = BranchBoundStats::from_workers(
                 root_stats,
                 workers,
                 warm_start_accepted,
                 vars_fixed,
+                basis_reused,
             );
             match termination {
                 Termination::Optimal => match incumbent.solution {
@@ -733,6 +762,7 @@ impl BranchBound {
                         solution: Some(sol),
                         termination: Termination::Optimal,
                         stats,
+                        root_basis,
                     }),
                     None => Err(IlpError::Infeasible),
                 },
@@ -740,16 +770,33 @@ impl BranchBound {
                     solution: incumbent.solution,
                     termination: t,
                     stats,
+                    root_basis,
                 }),
             }
         };
 
         // The budgets are checked before every node, the root included.
         if self.max_nodes == 0 {
-            return finish(incumbent, Termination::NodeLimit, root_stats, vec![], 0);
+            return finish(
+                incumbent,
+                Termination::NodeLimit,
+                root_stats,
+                vec![],
+                0,
+                false,
+                None,
+            );
         }
         if self.deadline.is_some_and(|d| started.elapsed() >= d) {
-            return finish(incumbent, Termination::Deadline, root_stats, vec![], 0);
+            return finish(
+                incumbent,
+                Termination::Deadline,
+                root_stats,
+                vec![],
+                0,
+                false,
+                None,
+            );
         }
 
         let mut root_lower = Vec::with_capacity(n);
@@ -766,18 +813,22 @@ impl BranchBound {
         };
 
         // Root expansion runs serially (also under `threads > 1`): it hosts
-        // the one-shot reduced-cost probing and seeds the pool.
+        // the one-shot reduced-cost probing and seeds the pool. The root LP
+        // runs at full tableau shape so a retained basis from a previous
+        // same-shaped solve can be re-installed and dual-repaired, and so
+        // its own optimal basis can be handed to the next solve.
         let mut scratch = SimplexScratch::new();
         root_stats.nodes_explored += 1;
-        let lp = match solve_with_bounds_scratch(
+        let (lp, basis_reused, root_basis_out) = match solve_with_basis(
             model,
             &node.lower,
             &node.upper,
             self.simplex,
             &mut scratch,
+            self.root_basis.as_deref(),
         ) {
-            Ok(lp) => Some(lp),
-            Err(IlpError::Infeasible) => None,
+            Ok(bs) => (Some(bs.solution), bs.reused, bs.basis.map(Arc::new)),
+            Err(IlpError::Infeasible) => (None, false, None),
             Err(e) => return Err(e),
         };
         let children = match lp {
@@ -899,6 +950,8 @@ impl BranchBound {
                 root_stats,
                 vec![],
                 vars_fixed,
+                basis_reused,
+                root_basis_out,
             );
         };
 
@@ -921,6 +974,8 @@ impl BranchBound {
                         root_stats,
                         vec![stats],
                         vars_fixed,
+                        basis_reused,
+                        root_basis_out,
                     );
                 }
                 if self.deadline.is_some_and(|d| started.elapsed() >= d) {
@@ -930,6 +985,8 @@ impl BranchBound {
                         root_stats,
                         vec![stats],
                         vars_fixed,
+                        basis_reused,
+                        root_basis_out,
                     );
                 }
                 explored += 1;
@@ -947,6 +1004,8 @@ impl BranchBound {
                 root_stats,
                 vec![stats],
                 vars_fixed,
+                basis_reused,
+                root_basis_out,
             );
         }
 
@@ -990,7 +1049,15 @@ impl BranchBound {
             return Err(e);
         }
         let incumbent = shared.incumbent.cell.into_inner().expect("incumbent lock");
-        finish(incumbent, termination, root_stats, workers, vars_fixed)
+        finish(
+            incumbent,
+            termination,
+            root_stats,
+            workers,
+            vars_fixed,
+            basis_reused,
+            root_basis_out,
+        )
     }
 }
 
@@ -1315,6 +1382,49 @@ mod tests {
         assert_eq!(run.stats.per_worker.len(), 3);
         let sum: usize = run.stats.per_worker.iter().map(|w| w.nodes_explored).sum();
         assert_eq!(sum, run.stats.nodes_explored);
+    }
+
+    #[test]
+    fn root_basis_chains_across_rhs_patches() {
+        // Solve, patch the gain row's RHS, re-solve with the retained root
+        // basis: the answer must match the cold solve of the patched model
+        // and the reuse must be visible in the stats.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective([(a, 3.0), (b, 14.0), (c, 15.0)]);
+        m.add_constraint([(a, 115.0), (b, 41.0), (c, 162.0)], Relation::Ge, 150.0)
+            .unwrap();
+        let first = BranchBound::new().run_seeded(&m, &[]).unwrap();
+        let basis = first.root_basis.clone().expect("root basis retained");
+
+        m.set_constraint_rhs(0, 200.0).unwrap();
+        let cold = BranchBound::new().run_seeded(&m, &[]).unwrap();
+        let warm = BranchBound::new()
+            .with_root_basis(basis)
+            .run_seeded(&m, &[])
+            .unwrap();
+        assert!(warm.stats.basis_reused, "same-shape basis must install");
+        assert!(!cold.stats.basis_reused);
+        assert_eq!(warm.solution, cold.solution);
+        assert_eq!(warm.termination, Termination::Optimal);
+        assert!(warm.root_basis.is_some(), "reuse re-exports a basis");
+    }
+
+    #[test]
+    fn poisoned_root_basis_never_changes_the_answer() {
+        let (m, _) = tight_budget_model();
+        let cold = BranchBound::new().run_seeded(&m, &[]).unwrap();
+        // Wrong shape entirely: rejected at install time, cold path runs.
+        let poison = Arc::new(Basis::slack(3, 2));
+        let warm = BranchBound::new()
+            .with_root_basis(poison)
+            .run_seeded(&m, &[])
+            .unwrap();
+        assert!(!warm.stats.basis_reused);
+        assert_eq!(warm.solution, cold.solution);
+        assert_eq!(warm.stats.nodes_explored, cold.stats.nodes_explored);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use crate::VarId;
 pub enum IlpError {
     /// A variable id does not belong to the model.
     UnknownVariable(VarId),
+    /// A constraint index does not belong to the model.
+    UnknownConstraint(usize),
     /// A coefficient or bound is not finite.
     NonFiniteCoefficient {
         /// Where the bad value appeared.
@@ -48,6 +50,7 @@ impl fmt::Display for IlpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IlpError::UnknownVariable(v) => write!(f, "unknown variable {v}"),
+            IlpError::UnknownConstraint(i) => write!(f, "unknown constraint index {i}"),
             IlpError::NonFiniteCoefficient { context, value } => {
                 write!(f, "non-finite coefficient {value} in {context}")
             }

@@ -52,4 +52,5 @@ pub use exhaustive::{
 };
 pub use expr::LinExpr;
 pub use model::{Model, Relation, Sense, VarId, VarKind};
+pub use simplex::{solve_with_basis, Basis, BasisSolve};
 pub use solution::{IlpSolution, LpSolution};

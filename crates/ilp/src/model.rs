@@ -291,6 +291,59 @@ impl Model {
         &self.constraints
     }
 
+    /// Overwrites a variable's bounds in place.
+    ///
+    /// This is the patch hook of the incremental re-solve layer: retiring a
+    /// column pins it to `[0, 0]`, re-enabling it restores `[0, 1]`, with the
+    /// row/column shape of the model untouched so a retained simplex basis
+    /// stays installable.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::UnknownVariable`] for out-of-range ids, or
+    /// [`IlpError::NonFiniteCoefficient`] when `lower` is not finite, either
+    /// bound is NaN, or `lower > upper`.
+    pub fn set_var_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), IlpError> {
+        if !lower.is_finite() || upper.is_nan() || lower > upper {
+            return Err(IlpError::NonFiniteCoefficient {
+                context: "variable bounds",
+                value: if lower.is_finite() { upper } else { lower },
+            });
+        }
+        let def = self
+            .vars
+            .get_mut(var.index())
+            .ok_or(IlpError::UnknownVariable(var))?;
+        def.lower = lower;
+        def.upper = upper;
+        Ok(())
+    }
+
+    /// Overwrites a constraint's right-hand side in place.
+    ///
+    /// The other patch hook of the incremental layer: a required-gain
+    /// retarget is a pure RHS edit on the path's gain row, leaving every
+    /// coefficient (and hence any retained basis) valid.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::UnknownConstraint`] for out-of-range indices, or
+    /// [`IlpError::NonFiniteCoefficient`] for a non-finite `rhs`.
+    pub fn set_constraint_rhs(&mut self, index: usize, rhs: f64) -> Result<(), IlpError> {
+        if !rhs.is_finite() {
+            return Err(IlpError::NonFiniteCoefficient {
+                context: "constraint rhs",
+                value: rhs,
+            });
+        }
+        let c = self
+            .constraints
+            .get_mut(index)
+            .ok_or(IlpError::UnknownConstraint(index))?;
+        c.rhs = rhs;
+        Ok(())
+    }
+
     /// Checks a full assignment against every constraint and the variable
     /// domains, within tolerance `tol`.
     #[must_use]

@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex, with warm-started dual-simplex repair.
 //!
 //! Solves the LP relaxation of a [`Model`] with per-variable bound overrides
 //! (used by branch-and-bound to fix binaries). The implementation is a
@@ -9,6 +9,15 @@
 //! 3. convert to equalities with slack/surplus columns, normalise `b ≥ 0`,
 //! 4. phase 1 minimises the sum of one artificial per row,
 //! 5. phase 2 minimises the (sense-normalised) objective.
+//!
+//! [`solve_with_basis`] additionally accepts a [`Basis`] retained from a
+//! previous optimal solve of a same-shaped model. After a pure RHS or bound
+//! patch the old basis stays *dual* feasible, so instead of a phase-1
+//! restart the solver re-installs the basis and repairs primal feasibility
+//! with dual-simplex pivots. Any incompatibility — shape mismatch, singular
+//! basis matrix, lost dual feasibility, iteration trouble — silently falls
+//! back to the cold two-phase path, so a poisoned or stale basis can cost
+//! time but never correctness.
 //!
 //! Problem sizes in this repository are small (≲ 100 structural variables,
 //! ≲ 300 rows), so a dense tableau is the right tool.
@@ -184,11 +193,172 @@ pub fn solve_with_bounds_scratch(
         });
     }
 
-    // Pass 1 — row metadata in shifted space y = x - lower: the constraint
-    // rows' shifted rhs, then one upper-bound row y_i <= u_i - l_i per
-    // finite-width variable. The artificial count (and so the tableau
-    // width) depends on this, hence the separate pass before any
-    // coefficients are written.
+    let (solution, _) = solve_full(model, lower, upper, options, scratch, false)?;
+    Ok(solution)
+}
+
+/// A retained simplex basis: the basic column of every tableau row of a
+/// full-shape solve, in row order.
+///
+/// Columns index the canonical tableau layout ([`build_tableau`]):
+/// structural variables first (`0..num_vars`), then one slack/surplus per
+/// row. A basis extracted from an optimal solve never contains artificial
+/// columns ([`solve_with_basis`] returns `None` instead when one is stuck
+/// basic in a degenerate row). The basis stays installable across any pure
+/// RHS or bound-value patch of the model, because neither changes the
+/// row/column shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row.
+    cols: Vec<usize>,
+    /// Structural-variable count the columns were indexed against.
+    num_vars: usize,
+}
+
+impl Basis {
+    /// The all-slack basis of an `num_vars × num_rows` tableau. Always
+    /// installable on a matching shape but primal- and dual-infeasible for
+    /// most models — the fault-injection suite uses it as a deliberately
+    /// poisoned warm start.
+    #[must_use]
+    pub fn slack(num_vars: usize, num_rows: usize) -> Basis {
+        Basis {
+            cols: (0..num_rows).map(|r| num_vars + r).collect(),
+            num_vars,
+        }
+    }
+
+    /// Rows this basis spans.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Structural-variable count the basis was extracted against.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Whether the basis fits a tableau of the given shape: row and
+    /// structural-variable counts match, every column is structural or
+    /// slack (never artificial), and no column repeats.
+    fn compatible(&self, shape: Shape) -> bool {
+        if self.num_vars != shape.n || self.cols.len() != shape.m {
+            return false;
+        }
+        let mut seen = vec![false; shape.art0];
+        self.cols.iter().all(|&c| {
+            c < shape.art0 && !std::mem::replace(&mut seen[c], true)
+        })
+    }
+}
+
+/// Result of a [`solve_with_basis`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisSolve {
+    /// The optimal LP solution.
+    pub solution: LpSolution,
+    /// The optimal basis, reusable for the next same-shaped solve (`None`
+    /// when a degenerate artificial stayed basic).
+    pub basis: Option<Basis>,
+    /// Whether the warm basis was installed and repaired (`false` means the
+    /// cold two-phase path ran — no warm basis given, or it fell back).
+    pub reused: bool,
+}
+
+/// Solves the LP relaxation at full tableau shape, optionally warm-started
+/// from a retained [`Basis`].
+///
+/// Unlike [`solve_with_bounds_scratch`] this never eliminates fixed
+/// variables, so the tableau shape depends only on the model's row/column
+/// structure — the invariant that makes a basis from one solve installable
+/// in the next after RHS/bound patches. With a compatible warm basis the
+/// solve skips phase 1 entirely: the basis is re-installed by direct
+/// pivoting and primal feasibility is repaired with dual-simplex steps.
+/// Every warm-path failure mode degrades to the cold two-phase solve.
+///
+/// # Errors
+///
+/// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
+/// [`IlpError::IterationLimit`] — all diagnosed by the cold path (the warm
+/// path never reports infeasibility on its own authority).
+pub fn solve_with_basis(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    options: SimplexOptions,
+    scratch: &mut SimplexScratch,
+    warm: Option<&Basis>,
+) -> Result<BasisSolve, IlpError> {
+    let n = model.num_vars();
+    assert_eq!(lower.len(), n, "lower bounds arity");
+    assert_eq!(upper.len(), n, "upper bounds arity");
+    for i in 0..n {
+        if lower[i] > upper[i] + EPS {
+            return Err(IlpError::Infeasible);
+        }
+    }
+    if let Some(basis) = warm {
+        if let Some(solve) = try_warm_solve(model, lower, upper, options, scratch, basis) {
+            return Ok(solve);
+        }
+    }
+    let (solution, basis) = solve_full(model, lower, upper, options, scratch, true)?;
+    Ok(BasisSolve {
+        solution,
+        basis,
+        reused: false,
+    })
+}
+
+/// Tableau geometry computed by [`build_tableau`].
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    /// Structural variables.
+    n: usize,
+    /// Rows (constraints + finite-width bound rows).
+    m: usize,
+    /// First artificial column (also the slack/surplus column count plus
+    /// `n`).
+    art0: usize,
+    /// Artificial columns.
+    n_art: usize,
+    /// Total tableau width, rhs column included.
+    width: usize,
+    /// Right-hand-side column.
+    rhs_col: usize,
+}
+
+/// Whether a row needs an artificial variable to start basic: a `<=` row
+/// whose slack keeps coefficient +1 starts basic on its slack; `>=`/`=`/
+/// negated rows get an artificial.
+fn needs_artificial(relation: Relation, rhs: f64) -> bool {
+    let negated = rhs < 0.0;
+    match relation {
+        Relation::Le => negated,
+        Relation::Ge => !negated,
+        Relation::Eq => true,
+    }
+}
+
+/// Builds the phase-0 tableau into `scratch` and returns its geometry.
+///
+/// Pass 1 collects row metadata in shifted space `y = x - lower`: the
+/// constraint rows' shifted rhs, then one upper-bound row
+/// `y_i <= u_i - l_i` per finite-width variable (zero-width rows included —
+/// pinned variables keep their row so the shape never changes). The
+/// artificial count (and so the tableau width) depends on it, hence the
+/// separate pass before any coefficients are written. Pass 2 fills the
+/// coefficients straight into the pooled tableau rows, normalising every
+/// row to rhs ≥ 0.
+fn build_tableau(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    scratch: &mut SimplexScratch,
+) -> Shape {
+    let n = model.num_vars();
     let SimplexScratch {
         tableau,
         basis,
@@ -213,20 +383,7 @@ pub fn solve_with_bounds_scratch(
     }
 
     let m = row_meta.len();
-    // Normalise every row to rhs >= 0 and decide its initial basis column:
-    // a `<=` row whose slack keeps coefficient +1 starts basic on its slack
-    // (no artificial needed); `>=`/`=`/negated rows get an artificial.
-    // Columns: n structural + m slack/surplus + one artificial per row that
-    // needs one + 1 rhs.
     let slack0 = n;
-    let needs_artificial = |relation: Relation, rhs: f64| {
-        let negated = rhs < 0.0;
-        match relation {
-            Relation::Le => negated,
-            Relation::Ge => !negated,
-            Relation::Eq => true,
-        }
-    };
     let art0 = n + m;
     let n_art = row_meta
         .iter()
@@ -245,7 +402,6 @@ pub fn solve_with_bounds_scratch(
     basis.clear();
     basis.resize(m, usize::MAX);
 
-    // Pass 2 — fill the coefficients straight into the pooled tableau rows.
     let n_constraints = model.constraints().len();
     let mut next_art = art0;
     for (r, &(relation, raw_rhs)) in row_meta.iter().enumerate() {
@@ -277,6 +433,112 @@ pub fn solve_with_bounds_scratch(
         }
     }
     debug_assert_eq!(next_art, art0 + n_art);
+    Shape {
+        n,
+        m,
+        art0,
+        n_art,
+        width,
+        rhs_col,
+    }
+}
+
+/// Installs the sense-normalised phase-2 cost row and prices out the
+/// current basis.
+fn install_cost_row(model: &Model, t: &mut [Vec<f64>], basis: &[usize], shape: Shape) {
+    let minimize = model.sense() == Sense::Minimize;
+    let m = shape.m;
+    let mut cost = vec![0.0; shape.width];
+    for (v, c) in model.objective().terms() {
+        cost[v.index()] = if minimize { c } else { -c };
+    }
+    for j in 0..shape.width {
+        t[m][j] = cost[j];
+    }
+    t[m][shape.rhs_col] = 0.0;
+    for r in 0..m {
+        let cb = cost[basis[r]];
+        if cb != 0.0 {
+            for j in 0..shape.width {
+                t[m][j] -= cb * t[r][j];
+            }
+        }
+    }
+}
+
+/// Extracts the solution (and the reusable basis) from an optimal tableau.
+fn extract(
+    model: &Model,
+    lower: &[f64],
+    t: &[Vec<f64>],
+    basis: &[usize],
+    shape: Shape,
+    iterations: usize,
+    options: SimplexOptions,
+) -> (LpSolution, Option<Basis>) {
+    let Shape {
+        n, m, art0, rhs_col, ..
+    } = shape;
+    let mut y = vec![0.0; n];
+    for r in 0..m {
+        if basis[r] < n {
+            y[basis[r]] = t[r][rhs_col];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
+    let mut objective = model.objective().constant()
+        + model
+            .objective()
+            .terms()
+            .iter()
+            .map(|(v, c)| c * values[v.index()])
+            .sum::<f64>();
+    // Clean tiny noise.
+    if objective.abs() < options.objective_tol {
+        objective = 0.0;
+    }
+    // A degenerate artificial stuck basic (redundant row) makes the basis
+    // unusable as a warm start; hand back `None` rather than a basis that
+    // could never be re-installed.
+    let out = if basis[..m].iter().all(|&b| b < art0) {
+        Some(Basis {
+            cols: basis[..m].to_vec(),
+            num_vars: n,
+        })
+    } else {
+        None
+    };
+    (
+        LpSolution {
+            objective,
+            values,
+            iterations,
+        },
+        out,
+    )
+}
+
+/// Cold full-shape solve: the classic two-phase simplex over
+/// [`build_tableau`], returning the optimal basis alongside the solution.
+fn solve_full(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    options: SimplexOptions,
+    scratch: &mut SimplexScratch,
+    lex: bool,
+) -> Result<(LpSolution, Option<Basis>), IlpError> {
+    let shape = build_tableau(model, lower, upper, scratch);
+    let Shape {
+        m,
+        art0,
+        n_art,
+        width,
+        rhs_col,
+        ..
+    } = shape;
+    let SimplexScratch { tableau, basis, .. } = scratch;
+    let t = &mut tableau[..m + 1];
 
     let mut iters = 0usize;
     if n_art > 0 {
@@ -313,52 +575,247 @@ pub fn solve_with_bounds_scratch(
         }
     }
 
-    // Phase 2 objective.
-    let minimize = model.sense() == Sense::Minimize;
-    let mut cost = vec![0.0; width];
-    for (v, c) in model.objective().terms() {
-        cost[v.index()] = if minimize { c } else { -c };
+    install_cost_row(model, t, basis, shape);
+    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
+    if lex {
+        lex_canonicalize(t, basis, shape, &mut iters, options);
     }
-    for j in 0..width {
-        t[m][j] = cost[j];
+    let (solution, out_basis) = extract(model, lower, t, basis, shape, iters, options);
+    Ok((solution, out_basis))
+}
+
+/// Attempts the warm path: re-install `warm` on a freshly built tableau,
+/// repair primal feasibility with dual-simplex pivots, finish with primal
+/// cleanup. Returns `None` on any incompatibility — the caller then runs
+/// the cold path on a rebuilt tableau, so a bad basis costs time, never
+/// correctness.
+fn try_warm_solve(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    options: SimplexOptions,
+    scratch: &mut SimplexScratch,
+    warm: &Basis,
+) -> Option<BasisSolve> {
+    let shape = build_tableau(model, lower, upper, scratch);
+    if !warm.compatible(shape) {
+        return None;
     }
-    t[m][rhs_col] = 0.0;
-    // Price out current basis.
+    let Shape {
+        m, art0, rhs_col, ..
+    } = shape;
+    let SimplexScratch { tableau, basis, .. } = scratch;
+    let t = &mut tableau[..m + 1];
+
+    // Re-install the basis by direct Gaussian pivoting: each stored column
+    // claims the not-yet-assigned row where it has the largest magnitude.
+    // A near-zero best pivot means the basis matrix went singular under the
+    // patched coefficients — bail out to the cold path.
+    let mut assigned = vec![false; m];
+    for &col in &warm.cols {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if !assigned[r] {
+                let a = t[r][col].abs();
+                if best.is_none_or(|(_, b)| a > b) {
+                    best = Some((r, a));
+                }
+            }
+        }
+        let (r, magnitude) = best?;
+        if magnitude <= options.pivot_tol {
+            return None;
+        }
+        pivot(t, basis, r, col, rhs_col);
+        assigned[r] = true;
+    }
+
+    install_cost_row(model, t, basis, shape);
+
+    // Classify the re-installed vertex. A pure RHS/bound patch keeps the
+    // old optimal basis dual-feasible, so the usual case is a short run of
+    // dual pivots; a basis that lost dual feasibility but kept primal
+    // feasibility is finished by the primal phase below; one that lost both
+    // is not worth repairing.
+    let primal_feasible = |t: &[Vec<f64>]| (0..m).all(|r| t[r][rhs_col] >= -options.feasibility_tol);
+    let dual_feasible = (0..art0).all(|j| t[m][j] >= -EPS);
+    if !primal_feasible(t) {
+        if !dual_feasible {
+            return None;
+        }
+        let mut iters = 0usize;
+        run_dual_simplex(t, basis, m, art0, rhs_col, &mut iters, options).ok()?;
+    }
+
+    // Primal cleanup: a no-op when the dual repair already reached
+    // optimality, otherwise drives out any remaining negative reduced
+    // costs. Errors (unbounded, iteration limit) defer to the cold path.
+    let mut iters = 0usize;
+    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options).ok()?;
+    if !primal_feasible(t) {
+        // Numerically drifted repair: let the cold path decide.
+        return None;
+    }
+    // Land on the same canonical vertex the cold path reports, so basis
+    // reuse can never leak into the returned assignment.
+    lex_canonicalize(t, basis, shape, &mut iters, options);
+    let (solution, out_basis) = extract(model, lower, t, basis, shape, iters, options);
+    Some(BasisSolve {
+        solution,
+        basis: out_basis,
+        reused: true,
+    })
+}
+
+/// Drives an optimal tableau to the lexicographically smallest optimal
+/// vertex: among the columns whose reduced cost is (near) zero — the only
+/// moves that keep the objective optimal — minimise `x_0`, then `x_1`, and
+/// so on, locking each variable's value before the next phase.
+///
+/// Root LPs go through here so the reported vertex is a pure function of
+/// the model, never of the starting basis: a cold two-phase solve and a
+/// basis-repaired re-solve land on the same vertex even when the optimal
+/// face is degenerate. Branch-and-bound's assignment-lexicographic
+/// tie-break relies on that — an alternative optimum surfacing only under
+/// a warm basis would otherwise leak the basis into the final selection.
+/// Node LPs skip it (they never start from a foreign basis, so Bland's
+/// rule already makes them deterministic).
+fn lex_canonicalize(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    shape: Shape,
+    iters: &mut usize,
+    options: SimplexOptions,
+) {
+    let Shape {
+        n, m, art0, rhs_col, ..
+    } = shape;
+    // Columns allowed to enter: zero reduced cost under the (already
+    // optimal) phase-2 objective. Basic columns price to exactly zero, so
+    // the filter naturally keeps them eligible to re-enter after leaving.
+    let mut allowed: Vec<bool> = (0..art0)
+        .map(|j| t[m][j].abs() <= options.objective_tol)
+        .collect();
+    let mut in_basis = vec![false; art0];
     for r in 0..m {
-        let cb = cost[basis[r]];
-        if cb != 0.0 {
-            for j in 0..width {
-                t[m][j] -= cb * t[r][j];
+        if basis[r] < art0 {
+            in_basis[basis[r]] = true;
+        }
+    }
+    // No nonbasic degrees of freedom on the optimal face ⇒ unique vertex.
+    if (0..art0).all(|j| in_basis[j] || !allowed[j]) {
+        return;
+    }
+    let mut s = vec![0.0; shape.width];
+    for j in 0..n {
+        let Some(rj) = (0..m).find(|&r| basis[r] == j) else {
+            // Nonbasic ⇒ already at its (shifted) lower bound, the lex
+            // minimum. Forbid it from entering so later phases keep it there.
+            allowed[j] = false;
+            continue;
+        };
+        // Secondary objective e_j priced out against the basis: minimising
+        // it minimises the basic value x_j without touching the phase-2
+        // objective (pivots are restricted to its zero-reduced-cost columns).
+        for (c, v) in s.iter_mut().enumerate() {
+            *v = -t[rj][c];
+        }
+        s[j] = 0.0;
+        loop {
+            if *iters >= options.max_iterations {
+                return; // give up canonicalising, the vertex is still optimal
+            }
+            let entering = (0..art0).find(|&e| allowed[e] && s[e] < -EPS);
+            let Some(e) = entering else { break };
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..m {
+                let a = t[r][e];
+                if a > EPS {
+                    let ratio = t[r][rhs_col] / a;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - EPS
+                                || ((ratio - lratio).abs() <= EPS && basis[r] < basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((lr, _)) = leave else { break };
+            *iters += 1;
+            pivot(t, basis, lr, e, rhs_col);
+            // Keep the secondary row priced out against the new basis.
+            let factor = s[e];
+            if factor != 0.0 {
+                for (c, v) in s.iter_mut().enumerate() {
+                    *v -= factor * t[lr][c];
+                }
+            }
+        }
+        // Lock x_j: any column that would move it again is banned from
+        // entering in later phases.
+        for (e, ok) in allowed.iter_mut().enumerate() {
+            if *ok && s[e].abs() > options.objective_tol {
+                *ok = false;
             }
         }
     }
+}
 
-    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
-
-    // Extract y values, translate back to x.
-    let mut y = vec![0.0; n];
-    for r in 0..m {
-        if basis[r] < n {
-            y[basis[r]] = t[r][rhs_col];
+/// Runs dual-simplex iterations until primal feasibility is restored.
+///
+/// Requires a dual-feasible cost row. The leaving row is the most negative
+/// rhs (ties to the lowest row index); the entering column minimises the
+/// dual ratio `|reduced cost / pivot|` over the row's negative entries
+/// (ties to the lowest column index — Bland-style, for determinism).
+/// Returns [`IlpError::Infeasible`] when a negative row has no negative
+/// entry; callers on the warm path treat that as a fallback trigger rather
+/// than a verdict.
+fn run_dual_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    m: usize,
+    art_start: usize,
+    rhs_col: usize,
+    iters: &mut usize,
+    options: SimplexOptions,
+) -> Result<(), IlpError> {
+    loop {
+        *iters += 1;
+        if *iters > options.max_iterations {
+            return Err(IlpError::IterationLimit {
+                limit: options.max_iterations,
+            });
         }
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let v = t[r][rhs_col];
+            if v < -options.feasibility_tol && leave.is_none_or(|(_, best)| v < best) {
+                leave = Some((r, v));
+            }
+        }
+        let Some((lr, _)) = leave else {
+            return Ok(()); // primal feasible
+        };
+        let mut enter: Option<(usize, f64)> = None;
+        for j in 0..art_start {
+            let a = t[lr][j];
+            if a < -EPS {
+                let ratio = t[m][j] / -a;
+                if enter.is_none_or(|(ej, best)| ratio < best - EPS || ((ratio - best).abs() <= EPS && j < ej))
+                {
+                    enter = Some((j, ratio));
+                }
+            }
+        }
+        let Some((e, _)) = enter else {
+            return Err(IlpError::Infeasible);
+        };
+        pivot(t, basis, lr, e, rhs_col);
     }
-    let values: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
-    let mut objective = model.objective().constant()
-        + model
-            .objective()
-            .terms()
-            .iter()
-            .map(|(v, c)| c * values[v.index()])
-            .sum::<f64>();
-    // Clean tiny noise.
-    if objective.abs() < options.objective_tol {
-        objective = 0.0;
-    }
-    Ok(LpSolution {
-        objective,
-        values,
-        iterations: iters,
-    })
 }
 
 /// Runs simplex iterations on the tableau until optimality.
@@ -528,7 +985,7 @@ fn solve_reduced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Model, Relation, Sense};
+    use crate::{Model, Relation, Sense, VarId};
 
     fn approx(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
@@ -684,5 +1141,126 @@ mod tests {
             .unwrap();
         let s = solve_relaxation(&m, SimplexOptions::default()).unwrap();
         approx(s.objective, 0.5);
+    }
+
+    /// A small Ge-heavy model exercised by the warm-start tests: the gain
+    /// rows mirror the selector's Eq.2 shape, so an RHS patch is exactly a
+    /// "retarget the required gain" delta.
+    fn gain_model() -> (Model, VarId, VarId) {
+        // min 3x + 2y s.t. 4x + 3y >= rhs0, x + 2y >= 1.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 5.0);
+        let y = m.add_continuous("y", 0.0, 5.0);
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_constraint([(x, 4.0), (y, 3.0)], Relation::Ge, 6.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (y, 2.0)], Relation::Ge, 1.0)
+            .unwrap();
+        (m, x, y)
+    }
+
+    #[test]
+    fn cold_solve_with_basis_matches_two_phase() {
+        let (m, _, _) = gain_model();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        let opts = SimplexOptions::default();
+        let cold = solve_with_bounds(&m, &lower, &upper, opts).unwrap();
+        let mut scratch = SimplexScratch::default();
+        let warm = solve_with_basis(&m, &lower, &upper, opts, &mut scratch, None).unwrap();
+        assert!(!warm.reused);
+        assert!(warm.basis.is_some(), "optimal basis must be retained");
+        approx(warm.solution.objective, cold.objective);
+        for (a, b) in warm.solution.values.iter().zip(&cold.values) {
+            approx(*a, *b);
+        }
+    }
+
+    #[test]
+    fn rhs_patch_resolve_with_basis_matches_cold() {
+        let (mut m, _, _) = gain_model();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        let opts = SimplexOptions::default();
+        let mut scratch = SimplexScratch::default();
+        let first = solve_with_basis(&m, &lower, &upper, opts, &mut scratch, None).unwrap();
+        let basis = first.basis.expect("retained basis");
+        // Patch both gain rows (tighten one, relax the other) and re-solve.
+        m.set_constraint_rhs(0, 9.5).unwrap();
+        m.set_constraint_rhs(1, 0.25).unwrap();
+        let warm = solve_with_basis(&m, &lower, &upper, opts, &mut scratch, Some(&basis)).unwrap();
+        let cold = solve_with_bounds(&m, &lower, &upper, opts).unwrap();
+        assert!(warm.reused, "dual repair must accept a same-shape basis");
+        approx(warm.solution.objective, cold.objective);
+        for (a, b) in warm.solution.values.iter().zip(&cold.values) {
+            approx(*a, *b);
+        }
+    }
+
+    #[test]
+    fn bound_pin_resolve_with_basis_matches_cold() {
+        let (m, _, _) = gain_model();
+        let opts = SimplexOptions::default();
+        let mut scratch = SimplexScratch::default();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        let first = solve_with_basis(&m, &lower, &upper, opts, &mut scratch, None).unwrap();
+        let basis = first.basis.expect("retained basis");
+        // Pin x to zero (a retired-column delta) — same tableau shape, so
+        // the stale basis installs and repairs.
+        let pinned_upper = vec![0.0, 5.0];
+        let warm =
+            solve_with_basis(&m, &lower, &pinned_upper, opts, &mut scratch, Some(&basis)).unwrap();
+        let cold = solve_with_bounds(&m, &lower, &pinned_upper, opts).unwrap();
+        approx(warm.solution.objective, cold.objective);
+        approx(warm.solution.values[0], 0.0);
+        for (a, b) in warm.solution.values.iter().zip(&cold.values) {
+            approx(*a, *b);
+        }
+    }
+
+    #[test]
+    fn poisoned_basis_falls_back_to_cold() {
+        let (m, _, _) = gain_model();
+        let opts = SimplexOptions::default();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        let cold = solve_with_bounds(&m, &lower, &upper, opts).unwrap();
+        let mut scratch = SimplexScratch::default();
+        // 2 structural vars, 2 constraint rows + 2 bound rows: the
+        // all-slack basis installs (and, being dual-feasible for a
+        // min-cost model, may legitimately be repaired); a wrong-shape
+        // basis is rejected outright. Either way the answer must equal the
+        // cold one, never a spurious infeasible.
+        for poison in [Basis::slack(2, 4), Basis::slack(3, 7)] {
+            let got =
+                solve_with_basis(&m, &lower, &upper, opts, &mut scratch, Some(&poison)).unwrap();
+            approx(got.solution.objective, cold.objective);
+            for (a, b) in got.solution.values.iter().zip(&cold.values) {
+                approx(*a, *b);
+            }
+        }
+        let wrong_shape = Basis::slack(3, 7);
+        let got =
+            solve_with_basis(&m, &lower, &upper, opts, &mut scratch, Some(&wrong_shape)).unwrap();
+        assert!(!got.reused, "wrong-shape basis must fall back cold");
+    }
+
+    #[test]
+    fn warm_infeasible_patch_reports_infeasible_via_cold_path() {
+        let (mut m, _, _) = gain_model();
+        let opts = SimplexOptions::default();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        let mut scratch = SimplexScratch::default();
+        let first = solve_with_basis(&m, &lower, &upper, opts, &mut scratch, None).unwrap();
+        let basis = first.basis.expect("retained basis");
+        // Push the first gain row beyond any reachable value: 4x+3y <= 35.
+        m.set_constraint_rhs(0, 100.0).unwrap();
+        assert_eq!(
+            solve_with_basis(&m, &lower, &upper, opts, &mut scratch, Some(&basis)),
+            Err(IlpError::Infeasible),
+            "infeasibility must be diagnosed by the cold path"
+        );
     }
 }

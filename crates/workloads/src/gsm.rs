@@ -286,8 +286,8 @@ pub fn encoder() -> Workload {
     debug_assert_eq!(instance.scalls.len() - 1, 18, "encoder has 18 s-calls");
 
     Workload {
-        instance,
-        imps: ImpDb::from_imps(imps),
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(ImpDb::from_imps(imps)),
         rg_sweep: [
             47_740u64, 95_480, 143_221, 190_961, 238_702, 286_442, 334_182, 381_923,
         ]
@@ -481,8 +481,8 @@ pub fn decoder() -> Workload {
     debug_assert_eq!(instance.library.len(), 11, "10 IPs + placeholder");
 
     Workload {
-        instance,
-        imps: ImpDb::from_imps(imps),
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(ImpDb::from_imps(imps)),
         rg_sweep: [
             22_240u64, 44_481, 111_203, 133_444, 155_684, 177_925, 200_166, 211_286,
         ]

@@ -154,8 +154,8 @@ pub fn encoder() -> Workload {
     debug_assert_eq!(imps.len(), 9, "7 dct2d + 2 zig_zag IMPs");
 
     Workload {
-        instance,
-        imps: ImpDb::from_imps(imps),
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(ImpDb::from_imps(imps)),
         rg_sweep: [
             12_157_384u64,
             20_262_307,
@@ -286,8 +286,8 @@ pub fn encoder_hierarchical() -> Workload {
     let flat = flatten(&db, &specs, FlattenLimits::default());
 
     Workload {
-        instance,
-        imps: flat,
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(flat),
         rg_sweep: [12_157_384u64, 20_262_307, 37_000_000]
             .into_iter()
             .map(Cycles)

@@ -28,12 +28,18 @@ pub mod synth;
 pub mod toy;
 
 /// A workload: the problem instance plus its IMP database.
+///
+/// Both are held behind `Arc` handles: a workload is built once and then
+/// fanned out across sweeps, batches and benchmark repetitions, so cloning
+/// a workload (or passing `imps.clone()` to
+/// [`partita_core::Solver::with_imps`]) copies pointers, never the
+/// instance or the database.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// The selection-problem instance.
-    pub instance: partita_core::Instance,
+    pub instance: std::sync::Arc<partita_core::Instance>,
     /// The implementation-method database.
-    pub imps: partita_core::ImpDb,
+    pub imps: std::sync::Arc<partita_core::ImpDb>,
     /// The required-gain sweep the paper's table uses (RG column).
     pub rg_sweep: Vec<partita_mop::Cycles>,
 }

@@ -127,8 +127,8 @@ pub fn generate(params: SynthParams) -> Workload {
     let rg_sweep = (1..=4).map(|k| Cycles(max_gain * k / 5)).collect();
 
     Workload {
-        instance,
-        imps,
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
         rg_sweep,
     }
 }

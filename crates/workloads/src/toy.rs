@@ -143,8 +143,8 @@ pub fn workload() -> Workload {
         })
         .sum();
     Workload {
-        instance,
-        imps,
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
         rg_sweep: vec![Cycles(max / 4), Cycles(max / 2), Cycles(3 * max / 4)],
     }
 }

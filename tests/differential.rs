@@ -179,3 +179,80 @@ fn session_cache_agrees_with_uncached_solver_on_corpus() {
         "session corpus too small: {compared} compared"
     );
 }
+
+/// The incremental re-solve layer against the uncached solver, over the
+/// corpus: a `DeltaSession` walking a workload's RG sweep via `SetRg`
+/// patches (basis repair + incumbent seeding enabled) must return, at
+/// every point, the identical selection a cold `Solver::solve` of the
+/// patched options produces — and it must pass the independent audit.
+#[test]
+fn delta_session_agrees_with_cold_solver_on_corpus() {
+    use partita::core::{DeltaSession, InstanceDelta};
+
+    let mut compared = 0usize;
+    for seed in 0..20u64 {
+        let w = generate(SynthParams {
+            scalls: 3 + (seed % 3) as usize,
+            ips: 2 + (seed % 2) as usize,
+            paths: 1 + (seed % 2) as usize,
+            seed,
+        });
+        let base = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[0]));
+        let mut session = match DeltaSession::new(
+            std::sync::Arc::clone(&w.instance),
+            std::sync::Arc::clone(&w.imps),
+            base,
+        ) {
+            Ok(s) => s,
+            // A seed can produce an empty IMP database; nothing to compare.
+            Err(CoreError::NoImps) => continue,
+            Err(e) => panic!("formulation failed at seed {seed}: {e}"),
+        };
+        // Walk the sweep high-to-low then back up: descending points are
+        // the chained-sweep shape, the final ascent exercises re-tightening
+        // a previously relaxed requirement on the same retained basis.
+        let mut points: Vec<_> = w.rg_sweep.clone();
+        points.reverse();
+        points.extend(w.rg_sweep.iter().copied());
+        for (i, &rg) in points.iter().enumerate() {
+            let ctx = format!("seed {seed}, point {i}, RG {}", rg.get());
+            session
+                .apply(InstanceDelta::SetRg(RequiredGains::uniform(rg)))
+                .expect("SetRg patch");
+            let warm = session.resolve();
+            let cold = Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(session.options());
+            match (&warm, &cold) {
+                (Ok(w_sel), Ok(c_sel)) => {
+                    assert_eq!(w_sel.chosen(), c_sel.chosen(), "{ctx}: chosen diverged");
+                    assert_eq!(
+                        w_sel.total_area(),
+                        c_sel.total_area(),
+                        "{ctx}: area diverged"
+                    );
+                    assert_eq!(w_sel.status, c_sel.status, "{ctx}: status diverged");
+                    let report = SelectionAuditor::new(&w.instance, &w.imps)
+                        .audit(w_sel, session.options());
+                    assert!(
+                        report.is_clean(),
+                        "{ctx}: audit violations {}",
+                        report.to_json()
+                    );
+                    compared += 1;
+                }
+                (
+                    Err(CoreError::Infeasible { .. }),
+                    Err(CoreError::Infeasible { .. }),
+                ) => {
+                    compared += 1;
+                }
+                other => panic!("{ctx}: delta vs cold diverged: {other:?}"),
+            }
+        }
+    }
+    assert!(
+        compared >= 50,
+        "delta corpus too small: {compared} compared (grow the seed range)"
+    );
+}
