@@ -44,12 +44,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("selector_scaling");
     group.sample_size(10);
     for scalls in [8usize, 16, 24] {
-        let w = generate(SynthParams {
-            scalls,
-            ips: scalls / 2,
-            paths: 2,
-            seed: 99,
-        });
+        let w = generate(SynthParams::sized(scalls, scalls / 2, 2, 99));
         let rg = w.rg_sweep[1];
         group.bench_with_input(BenchmarkId::new("ilp", scalls), &w, |b, w| {
             b.iter(|| {

@@ -52,24 +52,14 @@ fn main() {
 
     println!("\nrandom instances (seeded):");
     for seed in [1u64, 2, 3] {
-        let w = synth::generate(synth::SynthParams {
-            scalls: 14,
-            ips: 10,
-            paths: 2,
-            seed,
-        });
+        let w = synth::generate(synth::SynthParams::sized(14, 10, 2, seed));
         let rg = w.rg_sweep[1];
         run_one(&format!("synth(seed={seed})"), &w, rg);
     }
 
     println!("\nsolver scaling (s-calls -> solve time, 5 s deadline per point):");
     for n in [8usize, 12, 16, 20, 24] {
-        let w = synth::generate(synth::SynthParams {
-            scalls: n,
-            ips: n / 2,
-            paths: 2,
-            seed: 99,
-        });
+        let w = synth::generate(synth::SynthParams::sized(n, n / 2, 2, 99));
         let opts = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[1]))
             .budget(SolveBudget::default().with_deadline(Duration::from_secs(5)));
         let t0 = Instant::now();
@@ -86,12 +76,7 @@ fn main() {
     }
 
     warm_start_sweep("GSM encoder", &gsm::encoder());
-    let synth3 = synth::generate(synth::SynthParams {
-        scalls: 14,
-        ips: 10,
-        paths: 2,
-        seed: 3,
-    });
+    let synth3 = synth::generate(synth::SynthParams::sized(14, 10, 2, 3));
     warm_start_sweep("synth(seed=3)", &synth3);
 
     thread_scaling();
@@ -160,12 +145,7 @@ fn sweep_orchestration() {
 /// the invariant this section enforces is identical results, not a ratio.
 fn thread_scaling() {
     println!("\nthread scaling (synth 16 s-calls, area at every count must match):");
-    let w = synth::generate(synth::SynthParams {
-        scalls: 16,
-        ips: 8,
-        paths: 2,
-        seed: 99,
-    });
+    let w = synth::generate(synth::SynthParams::sized(16, 8, 2, 99));
     let rg = w.rg_sweep[1];
     let mut base: Option<(partita_mop::AreaTenths, Duration)> = None;
     for threads in [1usize, 2, 4, 8] {

@@ -1,0 +1,84 @@
+//! Corpus-manifest maintenance: rebuilds the population defined by
+//! `partita_workloads::corpus::population()`, computes fresh content
+//! digests and either checks them against the committed manifest (default)
+//! or rewrites it (`--write`).
+//!
+//! ```text
+//! cargo run --release -p partita-bench --bin corpus            # check
+//! cargo run --release -p partita-bench --bin corpus -- --write # regenerate
+//! ```
+//!
+//! The check mode exits nonzero on any drift, mirroring what the corpus
+//! gate in `tests/corpus_gate.rs` asserts — run `--write` and review the
+//! manifest diff whenever a generator or family change is intended.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use partita_workloads::corpus;
+
+fn manifest_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/manifest.json")
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write");
+    let fresh = corpus::regenerate();
+    let rendered = corpus::render_manifest(&fresh);
+    let path = manifest_path();
+
+    let gated = fresh.iter().filter(|e| e.gated).count();
+    println!(
+        "corpus population: {} entries ({} ungated, {} gated)",
+        fresh.len(),
+        fresh.len() - gated,
+        gated
+    );
+
+    if write {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let committed = match corpus::manifest() {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("committed manifest is unreadable: {e}");
+            eprintln!("run with --write to regenerate it");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut drift = 0usize;
+    for f in &fresh {
+        match committed.iter().find(|c| c.id == f.id) {
+            None => {
+                println!("  missing from manifest: {}", f.id);
+                drift += 1;
+            }
+            Some(c) if c != f => {
+                println!(
+                    "  drift: {} (manifest {:016x}, rebuilt {:016x})",
+                    f.id, c.digest, f.digest
+                );
+                drift += 1;
+            }
+            Some(_) => {}
+        }
+    }
+    for c in &committed {
+        if !fresh.iter().any(|f| f.id == c.id) {
+            println!("  stale manifest entry: {}", c.id);
+            drift += 1;
+        }
+    }
+    if drift > 0 {
+        eprintln!("{drift} entries drifted; run with --write and review the diff");
+        return ExitCode::FAILURE;
+    }
+    println!("manifest is in sync");
+    ExitCode::SUCCESS
+}

@@ -276,12 +276,9 @@ mod tests {
         // Root probing against the greedy incumbent narrows the tree on this
         // seeded synthetic workload's sweep point; the reduction must be
         // strict, and both runs must agree on the optimum.
-        let w = partita_workloads::synth::generate(partita_workloads::synth::SynthParams {
-            scalls: 14,
-            ips: 10,
-            paths: 2,
-            seed: 3,
-        });
+        let w = partita_workloads::synth::generate(partita_workloads::synth::SynthParams::sized(
+            12, 8, 2, 99,
+        ));
         let rg = w.rg_sweep[2];
         let solve = |warm: bool| {
             Solver::new(&w.instance)

@@ -22,7 +22,7 @@ use partita_core::{
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
 use partita_mop::{AreaTenths, Cycles};
-use partita_workloads::{gsm, jpeg, Workload};
+use partita_workloads::{corpus, gsm, jpeg, Workload};
 
 /// Report schema version (independent of the telemetry event schema).
 pub const SUITE_SCHEMA: u32 = 1;
@@ -206,13 +206,41 @@ pub struct ResolveResult {
     pub cold_p50_us: u64,
 }
 
+/// One corpus group's gate run: every manifest entry of a
+/// `family[:preset]` group rebuilt through its pinned digest and solved at
+/// its mid-sweep requirement (single-threaded branch-and-bound for the
+/// optimally-solvable groups, the deterministic greedy baseline for
+/// `table`/`x10` scale). The run itself asserts digests and audits; the
+/// report carries the portable tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusResult {
+    /// Manifest entries in the group.
+    pub entries: u64,
+    /// Entries whose mid-sweep solve produced a selection.
+    pub solved: u64,
+    /// Entries that reported a typed infeasibility (portable: the corpus
+    /// is committed, so this count is exact).
+    pub infeasible: u64,
+    /// Total gain across solved entries (portable).
+    pub gain: u64,
+    /// Total area across solved entries, in tenths (portable).
+    pub area_tenths: i64,
+    /// Total branch-and-bound nodes at one thread (portable; 0 for the
+    /// greedy-backed scale groups).
+    pub nodes: u64,
+    /// Total wall time of the group, microseconds (machine-dependent).
+    pub wall_us: u64,
+}
+
 /// A full benchsuite run: config keys (sorted) mapped to results, plus the
-/// incremental re-solve section (Tables 1–3; empty in quick mode before
-/// schema additions, or when parsed from an older report).
+/// corpus-gate and incremental re-solve sections (both additive: reports
+/// written before a section existed parse to an empty one).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SuiteReport {
     /// `(key, result)` pairs, sorted by key.
     pub configs: Vec<(String, ConfigResult)>,
+    /// `(corpus group key, gate tallies)` pairs, sorted by key.
+    pub corpus: Vec<(String, CorpusResult)>,
     /// `(workload key, resolve benchmark)` pairs, sorted by key.
     pub resolve: Vec<(String, ResolveResult)>,
 }
@@ -305,8 +333,7 @@ fn run_resolve(w: &Workload) -> ResolveResult {
     let mut cold_lat = Vec::new();
     let (mut cold_nodes, mut delta_nodes, mut basis_reused) = (0u64, 0u64, 0u64);
     for rep in 0..RESOLVE_REPS {
-        let opts = SolveOptions::problem2(RequiredGains::uniform(points[0]))
-            .budget(budget);
+        let opts = SolveOptions::problem2(RequiredGains::uniform(points[0])).budget(budget);
         let mut session = DeltaSession::new(w.instance.clone(), w.imps.clone(), opts)
             .unwrap_or_else(|e| panic!("{name}: resolve-bench formulation failed: {e}"));
         for (i, &rg) in points.iter().enumerate() {
@@ -316,9 +343,9 @@ fn run_resolve(w: &Workload) -> ResolveResult {
                     .expect("SetRg is a pure RHS patch");
             }
             let started = Instant::now();
-            let warm = session
-                .resolve()
-                .unwrap_or_else(|e| panic!("{name}: delta re-solve failed at RG {}: {e}", rg.get()));
+            let warm = session.resolve().unwrap_or_else(|e| {
+                panic!("{name}: delta re-solve failed at RG {}: {e}", rg.get())
+            });
             delta_lat.push(elapsed_us(started));
             let started = Instant::now();
             let cold = Solver::new(&w.instance)
@@ -332,11 +359,15 @@ fn run_resolve(w: &Workload) -> ResolveResult {
                 "{name}: delta selection diverged from cold at RG {}",
                 rg.get()
             );
-            assert_eq!(warm.total_area(), cold.total_area(), "{name}: area diverged");
+            assert_eq!(
+                warm.total_area(),
+                cold.total_area(),
+                "{name}: area diverged"
+            );
             assert_eq!(warm.status, cold.status, "{name}: status diverged");
             if rep == 0 {
-                let report = SelectionAuditor::new(&w.instance, &w.imps)
-                    .audit(&warm, session.options());
+                let report =
+                    SelectionAuditor::new(&w.instance, &w.imps).audit(&warm, session.options());
                 assert!(
                     report.is_clean(),
                     "{name}: delta re-solve failed the audit at RG {}: {}",
@@ -360,6 +391,94 @@ fn run_resolve(w: &Workload) -> ResolveResult {
     }
 }
 
+/// Corpus groups whose worst-case optimal solve is minutes, not
+/// milliseconds: these run the deterministic greedy baseline instead.
+fn corpus_group_is_heuristic(group: &str) -> bool {
+    matches!(group, "synth:table" | "synth:x10" | "synth:x100")
+}
+
+/// The manifest group key of a corpus entry: `synth:<preset>` or the
+/// family name.
+fn corpus_group(entry: &corpus::ManifestEntry) -> String {
+    if entry.preset.is_empty() {
+        entry.family.clone()
+    } else {
+        format!("{}:{}", entry.family, entry.preset)
+    }
+}
+
+/// Runs the corpus gate section: every ungated manifest entry of the
+/// selected groups rebuilt through its digest, solved at mid-sweep and
+/// audited. Quick mode keeps the `synth:small` + `synth:table` groups (one
+/// optimal, one heuristic); the full run covers every ungated group.
+///
+/// Panics on a manifest parse failure, digest mismatch, audit violation or
+/// unexpected solver error — the benchmark doubles as the corpus gate.
+fn run_corpus(quick: bool) -> Vec<(String, CorpusResult)> {
+    let entries = corpus::manifest().expect("tests/corpus/manifest.json parses");
+    let mut groups: Vec<(String, Vec<corpus::ManifestEntry>)> = Vec::new();
+    for entry in entries.into_iter().filter(|e| !e.gated) {
+        let key = corpus_group(&entry);
+        if quick && key != "synth:small" && key != "synth:table" {
+            continue;
+        }
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, list)) => list.push(entry),
+            None => groups.push((key, vec![entry])),
+        }
+    }
+    let mut out = Vec::new();
+    for (key, list) in groups {
+        let heuristic = corpus_group_is_heuristic(&key);
+        let mut result = CorpusResult {
+            entries: list.len() as u64,
+            solved: 0,
+            infeasible: 0,
+            gain: 0,
+            area_tenths: 0,
+            nodes: 0,
+            wall_us: 0,
+        };
+        let started = Instant::now();
+        for entry in &list {
+            let w = entry
+                .verify()
+                .unwrap_or_else(|e| panic!("corpus gate: {e}"));
+            let rg = w.rg_sweep[w.rg_sweep.len() / 2];
+            let mut opts = SolveOptions::problem2(RequiredGains::uniform(rg))
+                .budget(SolveBudget::default().with_threads(1));
+            if heuristic {
+                opts = opts.backend(partita_core::Backend::Greedy);
+            }
+            match Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&opts)
+            {
+                Ok(sel) => {
+                    let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+                    assert!(
+                        report.is_clean(),
+                        "corpus gate: {} failed the audit: {}",
+                        entry.id,
+                        report.to_json()
+                    );
+                    result.solved += 1;
+                    result.gain += sel.total_gain().get();
+                    result.area_tenths += sel.total_area().tenths();
+                    result.nodes += sel.trace.nodes_explored as u64;
+                }
+                Err(
+                    partita_core::CoreError::Infeasible { .. } | partita_core::CoreError::NoImps,
+                ) => result.infeasible += 1,
+                Err(e) => panic!("corpus gate: {} unexpected solver error: {e}", entry.id),
+            }
+        }
+        result.wall_us = elapsed_us(started);
+        out.push((key, result));
+    }
+    out
+}
+
 /// Runs the whole suite per `config` and returns the report, configs
 /// sorted by key.
 #[must_use]
@@ -379,9 +498,15 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
             resolve.push((name.to_string(), run_resolve(&w)));
         }
     }
+    let mut corpus = run_corpus(config.quick);
     configs.sort_by(|a, b| a.0.cmp(&b.0));
+    corpus.sort_by(|a, b| a.0.cmp(&b.0));
     resolve.sort_by(|a, b| a.0.cmp(&b.0));
-    SuiteReport { configs, resolve }
+    SuiteReport {
+        configs,
+        corpus,
+        resolve,
+    }
 }
 
 fn opt_u64_json(v: Option<u64>) -> String {
@@ -434,6 +559,30 @@ impl SuiteReport {
                 c.wall_us,
                 opt_u64_json(c.machine_nodes),
                 opt_u64_json(c.peak_rss_kb),
+                if i + 1 == sorted.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  },\n  \"corpus\": {\n");
+        let mut sorted: Vec<&(String, CorpusResult)> = self.corpus.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (key, c)) in sorted.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    \"{}\": {{\n",
+                    "      \"portable\": {{\"entries\":{},\"solved\":{},",
+                    "\"infeasible\":{},\"gain\":{},\"area_tenths\":{},",
+                    "\"nodes\":{}}},\n",
+                    "      \"machine\": {{\"wall_us\":{}}}\n",
+                    "    }}{}\n"
+                ),
+                key,
+                c.entries,
+                c.solved,
+                c.infeasible,
+                c.gain,
+                c.area_tenths,
+                c.nodes,
+                c.wall_us,
                 if i + 1 == sorted.len() { "" } else { "," },
             ));
         }
@@ -530,6 +679,33 @@ impl SuiteReport {
             ));
         }
         configs.sort_by(|a, b| a.0.cmp(&b.0));
+        // The corpus section is additive: reports written before it existed
+        // parse to an empty section.
+        let mut corpus = Vec::new();
+        if let Some(corpus_obj) = doc.get("corpus") {
+            for (key, c) in corpus_obj.entries().ok_or("corpus not an object")? {
+                let portable = c.get("portable").ok_or("missing corpus portable")?;
+                let machine = c.get("machine").ok_or("missing corpus machine")?;
+                let get = |obj: &JsonValue, k: &str| -> Result<u64, String> {
+                    obj.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("missing corpus {k}"))
+                };
+                corpus.push((
+                    key.clone(),
+                    CorpusResult {
+                        entries: get(portable, "entries")?,
+                        solved: get(portable, "solved")?,
+                        infeasible: get(portable, "infeasible")?,
+                        gain: get(portable, "gain")?,
+                        area_tenths: get(portable, "area_tenths")? as i64,
+                        nodes: get(portable, "nodes")?,
+                        wall_us: get(machine, "wall_us")?,
+                    },
+                ));
+            }
+        }
+        corpus.sort_by(|a, b| a.0.cmp(&b.0));
         // The resolve section is additive: reports written before it
         // existed parse to an empty section.
         let mut resolve = Vec::new();
@@ -557,7 +733,11 @@ impl SuiteReport {
             }
         }
         resolve.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(SuiteReport { configs, resolve })
+        Ok(SuiteReport {
+            configs,
+            corpus,
+            resolve,
+        })
     }
 }
 
@@ -570,7 +750,10 @@ impl SuiteReport {
 /// * any single-threaded **node-count** growth (strict: the search is
 ///   deterministic at one thread, so even +1 node is a real change);
 /// * **wall time** beyond `baseline * (1 + wall_threshold)` *and* beyond
-///   an absolute [`WALL_NOISE_FLOOR_US`] above the baseline.
+///   an absolute [`WALL_NOISE_FLOOR_US`] above the baseline;
+/// * a **corpus group** missing from the current run, or any drift in its
+///   portable tallies (entry/feasibility counts, total gain/area, or
+///   node-count growth).
 #[must_use]
 pub fn compare_reports(
     baseline: &SuiteReport,
@@ -603,6 +786,28 @@ pub fn compare_reports(
             ));
         }
     }
+    // Corpus gates: the corpus is committed (manifest-pinned digests), so
+    // every portable tally is exact — group membership, feasibility split,
+    // total gain/area and single-threaded node counts must all reproduce.
+    for (key, base) in &baseline.corpus {
+        let Some((_, cur)) = current.corpus.iter().find(|(k, _)| k == key) else {
+            regressions.push(format!("corpus/{key}: group missing from current run"));
+            continue;
+        };
+        if (cur.entries, cur.solved, cur.infeasible) != (base.entries, base.solved, base.infeasible)
+        {
+            regressions.push(format!("corpus/{key}: entry/feasibility tallies drifted"));
+        }
+        if (cur.gain, cur.area_tenths) != (base.gain, base.area_tenths) {
+            regressions.push(format!("corpus/{key}: portable selection quality drifted"));
+        }
+        if cur.nodes > base.nodes {
+            regressions.push(format!(
+                "corpus/{key}: node count regressed {} -> {}",
+                base.nodes, cur.nodes
+            ));
+        }
+    }
     // Incremental re-solve gates. Portable drift is measured against the
     // baseline (when it has a resolve section); the node-saving property is
     // self-contained, so it gates the *current* run outright: per workload
@@ -613,14 +818,17 @@ pub fn compare_reports(
             regressions.push(format!("resolve/{key}: missing from current run"));
             continue;
         };
-        if (cur.points, cur.cold_nodes, cur.delta_nodes, cur.basis_reused)
-            != (
-                base.points,
-                base.cold_nodes,
-                base.delta_nodes,
-                base.basis_reused,
-            )
-        {
+        if (
+            cur.points,
+            cur.cold_nodes,
+            cur.delta_nodes,
+            cur.basis_reused,
+        ) != (
+            base.points,
+            base.cold_nodes,
+            base.delta_nodes,
+            base.basis_reused,
+        ) {
             regressions.push(format!("resolve/{key}: portable resolve counters drifted"));
         }
     }

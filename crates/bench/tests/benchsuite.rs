@@ -158,6 +158,95 @@ fn resolve_section_saves_nodes_and_gates_regressions() {
 }
 
 #[test]
+fn corpus_section_covers_quick_groups_and_gates_regressions() {
+    let baseline = quick_report();
+    // Quick mode runs one optimal group and one heuristic group.
+    let keys: Vec<&str> = baseline.corpus.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["synth:small", "synth:table"]);
+    for (key, c) in &baseline.corpus {
+        assert!(c.entries > 0, "{key}: empty corpus group");
+        assert_eq!(
+            c.solved + c.infeasible,
+            c.entries,
+            "{key}: every entry is either solved or typed-infeasible"
+        );
+        assert!(c.solved > 0, "{key}: no entry solved at mid-sweep");
+    }
+    let small = &baseline.corpus[0].1;
+    let table = &baseline.corpus[1].1;
+    assert!(
+        small.nodes > 0,
+        "synth:small runs branch-and-bound, so nodes are counted"
+    );
+    assert_eq!(
+        table.nodes, 0,
+        "synth:table runs greedy, which explores no nodes"
+    );
+
+    // A corpus group the baseline had must not vanish.
+    let mut current = baseline.clone();
+    current.corpus.remove(1);
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("corpus/synth:table") && m.contains("missing")),
+        "{regressions:?}"
+    );
+
+    // Feasibility split drift is a regression.
+    let mut current = baseline.clone();
+    current.corpus[0].1.solved -= 1;
+    current.corpus[0].1.infeasible += 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("entry/feasibility tallies drifted")),
+        "{regressions:?}"
+    );
+
+    // Selection-quality drift is a regression.
+    let mut current = baseline.clone();
+    current.corpus[0].1.gain += 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("portable selection quality drifted")),
+        "{regressions:?}"
+    );
+
+    // Node growth is a regression; node savings are not.
+    let mut current = baseline.clone();
+    current.corpus[0].1.nodes += 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("corpus/synth:small") && m.contains("node count regressed")),
+        "{regressions:?}"
+    );
+    let mut current = baseline.clone();
+    current.corpus[0].1.nodes = current.corpus[0].1.nodes.saturating_sub(1);
+    assert!(compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD).is_empty());
+}
+
+#[test]
+fn reports_without_a_corpus_section_still_parse() {
+    let baseline = quick_report();
+    let rendered = baseline.to_json();
+    let idx = rendered
+        .find(",\n  \"corpus\"")
+        .expect("rendered report has a corpus section");
+    let legacy = format!("{}\n}}\n", &rendered[..idx]);
+    let parsed = SuiteReport::from_json(&legacy).expect("pre-corpus reports parse");
+    assert!(parsed.corpus.is_empty());
+    assert!(parsed.resolve.is_empty());
+    assert_eq!(parsed.configs, baseline.configs);
+}
+
+#[test]
 fn reports_without_a_resolve_section_still_parse() {
     let baseline = quick_report();
     let rendered = baseline.to_json();

@@ -9,12 +9,7 @@ use partita_workloads::synth;
 
 #[test]
 fn thread_scaling_instance_completes_and_is_deterministic() {
-    let w = synth::generate(synth::SynthParams {
-        scalls: 16,
-        ips: 8,
-        paths: 2,
-        seed: 99,
-    });
+    let w = synth::generate(synth::SynthParams::sized(16, 8, 2, 99));
     let rg = w.rg_sweep[1];
     let mut area = None;
     for threads in [1usize, 4] {

@@ -7,8 +7,8 @@
 //! types — and re-solves. Structurally the patched problem is almost the
 //! old one, and [`DeltaSession`] exploits that at three layers:
 //!
-//! 1. **Model patching.** The session formulates once through
-//!    [`crate::formulate`]'s delta mode: every path's gain row is emitted
+//! 1. **Model patching.** The session formulates once through the
+//!    formulation layer's delta mode: every path's gain row is emitted
 //!    (indexed) even at requirement zero, and every IMP keeps a column.
 //!    A required-gain edit then touches only right-hand sides; retiring or
 //!    restoring IMPs touches only variable bounds. The constraint matrix
@@ -247,7 +247,11 @@ impl DeltaSession {
                         rows += 1;
                     }
                 }
-                let mode = if self.needs_rebuild { "rebuild" } else { "patch" };
+                let mode = if self.needs_rebuild {
+                    "rebuild"
+                } else {
+                    "patch"
+                };
                 self.emit_patch(op, mode, rows, 0);
             }
             InstanceDelta::RemoveIp(ip) => {
@@ -277,9 +281,7 @@ impl DeltaSession {
                     .db
                     .imps()
                     .iter()
-                    .filter(|imp| {
-                        imp.interface == kind && self.db.is_active(imp.id) != enabled
-                    })
+                    .filter(|imp| imp.interface == kind && self.db.is_active(imp.id) != enabled)
                     .map(|imp| imp.id)
                     .collect();
                 self.retire_cols(op, &ids, !enabled)?;
@@ -331,7 +333,11 @@ impl DeltaSession {
                 }
             }
         }
-        let mode = if self.needs_rebuild { "rebuild" } else { "patch" };
+        let mode = if self.needs_rebuild {
+            "rebuild"
+        } else {
+            "patch"
+        };
         self.emit_patch(op, mode, 0, cols);
         Ok(())
     }
@@ -505,9 +511,12 @@ mod tests {
     #[test]
     fn set_rg_is_an_rhs_patch_that_matches_cold() {
         let (inst, db) = rig("rg");
-        let mut s =
-            DeltaSession::new(inst, db, SolveOptions::problem2(RequiredGains::uniform(Cycles(600))))
-                .unwrap();
+        let mut s = DeltaSession::new(
+            inst,
+            db,
+            SolveOptions::problem2(RequiredGains::uniform(Cycles(600))),
+        )
+        .unwrap();
         let first = s.resolve().unwrap();
         assert_matches_cold(&first, &s);
         for rg in [1200u64, 1800, 2400, 600] {
@@ -523,9 +532,12 @@ mod tests {
     #[test]
     fn chained_rg_patches_reuse_the_basis() {
         let (inst, db) = rig("basis");
-        let mut s =
-            DeltaSession::new(inst, db, SolveOptions::problem2(RequiredGains::uniform(Cycles(2400))))
-                .unwrap();
+        let mut s = DeltaSession::new(
+            inst,
+            db,
+            SolveOptions::problem2(RequiredGains::uniform(Cycles(2400))),
+        )
+        .unwrap();
         s.resolve().unwrap();
         let mut reused = 0;
         for rg in [1800u64, 1200, 600] {
@@ -542,9 +554,12 @@ mod tests {
     fn remove_ip_retires_columns_and_matches_cold() {
         let (inst, db) = rig("rm");
         let cheap = inst.library.block_by_name("fir_cheap").unwrap().id();
-        let mut s =
-            DeltaSession::new(inst, db, SolveOptions::problem2(RequiredGains::uniform(Cycles(1800))))
-                .unwrap();
+        let mut s = DeltaSession::new(
+            inst,
+            db,
+            SolveOptions::problem2(RequiredGains::uniform(Cycles(1800))),
+        )
+        .unwrap();
         // At RG 1800 the area-minimal optimum is all-cheap (3 x 600 exactly).
         let with_cheap = s.resolve().unwrap();
         assert!(with_cheap
@@ -584,9 +599,12 @@ mod tests {
     #[test]
     fn add_ip_forces_rebuild_and_matches_cold() {
         let (inst, db) = rig("add");
-        let mut s =
-            DeltaSession::new(inst, db, SolveOptions::problem2(RequiredGains::uniform(Cycles(1200))))
-                .unwrap();
+        let mut s = DeltaSession::new(
+            inst,
+            db,
+            SolveOptions::problem2(RequiredGains::uniform(Cycles(1200))),
+        )
+        .unwrap();
         s.resolve().unwrap();
         let before = s.db().len();
         s.apply(InstanceDelta::AddIp(
@@ -617,10 +635,7 @@ mod tests {
         let warm = s.resolve().unwrap();
         let mut cold_opts = opts;
         cold_opts.gains = RequiredGains::uniform(Cycles(1800));
-        let cold = Solver::new(&inst)
-            .with_imps(db)
-            .solve(&cold_opts)
-            .unwrap();
+        let cold = Solver::new(&inst).with_imps(db).solve(&cold_opts).unwrap();
         assert!(
             warm.trace.nodes_explored <= cold.trace.nodes_explored,
             "warm {} > cold {}",
@@ -632,9 +647,12 @@ mod tests {
     #[test]
     fn infeasible_patch_reports_infeasible_not_garbage() {
         let (inst, db) = rig("inf");
-        let mut s =
-            DeltaSession::new(inst, db, SolveOptions::problem2(RequiredGains::uniform(Cycles(600))))
-                .unwrap();
+        let mut s = DeltaSession::new(
+            inst,
+            db,
+            SolveOptions::problem2(RequiredGains::uniform(Cycles(600))),
+        )
+        .unwrap();
         s.resolve().unwrap();
         s.apply(InstanceDelta::SetRg(RequiredGains::uniform(Cycles(
             1_000_000,

@@ -256,14 +256,8 @@ impl ImpDb {
                 };
                 pc += other.sw_cycles;
                 consumed.push(j);
-                let g = gain_or_zero(performance_gain(
-                    sc.sw_cycles,
-                    ip,
-                    kind,
-                    sc.job,
-                    Some(pc),
-                ))
-                .scaled(sc.freq);
+                let g = gain_or_zero(performance_gain(sc.sw_cycles, ip, kind, sc.job, Some(pc)))
+                    .scaled(sc.freq);
                 if g > best {
                     self.add(Imp::new(
                         sc.id,

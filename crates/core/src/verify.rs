@@ -948,7 +948,10 @@ impl FaultPlan {
     /// Injects a poisoned retained root-LP basis (stale, foreign, or
     /// deliberately mismatched to the model's shape).
     #[must_use]
-    pub fn poisoned_basis(mut self, basis: impl Into<std::sync::Arc<partita_ilp::Basis>>) -> FaultPlan {
+    pub fn poisoned_basis(
+        mut self,
+        basis: impl Into<std::sync::Arc<partita_ilp::Basis>>,
+    ) -> FaultPlan {
         self.faults.push(Fault::PoisonedBasis(basis.into()));
         self
     }
@@ -1422,11 +1425,17 @@ mod tests {
             partita_ilp::Basis::slack(db.len() + inst.library.len(), 8),
         ];
         for basis in bases {
-            let verdict = FaultPlan::new().poisoned_basis(basis.clone()).run(&inst, &db, &opts);
+            let verdict = FaultPlan::new()
+                .poisoned_basis(basis.clone())
+                .run(&inst, &db, &opts);
             match verdict {
                 FaultVerdict::Clean(sel, report) => {
                     assert!(report.is_clean());
-                    assert_eq!(sel.chosen(), clean.chosen(), "basis {basis:?} changed the answer");
+                    assert_eq!(
+                        sel.chosen(),
+                        clean.chosen(),
+                        "basis {basis:?} changed the answer"
+                    );
                     assert_eq!(sel.total_area(), clean.total_area());
                 }
                 other => panic!("poisoned basis {basis:?} must degrade cleanly, got {other:?}"),

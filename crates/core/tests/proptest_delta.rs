@@ -11,8 +11,8 @@ use proptest::prelude::*;
 
 use partita_core::{
     delta::{DeltaSession, InstanceDelta},
-    CoreError, FaultPlan, FaultVerdict, Imp, ImpDb, Instance, ParallelChoice, RequiredGains,
-    SCall, SelectionAuditor, Selection, SolveOptions, Solver,
+    CoreError, FaultPlan, FaultVerdict, Imp, ImpDb, Instance, ParallelChoice, RequiredGains, SCall,
+    Selection, SelectionAuditor, SolveOptions, Solver,
 };
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction, IpId};
@@ -158,9 +158,13 @@ fn assert_agrees(warm: &Result<Selection, CoreError>, session: &DeltaSession, ct
             assert_eq!(w.chosen(), c.chosen(), "{ctx}: chosen IMPs diverged");
             assert_eq!(w.total_area(), c.total_area(), "{ctx}: area diverged");
             assert_eq!(w.status, c.status, "{ctx}: status diverged");
-            let report = SelectionAuditor::new(session.instance(), session.db())
-                .audit(w, session.options());
-            assert!(report.is_clean(), "{ctx}: audit violations {}", report.to_json());
+            let report =
+                SelectionAuditor::new(session.instance(), session.db()).audit(w, session.options());
+            assert!(
+                report.is_clean(),
+                "{ctx}: audit violations {}",
+                report.to_json()
+            );
         }
         (Err(CoreError::Infeasible { .. }), Err(CoreError::Infeasible { .. })) => {}
         other => panic!("{ctx}: delta vs cold verdicts diverged: {other:?}"),

@@ -200,7 +200,7 @@ pub fn solve_with_bounds_scratch(
 /// A retained simplex basis: the basic column of every tableau row of a
 /// full-shape solve, in row order.
 ///
-/// Columns index the canonical tableau layout ([`build_tableau`]):
+/// Columns index the canonical tableau layout (`build_tableau`):
 /// structural variables first (`0..num_vars`), then one slack/surplus per
 /// row. A basis extracted from an optimal solve never contains artificial
 /// columns ([`solve_with_basis`] returns `None` instead when one is stuck
@@ -248,9 +248,9 @@ impl Basis {
             return false;
         }
         let mut seen = vec![false; shape.art0];
-        self.cols.iter().all(|&c| {
-            c < shape.art0 && !std::mem::replace(&mut seen[c], true)
-        })
+        self.cols
+            .iter()
+            .all(|&c| c < shape.art0 && !std::mem::replace(&mut seen[c], true))
     }
 }
 
@@ -477,7 +477,11 @@ fn extract(
     options: SimplexOptions,
 ) -> (LpSolution, Option<Basis>) {
     let Shape {
-        n, m, art0, rhs_col, ..
+        n,
+        m,
+        art0,
+        rhs_col,
+        ..
     } = shape;
     let mut y = vec![0.0; n];
     for r in 0..m {
@@ -637,7 +641,8 @@ fn try_warm_solve(
     // dual pivots; a basis that lost dual feasibility but kept primal
     // feasibility is finished by the primal phase below; one that lost both
     // is not worth repairing.
-    let primal_feasible = |t: &[Vec<f64>]| (0..m).all(|r| t[r][rhs_col] >= -options.feasibility_tol);
+    let primal_feasible =
+        |t: &[Vec<f64>]| (0..m).all(|r| t[r][rhs_col] >= -options.feasibility_tol);
     let dual_feasible = (0..art0).all(|j| t[m][j] >= -EPS);
     if !primal_feasible(t) {
         if !dual_feasible {
@@ -688,7 +693,11 @@ fn lex_canonicalize(
     options: SimplexOptions,
 ) {
     let Shape {
-        n, m, art0, rhs_col, ..
+        n,
+        m,
+        art0,
+        rhs_col,
+        ..
     } = shape;
     // Columns allowed to enter: zero reduced cost under the (already
     // optimal) phase-2 objective. Basic columns price to exactly zero, so
@@ -805,8 +814,9 @@ fn run_dual_simplex(
             let a = t[lr][j];
             if a < -EPS {
                 let ratio = t[m][j] / -a;
-                if enter.is_none_or(|(ej, best)| ratio < best - EPS || ((ratio - best).abs() <= EPS && j < ej))
-                {
+                if enter.is_none_or(|(ej, best)| {
+                    ratio < best - EPS || ((ratio - best).abs() <= EPS && j < ej)
+                }) {
                     enter = Some((j, ratio));
                 }
             }

@@ -1,0 +1,222 @@
+//! ADPCM transcoder workload family (G.726-style 32 kbit/s, 8 kHz voice).
+//!
+//! Encoder and decoder run side by side (a transcoder): the **encoder
+//! path** predicts the next sample with an adaptive FIR, quantises the
+//! prediction error, adapts the logarithmic step size and reconstructs the
+//! signal through the pole section; the **decoder path** inverse-quantises
+//! and re-runs prediction and reconstruction. Quantiser work appears on
+//! both paths, so the two quantiser ROMs in the library (IMP fan-out) are
+//! shared-IP candidates across paths — the once-per-IP area charge is what
+//! the selector must exploit.
+//!
+//! The predictor may run the quantiser stage's software as parallel code
+//! (predictor MACs are independent of the previous sample's quantisation),
+//! seeding SC-PC conflict rows on the encoder path.
+//!
+//! [`workload`] is the calibrated canonical instance; [`variant`] jitters
+//! magnitudes by ±10 % with the structure fixed (the corpus axis).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use partita_core::{ImpDb, Instance, SCall};
+use partita_interface::TransferJob;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles};
+
+use crate::{achievable_rg_sweep, jitter, jitter_freq, Workload};
+
+fn logstep() -> IpFunction {
+    IpFunction::Custom("logstep".into())
+}
+
+/// The canonical calibrated instance (identical to [`variant`]`(0)`).
+#[must_use]
+pub fn workload() -> Workload {
+    variant(0)
+}
+
+/// A seeded family member: same structure, ±10 % magnitudes.
+#[must_use]
+pub fn variant(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4144_5043_4D5F_4731); // "ADPCM_G1"
+    let mut instance = Instance::new(format!("adpcm_{seed}"));
+
+    // --- library -----------------------------------------------------
+    instance.library.add(
+        IpBlock::builder("mac_fir8")
+            .function(IpFunction::Fir)
+            .ports(2, 1)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 8) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 140) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("mac_fir16")
+            .function(IpFunction::Fir)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 12) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 220) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("quant_rom")
+            .function(IpFunction::Quantizer)
+            .ports(1, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 3) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 60) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("quant_pair")
+            .function(IpFunction::Quantizer)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 4) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 100) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("biquad_iir")
+            .function(IpFunction::Iir)
+            .ports(2, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 6) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 150) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("logstep_lut")
+            .function(logstep())
+            .ports(1, 1)
+            .rates(4, 4)
+            .latency(jitter(&mut rng, 2) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 45) as i64))
+            .build(),
+    );
+
+    // --- s-calls (per 16-sample block) -------------------------------
+    let predict = instance.add_scall(
+        SCall::new(
+            "predict",
+            IpFunction::Fir,
+            Cycles(jitter(&mut rng, 14_000)),
+            TransferJob::new(128, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 4))
+        .with_plain_pc(Cycles(jitter(&mut rng, 150))),
+    );
+    let diff_quant = instance.add_scall(
+        SCall::new(
+            "diff_quant",
+            IpFunction::Quantizer,
+            Cycles(jitter(&mut rng, 6_000)),
+            TransferJob::new(32, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    // Predictor MACs are independent of the previous quantisation step.
+    instance.scalls[predict.index()].sw_pc_candidates = vec![diff_quant];
+    let step_adapt = instance.add_scall(
+        SCall::new(
+            "step_adapt",
+            logstep(),
+            Cycles(jitter(&mut rng, 4_000)),
+            TransferJob::new(32, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let recon = instance.add_scall(
+        SCall::new(
+            "recon",
+            IpFunction::Iir,
+            Cycles(jitter(&mut rng, 8_000)),
+            TransferJob::new(64, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let iquant = instance.add_scall(
+        SCall::new(
+            "iquant",
+            IpFunction::Quantizer,
+            Cycles(jitter(&mut rng, 5_000)),
+            TransferJob::new(32, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let predict_d = instance.add_scall(
+        SCall::new(
+            "predict_d",
+            IpFunction::Fir,
+            Cycles(jitter(&mut rng, 14_000)),
+            TransferJob::new(128, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    instance.scalls[iquant.index()].sw_pc_candidates = vec![predict_d];
+    let recon_d = instance.add_scall(
+        SCall::new(
+            "recon_d",
+            IpFunction::Iir,
+            Cycles(jitter(&mut rng, 8_000)),
+            TransferJob::new(64, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+
+    instance.add_path(vec![predict, diff_quant, step_adapt, recon]);
+    instance.add_path(vec![iquant, predict_d, recon_d]);
+
+    let imps = ImpDb::generate(&instance);
+    let rg_sweep = achievable_rg_sweep(&instance, &imps);
+    Workload {
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
+        rg_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SelectionAuditor, SolveOptions, Solver};
+
+    #[test]
+    fn canonical_shape() {
+        let w = workload();
+        assert_eq!(w.instance.scalls.len(), 7);
+        assert_eq!(w.instance.library.len(), 6);
+        assert_eq!(w.instance.paths.len(), 2);
+        assert!(!w.imps.is_empty());
+        // Quantiser s-calls appear on both paths and share the same ROMs:
+        // the fan-out pair must serve encoder and decoder sides alike.
+        let enc_q = w.imps.for_scall(w.instance.scalls[1].id);
+        let dec_q = w.imps.for_scall(w.instance.scalls[4].id);
+        assert!(!enc_q.is_empty() && !dec_q.is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(variant(5).imps.imps(), variant(5).imps.imps());
+        assert_ne!(variant(5).imps.imps(), variant(6).imps.imps());
+    }
+
+    #[test]
+    fn sweep_points_solve_and_audit_clean() {
+        for seed in [0, 21] {
+            let w = variant(seed);
+            for &rg in &w.rg_sweep {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+                let sel = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .expect("achievable sweep point");
+                let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+                assert!(report.is_clean(), "seed {seed}: {}", report.to_json());
+            }
+        }
+    }
+}

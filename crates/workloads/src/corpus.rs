@@ -1,0 +1,377 @@
+//! The committed instance corpus: the population of workloads every
+//! correctness gate iterates, pinned by `tests/corpus/manifest.json`.
+//!
+//! The corpus has two halves that must never drift apart:
+//!
+//! * [`population`] — the list of `(family, preset, seed)` specs defined
+//!   *in code* (synth presets × seed ranges plus the four DSP families);
+//! * the **manifest** — the committed JSON file listing the same specs
+//!   together with each workload's content [`digest`].
+//!
+//! The gates load the manifest ([`manifest`]), rebuild each entry
+//! ([`ManifestEntry::build`]) and check the digest: a generator change that
+//! silently alters any corpus instance fails the gate until the manifest is
+//! regenerated (`cargo run --release -p partita-bench --bin corpus`) and the
+//! diff reviewed. `manifest == population` is itself asserted, so adding a
+//! family or widening a seed range is a two-line change here plus a
+//! regeneration.
+//!
+//! Entries marked `gated` (the `x100` preset) are skipped unless
+//! `PARTITA_CORPUS_X100=1`: optimal solves are out of reach at that scale,
+//! so the gated leg checks generation, digest, the greedy baseline and the
+//! independent audit instead.
+
+use partita_core::telemetry::json::JsonValue;
+
+use crate::{adpcm, fft_radix4, lms, synth, viterbi, Workload};
+
+/// The committed manifest, embedded so the gates need no path plumbing.
+pub const MANIFEST_JSON: &str = include_str!("../../../tests/corpus/manifest.json");
+
+/// Manifest schema version (bump on incompatible format changes).
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// One corpus member in code form: what to build, not yet what to expect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Family name: `synth`, `viterbi`, `adpcm`, `lms` or `fft_radix4`.
+    pub family: &'static str,
+    /// Synth preset name; empty for the DSP families.
+    pub preset: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Skipped unless `PARTITA_CORPUS_X100=1` (scale beyond optimal
+    /// solves).
+    pub gated: bool,
+}
+
+impl CorpusSpec {
+    /// Stable entry id, e.g. `synth-small-0007` or `viterbi-0003`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        if self.preset.is_empty() {
+            format!("{}-{:04}", self.family, self.seed)
+        } else {
+            format!("{}-{}-{:04}", self.family, self.preset, self.seed)
+        }
+    }
+
+    /// Builds the workload this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// A description of the unknown family/preset or degenerate parameters.
+    pub fn build(&self) -> Result<Workload, String> {
+        build_workload(self.family, self.preset, self.seed)
+    }
+}
+
+/// The corpus population: every gate iterates exactly this list (the
+/// manifest pins its digests). Ungated entries stay comfortably above the
+/// 200-instance floor the differential and audit gates assert.
+#[must_use]
+pub fn population() -> Vec<CorpusSpec> {
+    let mut specs = Vec::new();
+    let mut synth_range = |preset: &'static str, seeds: u64, gated: bool| {
+        for seed in 0..seeds {
+            specs.push(CorpusSpec {
+                family: "synth",
+                preset,
+                seed,
+                gated,
+            });
+        }
+    };
+    // The micro preset feeds the exhaustive-oracle differential gate; the
+    // larger presets stress the branch-and-bound tree.
+    synth_range("micro", 30, false);
+    synth_range("small", 60, false);
+    synth_range("table", 20, false);
+    synth_range("x10", 4, false);
+    synth_range("x100", 2, true);
+    for family in ["viterbi", "adpcm", "lms", "fft_radix4"] {
+        for seed in 0..40 {
+            specs.push(CorpusSpec {
+                family,
+                preset: "",
+                seed,
+                gated: false,
+            });
+        }
+    }
+    specs
+}
+
+fn build_workload(family: &str, preset: &str, seed: u64) -> Result<Workload, String> {
+    match family {
+        "synth" => {
+            let params = synth::SynthParams::preset(preset)
+                .ok_or_else(|| format!("unknown synth preset {preset:?}"))?
+                .with_seed(seed);
+            synth::try_generate(params).map_err(|e| format!("synth {preset}/{seed}: {e}"))
+        }
+        "viterbi" => Ok(viterbi::variant(seed)),
+        "adpcm" => Ok(adpcm::variant(seed)),
+        "lms" => Ok(lms::variant(seed)),
+        "fft_radix4" => Ok(fft_radix4::variant(seed)),
+        other => Err(format!("unknown corpus family {other:?}")),
+    }
+}
+
+/// FNV-1a content digest of a workload: instance (s-calls, library, paths,
+/// area model), IMP database (including the active mask) and RG sweep, via
+/// their derived `Debug` forms — every field is integral, so the dump is
+/// platform-stable. Any change a solver could observe changes the digest.
+#[must_use]
+pub fn digest(w: &Workload) -> u64 {
+    let dump = format!("{:?}|{:?}|{:?}", w.instance, w.imps, w.rg_sweep);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in dump.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One parsed manifest entry: a [`CorpusSpec`] plus the pinned digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Stable entry id (see [`CorpusSpec::id`]).
+    pub id: String,
+    /// Family name.
+    pub family: String,
+    /// Synth preset (empty for the DSP families).
+    pub preset: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Env-gated scale entry.
+    pub gated: bool,
+    /// Expected [`digest`] of the rebuilt workload.
+    pub digest: u64,
+}
+
+impl ManifestEntry {
+    /// Rebuilds the workload this entry describes (no digest check).
+    ///
+    /// # Errors
+    ///
+    /// A description of the unknown family/preset or degenerate parameters.
+    pub fn build(&self) -> Result<Workload, String> {
+        build_workload(&self.family, &self.preset, self.seed)
+    }
+
+    /// Rebuilds the workload and checks it against the pinned digest.
+    ///
+    /// # Errors
+    ///
+    /// The build error, or a digest mismatch naming the entry.
+    pub fn verify(&self) -> Result<Workload, String> {
+        let w = self.build()?;
+        let got = digest(&w);
+        if got != self.digest {
+            return Err(format!(
+                "{}: digest mismatch (manifest {:016x}, rebuilt {:016x}) — \
+                 regenerate tests/corpus/manifest.json if the change is intended",
+                self.id, self.digest, got
+            ));
+        }
+        Ok(w)
+    }
+}
+
+/// Parses the embedded manifest.
+///
+/// # Errors
+///
+/// A description of the first malformed field (offset-bearing for JSON
+/// syntax errors).
+pub fn manifest() -> Result<Vec<ManifestEntry>, String> {
+    parse_manifest(MANIFEST_JSON)
+}
+
+/// Parses a manifest document (exposed for the regeneration binary's
+/// round-trip test).
+///
+/// # Errors
+///
+/// A description of the first malformed field.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_u64)
+        .ok_or("manifest missing numeric \"schema\"")?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!(
+            "manifest schema {schema} unsupported (expected {MANIFEST_SCHEMA})"
+        ));
+    }
+    let entries = match doc.get("entries") {
+        Some(JsonValue::Array(items)) => items,
+        _ => return Err("manifest missing \"entries\" array".into()),
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, item) in entries.iter().enumerate() {
+        let field = |key: &str| {
+            item.get(key)
+                .ok_or_else(|| format!("entry {i}: missing {key:?}"))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            field(key)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("entry {i}: {key:?} must be a string"))
+        };
+        let digest_hex = s("digest")?;
+        let digest = u64::from_str_radix(&digest_hex, 16)
+            .map_err(|e| format!("entry {i}: bad digest {digest_hex:?}: {e}"))?;
+        out.push(ManifestEntry {
+            id: s("id")?,
+            family: s("family")?,
+            preset: s("preset")?,
+            seed: field("seed")?
+                .as_u64()
+                .ok_or_else(|| format!("entry {i}: \"seed\" must be a u64"))?,
+            gated: field("gated")?
+                .as_bool()
+                .ok_or_else(|| format!("entry {i}: \"gated\" must be a bool"))?,
+            digest,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders entries as the committed manifest document (stable formatting,
+/// one entry per line, trailing newline).
+#[must_use]
+pub fn render_manifest(entries: &[ManifestEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"family\": \"{}\", \"preset\": \"{}\", \
+             \"seed\": {}, \"gated\": {}, \"digest\": \"{:016x}\"}}{}\n",
+            e.id,
+            e.family,
+            e.preset,
+            e.seed,
+            e.gated,
+            e.digest,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Rebuilds the whole population and computes fresh digests — what the
+/// `corpus` regeneration binary writes out.
+///
+/// # Panics
+///
+/// If any population spec fails to build (a population bug, not an input
+/// condition).
+#[must_use]
+pub fn regenerate() -> Vec<ManifestEntry> {
+    population()
+        .iter()
+        .map(|spec| {
+            let w = spec
+                .build()
+                .unwrap_or_else(|e| panic!("population spec {} failed: {e}", spec.id()));
+            ManifestEntry {
+                id: spec.id(),
+                family: spec.family.to_string(),
+                preset: spec.preset.to_string(),
+                seed: spec.seed,
+                gated: spec.gated,
+                digest: digest(&w),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_large_duplicate_free_and_mostly_ungated() {
+        let pop = population();
+        let ungated = pop.iter().filter(|s| !s.gated).count();
+        assert!(ungated >= 200, "{ungated} ungated entries");
+        let mut ids: Vec<String> = pop.iter().map(CorpusSpec::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), pop.len(), "duplicate corpus ids");
+        for family in ["synth", "viterbi", "adpcm", "lms", "fft_radix4"] {
+            assert!(pop.iter().any(|s| s.family == family), "{family} missing");
+        }
+    }
+
+    #[test]
+    fn digest_is_content_sensitive_and_stable() {
+        let a = viterbi::variant(1);
+        assert_eq!(digest(&a), digest(&viterbi::variant(1)));
+        assert_ne!(digest(&a), digest(&viterbi::variant(2)));
+        assert_ne!(digest(&a), digest(&adpcm::variant(1)));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_render_and_parse() {
+        let entries = vec![
+            ManifestEntry {
+                id: "synth-small-0000".into(),
+                family: "synth".into(),
+                preset: "small".into(),
+                seed: 0,
+                gated: false,
+                digest: 0x0123_4567_89ab_cdef,
+            },
+            ManifestEntry {
+                id: "lms-0007".into(),
+                family: "lms".into(),
+                preset: String::new(),
+                seed: 7,
+                gated: true,
+                digest: u64::MAX,
+            },
+        ];
+        let parsed = parse_manifest(&render_manifest(&entries)).expect("round trip");
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn unknown_specs_are_typed_errors() {
+        assert!(build_workload("mpeg", "", 0).is_err());
+        assert!(build_workload("synth", "huge", 0).is_err());
+        let bad = ManifestEntry {
+            id: "viterbi-0000".into(),
+            family: "viterbi".into(),
+            preset: String::new(),
+            seed: 0,
+            gated: false,
+            digest: 1,
+        };
+        let err = bad.verify().expect_err("digest cannot be 1");
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn committed_manifest_matches_population() {
+        let entries = manifest().expect("committed manifest parses");
+        let pop = population();
+        assert_eq!(
+            entries.len(),
+            pop.len(),
+            "manifest entry count diverged from the population — regenerate"
+        );
+        for (e, s) in entries.iter().zip(&pop) {
+            assert_eq!(e.id, s.id(), "manifest order diverged");
+            assert_eq!(e.family, s.family);
+            assert_eq!(e.preset, s.preset);
+            assert_eq!(e.seed, s.seed);
+            assert_eq!(e.gated, s.gated);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Radix-4 FFT pipeline workload family (256-point windowed spectral
+//! front-end) — the hierarchical member of the corpus.
+//!
+//! The **transform path** windows the input block, runs the 256-point
+//! radix-4 FFT and computes magnitudes; the **output path** digit-reverses
+//! the transform order for the consumer. The FFT s-call is *hierarchical*,
+//! mirroring the paper's `dct2d → dct1d → fft → cmul` chain: its software
+//! implementation calls a radix-4 butterfly pass, which in turn calls the
+//! twiddle complex multiply. Both children carry their own IPs, so
+//! [`partita_core::hierarchy::try_flatten`] folds them bottom-up into
+//! composite IMPs of the top-level transform ("software FFT, hardware
+//! twiddles" and deeper combinations) alongside the monolithic FFT engine —
+//! exactly the Fig. 11 mechanism, exercised by a generated family instead
+//! of the calibrated Table 3 instance.
+//!
+//! [`workload`] is the calibrated canonical instance; [`variant`] jitters
+//! magnitudes by ±10 % with the structure fixed (the corpus axis).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use partita_core::hierarchy::{try_flatten, FlattenLimits, HierSpec};
+use partita_core::{ImpDb, Instance, SCall};
+use partita_interface::TransferJob;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles};
+
+use crate::{achievable_rg_sweep, jitter, jitter_freq, Workload};
+
+fn radix4() -> IpFunction {
+    IpFunction::Custom("radix4".into())
+}
+
+/// The canonical calibrated instance (identical to [`variant`]`(0)`).
+#[must_use]
+pub fn workload() -> Workload {
+    variant(0)
+}
+
+/// A seeded family member: same structure, ±10 % magnitudes.
+#[must_use]
+pub fn variant(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4646_545F_5258_3421); // "FFT_RX4!"
+    let mut instance = Instance::new(format!("fft_radix4_{seed}"));
+
+    // --- library -----------------------------------------------------
+    instance.library.add(
+        IpBlock::builder("fft256_core")
+            .function(IpFunction::Fft)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 24) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 340) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("radix4_dp")
+            .function(radix4())
+            .ports(2, 2)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 6) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 160) as i64))
+            .build(),
+    );
+    // Twiddle-multiplier fan-out: a fast 2-port unit and a minimal one.
+    instance.library.add(
+        IpBlock::builder("cmul_fast")
+            .function(IpFunction::ComplexMul)
+            .ports(2, 1)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 3) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 90) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("cmul_small")
+            .function(IpFunction::ComplexMul)
+            .ports(1, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 5) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 50) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("win_mac")
+            .function(IpFunction::Fir)
+            .ports(2, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 8) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 120) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("reorder_dma")
+            .function(IpFunction::ZigZag)
+            .ports(1, 1)
+            .rates(4, 4)
+            .latency(jitter(&mut rng, 4) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 60) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("mag_unit")
+            .function(IpFunction::Quantizer)
+            .ports(1, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 3) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 55) as i64))
+            .build(),
+    );
+
+    // --- top-level s-calls (per input block) --------------------------
+    let window = instance.add_scall(
+        SCall::new(
+            "window",
+            IpFunction::Fir,
+            Cycles(jitter(&mut rng, 9_000)),
+            TransferJob::new(256, 256),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let fft256 = instance.add_scall(
+        SCall::new(
+            "fft256",
+            IpFunction::Fft,
+            Cycles(jitter(&mut rng, 48_000)),
+            TransferJob::new(512, 512),
+        )
+        .with_freq(jitter_freq(&mut rng, 4))
+        .with_plain_pc(Cycles(jitter(&mut rng, 300))),
+    );
+    let mag = instance.add_scall(
+        SCall::new(
+            "mag",
+            IpFunction::Quantizer,
+            Cycles(jitter(&mut rng, 7_000)),
+            TransferJob::new(256, 128),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let reorder = instance.add_scall(
+        SCall::new(
+            "reorder",
+            IpFunction::ZigZag,
+            Cycles(jitter(&mut rng, 6_000)),
+            TransferJob::new(256, 256),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    // Windowing of the next block overlaps the reorder of this one.
+    instance.scalls[window.index()].sw_pc_candidates = vec![reorder];
+
+    // --- nested calls (off-path; decided through fft256) ---------------
+    // The transform's software runs two butterfly passes; the first pass
+    // calls the twiddle complex multiply.
+    let bfly_early = instance.add_scall(
+        SCall::new(
+            "bfly_early",
+            radix4(),
+            Cycles(jitter(&mut rng, 11_000)),
+            TransferJob::new(128, 128),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let bfly_late = instance.add_scall(
+        SCall::new(
+            "bfly_late",
+            radix4(),
+            Cycles(jitter(&mut rng, 10_000)),
+            TransferJob::new(128, 128),
+        )
+        .with_freq(jitter_freq(&mut rng, 4)),
+    );
+    let twiddle = instance.add_scall(
+        SCall::new(
+            "twiddle",
+            IpFunction::ComplexMul,
+            Cycles(jitter(&mut rng, 8_000)),
+            TransferJob::new(64, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 12)),
+    );
+
+    instance.add_path(vec![window, fft256, mag]);
+    instance.add_path(vec![fft256, reorder]);
+
+    // Bottom-up fold: twiddle into the early butterfly pass, both passes
+    // into the transform — two hierarchy levels, validated specs. Pairing
+    // the passes in one spec is what yields multi-IP composites (e.g.
+    // "early pass on the radix-4 datapath, late pass on a cmul-assisted
+    // variant"), the Fig. 11 union of child IP sets.
+    let specs = [
+        HierSpec {
+            parent: bfly_early,
+            children: vec![twiddle],
+        },
+        HierSpec {
+            parent: fft256,
+            children: vec![bfly_early, bfly_late],
+        },
+    ];
+    let flat = ImpDb::generate(&instance);
+    let imps = try_flatten(&flat, &specs, FlattenLimits::default())
+        .expect("family hierarchy specs are structurally valid");
+    let rg_sweep = achievable_rg_sweep(&instance, &imps);
+    Workload {
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
+        rg_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SelectionAuditor, SolveOptions, Solver};
+
+    #[test]
+    fn canonical_shape_and_hierarchy_fold() {
+        let w = workload();
+        assert_eq!(w.instance.scalls.len(), 7);
+        assert_eq!(w.instance.library.len(), 7);
+        assert_eq!(w.instance.paths.len(), 2);
+        // Children are consumed: their IMPs fold into the transform.
+        for child in &w.instance.scalls[4..] {
+            assert!(
+                w.imps.for_scall(child.id).is_empty(),
+                "child {} must be folded into the transform",
+                child.name
+            );
+        }
+        // The transform sees the monolithic engine *and* composites that
+        // instantiate child IPs (radix4_dp / cmul units).
+        let fft_imps = w.imps.for_scall(w.instance.scalls[1].id);
+        assert!(
+            fft_imps.iter().any(|i| i.ips.len() >= 2),
+            "no multi-IP composite survived the fold"
+        );
+        assert!(
+            fft_imps.iter().any(|i| i.ips.len() == 1),
+            "the monolithic FFT engine disappeared"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(variant(2).imps.imps(), variant(2).imps.imps());
+        assert_ne!(variant(2).imps.imps(), variant(3).imps.imps());
+    }
+
+    #[test]
+    fn sweep_points_solve_and_audit_clean() {
+        for seed in [0, 17] {
+            let w = variant(seed);
+            for &rg in &w.rg_sweep {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+                let sel = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .expect("achievable sweep point");
+                let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+                assert!(report.is_clean(), "seed {seed}: {}", report.to_json());
+            }
+        }
+    }
+}

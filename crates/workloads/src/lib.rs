@@ -1,4 +1,4 @@
-//! Workload models for the DAC'99 evaluation (§5).
+//! Workload models for the DAC'99 evaluation (§5) and the scaling corpus.
 //!
 //! The paper evaluates on two real DSP applications — a GSM(TDMA) codec and
 //! a JPEG codec — whose C sources and input data are not available. This
@@ -13,19 +13,59 @@
 //!   IMPs for the 2D-DCT plus 2 for zig-zag (Table 3);
 //! * [`gsm_func`] — a functional RPE-LTP-style mini codec built from the
 //!   `partita-ip` kernels (the signal path behind the GSM instances);
-//! * [`synth`] — a seeded random instance generator for scaling studies and
-//!   ablations;
+//! * [`synth`] — a parameterized seeded instance generator for scaling
+//!   studies (fan-out / conflict-density / hierarchy / kind-mix knobs and
+//!   order-of-magnitude presets);
 //! * [`toy`] — a small Partita-C program exercising the full frontend →
 //!   profile → parallel-code → solve pipeline.
+//!
+//! Beyond the paper's tables, four structurally distinct DSP **workload
+//! families** populate the committed instance corpus (selection heuristics
+//! that look optimal on one benchmark diverge across a diverse set):
+//!
+//! * [`viterbi`] — a convolutional-code Viterbi decoder (branch metrics,
+//!   add-compare-select, traceback);
+//! * [`adpcm`] — an ADPCM transcoder (predictor, quantizer pair, step
+//!   adaptation, reconstruction);
+//! * [`lms`] — an LMS echo canceller (estimation FIR, correlation update,
+//!   coefficient update, double-talk detection);
+//! * [`fft_radix4`] — a radix-4 FFT pipeline whose transform s-call folds
+//!   butterfly/twiddle children through the Fig. 11 hierarchy flatten.
+//!
+//! The [`corpus`] module ties the families and the synth presets to the
+//! committed manifest (`tests/corpus/manifest.json`) that the differential,
+//! determinism, audit and benchsuite gates all iterate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adpcm;
+pub mod corpus;
+pub mod fft_radix4;
 pub mod gsm;
 pub mod gsm_func;
 pub mod jpeg;
+pub mod lms;
 pub mod synth;
 pub mod toy;
+pub mod viterbi;
+
+use partita_core::{ImpDb, Instance, SCall};
+use partita_mop::Cycles;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Calibration jitter for the family generators: `base` scaled by a seeded
+/// 90–110 % factor (never below 1). Structure stays fixed across a family;
+/// only magnitudes move.
+pub(crate) fn jitter(rng: &mut StdRng, base: u64) -> u64 {
+    (base * rng.gen_range(90..=110) / 100).max(1)
+}
+
+/// Frequency jitter: `base` shifted by −1/0/+1, floored at 1.
+pub(crate) fn jitter_freq(rng: &mut StdRng, base: u64) -> u64 {
+    (base + rng.gen_range(0..=2)).saturating_sub(1).max(1)
+}
 
 /// A workload: the problem instance plus its IMP database.
 ///
@@ -42,4 +82,38 @@ pub struct Workload {
     pub imps: std::sync::Arc<partita_core::ImpDb>,
     /// The required-gain sweep the paper's table uses (RG column).
     pub rg_sweep: Vec<partita_mop::Cycles>,
+}
+
+/// A four-point required-gain sweep (20–80 % of the maximum gain achievable
+/// on the weakest path) that is feasible by construction.
+///
+/// A uniform RG binds each path separately, so the ceiling is the *minimum*
+/// over paths of the per-path total of each s-call's best **conflict-free**
+/// gain — IMPs that consume other s-calls' software (`SwScalls` parallel
+/// choices) are excluded because they cannot all be selected together. Every
+/// generated family and synth preset derives its sweep through this helper,
+/// which is what lets the corpus gates expect feasibility at every point.
+#[must_use]
+pub fn achievable_rg_sweep(instance: &Instance, imps: &ImpDb) -> Vec<Cycles> {
+    let best_of = |sc: &SCall| {
+        imps.for_scall(sc.id)
+            .iter()
+            .filter(|i| i.parallel.consumed_scalls().is_empty())
+            .map(|i| i.gain.get())
+            .max()
+            .unwrap_or(0)
+    };
+    let max_gain: u64 = instance
+        .paths
+        .iter()
+        .map(|p| {
+            p.scalls
+                .iter()
+                .filter_map(|&sc| instance.scall(sc))
+                .map(best_of)
+                .sum::<u64>()
+        })
+        .min()
+        .unwrap_or(0);
+    (1..=4).map(|k| Cycles(max_gain * k / 5)).collect()
 }

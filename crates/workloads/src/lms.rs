@@ -1,0 +1,211 @@
+//! LMS echo-canceller workload family (NLMS, 512-tap acoustic echo path).
+//!
+//! Per block the **filter path** convolves the far-end reference through
+//! the adaptive FIR to estimate the echo, normalises the residual and runs
+//! the double-talk detector; the **adaptation path** cross-correlates the
+//! residual with the reference and applies the scaled coefficient update
+//! (an saxpy over all taps). The estimation FIR and the update touch the
+//! same tap count, so they dominate both paths at similar magnitudes —
+//! selecting one IP that serves correlation *and* update (the `corr_saxpy`
+//! M-IP) against two single-function blocks is the family's core tension.
+//!
+//! The cross-correlation may run the coefficient update's software as
+//! parallel code (the update reads last block's correlation), seeding the
+//! SC-PC conflict rows on the adaptation path.
+//!
+//! [`workload`] is the calibrated canonical instance; [`variant`] jitters
+//! magnitudes by ±10 % with the structure fixed (the corpus axis).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use partita_core::{ImpDb, Instance, SCall};
+use partita_interface::TransferJob;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles};
+
+use crate::{achievable_rg_sweep, jitter, jitter_freq, Workload};
+
+fn saxpy() -> IpFunction {
+    IpFunction::Custom("saxpy".into())
+}
+
+/// The canonical calibrated instance (identical to [`variant`]`(0)`).
+#[must_use]
+pub fn workload() -> Workload {
+    variant(0)
+}
+
+/// A seeded family member: same structure, ±10 % magnitudes.
+#[must_use]
+pub fn variant(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4C4D_535F_4E4C_4D53); // "LMS_NLMS"
+    let mut instance = Instance::new(format!("lms_{seed}"));
+
+    // --- library -----------------------------------------------------
+    instance.library.add(
+        IpBlock::builder("mac_fir32")
+            .function(IpFunction::Fir)
+            .ports(2, 1)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 10) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 260) as i64))
+            .build(),
+    );
+    // The wide FIR datapath needs buffered interfaces (3 in-ports).
+    instance.library.add(
+        IpBlock::builder("mac_fir64")
+            .function(IpFunction::Fir)
+            .ports(3, 2)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 6) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 420) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("corr_engine")
+            .function(IpFunction::Correlator)
+            .ports(2, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 8) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 180) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("saxpy_unit")
+            .function(saxpy())
+            .ports(2, 2)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 4) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 200) as i64))
+            .build(),
+    );
+    // M-IP serving correlation and the tap update from one datapath.
+    instance.library.add(
+        IpBlock::builder("corr_saxpy")
+            .function(IpFunction::Correlator)
+            .function(saxpy())
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 10) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 300) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("norm_unit")
+            .function(IpFunction::Quantizer)
+            .ports(1, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 3) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 70) as i64))
+            .build(),
+    );
+
+    // --- s-calls (per 64-sample block) --------------------------------
+    let echo_estimate = instance.add_scall(
+        SCall::new(
+            "echo_estimate",
+            IpFunction::Fir,
+            Cycles(jitter(&mut rng, 40_000)),
+            TransferJob::new(256, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 2))
+        .with_plain_pc(Cycles(jitter(&mut rng, 250))),
+    );
+    let err_norm = instance.add_scall(
+        SCall::new(
+            "err_norm",
+            IpFunction::Quantizer,
+            Cycles(jitter(&mut rng, 5_000)),
+            TransferJob::new(64, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 2)),
+    );
+    let xcorr = instance.add_scall(
+        SCall::new(
+            "xcorr",
+            IpFunction::Correlator,
+            Cycles(jitter(&mut rng, 22_000)),
+            TransferJob::new(256, 128),
+        )
+        .with_freq(jitter_freq(&mut rng, 2)),
+    );
+    let coef_update = instance.add_scall(
+        SCall::new(
+            "coef_update",
+            saxpy(),
+            Cycles(jitter(&mut rng, 26_000)),
+            TransferJob::new(256, 256),
+        )
+        .with_freq(jitter_freq(&mut rng, 2)),
+    );
+    // The correlation may overlap the update's software (it consumes last
+    // block's correlation, not this one's).
+    instance.scalls[xcorr.index()].sw_pc_candidates = vec![coef_update];
+    let dtd = instance.add_scall(
+        SCall::new(
+            "dtd",
+            IpFunction::Correlator,
+            Cycles(jitter(&mut rng, 9_000)),
+            TransferJob::new(128, 32),
+        )
+        .with_freq(jitter_freq(&mut rng, 2)),
+    );
+
+    // The residual normalisation sits on both paths (shared stage).
+    instance.add_path(vec![echo_estimate, err_norm, dtd]);
+    instance.add_path(vec![xcorr, coef_update, err_norm]);
+
+    let imps = ImpDb::generate(&instance);
+    let rg_sweep = achievable_rg_sweep(&instance, &imps);
+    Workload {
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
+        rg_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SelectionAuditor, SolveOptions, Solver};
+
+    #[test]
+    fn canonical_shape() {
+        let w = workload();
+        assert_eq!(w.instance.scalls.len(), 5);
+        assert_eq!(w.instance.library.len(), 6);
+        assert_eq!(w.instance.paths.len(), 2);
+        assert!(!w.imps.is_empty());
+        // Correlation work is served by the engine and the M-IP alike.
+        let xcorr_ips: std::collections::BTreeSet<_> = w
+            .imps
+            .for_scall(w.instance.scalls[2].id)
+            .iter()
+            .flat_map(|i| i.ips.iter().copied())
+            .collect();
+        assert!(xcorr_ips.len() >= 2, "correlator fan-out collapsed");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(variant(8).imps.imps(), variant(8).imps.imps());
+        assert_ne!(variant(8).imps.imps(), variant(9).imps.imps());
+    }
+
+    #[test]
+    fn sweep_points_solve_and_audit_clean() {
+        for seed in [0, 33] {
+            let w = variant(seed);
+            for &rg in &w.rg_sweep {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+                let sel = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .expect("achievable sweep point");
+                let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+                assert!(report.is_clean(), "seed {seed}: {}", report.to_json());
+            }
+        }
+    }
+}

@@ -1,26 +1,91 @@
 //! Seeded random instance generator for scaling studies and ablations.
+//!
+//! [`SynthParams`] exposes the axes the scaling corpus sweeps:
+//!
+//! * **size** — `scalls` / `ips` / `paths`, with order-of-magnitude presets
+//!   ([`SynthParams::micro`] through [`SynthParams::x1000`]) anchored on the
+//!   paper's GSM-encoder table (18 s-calls / 23 IPs);
+//! * **IMP fan-out** — `imp_fanout` sets how many library IPs implement each
+//!   DSP function, which directly scales the IMPs-per-s-call count the
+//!   formulation sees;
+//! * **conflict density** — `conflict_pct` sets the fraction of s-calls
+//!   whose parallel code may consume a neighbour's software implementation
+//!   (the Problem 2 generalisation), which drives the SC-PC conflict rows;
+//! * **hierarchy depth** — `hierarchy_depth` nests child s-calls under the
+//!   first top-level call and folds them through
+//!   [`partita_core::hierarchy::try_flatten`] (validated specs), so scaled
+//!   instances exercise the composite-IMP path of Fig. 11;
+//! * **interface-kind mix** — [`KindMix`] shapes IP ports/rates so the
+//!   feasible interface set per IP is the natural mix, buffered-only, or
+//!   all four kinds.
+//!
+//! Instances are fully deterministic per parameter set; degenerate
+//! parameters are rejected by [`try_generate`] with a typed [`SynthError`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use partita_core::hierarchy::{self, FlattenLimits, HierSpec};
 use partita_core::{ImpDb, Instance, SCall};
 use partita_interface::TransferJob;
 use partita_ip::{IpBlock, IpFunction};
 use partita_mop::{AreaTenths, CallSiteId, Cycles};
 
-use crate::Workload;
+use crate::{achievable_rg_sweep, Workload};
+
+/// How the generator shapes IP ports and rates, which determines the
+/// interface kinds each IP admits (bufferless types need ≤ 2 ports; type 0
+/// additionally needs matched rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KindMix {
+    /// Ports 1–3 and rates 1–8: the historical behaviour, a natural mix in
+    /// which some IPs admit all four kinds and some only the buffered ones.
+    #[default]
+    Balanced,
+    /// Every IP has more than two ports, so only the buffered types 1/3
+    /// (the parallel-capable kinds) are feasible.
+    BufferedOnly,
+    /// Every IP has ≤ 2 ports and matched full-speed rates, so all four
+    /// interface kinds are feasible for every block.
+    AllKinds,
+}
+
+impl KindMix {
+    /// Stable label used by the corpus manifest.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KindMix::Balanced => "balanced",
+            KindMix::BufferedOnly => "buffered",
+            KindMix::AllKinds => "all",
+        }
+    }
+}
 
 /// Generator parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SynthParams {
-    /// Number of s-calls.
+    /// Number of top-level s-calls.
     pub scalls: usize,
     /// Number of IP blocks in the library.
     pub ips: usize,
     /// Number of execution paths (s-calls are assigned round-robin).
+    /// Saturated to `scalls` so no generated path is empty.
     pub paths: usize,
     /// RNG seed (instances are fully deterministic per seed).
     pub seed: u64,
+    /// Library IPs per DSP function: the function pool has
+    /// `ceil(ips / imp_fanout)` entries, so each s-call is matched by about
+    /// `imp_fanout` IPs. Must be ≥ 1.
+    pub imp_fanout: usize,
+    /// Percentage (0–100) of s-calls given software-parallel-code
+    /// candidates; above 50 each conflicted s-call gets two candidates.
+    pub conflict_pct: u8,
+    /// Nested-call levels under the first s-call, folded into composite
+    /// IMPs through validated hierarchy specs. 0 = flat.
+    pub hierarchy_depth: usize,
+    /// Interface-kind mix (see [`KindMix`]).
+    pub kind_mix: KindMix,
 }
 
 impl Default for SynthParams {
@@ -30,48 +95,265 @@ impl Default for SynthParams {
             ips: 8,
             paths: 2,
             seed: 0xDAC_1999,
+            imp_fanout: 2,
+            conflict_pct: 100,
+            hierarchy_depth: 0,
+            kind_mix: KindMix::Balanced,
         }
     }
 }
 
-const FUNCTIONS: [IpFunction; 6] = [
-    IpFunction::Fir,
-    IpFunction::Iir,
-    IpFunction::Correlator,
-    IpFunction::Quantizer,
-    IpFunction::Dct1d,
-    IpFunction::Fft,
-];
+impl SynthParams {
+    /// Legacy-shaped constructor: size axes explicit, every structural knob
+    /// at its default.
+    #[must_use]
+    pub fn sized(scalls: usize, ips: usize, paths: usize, seed: u64) -> SynthParams {
+        SynthParams {
+            scalls,
+            ips,
+            paths,
+            seed,
+            ..SynthParams::default()
+        }
+    }
 
-/// Generates a random instance and its [`ImpDb::generate`]d database.
+    /// Replaces the seed (the corpus enumerates seeds per preset).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SynthParams {
+        self.seed = seed;
+        self
+    }
+
+    /// Tiny instances sized for the exhaustive-enumeration oracle: the
+    /// differential gate skips instances over the backend's binary cap
+    /// (24), so micro keeps unit IMP fan-out and a low conflict density —
+    /// at 3 s-calls × 1 supporting IP × ≤4 interface kinds plus sparse
+    /// parallel variants, nearly every seed stays under it.
+    #[must_use]
+    pub fn micro() -> SynthParams {
+        SynthParams {
+            scalls: 3,
+            ips: 2,
+            paths: 2,
+            seed: 0,
+            imp_fanout: 1,
+            conflict_pct: 25,
+            hierarchy_depth: 0,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// Small instances: quick to solve optimally, large enough that the
+    /// branch-and-bound tree is non-trivial.
+    #[must_use]
+    pub fn small() -> SynthParams {
+        SynthParams {
+            scalls: 6,
+            ips: 4,
+            paths: 2,
+            seed: 0,
+            imp_fanout: 2,
+            conflict_pct: 50,
+            hierarchy_depth: 0,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// The published-table scale: 18 s-calls / 23 IPs, matching the GSM
+    /// encoder of Table 1, with one hierarchy level and a 60 % conflict
+    /// density.
+    #[must_use]
+    pub fn table() -> SynthParams {
+        SynthParams {
+            scalls: 18,
+            ips: 23,
+            paths: 3,
+            seed: 0,
+            imp_fanout: 4,
+            conflict_pct: 60,
+            hierarchy_depth: 1,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// 10× the table scale.
+    #[must_use]
+    pub fn x10() -> SynthParams {
+        SynthParams {
+            scalls: 180,
+            ips: 46,
+            paths: 6,
+            seed: 0,
+            imp_fanout: 4,
+            conflict_pct: 60,
+            hierarchy_depth: 1,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// 100× the table scale. Optimal solves are out of reach at this size;
+    /// the corpus gates it behind an env flag and checks the greedy
+    /// baseline + audit instead.
+    #[must_use]
+    pub fn x100() -> SynthParams {
+        SynthParams {
+            scalls: 1800,
+            ips: 92,
+            paths: 12,
+            seed: 0,
+            imp_fanout: 4,
+            conflict_pct: 60,
+            hierarchy_depth: 2,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// 1000× the table scale — generation-only territory for memory and
+    /// throughput studies (no corpus entry solves it).
+    #[must_use]
+    pub fn x1000() -> SynthParams {
+        SynthParams {
+            scalls: 18_000,
+            ips: 184,
+            paths: 24,
+            seed: 0,
+            imp_fanout: 4,
+            conflict_pct: 60,
+            hierarchy_depth: 2,
+            kind_mix: KindMix::Balanced,
+        }
+    }
+
+    /// Looks up an order-of-magnitude preset by its manifest name.
+    #[must_use]
+    pub fn preset(name: &str) -> Option<SynthParams> {
+        match name {
+            "micro" => Some(SynthParams::micro()),
+            "small" => Some(SynthParams::small()),
+            "table" => Some(SynthParams::table()),
+            "x10" => Some(SynthParams::x10()),
+            "x100" => Some(SynthParams::x100()),
+            "x1000" => Some(SynthParams::x1000()),
+            _ => None,
+        }
+    }
+
+    /// The manifest names accepted by [`SynthParams::preset`], smallest
+    /// first.
+    pub const PRESETS: [&'static str; 6] = ["micro", "small", "table", "x10", "x100", "x1000"];
+}
+
+/// A degenerate parameter set the generator refuses to expand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthError {
+    /// `scalls == 0`: an instance with no s-calls has nothing to select.
+    ZeroSCalls,
+    /// `ips == 0`: an empty library generates an empty IMP database.
+    ZeroIps,
+    /// `paths == 0`: every s-call must lie on some execution path.
+    ZeroPaths,
+    /// `imp_fanout == 0`: the function pool would be unbounded.
+    ZeroFanout,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::ZeroSCalls => write!(f, "scalls must be >= 1"),
+            SynthError::ZeroIps => write!(f, "ips must be >= 1"),
+            SynthError::ZeroPaths => write!(f, "paths must be >= 1"),
+            SynthError::ZeroFanout => write!(f, "imp_fanout must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The `k`-th function of the generator's pool: the six named DSP functions
+/// first, `Custom` functions beyond (so large libraries get distinct
+/// functions instead of piling every IP onto six).
+fn pool_function(k: usize) -> IpFunction {
+    match k {
+        0 => IpFunction::Fir,
+        1 => IpFunction::Iir,
+        2 => IpFunction::Correlator,
+        3 => IpFunction::Quantizer,
+        4 => IpFunction::Dct1d,
+        5 => IpFunction::Fft,
+        _ => IpFunction::Custom(format!("synf{k}")),
+    }
+}
+
+/// Generates a random instance and its [`ImpDb::generate`]d database,
+/// panicking on degenerate parameters.
 ///
 /// S-calls are given random software times, frequencies, jobs and parallel
 /// code; IPs random rates/latencies/areas. The returned sweep covers 20–80 %
-/// of the maximum achievable gain.
+/// of the maximum gain achievable on the weakest path.
+///
+/// # Panics
+///
+/// On a degenerate parameter set; use [`try_generate`] for the typed error.
 #[must_use]
 pub fn generate(params: SynthParams) -> Workload {
+    try_generate(params).unwrap_or_else(|e| panic!("degenerate SynthParams: {e}"))
+}
+
+/// Fallible form of [`generate`].
+///
+/// # Errors
+///
+/// [`SynthError`] when `scalls`, `ips`, `paths` or `imp_fanout` is zero.
+/// `paths > scalls` is saturated (clamped to `scalls`) rather than
+/// rejected, so no generated path is ever empty.
+pub fn try_generate(params: SynthParams) -> Result<Workload, SynthError> {
+    if params.scalls == 0 {
+        return Err(SynthError::ZeroSCalls);
+    }
+    if params.ips == 0 {
+        return Err(SynthError::ZeroIps);
+    }
+    if params.paths == 0 {
+        return Err(SynthError::ZeroPaths);
+    }
+    if params.imp_fanout == 0 {
+        return Err(SynthError::ZeroFanout);
+    }
+    let paths = params.paths.min(params.scalls);
+    let pool = params.ips.div_ceil(params.imp_fanout).max(1);
+
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut instance = Instance::new(format!("synth_{}", params.seed));
 
     for i in 0..params.ips {
-        let func = FUNCTIONS[rng.gen_range(0..FUNCTIONS.len())].clone();
-        let rate = rng.gen_range(1..=8);
+        // Functions are dealt round-robin so every pool function is
+        // implemented by ~`imp_fanout` IPs (the fan-out knob).
+        let func = pool_function(i % pool);
+        let rate = match params.kind_mix {
+            KindMix::AllKinds => rng.gen_range(4..=8),
+            _ => rng.gen_range(1..=8),
+        };
+        let (in_ports, out_ports) = match params.kind_mix {
+            KindMix::Balanced => (rng.gen_range(1..=3), rng.gen_range(1..=3)),
+            KindMix::BufferedOnly => (rng.gen_range(3..=4), rng.gen_range(1..=3)),
+            KindMix::AllKinds => (rng.gen_range(1..=2), rng.gen_range(1..=2)),
+        };
         let mut builder = IpBlock::builder(format!("ip{i}"))
             .function(func)
-            .ports(rng.gen_range(1..=3), rng.gen_range(1..=3))
+            .ports(in_ports, out_ports)
             .rates(rate, rate)
             .latency(rng.gen_range(2..=32))
             .area(AreaTenths::from_tenths(rng.gen_range(5..=300)));
         // A quarter of the library are M-IPs supporting a second function.
         if rng.gen_bool(0.25) {
-            builder = builder.function(FUNCTIONS[rng.gen_range(0..FUNCTIONS.len())].clone());
+            builder = builder.function(pool_function(rng.gen_range(0..pool)));
         }
         instance.library.add(builder.build());
     }
 
     let mut ids = Vec::new();
     for i in 0..params.scalls {
-        let func = FUNCTIONS[rng.gen_range(0..FUNCTIONS.len())].clone();
+        let func = pool_function(rng.gen_range(0..pool));
         let words = rng.gen_range(8..=256) * 2;
         let sc = SCall::new(
             format!("sc{i}"),
@@ -83,54 +365,76 @@ pub fn generate(params: SynthParams) -> Workload {
         .with_plain_pc(Cycles(rng.gen_range(0..500)));
         ids.push(instance.add_scall(sc));
     }
-    // Problem 2 candidates: each s-call may use the next one in software.
-    for i in 0..params.scalls.saturating_sub(1) {
-        let next = ids[i + 1];
-        instance.scalls[i].sw_pc_candidates = vec![next];
+    // Problem 2 candidates: `conflict_pct` % of the s-calls (spread evenly,
+    // Bresenham-style) may run successors in software as parallel code —
+    // one successor up to 50 %, two above.
+    let pct = u64::from(params.conflict_pct.min(100));
+    for i in 0..params.scalls {
+        let conflicted = (i as u64 * pct) % 100 < pct;
+        if !conflicted {
+            continue;
+        }
+        let mut candidates = Vec::new();
+        if i + 1 < params.scalls {
+            candidates.push(ids[i + 1]);
+        }
+        if pct > 50 && i + 2 < params.scalls {
+            candidates.push(ids[i + 2]);
+        }
+        instance.scalls[i].sw_pc_candidates = candidates;
     }
 
-    for p in 0..params.paths.max(1) {
+    for p in 0..paths {
         let scs: Vec<CallSiteId> = ids
             .iter()
             .enumerate()
-            .filter(|(i, _)| i % params.paths.max(1) == p)
+            .filter(|(i, _)| i % paths == p)
             .map(|(_, &id)| id)
             .collect();
         instance.add_path(scs);
     }
 
-    let imps = ImpDb::generate(&instance);
-    // The sweep must stay achievable on *every* path (a uniform RG binds
-    // each path separately): per s-call take the best conflict-free gain
-    // (SwScalls variants exclude other s-calls' acceleration, so they
-    // cannot all be summed), then take the weakest path's total.
-    let best_of = |sc: &SCall| {
-        imps.for_scall(sc.id)
-            .iter()
-            .filter(|i| i.parallel.consumed_scalls().is_empty())
-            .map(|i| i.gain.get())
-            .max()
-            .unwrap_or(0)
-    };
-    let max_gain: u64 = instance
-        .paths
-        .iter()
-        .map(|p| {
-            p.scalls
-                .iter()
-                .filter_map(|&sc| instance.scall(sc))
-                .map(best_of)
-                .sum::<u64>()
-        })
-        .min()
-        .unwrap_or(0);
-    let rg_sweep = (1..=4).map(|k| Cycles(max_gain * k / 5)).collect();
+    // Nested-call levels: a chain of child s-calls under the first
+    // top-level call (two children on the first level), off every path —
+    // they are decided through the parent's composite IMPs, exactly the
+    // Fig. 11 folding.
+    let mut specs: Vec<HierSpec> = Vec::new();
+    let mut parent = ids[0];
+    for level in 1..=params.hierarchy_depth {
+        let n_children = if level == 1 { 2 } else { 1 };
+        let mut children = Vec::new();
+        for c in 0..n_children {
+            let func = pool_function(rng.gen_range(0..pool));
+            let words = rng.gen_range(8..=64) * 2;
+            let sc = SCall::new(
+                format!("h{level}c{c}"),
+                func,
+                Cycles(rng.gen_range(1_000..50_000)),
+                TransferJob::new(words, words),
+            )
+            .with_freq(rng.gen_range(1..=4));
+            children.push(instance.add_scall(sc));
+        }
+        specs.push(HierSpec { parent, children });
+        parent = specs.last().expect("level pushed").children[0];
+    }
 
-    Workload {
+    let mut imps = ImpDb::generate(&instance);
+    if !specs.is_empty() {
+        // Bottom-up (deepest spec first), through the validating entry
+        // point: a generator bug that emitted a malformed hierarchy must
+        // surface as the typed error, not as a nonsense database.
+        specs.reverse();
+        imps = hierarchy::try_flatten(&imps, &specs, FlattenLimits::default())
+            .expect("generated hierarchy specs are structurally valid");
+    }
+    let rg_sweep = achievable_rg_sweep(&instance, &imps);
+
+    Ok(Workload {
         instance: std::sync::Arc::new(instance),
         imps: std::sync::Arc::new(imps),
         rg_sweep,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -160,12 +464,7 @@ mod tests {
 
     #[test]
     fn generated_instances_are_solvable() {
-        let w = generate(SynthParams {
-            scalls: 8,
-            ips: 6,
-            paths: 2,
-            seed: 42,
-        });
+        let w = generate(SynthParams::sized(8, 6, 2, 42));
         assert!(!w.imps.is_empty());
         let rg = w.rg_sweep[0];
         let sel = Solver::new(&w.instance)
@@ -186,13 +485,161 @@ mod tests {
 
     #[test]
     fn paths_partition_scalls() {
-        let w = generate(SynthParams {
-            scalls: 9,
-            ips: 4,
-            paths: 3,
-            seed: 1,
-        });
+        let w = generate(SynthParams::sized(9, 4, 3, 1));
         let total: usize = w.instance.paths.iter().map(|p| p.scalls.len()).sum();
         assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn degenerate_params_are_typed_errors() {
+        let base = SynthParams::small();
+        let err = |p: SynthParams| try_generate(p).map(|_| ()).unwrap_err();
+        assert_eq!(
+            err(SynthParams { scalls: 0, ..base }),
+            SynthError::ZeroSCalls
+        );
+        assert_eq!(err(SynthParams { ips: 0, ..base }), SynthError::ZeroIps);
+        assert_eq!(err(SynthParams { paths: 0, ..base }), SynthError::ZeroPaths);
+        assert_eq!(
+            err(SynthParams {
+                imp_fanout: 0,
+                ..base
+            }),
+            SynthError::ZeroFanout
+        );
+        assert!(SynthError::ZeroPaths.to_string().contains("paths"));
+    }
+
+    #[test]
+    fn excess_paths_saturate_to_scalls() {
+        let w = generate(SynthParams {
+            paths: 10,
+            ..SynthParams::sized(3, 3, 10, 5)
+        });
+        assert_eq!(w.instance.paths.len(), 3);
+        assert!(w.instance.paths.iter().all(|p| !p.scalls.is_empty()));
+    }
+
+    #[test]
+    fn fanout_bounds_ips_per_function() {
+        let w = generate(SynthParams {
+            imp_fanout: 3,
+            ips: 12,
+            ..SynthParams::sized(6, 12, 2, 9)
+        });
+        // Pool of ceil(12/3) = 4 functions; round-robin deal means each is
+        // implemented by exactly 3 primary IPs (M-IP extras aside).
+        for k in 0..4 {
+            let f = pool_function(k);
+            let primary = w
+                .instance
+                .library
+                .iter()
+                .filter(|b| b.functions().first() == Some(&f))
+                .count();
+            assert_eq!(primary, 3, "function {f:?}");
+        }
+    }
+
+    #[test]
+    fn conflict_density_scales_candidates() {
+        let none = generate(SynthParams {
+            conflict_pct: 0,
+            ..SynthParams::sized(10, 4, 2, 11)
+        });
+        assert!(none
+            .instance
+            .scalls
+            .iter()
+            .all(|s| s.sw_pc_candidates.is_empty()));
+        let half = generate(SynthParams {
+            conflict_pct: 50,
+            ..SynthParams::sized(10, 4, 2, 11)
+        });
+        let conflicted = half
+            .instance
+            .scalls
+            .iter()
+            .filter(|s| !s.sw_pc_candidates.is_empty())
+            .count();
+        assert_eq!(conflicted, 5);
+        let full = generate(SynthParams {
+            conflict_pct: 100,
+            ..SynthParams::sized(10, 4, 2, 11)
+        });
+        // Every s-call with room for a successor is conflicted, and the
+        // high-density regime hands out two candidates where possible.
+        assert!(full.instance.scalls[0].sw_pc_candidates.len() == 2);
+        assert!(full
+            .instance
+            .scalls
+            .iter()
+            .take(9)
+            .all(|s| !s.sw_pc_candidates.is_empty()));
+    }
+
+    #[test]
+    fn hierarchy_depth_adds_children_and_flattens() {
+        let flat = generate(SynthParams {
+            hierarchy_depth: 0,
+            ..SynthParams::sized(5, 4, 2, 13)
+        });
+        let deep = generate(SynthParams {
+            hierarchy_depth: 2,
+            ..SynthParams::sized(5, 4, 2, 13)
+        });
+        // Level 1 adds two children, level 2 one more.
+        assert_eq!(deep.instance.scalls.len(), flat.instance.scalls.len() + 3);
+        // Children live off-path: the paths still partition the 5 top calls.
+        let on_paths: usize = deep.instance.paths.iter().map(|p| p.scalls.len()).sum();
+        assert_eq!(on_paths, 5);
+        // Consumed children keep no IMPs of their own.
+        for sc in &deep.instance.scalls[5..] {
+            assert!(
+                deep.imps.for_scall(sc.id).is_empty(),
+                "child {} must be folded into the parent",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_only_mix_never_emits_bufferless_imps() {
+        let w = generate(SynthParams {
+            kind_mix: KindMix::BufferedOnly,
+            ..SynthParams::sized(8, 6, 2, 17)
+        });
+        assert!(!w.imps.is_empty());
+        for imp in w.imps.imps() {
+            assert!(
+                imp.interface.has_buffers(),
+                "bufferless {} leaked through the buffered-only mix",
+                imp.interface
+            );
+        }
+    }
+
+    #[test]
+    fn all_kinds_mix_reaches_all_four_kinds() {
+        let w = generate(SynthParams {
+            kind_mix: KindMix::AllKinds,
+            ..SynthParams::sized(12, 8, 2, 19)
+        });
+        let kinds: std::collections::BTreeSet<_> =
+            w.imps.imps().iter().map(|i| i.interface).collect();
+        assert_eq!(kinds.len(), 4, "expected all four kinds, got {kinds:?}");
+    }
+
+    #[test]
+    fn presets_resolve_and_scale() {
+        for name in SynthParams::PRESETS {
+            assert!(SynthParams::preset(name).is_some(), "{name}");
+        }
+        assert!(SynthParams::preset("huge").is_none());
+        assert!(SynthParams::micro().scalls < SynthParams::small().scalls);
+        assert_eq!(SynthParams::table().scalls, 18);
+        assert_eq!(SynthParams::x10().scalls, 180);
+        assert_eq!(SynthParams::x100().scalls, 1800);
+        assert_eq!(SynthParams::x1000().scalls, 18_000);
     }
 }

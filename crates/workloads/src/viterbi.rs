@@ -1,0 +1,231 @@
+//! Viterbi-decoder workload family (rate-1/2, constraint-length-7
+//! convolutional code, 64 trellis states — the GSM-class channel decoder).
+//!
+//! The decoder's hot loop is the textbook split: per received symbol the
+//! **metric path** computes branch metrics (a correlation against the two
+//! generator polynomials), runs the add-compare-select butterflies over the
+//! trellis and renormalises the path metrics; once per frame the **decode
+//! path** walks the survivor memory backwards. ACS dominates — it runs once
+//! per trellis segment — so the library carries two ACS arrays at different
+//! width/area points (IMP fan-out), plus an M-IP that fuses ACS with the
+//! renormalisation subtract.
+//!
+//! The even/odd ACS halves are data-independent, so the even half may run
+//! the odd half's software implementation as parallel code (a Problem 2
+//! SC-PC conflict source, like the paper's `IMP24`/`IMP25` pair).
+//!
+//! [`workload`] is the calibrated canonical instance; [`variant`] jitters
+//! magnitudes (software times, frequencies, latencies, areas) by ±10 %
+//! while keeping the structure fixed, which is how the corpus manifest
+//! enumerates the family.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use partita_core::{ImpDb, Instance, SCall};
+use partita_interface::TransferJob;
+use partita_ip::{IpBlock, IpFunction};
+use partita_mop::{AreaTenths, Cycles};
+
+use crate::{achievable_rg_sweep, jitter, jitter_freq, Workload};
+
+fn acs() -> IpFunction {
+    IpFunction::Custom("acs".into())
+}
+
+fn survivor() -> IpFunction {
+    IpFunction::Custom("survivor".into())
+}
+
+fn traceback() -> IpFunction {
+    IpFunction::Custom("traceback".into())
+}
+
+/// The canonical calibrated instance (identical to [`variant`]`(0)`).
+#[must_use]
+pub fn workload() -> Workload {
+    variant(0)
+}
+
+/// A seeded family member: same structure, ±10 % magnitudes.
+#[must_use]
+pub fn variant(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5649_5445_5242_4931); // "VITERBI1"
+    let mut instance = Instance::new(format!("viterbi_{seed}"));
+
+    // --- library -----------------------------------------------------
+    instance.library.add(
+        IpBlock::builder("bmu_corr")
+            .function(IpFunction::Correlator)
+            .ports(2, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 4) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 120) as i64))
+            .build(),
+    );
+    // Two ACS arrays: a narrow bufferless-capable one and a wide one that
+    // needs buffered interfaces (3 ports) — fan-out with a real trade-off.
+    instance.library.add(
+        IpBlock::builder("acs_array4")
+            .function(acs())
+            .ports(2, 2)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 6) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 180) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("acs_array8")
+            .function(acs())
+            .ports(3, 3)
+            .rates(1, 1)
+            .latency(jitter(&mut rng, 4) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 320) as i64))
+            .build(),
+    );
+    // M-IP: ACS fused with the metric renormalisation subtract.
+    instance.library.add(
+        IpBlock::builder("acs_norm")
+            .function(acs())
+            .function(IpFunction::Quantizer)
+            .ports(2, 2)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 8) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 260) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("survivor_ctrl")
+            .function(survivor())
+            .ports(2, 1)
+            .rates(2, 2)
+            .latency(jitter(&mut rng, 8) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 90) as i64))
+            .build(),
+    );
+    instance.library.add(
+        IpBlock::builder("trellis_walker")
+            .function(traceback())
+            .ports(1, 1)
+            .rates(4, 4)
+            .latency(jitter(&mut rng, 16) as u32)
+            .area(AreaTenths::from_tenths(jitter(&mut rng, 110) as i64))
+            .build(),
+    );
+
+    // --- s-calls (per 20 ms frame; freq = invocations on the hot run) ---
+    let branch_metric = instance.add_scall(
+        SCall::new(
+            "branch_metric",
+            IpFunction::Correlator,
+            Cycles(jitter(&mut rng, 6_000)),
+            TransferJob::new(128, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 8))
+        .with_plain_pc(Cycles(jitter(&mut rng, 200))),
+    );
+    let acs_even = instance.add_scall(
+        SCall::new(
+            "acs_even",
+            acs(),
+            Cycles(jitter(&mut rng, 24_000)),
+            TransferJob::new(256, 256),
+        )
+        .with_freq(jitter_freq(&mut rng, 8)),
+    );
+    let acs_odd = instance.add_scall(
+        SCall::new(
+            "acs_odd",
+            acs(),
+            Cycles(jitter(&mut rng, 24_000)),
+            TransferJob::new(256, 256),
+        )
+        .with_freq(jitter_freq(&mut rng, 8)),
+    );
+    // The even half may run the odd half in software as parallel code.
+    instance.scalls[acs_even.index()].sw_pc_candidates = vec![acs_odd];
+    let normalize = instance.add_scall(
+        SCall::new(
+            "normalize",
+            IpFunction::Quantizer,
+            Cycles(jitter(&mut rng, 3_000)),
+            TransferJob::new(128, 128),
+        )
+        .with_freq(jitter_freq(&mut rng, 2)),
+    );
+    let survivor_update = instance.add_scall(
+        SCall::new(
+            "survivor_update",
+            survivor(),
+            Cycles(jitter(&mut rng, 9_000)),
+            TransferJob::new(256, 64),
+        )
+        .with_freq(jitter_freq(&mut rng, 8)),
+    );
+    let walk = instance.add_scall(
+        SCall::new(
+            "traceback",
+            traceback(),
+            Cycles(jitter(&mut rng, 30_000)),
+            TransferJob::new(64, 32),
+        )
+        .with_plain_pc(Cycles(jitter(&mut rng, 400))),
+    );
+
+    // Per-symbol metric path vs once-per-frame decode path: a uniform RG
+    // binds each separately (paper-style per-path timing).
+    instance.add_path(vec![branch_metric, acs_even, acs_odd, normalize]);
+    instance.add_path(vec![survivor_update, walk]);
+
+    let imps = ImpDb::generate(&instance);
+    let rg_sweep = achievable_rg_sweep(&instance, &imps);
+    Workload {
+        instance: std::sync::Arc::new(instance),
+        imps: std::sync::Arc::new(imps),
+        rg_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partita_core::{RequiredGains, SelectionAuditor, SolveOptions, Solver};
+
+    #[test]
+    fn canonical_shape() {
+        let w = workload();
+        assert_eq!(w.instance.scalls.len(), 6);
+        assert_eq!(w.instance.library.len(), 6);
+        assert_eq!(w.instance.paths.len(), 2);
+        assert!(!w.imps.is_empty());
+        // The ACS halves see both arrays plus the fused M-IP.
+        let acs_imps = w.imps.for_scall(w.instance.scalls[1].id);
+        let ips: std::collections::BTreeSet<_> = acs_imps
+            .iter()
+            .flat_map(|i| i.ips.iter().copied())
+            .collect();
+        assert!(ips.len() >= 3, "ACS fan-out collapsed: {ips:?}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(variant(3).imps.imps(), variant(3).imps.imps());
+        assert_ne!(variant(3).imps.imps(), variant(4).imps.imps());
+    }
+
+    #[test]
+    fn sweep_points_solve_and_audit_clean() {
+        for seed in [0, 9] {
+            let w = variant(seed);
+            for &rg in &w.rg_sweep {
+                let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+                let sel = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .expect("achievable sweep point");
+                let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
+                assert!(report.is_clean(), "seed {seed}: {}", report.to_json());
+            }
+        }
+    }
+}

@@ -1,48 +1,32 @@
 //! Reproducibility: every published sweep point must decode to the same
 //! selection on repeated solves — the tables in EXPERIMENTS.md are only
-//! meaningful if the solver is deterministic.
+//! meaningful if the solver is deterministic. The serialization contract
+//! and thread-count solver live in `tests/common` and are shared with the
+//! corpus and fuzz gates.
 
-use partita::core::{
-    RequiredGains, Selection, SelectionAuditor, SolveBudget, SolveOptions, Solver, SweepSession,
-};
-use partita::workloads::{gsm, jpeg, synth, Workload};
+mod common;
 
-/// Serializes everything reproducible about a selection — the chosen IMPs,
-/// objective, totals and per-path gains — excluding the trace (wall times
-/// and per-worker node counts legitimately vary between runs). Byte equality
-/// of these strings is the determinism contract.
-fn serialize_selection(sel: &Selection) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "objective={};area={};gain={};status={}\n",
-        sel.objective,
-        sel.total_area(),
-        sel.total_gain().get(),
-        sel.status
-    ));
-    for imp in sel.chosen() {
-        out.push_str(&format!("{imp:?}\n"));
-    }
-    for (path, gain) in &sel.gain_per_path {
-        out.push_str(&format!("{path:?}={}\n", gain.get()));
-    }
-    out
-}
+use common::{serialize_selection, solve_with_threads};
+use partita::core::{RequiredGains, SolveBudget, SolveOptions, Solver, SweepSession};
+use partita::workloads::{adpcm, fft_radix4, gsm, jpeg, lms, synth, viterbi, Workload};
 
-/// Solves one sweep point with an explicit branch-and-bound thread count.
-fn solve_with_threads(w: &Workload, rg: partita::mop::Cycles, threads: usize) -> Selection {
-    Solver::new(&w.instance)
-        .with_imps(w.imps.clone())
-        .solve(
-            &SolveOptions::problem2(RequiredGains::uniform(rg))
-                .budget(SolveBudget::default().with_threads(threads)),
-        )
-        .expect("sweep point feasible")
+/// Calibrated tables plus one canonical member of each generated DSP
+/// family: the full published surface.
+fn published_workloads() -> Vec<Workload> {
+    vec![
+        gsm::encoder(),
+        gsm::decoder(),
+        jpeg::encoder(),
+        viterbi::workload(),
+        adpcm::workload(),
+        lms::workload(),
+        fft_radix4::workload(),
+    ]
 }
 
 #[test]
 fn calibrated_sweeps_are_deterministic() {
-    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+    for w in published_workloads() {
         for &rg in &w.rg_sweep {
             let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
             let a = Solver::new(&w.instance)
@@ -64,14 +48,8 @@ fn calibrated_sweeps_are_deterministic() {
             assert_eq!(a.total_gain(), b.total_gain());
             // Audit oracle over every published table point: the selection
             // must re-derive cleanly from the calibrated IMP database.
-            let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&a, &opts);
-            assert!(
-                report.is_clean(),
-                "{} at RG {} failed the audit: {}",
-                w.instance.name,
-                rg.get(),
-                report.to_json()
-            );
+            let ctx = format!("{} at RG {}", w.instance.name, rg.get());
+            common::assert_audit_clean(&w, &a, &opts, &ctx);
         }
     }
 }
@@ -81,7 +59,7 @@ fn calibrated_sweeps_are_deterministic() {
 /// thread count is a performance knob, never a result knob.
 #[test]
 fn selections_are_byte_identical_across_thread_counts() {
-    for w in [gsm::encoder(), gsm::decoder(), jpeg::encoder()] {
+    for w in published_workloads() {
         for &rg in &w.rg_sweep {
             let reference = serialize_selection(&solve_with_threads(&w, rg, 1));
             for threads in [1usize, 2, 8] {
@@ -104,12 +82,7 @@ fn selections_are_byte_identical_across_thread_counts() {
 /// that the parallel pool actually interleaves.
 #[test]
 fn synth_selection_byte_identical_across_thread_counts() {
-    let w = synth::generate(synth::SynthParams {
-        scalls: 14,
-        ips: 10,
-        paths: 2,
-        seed: 3,
-    });
+    let w = synth::generate(synth::SynthParams::sized(12, 8, 2, 3));
     let rg = w.rg_sweep[2];
     let reference = serialize_selection(&solve_with_threads(&w, rg, 1));
     for threads in [2usize, 8] {

@@ -1,19 +1,22 @@
 //! Differential-testing corpus: branch-and-bound (serial), branch-and-bound
 //! (parallel) and exhaustive enumeration must agree on objective value and
-//! feasibility across a population of seeded synthetic instances.
+//! feasibility across the committed corpus' `micro` population.
 //!
 //! This is the equivalence lock for the parallel solver: exhaustive
 //! enumeration is an independent oracle (no LP, no pruning, no threads), so
 //! any divergence is a solver bug, not a tie-break artifact. Instances whose
 //! model exceeds the exhaustive backend's binary-variable cap are skipped —
-//! the corpus parameters are sized so at least 50 (seed, RG) points survive.
+//! the micro preset is sized so at least 50 (entry, RG) points survive.
+//! Every entry rebuilds through its manifest digest first, so the oracle
+//! runs over exactly the committed instances, not whatever the generator
+//! happens to emit today.
+
+mod common;
 
 use partita::core::{
-    Backend, CoreError, RequiredGains, Selection, SelectionAuditor, SolveBudget, SolveOptions,
-    Solver, SweepSession,
+    Backend, CoreError, RequiredGains, Selection, SolveBudget, SolveOptions, Solver, SweepSession,
 };
 use partita::ilp::IlpError;
-use partita::workloads::synth::{generate, SynthParams};
 
 const PARALLEL_THREADS: usize = 4;
 
@@ -53,15 +56,12 @@ fn verdict(result: Result<Selection, CoreError>) -> Option<Verdict> {
 
 #[test]
 fn serial_parallel_and_exhaustive_agree_on_corpus() {
+    let entries = common::entries_for("synth", "micro");
+    assert!(!entries.is_empty(), "micro corpus entries missing");
     let mut compared = 0usize;
     let mut skipped = 0usize;
-    for seed in 0..20u64 {
-        let w = generate(SynthParams {
-            scalls: 3 + (seed % 3) as usize, // 3..=5
-            ips: 2 + (seed % 2) as usize,    // 2..=3
-            paths: 1 + (seed % 2) as usize,  // 1..=2
-            seed,
-        });
+    for entry in &entries {
+        let w = common::verified_workload(entry);
         for &rg in &w.rg_sweep {
             let solve = |backend: Backend, threads: usize| {
                 Solver::new(&w.instance).with_imps(w.imps.clone()).solve(
@@ -76,7 +76,7 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
                         ),
                 )
             };
-            let ctx = format!("seed {seed}, RG {}", rg.get());
+            let ctx = format!("{}, RG {}", entry.id, rg.get());
             let Some(oracle) = verdict(solve(Backend::Exhaustive, 1)) else {
                 skipped += 1;
                 continue;
@@ -86,12 +86,11 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
             // re-derive cleanly from the raw instance and IMP database,
             // without consulting the ILP model that produced it.
             if let Ok(sel) = &serial_result {
-                let report = SelectionAuditor::new(&w.instance, &w.imps)
-                    .audit(sel, &SolveOptions::problem2(RequiredGains::uniform(rg)));
-                assert!(
-                    report.is_clean(),
-                    "audit oracle rejected the solution at {ctx}: {}",
-                    report.to_json()
+                common::assert_audit_clean(
+                    &w,
+                    sel,
+                    &SolveOptions::problem2(RequiredGains::uniform(rg)),
+                    &ctx,
                 );
             }
             let serial = verdict(serial_result).expect("branch-and-bound has no size cap");
@@ -123,7 +122,7 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
     assert!(
         compared >= 50,
         "differential corpus too small: {compared} compared, {skipped} skipped \
-         (grow the seed range or shrink the instances)"
+         (grow the micro population or shrink the instances)"
     );
 }
 
@@ -133,14 +132,10 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
 /// included — to the plain `Solver::solve` result for the same options.
 #[test]
 fn session_cache_agrees_with_uncached_solver_on_corpus() {
+    let entries = common::entries_for("synth", "micro");
     let mut compared = 0usize;
-    for seed in 0..10u64 {
-        let w = generate(SynthParams {
-            scalls: 3 + (seed % 3) as usize,
-            ips: 2 + (seed % 2) as usize,
-            paths: 1 + (seed % 2) as usize,
-            seed,
-        });
+    for entry in entries.iter().take(10) {
+        let w = common::verified_workload(entry);
         let mut session = SweepSession::new();
         for &rg in &w.rg_sweep {
             for threads in [1usize, 4] {
@@ -156,7 +151,7 @@ fn session_cache_agrees_with_uncached_solver_on_corpus() {
                     .solve(&opts);
                 let cold = session.solve(&w.instance, &w.imps, &opts);
                 let hit = session.solve(&w.instance, &w.imps, &opts);
-                let ctx = format!("seed {seed}, RG {}, {threads} threads", rg.get());
+                let ctx = format!("{}, RG {}, {threads} threads", entry.id, rg.get());
                 match (lone, cold, hit) {
                     (Ok(lone), Ok(cold), Ok(hit)) => {
                         // The lone solve ran outside the session, so wall
@@ -189,14 +184,10 @@ fn session_cache_agrees_with_uncached_solver_on_corpus() {
 fn delta_session_agrees_with_cold_solver_on_corpus() {
     use partita::core::{DeltaSession, InstanceDelta};
 
+    let entries = common::entries_for("synth", "micro");
     let mut compared = 0usize;
-    for seed in 0..20u64 {
-        let w = generate(SynthParams {
-            scalls: 3 + (seed % 3) as usize,
-            ips: 2 + (seed % 2) as usize,
-            paths: 1 + (seed % 2) as usize,
-            seed,
-        });
+    for entry in &entries {
+        let w = common::verified_workload(entry);
         let base = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[0]));
         let mut session = match DeltaSession::new(
             std::sync::Arc::clone(&w.instance),
@@ -206,7 +197,7 @@ fn delta_session_agrees_with_cold_solver_on_corpus() {
             Ok(s) => s,
             // A seed can produce an empty IMP database; nothing to compare.
             Err(CoreError::NoImps) => continue,
-            Err(e) => panic!("formulation failed at seed {seed}: {e}"),
+            Err(e) => panic!("formulation failed at {}: {e}", entry.id),
         };
         // Walk the sweep high-to-low then back up: descending points are
         // the chained-sweep shape, the final ascent exercises re-tightening
@@ -215,7 +206,7 @@ fn delta_session_agrees_with_cold_solver_on_corpus() {
         points.reverse();
         points.extend(w.rg_sweep.iter().copied());
         for (i, &rg) in points.iter().enumerate() {
-            let ctx = format!("seed {seed}, point {i}, RG {}", rg.get());
+            let ctx = format!("{}, point {i}, RG {}", entry.id, rg.get());
             session
                 .apply(InstanceDelta::SetRg(RequiredGains::uniform(rg)))
                 .expect("SetRg patch");
@@ -232,19 +223,10 @@ fn delta_session_agrees_with_cold_solver_on_corpus() {
                         "{ctx}: area diverged"
                     );
                     assert_eq!(w_sel.status, c_sel.status, "{ctx}: status diverged");
-                    let report = SelectionAuditor::new(&w.instance, &w.imps)
-                        .audit(w_sel, session.options());
-                    assert!(
-                        report.is_clean(),
-                        "{ctx}: audit violations {}",
-                        report.to_json()
-                    );
+                    common::assert_audit_clean(&w, w_sel, session.options(), &ctx);
                     compared += 1;
                 }
-                (
-                    Err(CoreError::Infeasible { .. }),
-                    Err(CoreError::Infeasible { .. }),
-                ) => {
+                (Err(CoreError::Infeasible { .. }), Err(CoreError::Infeasible { .. })) => {
                     compared += 1;
                 }
                 other => panic!("{ctx}: delta vs cold diverged: {other:?}"),
@@ -253,6 +235,6 @@ fn delta_session_agrees_with_cold_solver_on_corpus() {
     }
     assert!(
         compared >= 50,
-        "delta corpus too small: {compared} compared (grow the seed range)"
+        "delta corpus too small: {compared} compared (grow the micro population)"
     );
 }

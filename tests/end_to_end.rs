@@ -2,6 +2,8 @@
 //! parallel-code analysis → IMP generation → ILP selection, spanning every
 //! crate in the workspace.
 
+mod common;
+
 use partita::asip::{ExecOptions, Kernel};
 use partita::core::{parallel_code, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver};
 use partita::frontend::{compile, profile};
@@ -162,12 +164,9 @@ fn ids_first(instance: &Instance) -> partita::mop::CallSiteId {
 #[test]
 fn per_path_requirements_with_unlisted_paths() {
     use partita::mop::PathId;
-    let w = partita::workloads::synth::generate(partita::workloads::synth::SynthParams {
-        scalls: 8,
-        ips: 4,
-        paths: 2,
-        seed: 7,
-    });
+    let w = partita::workloads::synth::generate(partita::workloads::synth::SynthParams::sized(
+        8, 4, 2, 7,
+    ));
     assert_eq!(w.instance.paths.len(), 2, "two-path corpus instance");
     let (p0, p1) = (w.instance.paths[0].id, w.instance.paths[1].id);
     let rg = w.rg_sweep[1];
@@ -214,7 +213,7 @@ fn per_path_requirements_with_unlisted_paths() {
 /// on a cold solve and on a sweep-session cache hit.
 #[test]
 fn zero_rg_selects_nothing_and_audits_clean() {
-    use partita::core::{SelectionAuditor, SweepSession};
+    use partita::core::SweepSession;
     use partita::workloads::gsm;
 
     let w = gsm::encoder();
@@ -225,8 +224,7 @@ fn zero_rg_selects_nothing_and_audits_clean() {
         .expect("zero requirement is trivially feasible");
     assert!(sel.chosen().is_empty(), "zero RG must not buy hardware");
     assert_eq!(sel.total_area(), AreaTenths::ZERO);
-    let report = SelectionAuditor::new(&w.instance, &w.imps).audit(&sel, &opts);
-    assert!(report.is_clean(), "{}", report.to_json());
+    common::assert_audit_clean(&w, &sel, &opts, "gsm encoder at zero RG");
 
     // The cache-hit path runs its own audit (the flag is not in the key).
     let audited = opts.audit(true);

@@ -1,0 +1,205 @@
+//! Boundary instances from every workload family: zero required gain,
+//! single-path requirements, software-only variants (no feasible IMPs) and
+//! maximum conflict density. Each boundary must solve (or fail with the
+//! typed error the API promises), pass the independent audit, and replay
+//! byte-identically — degenerate inputs are corpus members, not crashes.
+
+mod common;
+
+use partita::core::{CoreError, ImpDb, RequiredGains, SolveOptions, Solver};
+use partita::ip::IpLibrary;
+use partita::mop::Cycles;
+use partita::workloads::synth::{generate, KindMix, SynthParams};
+use partita::workloads::{adpcm, fft_radix4, lms, viterbi, Workload};
+
+/// One canonical member of each generated DSP family plus a small synth
+/// instance — the boundary population.
+fn family_workloads() -> Vec<Workload> {
+    vec![
+        viterbi::workload(),
+        adpcm::workload(),
+        lms::workload(),
+        fft_radix4::workload(),
+        generate(SynthParams::small()),
+    ]
+}
+
+/// Zero required gain: the cheapest answer is always "stay in software" —
+/// an empty selection with zero area — and it must audit clean and replay
+/// byte-identically in every family.
+#[test]
+fn zero_rg_selects_nothing_in_every_family() {
+    for w in family_workloads() {
+        let opts = SolveOptions::problem2(RequiredGains::uniform(Cycles::ZERO));
+        let solve = || {
+            Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(&opts)
+                .expect("zero requirement is trivially feasible")
+        };
+        let sel = solve();
+        assert!(
+            sel.chosen().is_empty(),
+            "{}: zero RG must not buy hardware",
+            w.instance.name
+        );
+        common::assert_audit_clean(&w, &sel, &opts, &w.instance.name);
+        assert_eq!(
+            common::serialize_selection(&sel),
+            common::serialize_selection(&solve()),
+            "{}: zero-RG replay diverged",
+            w.instance.name
+        );
+    }
+}
+
+/// Requiring gain on only the first path relaxes the uniform problem: the
+/// solve stays feasible, audits clean against the per-path spec, and never
+/// costs more area than constraining every path.
+#[test]
+fn single_path_requirement_relaxes_every_family() {
+    for w in family_workloads() {
+        assert!(w.instance.paths.len() >= 2, "{}", w.instance.name);
+        let rg = common::mid_rg(&w);
+        let p0 = w.instance.paths[0].id;
+        let uniform_opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+        let single_opts = SolveOptions::problem2(RequiredGains::per_path(vec![(p0, rg)]));
+        let solve = |opts: &SolveOptions| {
+            Solver::new(&w.instance)
+                .with_imps(w.imps.clone())
+                .solve(opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.instance.name))
+        };
+        let uniform = solve(&uniform_opts);
+        let single = solve(&single_opts);
+        common::assert_audit_clean(&w, &single, &single_opts, &w.instance.name);
+        assert!(
+            single.total_area() <= uniform.total_area(),
+            "{}: dropping the second path's requirement must only relax",
+            w.instance.name
+        );
+        assert_eq!(
+            common::serialize_selection(&single),
+            common::serialize_selection(&solve(&single_opts)),
+            "{}: single-path replay diverged",
+            w.instance.name
+        );
+    }
+}
+
+/// A single-path *instance* (not just a single-path requirement) from the
+/// generator: every knob else default, one path carrying every s-call.
+#[test]
+fn single_path_synth_instance_solves_and_audits() {
+    let w = generate(SynthParams {
+        paths: 1,
+        ..SynthParams::small()
+    });
+    assert_eq!(w.instance.paths.len(), 1);
+    let rg = common::mid_rg(&w);
+    let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+    let sel = Solver::new(&w.instance)
+        .with_imps(w.imps.clone())
+        .solve(&opts)
+        .expect("single-path sweep point feasible");
+    common::assert_audit_clean(&w, &sel, &opts, "synth single-path");
+}
+
+/// Software-only variants: stripping the IP library from any family's
+/// instance leaves an empty IMP database, and the solver reports the typed
+/// [`CoreError::NoImps`] at zero and positive requirements alike — never a
+/// fabricated selection, never a panic.
+#[test]
+fn software_only_variants_report_no_imps_in_every_family() {
+    for w in family_workloads() {
+        let mut sw_only = (*w.instance).clone();
+        sw_only.library = IpLibrary::new();
+        let db = ImpDb::generate(&sw_only);
+        assert!(
+            db.is_empty(),
+            "{}: no library must mean no IMPs",
+            w.instance.name
+        );
+        for rg in [0u64, 1000] {
+            let err = Solver::new(&sw_only)
+                .with_imps(db.clone())
+                .solve(&SolveOptions::problem2(RequiredGains::uniform(Cycles(rg))))
+                .expect_err("an empty database cannot produce a selection");
+            assert!(
+                matches!(err, CoreError::NoImps),
+                "{} at RG {rg}: got {err}",
+                w.instance.name
+            );
+        }
+    }
+}
+
+/// Maximum conflict density: every s-call's parallel code consumes a
+/// neighbour's software implementation. The generator must emit a valid
+/// instance for every interface-kind mix, and each must solve and audit
+/// clean at its mid-sweep requirement.
+#[test]
+fn max_conflict_density_solves_for_every_kind_mix() {
+    for kind_mix in [KindMix::Balanced, KindMix::BufferedOnly, KindMix::AllKinds] {
+        let w = generate(SynthParams {
+            conflict_pct: 100,
+            kind_mix,
+            ..SynthParams::small()
+        });
+        // Conflicts point at successor s-calls, so the last one has no
+        // candidate to consume: full density means everyone else conflicts.
+        let conflicted = w
+            .instance
+            .scalls
+            .iter()
+            .filter(|sc| !sc.sw_pc_candidates.is_empty())
+            .count();
+        assert_eq!(
+            conflicted,
+            w.instance.scalls.len() - 1,
+            "{kind_mix:?}: full density must conflict every s-call with a successor"
+        );
+        let rg = common::mid_rg(&w);
+        let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&opts)
+            .unwrap_or_else(|e| panic!("{kind_mix:?}: {e}"));
+        common::assert_audit_clean(&w, &sel, &opts, &format!("{kind_mix:?} at full density"));
+        assert_eq!(
+            common::serialize_selection(&sel),
+            common::serialize_selection(
+                &Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .unwrap()
+            ),
+            "{kind_mix:?}: full-density replay diverged"
+        );
+    }
+}
+
+/// Generated family instances round-trip through their content digest:
+/// rebuilding the same seed is byte-identical (digest-equal), a different
+/// seed is not — the property the manifest pins for the whole corpus.
+#[test]
+fn family_rebuilds_are_digest_identical() {
+    use partita::workloads::corpus::digest;
+    for (a, b, c) in [
+        (
+            viterbi::variant(5),
+            viterbi::variant(5),
+            viterbi::variant(6),
+        ),
+        (adpcm::variant(5), adpcm::variant(5), adpcm::variant(6)),
+        (lms::variant(5), lms::variant(5), lms::variant(6)),
+        (
+            fft_radix4::variant(5),
+            fft_radix4::variant(5),
+            fft_radix4::variant(6),
+        ),
+    ] {
+        assert_eq!(digest(&a), digest(&b), "{}", a.instance.name);
+        assert_ne!(digest(&a), digest(&c), "{}", a.instance.name);
+    }
+}

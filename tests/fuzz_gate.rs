@@ -1,0 +1,252 @@
+//! Generator → solve → audit → edit-sequence fuzz gate: random small
+//! [`SynthParams`] drawn across every generator knob must produce instances
+//! that solve (or fail with the typed errors the API promises), pass the
+//! independent audit, and — driven through a random [`DeltaSession`] edit
+//! sequence — agree with a cold oracle solve of the patched instance at
+//! every step. 256 cases per property, deterministic per test name (the
+//! proptest shim derives its RNG from the test path).
+
+mod common;
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use partita::core::{
+    CoreError, DeltaSession, InstanceDelta, RequiredGains, Selection, SolveOptions, Solver,
+};
+use partita::interface::InterfaceKind;
+use partita::ip::{IpBlock, IpFunction, IpId};
+use partita::mop::{AreaTenths, Cycles};
+use partita::workloads::corpus::digest;
+use partita::workloads::synth::{try_generate, KindMix, SynthError, SynthParams};
+
+const KINDS: [InterfaceKind; 4] = [
+    InterfaceKind::Type0,
+    InterfaceKind::Type1,
+    InterfaceKind::Type2,
+    InterfaceKind::Type3,
+];
+
+/// Small but fully knob-covered parameter sets: every axis the scaling
+/// generator exposes, sized so an optimal solve is milliseconds.
+fn params() -> impl Strategy<Value = SynthParams> {
+    (
+        (2usize..=5, 1usize..=3, 1usize..=3, 0u64..1_000_000),
+        (1usize..=2, 0u8..=100, 0usize..=1, 0u8..3),
+    )
+        .prop_map(
+            |((scalls, ips, paths, seed), (imp_fanout, conflict_pct, hierarchy_depth, mix))| {
+                SynthParams {
+                    scalls,
+                    ips,
+                    paths,
+                    seed,
+                    imp_fanout,
+                    conflict_pct,
+                    hierarchy_depth,
+                    kind_mix: match mix {
+                        0 => KindMix::Balanced,
+                        1 => KindMix::BufferedOnly,
+                        _ => KindMix::AllKinds,
+                    },
+                }
+            },
+        )
+}
+
+/// One random edit in pre-resolution form; ids are mod-mapped onto the
+/// session's current instance when applied.
+#[derive(Debug, Clone)]
+enum EditSpec {
+    /// Walk to another sweep point (index into `rg_sweep`).
+    SetRgIdx(usize),
+    /// Jump to an arbitrary requirement (may be infeasible — both sides
+    /// must then agree on the typed error).
+    SetRgRaw(u64),
+    RemoveIp(u32),
+    BanKind(u8),
+    RestoreKind(u8),
+    AddIp(i64),
+}
+
+fn edits() -> impl Strategy<Value = Vec<EditSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4).prop_map(EditSpec::SetRgIdx),
+            (0u64..500_000).prop_map(EditSpec::SetRgRaw),
+            (0u32..8).prop_map(EditSpec::RemoveIp),
+            (0u8..4).prop_map(EditSpec::BanKind),
+            (0u8..4).prop_map(EditSpec::RestoreKind),
+            (1i64..12).prop_map(EditSpec::AddIp),
+        ],
+        1..5,
+    )
+}
+
+fn resolve_edit(
+    spec: &EditSpec,
+    session: &DeltaSession,
+    rg_sweep: &[Cycles],
+    next_ip: &mut u32,
+) -> InstanceDelta {
+    match spec {
+        EditSpec::SetRgIdx(i) => {
+            InstanceDelta::SetRg(RequiredGains::uniform(rg_sweep[i % rg_sweep.len()]))
+        }
+        EditSpec::SetRgRaw(rg) => InstanceDelta::SetRg(RequiredGains::uniform(Cycles(*rg))),
+        EditSpec::RemoveIp(ip) => {
+            let n = session.instance().library.len() as u32;
+            InstanceDelta::RemoveIp(IpId(ip % n.max(1)))
+        }
+        EditSpec::BanKind(k) => {
+            InstanceDelta::SetInterfaceKind(KINDS[*k as usize % KINDS.len()], false)
+        }
+        EditSpec::RestoreKind(k) => {
+            InstanceDelta::SetInterfaceKind(KINDS[*k as usize % KINDS.len()], true)
+        }
+        EditSpec::AddIp(area) => {
+            *next_ip += 1;
+            InstanceDelta::AddIp(
+                IpBlock::builder(format!("fuzz_added{next_ip}"))
+                    .function(IpFunction::Fir)
+                    .rates(4, 4)
+                    .latency(8)
+                    .area(AreaTenths::from_units(*area))
+                    .build(),
+            )
+        }
+    }
+}
+
+/// Cold oracle: a fresh solver over the session's current (patched)
+/// instance and database.
+fn cold(session: &DeltaSession) -> Result<Selection, CoreError> {
+    Solver::new(session.instance())
+        .with_imps(Arc::clone(session.db()))
+        .solve(session.options())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any generated instance solves its achievable sweep points cleanly:
+    /// the mid-sweep solve succeeds (or reports a typed error), and every
+    /// success re-derives under the independent audit.
+    #[test]
+    fn generated_instances_solve_and_audit_clean(p in params()) {
+        let w = try_generate(p).expect("non-degenerate params must generate");
+        prop_assert!(!w.rg_sweep.is_empty(), "empty sweep for {p:?}");
+        let rg = w.rg_sweep[w.rg_sweep.len() / 2];
+        let opts = SolveOptions::problem2(RequiredGains::uniform(rg));
+        match Solver::new(&w.instance).with_imps(w.imps.clone()).solve(&opts) {
+            Ok(sel) => {
+                common::assert_audit_clean(&w, &sel, &opts, &format!("{p:?}"));
+                // Replay is byte-identical: the generator + solver pair is
+                // a pure function of the parameters.
+                let again = Solver::new(&w.instance)
+                    .with_imps(w.imps.clone())
+                    .solve(&opts)
+                    .expect("replay of a feasible solve");
+                prop_assert_eq!(
+                    common::serialize_selection(&sel),
+                    common::serialize_selection(&again),
+                    "replay diverged for {:?}", p
+                );
+            }
+            Err(CoreError::Infeasible { .. } | CoreError::NoImps) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("{p:?}: unexpected {e}"))),
+        }
+    }
+
+    /// Generation is a pure function of its parameters: rebuilding the
+    /// same knob vector is digest-identical, and a different seed is not.
+    #[test]
+    fn generation_is_digest_stable(p in params()) {
+        let a = try_generate(p).expect("non-degenerate params must generate");
+        let b = try_generate(p).expect("non-degenerate params must generate");
+        prop_assert_eq!(digest(&a), digest(&b), "rebuild diverged for {:?}", p);
+        let other = try_generate(p.with_seed(p.seed ^ 0x9e37_79b9)).expect("seed variant");
+        prop_assert_ne!(digest(&a), digest(&other));
+    }
+
+    /// The round trip the corpus gates rely on: generate, solve, audit,
+    /// then drive a random edit sequence through a `DeltaSession` — after
+    /// every edit the warm re-solve must match a cold oracle solve of the
+    /// patched instance and pass the audit.
+    #[test]
+    fn edit_sequences_match_cold_oracle(p in params(), seq in edits()) {
+        let w = try_generate(p).expect("non-degenerate params must generate");
+        let base = SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[0]));
+        let mut session = match DeltaSession::new(
+            Arc::clone(&w.instance),
+            Arc::clone(&w.imps),
+            base,
+        ) {
+            Ok(s) => s,
+            Err(CoreError::NoImps) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{p:?}: formulation {e}"))),
+        };
+        let first = session.resolve();
+        let reference = cold(&session);
+        match (&first, &reference) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.chosen(), b.chosen(), "initial resolve diverged at {:?}", p);
+            }
+            (Err(CoreError::Infeasible { .. }), Err(CoreError::Infeasible { .. })) => {}
+            other => return Err(TestCaseError::fail(format!("{p:?}: initial {other:?}"))),
+        }
+        let mut next_ip = 0u32;
+        for (i, spec) in seq.iter().enumerate() {
+            let delta = resolve_edit(spec, &session, &w.rg_sweep, &mut next_ip);
+            if session.apply(delta).is_err() {
+                // A structurally rejected edit (e.g. removing the last IP)
+                // must leave the session consistent; keep editing.
+                continue;
+            }
+            let warm = session.resolve();
+            let oracle = cold(&session);
+            let ctx = format!("{p:?}, edit {i} ({spec:?})");
+            match (&warm, &oracle) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.chosen(), b.chosen(), "{}: chosen diverged", ctx);
+                    prop_assert_eq!(a.total_area(), b.total_area(), "{}: area diverged", ctx);
+                    prop_assert_eq!(&a.status, &b.status, "{}: status diverged", ctx);
+                    let report = partita::core::SelectionAuditor::new(
+                        session.instance(),
+                        session.db(),
+                    )
+                    .audit(a, session.options());
+                    prop_assert!(report.is_clean(), "{}: audit {}", ctx, report.to_json());
+                }
+                (
+                    Err(CoreError::Infeasible { .. } | CoreError::NoImps),
+                    Err(CoreError::Infeasible { .. } | CoreError::NoImps),
+                ) => {}
+                other => return Err(TestCaseError::fail(format!("{ctx}: {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Degenerate parameter vectors refuse with the typed error, never a panic
+/// or a silently empty instance — the contract the corpus builder relies
+/// on when presets are edited.
+#[test]
+fn degenerate_params_refuse_with_typed_errors() {
+    let base = SynthParams::small();
+    let err = |p: SynthParams| try_generate(p).map(|_| ()).unwrap_err();
+    assert_eq!(
+        err(SynthParams { scalls: 0, ..base }),
+        SynthError::ZeroSCalls
+    );
+    assert_eq!(err(SynthParams { ips: 0, ..base }), SynthError::ZeroIps);
+    assert_eq!(err(SynthParams { paths: 0, ..base }), SynthError::ZeroPaths);
+    assert_eq!(
+        err(SynthParams {
+            imp_fanout: 0,
+            ..base
+        }),
+        SynthError::ZeroFanout
+    );
+}
