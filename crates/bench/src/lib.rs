@@ -229,7 +229,10 @@ pub fn audit_sweep(workload: &Workload) -> usize {
 /// sweep point so runs can be scraped by tooling.
 #[must_use]
 pub fn trace_json_line(rg: Cycles, trace: &SolveTrace) -> String {
-    format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), trace.to_json())
+    let event = partita_core::telemetry::Event::SolveFinished {
+        trace: trace.clone(),
+    };
+    format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), event.to_json())
 }
 
 /// Formats a paper-vs-measured comparison line.

@@ -22,6 +22,7 @@ use partita_core::{
 use partita_interface::{InterfaceKind, TransferJob};
 use partita_ip::{IpBlock, IpFunction};
 use partita_mop::{AreaTenths, Cycles};
+use partita_service::{ServiceConfig, ServiceCore};
 use partita_workloads::{corpus, gsm, jpeg, Workload};
 
 /// Report schema version (independent of the telemetry event schema).
@@ -206,6 +207,30 @@ pub struct ResolveResult {
     pub cold_p50_us: u64,
 }
 
+/// One service-mode run: a scripted two-tenant request sequence driven
+/// through an in-process [`ServiceCore`], per-request latency measured at
+/// the protocol boundary ([`ServiceCore::handle_request`]). The request
+/// sequence is derived from the corpus manifest, so the portable tallies
+/// (request/ok counts, cross-tenant cache hits, degradations) are exact on
+/// any machine; only the latency percentiles are machine-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceResult {
+    /// Requests in the scripted sequence (portable).
+    pub requests: u64,
+    /// Requests answered `ok` (portable: the corpus is committed).
+    pub ok: u64,
+    /// Points answered from the shared canonical cache — every second
+    /// tenant's pass, so nonzero by construction (portable).
+    pub cache_hits: u64,
+    /// Points degraded to the greedy backend by admission control
+    /// (portable; 0 for the unconstrained benchmark policy).
+    pub degraded: u64,
+    /// p50 of per-request service latency, microseconds (machine).
+    pub p50_us: u64,
+    /// p99 (nearest-rank) of per-request service latency (machine).
+    pub p99_us: u64,
+}
+
 /// One corpus group's gate run: every manifest entry of a
 /// `family[:preset]` group rebuilt through its pinned digest and solved at
 /// its mid-sweep requirement (single-threaded branch-and-bound for the
@@ -243,6 +268,8 @@ pub struct SuiteReport {
     pub corpus: Vec<(String, CorpusResult)>,
     /// `(workload key, resolve benchmark)` pairs, sorted by key.
     pub resolve: Vec<(String, ResolveResult)>,
+    /// `(corpus group key, service-mode benchmark)` pairs, sorted by key.
+    pub service: Vec<(String, ServiceResult)>,
 }
 
 /// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
@@ -479,6 +506,84 @@ fn run_corpus(quick: bool) -> Vec<(String, CorpusResult)> {
     out
 }
 
+/// Runs the service-mode benchmark: for each selected corpus group, two
+/// tenants submit every entry's mid-sweep solve (audited) through an
+/// in-process daemon core. The first tenant's pass is cold; the second
+/// tenant's must be answered entirely from the shared canonical cache, so
+/// the benchmark doubles as a cross-tenant sharing gate. Latency is
+/// measured per request around [`ServiceCore::handle_request`] — the same
+/// boundary every transport (stdio, sockets, replay) crosses.
+fn run_service(quick: bool) -> Vec<(String, ServiceResult)> {
+    use partita_core::api::{Request, RequestBody, SolveSpec, API_VERSION};
+    let presets: &[&str] = if quick {
+        &["micro"]
+    } else {
+        &["micro", "small"]
+    };
+    let entries = corpus::manifest().expect("tests/corpus/manifest.json parses");
+    let mut out = Vec::new();
+    for preset in presets {
+        let group: Vec<&corpus::ManifestEntry> = entries
+            .iter()
+            .filter(|e| !e.gated && e.family == "synth" && e.preset == *preset)
+            .collect();
+        let core = ServiceCore::new(ServiceConfig::default());
+        let mut requests = Vec::new();
+        for tenant in ["alice", "bob"] {
+            for entry in &group {
+                let w = entry
+                    .verify()
+                    .unwrap_or_else(|e| panic!("service bench: {e}"));
+                let rg = w.rg_sweep[w.rg_sweep.len() / 2].get();
+                requests.push(Request {
+                    api_version: API_VERSION,
+                    id: format!("{tenant}-{}", entry.id),
+                    tenant: tenant.to_string(),
+                    body: RequestBody::Solve {
+                        instance: entry.id.clone(),
+                        spec: SolveSpec {
+                            rg,
+                            audit: true,
+                            ..SolveSpec::default()
+                        },
+                    },
+                });
+            }
+        }
+        let mut lat = Vec::new();
+        let mut ok = 0u64;
+        for req in &requests {
+            let started = Instant::now();
+            let resp = core.handle_request(req);
+            lat.push(elapsed_us(started));
+            assert!(
+                resp.result.is_ok(),
+                "service bench: {} failed: {resp:?}",
+                req.id
+            );
+            ok += 1;
+        }
+        let stats = core.stats();
+        assert_eq!(
+            stats.cache_hits,
+            group.len() as u64,
+            "service bench: the second tenant's pass must hit the shared cache"
+        );
+        out.push((
+            format!("synth:{preset}"),
+            ServiceResult {
+                requests: requests.len() as u64,
+                ok,
+                cache_hits: stats.cache_hits,
+                degraded: stats.degraded,
+                p50_us: percentile_us(&mut lat, 50.0),
+                p99_us: percentile_us(&mut lat, 99.0),
+            },
+        ));
+    }
+    out
+}
+
 /// Runs the whole suite per `config` and returns the report, configs
 /// sorted by key.
 #[must_use]
@@ -499,13 +604,16 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
         }
     }
     let mut corpus = run_corpus(config.quick);
+    let mut service = run_service(config.quick);
     configs.sort_by(|a, b| a.0.cmp(&b.0));
     corpus.sort_by(|a, b| a.0.cmp(&b.0));
     resolve.sort_by(|a, b| a.0.cmp(&b.0));
+    service.sort_by(|a, b| a.0.cmp(&b.0));
     SuiteReport {
         configs,
         corpus,
         resolve,
+        service,
     }
 }
 
@@ -607,6 +715,28 @@ impl SuiteReport {
                 r.p50_us,
                 r.p99_us,
                 r.cold_p50_us,
+                if i + 1 == sorted.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  },\n  \"service\": {\n");
+        let mut sorted: Vec<&(String, ServiceResult)> = self.service.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (key, s)) in sorted.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    \"{}\": {{\n",
+                    "      \"portable\": {{\"requests\":{},\"ok\":{},",
+                    "\"cache_hits\":{},\"degraded\":{}}},\n",
+                    "      \"machine\": {{\"p50_us\":{},\"p99_us\":{}}}\n",
+                    "    }}{}\n"
+                ),
+                key,
+                s.requests,
+                s.ok,
+                s.cache_hits,
+                s.degraded,
+                s.p50_us,
+                s.p99_us,
                 if i + 1 == sorted.len() { "" } else { "," },
             ));
         }
@@ -733,10 +863,37 @@ impl SuiteReport {
             }
         }
         resolve.sort_by(|a, b| a.0.cmp(&b.0));
+        // The service section is additive: reports written before the
+        // daemon existed parse to an empty section.
+        let mut service = Vec::new();
+        if let Some(service_obj) = doc.get("service") {
+            for (key, s) in service_obj.entries().ok_or("service not an object")? {
+                let portable = s.get("portable").ok_or("missing service portable")?;
+                let machine = s.get("machine").ok_or("missing service machine")?;
+                let get = |obj: &JsonValue, k: &str| -> Result<u64, String> {
+                    obj.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("missing service {k}"))
+                };
+                service.push((
+                    key.clone(),
+                    ServiceResult {
+                        requests: get(portable, "requests")?,
+                        ok: get(portable, "ok")?,
+                        cache_hits: get(portable, "cache_hits")?,
+                        degraded: get(portable, "degraded")?,
+                        p50_us: get(machine, "p50_us")?,
+                        p99_us: get(machine, "p99_us")?,
+                    },
+                ));
+            }
+        }
+        service.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(SuiteReport {
             configs,
             corpus,
             resolve,
+            service,
         })
     }
 }
@@ -849,6 +1006,31 @@ pub fn compare_reports(
             "resolve: delta re-solves must explore strictly fewer nodes in aggregate \
              (delta {delta_total} !< cold {cold_total})"
         ));
+    }
+    // Service gates: the scripted two-tenant sequence is derived from the
+    // committed corpus, so every portable tally must reproduce exactly;
+    // latency percentiles are machine-dependent and not gated.
+    for (key, base) in &baseline.service {
+        let Some((_, cur)) = current.service.iter().find(|(k, _)| k == key) else {
+            regressions.push(format!("service/{key}: group missing from current run"));
+            continue;
+        };
+        if (cur.requests, cur.ok, cur.cache_hits, cur.degraded)
+            != (base.requests, base.ok, base.cache_hits, base.degraded)
+        {
+            regressions.push(format!(
+                "service/{key}: portable service tallies drifted \
+                 (requests/ok/cache_hits/degraded {}/{}/{}/{} -> {}/{}/{}/{})",
+                base.requests,
+                base.ok,
+                base.cache_hits,
+                base.degraded,
+                cur.requests,
+                cur.ok,
+                cur.cache_hits,
+                cur.degraded
+            ));
+        }
     }
     regressions
 }

@@ -278,3 +278,49 @@ fn fig9_workload_reproduces_the_problem2_advantage() {
         "Problem 2 must beat Problem 1 on the Fig. 9 instance"
     );
 }
+
+#[test]
+fn service_section_shares_the_cache_and_gates_regressions() {
+    let baseline = quick_report();
+    // Quick mode drives the micro group through the daemon core.
+    let keys: Vec<&str> = baseline.service.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["synth:micro"]);
+    let s = &baseline.service[0].1;
+    assert_eq!(s.ok, s.requests, "every scripted request must succeed");
+    assert_eq!(
+        s.cache_hits * 2,
+        s.requests,
+        "the second tenant's pass must be answered from the shared cache"
+    );
+    assert_eq!(s.degraded, 0, "the benchmark policy never degrades");
+
+    // Portable drift in the service section is a regression.
+    let mut current = baseline.clone();
+    current.service[0].1.cache_hits -= 1;
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("portable service tallies drifted")),
+        "{regressions:?}"
+    );
+
+    // Latency percentiles are machine-dependent and must NOT gate.
+    let mut current = baseline.clone();
+    current.service[0].1.p99_us = current.service[0].1.p99_us.saturating_mul(100) + 1_000_000;
+    assert!(
+        compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD).is_empty(),
+        "latency is not a portable gate"
+    );
+
+    // A service group the baseline had must not vanish.
+    let mut current = baseline.clone();
+    current.service.clear();
+    let regressions = compare_reports(&baseline, &current, DEFAULT_WALL_THRESHOLD);
+    assert!(
+        regressions
+            .iter()
+            .any(|m| m.contains("service/synth:micro: group missing")),
+        "{regressions:?}"
+    );
+}

@@ -236,6 +236,12 @@ impl SolveTrace {
     /// event (all durations are integer microseconds). The legacy field
     /// order of PRs 1–3 is preserved; the `schema`/`event` tags are
     /// prepended and `worker_steals` rides after `worker_nodes`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "construct the telemetry event directly: \
+                `telemetry::Event::SolveFinished { trace }.to_json()` \
+                (same bytes; composes with sinks and redaction)"
+    )]
     #[must_use]
     pub fn to_json(&self) -> String {
         crate::telemetry::Event::SolveFinished {
@@ -478,7 +484,14 @@ mod tests {
             solve: Duration::from_micros(30),
             decode: Duration::from_micros(40),
         };
-        let json = trace.to_json();
+        let json = crate::telemetry::Event::SolveFinished {
+            trace: trace.clone(),
+        }
+        .to_json();
+        // The deprecated shim must keep emitting identical bytes.
+        #[allow(deprecated)]
+        let via_shim = trace.to_json();
+        assert_eq!(json, via_shim);
         assert!(json.starts_with("{\"schema\":1,\"event\":\"solve_finished\""));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"backend\":\"branch_bound\""));

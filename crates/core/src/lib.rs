@@ -41,6 +41,9 @@
 //! | [`merge`] / [`report`] | S-instruction merge, paper-style rows | Tables 1–3 (**S** column) |
 //! | [`baseline`] | All-software / greedy reference points | §6 |
 //! | [`telemetry`] | Structured events, sinks, trace schema | — (observability layer) |
+//! | [`api`] | Versioned request/response envelope, [`ApiError`] codes | — (service surface) |
+//! | [`cache`] | Bounded LRU + sharded concurrent canonical cache | — (service surface) |
+//! | [`delta`] | Incremental re-solve: model patch + basis repair | §5 exploration loop |
 //!
 //! # Example
 //!
@@ -73,9 +76,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod baseline;
 mod build;
-mod cache;
+pub mod cache;
 mod conflict;
 pub mod delta;
 pub mod engine;
@@ -93,7 +97,12 @@ pub mod sweep;
 pub mod telemetry;
 pub mod verify;
 
+pub use api::{
+    ApiError, BatchItem, Payload, Request, RequestBody, Response, SolveResult, SolveSpec,
+    StatsSnapshot, API_VERSION,
+};
 pub use build::{instance_from_compiled, SCallBinding};
+pub use cache::ShardedLru;
 pub use conflict::{sc_pc_conflicts, ConflictPair};
 pub use delta::{DeltaSession, InstanceDelta};
 pub use engine::{

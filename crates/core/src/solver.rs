@@ -1050,7 +1050,7 @@ mod tests {
         assert!(t.nodes_explored >= 1);
         assert!(t.simplex_iterations >= 1);
         // The JSON view round-trips the same numbers.
-        let json = t.to_json();
+        let json = crate::telemetry::Event::SolveFinished { trace: t.clone() }.to_json();
         assert!(json.contains(&format!("\"nodes_explored\":{}", t.nodes_explored)));
     }
 

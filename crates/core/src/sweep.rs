@@ -234,6 +234,46 @@ fn solve_key(ikey: &str, options: &SolveOptions) -> String {
     )
 }
 
+/// Public form of the canonical instance + IMP-database content key: every
+/// structural field, *excluding* the instance's display name, so isomorphic
+/// instances (same structure, different name — e.g. the same corpus entry
+/// built for two different tenants) produce byte-identical keys and share
+/// cache entries.
+///
+/// Keys are full canonical strings, never hashes: equality of keys is
+/// equality of problems, so a cache hit can never be a collision.
+#[must_use]
+pub fn canonical_instance_key(instance: &Instance, db: &ImpDb) -> String {
+    instance_key(instance, db)
+}
+
+/// The canonical *service-grade* solve key: the instance content key plus
+/// everything that can change **which selection is returned** — problem
+/// kind, required gains, power budget, backend and budget (node cap,
+/// deadline, fallback, threads).
+///
+/// Deliberately excluded, and guaranteed excluded by test: the `audit`
+/// flag (checking an answer never changes it), any retained root **basis**
+/// (repair only accelerates reaching the identical lex-min optimum) and
+/// any warm-start **hint** (verified seeds only prune; strict pruning and
+/// the lexicographic tie-break make the returned selection hint-invariant
+/// — the PR 2/PR 6 determinism contract). This is what lets the solve
+/// daemon share one cache entry across tenants whose requests differ only
+/// in those effort knobs.
+///
+/// (The sweep session's private key additionally folds the hint in,
+/// because session traces must distinguish chained points from cold ones;
+/// selections never differ, traces do.)
+#[must_use]
+pub fn canonical_solve_key(instance: &Instance, db: &ImpDb, options: &SolveOptions) -> String {
+    format!(
+        "{}|{:?}|{:?}",
+        model_key(&instance_key(instance, db), options),
+        options.backend,
+        options.budget,
+    )
+}
+
 /// A caching, chaining, batching solve session.
 ///
 /// See the module docs for the design; the short version:
@@ -1079,6 +1119,49 @@ mod tests {
             solve_key(&ikey, &a),
             solve_key(&ikey, &b),
             "root_basis/audit must not shape the canonical solve key"
+        );
+    }
+
+    #[test]
+    fn canonical_service_key_excludes_all_effort_knobs() {
+        // The service-grade key must additionally ignore warm-start hints
+        // and the warm-start flag itself: selections are hint-invariant, so
+        // keying on them would split cross-tenant cache entries for no
+        // answer-level reason (PR 6 invariant, service form).
+        let (inst, db) = three_firs("a");
+        let a = SolveOptions::problem2(RequiredGains::uniform(Cycles(1200)));
+        let mut b = a.clone();
+        b.root_basis = Some(Arc::new(partita_ilp::Basis::slack(4, 7)));
+        b.audit = !a.audit;
+        b.hint = Some(vec![crate::ImpId(0), crate::ImpId(2)]);
+        b.warm_start = !a.warm_start;
+        assert_eq!(
+            canonical_solve_key(&inst, &db, &a),
+            canonical_solve_key(&inst, &db, &b),
+            "audit/basis/hint/warm_start must not shape the service key"
+        );
+        // ...while anything that *can* change the answer still must.
+        let mut c = a.clone();
+        c.budget.max_nodes = 1;
+        assert_ne!(
+            canonical_solve_key(&inst, &db, &a),
+            canonical_solve_key(&inst, &db, &c)
+        );
+        let d = SolveOptions::problem1(RequiredGains::uniform(Cycles(1200)));
+        assert_ne!(
+            canonical_solve_key(&inst, &db, &a),
+            canonical_solve_key(&inst, &db, &d)
+        );
+    }
+
+    #[test]
+    fn canonical_instance_key_excludes_display_name() {
+        let (inst_a, db_a) = three_firs("name-a");
+        let (inst_b, db_b) = three_firs("name-b");
+        assert_eq!(
+            canonical_instance_key(&inst_a, &db_a),
+            canonical_instance_key(&inst_b, &db_b),
+            "isomorphic instances must share canonical keys"
         );
     }
 

@@ -120,6 +120,9 @@ pub enum CacheKind {
     Solve,
     /// The formulated-model cache.
     Model,
+    /// The solve daemon's process-wide sharded canonical cache
+    /// ([`crate::cache::ShardedLru`]), shared across tenants.
+    Service,
 }
 
 impl CacheKind {
@@ -129,6 +132,7 @@ impl CacheKind {
         match self {
             CacheKind::Solve => "solve",
             CacheKind::Model => "model",
+            CacheKind::Service => "service",
         }
     }
 }

@@ -170,7 +170,7 @@ impl AuditViolation {
     }
 
     /// Renders the violation as a JSON object (hand-rolled, matching the
-    /// [`crate::SolveTrace::to_json`] style).
+    /// [`crate::telemetry::Event`] rendering style).
     #[must_use]
     pub fn to_json(&self) -> String {
         fn opt(v: Option<String>) -> String {

@@ -54,3 +54,18 @@ pub use expr::LinExpr;
 pub use model::{Model, Relation, Sense, VarId, VarKind};
 pub use simplex::{solve_with_basis, Basis, BasisSolve};
 pub use solution::{IlpSolution, LpSolution};
+
+// The service daemon shares models, bases and solutions across worker
+// threads; these compile-time assertions pin the `Send + Sync` bounds so a
+// future `Rc`/`RefCell`/raw-pointer field turns up here, not as a distant
+// type error inside the daemon's thread scope.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+    assert_send_sync::<Basis>();
+    assert_send_sync::<IlpSolution>();
+    assert_send_sync::<LpSolution>();
+    assert_send_sync::<BranchBound>();
+    assert_send_sync::<BranchBoundStats>();
+    assert_send_sync::<IlpError>();
+};

@@ -1,0 +1,351 @@
+//! NDJSON transports: a thread-per-core worker pool with a fair
+//! per-tenant FIFO, pumping any `BufRead`/`Write` pair — stdin/stdout,
+//! a Unix socket connection, or a TCP connection.
+//!
+//! Scheduling is round-robin across tenants and FIFO within one: a tenant
+//! that floods the daemon fills only its own queue, and each scheduling
+//! step offers the next *tenant* (not the next request) a worker, capped
+//! by its [`TenantPolicy::max_inflight`](crate::TenantPolicy). Queue
+//! overflow is refused immediately with error code 429 rather than
+//! buffered without bound.
+//!
+//! Responses are written in completion order, one line per request; the
+//! envelope's echoed `id` is what correlates them. Callers that need
+//! request-order replies (scripted replay, goldens) use
+//! [`crate::replay`], which is single-threaded by construction.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+
+use partita_core::api::{ApiError, Request, Response};
+use partita_core::Redaction;
+
+use crate::ServiceCore;
+
+/// Per-tenant FIFOs plus the round-robin ring the workers pull from.
+struct Sched {
+    queues: HashMap<String, VecDeque<Request>>,
+    /// Tenants in arrival order; the rotating cursor makes the scan fair.
+    ring: Vec<String>,
+    cursor: usize,
+    /// Jobs of each tenant currently running on a worker.
+    running: HashMap<String, usize>,
+    /// Whether the reader is still producing lines.
+    open: bool,
+}
+
+impl Sched {
+    fn new() -> Sched {
+        Sched {
+            queues: HashMap::new(),
+            ring: Vec::new(),
+            cursor: 0,
+            running: HashMap::new(),
+            open: true,
+        }
+    }
+
+    fn queued_total(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        if !self.queues.contains_key(&req.tenant) {
+            self.ring.push(req.tenant.clone());
+        }
+        self.queues
+            .entry(req.tenant.clone())
+            .or_default()
+            .push_back(req);
+    }
+
+    /// The next runnable job under the fair policy: starting at the
+    /// cursor, the first tenant with queued work and spare in-flight
+    /// allowance. Advancing the cursor past the chosen tenant is what
+    /// prevents one tenant with a deep queue from monopolising workers.
+    fn pick(&mut self, core: &ServiceCore) -> Option<Request> {
+        let n = self.ring.len();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            let tenant = &self.ring[idx];
+            let running = self.running.get(tenant).copied().unwrap_or(0);
+            if running >= core.policy(tenant).max_inflight {
+                continue;
+            }
+            if let Some(queue) = self.queues.get_mut(tenant) {
+                if let Some(req) = queue.pop_front() {
+                    self.cursor = (idx + 1) % n;
+                    *self.running.entry(tenant.clone()).or_insert(0) += 1;
+                    return Some(req);
+                }
+            }
+        }
+        None
+    }
+
+    fn finish(&mut self, tenant: &str) {
+        if let Some(n) = self.running.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+/// Pumps `input` through `core` onto `output` with `workers` solver
+/// threads (clamped to at least 1), returning when `input` reaches EOF
+/// and every queued job is answered.
+///
+/// The caller's thread runs the reader (parse, admission, enqueue);
+/// workers run [`ServiceCore::handle_request`] and write completed
+/// response lines through a shared mutex, one `write_all` per line so
+/// concurrent completions never tear.
+pub fn serve<R, W>(
+    core: &Arc<ServiceCore>,
+    input: R,
+    output: W,
+    workers: usize,
+    redaction: Redaction,
+) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let sched = Mutex::new(Sched::new());
+    let cvar = Condvar::new();
+    let output = Mutex::new(output);
+    let workers = workers.max(1);
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            pool.push(scope.spawn(|| -> std::io::Result<()> {
+                loop {
+                    let job = {
+                        let mut guard = sched.lock().expect("scheduler lock");
+                        loop {
+                            if let Some(req) = guard.pick(core) {
+                                break Some(req);
+                            }
+                            if !guard.open {
+                                break None;
+                            }
+                            guard = cvar.wait(guard).expect("scheduler lock");
+                        }
+                    };
+                    let Some(req) = job else { return Ok(()) };
+                    let line = core.handle_request(&req).to_json(redaction);
+                    core.load_exit();
+                    {
+                        let mut out = output.lock().expect("output lock");
+                        out.write_all(line.as_bytes())?;
+                        out.write_all(b"\n")?;
+                        out.flush()?;
+                    }
+                    sched.lock().expect("scheduler lock").finish(&req.tenant);
+                    cvar.notify_all();
+                }
+            }));
+        }
+
+        // Reader: this thread.
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Request::parse(&line) {
+                Ok(req) => {
+                    let over_queue = {
+                        let guard = sched.lock().expect("scheduler lock");
+                        let queued = guard
+                            .queues
+                            .get(&req.tenant)
+                            .map(VecDeque::len)
+                            .unwrap_or(0);
+                        queued >= core.policy(&req.tenant).max_queued
+                    };
+                    if over_queue {
+                        core.note_rejected();
+                        let resp = Response::error(
+                            &req.id,
+                            &req.tenant,
+                            ApiError::Overloaded {
+                                tenant: req.tenant.clone(),
+                                detail: "queue full".into(),
+                            },
+                        );
+                        let mut out = output.lock().expect("output lock");
+                        out.write_all(resp.to_json(redaction).as_bytes())?;
+                        out.write_all(b"\n")?;
+                        out.flush()?;
+                        continue;
+                    }
+                    core.load_enter();
+                    sched.lock().expect("scheduler lock").enqueue(req);
+                    cvar.notify_all();
+                }
+                Err(err) => {
+                    // Answer protocol errors inline; they never occupy a
+                    // worker.
+                    let (id, tenant) = crate::best_effort_ids(&line);
+                    let resp = Response::error(&id, &tenant, err);
+                    let mut out = output.lock().expect("output lock");
+                    out.write_all(resp.to_json(redaction).as_bytes())?;
+                    out.write_all(b"\n")?;
+                    out.flush()?;
+                }
+            }
+        }
+        sched.lock().expect("scheduler lock").open = false;
+        cvar.notify_all();
+        for worker in pool {
+            worker.join().expect("worker panicked")?;
+        }
+        debug_assert_eq!(sched.lock().expect("scheduler lock").queued_total(), 0);
+        Ok(())
+    })
+}
+
+/// Serves stdin → stdout until EOF. The interactive / piped mode of the
+/// `serviced` binary.
+pub fn serve_stdio(core: &Arc<ServiceCore>, workers: usize) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    serve(
+        core,
+        stdin.lock(),
+        std::io::stdout(),
+        workers,
+        Redaction::None,
+    )
+}
+
+/// Accepts connections on an already-bound Unix listener forever, one
+/// serving thread per connection (each with its own worker pool over the
+/// shared core — the cache and tenant accounting are process-wide).
+pub fn serve_unix_listener(
+    core: Arc<ServiceCore>,
+    listener: UnixListener,
+    workers: usize,
+) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let core = core.clone();
+        std::thread::spawn(move || {
+            let reader = match conn.try_clone() {
+                Ok(c) => BufReader::new(c),
+                Err(_) => return,
+            };
+            let _ = serve(&core, reader, conn, workers, Redaction::None);
+        });
+    }
+    Ok(())
+}
+
+/// Binds `path` and serves it forever (see [`serve_unix_listener`]).
+pub fn serve_unix(core: Arc<ServiceCore>, path: &Path, workers: usize) -> std::io::Result<()> {
+    serve_unix_listener(core, UnixListener::bind(path)?, workers)
+}
+
+/// Accepts connections on an already-bound TCP listener forever (see
+/// [`serve_unix_listener`]; same per-connection model).
+pub fn serve_tcp_listener(
+    core: Arc<ServiceCore>,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let core = core.clone();
+        std::thread::spawn(move || {
+            let reader = match conn.try_clone() {
+                Ok(c) => BufReader::new(c),
+                Err(_) => return,
+            };
+            let _ = serve(&core, reader, conn, workers, Redaction::None);
+        });
+    }
+    Ok(())
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:7414`) and serves it forever.
+pub fn serve_tcp<A: ToSocketAddrs>(
+    core: Arc<ServiceCore>,
+    addr: A,
+    workers: usize,
+) -> std::io::Result<()> {
+    serve_tcp_listener(core, TcpListener::bind(addr)?, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    #[test]
+    fn serve_answers_every_line_and_drains() {
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        let input = concat!(
+            r#"{"api_version":1,"id":"a","tenant":"t1","method":"ping"}"#,
+            "\n",
+            "\n", // blank lines are skipped
+            r#"{"api_version":1,"id":"b","tenant":"t2","method":"ping"}"#,
+            "\n",
+            "garbage\n",
+        );
+        let mut out: Vec<u8> = Vec::new();
+        serve(&core, input.as_bytes(), &mut out, 4, Redaction::None).expect("serve ok");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"pong\":true")).count(),
+            2
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"code\":100")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn queue_cap_rejects_with_429() {
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        core.set_policy(
+            "greedy-tenant",
+            crate::TenantPolicy {
+                max_queued: 0,
+                ..crate::TenantPolicy::default()
+            },
+        );
+        let input = r#"{"api_version":1,"id":"a","tenant":"greedy-tenant","method":"ping"}"#
+            .to_string()
+            + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve(&core, input.as_bytes(), &mut out, 1, Redaction::None).expect("serve ok");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"code\":429"), "{text}");
+        assert_eq!(core.stats().rejected, 1);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let _ = serve_tcp_listener(core, listener, 2);
+        });
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"{\"api_version\":1,\"id\":\"n\",\"tenant\":\"t\",\"method\":\"ping\"}\n")
+            .expect("send");
+        let mut reply = String::new();
+        BufReader::new(conn.try_clone().expect("clone"))
+            .read_line(&mut reply)
+            .expect("reply");
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+    }
+}

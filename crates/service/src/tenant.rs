@@ -1,0 +1,105 @@
+//! Per-tenant admission control.
+//!
+//! A tenant's policy reuses [`SolveBudget`] as the per-request effort cap
+//! and adds the daemon-level knobs: how many of the tenant's jobs may run
+//! at once, how many may wait, and a cumulative node budget after which
+//! the tenant is degraded to the greedy backend instead of being starved
+//! or silently throttled.
+
+use partita_core::api::SolveSpec;
+use partita_core::SolveBudget;
+
+/// Admission policy for one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Jobs of this tenant that may run concurrently; beyond this, jobs
+    /// wait in the tenant's FIFO while other tenants' jobs run (the fair
+    /// scheduler's cap — see [`crate::server`]).
+    pub max_inflight: usize,
+    /// Jobs that may wait in the tenant's FIFO; beyond this, requests are
+    /// refused outright with [`partita_core::api::ApiError::Overloaded`]
+    /// (code 429).
+    pub max_queued: usize,
+    /// Cumulative branch-and-bound nodes the tenant may spend on exact
+    /// solves. Once exhausted, further points degrade to the greedy
+    /// backend — honestly labelled, never starved: degraded requests
+    /// still complete, and other tenants keep their exact service.
+    pub node_budget: u64,
+    /// Per-request effort cap. A request's own `max_nodes` / `deadline_ms`
+    /// / `threads` are honoured only *up to* these values; the fallback
+    /// backend is always the policy's.
+    pub budget: SolveBudget,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            max_inflight: 4,
+            max_queued: 1024,
+            node_budget: u64::MAX,
+            // threads pinned to 1: canonical cache keys include the budget,
+            // so a deterministic default keeps every default-spec request
+            // on one shared entry regardless of PARTITA_THREADS.
+            budget: SolveBudget::default().with_threads(1),
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// The effective per-request budget: the spec's asks clamped by this
+    /// policy's caps.
+    #[must_use]
+    pub fn clamp(&self, spec: &SolveSpec) -> SolveBudget {
+        let mut budget = self.budget;
+        if let Some(n) = spec.max_nodes {
+            budget.max_nodes = n.min(self.budget.max_nodes);
+        }
+        budget.deadline = match (
+            spec.deadline_ms.map(std::time::Duration::from_millis),
+            self.budget.deadline,
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, cap) => cap,
+        };
+        budget.threads = spec.threads.clamp(1, self.budget.threads.max(1));
+        budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_caps_spec_asks() {
+        let policy = TenantPolicy {
+            budget: SolveBudget::default()
+                .with_max_nodes(10_000)
+                .with_deadline(std::time::Duration::from_millis(100))
+                .with_threads(2),
+            ..TenantPolicy::default()
+        };
+        let spec = SolveSpec {
+            max_nodes: Some(50_000),
+            deadline_ms: Some(5),
+            threads: 8,
+            ..SolveSpec::default()
+        };
+        let budget = policy.clamp(&spec);
+        assert_eq!(budget.max_nodes, 10_000, "node ask capped by policy");
+        assert_eq!(
+            budget.deadline,
+            Some(std::time::Duration::from_millis(5)),
+            "tighter caller deadline wins"
+        );
+        assert_eq!(budget.threads, 2, "thread ask capped by policy");
+        // A modest ask passes through.
+        let modest = SolveSpec {
+            max_nodes: Some(5),
+            ..SolveSpec::default()
+        };
+        assert_eq!(policy.clamp(&modest).max_nodes, 5);
+        assert_eq!(policy.clamp(&modest).threads, 1);
+    }
+}

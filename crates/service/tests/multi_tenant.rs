@@ -1,0 +1,231 @@
+//! Multi-tenant integration gates for the solve daemon.
+//!
+//! The two contracts under test:
+//!
+//! 1. **Cross-tenant canonical-cache sharing** — isomorphic corpus
+//!    instances submitted by different tenants share cache entries; hits
+//!    are observable in telemetry, byte-identical to cold library solves
+//!    of the same points, and audit-clean.
+//! 2. **Admission control degrades, never starves** — a tenant over its
+//!    cumulative node budget is served by the greedy backend (honestly
+//!    labelled [`OptimalityStatus::Heuristic`]) while other tenants keep
+//!    their exact service.
+
+use std::sync::Arc;
+
+use partita_core::api::{selection_digest, Payload, Request, RequestBody, SolveResult, SolveSpec};
+use partita_core::telemetry::{CacheKind, Event, RecordingSink};
+use partita_core::{OptimalityStatus, Solver};
+use partita_service::{ServiceConfig, ServiceCore, TenantPolicy};
+use partita_workloads::corpus;
+
+/// The corpus points exercised: small enough to solve exactly in
+/// milliseconds, varied enough to fill several cache shards.
+const INSTANCES: [&str; 3] = ["synth-micro-0000", "synth-micro-0001", "synth-micro-0002"];
+
+fn solve_request(tenant: &str, id: &str, instance: &str, rg: u64) -> Request {
+    Request {
+        api_version: partita_core::api::API_VERSION,
+        id: id.to_string(),
+        tenant: tenant.to_string(),
+        body: RequestBody::Solve {
+            instance: instance.to_string(),
+            spec: SolveSpec {
+                rg,
+                audit: true,
+                ..SolveSpec::default()
+            },
+        },
+    }
+}
+
+fn expect_solve(core: &ServiceCore, req: &Request) -> SolveResult {
+    let resp = core.handle_request(req);
+    match resp.result {
+        Ok(Payload::Solve(result)) => result,
+        other => panic!("request {} failed: {other:?}", req.id),
+    }
+}
+
+/// The mid-sweep RG of each exercised instance, from the digest-verified
+/// corpus build — the same points the daemon will be asked to solve.
+fn corpus_points() -> Vec<(String, u64)> {
+    let manifest = corpus::manifest().expect("corpus manifest parses");
+    INSTANCES
+        .iter()
+        .map(|id| {
+            let entry = manifest
+                .iter()
+                .find(|e| e.id == *id)
+                .unwrap_or_else(|| panic!("{id} missing from corpus manifest"));
+            let w = entry.verify().expect("corpus entry verifies");
+            let rg = w.rg_sweep[w.rg_sweep.len() / 2].get();
+            (id.to_string(), rg)
+        })
+        .collect()
+}
+
+#[test]
+fn cross_tenant_cache_hits_are_byte_identical_and_audited() {
+    let sink = Arc::new(RecordingSink::new());
+    let core = Arc::new(ServiceCore::new(ServiceConfig::default()).with_sink(sink.clone()));
+    let points = corpus_points();
+
+    // Tenant alice warms every point cold.
+    let mut cold: Vec<SolveResult> = Vec::new();
+    for (i, (instance, rg)) in points.iter().enumerate() {
+        let result = expect_solve(
+            &core,
+            &solve_request("alice", &format!("a{i}"), instance, *rg),
+        );
+        assert!(!result.cache_hit, "{instance}: first solve must be cold");
+        assert_eq!(result.status, OptimalityStatus::Optimal);
+        cold.push(result);
+    }
+
+    // Tenants bob and carol hit the same points concurrently; every
+    // answer must come from the shared cache, byte-identical to alice's.
+    let handles: Vec<_> = ["bob", "carol"]
+        .into_iter()
+        .map(|tenant| {
+            let core = core.clone();
+            let points = points.clone();
+            std::thread::spawn(move || {
+                points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (instance, rg))| {
+                        expect_solve(
+                            &core,
+                            &solve_request(tenant, &format!("{tenant}{i}"), instance, *rg),
+                        )
+                    })
+                    .collect::<Vec<SolveResult>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let results = handle.join().expect("tenant thread");
+        for (warm, cold) in results.iter().zip(cold.iter()) {
+            assert!(
+                warm.cache_hit,
+                "rg {}: expected a cross-tenant hit",
+                warm.rg
+            );
+            assert_eq!(warm.digest, cold.digest, "selection drifted across tenants");
+            assert_eq!(warm.chosen, cold.chosen);
+            assert_eq!(warm.status, OptimalityStatus::Optimal);
+        }
+    }
+
+    // The cached answers equal cold *library* solves of the same points,
+    // digest for digest (the admission path must not change the answer).
+    let manifest = corpus::manifest().expect("corpus manifest parses");
+    for ((instance, rg), served) in points.iter().zip(cold.iter()) {
+        let entry = manifest.iter().find(|e| e.id == *instance).expect("entry");
+        let w = entry.verify().expect("verifies");
+        let spec = SolveSpec {
+            rg: *rg,
+            audit: true,
+            ..SolveSpec::default()
+        };
+        let options = spec
+            .to_options_at(*rg)
+            .budget(TenantPolicy::default().clamp(&spec))
+            .audit(spec.audit);
+        let sel = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .solve(&options)
+            .expect("cold library solve");
+        assert_eq!(
+            selection_digest(&sel),
+            served.digest,
+            "{instance}: daemon answer differs from a cold library solve"
+        );
+    }
+
+    // Telemetry observed the sharing: one service-cache hit per warm
+    // request, misses only for alice's cold pass.
+    let lookups: Vec<(bool, u64)> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::CacheLookup {
+                cache: CacheKind::Service,
+                hit,
+                digest,
+            } => Some((*hit, *digest)),
+            _ => None,
+        })
+        .collect();
+    let hits = lookups.iter().filter(|(hit, _)| *hit).count();
+    let misses = lookups.iter().filter(|(hit, _)| !*hit).count();
+    assert_eq!(misses, points.len(), "only alice's pass may miss");
+    assert_eq!(hits, 2 * points.len(), "every bob/carol point must hit");
+
+    let stats = core.stats();
+    assert_eq!(stats.cache_hits, 2 * points.len() as u64);
+    assert_eq!(stats.cache_entries, points.len() as u64);
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn over_budget_tenant_degrades_to_greedy_without_starving_the_other() {
+    let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+    // miser has no node budget left before its first request; flush is
+    // unconstrained.
+    core.set_policy(
+        "miser",
+        TenantPolicy {
+            node_budget: 0,
+            ..TenantPolicy::default()
+        },
+    );
+    let (instance, rg) = corpus_points().remove(0);
+
+    // Interleave the two tenants through the concurrent server loop so
+    // degradation is exercised under the same scheduler as production.
+    let mut log = String::new();
+    for i in 0..3 {
+        log.push_str(&solve_request("miser", &format!("m{i}"), &instance, rg).to_json());
+        log.push('\n');
+        log.push_str(&solve_request("flush", &format!("f{i}"), &instance, rg).to_json());
+        log.push('\n');
+    }
+    let mut out: Vec<u8> = Vec::new();
+    partita_service::server::serve(
+        &core,
+        log.as_bytes(),
+        &mut out,
+        4,
+        partita_core::Redaction::None,
+    )
+    .expect("serve ok");
+    let text = String::from_utf8(out).expect("utf8");
+
+    let mut miser_lines = 0;
+    let mut flush_lines = 0;
+    for line in text.lines() {
+        assert!(line.contains("\"ok\":true"), "no request may fail: {line}");
+        if line.contains("\"tenant\":\"miser\"") {
+            miser_lines += 1;
+            assert!(
+                line.contains("\"status\":\"heuristic\"") && line.contains("\"degraded\":true"),
+                "miser must be honestly degraded: {line}"
+            );
+        } else if line.contains("\"tenant\":\"flush\"") {
+            flush_lines += 1;
+            assert!(
+                line.contains("\"status\":\"optimal\"") && line.contains("\"degraded\":false"),
+                "flush must keep exact service: {line}"
+            );
+        } else {
+            panic!("unexpected tenant in {line}");
+        }
+    }
+    assert_eq!(miser_lines, 3, "miser must be served, not starved: {text}");
+    assert_eq!(flush_lines, 3);
+    assert_eq!(core.stats().degraded, 3);
+    assert_eq!(core.stats().rejected, 0);
+}

@@ -269,6 +269,15 @@ impl std::fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
+/// Generator failures surface on the wire as API error code 300
+/// (`workload`), keeping the daemon's error envelope uniform with
+/// solver-side [`partita_core::api::ApiError`] codes.
+impl From<SynthError> for partita_core::api::ApiError {
+    fn from(err: SynthError) -> partita_core::api::ApiError {
+        partita_core::api::ApiError::Workload(err.to_string())
+    }
+}
+
 /// The `k`-th function of the generator's pool: the six named DSP functions
 /// first, `Custom` functions beyond (so large libraries get distinct
 /// functions instead of piling every IP onto six).

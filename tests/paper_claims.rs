@@ -207,7 +207,11 @@ fn trace_json_lines_match_golden_schema() {
                 .with_imps(w.imps.clone())
                 .solve(&options)
                 .expect("published sweep point feasible");
-            let line = format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), sel.trace.to_json());
+            let trace_json = partita::core::telemetry::Event::SolveFinished {
+                trace: sel.trace.clone(),
+            }
+            .to_json();
+            let line = format!("{{\"rg\":{},\"trace\":{}}}", rg.get(), trace_json);
             let mut cursor = 0usize;
             for key in GOLDEN_KEYS {
                 let needle = format!("\"{key}\":");
@@ -263,7 +267,10 @@ fn trace_json_round_trips_field_values() {
         .solve(&options)
         .expect("published sweep point feasible");
     let trace = &sel.trace;
-    let json = trace.to_json();
+    let json = partita::core::telemetry::Event::SolveFinished {
+        trace: trace.clone(),
+    }
+    .to_json();
 
     assert_eq!(field(&json, "backend"), format!("\"{}\"", trace.backend));
     assert_eq!(field(&json, "status"), format!("\"{}\"", trace.status));
