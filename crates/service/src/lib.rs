@@ -115,6 +115,15 @@ struct TenantState {
     nodes_spent: u64,
 }
 
+/// Process-wide per-tenant admission counters. Shared by every served
+/// connection, so [`TenantPolicy::max_inflight`] / `max_queued` cannot be
+/// multiplied by opening more connections.
+#[derive(Debug, Default)]
+struct TenantLoad {
+    inflight: usize,
+    queued: usize,
+}
+
 /// The daemon state shared by every listener, worker and replay driver.
 ///
 /// See the crate docs; the one-line summary is: parse the envelope, admit
@@ -128,6 +137,8 @@ pub struct ServiceCore {
     workloads: Mutex<HashMap<String, Arc<Workload>>>,
     manifest: OnceLock<Result<HashMap<String, ManifestEntry>, String>>,
     tenants: Mutex<HashMap<String, TenantState>>,
+    /// Per-tenant queued/in-flight counts across every served connection.
+    admission: Mutex<HashMap<String, TenantLoad>>,
     /// Jobs admitted by a server loop and not yet answered (load signal
     /// for graceful degradation).
     load: AtomicUsize,
@@ -156,6 +167,7 @@ impl ServiceCore {
             workloads: Mutex::new(HashMap::new()),
             manifest: OnceLock::new(),
             tenants: Mutex::new(HashMap::new()),
+            admission: Mutex::new(HashMap::new()),
             load: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -232,6 +244,70 @@ impl ServiceCore {
 
     pub(crate) fn note_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Claims one slot of `tenant`'s process-wide queue allowance
+    /// ([`TenantPolicy::max_queued`]); `false` refuses the request. Every
+    /// `true` must be reversed by exactly one later [`Self::try_start`]
+    /// (the job ran) or [`Self::drop_queued`] (dropped at shutdown).
+    pub(crate) fn try_admit(&self, tenant: &str) -> bool {
+        let max_queued = self.policy(tenant).max_queued;
+        let mut admission = self.admission.lock().expect("admission lock");
+        let load = admission.entry(tenant.to_string()).or_default();
+        if load.queued >= max_queued {
+            if load.queued == 0 && load.inflight == 0 {
+                admission.remove(tenant);
+            }
+            return false;
+        }
+        load.queued += 1;
+        true
+    }
+
+    /// Moves one of `tenant`'s queued jobs into its in-flight allowance
+    /// ([`TenantPolicy::max_inflight`], clamped to at least 1 — a zero cap
+    /// would leave queued jobs permanently unrunnable). `false` leaves the
+    /// job queued for a later scheduling step.
+    pub(crate) fn try_start(&self, tenant: &str) -> bool {
+        let max_inflight = self.policy(tenant).max_inflight.max(1);
+        let mut admission = self.admission.lock().expect("admission lock");
+        let load = admission.entry(tenant.to_string()).or_default();
+        if load.inflight >= max_inflight {
+            return false;
+        }
+        load.queued = load.queued.saturating_sub(1);
+        load.inflight += 1;
+        true
+    }
+
+    /// Releases the in-flight slot claimed by [`Self::try_start`].
+    pub(crate) fn finish_job(&self, tenant: &str) {
+        let mut admission = self.admission.lock().expect("admission lock");
+        if let Some(load) = admission.get_mut(tenant) {
+            load.inflight = load.inflight.saturating_sub(1);
+            if load.inflight == 0 && load.queued == 0 {
+                admission.remove(tenant);
+            }
+        }
+    }
+
+    /// Releases a queue slot claimed by [`Self::try_admit`] for a job
+    /// that will never run (dropped while draining at shutdown).
+    pub(crate) fn drop_queued(&self, tenant: &str) {
+        let mut admission = self.admission.lock().expect("admission lock");
+        if let Some(load) = admission.get_mut(tenant) {
+            load.queued = load.queued.saturating_sub(1);
+            if load.inflight == 0 && load.queued == 0 {
+                admission.remove(tenant);
+            }
+        }
+    }
+
+    /// Jobs currently admitted and unfinished (test hook for the load
+    /// accounting invariants).
+    #[cfg(test)]
+    pub(crate) fn current_load(&self) -> usize {
+        self.load.load(Ordering::Relaxed)
     }
 
     /// Parses one NDJSON request line and answers it, rendering the reply
@@ -583,6 +659,51 @@ mod tests {
             r#"{"api_version":1,"id":"s","tenant":"t","method":"solve","instance":"no-such-id","rg":100}"#,
         );
         assert!(reply.contains("\"code\":103"), "{reply}");
+    }
+
+    #[test]
+    fn admission_counters_are_process_wide() {
+        let core = core();
+        core.set_policy(
+            "t",
+            TenantPolicy {
+                max_inflight: 1,
+                max_queued: 2,
+                ..TenantPolicy::default()
+            },
+        );
+        // Queue allowance spans every admitter, not one connection.
+        assert!(core.try_admit("t"));
+        assert!(core.try_admit("t"));
+        assert!(!core.try_admit("t"), "third admit must hit the queue cap");
+        // In-flight allowance likewise.
+        assert!(core.try_start("t"));
+        assert!(!core.try_start("t"), "second start must hit max_inflight");
+        core.finish_job("t");
+        assert!(core.try_start("t"), "finish frees the in-flight slot");
+        core.finish_job("t");
+        // Both counters back to zero: the tenant's entry is gone and a
+        // fresh admit succeeds.
+        assert!(core.try_admit("t"));
+        core.drop_queued("t");
+    }
+
+    #[test]
+    fn zero_max_inflight_is_clamped_to_one() {
+        let core = core();
+        core.set_policy(
+            "z",
+            TenantPolicy {
+                max_inflight: 0,
+                ..TenantPolicy::default()
+            },
+        );
+        assert!(core.try_admit("z"));
+        assert!(
+            core.try_start("z"),
+            "a zero in-flight cap must not make queued jobs unrunnable"
+        );
+        core.finish_job("z");
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! overflow is refused immediately with error code 429 rather than
 //! buffered without bound.
 //!
+//! Both caps are accounted on [`ServiceCore`], shared by every served
+//! connection — opening more connections does not multiply a tenant's
+//! allowance. Because a slot freed on one connection's pool only notifies
+//! that pool's condvar, parked workers use a short timed wait to observe
+//! cross-connection frees.
+//!
 //! Responses are written in completion order, one line per request; the
 //! envelope's echoed `id` is what correlates them. Callers that need
 //! request-order replies (scripted replay, goldens) use
@@ -20,6 +26,7 @@ use std::net::{TcpListener, ToSocketAddrs};
 use std::os::unix::net::UnixListener;
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use partita_core::api::{ApiError, Request, Response};
 use partita_core::Redaction;
@@ -27,13 +34,13 @@ use partita_core::Redaction;
 use crate::ServiceCore;
 
 /// Per-tenant FIFOs plus the round-robin ring the workers pull from.
+/// In-flight and queue *counts* live on [`ServiceCore`], shared across
+/// connections; this holds only this connection's pending requests.
 struct Sched {
     queues: HashMap<String, VecDeque<Request>>,
     /// Tenants in arrival order; the rotating cursor makes the scan fair.
     ring: Vec<String>,
     cursor: usize,
-    /// Jobs of each tenant currently running on a worker.
-    running: HashMap<String, usize>,
     /// Whether the reader is still producing lines.
     open: bool,
 }
@@ -44,7 +51,6 @@ impl Sched {
             queues: HashMap::new(),
             ring: Vec::new(),
             cursor: 0,
-            running: HashMap::new(),
             open: true,
         }
     }
@@ -64,33 +70,46 @@ impl Sched {
     }
 
     /// The next runnable job under the fair policy: starting at the
-    /// cursor, the first tenant with queued work and spare in-flight
-    /// allowance. Advancing the cursor past the chosen tenant is what
-    /// prevents one tenant with a deep queue from monopolising workers.
+    /// cursor, the first tenant with queued work and spare process-wide
+    /// in-flight allowance ([`ServiceCore::try_start`]). Advancing the
+    /// cursor past the chosen tenant is what prevents one tenant with a
+    /// deep queue from monopolising workers.
     fn pick(&mut self, core: &ServiceCore) -> Option<Request> {
         let n = self.ring.len();
         for step in 0..n {
             let idx = (self.cursor + step) % n;
             let tenant = &self.ring[idx];
-            let running = self.running.get(tenant).copied().unwrap_or(0);
-            if running >= core.policy(tenant).max_inflight {
+            let has_work = self.queues.get(tenant).is_some_and(|q| !q.is_empty());
+            if !has_work || !core.try_start(tenant) {
                 continue;
             }
-            if let Some(queue) = self.queues.get_mut(tenant) {
-                if let Some(req) = queue.pop_front() {
-                    self.cursor = (idx + 1) % n;
-                    *self.running.entry(tenant.clone()).or_insert(0) += 1;
-                    return Some(req);
-                }
-            }
+            let req = self
+                .queues
+                .get_mut(tenant)
+                .and_then(VecDeque::pop_front)
+                .expect("non-empty under the scheduler lock");
+            self.cursor = (idx + 1) % n;
+            return Some(req);
         }
         None
     }
+}
 
-    fn finish(&mut self, tenant: &str) {
-        if let Some(n) = self.running.get_mut(tenant) {
-            *n = n.saturating_sub(1);
-        }
+/// Reverses one picked job's accounting when it leaves scope — the
+/// process-wide in-flight slot, the load counter, and a wake-up for
+/// parked local workers — so it runs on every worker exit path,
+/// including `?` early returns on a write error.
+struct JobGuard<'a> {
+    core: &'a Arc<ServiceCore>,
+    cvar: &'a Condvar,
+    tenant: &'a str,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.core.finish_job(self.tenant);
+        self.core.load_exit();
+        self.cvar.notify_all();
     }
 }
 
@@ -132,80 +151,105 @@ where
                             if !guard.open {
                                 break None;
                             }
-                            guard = cvar.wait(guard).expect("scheduler lock");
+                            // Timed: a slot freed on another connection's
+                            // pool notifies that pool's condvar, not ours.
+                            let (g, _) = cvar
+                                .wait_timeout(guard, Duration::from_millis(25))
+                                .expect("scheduler lock");
+                            guard = g;
                         }
                     };
                     let Some(req) = job else { return Ok(()) };
+                    let _done = JobGuard {
+                        core,
+                        cvar: &cvar,
+                        tenant: &req.tenant,
+                    };
                     let line = core.handle_request(&req).to_json(redaction);
-                    core.load_exit();
-                    {
-                        let mut out = output.lock().expect("output lock");
-                        out.write_all(line.as_bytes())?;
-                        out.write_all(b"\n")?;
-                        out.flush()?;
-                    }
-                    sched.lock().expect("scheduler lock").finish(&req.tenant);
-                    cvar.notify_all();
+                    let mut out = output.lock().expect("output lock");
+                    out.write_all(line.as_bytes())?;
+                    out.write_all(b"\n")?;
+                    out.flush()?;
                 }
             }));
         }
 
-        // Reader: this thread.
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            match Request::parse(&line) {
-                Ok(req) => {
-                    let over_queue = {
-                        let guard = sched.lock().expect("scheduler lock");
-                        let queued = guard
-                            .queues
-                            .get(&req.tenant)
-                            .map(VecDeque::len)
-                            .unwrap_or(0);
-                        queued >= core.policy(&req.tenant).max_queued
-                    };
-                    if over_queue {
-                        core.note_rejected();
-                        let resp = Response::error(
-                            &req.id,
-                            &req.tenant,
-                            ApiError::Overloaded {
-                                tenant: req.tenant.clone(),
-                                detail: "queue full".into(),
-                            },
-                        );
+        // Reader: this thread. Errors (a connection reset mid-stream, a
+        // failed error-reply write) must not return before the shutdown
+        // path below — parked workers wait on `open`, and `thread::scope`
+        // would block on them forever.
+        let read_result = (|| -> std::io::Result<()> {
+            for line in input.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Request::parse(&line) {
+                    Ok(req) => {
+                        if !core.try_admit(&req.tenant) {
+                            core.note_rejected();
+                            let resp = Response::error(
+                                &req.id,
+                                &req.tenant,
+                                ApiError::Overloaded {
+                                    tenant: req.tenant.clone(),
+                                    detail: "queue full".into(),
+                                },
+                            );
+                            let mut out = output.lock().expect("output lock");
+                            out.write_all(resp.to_json(redaction).as_bytes())?;
+                            out.write_all(b"\n")?;
+                            out.flush()?;
+                            continue;
+                        }
+                        core.load_enter();
+                        sched.lock().expect("scheduler lock").enqueue(req);
+                        cvar.notify_all();
+                    }
+                    Err(err) => {
+                        // Answer protocol errors inline; they never occupy
+                        // a worker.
+                        let (id, tenant) = crate::best_effort_ids(&line);
+                        let resp = Response::error(&id, &tenant, err);
                         let mut out = output.lock().expect("output lock");
                         out.write_all(resp.to_json(redaction).as_bytes())?;
                         out.write_all(b"\n")?;
                         out.flush()?;
-                        continue;
                     }
-                    core.load_enter();
-                    sched.lock().expect("scheduler lock").enqueue(req);
-                    cvar.notify_all();
                 }
-                Err(err) => {
-                    // Answer protocol errors inline; they never occupy a
-                    // worker.
-                    let (id, tenant) = crate::best_effort_ids(&line);
-                    let resp = Response::error(&id, &tenant, err);
-                    let mut out = output.lock().expect("output lock");
-                    out.write_all(resp.to_json(redaction).as_bytes())?;
-                    out.write_all(b"\n")?;
-                    out.flush()?;
+            }
+            Ok(())
+        })();
+
+        // Shutdown — reached on EOF *and* on reader error: close the
+        // scheduler, wake and join the workers, then reverse the
+        // accounting of any job admitted but never served (reader error
+        // above, or the pool dying on a write error).
+        sched.lock().expect("scheduler lock").open = false;
+        cvar.notify_all();
+        let mut worker_result: std::io::Result<()> = Ok(());
+        for worker in pool {
+            let joined = worker.join().expect("worker panicked");
+            if worker_result.is_ok() {
+                worker_result = joined;
+            }
+        }
+        {
+            let mut guard = sched.lock().expect("scheduler lock");
+            debug_assert!(
+                read_result.is_err()
+                    || worker_result.is_err()
+                    || guard.queued_total() == 0,
+                "clean shutdown left unserved jobs"
+            );
+            for (tenant, queue) in &mut guard.queues {
+                while queue.pop_front().is_some() {
+                    core.drop_queued(tenant);
+                    core.load_exit();
                 }
             }
         }
-        sched.lock().expect("scheduler lock").open = false;
-        cvar.notify_all();
-        for worker in pool {
-            worker.join().expect("worker panicked")?;
-        }
-        debug_assert_eq!(sched.lock().expect("scheduler lock").queued_total(), 0);
-        Ok(())
+        read_result.and(worker_result)
     })
 }
 
@@ -224,7 +268,8 @@ pub fn serve_stdio(core: &Arc<ServiceCore>, workers: usize) -> std::io::Result<(
 
 /// Accepts connections on an already-bound Unix listener forever, one
 /// serving thread per connection (each with its own worker pool over the
-/// shared core — the cache and tenant accounting are process-wide).
+/// shared core — the cache, tenant accounting, and the
+/// `max_inflight`/`max_queued` admission counters are all process-wide).
 pub fn serve_unix_listener(
     core: Arc<ServiceCore>,
     listener: UnixListener,
@@ -328,6 +373,95 @@ mod tests {
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("\"code\":429"), "{text}");
         assert_eq!(core.stats().rejected, 1);
+    }
+
+    /// Yields its data, then fails the next read — a TCP peer resetting
+    /// mid-stream.
+    struct FailAfter {
+        data: &'static [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for FailAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "peer reset",
+                ))
+            }
+        }
+    }
+
+    #[test]
+    fn reader_error_shuts_down_instead_of_hanging() {
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        let input = BufReader::new(FailAfter {
+            data: b"{\"api_version\":1,\"id\":\"a\",\"tenant\":\"t\",\"method\":\"ping\"}\n",
+            pos: 0,
+        });
+        let mut out: Vec<u8> = Vec::new();
+        let err = serve(&core, input, &mut out, 2, Redaction::None)
+            .expect_err("reader error must propagate");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        // The line read before the reset was still answered, and no load
+        // accounting leaked.
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"pong\":true"), "{text}");
+        assert_eq!(core.current_load(), 0);
+    }
+
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_error_releases_accounting_and_reports() {
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        let ping = |id: &str| {
+            format!("{{\"api_version\":1,\"id\":\"{id}\",\"tenant\":\"t\",\"method\":\"ping\"}}\n")
+        };
+        let input: String = ["a", "b", "c", "d"].iter().map(|id| ping(id)).collect();
+        let err = serve(&core, input.as_bytes(), FailingWriter, 1, Redaction::None)
+            .expect_err("write error must propagate");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // Picked and drained jobs alike released their load entries and
+        // the tenant's in-flight slot: a later stream still serves it.
+        assert_eq!(core.current_load(), 0);
+        let mut out: Vec<u8> = Vec::new();
+        serve(&core, ping("e").as_bytes(), &mut out, 1, Redaction::None).expect("healthy stream");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"pong\":true"), "{text}");
+    }
+
+    #[test]
+    fn zero_max_inflight_still_serves() {
+        let core = Arc::new(ServiceCore::new(ServiceConfig::default()));
+        core.set_policy(
+            "z",
+            crate::TenantPolicy {
+                max_inflight: 0,
+                ..crate::TenantPolicy::default()
+            },
+        );
+        let input = r#"{"api_version":1,"id":"a","tenant":"z","method":"ping"}"#.to_string() + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve(&core, input.as_bytes(), &mut out, 2, Redaction::None).expect("serve ok");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"pong\":true"), "{text}");
+        assert_eq!(core.current_load(), 0);
     }
 
     #[test]

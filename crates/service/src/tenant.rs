@@ -12,13 +12,16 @@ use partita_core::SolveBudget;
 /// Admission policy for one tenant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantPolicy {
-    /// Jobs of this tenant that may run concurrently; beyond this, jobs
-    /// wait in the tenant's FIFO while other tenants' jobs run (the fair
-    /// scheduler's cap — see [`crate::server`]).
+    /// Jobs of this tenant that may run concurrently, counted across
+    /// every served connection; beyond this, jobs wait in the tenant's
+    /// FIFO while other tenants' jobs run (the fair scheduler's cap — see
+    /// [`crate::server`]). A value of 0 is enforced as 1: a zero cap
+    /// would leave queued jobs permanently unrunnable, and the daemon's
+    /// contract is that every admitted job is answered.
     pub max_inflight: usize,
-    /// Jobs that may wait in the tenant's FIFO; beyond this, requests are
-    /// refused outright with [`partita_core::api::ApiError::Overloaded`]
-    /// (code 429).
+    /// Jobs that may wait in the tenant's FIFOs, counted across every
+    /// served connection; beyond this, requests are refused outright with
+    /// [`partita_core::api::ApiError::Overloaded`] (code 429).
     pub max_queued: usize,
     /// Cumulative branch-and-bound nodes the tenant may spend on exact
     /// solves. Once exhausted, further points degrade to the greedy
