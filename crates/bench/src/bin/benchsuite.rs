@@ -8,9 +8,11 @@
 //! ```
 //!
 //! With `--compare`, the fresh run is gated against the baseline report:
-//! any portable drift, any single-threaded node-count growth, or a wall
-//! time regression beyond the threshold (15% by default, with a 10ms
-//! absolute noise floor) exits nonzero.
+//! any portable drift, any single-threaded node-count or simplex-ops
+//! growth (total pivots, allocating tableau builds), or a wall time
+//! regression beyond the threshold (15% by default, with a 10ms absolute
+//! noise floor) exits nonzero. Runs also self-check that every
+//! single-threaded config carries the portable ops section.
 
 use std::process::ExitCode;
 
@@ -81,6 +83,22 @@ fn main() -> ExitCode {
         args.config.threads
     );
     let report = run_suite(&args.config);
+    // Every single-threaded config must carry the portable simplex ops
+    // section — a missing one means the counters stopped being threaded
+    // through the solver, which would silently disable the ops gates.
+    let missing_ops: Vec<&str> = report
+        .configs
+        .iter()
+        .filter(|(k, c)| k.ends_with(":t1") && c.ops.is_none())
+        .map(|(k, _)| k.as_str())
+        .collect();
+    if !missing_ops.is_empty() {
+        eprintln!(
+            "benchsuite: single-threaded config(s) missing the ops section: {}",
+            missing_ops.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     let rendered = report.to_json();
     if let Err(e) = std::fs::write(&args.out, &rendered) {
         eprintln!("benchsuite: cannot write {}: {e}", args.out);

@@ -161,6 +161,53 @@ impl CacheStats {
     }
 }
 
+/// Deterministic simplex per-op counters summed over a config's sweep,
+/// from each selection's [`partita_core::SolveTrace`]. Exact operation
+/// tallies, so they are portable at one thread (the parallel frontier
+/// explores a schedule-dependent node set, hence a schedule-dependent
+/// pivot count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpsCounters {
+    /// Phase-1 (feasibility) simplex pivots.
+    pub phase1_pivots: u64,
+    /// Phase-2 (optimality) simplex pivots.
+    pub phase2_pivots: u64,
+    /// Dual-simplex repair pivots (warm-basis installs included).
+    pub dual_pivots: u64,
+    /// Pivots spent lex-canonicalising optimal root vertices.
+    pub lex_pivots: u64,
+    /// Simplex tableaus built.
+    pub tableau_builds: u64,
+    /// Tableau builds that reused an already-large-enough scratch buffer.
+    pub scratch_reuses: u64,
+    /// Dantzig→Bland entering-rule fallbacks inside degenerate stalls.
+    pub bland_activations: u64,
+}
+
+impl OpsCounters {
+    /// Sum of all pivot counters.
+    #[must_use]
+    pub fn total_pivots(&self) -> u64 {
+        self.phase1_pivots + self.phase2_pivots + self.dual_pivots + self.lex_pivots
+    }
+
+    /// Tableau builds that had to heap-allocate (cold buffers).
+    #[must_use]
+    pub fn allocating_builds(&self) -> u64 {
+        self.tableau_builds.saturating_sub(self.scratch_reuses)
+    }
+
+    fn absorb_trace(&mut self, t: &partita_core::SolveTrace) {
+        self.phase1_pivots += t.phase1_pivots as u64;
+        self.phase2_pivots += t.phase2_pivots as u64;
+        self.dual_pivots += t.dual_pivots as u64;
+        self.lex_pivots += t.lex_pivots as u64;
+        self.tableau_builds += t.tableau_builds as u64;
+        self.scratch_reuses += t.scratch_reuses as u64;
+        self.bland_activations += t.bland_activations as u64;
+    }
+}
+
 /// The full result of one `{workload}:{mode}:t{threads}` config.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigResult {
@@ -171,6 +218,10 @@ pub struct ConfigResult {
     /// Total branch-and-bound nodes when the search is single-threaded
     /// (deterministic, hence portable); `None` at higher thread counts.
     pub portable_nodes: Option<u64>,
+    /// Simplex per-op counters summed over the sweep when single-threaded
+    /// (portable); `None` at higher thread counts and in baselines written
+    /// before the section existed.
+    pub ops: Option<OpsCounters>,
     /// Total wall time of the config, in microseconds.
     pub wall_us: u64,
     /// Total nodes at multi-threaded counts (machine-dependent: the
@@ -253,6 +304,9 @@ pub struct CorpusResult {
     /// Total branch-and-bound nodes at one thread (portable; 0 for the
     /// greedy-backed scale groups).
     pub nodes: u64,
+    /// Total simplex pivots at one thread (portable; 0 for the greedy-backed
+    /// scale groups, which never touch the simplex).
+    pub pivots: u64,
     /// Total wall time of the group, microseconds (machine-dependent).
     pub wall_us: u64,
 }
@@ -276,8 +330,40 @@ pub struct SuiteReport {
 #[must_use]
 pub fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
+    parse_vm_hwm_kb(&status)
+}
+
+/// Extracts the `VmHWM` value in kB from a `/proc/self/status` document.
+///
+/// Tolerant of the unit/whitespace variants seen across kernels and
+/// containers (tabs vs spaces, `kB`/`KB`/`mB` casing, missing unit), and
+/// returns `None` — never a bogus number — on malformed lines: a bare
+/// `VmHWM:` with no value, a non-numeric value, an unknown unit, or
+/// trailing junk after the unit.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    let line = status
+        .lines()
+        .map(str::trim_start)
+        .find(|l| l.starts_with("VmHWM"))?;
+    let rest = line.strip_prefix("VmHWM")?.trim_start().strip_prefix(':')?;
+    let mut tokens = rest.split_whitespace();
+    let value: u64 = tokens.next()?.parse().ok()?;
+    let scaled = match tokens.next() {
+        // The kernel always writes kB today, but be liberal in what we
+        // accept as long as the meaning is unambiguous.
+        None => value,
+        Some(unit) => match unit.to_ascii_lowercase().as_str() {
+            "kb" => value,
+            "mb" => value.checked_mul(1024)?,
+            "gb" => value.checked_mul(1024 * 1024)?,
+            _ => return None,
+        },
+    };
+    // Anything after the unit means we misread the line; refuse to guess.
+    if tokens.next().is_some() {
+        return None;
+    }
+    Some(scaled)
 }
 
 /// The workloads the suite drives, as `(key, workload)` pairs.
@@ -318,10 +404,15 @@ fn run_config(w: &Workload, mode: Mode, threads: usize) -> ConfigResult {
             status: sel.status.to_string(),
         })
         .collect();
+    let mut ops = OpsCounters::default();
+    for sel in &sels {
+        ops.absorb_trace(&sel.trace);
+    }
     ConfigResult {
         points,
         cache: CacheStats::from_trace(&trace),
         portable_nodes: (threads <= 1).then_some(nodes),
+        ops: (threads <= 1).then_some(ops),
         wall_us: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
         machine_nodes: (threads > 1).then_some(nodes),
         peak_rss_kb: peak_rss_kb(),
@@ -464,6 +555,7 @@ fn run_corpus(quick: bool) -> Vec<(String, CorpusResult)> {
             gain: 0,
             area_tenths: 0,
             nodes: 0,
+            pivots: 0,
             wall_us: 0,
         };
         let started = Instant::now();
@@ -493,6 +585,10 @@ fn run_corpus(quick: bool) -> Vec<(String, CorpusResult)> {
                     result.gain += sel.total_gain().get();
                     result.area_tenths += sel.total_area().tenths();
                     result.nodes += sel.trace.nodes_explored as u64;
+                    result.pivots += (sel.trace.phase1_pivots
+                        + sel.trace.phase2_pivots
+                        + sel.trace.dual_pivots
+                        + sel.trace.lex_pivots) as u64;
                 }
                 Err(
                     partita_core::CoreError::Infeasible { .. } | partita_core::CoreError::NoImps,
@@ -643,6 +739,26 @@ impl SuiteReport {
                     )
                 })
                 .collect();
+            let ops = c.ops.map_or_else(
+                || "null".to_string(),
+                |o| {
+                    format!(
+                        concat!(
+                            "{{\"phase1_pivots\":{},\"phase2_pivots\":{},",
+                            "\"dual_pivots\":{},\"lex_pivots\":{},",
+                            "\"tableau_builds\":{},\"scratch_reuses\":{},",
+                            "\"bland_activations\":{}}}"
+                        ),
+                        o.phase1_pivots,
+                        o.phase2_pivots,
+                        o.dual_pivots,
+                        o.lex_pivots,
+                        o.tableau_builds,
+                        o.scratch_reuses,
+                        o.bland_activations,
+                    )
+                },
+            );
             out.push_str(&format!(
                 concat!(
                     "    \"{}\": {{\n",
@@ -650,7 +766,7 @@ impl SuiteReport {
                     "\"cache\": {{\"cache_hits\":{},\"cache_misses\":{},",
                     "\"model_hits\":{},\"model_misses\":{},",
                     "\"chained_accepts\":{},\"chained_rejects\":{}}}, ",
-                    "\"nodes\": {}}},\n",
+                    "\"nodes\": {}, \"ops\": {}}},\n",
                     "      \"machine\": {{\"wall_us\": {}, \"nodes\": {}, ",
                     "\"peak_rss_kb\": {}}}\n",
                     "    }}{}\n"
@@ -664,6 +780,7 @@ impl SuiteReport {
                 c.cache.chained_accepts,
                 c.cache.chained_rejects,
                 opt_u64_json(c.portable_nodes),
+                ops,
                 c.wall_us,
                 opt_u64_json(c.machine_nodes),
                 opt_u64_json(c.peak_rss_kb),
@@ -679,7 +796,7 @@ impl SuiteReport {
                     "    \"{}\": {{\n",
                     "      \"portable\": {{\"entries\":{},\"solved\":{},",
                     "\"infeasible\":{},\"gain\":{},\"area_tenths\":{},",
-                    "\"nodes\":{}}},\n",
+                    "\"nodes\":{},\"pivots\":{}}},\n",
                     "      \"machine\": {{\"wall_us\":{}}}\n",
                     "    }}{}\n"
                 ),
@@ -690,6 +807,7 @@ impl SuiteReport {
                 c.gain,
                 c.area_tenths,
                 c.nodes,
+                c.pivots,
                 c.wall_us,
                 if i + 1 == sorted.len() { "" } else { "," },
             ));
@@ -802,6 +920,21 @@ impl SuiteReport {
                         chained_rejects: get(cache, "chained_rejects")?,
                     },
                     portable_nodes: opt(portable, "nodes"),
+                    // Additive: baselines written before the ops section
+                    // existed (and `null` at multi-thread configs) parse to
+                    // `None` and skip the ops gates.
+                    ops: portable
+                        .get("ops")
+                        .filter(|o| !matches!(o, JsonValue::Null))
+                        .map(|o| OpsCounters {
+                            phase1_pivots: opt(o, "phase1_pivots").unwrap_or(0),
+                            phase2_pivots: opt(o, "phase2_pivots").unwrap_or(0),
+                            dual_pivots: opt(o, "dual_pivots").unwrap_or(0),
+                            lex_pivots: opt(o, "lex_pivots").unwrap_or(0),
+                            tableau_builds: opt(o, "tableau_builds").unwrap_or(0),
+                            scratch_reuses: opt(o, "scratch_reuses").unwrap_or(0),
+                            bland_activations: opt(o, "bland_activations").unwrap_or(0),
+                        }),
                     wall_us: get(machine, "wall_us")?,
                     machine_nodes: opt(machine, "nodes"),
                     peak_rss_kb: opt(machine, "peak_rss_kb"),
@@ -830,6 +963,11 @@ impl SuiteReport {
                         gain: get(portable, "gain")?,
                         area_tenths: get(portable, "area_tenths")? as i64,
                         nodes: get(portable, "nodes")?,
+                        // Additive: absent in pre-ops baselines.
+                        pivots: portable
+                            .get("pivots")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
                         wall_us: get(machine, "wall_us")?,
                     },
                 ));
@@ -906,6 +1044,8 @@ impl SuiteReport {
 ///   cache counters changed;
 /// * any single-threaded **node-count** growth (strict: the search is
 ///   deterministic at one thread, so even +1 node is a real change);
+/// * any single-threaded **simplex ops** growth — total pivots or
+///   allocating tableau builds — when both reports carry an ops section;
 /// * **wall time** beyond `baseline * (1 + wall_threshold)` *and* beyond
 ///   an absolute [`WALL_NOISE_FLOOR_US`] above the baseline;
 /// * a **corpus group** missing from the current run, or any drift in its
@@ -932,6 +1072,25 @@ pub fn compare_reports(
         if let (Some(b), Some(c)) = (base.portable_nodes, cur.portable_nodes) {
             if c > b {
                 regressions.push(format!("{key}: node count regressed {b} -> {c}"));
+            }
+        }
+        // Ops gates (single-threaded configs, skipped against pre-ops
+        // baselines): the simplex must not spend more pivots in total, and
+        // must not heap-allocate more tableaus, than the baseline.
+        if let (Some(b), Some(c)) = (base.ops, cur.ops) {
+            if c.total_pivots() > b.total_pivots() {
+                regressions.push(format!(
+                    "{key}: simplex pivot count regressed {} -> {}",
+                    b.total_pivots(),
+                    c.total_pivots()
+                ));
+            }
+            if c.allocating_builds() > b.allocating_builds() {
+                regressions.push(format!(
+                    "{key}: allocating tableau builds regressed {} -> {}",
+                    b.allocating_builds(),
+                    c.allocating_builds()
+                ));
             }
         }
         let allowed = (base.wall_us as f64 * (1.0 + wall_threshold)) as u64;
@@ -962,6 +1121,14 @@ pub fn compare_reports(
             regressions.push(format!(
                 "corpus/{key}: node count regressed {} -> {}",
                 base.nodes, cur.nodes
+            ));
+        }
+        // Pivot gate, skipped against pre-ops baselines (which carry 0) and
+        // for greedy-backed groups that never touch the simplex.
+        if base.pivots > 0 && cur.pivots > base.pivots {
+            regressions.push(format!(
+                "corpus/{key}: simplex pivot count regressed {} -> {}",
+                base.pivots, cur.pivots
             ));
         }
     }
@@ -1033,4 +1200,207 @@ pub fn compare_reports(
         }
     }
     regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // --- peak RSS parsing -------------------------------------------------
+
+    #[test]
+    fn vm_hwm_parses_the_kernel_format() {
+        let status = "VmPeak:\t  200000 kB\nVmHWM:\t  123456 kB\nVmRSS:\t  100 kB\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(123_456));
+    }
+
+    #[test]
+    fn vm_hwm_tolerates_whitespace_and_unit_variants() {
+        assert_eq!(parse_vm_hwm_kb("VmHWM:     42 kB"), Some(42));
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t42\tkB"), Some(42));
+        assert_eq!(parse_vm_hwm_kb("  VmHWM:  42 KB"), Some(42));
+        assert_eq!(parse_vm_hwm_kb("VmHWM : 42 kB"), Some(42));
+        assert_eq!(parse_vm_hwm_kb("VmHWM: 42"), Some(42));
+        assert_eq!(parse_vm_hwm_kb("VmHWM: 2 MB"), Some(2048));
+        assert_eq!(parse_vm_hwm_kb("VmHWM: 1 gB"), Some(1_048_576));
+    }
+
+    #[test]
+    fn vm_hwm_returns_none_on_malformed_lines() {
+        assert_eq!(parse_vm_hwm_kb(""), None);
+        assert_eq!(parse_vm_hwm_kb("VmRSS: 42 kB"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM: lots kB"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM: -1 kB"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM: 42 pages"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM: 42 kB extra"), None);
+        // A u64 overflow while scaling must refuse, not wrap.
+        assert_eq!(parse_vm_hwm_kb(&format!("VmHWM: {} MB", u64::MAX)), None);
+    }
+
+    // --- ops section round-trip and compare gates -------------------------
+
+    fn config(nodes: Option<u64>, ops: Option<OpsCounters>) -> ConfigResult {
+        ConfigResult {
+            points: vec![PointResult {
+                rg: 90,
+                gain: 95,
+                area_tenths: 120,
+                status: "Optimal".to_string(),
+            }],
+            cache: CacheStats::default(),
+            portable_nodes: nodes,
+            ops,
+            wall_us: 1000,
+            machine_nodes: nodes.is_none().then_some(7),
+            peak_rss_kb: Some(4096),
+        }
+    }
+
+    fn corpus_result(nodes: u64, pivots: u64) -> CorpusResult {
+        CorpusResult {
+            entries: 3,
+            solved: 2,
+            infeasible: 1,
+            gain: 200,
+            area_tenths: 450,
+            nodes,
+            pivots,
+            wall_us: 900,
+        }
+    }
+
+    fn sample_ops() -> OpsCounters {
+        OpsCounters {
+            phase1_pivots: 10,
+            phase2_pivots: 20,
+            dual_pivots: 3,
+            lex_pivots: 2,
+            tableau_builds: 8,
+            scratch_reuses: 6,
+            bland_activations: 1,
+        }
+    }
+
+    fn report(configs: Vec<(String, ConfigResult)>) -> SuiteReport {
+        SuiteReport {
+            configs,
+            corpus: vec![("synth:small".to_string(), corpus_result(40, 150))],
+            resolve: Vec::new(),
+            service: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ops_and_pivots_survive_a_json_round_trip() {
+        let r = report(vec![
+            ("t1".to_string(), config(Some(12), Some(sample_ops()))),
+            ("t4".to_string(), config(None, None)),
+        ]);
+        let parsed = SuiteReport::from_json(&r.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.configs[0].1.ops, Some(sample_ops()));
+        assert_eq!(parsed.configs[1].1.ops, None);
+        assert_eq!(parsed.corpus[0].1.pivots, 150);
+    }
+
+    #[test]
+    fn pre_ops_baselines_parse_and_skip_the_ops_gates() {
+        // A baseline written before the ops section existed: no "ops" key in
+        // the config portable block, no "pivots" in the corpus block.
+        let old = format!(
+            concat!(
+                "{{\"schema\": {}, \"suite\": \"partita-benchsuite\", \"configs\": {{\n",
+                "  \"t1\": {{\"portable\": {{\"points\": [], \"cache\": {{",
+                "\"cache_hits\":0,\"cache_misses\":0,\"model_hits\":0,",
+                "\"model_misses\":0,\"chained_accepts\":0,\"chained_rejects\":0}}, ",
+                "\"nodes\": 12}},\n",
+                "  \"machine\": {{\"wall_us\": 1000, \"nodes\": null, ",
+                "\"peak_rss_kb\": null}}}}\n",
+                "}}, \"corpus\": {{\n",
+                "  \"synth:small\": {{\"portable\": {{\"entries\":3,\"solved\":2,",
+                "\"infeasible\":1,\"gain\":200,\"area_tenths\":450,\"nodes\":40}},\n",
+                "  \"machine\": {{\"wall_us\":900}}}}\n",
+                "}}}}"
+            ),
+            SUITE_SCHEMA
+        );
+        let baseline = SuiteReport::from_json(&old).expect("pre-ops baseline parses");
+        assert_eq!(baseline.configs[0].1.ops, None);
+        assert_eq!(baseline.corpus[0].1.pivots, 0);
+        // A current run that *does* carry ops must not be flagged against it.
+        let mut cur_cfg = config(Some(12), Some(sample_ops()));
+        cur_cfg.points.clear();
+        let current = report(vec![("t1".to_string(), cur_cfg)]);
+        let regressions = compare_reports(&baseline, &current, 10.0);
+        assert!(
+            regressions.is_empty(),
+            "pre-ops baseline must skip ops gates: {regressions:?}"
+        );
+    }
+
+    #[test]
+    fn pivot_growth_is_a_regression() {
+        let baseline = report(vec![(
+            "t1".to_string(),
+            config(Some(12), Some(sample_ops())),
+        )]);
+        let mut worse = sample_ops();
+        worse.phase2_pivots += 1;
+        let current = report(vec![("t1".to_string(), config(Some(12), Some(worse)))]);
+        let regressions = compare_reports(&baseline, &current, 10.0);
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("pivot count regressed")),
+            "expected a pivot regression, got {regressions:?}"
+        );
+    }
+
+    #[test]
+    fn allocating_build_growth_is_a_regression_but_fewer_reuses_alone_is_not() {
+        let baseline = report(vec![(
+            "t1".to_string(),
+            config(Some(12), Some(sample_ops())),
+        )]);
+        let mut worse = sample_ops();
+        worse.scratch_reuses -= 1; // builds constant => one more cold allocation
+        let current = report(vec![("t1".to_string(), config(Some(12), Some(worse)))]);
+        let regressions = compare_reports(&baseline, &current, 10.0);
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("allocating tableau builds regressed")),
+            "expected an allocation regression, got {regressions:?}"
+        );
+        // Fewer builds *and* fewer reuses (a shorter solve) is fine.
+        let mut better = sample_ops();
+        better.phase2_pivots -= 5;
+        better.tableau_builds -= 2;
+        better.scratch_reuses -= 2;
+        let current = report(vec![("t1".to_string(), config(Some(12), Some(better)))]);
+        assert!(compare_reports(&baseline, &current, 10.0).is_empty());
+    }
+
+    #[test]
+    fn corpus_pivot_growth_is_a_regression_unless_baseline_is_preops() {
+        let base = report(Vec::new());
+        let mut cur = report(Vec::new());
+        cur.corpus[0].1.pivots = 151;
+        let regressions = compare_reports(&base, &cur, 10.0);
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("corpus/synth:small: simplex pivot count regressed")),
+            "expected a corpus pivot regression, got {regressions:?}"
+        );
+        // Greedy-backed / pre-ops baselines carry 0 pivots: gate skipped.
+        let mut preops = report(Vec::new());
+        preops.corpus[0].1.pivots = 0;
+        assert!(compare_reports(&preops, &cur, 10.0).is_empty());
+        // Fewer pivots than baseline is an improvement, not a regression.
+        let mut fewer = report(Vec::new());
+        fewer.corpus[0].1.pivots = 100;
+        assert!(compare_reports(&base, &fewer, 10.0).is_empty());
+    }
 }

@@ -197,6 +197,22 @@ pub struct SolveTrace {
     pub incumbent_updates: usize,
     /// Simplex pivots summed over every node LP.
     pub simplex_iterations: usize,
+    /// Phase-1 (feasibility) simplex pivots across every LP of the solve.
+    pub phase1_pivots: usize,
+    /// Phase-2 (optimality) simplex pivots across every LP of the solve.
+    pub phase2_pivots: usize,
+    /// Dual-simplex repair pivots (warm-basis installs included).
+    pub dual_pivots: usize,
+    /// Pivots spent lex-canonicalising optimal root vertices.
+    pub lex_pivots: usize,
+    /// Simplex tableaus built (one per LP solved at tableau level).
+    pub tableau_builds: usize,
+    /// Tableau builds that reused an already-large-enough scratch buffer
+    /// instead of allocating.
+    pub scratch_reuses: usize,
+    /// Times the simplex entering rule fell back from Dantzig to Bland
+    /// inside a degenerate stall.
+    pub bland_activations: usize,
     /// Whether a greedy warm start seeded the branch-and-bound incumbent.
     pub warm_start_accepted: bool,
     /// Binaries permanently fixed by warm-start root probing.
@@ -473,6 +489,13 @@ mod tests {
             nodes_pruned: 1,
             incumbent_updates: 2,
             simplex_iterations: 42,
+            phase1_pivots: 12,
+            phase2_pivots: 20,
+            dual_pivots: 5,
+            lex_pivots: 5,
+            tableau_builds: 4,
+            scratch_reuses: 3,
+            bland_activations: 1,
             warm_start_accepted: true,
             vars_fixed: 2,
             basis_reused: true,
@@ -497,6 +520,13 @@ mod tests {
         assert!(json.contains("\"backend\":\"branch_bound\""));
         assert!(json.contains("\"status\":\"optimal\""));
         assert!(json.contains("\"simplex_iterations\":42"));
+        assert!(json.contains("\"phase1_pivots\":12"));
+        assert!(json.contains("\"phase2_pivots\":20"));
+        assert!(json.contains("\"dual_pivots\":5"));
+        assert!(json.contains("\"lex_pivots\":5"));
+        assert!(json.contains("\"tableau_builds\":4"));
+        assert!(json.contains("\"scratch_reuses\":3"));
+        assert!(json.contains("\"bland_activations\":1"));
         assert!(json.contains("\"warm_start_accepted\":true"));
         assert!(json.contains("\"basis_reused\":true"));
         assert!(json.contains("\"threads\":2"));

@@ -512,6 +512,33 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Builds the ILP model this solver would hand to the backend, without
+    /// solving it. Exposed so differential harnesses can drive the raw
+    /// `partita_ilp` entry points (fresh-allocation vs scratch-reuse, warm
+    /// vs cold) against real formulations instead of hand-built toys.
+    ///
+    /// # Errors
+    ///
+    /// The same formulation errors as [`Solver::solve`].
+    pub fn formulate(&self, options: &SolveOptions) -> Result<partita_ilp::Model, CoreError> {
+        let generated;
+        let db: &ImpDb = match &self.imps {
+            Some(db) => db,
+            None => {
+                generated = ImpDb::generate(self.instance);
+                &generated
+            }
+        };
+        let (model, _map) = build_model(
+            self.instance,
+            db,
+            options.problem,
+            &options.gains,
+            options.power_budget_mw,
+        )?;
+        Ok(model)
+    }
+
     /// Solves through the configured backend (branch-and-bound by default,
     /// which proves optimality when its budget suffices).
     ///
@@ -590,6 +617,13 @@ pub(crate) fn solve_prepared(
     trace.nodes_pruned = solution.effort.nodes_pruned;
     trace.incumbent_updates = solution.effort.incumbent_updates;
     trace.simplex_iterations = solution.effort.simplex_iterations;
+    trace.phase1_pivots = solution.effort.simplex_ops.phase1_pivots;
+    trace.phase2_pivots = solution.effort.simplex_ops.phase2_pivots;
+    trace.dual_pivots = solution.effort.simplex_ops.dual_pivots;
+    trace.lex_pivots = solution.effort.simplex_ops.lex_pivots;
+    trace.tableau_builds = solution.effort.simplex_ops.tableau_builds;
+    trace.scratch_reuses = solution.effort.simplex_ops.scratch_reuses;
+    trace.bland_activations = solution.effort.simplex_ops.bland_activations;
     trace.warm_start_accepted = solution.effort.warm_start_accepted;
     trace.vars_fixed = solution.effort.vars_fixed;
     trace.basis_reused = solution.effort.basis_reused;

@@ -175,13 +175,22 @@ impl SweepTrace {
             sweep: label.to_string(),
             cold_nodes: cold.total_nodes(),
             chained_nodes: chained.total_nodes(),
-            nodes_saved: cold.total_nodes() as i64 - chained.total_nodes() as i64,
+            nodes_saved: nodes_saved_clamped(cold.total_nodes(), chained.total_nodes()),
             chained_accepts: chained.chained_accepts,
             cold_wall: cold.total_wall(),
             chained_wall: chained.total_wall(),
         }
         .to_json()
     }
+}
+
+/// `cold - chained` as a saturating `i64`: node totals are `u64`, so the
+/// naive `as i64` difference wraps once either total passes `i64::MAX` —
+/// reachable on x100-scale sweeps. Computing in `i128` and clamping keeps
+/// the sign honest at every magnitude.
+fn nodes_saved_clamped(cold: u64, chained: u64) -> i64 {
+    let saved = i128::from(cold) - i128::from(chained);
+    saved.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
 }
 
 /// FNV-1a 64-bit digest, reported in telemetry so sweep points can be
@@ -1223,5 +1232,26 @@ mod tests {
         let cmp = SweepTrace::compare_json("x", &cold, &SweepTrace::default());
         assert!(cmp.contains("\"nodes_saved\":"));
         assert!(cmp.contains(&format!("\"cold_nodes\":{}", cold.total_nodes())));
+    }
+
+    #[test]
+    fn nodes_saved_clamps_instead_of_wrapping() {
+        // In range: plain differences, both signs.
+        assert_eq!(nodes_saved_clamped(10, 3), 7);
+        assert_eq!(nodes_saved_clamped(3, 10), -7);
+        assert_eq!(nodes_saved_clamped(0, 0), 0);
+        // The old `cold as i64 - chained as i64` wrapped here: u64::MAX
+        // as i64 is -1, so a huge cold total read as *negative* savings.
+        assert_eq!(nodes_saved_clamped(u64::MAX, 0), i64::MAX);
+        assert_eq!(nodes_saved_clamped(0, u64::MAX), i64::MIN);
+        assert_eq!(nodes_saved_clamped(u64::MAX, u64::MAX), 0);
+        // Exactly at the i64 boundary: representable, not clamped.
+        assert_eq!(
+            nodes_saved_clamped(i64::MAX as u64, 0),
+            i64::MAX,
+            "boundary value is exact"
+        );
+        assert_eq!(nodes_saved_clamped(i64::MAX as u64 + 1, 1), i64::MAX);
+        assert_eq!(nodes_saved_clamped(u64::MAX, i64::MAX as u64), i64::MAX);
     }
 }

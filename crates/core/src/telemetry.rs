@@ -615,6 +615,13 @@ impl Event {
                 w.raw("nodes_pruned", r.effort(trace.nodes_pruned));
                 w.raw("incumbent_updates", r.effort(trace.incumbent_updates));
                 w.raw("simplex_iterations", r.effort(trace.simplex_iterations));
+                w.raw("phase1_pivots", r.effort(trace.phase1_pivots));
+                w.raw("phase2_pivots", r.effort(trace.phase2_pivots));
+                w.raw("dual_pivots", r.effort(trace.dual_pivots));
+                w.raw("lex_pivots", r.effort(trace.lex_pivots));
+                w.raw("tableau_builds", r.effort(trace.tableau_builds));
+                w.raw("scratch_reuses", r.effort(trace.scratch_reuses));
+                w.raw("bland_activations", r.effort(trace.bland_activations));
                 w.raw("warm_start_accepted", trace.warm_start_accepted);
                 w.raw("vars_fixed", trace.vars_fixed);
                 w.raw("basis_reused", trace.basis_reused);

@@ -26,7 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::simplex::{
-    solve_with_basis, solve_with_bounds_scratch, Basis, SimplexOptions, SimplexScratch,
+    solve_with_basis, solve_with_bounds_scratch, Basis, SimplexOps, SimplexOptions, SimplexScratch,
 };
 use crate::{IlpError, IlpSolution, Model, Sense, VarId};
 
@@ -103,6 +103,10 @@ pub struct WorkerStats {
     /// dive stack — the work-stealing traffic (0 for the serial search,
     /// which has no pool).
     pub steals: usize,
+    /// Deterministic simplex per-op counters (pivot breakdown, tableau
+    /// builds, scratch-reuse hits) accumulated by this worker's
+    /// [`SimplexScratch`].
+    pub simplex_ops: SimplexOps,
 }
 
 impl WorkerStats {
@@ -112,6 +116,7 @@ impl WorkerStats {
         self.incumbent_updates += other.incumbent_updates;
         self.simplex_iterations += other.simplex_iterations;
         self.steals += other.steals;
+        self.simplex_ops.merge(other.simplex_ops);
     }
 }
 
@@ -142,6 +147,9 @@ pub struct BranchBoundStats {
     /// the dual simplex (`false` when no basis was supplied or it fell back
     /// to the cold two-phase solve).
     pub basis_reused: bool,
+    /// Deterministic simplex per-op counters summed over every worker (the
+    /// root's LP and probing work included).
+    pub simplex_ops: SimplexOps,
     /// Per-worker breakdown of the aggregate counters above. Root-node work
     /// (the root LP and probing) is attributed to worker 0.
     pub per_worker: Vec<WorkerStats>,
@@ -175,6 +183,7 @@ impl BranchBoundStats {
             vars_fixed,
             threads: per_worker.len(),
             basis_reused,
+            simplex_ops: totals.simplex_ops,
             per_worker,
         }
     }
@@ -210,11 +219,30 @@ pub struct BranchBoundRun {
     pub root_basis: Option<Arc<Basis>>,
 }
 
+/// One branching decision on the path from the root to a node: variable
+/// `var` had its box narrowed to `[lower, upper]`.
+#[derive(Debug, Clone, Copy)]
+struct BoundFix {
+    var: usize,
+    lower: f64,
+    upper: f64,
+}
+
+/// A search node as a bound *delta* against the post-probe root bounds:
+/// the branching decisions on the path from the root, in order.
+///
+/// The old representation carried two full `Vec<f64>` bound vectors per
+/// node — two heap allocations and `2n` floats of traffic per expansion,
+/// on paths that are almost always a handful of single-variable fixes.
+/// Storing the fixes instead makes a node O(depth) and lets
+/// [`NodeArena`] recycle the path vectors, so steady-state expansion
+/// allocates nothing.
 struct Node {
     /// Normalised bound (lower is better).
     score: f64,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
+    /// Branching fixes relative to the root bounds, applied in order on
+    /// reconstruction (later fixes win, which is what branching means).
+    path: Vec<BoundFix>,
 }
 
 impl PartialEq for Node {
@@ -231,10 +259,61 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest score on top.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+        // `total_cmp` keeps the heap order total even if a NaN score ever
+        // slipped in (the old partial_cmp fallback silently equated it).
+        other.score.total_cmp(&self.score)
+    }
+}
+
+/// Per-worker node-reconstruction state: the scratch bound vectors a
+/// popped node's path is materialised into, plus a free list that
+/// recycles retired path vectors back into branching.
+struct NodeArena {
+    /// Reconstructed lower bounds of the node being expanded.
+    lower: Vec<f64>,
+    /// Reconstructed upper bounds of the node being expanded.
+    upper: Vec<f64>,
+    /// Retired path vectors, reused for new children oldest-capacity
+    /// first. Bounded so a worker that closes far more nodes than it
+    /// opens cannot hoard memory.
+    free: Vec<Vec<BoundFix>>,
+}
+
+/// Cap on recycled path vectors held per worker.
+const ARENA_FREE_CAP: usize = 64;
+
+impl NodeArena {
+    fn new() -> NodeArena {
+        NodeArena {
+            lower: Vec::new(),
+            upper: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Materialises `node`'s bounds into the arena's scratch vectors.
+    fn reconstruct(&mut self, base_lower: &[f64], base_upper: &[f64], node: &Node) {
+        self.lower.clear();
+        self.lower.extend_from_slice(base_lower);
+        self.upper.clear();
+        self.upper.extend_from_slice(base_upper);
+        for fix in &node.path {
+            self.lower[fix.var] = fix.lower;
+            self.upper[fix.var] = fix.upper;
+        }
+    }
+
+    /// Hands out a recycled (empty) path vector, or a fresh one.
+    fn take_vec(&mut self) -> Vec<BoundFix> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a closed node's path vector to the free list.
+    fn retire(&mut self, mut path: Vec<BoundFix>) {
+        if self.free.len() < ARENA_FREE_CAP && path.capacity() > 0 {
+            path.clear();
+            self.free.push(path);
+        }
     }
 }
 
@@ -387,29 +466,40 @@ impl SearchCtx<'_> {
     }
 
     /// Solves a node's LP and either closes the node (infeasible, pruned or
-    /// integer-feasible) or returns the down/up children to enqueue.
+    /// integer-feasible) or returns the down/up children to enqueue. The
+    /// node's bounds are reconstructed from its delta path into `arena`;
+    /// closed nodes retire their path vector back into the arena.
+    #[allow(clippy::too_many_arguments)]
     fn expand(
         &self,
         scratch: &mut SimplexScratch,
+        arena: &mut NodeArena,
+        base_lower: &[f64],
+        base_upper: &[f64],
         node: Node,
         inc: &mut dyn IncumbentView,
         stats: &mut WorkerStats,
     ) -> Result<Option<(Node, Node)>, IlpError> {
+        arena.reconstruct(base_lower, base_upper, &node);
         let lp = match solve_with_bounds_scratch(
             self.model,
-            &node.lower,
-            &node.upper,
+            &arena.lower,
+            &arena.upper,
             self.simplex,
             scratch,
         ) {
             Ok(lp) => lp,
-            Err(IlpError::Infeasible) => return Ok(None),
+            Err(IlpError::Infeasible) => {
+                arena.retire(node.path);
+                return Ok(None);
+            }
             Err(e) => return Err(e),
         };
         stats.simplex_iterations += lp.iterations;
         let bound = self.norm(lp.objective);
         if prunable(bound, inc.current_score()) {
             stats.nodes_pruned += 1;
+            arena.retire(node.path);
             return Ok(None);
         }
 
@@ -435,7 +525,7 @@ impl SearchCtx<'_> {
                     let c = self.model.objective().coeff(*v).abs().max(1e-6);
                     f * c
                 };
-                weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
+                weight(a).total_cmp(&weight(b))
             });
 
         match frac {
@@ -444,22 +534,37 @@ impl SearchCtx<'_> {
                 if self.offer_rounded(lp.values, inc) {
                     stats.incumbent_updates += 1;
                 }
+                arena.retire(node.path);
                 Ok(None)
             }
             Some((v, x)) => {
-                // Branch down (x = 0) and up (x = 1).
-                let mut down = Node {
+                // Branch down (x = 0) and up (x = 1): each child is the
+                // parent's path plus one fix. The up child copies the path
+                // into a recycled vector; the down child reuses the
+                // parent's vector outright, so steady-state branching
+                // allocates nothing.
+                let vi = v.index();
+                let mut up_path = arena.take_vec();
+                up_path.extend_from_slice(&node.path);
+                up_path.push(BoundFix {
+                    var: vi,
+                    lower: x.ceil(),
+                    upper: arena.upper[vi],
+                });
+                let mut down_path = node.path;
+                down_path.push(BoundFix {
+                    var: vi,
+                    lower: arena.lower[vi],
+                    upper: x.floor(),
+                });
+                let down = Node {
                     score: bound,
-                    lower: node.lower.clone(),
-                    upper: node.upper.clone(),
+                    path: down_path,
                 };
-                down.upper[v.index()] = x.floor();
-                let mut up = Node {
+                let up = Node {
                     score: bound,
-                    lower: node.lower,
-                    upper: node.upper,
+                    path: up_path,
                 };
-                up.lower[v.index()] = x.ceil();
                 Ok(Some((down, up)))
             }
         }
@@ -479,6 +584,9 @@ struct PoolState {
 /// Everything the parallel workers share.
 struct Shared<'a> {
     ctx: SearchCtx<'a>,
+    /// Post-probe root bounds every node's delta path is relative to.
+    base_lower: Vec<f64>,
+    base_upper: Vec<f64>,
     pool: Mutex<PoolState>,
     available: Condvar,
     incumbent: SharedIncumbent,
@@ -517,6 +625,20 @@ impl Shared<'_> {
 fn worker(shared: &Shared<'_>) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut scratch = SimplexScratch::new();
+    let mut arena = NodeArena::new();
+    worker_loop(shared, &mut stats, &mut scratch, &mut arena);
+    stats.simplex_ops = scratch.take_ops();
+    stats
+}
+
+/// The worker's search loop, factored out so every exit path funnels the
+/// scratch's accumulated op counters into the worker's stats exactly once.
+fn worker_loop(
+    shared: &Shared<'_>,
+    stats: &mut WorkerStats,
+    scratch: &mut SimplexScratch,
+    arena: &mut NodeArena,
+) {
     let mut local: Vec<Node> = Vec::new();
     let mut inc = &shared.incumbent;
     loop {
@@ -526,7 +648,7 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
                 let mut pool = shared.pool.lock().expect("pool lock");
                 loop {
                     if pool.done {
-                        return stats;
+                        return;
                     }
                     if let Some(n) = pool.heap.pop() {
                         stats.steals += 1;
@@ -538,7 +660,7 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
                         // empty: the tree is exhausted.
                         pool.done = true;
                         shared.available.notify_all();
-                        return stats;
+                        return;
                     }
                     pool = shared.available.wait(pool).expect("pool lock");
                     pool.idle -= 1;
@@ -547,22 +669,31 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
         };
         if prunable(node.score, inc.current_score()) {
             stats.nodes_pruned += 1;
+            arena.retire(node.path);
             continue;
         }
         let taken = shared.explored.fetch_add(1, AtomicOrdering::Relaxed);
         if taken >= shared.max_nodes {
             shared.stop(Termination::NodeLimit);
-            return stats;
+            return;
         }
         if shared
             .deadline
             .is_some_and(|d| shared.started.elapsed() >= d)
         {
             shared.stop(Termination::Deadline);
-            return stats;
+            return;
         }
         stats.nodes_explored += 1;
-        match shared.ctx.expand(&mut scratch, node, &mut inc, &mut stats) {
+        match shared.ctx.expand(
+            scratch,
+            arena,
+            &shared.base_lower,
+            &shared.base_upper,
+            node,
+            &mut inc,
+            stats,
+        ) {
             Ok(Some((down, up))) => {
                 // Dive on the down child; make the up child stealable.
                 local.push(down);
@@ -573,7 +704,7 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
             Ok(None) => {}
             Err(e) => {
                 shared.fail(e);
-                return stats;
+                return;
             }
         }
     }
@@ -799,18 +930,15 @@ impl BranchBound {
             );
         }
 
-        let mut root_lower = Vec::with_capacity(n);
-        let mut root_upper = Vec::with_capacity(n);
+        // The post-probe values of these become the base bounds every
+        // node's delta path is reconstructed against.
+        let mut base_lower = Vec::with_capacity(n);
+        let mut base_upper = Vec::with_capacity(n);
         for i in 0..n {
             let (l, u) = model.var_bounds(VarId(i)).expect("var exists");
-            root_lower.push(l);
-            root_upper.push(u);
+            base_lower.push(l);
+            base_upper.push(u);
         }
-        let mut node = Node {
-            score: f64::NEG_INFINITY,
-            lower: root_lower,
-            upper: root_upper,
-        };
 
         // Root expansion runs serially (also under `threads > 1`): it hosts
         // the one-shot reduced-cost probing and seeds the pool. The root LP
@@ -821,8 +949,8 @@ impl BranchBound {
         root_stats.nodes_explored += 1;
         let (lp, basis_reused, root_basis_out) = match solve_with_basis(
             model,
-            &node.lower,
-            &node.upper,
+            &base_lower,
+            &base_upper,
             self.simplex,
             &mut scratch,
             self.root_basis.as_deref(),
@@ -859,26 +987,26 @@ impl BranchBound {
                             .iter()
                             .map(|&v| (v, lp.value(v)))
                             .filter(|&(v, x)| {
-                                node.lower[v.index()] < node.upper[v.index()]
+                                base_lower[v.index()] < base_upper[v.index()]
                                     && (x <= INT_TOL || x >= 1.0 - INT_TOL)
                             })
                             .collect();
                         candidates.sort_by(|a, b| {
                             let c = |v: VarId| model.objective().coeff(v).abs();
-                            c(b.0).partial_cmp(&c(a.0)).unwrap_or(Ordering::Equal)
+                            c(b.0).total_cmp(&c(a.0))
                         });
                         for (v, x) in candidates.into_iter().take(MAX_ROOT_PROBES) {
                             if self.deadline.is_some_and(|d| started.elapsed() >= d) {
                                 break;
                             }
                             let flipped = if x <= INT_TOL { 1.0 } else { 0.0 };
-                            let (saved_l, saved_u) = (node.lower[v.index()], node.upper[v.index()]);
-                            node.lower[v.index()] = flipped;
-                            node.upper[v.index()] = flipped;
+                            let (saved_l, saved_u) = (base_lower[v.index()], base_upper[v.index()]);
+                            base_lower[v.index()] = flipped;
+                            base_upper[v.index()] = flipped;
                             let fixable = match solve_with_bounds_scratch(
                                 model,
-                                &node.lower,
-                                &node.upper,
+                                &base_lower,
+                                &base_upper,
                                 self.simplex,
                                 &mut scratch,
                             ) {
@@ -893,12 +1021,12 @@ impl BranchBound {
                                 // The flip cannot beat (or tie) the
                                 // incumbent: pin the binary to its
                                 // relaxation value for all descendants.
-                                node.lower[v.index()] = x.round();
-                                node.upper[v.index()] = x.round();
+                                base_lower[v.index()] = x.round();
+                                base_upper[v.index()] = x.round();
                                 vars_fixed += 1;
                             } else {
-                                node.lower[v.index()] = saved_l;
-                                node.upper[v.index()] = saved_u;
+                                base_lower[v.index()] = saved_l;
+                                base_upper[v.index()] = saved_u;
                             }
                         }
                     }
@@ -914,7 +1042,7 @@ impl BranchBound {
                                 let c = model.objective().coeff(*v).abs().max(1e-6);
                                 f * c
                             };
-                            weight(a).partial_cmp(&weight(b)).unwrap_or(Ordering::Equal)
+                            weight(a).total_cmp(&weight(b))
                         });
                     match frac {
                         None => {
@@ -924,24 +1052,36 @@ impl BranchBound {
                             None
                         }
                         Some((v, x)) => {
-                            let mut down = Node {
+                            // The root's children are single-fix delta
+                            // paths against the post-probe base bounds.
+                            let vi = v.index();
+                            let down = Node {
                                 score: bound,
-                                lower: node.lower.clone(),
-                                upper: node.upper.clone(),
+                                path: vec![BoundFix {
+                                    var: vi,
+                                    lower: base_lower[vi],
+                                    upper: x.floor(),
+                                }],
                             };
-                            down.upper[v.index()] = x.floor();
-                            let mut up = Node {
+                            let up = Node {
                                 score: bound,
-                                lower: node.lower,
-                                upper: node.upper,
+                                path: vec![BoundFix {
+                                    var: vi,
+                                    lower: x.ceil(),
+                                    upper: base_upper[vi],
+                                }],
                             };
-                            up.lower[v.index()] = x.ceil();
                             Some((down, up))
                         }
                     }
                 }
             }
         };
+
+        // Root LP + probing op counters belong to the root's ledger; the
+        // scratch keeps accumulating for the serial loop below, whose delta
+        // is drained into the serial worker's stats at every exit.
+        root_stats.simplex_ops = scratch.take_ops();
 
         let Some((down, up)) = children else {
             return finish(
@@ -958,6 +1098,7 @@ impl BranchBound {
         if self.threads <= 1 {
             // Serial best-first loop, reusing the root's scratch.
             let mut stats = WorkerStats::default();
+            let mut arena = NodeArena::new();
             let mut heap = BinaryHeap::new();
             heap.push(down);
             heap.push(up);
@@ -965,9 +1106,11 @@ impl BranchBound {
             while let Some(node) = heap.pop() {
                 if prunable(node.score, incumbent.score) {
                     stats.nodes_pruned += 1;
+                    arena.retire(node.path);
                     continue;
                 }
                 if explored >= self.max_nodes {
+                    stats.simplex_ops = scratch.take_ops();
                     return finish(
                         incumbent,
                         Termination::NodeLimit,
@@ -979,6 +1122,7 @@ impl BranchBound {
                     );
                 }
                 if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                    stats.simplex_ops = scratch.take_ops();
                     return finish(
                         incumbent,
                         Termination::Deadline,
@@ -991,13 +1135,20 @@ impl BranchBound {
                 }
                 explored += 1;
                 stats.nodes_explored += 1;
-                if let Some((down, up)) =
-                    ctx.expand(&mut scratch, node, &mut incumbent, &mut stats)?
-                {
+                if let Some((down, up)) = ctx.expand(
+                    &mut scratch,
+                    &mut arena,
+                    &base_lower,
+                    &base_upper,
+                    node,
+                    &mut incumbent,
+                    &mut stats,
+                )? {
                     heap.push(down);
                     heap.push(up);
                 }
             }
+            stats.simplex_ops = scratch.take_ops();
             return finish(
                 incumbent,
                 Termination::Optimal,
@@ -1016,6 +1167,8 @@ impl BranchBound {
         heap.push(up);
         let shared = Shared {
             ctx,
+            base_lower,
+            base_upper,
             pool: Mutex::new(PoolState {
                 heap,
                 idle: 0,
@@ -1305,6 +1458,28 @@ mod tests {
         assert_eq!(stats.threads, 1);
         assert_eq!(stats.per_worker.len(), 1);
         assert_eq!(stats.per_worker[0].nodes_explored, stats.nodes_explored);
+    }
+
+    #[test]
+    fn simplex_ops_threaded_into_stats() {
+        let (m, _) = tight_budget_model();
+        for threads in [1usize, 4] {
+            let run = BranchBound::new()
+                .with_threads(threads)
+                .run(&m, None)
+                .unwrap();
+            let ops = run.stats.simplex_ops;
+            assert!(ops.tableau_builds >= 1, "threads {threads}: {ops:?}");
+            assert!(ops.total_pivots() > 0, "threads {threads}: {ops:?}");
+            // The serial loop (and each worker) reuses its scratch, so only
+            // the first same-or-larger-shape build may allocate.
+            assert!(ops.scratch_reuses > 0, "threads {threads}: {ops:?}");
+            let mut sum = SimplexOps::default();
+            for w in &run.stats.per_worker {
+                sum.merge(w.simplex_ops);
+            }
+            assert_eq!(sum, ops, "per-worker ops must sum to the aggregate");
+        }
     }
 
     #[test]

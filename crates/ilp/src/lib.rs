@@ -52,7 +52,7 @@ pub use exhaustive::{
 };
 pub use expr::LinExpr;
 pub use model::{Model, Relation, Sense, VarId, VarKind};
-pub use simplex::{solve_with_basis, Basis, BasisSolve};
+pub use simplex::{solve_with_basis, Basis, BasisSolve, SimplexOps};
 pub use solution::{IlpSolution, LpSolution};
 
 // The service daemon shares models, bases and solutions across worker

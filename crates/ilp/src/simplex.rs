@@ -2,13 +2,23 @@
 //!
 //! Solves the LP relaxation of a [`Model`] with per-variable bound overrides
 //! (used by branch-and-bound to fix binaries). The implementation is a
-//! textbook tableau simplex with Bland's anti-cycling rule:
+//! textbook tableau simplex over a flat, single-allocation row-major
+//! tableau (the private `Tableau` view over [`SimplexScratch`]'s buffer):
 //!
 //! 1. shift every variable by its lower bound so all variables are ≥ 0,
 //! 2. add explicit rows for finite upper bounds,
 //! 3. convert to equalities with slack/surplus columns, normalise `b ≥ 0`,
 //! 4. phase 1 minimises the sum of one artificial per row,
 //! 5. phase 2 minimises the (sense-normalised) objective.
+//!
+//! Pivot columns are chosen by Dantzig's rule (most negative reduced cost)
+//! with a deterministic fallback to Bland's rule after a configurable
+//! streak of degenerate pivots ([`SimplexOptions::bland_stall`]), so the
+//! solver keeps Dantzig's pivot counts without giving up the anti-cycling
+//! termination guarantee: any non-terminating run must end in an infinite
+//! all-degenerate stretch, and inside such a stretch the fallback engages
+//! and stays engaged (only an objective improvement re-arms Dantzig), at
+//! which point Bland's rule terminates it.
 //!
 //! [`solve_with_basis`] additionally accepts a [`Basis`] retained from a
 //! previous optimal solve of a same-shaped model. After a pure RHS or bound
@@ -49,6 +59,11 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Objective values within this of zero are snapped to exactly zero.
     pub objective_tol: f64,
+    /// Consecutive degenerate pivots tolerated under the Dantzig entering
+    /// rule before the solver falls back to Bland's rule for the remainder
+    /// of the degenerate stretch (an objective improvement re-arms
+    /// Dantzig). `0` switches on the very first degenerate pivot.
+    pub bland_stall: usize,
 }
 
 impl Default for SimplexOptions {
@@ -58,30 +73,126 @@ impl Default for SimplexOptions {
             feasibility_tol: 1e-6,
             pivot_tol: 1e-7,
             objective_tol: 1e-9,
+            bland_stall: 12,
         }
     }
 }
 
+/// Rejects a NaN or negative tolerance at construction time.
+fn checked_tol(name: &'static str, tol: f64) -> f64 {
+    assert!(
+        tol.is_finite() && tol >= 0.0,
+        "simplex option {name} must be finite and >= 0, got {tol}"
+    );
+    tol
+}
+
 impl SimplexOptions {
     /// Overrides the feasibility tolerance.
+    ///
+    /// # Panics
+    ///
+    /// On a NaN, infinite or negative tolerance.
     #[must_use]
     pub fn with_feasibility_tol(mut self, tol: f64) -> SimplexOptions {
-        self.feasibility_tol = tol;
+        self.feasibility_tol = checked_tol("feasibility_tol", tol);
         self
     }
 
     /// Overrides the pivot tolerance.
+    ///
+    /// # Panics
+    ///
+    /// On a NaN, infinite or negative tolerance.
     #[must_use]
     pub fn with_pivot_tol(mut self, tol: f64) -> SimplexOptions {
-        self.pivot_tol = tol;
+        self.pivot_tol = checked_tol("pivot_tol", tol);
         self
     }
 
     /// Overrides the objective zero-snap tolerance.
+    ///
+    /// # Panics
+    ///
+    /// On a NaN, infinite or negative tolerance.
     #[must_use]
     pub fn with_objective_tol(mut self, tol: f64) -> SimplexOptions {
-        self.objective_tol = tol;
+        self.objective_tol = checked_tol("objective_tol", tol);
         self
+    }
+
+    /// Overrides the Dantzig→Bland degenerate-stall threshold.
+    #[must_use]
+    pub fn with_bland_stall(mut self, stall: usize) -> SimplexOptions {
+        self.bland_stall = stall;
+        self
+    }
+
+    /// Validates the tolerances: every solve entry point calls this, so a
+    /// struct-literal-built options value (the fields are public) cannot
+    /// smuggle a NaN or negative tolerance into the pivot comparisons.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::InvalidTolerance`] naming the offending field.
+    pub fn validate(&self) -> Result<(), IlpError> {
+        for (name, value) in [
+            ("feasibility_tol", self.feasibility_tol),
+            ("pivot_tol", self.pivot_tol),
+            ("objective_tol", self.objective_tol),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(IlpError::InvalidTolerance { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic per-operation counters of the simplex layer, accumulated
+/// in a [`SimplexScratch`] across every solve that reuses it.
+///
+/// All counts are exact operation tallies — no timers — so they reproduce
+/// bit-for-bit on any machine for a fixed model sequence, which is what
+/// lets the benchsuite gate on them portably.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplexOps {
+    /// Phase-1 (feasibility) pivots, including the pivots that drive
+    /// residual artificials out of a degenerate phase-1 basis.
+    pub phase1_pivots: usize,
+    /// Phase-2 (optimality) pivots.
+    pub phase2_pivots: usize,
+    /// Dual-simplex repair pivots, including the direct pivots that
+    /// re-install a warm basis.
+    pub dual_pivots: usize,
+    /// Pivots spent lex-canonicalising optimal root vertices.
+    pub lex_pivots: usize,
+    /// Tableaus built (one per LP solved at tableau level).
+    pub tableau_builds: usize,
+    /// Tableau builds whose flat buffer was already large enough — the
+    /// scratch-reuse hits that skipped a heap allocation.
+    pub scratch_reuses: usize,
+    /// Times the entering rule fell back from Dantzig to Bland inside a
+    /// degenerate stall.
+    pub bland_activations: usize,
+}
+
+impl SimplexOps {
+    /// Sum of all pivot counters.
+    #[must_use]
+    pub fn total_pivots(&self) -> usize {
+        self.phase1_pivots + self.phase2_pivots + self.dual_pivots + self.lex_pivots
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: SimplexOps) {
+        self.phase1_pivots += other.phase1_pivots;
+        self.phase2_pivots += other.phase2_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.lex_pivots += other.lex_pivots;
+        self.tableau_builds += other.tableau_builds;
+        self.scratch_reuses += other.scratch_reuses;
+        self.bland_activations += other.bland_activations;
     }
 }
 
@@ -89,14 +200,15 @@ impl SimplexOptions {
 ///
 /// Branch-and-bound solves one LP per node, and the tableau is by far the
 /// largest allocation of each solve. A scratch kept per worker lets
-/// [`solve_with_bounds_scratch`] reuse the tableau rows, the basis vector and
-/// the row bookkeeping across nodes instead of re-allocating them.
-/// Capacities only grow, so a scratch warmed up on the root LP serves every
-/// descendant without further allocation.
+/// [`solve_with_bounds_scratch`] reuse the flat tableau buffer, the basis
+/// vector and the row bookkeeping across nodes instead of re-allocating
+/// them. Capacities only grow, so a scratch warmed up on the root LP serves
+/// every descendant without further allocation.
 #[derive(Debug, Default)]
 pub struct SimplexScratch {
-    /// Tableau rows (`m + 1` rows of `width` columns), pooled across solves.
-    tableau: Vec<Vec<f64>>,
+    /// The flat row-major tableau: `(m + 1) * width` cells (the last row is
+    /// the objective), pooled across solves.
+    cells: Vec<f64>,
     /// Basis column per row.
     basis: Vec<usize>,
     /// Per-row `(relation, shifted rhs)` collected before the tableau is
@@ -104,6 +216,8 @@ pub struct SimplexScratch {
     row_meta: Vec<(Relation, f64)>,
     /// Variable index backing each upper-bound row.
     bound_vars: Vec<usize>,
+    /// Per-op counters accumulated across every solve through this scratch.
+    ops: SimplexOps,
 }
 
 impl SimplexScratch {
@@ -112,14 +226,90 @@ impl SimplexScratch {
     pub fn new() -> SimplexScratch {
         SimplexScratch::default()
     }
+
+    /// The per-op counters accumulated so far.
+    #[must_use]
+    pub fn ops(&self) -> SimplexOps {
+        self.ops
+    }
+
+    /// Returns the accumulated counters and resets them to zero, so a
+    /// caller can attribute deltas to search phases.
+    pub fn take_ops(&mut self) -> SimplexOps {
+        std::mem::take(&mut self.ops)
+    }
+}
+
+/// A flat row-major tableau view: `rows × width` cells in one allocation.
+///
+/// Replaces the old `Vec<Vec<f64>>` layout — one pointer chase and one
+/// allocation per *solve* instead of per *row*, and rows sit contiguously
+/// so the pivot's row-combination loop streams the whole tableau.
+struct Tableau<'a> {
+    cells: &'a mut [f64],
+    width: usize,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(cells: &'a mut [f64], width: usize) -> Tableau<'a> {
+        debug_assert!(width > 0 && cells.len().is_multiple_of(width));
+        Tableau { cells, width }
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[f64] {
+        &self.cells[r * self.width..(r + 1) * self.width]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.cells[r * self.width..(r + 1) * self.width]
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.cells[r * self.width + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.cells[r * self.width + c] = v;
+    }
+
+    /// Pivots on `(row, col)`: normalises the pivot row in place, then
+    /// eliminates `col` from every other row. `split_at_mut` hands the
+    /// pivot row out by reference, so no row is cloned — the floating-point
+    /// operations (and their order) are exactly those of the old
+    /// clone-the-pivot-row implementation, keeping results byte-identical.
+    fn pivot(&mut self, basis: &mut [usize], row: usize, col: usize) {
+        let w = self.width;
+        let p = self.at(row, col);
+        debug_assert!(p.abs() > 1e-12, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for v in self.row_mut(row) {
+            *v *= inv;
+        }
+        let (head, rest) = self.cells.split_at_mut(row * w);
+        let (pivot_row, tail) = rest.split_at_mut(w);
+        for trow in head.chunks_exact_mut(w).chain(tail.chunks_exact_mut(w)) {
+            let factor = trow[col];
+            if factor != 0.0 {
+                for (v, &pv) in trow.iter_mut().zip(&*pivot_row) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+        basis[row] = col;
+    }
 }
 
 /// Solves the LP relaxation of `model` with the model's own bounds.
 ///
 /// # Errors
 ///
-/// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
-/// [`IlpError::IterationLimit`].
+/// [`IlpError::Infeasible`], [`IlpError::Unbounded`],
+/// [`IlpError::IterationLimit`], [`IlpError::InvalidTolerance`] or
+/// [`IlpError::NumericalInstability`].
 pub fn solve_relaxation(model: &Model, options: SimplexOptions) -> Result<LpSolution, IlpError> {
     let n = model.num_vars();
     let mut lower = Vec::with_capacity(n);
@@ -140,7 +330,8 @@ pub fn solve_relaxation(model: &Model, options: SimplexOptions) -> Result<LpSolu
 ///
 /// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
 /// [`IlpError::IterationLimit`]. Also infeasible when `lower > upper` for
-/// any variable.
+/// any variable, [`IlpError::NonFiniteCoefficient`] for NaN bounds, and
+/// [`IlpError::InvalidTolerance`] for poisoned options.
 pub fn solve_with_bounds(
     model: &Model,
     lower: &[f64],
@@ -148,6 +339,24 @@ pub fn solve_with_bounds(
     options: SimplexOptions,
 ) -> Result<LpSolution, IlpError> {
     solve_with_bounds_scratch(model, lower, upper, options, &mut SimplexScratch::new())
+}
+
+/// Checks a bound-override pair: NaN bounds are a typed error (they would
+/// otherwise poison every shifted coefficient), crossed bounds are plain
+/// infeasibility.
+fn check_bounds(lower: &[f64], upper: &[f64]) -> Result<(), IlpError> {
+    for (&l, &u) in lower.iter().zip(upper) {
+        if l.is_nan() || u.is_nan() {
+            return Err(IlpError::NonFiniteCoefficient {
+                context: "bound override",
+                value: if l.is_nan() { l } else { u },
+            });
+        }
+        if l > u + EPS {
+            return Err(IlpError::Infeasible);
+        }
+    }
+    Ok(())
 }
 
 /// Like [`solve_with_bounds`], reusing the buffers in `scratch` for the
@@ -164,14 +373,11 @@ pub fn solve_with_bounds_scratch(
     options: SimplexOptions,
     scratch: &mut SimplexScratch,
 ) -> Result<LpSolution, IlpError> {
+    options.validate()?;
     let n = model.num_vars();
     assert_eq!(lower.len(), n, "lower bounds arity");
     assert_eq!(upper.len(), n, "upper bounds arity");
-    for i in 0..n {
-        if lower[i] > upper[i] + EPS {
-            return Err(IlpError::Infeasible);
-        }
-    }
+    check_bounds(lower, upper)?;
 
     // Eliminate fixed variables (lb == ub): branch-and-bound pins binaries
     // this way, and dropping their columns (and bound rows) keeps the
@@ -282,7 +488,9 @@ pub struct BasisSolve {
 ///
 /// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
 /// [`IlpError::IterationLimit`] — all diagnosed by the cold path (the warm
-/// path never reports infeasibility on its own authority).
+/// path never reports infeasibility on its own authority). Also
+/// [`IlpError::NonFiniteCoefficient`] for NaN bounds and
+/// [`IlpError::InvalidTolerance`] for poisoned options.
 pub fn solve_with_basis(
     model: &Model,
     lower: &[f64],
@@ -291,14 +499,11 @@ pub fn solve_with_basis(
     scratch: &mut SimplexScratch,
     warm: Option<&Basis>,
 ) -> Result<BasisSolve, IlpError> {
+    options.validate()?;
     let n = model.num_vars();
     assert_eq!(lower.len(), n, "lower bounds arity");
     assert_eq!(upper.len(), n, "upper bounds arity");
-    for i in 0..n {
-        if lower[i] > upper[i] + EPS {
-            return Err(IlpError::Infeasible);
-        }
-    }
+    check_bounds(lower, upper)?;
     if let Some(basis) = warm {
         if let Some(solve) = try_warm_solve(model, lower, upper, options, scratch, basis) {
             return Ok(solve);
@@ -350,7 +555,7 @@ fn needs_artificial(relation: Relation, rhs: f64) -> bool {
 /// pinned variables keep their row so the shape never changes). The
 /// artificial count (and so the tableau width) depends on it, hence the
 /// separate pass before any coefficients are written. Pass 2 fills the
-/// coefficients straight into the pooled tableau rows, normalising every
+/// coefficients straight into the pooled flat buffer, normalising every
 /// row to rhs ≥ 0.
 fn build_tableau(
     model: &Model,
@@ -360,10 +565,11 @@ fn build_tableau(
 ) -> Shape {
     let n = model.num_vars();
     let SimplexScratch {
-        tableau,
+        cells,
         basis,
         row_meta,
         bound_vars,
+        ops,
     } = scratch;
     row_meta.clear();
     bound_vars.clear();
@@ -391,14 +597,14 @@ fn build_tableau(
         .count();
     let width = n + m + n_art + 1;
     let rhs_col = width - 1;
-    if tableau.len() < m + 1 {
-        tableau.resize_with(m + 1, Vec::new);
+    let needed = (m + 1) * width; // last row = objective
+    ops.tableau_builds += 1;
+    if cells.capacity() >= needed {
+        ops.scratch_reuses += 1;
     }
-    for row in &mut tableau[..m + 1] {
-        row.clear();
-        row.resize(width, 0.0);
-    }
-    let t = &mut tableau[..m + 1]; // last row = objective
+    cells.clear();
+    cells.resize(needed, 0.0);
+    let mut t = Tableau::new(&mut cells[..needed], width);
     basis.clear();
     basis.resize(m, usize::MAX);
 
@@ -413,19 +619,19 @@ fn build_tableau(
         }
         if r < n_constraints {
             for (v, k) in model.constraints()[r].expr.terms() {
-                t[r][v.index()] = sign * k;
+                t.set(r, v.index(), sign * k);
             }
         } else {
-            t[r][bound_vars[r - n_constraints]] = sign;
+            t.set(r, bound_vars[r - n_constraints], sign);
         }
         match relation {
-            Relation::Le => t[r][slack0 + r] = sign,
-            Relation::Ge => t[r][slack0 + r] = -sign,
+            Relation::Le => t.set(r, slack0 + r, sign),
+            Relation::Ge => t.set(r, slack0 + r, -sign),
             Relation::Eq => {}
         }
-        t[r][rhs_col] = rhs;
+        t.set(r, rhs_col, rhs);
         if needs_artificial(relation, raw_rhs) {
-            t[r][next_art] = 1.0;
+            t.set(r, next_art, 1.0);
             basis[r] = next_art;
             next_art += 1;
         } else {
@@ -445,7 +651,7 @@ fn build_tableau(
 
 /// Installs the sense-normalised phase-2 cost row and prices out the
 /// current basis.
-fn install_cost_row(model: &Model, t: &mut [Vec<f64>], basis: &[usize], shape: Shape) {
+fn install_cost_row(model: &Model, t: &mut Tableau<'_>, basis: &[usize], shape: Shape) {
     let minimize = model.sense() == Sense::Minimize;
     let m = shape.m;
     let mut cost = vec![0.0; shape.width];
@@ -453,14 +659,15 @@ fn install_cost_row(model: &Model, t: &mut [Vec<f64>], basis: &[usize], shape: S
         cost[v.index()] = if minimize { c } else { -c };
     }
     for j in 0..shape.width {
-        t[m][j] = cost[j];
+        t.set(m, j, cost[j]);
     }
-    t[m][shape.rhs_col] = 0.0;
+    t.set(m, shape.rhs_col, 0.0);
     for r in 0..m {
         let cb = cost[basis[r]];
         if cb != 0.0 {
             for j in 0..shape.width {
-                t[m][j] -= cb * t[r][j];
+                let v = t.at(m, j) - cb * t.at(r, j);
+                t.set(m, j, v);
             }
         }
     }
@@ -470,7 +677,7 @@ fn install_cost_row(model: &Model, t: &mut [Vec<f64>], basis: &[usize], shape: S
 fn extract(
     model: &Model,
     lower: &[f64],
-    t: &[Vec<f64>],
+    t: &Tableau<'_>,
     basis: &[usize],
     shape: Shape,
     iterations: usize,
@@ -486,7 +693,7 @@ fn extract(
     let mut y = vec![0.0; n];
     for r in 0..m {
         if basis[r] < n {
-            y[basis[r]] = t[r][rhs_col];
+            y[basis[r]] = t.at(r, rhs_col);
         }
     }
     let values: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
@@ -522,6 +729,14 @@ fn extract(
     )
 }
 
+/// Which primal phase a [`run_simplex`] call is running — selects the
+/// pivot counter it charges.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PrimalPhase {
+    One,
+    Two,
+}
+
 /// Cold full-shape solve: the classic two-phase simplex over
 /// [`build_tableau`], returning the optimal basis alongside the solution.
 fn solve_full(
@@ -541,28 +756,41 @@ fn solve_full(
         rhs_col,
         ..
     } = shape;
-    let SimplexScratch { tableau, basis, .. } = scratch;
-    let t = &mut tableau[..m + 1];
+    let SimplexScratch {
+        cells, basis, ops, ..
+    } = scratch;
+    let mut t = Tableau::new(&mut cells[..(m + 1) * width], width);
 
     let mut iters = 0usize;
     if n_art > 0 {
         // Phase 1: minimise the sum of artificials. The objective row holds
         // reduced costs; price out the artificial basis rows.
         for j in 0..width {
-            t[m][j] = 0.0;
+            t.set(m, j, 0.0);
         }
         for a in art0..art0 + n_art {
-            t[m][a] = 1.0;
+            t.set(m, a, 1.0);
         }
         for r in 0..m {
             if basis[r] >= art0 {
                 for j in 0..width {
-                    t[m][j] -= t[r][j];
+                    let v = t.at(m, j) - t.at(r, j);
+                    t.set(m, j, v);
                 }
             }
         }
-        run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
-        let phase1 = -t[m][rhs_col];
+        run_simplex(
+            &mut t,
+            basis,
+            m,
+            art0,
+            rhs_col,
+            &mut iters,
+            options,
+            ops,
+            PrimalPhase::One,
+        )?;
+        let phase1 = -t.at(m, rhs_col);
         if phase1 > options.feasibility_tol {
             return Err(IlpError::Infeasible);
         }
@@ -572,19 +800,30 @@ fn solve_full(
     // by leaving them (their rhs is 0 and artificial stays basic at 0 — we
     // forbid artificials from re-entering in phase 2 instead of removing).
     for r in 0..m {
-        if basis[r] >= art0 && t[r][rhs_col].abs() <= options.pivot_tol {
-            if let Some(j) = (0..art0).find(|&j| t[r][j].abs() > options.pivot_tol) {
-                pivot(t, basis, r, j, rhs_col);
+        if basis[r] >= art0 && t.at(r, rhs_col).abs() <= options.pivot_tol {
+            if let Some(j) = (0..art0).find(|&j| t.at(r, j).abs() > options.pivot_tol) {
+                t.pivot(basis, r, j);
+                ops.phase1_pivots += 1;
             }
         }
     }
 
-    install_cost_row(model, t, basis, shape);
-    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options)?;
+    install_cost_row(model, &mut t, basis, shape);
+    run_simplex(
+        &mut t,
+        basis,
+        m,
+        art0,
+        rhs_col,
+        &mut iters,
+        options,
+        ops,
+        PrimalPhase::Two,
+    )?;
     if lex {
-        lex_canonicalize(t, basis, shape, &mut iters, options);
+        lex_canonicalize(&mut t, basis, shape, &mut iters, options, ops);
     }
-    let (solution, out_basis) = extract(model, lower, t, basis, shape, iters, options);
+    let (solution, out_basis) = extract(model, lower, &t, basis, shape, iters, options);
     Ok((solution, out_basis))
 }
 
@@ -606,10 +845,16 @@ fn try_warm_solve(
         return None;
     }
     let Shape {
-        m, art0, rhs_col, ..
+        m,
+        art0,
+        width,
+        rhs_col,
+        ..
     } = shape;
-    let SimplexScratch { tableau, basis, .. } = scratch;
-    let t = &mut tableau[..m + 1];
+    let SimplexScratch {
+        cells, basis, ops, ..
+    } = scratch;
+    let mut t = Tableau::new(&mut cells[..(m + 1) * width], width);
 
     // Re-install the basis by direct Gaussian pivoting: each stored column
     // claims the not-yet-assigned row where it has the largest magnitude.
@@ -620,7 +865,7 @@ fn try_warm_solve(
         let mut best: Option<(usize, f64)> = None;
         for r in 0..m {
             if !assigned[r] {
-                let a = t[r][col].abs();
+                let a = t.at(r, col).abs();
                 if best.is_none_or(|(_, b)| a > b) {
                     best = Some((r, a));
                 }
@@ -630,11 +875,12 @@ fn try_warm_solve(
         if magnitude <= options.pivot_tol {
             return None;
         }
-        pivot(t, basis, r, col, rhs_col);
+        t.pivot(basis, r, col);
+        ops.dual_pivots += 1;
         assigned[r] = true;
     }
 
-    install_cost_row(model, t, basis, shape);
+    install_cost_row(model, &mut t, basis, shape);
 
     // Classify the re-installed vertex. A pure RHS/bound patch keeps the
     // old optimal basis dual-feasible, so the usual case is a short run of
@@ -642,29 +888,40 @@ fn try_warm_solve(
     // feasibility is finished by the primal phase below; one that lost both
     // is not worth repairing.
     let primal_feasible =
-        |t: &[Vec<f64>]| (0..m).all(|r| t[r][rhs_col] >= -options.feasibility_tol);
-    let dual_feasible = (0..art0).all(|j| t[m][j] >= -EPS);
-    if !primal_feasible(t) {
+        |t: &Tableau<'_>| (0..m).all(|r| t.at(r, rhs_col) >= -options.feasibility_tol);
+    let dual_feasible = (0..art0).all(|j| t.at(m, j) >= -EPS);
+    if !primal_feasible(&t) {
         if !dual_feasible {
             return None;
         }
         let mut iters = 0usize;
-        run_dual_simplex(t, basis, m, art0, rhs_col, &mut iters, options).ok()?;
+        run_dual_simplex(&mut t, basis, m, art0, rhs_col, &mut iters, options, ops).ok()?;
     }
 
     // Primal cleanup: a no-op when the dual repair already reached
     // optimality, otherwise drives out any remaining negative reduced
     // costs. Errors (unbounded, iteration limit) defer to the cold path.
     let mut iters = 0usize;
-    run_simplex(t, basis, m, art0, rhs_col, &mut iters, options).ok()?;
-    if !primal_feasible(t) {
+    run_simplex(
+        &mut t,
+        basis,
+        m,
+        art0,
+        rhs_col,
+        &mut iters,
+        options,
+        ops,
+        PrimalPhase::Two,
+    )
+    .ok()?;
+    if !primal_feasible(&t) {
         // Numerically drifted repair: let the cold path decide.
         return None;
     }
     // Land on the same canonical vertex the cold path reports, so basis
     // reuse can never leak into the returned assignment.
-    lex_canonicalize(t, basis, shape, &mut iters, options);
-    let (solution, out_basis) = extract(model, lower, t, basis, shape, iters, options);
+    lex_canonicalize(&mut t, basis, shape, &mut iters, options, ops);
+    let (solution, out_basis) = extract(model, lower, &t, basis, shape, iters, options);
     Some(BasisSolve {
         solution,
         basis: out_basis,
@@ -683,14 +940,15 @@ fn try_warm_solve(
 /// face is degenerate. Branch-and-bound's assignment-lexicographic
 /// tie-break relies on that — an alternative optimum surfacing only under
 /// a warm basis would otherwise leak the basis into the final selection.
-/// Node LPs skip it (they never start from a foreign basis, so Bland's
-/// rule already makes them deterministic).
+/// Node LPs skip it (they never start from a foreign basis, so the
+/// deterministic entering/leaving rules already make them reproducible).
 fn lex_canonicalize(
-    t: &mut [Vec<f64>],
+    t: &mut Tableau<'_>,
     basis: &mut [usize],
     shape: Shape,
     iters: &mut usize,
     options: SimplexOptions,
+    ops: &mut SimplexOps,
 ) {
     let Shape {
         n,
@@ -703,7 +961,7 @@ fn lex_canonicalize(
     // optimal) phase-2 objective. Basic columns price to exactly zero, so
     // the filter naturally keeps them eligible to re-enter after leaving.
     let mut allowed: Vec<bool> = (0..art0)
-        .map(|j| t[m][j].abs() <= options.objective_tol)
+        .map(|j| t.at(m, j).abs() <= options.objective_tol)
         .collect();
     let mut in_basis = vec![false; art0];
     for r in 0..m {
@@ -727,7 +985,7 @@ fn lex_canonicalize(
         // it minimises the basic value x_j without touching the phase-2
         // objective (pivots are restricted to its zero-reduced-cost columns).
         for (c, v) in s.iter_mut().enumerate() {
-            *v = -t[rj][c];
+            *v = -t.at(rj, c);
         }
         s[j] = 0.0;
         loop {
@@ -738,9 +996,9 @@ fn lex_canonicalize(
             let Some(e) = entering else { break };
             let mut leave: Option<(usize, f64)> = None;
             for r in 0..m {
-                let a = t[r][e];
+                let a = t.at(r, e);
                 if a > EPS {
-                    let ratio = t[r][rhs_col] / a;
+                    let ratio = t.at(r, rhs_col) / a;
                     match leave {
                         None => leave = Some((r, ratio)),
                         Some((lr, lratio)) => {
@@ -755,12 +1013,13 @@ fn lex_canonicalize(
             }
             let Some((lr, _)) = leave else { break };
             *iters += 1;
-            pivot(t, basis, lr, e, rhs_col);
+            t.pivot(basis, lr, e);
+            ops.lex_pivots += 1;
             // Keep the secondary row priced out against the new basis.
             let factor = s[e];
             if factor != 0.0 {
                 for (c, v) in s.iter_mut().enumerate() {
-                    *v -= factor * t[lr][c];
+                    *v -= factor * t.at(lr, c);
                 }
             }
         }
@@ -783,14 +1042,16 @@ fn lex_canonicalize(
 /// Returns [`IlpError::Infeasible`] when a negative row has no negative
 /// entry; callers on the warm path treat that as a fallback trigger rather
 /// than a verdict.
+#[allow(clippy::too_many_arguments)]
 fn run_dual_simplex(
-    t: &mut [Vec<f64>],
+    t: &mut Tableau<'_>,
     basis: &mut [usize],
     m: usize,
     art_start: usize,
     rhs_col: usize,
     iters: &mut usize,
     options: SimplexOptions,
+    ops: &mut SimplexOps,
 ) -> Result<(), IlpError> {
     loop {
         *iters += 1;
@@ -801,7 +1062,12 @@ fn run_dual_simplex(
         }
         let mut leave: Option<(usize, f64)> = None;
         for r in 0..m {
-            let v = t[r][rhs_col];
+            let v = t.at(r, rhs_col);
+            if v.is_nan() {
+                return Err(IlpError::NumericalInstability {
+                    context: "dual leaving-row selection",
+                });
+            }
             if v < -options.feasibility_tol && leave.is_none_or(|(_, best)| v < best) {
                 leave = Some((r, v));
             }
@@ -811,9 +1077,14 @@ fn run_dual_simplex(
         };
         let mut enter: Option<(usize, f64)> = None;
         for j in 0..art_start {
-            let a = t[lr][j];
+            let a = t.at(lr, j);
             if a < -EPS {
-                let ratio = t[m][j] / -a;
+                let ratio = t.at(m, j) / -a;
+                if ratio.is_nan() {
+                    return Err(IlpError::NumericalInstability {
+                        context: "dual ratio test",
+                    });
+                }
                 if enter.is_none_or(|(ej, best)| {
                     ratio < best - EPS || ((ratio - best).abs() <= EPS && j < ej)
                 }) {
@@ -824,22 +1095,36 @@ fn run_dual_simplex(
         let Some((e, _)) = enter else {
             return Err(IlpError::Infeasible);
         };
-        pivot(t, basis, lr, e, rhs_col);
+        t.pivot(basis, lr, e);
+        ops.dual_pivots += 1;
     }
 }
 
-/// Runs simplex iterations on the tableau until optimality.
+/// Runs primal simplex iterations on the tableau until optimality.
 ///
-/// Artificial columns (`j >= art_start`) are never allowed to enter.
+/// The entering column follows Dantzig's rule — most negative reduced
+/// cost, ties to the lowest index — until
+/// [`SimplexOptions::bland_stall`] consecutive degenerate pivots, after
+/// which Bland's rule (lowest negative index) takes over until the
+/// objective improves again. The ratio test breaks ties on the lowest
+/// basis index throughout. Artificial columns (`j >= art_start`) are never
+/// allowed to enter. A NaN in the cost row, the pivot column or a ratio is
+/// reported as [`IlpError::NumericalInstability`] instead of being
+/// silently skipped by the comparisons.
+#[allow(clippy::too_many_arguments)]
 fn run_simplex(
-    t: &mut [Vec<f64>],
+    t: &mut Tableau<'_>,
     basis: &mut [usize],
     m: usize,
     art_start: usize,
     rhs_col: usize,
     iters: &mut usize,
     options: SimplexOptions,
+    ops: &mut SimplexOps,
+    phase: PrimalPhase,
 ) -> Result<(), IlpError> {
+    let mut bland = false;
+    let mut stall = 0usize;
     loop {
         *iters += 1;
         if *iters > options.max_iterations {
@@ -847,17 +1132,46 @@ fn run_simplex(
                 limit: options.max_iterations,
             });
         }
-        // Bland's rule: smallest index with negative reduced cost.
-        let entering = (0..art_start).find(|&j| t[m][j] < -EPS);
+        // Entering column: one full scan of the cost row finds the first
+        // negative (Bland), the most negative (Dantzig) and any NaN.
+        let mut first_neg: Option<usize> = None;
+        let mut most_neg: Option<usize> = None;
+        let mut best = -EPS;
+        let cost = &t.row(m)[..art_start];
+        for (j, &c) in cost.iter().enumerate() {
+            if c.is_nan() {
+                return Err(IlpError::NumericalInstability {
+                    context: "entering-column selection",
+                });
+            }
+            if c < -EPS && first_neg.is_none() {
+                first_neg = Some(j);
+            }
+            if c < best {
+                best = c;
+                most_neg = Some(j);
+            }
+        }
+        let entering = if bland { first_neg } else { most_neg };
         let Some(e) = entering else {
             return Ok(()); // optimal
         };
-        // Ratio test, Bland tie-break on basis index.
+        // Ratio test, ties to the lowest basis index.
         let mut leave: Option<(usize, f64)> = None;
         for r in 0..m {
-            let a = t[r][e];
+            let a = t.at(r, e);
+            if a.is_nan() {
+                return Err(IlpError::NumericalInstability {
+                    context: "pivot-column scan",
+                });
+            }
             if a > EPS {
-                let ratio = t[r][rhs_col] / a;
+                let ratio = t.at(r, rhs_col) / a;
+                if ratio.is_nan() {
+                    return Err(IlpError::NumericalInstability {
+                        context: "ratio test",
+                    });
+                }
                 match leave {
                     None => leave = Some((r, ratio)),
                     Some((lr, lratio)) => {
@@ -870,34 +1184,28 @@ fn run_simplex(
                 }
             }
         }
-        let Some((lr, _)) = leave else {
+        let Some((lr, lratio)) = leave else {
             return Err(IlpError::Unbounded);
         };
-        pivot(t, basis, lr, e, rhs_col);
-    }
-}
-
-/// Pivots on `(row, col)`.
-fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
-    let p = t[row][col];
-    debug_assert!(p.abs() > 1e-12, "pivot on ~zero element");
-    let inv = 1.0 / p;
-    for v in t[row].iter_mut() {
-        *v *= inv;
-    }
-    let pivot_row = t[row].clone();
-    for (r, trow) in t.iter_mut().enumerate() {
-        if r != row {
-            let factor = trow[col];
-            if factor != 0.0 {
-                for (j, v) in trow.iter_mut().enumerate() {
-                    *v -= factor * pivot_row[j];
-                }
+        // Degenerate-stall accounting: a zero-ratio pivot leaves the
+        // objective unchanged. A long enough streak arms Bland's rule; any
+        // objective movement re-arms Dantzig.
+        if lratio <= EPS {
+            stall += 1;
+            if !bland && stall > options.bland_stall {
+                bland = true;
+                ops.bland_activations += 1;
             }
+        } else {
+            stall = 0;
+            bland = false;
+        }
+        t.pivot(basis, lr, e);
+        match phase {
+            PrimalPhase::One => ops.phase1_pivots += 1,
+            PrimalPhase::Two => ops.phase2_pivots += 1,
         }
     }
-    basis[row] = col;
-    let _ = rhs_col;
 }
 
 /// Checks a fully pinned assignment against the model's constraints.
@@ -1100,7 +1408,8 @@ mod tests {
 
     #[test]
     fn degenerate_problem_terminates() {
-        // Redundant constraints produce degenerate pivots; Bland must halt.
+        // Redundant constraints produce degenerate pivots; the Dantzig rule
+        // with the Bland stall fallback must halt.
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_continuous("x", 0.0, 10.0);
         let y = m.add_continuous("y", 0.0, 10.0);
@@ -1271,6 +1580,159 @@ mod tests {
             solve_with_basis(&m, &lower, &upper, opts, &mut scratch, Some(&basis)),
             Err(IlpError::Infeasible),
             "infeasibility must be diagnosed by the cold path"
+        );
+    }
+
+    #[test]
+    fn nan_bound_override_is_a_typed_error() {
+        let (m, _, _) = gain_model();
+        let got = solve_with_bounds(&m, &[f64::NAN, 0.0], &[5.0, 5.0], SimplexOptions::default());
+        assert!(
+            matches!(
+                got,
+                Err(IlpError::NonFiniteCoefficient {
+                    context: "bound override",
+                    ..
+                })
+            ),
+            "{got:?}"
+        );
+        let mut scratch = SimplexScratch::default();
+        let got = solve_with_basis(
+            &m,
+            &[0.0, 0.0],
+            &[5.0, f64::NAN],
+            SimplexOptions::default(),
+            &mut scratch,
+            None,
+        );
+        assert!(
+            matches!(got, Err(IlpError::NonFiniteCoefficient { .. })),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_options_are_a_typed_error() {
+        let (m, _, _) = gain_model();
+        for (name, opts) in [
+            (
+                "feasibility_tol",
+                SimplexOptions {
+                    feasibility_tol: f64::NAN,
+                    ..SimplexOptions::default()
+                },
+            ),
+            (
+                "pivot_tol",
+                SimplexOptions {
+                    pivot_tol: -1e-9,
+                    ..SimplexOptions::default()
+                },
+            ),
+            (
+                "objective_tol",
+                SimplexOptions {
+                    objective_tol: f64::INFINITY,
+                    ..SimplexOptions::default()
+                },
+            ),
+        ] {
+            let got = solve_relaxation(&m, opts);
+            match got {
+                Err(IlpError::InvalidTolerance { name: got_name, .. }) => {
+                    assert_eq!(got_name, name);
+                }
+                other => panic!("{name}: expected InvalidTolerance, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feasibility_tol")]
+    fn builder_rejects_nan_tolerance_at_construction() {
+        let _ = SimplexOptions::default().with_feasibility_tol(f64::NAN);
+    }
+
+    /// Overflow poisoning: huge coefficients against a tiny pivot element
+    /// overflow to ±inf during elimination, and the next combination step
+    /// produces `inf - inf = NaN` in the tableau. The old comparison-based
+    /// selection silently skipped NaN entries (`NaN > EPS` is false),
+    /// which could misreport unboundedness or loop; the scan now reports a
+    /// typed error instead of panicking or lying.
+    #[test]
+    fn poisoned_tableau_is_a_typed_error_not_a_panic() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        // A near-zero pivot (1e-9, just above EPS) scaled by 1/1e-9 blows
+        // the 1e308 coefficients past f64::MAX.
+        m.add_constraint([(x, 1e-9), (y, 1e308)], Relation::Ge, 1.0)
+            .unwrap();
+        m.add_constraint([(x, 1e308), (y, 1e308)], Relation::Ge, 1e308)
+            .unwrap();
+        let got = solve_relaxation(&m, SimplexOptions::default());
+        match got {
+            Err(
+                IlpError::NumericalInstability { .. }
+                | IlpError::Infeasible
+                | IlpError::Unbounded
+                | IlpError::IterationLimit { .. },
+            ) => {}
+            other => panic!("poisoned tableau must fail typed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ops_counters_track_builds_and_reuse() {
+        let (m, _, _) = gain_model();
+        let opts = SimplexOptions::default();
+        let mut scratch = SimplexScratch::new();
+        let lower = vec![0.0; 2];
+        let upper = vec![5.0; 2];
+        solve_with_bounds_scratch(&m, &lower, &upper, opts, &mut scratch).unwrap();
+        let first = scratch.ops();
+        assert_eq!(first.tableau_builds, 1);
+        assert_eq!(first.scratch_reuses, 0, "first build must allocate");
+        assert!(first.total_pivots() > 0);
+        solve_with_bounds_scratch(&m, &lower, &upper, opts, &mut scratch).unwrap();
+        let second = scratch.ops();
+        assert_eq!(second.tableau_builds, 2);
+        assert_eq!(second.scratch_reuses, 1, "same shape must reuse the buffer");
+        // take_ops drains and resets.
+        let taken = scratch.take_ops();
+        assert_eq!(taken, second);
+        assert_eq!(scratch.ops(), SimplexOps::default());
+    }
+
+    /// The Dantzig→Bland fallback provably engages on a degenerate stall:
+    /// with `bland_stall = 0` every degenerate pivot beyond the first in a
+    /// streak runs under Bland's rule, and the activation is counted. The
+    /// redundant-constraint model pivots through a degenerate vertex, so
+    /// at least one activation must be recorded — and the optimum must be
+    /// identical to the default-rule solve.
+    #[test]
+    fn bland_fallback_activates_on_degenerate_stall() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        for _ in 0..4 {
+            m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
+                .unwrap();
+        }
+        m.add_constraint([(x, 2.0), (y, 2.0)], Relation::Ge, 2.0)
+            .unwrap();
+        let mut scratch = SimplexScratch::new();
+        let eager = SimplexOptions::default().with_bland_stall(0);
+        let s =
+            solve_with_bounds_scratch(&m, &[0.0, 0.0], &[10.0, 10.0], eager, &mut scratch).unwrap();
+        approx(s.objective, 1.0);
+        assert!(
+            scratch.ops().bland_activations >= 1,
+            "degenerate streak must arm Bland: {:?}",
+            scratch.ops()
         );
     }
 }

@@ -237,9 +237,7 @@ where
         {
             let mut guard = sched.lock().expect("scheduler lock");
             debug_assert!(
-                read_result.is_err()
-                    || worker_result.is_err()
-                    || guard.queued_total() == 0,
+                read_result.is_err() || worker_result.is_err() || guard.queued_total() == 0,
                 "clean shutdown left unserved jobs"
             );
             for (tenant, queue) in &mut guard.queues {
