@@ -244,8 +244,10 @@ pub struct SolveSpec {
     /// delta requests this is the base value; the `rgs` array supplies the
     /// visited points.
     pub rg: u64,
-    /// Solver backend (wire values `branch_bound` / `exhaustive` /
-    /// `greedy`; default `branch_bound`).
+    /// Solver backend. The wire values are the canonical backend names
+    /// ([`Backend::name`]): `branch_bound` / `exhaustive` / `greedy` /
+    /// `lagrangian` / `conflict_enum` / `portfolio`; default
+    /// `branch_bound`. See `docs/BACKENDS.md` for when to use which.
     pub backend: Backend,
     /// Branch-and-bound node cap (default: the [`SolveBudget`] default).
     pub max_nodes: Option<usize>,
@@ -346,16 +348,19 @@ impl SolveSpec {
             })?;
         }
         if let Some(b) = doc.get("backend") {
-            spec.backend = match b.as_str() {
-                Some("branch_bound") => Backend::BranchBound,
-                Some("exhaustive") => Backend::Exhaustive,
-                Some("greedy") => Backend::Greedy,
-                other => {
-                    return Err(ApiError::InvalidParams(format!(
-                        "backend must be branch_bound/exhaustive/greedy, got {other:?}"
-                    )))
-                }
-            };
+            // Accept exactly the backends the engine enumerates, by their
+            // canonical snake_case names — a backend added to
+            // `Backend::ALL` is a wire value with no extra plumbing.
+            let name = b.as_str();
+            spec.backend = name
+                .and_then(|n| Backend::ALL.into_iter().find(|k| k.name() == n))
+                .ok_or_else(|| {
+                    let allowed: Vec<&str> = Backend::ALL.iter().map(|k| k.name()).collect();
+                    ApiError::InvalidParams(format!(
+                        "backend must be one of {}, got {name:?}",
+                        allowed.join("/")
+                    ))
+                })?;
         }
         if let Some(n) = doc.get("max_nodes") {
             let n = n

@@ -1,0 +1,897 @@
+//! Implicit-enumeration backends over the IMP-choice structure.
+//!
+//! Branch-and-bound relaxes the 0/1 selection ILP *linearly* (an LP per
+//! node). The two backends here relax it *combinatorially*, walking the
+//! natural decision structure of the paper's problem — one slot per s-call,
+//! each slot choosing "software" or one of its IMPs — with cheap additive
+//! bounds instead of simplex solves:
+//!
+//! * [`LagrangianBackend`] dualises the per-path required-gain rows into the
+//!   objective with multipliers `λ ≥ 0` tightened once by deterministic
+//!   subgradient ascent at the root. Each node's bound is the classic
+//!   Lagrangian decomposition: committed cost, plus `Σ_p λ_p·(T_p − g_p)`,
+//!   plus an independent per-slot minimum of the reduced cost — strongest
+//!   when the gain requirements are the binding structure.
+//! * [`ConflictEnumBackend`] keeps the objective untouched but propagates
+//!   the SC-PC conflict pairs ([`crate::sc_pc_conflicts`]) as forbidden-
+//!   choice counters during the dive, never expanding a branch the conflict
+//!   rows already exclude — strongest on conflict-dense instances.
+//!
+//! # Determinism contract
+//!
+//! Both backends honour the exact-solver contract of `docs/BACKENDS.md`:
+//! every feasible leaf goes through the *same* incumbent rule as
+//! branch-and-bound (improve by more than `1e-9`, or tie within `1e-9` and
+//! win the [`partita_ilp::lex_less`] comparison on the full encoded
+//! assignment), and pruning keeps ties alive (`bound > incumbent + 1e-9`).
+//! A run that completes therefore reports the byte-identical selection
+//! branch-and-bound reports, regardless of which backend raced it there.
+//!
+//! Bounds only ever *underestimate* the true completion cost (IP indicator
+//! areas are non-negative and dropped; constraints the bound ignores can
+//! only shrink the completion set), and leaves are verified against the
+//! *model* ([`partita_ilp::Model::is_feasible`]) — so neither backend can
+//! accept a point the ILP would reject, even on formulations whose extra
+//! rows (power budgets, Problem 1 shape ties) the bounds know nothing
+//! about.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partita_ilp::{
+    lex_less, BranchBoundStats, Model, Sense, SharedBound, Termination, WorkerStats,
+};
+use partita_mop::CallSiteId;
+
+use crate::engine::{
+    encode_selection, status_from_termination, EngineSolution, SolveBudget, SolverBackend,
+};
+use crate::formulate::VarMap;
+use crate::solver::RequiredGains;
+use crate::{sc_pc_conflicts, CoreError, ImpDb, ImpId, Instance};
+
+/// Tie window of the incumbent rule (matches branch-and-bound's `TIE_TOL`).
+const TIE_TOL: f64 = 1e-9;
+
+/// Leaf feasibility tolerance (matches the greedy backend's check).
+const FEAS_TOL: f64 = 1e-6;
+
+/// Slack below which a remaining-gain shortfall counts as infeasible.
+const GAIN_EPS: f64 = 1e-9;
+
+/// Subgradient-ascent iterations spent tightening `λ` at the root.
+const SUBGRADIENT_ITERS: usize = 60;
+
+/// Which node bound the shared enumeration uses — the only difference
+/// between the two public backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundKind {
+    /// Additive reduced costs with conflict propagation (`λ = 0`).
+    Conflict,
+    /// Lagrangian reduced costs under root-trained multipliers.
+    Lagrangian,
+}
+
+/// One IMP choice of a slot, with everything its bounds need.
+#[derive(Debug, Clone)]
+struct Choice {
+    imp: ImpId,
+    /// Objective coefficient of the IMP's `x` column.
+    cost: f64,
+    /// The IMP's gain as the model's gain rows count it.
+    gain: f64,
+    /// `(slot, choice)` pairs excluded while this choice is committed.
+    conflicts: Vec<(usize, usize)>,
+}
+
+/// One s-call with at least one IMP column in the model. "Software"
+/// (select nothing) is always available and is not listed as a choice.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Indices into the problem's path tables containing this s-call.
+    paths: Vec<usize>,
+    choices: Vec<Choice>,
+}
+
+/// The enumeration view of one formulated instance.
+#[derive(Debug, Clone)]
+struct EnumProblem {
+    slots: Vec<Slot>,
+    /// Required gain per (positive-requirement) path.
+    required: Vec<f64>,
+    /// Lagrange multiplier per path (all zero for the conflict bound).
+    lambda: Vec<f64>,
+    /// `gain_ub[d][p]`: the most gain slots `d..` can still add to path
+    /// `p`, ignoring conflicts (a valid over-estimate). Length
+    /// `slots.len() + 1`; the last entry is all zeros.
+    gain_ub: Vec<Vec<f64>>,
+}
+
+impl EnumProblem {
+    fn build(
+        instance: &Instance,
+        db: &ImpDb,
+        gains: &RequiredGains,
+        map: &VarMap,
+        model: &Model,
+    ) -> EnumProblem {
+        let mut required: Vec<f64> = Vec::new();
+        let mut path_scalls: Vec<Vec<CallSiteId>> = Vec::new();
+        for path in instance.effective_paths() {
+            let req = gains.for_path(path.id).get();
+            if req == 0 {
+                continue;
+            }
+            required.push(req as f64);
+            path_scalls.push(path.scalls.clone());
+        }
+
+        let minimize = model.sense() == Sense::Minimize;
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut index_of: Vec<Option<(usize, usize)>> = vec![None; db.len()];
+        for sc in &instance.scalls {
+            let mut choices: Vec<Choice> = Vec::new();
+            for imp in db.for_scall(sc.id) {
+                let Some(Some(var)) = map.x.get(imp.id.index()) else {
+                    continue;
+                };
+                index_of[imp.id.index()] = Some((slots.len(), choices.len()));
+                choices.push(Choice {
+                    imp: imp.id,
+                    // Bounds are meaningful for minimisation models only;
+                    // a maximisation model degrades to plain enumeration.
+                    cost: if minimize {
+                        model.objective().coeff(*var)
+                    } else {
+                        0.0
+                    },
+                    gain: imp.gain.get() as f64,
+                    conflicts: Vec::new(),
+                });
+            }
+            if !choices.is_empty() {
+                let paths = (0..path_scalls.len())
+                    .filter(|&p| path_scalls[p].contains(&sc.id))
+                    .collect();
+                slots.push(Slot { paths, choices });
+            }
+        }
+
+        // Conflict pairs, both directions, restricted to live columns. A
+        // pair only survives when the model actually carries the matching
+        // `x_a + x_b ≤ 1` row (Problem 1 excludes the consuming IMPs, so
+        // their columns — and with them every pair — vanish).
+        for pair in sc_pc_conflicts(db) {
+            if let (Some(a), Some(b)) = (index_of[pair.a.index()], index_of[pair.b.index()]) {
+                slots[a.0].choices[a.1].conflicts.push(b);
+                slots[b.0].choices[b.1].conflicts.push(a);
+            }
+        }
+
+        // Suffix gain upper bounds for the reachability prune.
+        let np = required.len();
+        let mut gain_ub = vec![vec![0.0; np]; slots.len() + 1];
+        for d in (0..slots.len()).rev() {
+            let slot = &slots[d];
+            let best: f64 = slot.choices.iter().map(|c| c.gain).fold(0.0, f64::max);
+            let (head, tail) = gain_ub.split_at_mut(d + 1);
+            for (p, ub) in head[d].iter_mut().enumerate() {
+                *ub = tail[0][p] + if slot.paths.contains(&p) { best } else { 0.0 };
+            }
+        }
+
+        EnumProblem {
+            slots,
+            lambda: vec![0.0; required.len()],
+            required,
+            gain_ub,
+        }
+    }
+
+    /// Deterministic root subgradient ascent: tightens `λ` towards the best
+    /// dual bound using Polyak steps against `ub` (any finite value works —
+    /// it only scales the steps, never the bound's validity).
+    fn train_multipliers(&mut self, ub: f64) {
+        let np = self.required.len();
+        if np == 0 || self.slots.is_empty() {
+            return;
+        }
+        let mut lambda = vec![0.0; np];
+        let mut best_value = f64::NEG_INFINITY;
+        let mut best_lambda = lambda.clone();
+        let mut theta: f64 = 2.0;
+        let mut stalled = 0usize;
+        for _ in 0..SUBGRADIENT_ITERS {
+            // Evaluate L(λ): independent per-slot minimisation of the
+            // reduced cost, with "software" (0 cost, 0 gain) always on
+            // offer.
+            let mut value: f64 = lambda
+                .iter()
+                .zip(&self.required)
+                .map(|(l, r)| l * r)
+                .sum::<f64>();
+            let mut relaxed_gain = vec![0.0; np];
+            for slot in &self.slots {
+                let price: f64 = slot.paths.iter().map(|&p| lambda[p]).sum();
+                let mut best = 0.0;
+                let mut best_choice: Option<&Choice> = None;
+                for choice in &slot.choices {
+                    let reduced = choice.cost - price * choice.gain;
+                    if reduced < best - 1e-12 {
+                        best = reduced;
+                        best_choice = Some(choice);
+                    }
+                }
+                value += best;
+                if let Some(choice) = best_choice {
+                    for &p in &slot.paths {
+                        relaxed_gain[p] += choice.gain;
+                    }
+                }
+            }
+            if value > best_value + 1e-12 {
+                best_value = value;
+                best_lambda.copy_from_slice(&lambda);
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= 5 {
+                    theta *= 0.5;
+                    stalled = 0;
+                }
+            }
+            // Subgradient of L at λ is the requirement slack.
+            let grad: Vec<f64> = self
+                .required
+                .iter()
+                .zip(&relaxed_gain)
+                .map(|(r, g)| r - g)
+                .collect();
+            let norm2: f64 = grad.iter().map(|g| g * g).sum();
+            if norm2 <= 1e-18 {
+                break;
+            }
+            let step = theta * (ub - value).max(1.0) / norm2;
+            for (l, g) in lambda.iter_mut().zip(&grad) {
+                *l = (*l + step * g).max(0.0);
+            }
+        }
+        self.lambda = best_lambda;
+    }
+}
+
+/// The DFS over a built [`EnumProblem`].
+struct EnumSearch<'a> {
+    prob: &'a EnumProblem,
+    kind: BoundKind,
+    model: &'a Model,
+    map: &'a VarMap,
+    db: &'a ImpDb,
+    minimize: bool,
+    // Search state.
+    forbid: Vec<Vec<u32>>,
+    chosen: Vec<ImpId>,
+    committed_cost: f64,
+    committed_gain: Vec<f64>,
+    committed_penalty: f64,
+    incumbent: Option<(f64, Vec<f64>)>,
+    // Budget.
+    max_nodes: usize,
+    started: Instant,
+    deadline: Option<Duration>,
+    cancel: Option<&'a AtomicBool>,
+    ext_bound: Option<&'a SharedBound>,
+    termination: Termination,
+    // Effort counters.
+    nodes: usize,
+    pruned: usize,
+    updates: usize,
+}
+
+impl<'a> EnumSearch<'a> {
+    /// The score to prune against: own incumbent or any better feasible
+    /// score another racer has published.
+    fn current_score(&self) -> f64 {
+        let own = self.incumbent.as_ref().map_or(f64::INFINITY, |(s, _)| *s);
+        match self.ext_bound {
+            Some(b) => own.min(b.score()),
+            None => own,
+        }
+    }
+
+    /// Valid lower bound on every feasible completion below this node.
+    fn bound(&self, depth: usize) -> f64 {
+        if !self.minimize {
+            return f64::NEG_INFINITY;
+        }
+        let mut bound = self.committed_cost + self.committed_penalty;
+        for (s, slot) in self.prob.slots.iter().enumerate().skip(depth) {
+            let price: f64 = slot.paths.iter().map(|&p| self.prob.lambda[p]).sum();
+            let mut best = 0.0;
+            for (c, choice) in slot.choices.iter().enumerate() {
+                if self.kind == BoundKind::Conflict && self.forbid[s][c] > 0 {
+                    continue;
+                }
+                let reduced = choice.cost - price * choice.gain;
+                if reduced < best {
+                    best = reduced;
+                }
+            }
+            bound += best;
+        }
+        bound
+    }
+
+    /// `true` when some path can no longer reach its requirement even if
+    /// every remaining slot picks its highest-gain IMP.
+    fn gain_unreachable(&self, depth: usize) -> bool {
+        let ub = &self.prob.gain_ub[depth];
+        self.prob
+            .required
+            .iter()
+            .zip(&self.committed_gain)
+            .zip(ub)
+            .any(|((req, got), extra)| got + extra < req - GAIN_EPS)
+    }
+
+    fn leaf(&mut self) {
+        let values = encode_selection(self.model, self.map, self.db, &self.chosen);
+        if !self.model.is_feasible(&values, FEAS_TOL) {
+            return;
+        }
+        let objective = self.model.objective().eval(&values);
+        let score = if self.minimize { objective } else { -objective };
+        let improves = match &self.incumbent {
+            None => true,
+            Some((best, vals)) => {
+                score < best - TIE_TOL || (score <= best + TIE_TOL && lex_less(&values, vals))
+            }
+        };
+        if improves {
+            let merged = self
+                .incumbent
+                .as_ref()
+                .map_or(score, |(best, _)| best.min(score));
+            self.incumbent = Some((merged, values));
+            self.updates += 1;
+            if let Some(bound) = self.ext_bound {
+                bound.publish(score);
+            }
+        }
+    }
+
+    /// Expands one node; returns `true` when the search must stop.
+    fn dfs(&mut self, depth: usize) -> bool {
+        if self.nodes >= self.max_nodes {
+            self.termination = Termination::NodeLimit;
+            return true;
+        }
+        if self.deadline.is_some_and(|d| self.started.elapsed() >= d) {
+            self.termination = Termination::Deadline;
+            return true;
+        }
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            self.termination = Termination::Cancelled;
+            return true;
+        }
+        self.nodes += 1;
+
+        if self.gain_unreachable(depth) {
+            self.pruned += 1;
+            return false;
+        }
+        // Ties survive the prune so the lexicographic rule decides them.
+        if self.bound(depth) > self.current_score() + TIE_TOL {
+            self.pruned += 1;
+            return false;
+        }
+        if depth == self.prob.slots.len() {
+            self.leaf();
+            return false;
+        }
+
+        // Software first (no commitment) …
+        if self.dfs(depth + 1) {
+            return true;
+        }
+        // … then each IMP choice in database order.
+        let num_choices = self.prob.slots[depth].choices.len();
+        for c in 0..num_choices {
+            if self.kind == BoundKind::Conflict && self.forbid[depth][c] > 0 {
+                continue;
+            }
+            let choice = &self.prob.slots[depth].choices[c];
+            let (imp, cost, gain) = (choice.imp, choice.cost, choice.gain);
+            let conflicts = choice.conflicts.clone();
+            self.chosen.push(imp);
+            self.committed_cost += cost;
+            for &p in &self.prob.slots[depth].paths {
+                self.committed_gain[p] += gain;
+                self.committed_penalty -= self.prob.lambda[p] * gain;
+            }
+            for &(s, cc) in &conflicts {
+                self.forbid[s][cc] += 1;
+            }
+            let stop = self.dfs(depth + 1);
+            for &(s, cc) in &conflicts {
+                self.forbid[s][cc] -= 1;
+            }
+            for &p in &self.prob.slots[depth].paths {
+                self.committed_gain[p] -= gain;
+                self.committed_penalty += self.prob.lambda[p] * gain;
+            }
+            self.committed_cost -= cost;
+            self.chosen.pop();
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Everything both enumeration backends share: the formulation handles and
+/// the racing hooks.
+#[derive(Debug, Clone)]
+struct EnumContext<'a> {
+    instance: &'a Instance,
+    db: &'a ImpDb,
+    gains: &'a RequiredGains,
+    map: &'a VarMap,
+    seeds: Vec<Vec<f64>>,
+    cancel: Option<Arc<AtomicBool>>,
+    shared_bound: Option<Arc<SharedBound>>,
+}
+
+impl<'a> EnumContext<'a> {
+    fn solve(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        kind: BoundKind,
+    ) -> Result<EngineSolution, CoreError> {
+        let minimize = model.sense() == Sense::Minimize;
+        let mut prob = EnumProblem::build(self.instance, self.db, self.gains, self.map, model);
+
+        // Feasible seeds become the starting incumbent through the same
+        // improves-rule as every leaf, so seeding never changes the answer.
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        for seed in &self.seeds {
+            if seed.len() != model.num_vars() || !model.is_feasible(seed, FEAS_TOL) {
+                continue;
+            }
+            let objective = model.objective().eval(seed);
+            let score = if minimize { objective } else { -objective };
+            let improves = match &incumbent {
+                None => true,
+                Some((best, vals)) => {
+                    score < best - TIE_TOL || (score <= best + TIE_TOL && lex_less(seed, vals))
+                }
+            };
+            if improves {
+                let merged = incumbent.as_ref().map_or(score, |(b, _)| b.min(score));
+                incumbent = Some((merged, seed.clone()));
+            }
+        }
+
+        if kind == BoundKind::Lagrangian && minimize {
+            // Any finite target works for the Polyak steps; prefer a real
+            // incumbent score, else a crude worst-case pick.
+            let ub = incumbent.as_ref().map_or_else(
+                || {
+                    1.0 + prob
+                        .slots
+                        .iter()
+                        .map(|s| s.choices.iter().map(|c| c.cost).fold(0.0, f64::max))
+                        .sum::<f64>()
+                },
+                |(score, _)| *score,
+            );
+            prob.train_multipliers(ub);
+        }
+
+        if let (Some(bound), Some((score, _))) = (self.shared_bound.as_deref(), &incumbent) {
+            bound.publish(*score);
+        }
+
+        let mut search = EnumSearch {
+            forbid: prob
+                .slots
+                .iter()
+                .map(|s| vec![0u32; s.choices.len()])
+                .collect(),
+            committed_gain: vec![0.0; prob.required.len()],
+            prob: &prob,
+            kind,
+            model,
+            map: self.map,
+            db: self.db,
+            minimize,
+            chosen: Vec::with_capacity(prob.slots.len()),
+            committed_cost: 0.0,
+            committed_penalty: prob
+                .lambda
+                .iter()
+                .zip(&prob.required)
+                .map(|(l, r)| l * r)
+                .sum(),
+            incumbent,
+            max_nodes: budget.max_nodes,
+            started: Instant::now(),
+            deadline: budget.deadline,
+            cancel: self.cancel.as_deref(),
+            ext_bound: self.shared_bound.as_deref(),
+            termination: Termination::Optimal,
+            nodes: 0,
+            pruned: 0,
+            updates: 0,
+        };
+        search.dfs(0);
+
+        let status = status_from_termination(search.termination);
+        let effort = BranchBoundStats {
+            nodes_explored: search.nodes,
+            nodes_pruned: search.pruned,
+            incumbent_updates: search.updates,
+            threads: 1,
+            per_worker: vec![WorkerStats {
+                nodes_explored: search.nodes,
+                nodes_pruned: search.pruned,
+                ..WorkerStats::default()
+            }],
+            ..BranchBoundStats::default()
+        };
+        match (search.incumbent, search.termination) {
+            (Some((_, values)), _) => Ok(EngineSolution {
+                objective: model.objective().eval(&values),
+                values,
+                status,
+                effort,
+                root_basis: None,
+            }),
+            (None, Termination::Optimal) => Err(CoreError::Infeasible { path: None }),
+            (None, _) => Err(CoreError::BudgetExhausted),
+        }
+    }
+}
+
+/// Exact implicit enumeration with a Lagrangian-relaxation bound (see the
+/// module docs). Constructed internally by [`crate::Solver`]; select it with
+/// [`crate::Backend::Lagrangian`].
+///
+/// # Invariants
+///
+/// * Returns the byte-identical (lexicographically smallest) optimal
+///   selection as every other exact backend — the `docs/BACKENDS.md`
+///   determinism contract.
+/// * Never claims [`crate::engine::OptimalityStatus::Optimal`] after a
+///   budget stop: only a completed enumeration may prove optimality or
+///   infeasibility.
+///
+/// # Example
+///
+/// ```
+/// use partita_core::{Backend, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver};
+/// use partita_ip::{IpBlock, IpFunction};
+/// use partita_interface::TransferJob;
+/// use partita_mop::{AreaTenths, Cycles};
+///
+/// # fn main() -> Result<(), partita_core::CoreError> {
+/// let mut instance = Instance::new("demo");
+/// instance.library.add(
+///     IpBlock::builder("fir").function(IpFunction::Fir)
+///         .rates(4, 4).latency(8)
+///         .area(AreaTenths::from_units(3)).build(),
+/// );
+/// let sc = instance.add_scall(
+///     SCall::new("fir", IpFunction::Fir, Cycles(4000), TransferJob::new(160, 160)),
+/// );
+/// instance.add_path(vec![sc]);
+/// let sel = Solver::new(&instance)
+///     .with_imps(ImpDb::generate(&instance))
+///     .solve(
+///         &SolveOptions::problem2(RequiredGains::uniform(Cycles(1000)))
+///             .backend(Backend::Lagrangian),
+///     )?;
+/// assert!(sel.status.is_optimal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LagrangianBackend<'a> {
+    ctx: EnumContext<'a>,
+}
+
+impl<'a> LagrangianBackend<'a> {
+    pub(crate) fn new(
+        instance: &'a Instance,
+        db: &'a ImpDb,
+        gains: &'a RequiredGains,
+        map: &'a VarMap,
+    ) -> LagrangianBackend<'a> {
+        LagrangianBackend {
+            ctx: EnumContext {
+                instance,
+                db,
+                gains,
+                map,
+                seeds: Vec::new(),
+                cancel: None,
+                shared_bound: None,
+            },
+        }
+    }
+
+    pub(crate) fn with_seeds(mut self, seeds: Vec<Vec<f64>>) -> Self {
+        self.ctx.seeds = seeds;
+        self
+    }
+
+    pub(crate) fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.ctx.cancel = Some(cancel);
+        self
+    }
+
+    pub(crate) fn with_shared_bound(mut self, bound: Arc<SharedBound>) -> Self {
+        self.ctx.shared_bound = Some(bound);
+        self
+    }
+}
+
+impl SolverBackend for LagrangianBackend<'_> {
+    fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        self.ctx.solve(model, budget, BoundKind::Lagrangian)
+    }
+}
+
+/// Exact implicit enumeration over the SC/SC-PC conflict graph (see the
+/// module docs). Constructed internally by [`crate::Solver`]; select it with
+/// [`crate::Backend::ConflictEnum`].
+///
+/// # Invariants
+///
+/// * Committing a choice forbids every conflicting choice for the length
+///   of that subtree, so conflict-excluded branches are never expanded —
+///   pruning is structural, not an LP by-product.
+/// * Shares the tie-keeping incumbent rule with branch-and-bound, so a
+///   completed run returns the byte-identical selection (the
+///   `docs/BACKENDS.md` determinism contract).
+///
+/// # Example
+///
+/// ```
+/// use partita_core::{Backend, ImpDb, Instance, RequiredGains, SCall, SolveOptions, Solver};
+/// use partita_ip::{IpBlock, IpFunction};
+/// use partita_interface::TransferJob;
+/// use partita_mop::{AreaTenths, Cycles};
+///
+/// # fn main() -> Result<(), partita_core::CoreError> {
+/// let mut instance = Instance::new("demo");
+/// instance.library.add(
+///     IpBlock::builder("fir").function(IpFunction::Fir)
+///         .rates(4, 4).latency(8)
+///         .area(AreaTenths::from_units(3)).build(),
+/// );
+/// let sc = instance.add_scall(
+///     SCall::new("fir", IpFunction::Fir, Cycles(4000), TransferJob::new(160, 160)),
+/// );
+/// instance.add_path(vec![sc]);
+/// let sel = Solver::new(&instance)
+///     .with_imps(ImpDb::generate(&instance))
+///     .solve(
+///         &SolveOptions::problem2(RequiredGains::uniform(Cycles(1000)))
+///             .backend(Backend::ConflictEnum),
+///     )?;
+/// assert!(sel.status.is_optimal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConflictEnumBackend<'a> {
+    ctx: EnumContext<'a>,
+}
+
+impl<'a> ConflictEnumBackend<'a> {
+    pub(crate) fn new(
+        instance: &'a Instance,
+        db: &'a ImpDb,
+        gains: &'a RequiredGains,
+        map: &'a VarMap,
+    ) -> ConflictEnumBackend<'a> {
+        ConflictEnumBackend {
+            ctx: EnumContext {
+                instance,
+                db,
+                gains,
+                map,
+                seeds: Vec::new(),
+                cancel: None,
+                shared_bound: None,
+            },
+        }
+    }
+
+    pub(crate) fn with_seeds(mut self, seeds: Vec<Vec<f64>>) -> Self {
+        self.ctx.seeds = seeds;
+        self
+    }
+
+    pub(crate) fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.ctx.cancel = Some(cancel);
+        self
+    }
+
+    pub(crate) fn with_shared_bound(mut self, bound: Arc<SharedBound>) -> Self {
+        self.ctx.shared_bound = Some(bound);
+        self
+    }
+}
+
+impl SolverBackend for ConflictEnumBackend<'_> {
+    fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        self.ctx.solve(model, budget, BoundKind::Conflict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::build_model;
+    use crate::solver::ProblemKind;
+    use crate::{Imp, ParallelChoice, SCall};
+    use partita_ilp::BranchBound;
+    use partita_interface::{InterfaceKind, TransferJob};
+    use partita_ip::{IpBlock, IpFunction};
+    use partita_mop::{AreaTenths, Cycles};
+
+    /// Three fir() calls sharing one IP, one IMP with a software parallel
+    /// code — the same shape as the solver's `three_firs` fixture.
+    fn fixture() -> (Instance, ImpDb) {
+        let mut inst = Instance::new("enum-fixture");
+        let ip = inst.library.add(
+            IpBlock::builder("fir")
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(3))
+                .build(),
+        );
+        let mk_sc =
+            |name: &str| SCall::new(name, IpFunction::Fir, Cycles(1000), TransferJob::new(8, 8));
+        let a = inst.add_scall(mk_sc("fir"));
+        let b = inst.add_scall(mk_sc("fir"));
+        let c = inst.add_scall(mk_sc("fir"));
+        inst.add_path(vec![a, b, c]);
+        let mk = |sc, gain, par| {
+            Imp::new(
+                sc,
+                vec![ip],
+                InterfaceKind::Type1,
+                Cycles(gain),
+                AreaTenths::from_tenths(2),
+                par,
+            )
+        };
+        let db = ImpDb::from_imps(vec![
+            mk(a, 600, ParallelChoice::None),
+            mk(b, 600, ParallelChoice::None),
+            mk(c, 600, ParallelChoice::None),
+            mk(b, 900, ParallelChoice::SwScalls(vec![c])),
+        ]);
+        (inst, db)
+    }
+
+    fn formulated(inst: &Instance, db: &ImpDb, rg: u64) -> (Model, VarMap, RequiredGains) {
+        let gains = RequiredGains::uniform(Cycles(rg));
+        let (model, map) =
+            build_model(inst, db, ProblemKind::Problem2, &gains, None).expect("formulate");
+        (model, map, gains)
+    }
+
+    #[test]
+    fn both_backends_match_branch_bound_byte_for_byte() {
+        let (inst, db) = fixture();
+        for rg in [0u64, 600, 1200, 1500, 1800] {
+            let (model, map, gains) = formulated(&inst, &db, rg);
+            let budget = SolveBudget::default().with_threads(1);
+            let bb = BranchBound::new().solve(&model);
+            let lag = LagrangianBackend::new(&inst, &db, &gains, &map).solve(&model, &budget);
+            let con = ConflictEnumBackend::new(&inst, &db, &gains, &map).solve(&model, &budget);
+            match bb {
+                Ok(bb) => {
+                    let lag = lag.unwrap_or_else(|e| panic!("lagrangian at rg {rg}: {e}"));
+                    let con = con.unwrap_or_else(|e| panic!("conflict at rg {rg}: {e}"));
+                    assert_eq!(bb.values, lag.values, "lagrangian values at rg {rg}");
+                    assert_eq!(bb.values, con.values, "conflict values at rg {rg}");
+                    assert!((bb.objective - lag.objective).abs() < 1e-6);
+                    assert!((bb.objective - con.objective).abs() < 1e-6);
+                    assert!(lag.status.is_optimal() && con.status.is_optimal());
+                }
+                Err(_) => {
+                    assert!(matches!(lag, Err(CoreError::Infeasible { .. })), "rg {rg}");
+                    assert!(matches!(con, Err(CoreError::Infeasible { .. })), "rg {rg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_requirement_is_proven_infeasible() {
+        let (inst, db) = fixture();
+        // 2000 needs the conflicting 900 + implemented c: impossible.
+        let (model, map, gains) = formulated(&inst, &db, 2000);
+        let budget = SolveBudget::default().with_threads(1);
+        for result in [
+            LagrangianBackend::new(&inst, &db, &gains, &map).solve(&model, &budget),
+            ConflictEnumBackend::new(&inst, &db, &gains, &map).solve(&model, &budget),
+        ] {
+            assert!(matches!(result, Err(CoreError::Infeasible { .. })));
+        }
+    }
+
+    #[test]
+    fn starved_budget_is_never_a_silent_optimal() {
+        let (inst, db) = fixture();
+        let (model, map, gains) = formulated(&inst, &db, 1500);
+        let starved = SolveBudget::default().with_max_nodes(1).with_threads(1);
+        for result in [
+            LagrangianBackend::new(&inst, &db, &gains, &map).solve(&model, &starved),
+            ConflictEnumBackend::new(&inst, &db, &gains, &map).solve(&model, &starved),
+        ] {
+            match result {
+                Ok(sol) => assert!(!sol.status.is_optimal()),
+                Err(e) => assert_eq!(e, CoreError::BudgetExhausted),
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_seed_survives_budget_exhaustion() {
+        let (inst, db) = fixture();
+        let (model, map, gains) = formulated(&inst, &db, 1500);
+        // Seed the known optimum, then starve the search: the seed must
+        // come back as the (non-optimal-status) incumbent.
+        let full = ConflictEnumBackend::new(&inst, &db, &gains, &map)
+            .solve(&model, &SolveBudget::default().with_threads(1))
+            .expect("feasible");
+        let starved = SolveBudget::default().with_max_nodes(1).with_threads(1);
+        let seeded = ConflictEnumBackend::new(&inst, &db, &gains, &map)
+            .with_seeds(vec![full.values.clone()])
+            .solve(&model, &starved)
+            .expect("seed survives");
+        assert_eq!(seeded.values, full.values);
+        assert_eq!(
+            seeded.status,
+            crate::OptimalityStatus::FeasibleBudgetExhausted
+        );
+    }
+
+    #[test]
+    fn pre_set_cancel_stops_immediately() {
+        let (inst, db) = fixture();
+        let (model, map, gains) = formulated(&inst, &db, 1500);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let budget = SolveBudget::default().with_threads(1);
+        let result = LagrangianBackend::new(&inst, &db, &gains, &map)
+            .with_cancel(cancel)
+            .solve(&model, &budget);
+        assert_eq!(result.unwrap_err(), CoreError::BudgetExhausted);
+    }
+
+    #[test]
+    fn external_bound_tightens_without_changing_the_answer() {
+        let (inst, db) = fixture();
+        let (model, map, gains) = formulated(&inst, &db, 1500);
+        let budget = SolveBudget::default().with_threads(1);
+        let cold = ConflictEnumBackend::new(&inst, &db, &gains, &map)
+            .solve(&model, &budget)
+            .expect("feasible");
+        let shared = Arc::new(SharedBound::new());
+        shared.publish(cold.objective);
+        let primed = ConflictEnumBackend::new(&inst, &db, &gains, &map)
+            .with_shared_bound(shared)
+            .solve(&model, &budget)
+            .expect("feasible");
+        assert_eq!(cold.values, primed.values);
+        assert!(primed.effort.nodes_explored <= cold.effort.nodes_explored);
+    }
+}

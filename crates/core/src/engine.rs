@@ -11,11 +11,13 @@
 //! search effort.
 
 use std::fmt;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
+use partita_ilp::cuts::CutSeparator;
 use partita_ilp::{
-    solve_binary_exhaustive_counted, Basis, BranchBound, BranchBoundStats, Model, Termination,
+    run_binary_exhaustive, Basis, BranchBound, BranchBoundStats, Model, SharedBound, Termination,
     WorkerStats,
 };
 
@@ -35,15 +37,103 @@ pub enum Backend {
     Exhaustive,
     /// The gain/area-ratio greedy heuristic. Fast, never proves optimality.
     Greedy,
+    /// Implicit enumeration with a Lagrangian-relaxation bound: the per-path
+    /// gain rows are dualised into the objective with multipliers tightened
+    /// by root subgradient ascent. Exact; strongest when the gain
+    /// requirements are the binding structure.
+    Lagrangian,
+    /// Implicit enumeration over the SC/SC-PC conflict graph with conflict
+    /// propagation and gain-reachability pruning. Exact; strongest on
+    /// conflict-dense instances.
+    ConflictEnum,
+    /// Races the exact backends concurrently: the first audit-clean proven
+    /// optimum wins and cancels the rest. See `docs/BACKENDS.md`.
+    Portfolio,
+}
+
+impl Backend {
+    /// Every selectable backend, in documentation/wire order.
+    ///
+    /// `docs/BACKENDS.md` must describe each entry by its [`Backend::name`]
+    /// (a test diffs the doc against this list), and the service API accepts
+    /// exactly these names.
+    pub const ALL: [Backend; 6] = [
+        Backend::BranchBound,
+        Backend::Exhaustive,
+        Backend::Greedy,
+        Backend::Lagrangian,
+        Backend::ConflictEnum,
+        Backend::Portfolio,
+    ];
+
+    /// The snake_case name used in telemetry and the service wire format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::BranchBound => "branch_bound",
+            Backend::Exhaustive => "exhaustive",
+            Backend::Greedy => "greedy",
+            Backend::Lagrangian => "lagrangian",
+            Backend::ConflictEnum => "conflict_enum",
+            Backend::Portfolio => "portfolio",
+        }
+    }
+
+    /// `true` for backends that prove optimality when they complete within
+    /// budget (everything except [`Backend::Greedy`]).
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        !matches!(self, Backend::Greedy)
+    }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Backend::BranchBound => "branch_bound",
-            Backend::Exhaustive => "exhaustive",
-            Backend::Greedy => "greedy",
-        })
+        f.write_str(self.name())
+    }
+}
+
+/// Where lifted-cover cuts from the fixed-charge/once-per-IMP structure are
+/// separated (see `partita_ilp::cuts`). Cuts tighten LP relaxations without
+/// excluding any integer point, so every policy returns the same selection —
+/// they only trade separation time against tree size.
+///
+/// ```
+/// use partita_core::{CutPolicy, SolveOptions};
+///
+/// let opts = SolveOptions::default().cut_policy(CutPolicy::Root);
+/// assert_eq!(opts.cut_policy_active(), CutPolicy::Root);
+/// assert_eq!(CutPolicy::default(), CutPolicy::Off);
+/// assert_eq!(CutPolicy::Node.to_string(), "node");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CutPolicy {
+    /// No cut separation (the default; keeps node counts comparable with
+    /// historical baselines).
+    #[default]
+    Off,
+    /// Strengthen the model once at the branch-and-bound root.
+    Root,
+    /// Root strengthening plus per-node separation against each node's LP
+    /// relaxation.
+    Node,
+}
+
+impl CutPolicy {
+    /// The snake_case name used in telemetry and wire formats.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CutPolicy::Off => "off",
+            CutPolicy::Root => "root",
+            CutPolicy::Node => "node",
+        }
+    }
+}
+
+impl fmt::Display for CutPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -157,6 +247,20 @@ impl OptimalityStatus {
     #[must_use]
     pub fn is_optimal(self) -> bool {
         self == OptimalityStatus::Optimal
+    }
+}
+
+/// The one place an ILP-layer [`Termination`] becomes a solution trust
+/// level: only a completed search may claim [`OptimalityStatus::Optimal`];
+/// node-limit, deadline and cooperative cancellation all downgrade uniformly
+/// to [`OptimalityStatus::FeasibleBudgetExhausted`]. Every backend routes
+/// through this helper so no backend can invent its own (dishonest) mapping.
+pub(crate) fn status_from_termination(termination: Termination) -> OptimalityStatus {
+    match termination {
+        Termination::Optimal => OptimalityStatus::Optimal,
+        Termination::NodeLimit | Termination::Deadline | Termination::Cancelled => {
+            OptimalityStatus::FeasibleBudgetExhausted
+        }
     }
 }
 
@@ -314,6 +418,18 @@ pub struct BranchBoundBackend {
     /// and dual-repaired at the root, silently falling back to the cold
     /// two-phase path when stale or incompatible.
     pub root_basis: Option<Arc<Basis>>,
+    /// Cooperative cancellation flag, polled once per node. Set by the
+    /// portfolio racer when another backend has already won; a cancelled
+    /// search reports [`OptimalityStatus::FeasibleBudgetExhausted`] (or
+    /// [`CoreError::BudgetExhausted`] with no incumbent), never `Optimal`.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Cross-backend incumbent bound shared while racing: feasible scores
+    /// published by other racers tighten this search's pruning without ever
+    /// changing which optimum it reports.
+    pub shared_bound: Option<Arc<SharedBound>>,
+    /// Lifted-cover cut separator applied per node
+    /// ([`partita_ilp::cuts`]); `None` disables node cuts.
+    pub node_cuts: Option<Arc<CutSeparator>>,
 }
 
 impl SolverBackend for BranchBoundBackend {
@@ -327,13 +443,17 @@ impl SolverBackend for BranchBoundBackend {
         if let Some(basis) = &self.root_basis {
             bb = bb.with_root_basis(basis.clone());
         }
+        if let Some(cancel) = &self.cancel {
+            bb = bb.with_cancel(cancel.clone());
+        }
+        if let Some(bound) = &self.shared_bound {
+            bb = bb.with_shared_bound(bound.clone());
+        }
+        if let Some(cuts) = &self.node_cuts {
+            bb = bb.with_node_cuts(cuts.clone());
+        }
         let run = bb.run_seeded(model, &self.seeds)?;
-        let status = match run.termination {
-            Termination::Optimal => OptimalityStatus::Optimal,
-            Termination::NodeLimit | Termination::Deadline => {
-                OptimalityStatus::FeasibleBudgetExhausted
-            }
-        };
+        let status = status_from_termination(run.termination);
         match run.solution {
             Some(sol) => Ok(EngineSolution {
                 objective: sol.objective,
@@ -347,29 +467,53 @@ impl SolverBackend for BranchBoundBackend {
     }
 }
 
-/// Exhaustive-enumeration backend: exact, ignores the budget, and only
-/// viable on small models.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExhaustiveBackend;
+/// Exhaustive-enumeration backend: exact and budget-aware, only viable on
+/// small models ([`partita_ilp::MAX_EXHAUSTIVE_BINARIES`]).
+///
+/// [`SolveBudget::max_nodes`] caps the enumerated assignments and
+/// [`SolveBudget::deadline`] is polled during the sweep; an exhausted budget
+/// downgrades honestly through the uniform status mapping — it claims
+/// [`OptimalityStatus::Optimal`] only after enumerating *every* assignment.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveBackend {
+    /// Cooperative cancellation flag, polled during enumeration (set by the
+    /// portfolio racer when another backend has already won).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
 
 impl SolverBackend for ExhaustiveBackend {
-    fn solve(&self, model: &Model, _budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
-        let (sol, assignments) = solve_binary_exhaustive_counted(model)?;
-        Ok(EngineSolution {
-            objective: sol.objective,
-            values: sol.values,
-            status: OptimalityStatus::Optimal,
-            root_basis: None,
-            effort: BranchBoundStats {
-                nodes_explored: assignments,
-                threads: 1,
-                per_worker: vec![WorkerStats {
+    fn solve(&self, model: &Model, budget: &SolveBudget) -> Result<EngineSolution, CoreError> {
+        let run = run_binary_exhaustive(
+            model,
+            budget.max_nodes,
+            budget.deadline,
+            self.cancel.as_deref(),
+        )?;
+        let status = status_from_termination(run.termination);
+        let assignments = run.assignments_checked;
+        match run.solution {
+            Some(sol) => Ok(EngineSolution {
+                objective: sol.objective,
+                values: sol.values,
+                status,
+                root_basis: None,
+                effort: BranchBoundStats {
                     nodes_explored: assignments,
-                    ..WorkerStats::default()
-                }],
-                ..BranchBoundStats::default()
-            },
-        })
+                    threads: 1,
+                    per_worker: vec![WorkerStats {
+                        nodes_explored: assignments,
+                        ..WorkerStats::default()
+                    }],
+                    ..BranchBoundStats::default()
+                },
+            }),
+            // A completed enumeration with no feasible assignment is a
+            // proof of infeasibility; a truncated one proves nothing.
+            None if run.termination == Termination::Optimal => {
+                Err(CoreError::Infeasible { path: None })
+            }
+            None => Err(CoreError::BudgetExhausted),
+        }
     }
 }
 
@@ -461,10 +605,44 @@ mod tests {
     fn display_names_are_snake_case() {
         assert_eq!(Backend::BranchBound.to_string(), "branch_bound");
         assert_eq!(Backend::Greedy.to_string(), "greedy");
+        assert_eq!(Backend::Lagrangian.to_string(), "lagrangian");
+        assert_eq!(Backend::ConflictEnum.to_string(), "conflict_enum");
+        assert_eq!(Backend::Portfolio.to_string(), "portfolio");
         assert_eq!(
             OptimalityStatus::FeasibleBudgetExhausted.to_string(),
             "feasible_budget_exhausted"
         );
+    }
+
+    #[test]
+    fn backend_all_is_complete_and_unique() {
+        let mut names: Vec<&str> = Backend::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Backend::ALL.len());
+        assert!(Backend::ALL.contains(&Backend::default()));
+        assert!(Backend::BranchBound.is_exact());
+        assert!(Backend::Portfolio.is_exact());
+        assert!(!Backend::Greedy.is_exact());
+    }
+
+    #[test]
+    fn every_termination_downgrades_honestly() {
+        assert_eq!(
+            status_from_termination(Termination::Optimal),
+            OptimalityStatus::Optimal
+        );
+        for t in [
+            Termination::NodeLimit,
+            Termination::Deadline,
+            Termination::Cancelled,
+        ] {
+            assert_eq!(
+                status_from_termination(t),
+                OptimalityStatus::FeasibleBudgetExhausted,
+                "{t:?} must never map to an optimality claim"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The racing solver portfolio ([`crate::Backend::Portfolio`]).
+//!
+//! One race runs every configured racer concurrently on the same model,
+//! wired together through two shared primitives:
+//!
+//! * an [`partita_ilp::SharedBound`] — every racer publishes each incumbent
+//!   it installs, and every racer prunes against the best published score,
+//!   so one backend's progress tightens the others' searches;
+//! * a cancel flag — the first racer to produce a *conclusive* result
+//!   (an audit-clean proven optimum, or a proof of infeasibility) wins the
+//!   race and cancels the rest.
+//!
+//! When the race ends without a winner (every racer ran out of budget),
+//! the best incumbent across racers is returned with its own honest
+//! [`crate::OptimalityStatus`] — never upgraded to optimal.
+//!
+//! # Determinism
+//!
+//! *Which racer wins* is timing-dependent, but the returned **selection**
+//! is not: every exact backend honours the shared tie-break contract
+//! (`docs/BACKENDS.md`), so all conclusive results are byte-identical, and
+//! budget-exhausted incumbents are compared with the same
+//! `(score, lexicographic)` rule the backends use internally. Telemetry is
+//! emitted after every racer has joined, in racer-configuration order, so
+//! the event *sequence* is reproducible even though per-racer outcomes
+//! (`optimal` vs `cancelled`) may vary run to run.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partita_ilp::cuts::CutSeparator;
+use partita_ilp::{lex_less, Model, SharedBound};
+
+use crate::engine::{
+    Backend, BranchBoundBackend, EngineSolution, ExhaustiveBackend, GreedyBackend, SolverBackend,
+};
+use crate::formulate::{decode, VarMap};
+use crate::solver::{Selection, SolveOptions};
+use crate::telemetry::{Event, TelemetrySink};
+use crate::{
+    ConflictEnumBackend, CoreError, Imp, ImpDb, Instance, LagrangianBackend, SelectionAuditor,
+};
+
+/// The default racer line-up: branch-and-bound (the all-rounder, given the
+/// budget's threads) plus the two single-threaded enumeration backends.
+pub(crate) const DEFAULT_RACERS: [Backend; 3] = [
+    Backend::BranchBound,
+    Backend::ConflictEnum,
+    Backend::Lagrangian,
+];
+
+/// One racer's outcome, kept for post-join arbitration and telemetry.
+struct RacerReport {
+    backend: Backend,
+    result: Result<EngineSolution, CoreError>,
+    wall: Duration,
+}
+
+impl RacerReport {
+    /// The snake_case outcome tag of the `backend_finished` event.
+    fn outcome(&self) -> &'static str {
+        match &self.result {
+            Ok(sol) if sol.status.is_optimal() => "optimal",
+            Ok(sol) if sol.status == crate::OptimalityStatus::Heuristic => "heuristic",
+            Ok(_) => "incumbent",
+            Err(CoreError::Infeasible { .. }) => "infeasible",
+            Err(CoreError::BudgetExhausted) => "exhausted",
+            Err(_) => "error",
+        }
+    }
+}
+
+/// Runs one racer to completion. Every supported backend accepts the shared
+/// cancel flag; the exact ones also publish/consume the shared bound.
+#[allow(clippy::too_many_arguments)]
+fn run_racer(
+    backend: Backend,
+    instance: &Instance,
+    db: &ImpDb,
+    options: &SolveOptions,
+    model: &Model,
+    map: &VarMap,
+    seeds: &[Vec<f64>],
+    node_cuts: Option<Arc<CutSeparator>>,
+    cancel: Arc<AtomicBool>,
+    bound: Arc<SharedBound>,
+) -> Result<EngineSolution, CoreError> {
+    let budget = &options.budget;
+    match backend {
+        Backend::BranchBound => BranchBoundBackend {
+            seeds: seeds.to_vec(),
+            root_basis: options.root_basis.clone(),
+            cancel: Some(cancel),
+            shared_bound: Some(bound),
+            node_cuts,
+        }
+        .solve(model, budget),
+        Backend::Exhaustive => ExhaustiveBackend {
+            cancel: Some(cancel),
+        }
+        .solve(model, budget),
+        Backend::Greedy => {
+            GreedyBackend::new(instance, db, &options.gains, map).solve(model, budget)
+        }
+        Backend::Lagrangian => LagrangianBackend::new(instance, db, &options.gains, map)
+            .with_seeds(seeds.to_vec())
+            .with_cancel(cancel)
+            .with_shared_bound(bound)
+            .solve(model, budget),
+        Backend::ConflictEnum => ConflictEnumBackend::new(instance, db, &options.gains, map)
+            .with_seeds(seeds.to_vec())
+            .with_cancel(cancel)
+            .with_shared_bound(bound)
+            .solve(model, budget),
+        // A nested race would deadlock on nothing interesting; the racer
+        // list is sanitised before spawning, so this is unreachable.
+        Backend::Portfolio => Err(CoreError::BudgetExhausted),
+    }
+}
+
+/// `true` when this result settles the race: a proof of infeasibility, or a
+/// proven optimum whose decoded selection passes the independent audit.
+///
+/// The audit runs *inside the racer thread*, before the cancel broadcast:
+/// an exact backend with a latent decode/accounting bug can never win a
+/// race and silence the correct backends.
+fn conclusive(
+    result: &Result<EngineSolution, CoreError>,
+    instance: &Instance,
+    db: &ImpDb,
+    map: &VarMap,
+    options: &SolveOptions,
+) -> bool {
+    match result {
+        Err(CoreError::Infeasible { .. }) => true,
+        Ok(sol) if sol.status.is_optimal() => {
+            let ilp = partita_ilp::IlpSolution {
+                objective: sol.objective,
+                values: sol.values.clone(),
+            };
+            let chosen: Vec<Imp> = decode(db, map, &ilp)
+                .iter()
+                .filter_map(|id| db.get(*id).cloned())
+                .collect();
+            let selection = Selection::from_chosen(instance, chosen, sol.objective, sol.status);
+            SelectionAuditor::new(instance, db)
+                .audit(&selection, options)
+                .is_clean()
+        }
+        _ => false,
+    }
+}
+
+/// Races the configured backends and returns the accepted solution plus the
+/// backend that produced it.
+///
+/// # Errors
+///
+/// [`CoreError::BudgetExhausted`] when every racer exhausted its budget with
+/// no incumbent to show (the caller's fallback policy then applies, exactly
+/// as for a single backend).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_race(
+    instance: &Instance,
+    db: &ImpDb,
+    options: &SolveOptions,
+    model: &Model,
+    map: &VarMap,
+    seeds: &[Vec<f64>],
+    node_cuts: Option<Arc<CutSeparator>>,
+    sink: &dyn TelemetrySink,
+) -> Result<(EngineSolution, Backend), CoreError> {
+    let racers: Vec<Backend> = options
+        .racers
+        .clone()
+        .unwrap_or_else(|| DEFAULT_RACERS.to_vec())
+        .into_iter()
+        .filter(|b| *b != Backend::Portfolio)
+        .collect();
+    if racers.is_empty() {
+        return Err(CoreError::BudgetExhausted);
+    }
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let bound = Arc::new(SharedBound::new());
+    // Index of the first conclusive racer (usize::MAX = still open).
+    let winner = AtomicUsize::new(usize::MAX);
+    let started = Instant::now();
+
+    let mut reports: Vec<RacerReport> = Vec::with_capacity(racers.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = racers
+            .iter()
+            .enumerate()
+            .map(|(index, &backend)| {
+                let cancel = Arc::clone(&cancel);
+                let bound = Arc::clone(&bound);
+                let winner = &winner;
+                let node_cuts = node_cuts.clone();
+                scope.spawn(move || {
+                    let result = run_racer(
+                        backend,
+                        instance,
+                        db,
+                        options,
+                        model,
+                        map,
+                        seeds,
+                        node_cuts,
+                        Arc::clone(&cancel),
+                        bound,
+                    );
+                    if conclusive(&result, instance, db, map, options)
+                        && winner
+                            .compare_exchange(
+                                usize::MAX,
+                                index,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                    {
+                        cancel.store(true, Ordering::Release);
+                    }
+                    RacerReport {
+                        backend,
+                        result,
+                        wall: started.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A panicking racer poisons nothing shared; propagate it.
+            reports.push(handle.join().expect("racer thread panicked"));
+        }
+    });
+    let race_wall = started.elapsed();
+    let won = winner.load(Ordering::Acquire);
+
+    if sink.enabled() {
+        for report in &reports {
+            sink.emit(&Event::BackendFinished {
+                backend: report.backend,
+                outcome: report.outcome().to_string(),
+                nodes_explored: report
+                    .result
+                    .as_ref()
+                    .map_or(0, |sol| sol.effort.nodes_explored),
+                wall: report.wall,
+            });
+        }
+        sink.emit(&Event::RaceWon {
+            winner: reports.get(won).map(|r| r.backend),
+            racers: reports.len(),
+            wall: race_wall,
+        });
+    }
+
+    if let Some(report) = reports.get_mut(won) {
+        let backend = report.backend;
+        return std::mem::replace(&mut report.result, Err(CoreError::BudgetExhausted))
+            .map(|sol| (sol, backend));
+    }
+
+    // No conclusive winner: hand back the best incumbent under the same
+    // (score, lexicographic) rule the backends use, with its honest status.
+    let mut best: Option<(EngineSolution, Backend)> = None;
+    for report in reports {
+        let Ok(sol) = report.result else { continue };
+        let better = match &best {
+            None => true,
+            Some((incumbent, _)) => {
+                sol.objective < incumbent.objective - 1e-9
+                    || (sol.objective <= incumbent.objective + 1e-9
+                        && lex_less(&sol.values, &incumbent.values))
+            }
+        };
+        if better {
+            best = Some((sol, report.backend));
+        }
+    }
+    best.ok_or(CoreError::BudgetExhausted)
+}

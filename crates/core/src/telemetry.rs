@@ -256,11 +256,15 @@ pub enum EventKind {
     Counter,
     /// A free-form instantaneous gauge sample.
     Gauge,
+    /// One racer of a portfolio solve returned (win or lose).
+    BackendFinished,
+    /// A portfolio race was decided.
+    RaceWon,
 }
 
 impl EventKind {
     /// Every event kind, in the order they are documented.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::SolveStarted,
         EventKind::PhaseFinished,
         EventKind::WorkerFinished,
@@ -276,6 +280,8 @@ impl EventKind {
         EventKind::BasisReused,
         EventKind::Counter,
         EventKind::Gauge,
+        EventKind::BackendFinished,
+        EventKind::RaceWon,
     ];
 
     /// The snake_case name serialized into the `event` field.
@@ -297,6 +303,8 @@ impl EventKind {
             EventKind::BasisReused => "basis_reused",
             EventKind::Counter => "counter",
             EventKind::Gauge => "gauge",
+            EventKind::BackendFinished => "backend_finished",
+            EventKind::RaceWon => "race_won",
         }
     }
 }
@@ -489,6 +497,32 @@ pub enum Event {
         /// Sampled value.
         value: f64,
     },
+    /// One racer of a portfolio solve returned. Emitted once per configured
+    /// racer, in racer-configuration order, after every racer has joined —
+    /// so the event stream is deterministic however the race interleaved.
+    BackendFinished {
+        /// Which backend raced.
+        backend: Backend,
+        /// How the racer concluded: `optimal` (audit-clean proven optimum),
+        /// `infeasible` (proven empty), `incumbent` (feasible but not
+        /// proven — including racers cancelled mid-search), `heuristic`,
+        /// `exhausted` (budget gone, nothing to show), or `error`.
+        outcome: String,
+        /// Nodes the racer explored before stopping.
+        nodes_explored: usize,
+        /// Wall time from race start to this racer's return.
+        wall: Duration,
+    },
+    /// A portfolio race was decided.
+    RaceWon {
+        /// The racer whose result was accepted (`None` when the race ended
+        /// with no conclusive winner and the best incumbent was returned).
+        winner: Option<Backend>,
+        /// Racers configured.
+        racers: usize,
+        /// Wall time of the whole race.
+        wall: Duration,
+    },
 }
 
 /// Incremental writer for one serialized event. Field order is the schema's
@@ -560,6 +594,8 @@ impl Event {
             Event::BasisReused { .. } => EventKind::BasisReused,
             Event::Counter { .. } => EventKind::Counter,
             Event::Gauge { .. } => EventKind::Gauge,
+            Event::BackendFinished { .. } => EventKind::BackendFinished,
+            Event::RaceWon { .. } => EventKind::RaceWon,
         }
     }
 
@@ -765,6 +801,26 @@ impl Event {
                 } else {
                     w.raw("value", "null");
                 }
+            }
+            Event::BackendFinished {
+                backend,
+                outcome,
+                nodes_explored,
+                wall,
+            } => {
+                w.string("backend", backend.name());
+                w.string("outcome", outcome);
+                w.raw("nodes_explored", r.effort(*nodes_explored));
+                w.raw("wall_us", r.us(*wall));
+            }
+            Event::RaceWon {
+                winner,
+                racers,
+                wall,
+            } => {
+                w.opt_str("winner", winner.map(Backend::name));
+                w.raw("racers", racers);
+                w.raw("wall_us", r.us(*wall));
             }
         }
         w.finish()

@@ -1,0 +1,222 @@
+//! Property tests for the racing portfolio backend: whatever the race
+//! interleaving, the portfolio must never fabricate a result no racer
+//! produced, must stay byte-deterministic across thread counts, and must
+//! never launder budget exhaustion into an optimality claim.
+
+use proptest::prelude::*;
+
+use partita_core::{
+    Backend, CoreError, Imp, ImpDb, Instance, OptimalityStatus, ParallelChoice, RequiredGains,
+    SCall, SolveBudget, SolveOptions, Solver,
+};
+use partita_interface::{InterfaceKind, TransferJob};
+use partita_ip::{IpBlock, IpFunction, IpId};
+use partita_mop::{AreaTenths, CallSiteId, Cycles};
+
+/// A random conflict-bearing instance: 4 s-calls on one path, IMPs that may
+/// consume another s-call's software implementation as parallel code (the
+/// Problem 2 structure the conflict-enumeration racer exploits).
+#[derive(Debug, Clone)]
+struct RaceInstance {
+    ip_areas: Vec<i64>,
+    /// (scall, ip, gain, interface tenths, consumed scall or same = none)
+    imps: Vec<(u32, u32, u64, i64, u32)>,
+    required: u64,
+}
+
+fn race_instance() -> impl Strategy<Value = RaceInstance> {
+    (
+        proptest::collection::vec(1i64..20, 2..4),
+        proptest::collection::vec((0u32..4, 0u32..3, 1u64..200, 0i64..10, 0u32..4), 1..8),
+        0u64..500,
+    )
+        .prop_map(|(ip_areas, mut imps, required)| {
+            let n_ips = ip_areas.len() as u32;
+            for imp in &mut imps {
+                imp.1 %= n_ips;
+            }
+            RaceInstance {
+                ip_areas,
+                imps,
+                required,
+            }
+        })
+}
+
+fn build(ri: &RaceInstance) -> (Instance, ImpDb) {
+    let mut inst = Instance::new("race-prop");
+    for (i, &a) in ri.ip_areas.iter().enumerate() {
+        inst.library.add(
+            IpBlock::builder(format!("ip{i}"))
+                .function(IpFunction::Fir)
+                .area(AreaTenths::from_units(a))
+                .build(),
+        );
+    }
+    for sc in 0..4u32 {
+        inst.add_scall(SCall::new(
+            format!("f{sc}"),
+            IpFunction::Fir,
+            Cycles(1000),
+            TransferJob::new(8, 8),
+        ));
+    }
+    inst.add_path((0..4).map(CallSiteId).collect());
+    let imps = ri
+        .imps
+        .iter()
+        .map(|&(sc, ip, gain, tenths, consumed)| {
+            let parallel = if consumed == sc {
+                ParallelChoice::None
+            } else {
+                ParallelChoice::SwScalls(vec![CallSiteId(consumed)])
+            };
+            Imp::new(
+                CallSiteId(sc),
+                vec![IpId(ip)],
+                InterfaceKind::Type1,
+                Cycles(gain),
+                AreaTenths::from_tenths(tenths),
+                parallel,
+            )
+        })
+        .collect();
+    (inst, ImpDb::from_imps(imps))
+}
+
+fn options(required: u64, threads: usize) -> SolveOptions {
+    SolveOptions::problem2(RequiredGains::uniform(Cycles(required)))
+        // No fallback: budget trouble must surface as an error here.
+        .budget(
+            SolveBudget::default()
+                .with_fallback(None)
+                .with_threads(threads),
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under an ample budget the race always concludes, and cancel-on-win
+    /// returns exactly the selection every exact racer would return alone —
+    /// whoever won. This is the "never fabricates a result" lock: a result
+    /// differing from all racers' own results would trip it.
+    #[test]
+    fn race_returns_exactly_the_racers_common_result(ri in race_instance()) {
+        let (inst, db) = build(&ri);
+        let race = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&options(ri.required, 1).backend(Backend::Portfolio));
+        let solo: Vec<_> = [Backend::BranchBound, Backend::ConflictEnum, Backend::Lagrangian]
+            .into_iter()
+            .map(|b| {
+                Solver::new(&inst)
+                    .with_imps(db.clone())
+                    .solve(&options(ri.required, 1).backend(b))
+            })
+            .collect();
+        match race {
+            Ok(sel) => {
+                prop_assert_eq!(sel.status, OptimalityStatus::Optimal);
+                for (b, s) in [Backend::BranchBound, Backend::ConflictEnum, Backend::Lagrangian]
+                    .iter()
+                    .zip(&solo)
+                {
+                    let s = s.as_ref().unwrap_or_else(|e| {
+                        panic!("race feasible but {b} errored: {e}")
+                    });
+                    prop_assert_eq!(
+                        sel.chosen(), s.chosen(),
+                        "portfolio selection is not {}'s selection", b
+                    );
+                    prop_assert_eq!(sel.total_area(), s.total_area());
+                }
+            }
+            Err(CoreError::Infeasible { .. }) => {
+                for s in &solo {
+                    prop_assert!(
+                        matches!(s, Err(CoreError::Infeasible { .. })),
+                        "race infeasible but a solo racer disagreed: {s:?}"
+                    );
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected race error: {e}"),
+        }
+    }
+
+    /// The raced result is byte-identical across branch-and-bound worker
+    /// counts (the racer line-up itself is fixed; only BB's internal
+    /// parallelism varies).
+    #[test]
+    fn race_is_deterministic_across_thread_counts(ri in race_instance()) {
+        let (inst, db) = build(&ri);
+        let at = |threads: usize| {
+            Solver::new(&inst)
+                .with_imps(db.clone())
+                .solve(&options(ri.required, threads).backend(Backend::Portfolio))
+        };
+        match (at(1), at(4)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.chosen(), b.chosen(), "selection varies with threads");
+                prop_assert_eq!(a.total_area(), b.total_area());
+                prop_assert_eq!(a.status, b.status);
+            }
+            (Err(CoreError::Infeasible { .. }), Err(CoreError::Infeasible { .. })) => {}
+            (a, b) => prop_assert!(false, "thread-count divergence: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Budget honesty, end to end, for every backend: under a starved node
+    /// budget a backend may fail or may return a feasible point, but a
+    /// selection claiming `Optimal` must actually BE the optimum (checked
+    /// against an unbudgeted reference), and a feasible non-optimal claim
+    /// must never beat it.
+    #[test]
+    fn no_backend_launders_exhaustion_into_optimal(
+        ri in race_instance(),
+        backend_idx in 0usize..Backend::ALL.len(),
+        max_nodes in 1usize..4,
+    ) {
+        let backend = Backend::ALL[backend_idx];
+        let (inst, db) = build(&ri);
+        let reference = Solver::new(&inst)
+            .with_imps(db.clone())
+            .solve(&options(ri.required, 1));
+        let starved = SolveOptions::problem2(RequiredGains::uniform(Cycles(ri.required)))
+            .backend(backend)
+            .budget(
+                SolveBudget::default()
+                    .with_max_nodes(max_nodes)
+                    .with_fallback(None)
+                    .with_threads(1),
+            );
+        match Solver::new(&inst).with_imps(db.clone()).solve(&starved) {
+            Ok(sel) => {
+                let opt = reference.as_ref().unwrap_or_else(|e| {
+                    panic!("starved {backend} feasible but reference errored: {e}")
+                });
+                prop_assert!(
+                    sel.total_area() >= opt.total_area(),
+                    "starved {} beat the optimum", backend
+                );
+                if sel.status == OptimalityStatus::Optimal {
+                    prop_assert_eq!(
+                        sel.total_area(), opt.total_area(),
+                        "{} claimed Optimal for a non-optimal selection", backend
+                    );
+                }
+                prop_assert!(sel.verify(&inst, &starved).is_ok());
+            }
+            Err(CoreError::BudgetExhausted) => {}
+            Err(CoreError::Infeasible { .. }) => {
+                // An infeasibility *proof* requires a completed search; the
+                // unbudgeted reference must agree.
+                prop_assert!(
+                    matches!(reference, Err(CoreError::Infeasible { .. })),
+                    "starved {} claimed infeasible on a feasible instance", backend
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected error from starved {}: {e}", backend),
+        }
+    }
+}

@@ -1,33 +1,56 @@
 //! Brute-force reference solver for validation.
 
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+use crate::branch_bound::lex_less;
 use crate::simplex::{solve_with_bounds, SimplexOptions};
-use crate::{IlpError, IlpSolution, Model, Sense, VarId, VarKind};
+use crate::{IlpError, IlpSolution, Model, Sense, Termination, VarId, VarKind};
 
 /// Maximum number of binaries the exhaustive solver accepts.
 pub const MAX_EXHAUSTIVE_BINARIES: usize = 24;
 
-/// Solves `model` by enumerating every assignment of its binary variables.
+/// Tie window within which the lexicographic tie-break applies (matches
+/// branch-and-bound's `TIE_TOL`).
+const TIE_TOL: f64 = 1e-9;
+
+/// How many assignments are enumerated between deadline/cancel polls.
+const POLL_STRIDE: u64 = 256;
+
+/// Outcome of [`run_binary_exhaustive`]: the best feasible assignment seen
+/// (if any), why the enumeration stopped, and how far it got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveRun {
+    /// Best integer-feasible solution found so far; `None` when every
+    /// enumerated assignment was infeasible.
+    pub solution: Option<IlpSolution>,
+    /// [`Termination::Optimal`] only when every assignment was enumerated.
+    pub termination: Termination,
+    /// Number of binary assignments actually checked.
+    pub assignments_checked: usize,
+}
+
+/// Budget-aware exhaustive enumeration over the binary assignments of
+/// `model`, with the same tie-break contract as [`crate::BranchBound`]: the
+/// reported solution is the lexicographically smallest optimal assignment,
+/// so exact backends agree byte-for-byte.
 ///
-/// Pure-binary models are checked directly; models with continuous variables
-/// solve an LP per assignment. This is the oracle that the property-test
-/// suite compares [`crate::BranchBound`] against.
+/// `max_assignments` bounds how many assignments are checked; `deadline`
+/// and `cancel` are polled every few hundred assignments. An exhausted
+/// budget returns the best incumbent found so far with an honest
+/// [`Termination`], never an error.
 ///
 /// # Errors
 ///
 /// [`IlpError::TooManyBinaries`] for more than
-/// [`MAX_EXHAUSTIVE_BINARIES`] binaries, [`IlpError::Infeasible`] when no
-/// assignment is feasible.
-pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
-    solve_binary_exhaustive_counted(model).map(|(sol, _)| sol)
-}
-
-/// Like [`solve_binary_exhaustive`], also returning the number of binary
-/// assignments enumerated (for solve telemetry).
-///
-/// # Errors
-///
-/// Same as [`solve_binary_exhaustive`].
-pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, usize), IlpError> {
+/// [`MAX_EXHAUSTIVE_BINARIES`] binaries; simplex errors propagate for
+/// mixed models.
+pub fn run_binary_exhaustive(
+    model: &Model,
+    max_assignments: usize,
+    deadline: Option<Duration>,
+    cancel: Option<&AtomicBool>,
+) -> Result<ExhaustiveRun, IlpError> {
     let binaries = model.binary_vars();
     if binaries.len() > MAX_EXHAUSTIVE_BINARIES {
         return Err(IlpError::TooManyBinaries {
@@ -35,6 +58,7 @@ pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, us
             max: MAX_EXHAUSTIVE_BINARIES,
         });
     }
+    let started = Instant::now();
     let n = model.num_vars();
     let pure_binary = (0..n).all(|i| {
         model
@@ -47,9 +71,26 @@ pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, us
 
     let mut best: Option<IlpSolution> = None;
     let mut best_score = f64::INFINITY;
-    let assignments_checked = 1usize << binaries.len();
+    let mut checked = 0usize;
+    let mut termination = Termination::Optimal;
 
-    for mask in 0u64..(1u64 << binaries.len()) {
+    let total = 1u64 << binaries.len();
+    for mask in 0..total {
+        if checked >= max_assignments {
+            termination = Termination::NodeLimit;
+            break;
+        }
+        if mask % POLL_STRIDE == 0 {
+            if deadline.is_some_and(|d| started.elapsed() >= d) {
+                termination = Termination::Deadline;
+                break;
+            }
+            if cancel.is_some_and(|c| c.load(AtomicOrdering::Relaxed)) {
+                termination = Termination::Cancelled;
+                break;
+            }
+        }
+        checked += 1;
         let mut lower = Vec::with_capacity(n);
         let mut upper = Vec::with_capacity(n);
         for i in 0..n {
@@ -80,15 +121,54 @@ pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, us
 
         if let Some((objective, values)) = candidate {
             let score = norm(objective);
-            if score < best_score {
-                best_score = score;
+            let improves = match &best {
+                None => true,
+                Some(sol) => {
+                    score < best_score - TIE_TOL
+                        || (score <= best_score + TIE_TOL && lex_less(&values, &sol.values))
+                }
+            };
+            if improves {
+                best_score = best_score.min(score);
                 best = Some(IlpSolution { objective, values });
             }
         }
     }
 
-    best.ok_or(IlpError::Infeasible)
-        .map(|sol| (sol, assignments_checked))
+    Ok(ExhaustiveRun {
+        solution: best,
+        termination,
+        assignments_checked: checked,
+    })
+}
+
+/// Solves `model` by enumerating every assignment of its binary variables.
+///
+/// Pure-binary models are checked directly; models with continuous variables
+/// solve an LP per assignment. This is the oracle that the property-test
+/// suite compares [`crate::BranchBound`] against.
+///
+/// # Errors
+///
+/// [`IlpError::TooManyBinaries`] for more than
+/// [`MAX_EXHAUSTIVE_BINARIES`] binaries, [`IlpError::Infeasible`] when no
+/// assignment is feasible.
+pub fn solve_binary_exhaustive(model: &Model) -> Result<IlpSolution, IlpError> {
+    solve_binary_exhaustive_counted(model).map(|(sol, _)| sol)
+}
+
+/// Like [`solve_binary_exhaustive`], also returning the number of binary
+/// assignments enumerated (for solve telemetry).
+///
+/// # Errors
+///
+/// Same as [`solve_binary_exhaustive`].
+pub fn solve_binary_exhaustive_counted(model: &Model) -> Result<(IlpSolution, usize), IlpError> {
+    let run = run_binary_exhaustive(model, usize::MAX, None, None)?;
+    debug_assert_eq!(run.termination, Termination::Optimal);
+    run.solution
+        .ok_or(IlpError::Infeasible)
+        .map(|sol| (sol, run.assignments_checked))
 }
 
 #[cfg(test)]
@@ -128,6 +208,66 @@ mod tests {
         let a = m.add_binary("a");
         m.add_constraint([(a, 1.0)], Relation::Ge, 2.0).unwrap();
         assert_eq!(solve_binary_exhaustive(&m), Err(IlpError::Infeasible));
+    }
+
+    #[test]
+    fn tie_break_matches_branch_bound() {
+        // min a + b s.t. 2a + 2b >= 1 has two tied optima (1,0) and (0,1);
+        // both exact solvers must report the lexicographically smallest
+        // assignment (0,1) so differential comparisons are byte-stable.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective([(a, 1.0), (b, 1.0)]);
+        m.add_constraint([(a, 2.0), (b, 2.0)], Relation::Ge, 1.0)
+            .unwrap();
+        let e = solve_binary_exhaustive(&m).unwrap();
+        let bb = BranchBound::new().solve(&m).unwrap();
+        assert_eq!(e.values, bb.values);
+        assert_eq!(
+            (e.value(a).round() as i64, e.value(b).round() as i64),
+            (0, 1)
+        );
+    }
+
+    #[test]
+    fn assignment_budget_reports_node_limit() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective([(a, 1.0), (b, 1.0)]);
+        let run = run_binary_exhaustive(&m, 2, None, None).unwrap();
+        assert_eq!(run.termination, Termination::NodeLimit);
+        assert_eq!(run.assignments_checked, 2);
+        // The all-zero assignment is feasible, so an incumbent survives.
+        assert!(run.solution.is_some());
+    }
+
+    #[test]
+    fn pre_set_cancel_stops_before_any_work() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        m.set_objective([(a, 1.0)]);
+        let flag = AtomicBool::new(true);
+        let run = run_binary_exhaustive(&m, usize::MAX, None, Some(&flag)).unwrap();
+        assert_eq!(run.termination, Termination::Cancelled);
+        assert_eq!(run.assignments_checked, 0);
+        assert!(run.solution.is_none());
+        flag.store(false, Ordering::Relaxed);
+        let run = run_binary_exhaustive(&m, usize::MAX, None, Some(&flag)).unwrap();
+        assert_eq!(run.termination, Termination::Optimal);
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        m.set_objective([(a, 1.0)]);
+        let run =
+            run_binary_exhaustive(&m, usize::MAX, Some(std::time::Duration::ZERO), None).unwrap();
+        assert_eq!(run.termination, Termination::Deadline);
+        assert!(run.solution.is_none());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod branch_bound;
+pub mod cuts;
 mod error;
 mod exhaustive;
 mod expr;
@@ -45,10 +46,13 @@ mod model;
 pub mod simplex;
 mod solution;
 
-pub use branch_bound::{BranchBound, BranchBoundRun, BranchBoundStats, Termination, WorkerStats};
+pub use branch_bound::{
+    lex_less, BranchBound, BranchBoundRun, BranchBoundStats, SharedBound, Termination, WorkerStats,
+};
 pub use error::IlpError;
 pub use exhaustive::{
-    solve_binary_exhaustive, solve_binary_exhaustive_counted, MAX_EXHAUSTIVE_BINARIES,
+    run_binary_exhaustive, solve_binary_exhaustive, solve_binary_exhaustive_counted, ExhaustiveRun,
+    MAX_EXHAUSTIVE_BINARIES,
 };
 pub use expr::LinExpr;
 pub use model::{Model, Relation, Sense, VarId, VarKind};
@@ -68,4 +72,8 @@ const _: () = {
     assert_send_sync::<BranchBound>();
     assert_send_sync::<BranchBoundStats>();
     assert_send_sync::<IlpError>();
+    // Portfolio racing shares these across racer threads.
+    assert_send_sync::<SharedBound>();
+    assert_send_sync::<cuts::CutSeparator>();
+    assert_send_sync::<ExhaustiveRun>();
 };

@@ -134,7 +134,9 @@ proptest! {
                     Termination::NodeLimit => {
                         prop_assert!(run.stats.nodes_explored <= max_nodes);
                     }
-                    Termination::Deadline => prop_assert!(false, "no deadline was set"),
+                    Termination::Deadline | Termination::Cancelled => {
+                        prop_assert!(false, "no deadline or cancel flag was set")
+                    }
                 }
             }
             Err(IlpError::Infeasible) => {

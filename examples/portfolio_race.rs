@@ -1,0 +1,45 @@
+//! Race the exact backends against each other on the JPEG encoder.
+//!
+//! The portfolio backend runs branch-and-bound, conflict enumeration and
+//! the Lagrangian enumerator concurrently on the same model, sharing every
+//! incumbent through a common bound. The first racer whose result is
+//! proven optimal *and* audit-clean cancels the rest. Whichever racer wins,
+//! the selection is byte-identical — the determinism contract documented in
+//! `docs/BACKENDS.md` — so racing changes latency, never answers.
+//!
+//! Run with `cargo run --example portfolio_race`.
+
+use std::sync::Arc;
+
+use partita::core::telemetry::{RecordingSink, Redaction, TelemetrySink};
+use partita::core::{Backend, RequiredGains, SolveOptions, Solver};
+use partita::workloads::jpeg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = jpeg::encoder();
+    for &rg in &w.rg_sweep {
+        let sink = Arc::new(RecordingSink::new());
+        let options = SolveOptions::problem2(RequiredGains::uniform(rg))
+            .backend(Backend::Portfolio)
+            .budget(Default::default());
+        let selection = Solver::new(&w.instance)
+            .with_imps(w.imps.clone())
+            .with_sink(sink.clone() as Arc<dyn TelemetrySink>)
+            .solve(&options)?;
+        println!(
+            "RG {:>6}: gain {:>6}, area {:>5}, status {}",
+            rg.get(),
+            selection.total_gain().get(),
+            selection.total_area(),
+            selection.status,
+        );
+        // The race reports one `backend_finished` line per racer and a
+        // closing `race_won` line naming the winner.
+        for line in sink.lines(Redaction::None) {
+            if line.contains("backend_finished") || line.contains("race_won") {
+                println!("    {line}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -68,9 +68,13 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
                     &SolveOptions::problem2(RequiredGains::uniform(rg))
                         .backend(backend)
                         // No fallback: a budget problem must surface as an
-                        // error, not silently degrade the comparison.
+                        // error, not silently degrade the comparison. The
+                        // oracle role needs full enumeration, so the node
+                        // budget is effectively unlimited (the exhaustive
+                        // binary-variable cap still bounds the work).
                         .budget(
                             SolveBudget::default()
+                                .with_max_nodes(usize::MAX)
                                 .with_fallback(None)
                                 .with_threads(threads),
                         ),
@@ -93,6 +97,49 @@ fn serial_parallel_and_exhaustive_agree_on_corpus() {
                     &ctx,
                 );
             }
+
+            // The portfolio's exact racers must not just bound-match the
+            // oracle: per the determinism contract of docs/BACKENDS.md each
+            // returns the *byte-identical* tie-broken selection serial
+            // branch-and-bound returns, and every feasible result must
+            // audit clean.
+            for backend in [
+                Backend::Lagrangian,
+                Backend::ConflictEnum,
+                Backend::Portfolio,
+            ] {
+                let raced = solve(backend, 1);
+                match (&serial_result, &raced) {
+                    (Ok(expected), Ok(got)) => {
+                        assert_eq!(
+                            expected.chosen(),
+                            got.chosen(),
+                            "{backend} selection diverged from branch-and-bound at {ctx}"
+                        );
+                        assert_eq!(
+                            expected.total_area(),
+                            got.total_area(),
+                            "{backend} area diverged at {ctx}"
+                        );
+                        assert!(
+                            got.status.is_optimal(),
+                            "{backend} returned non-optimal status {} at {ctx}",
+                            got.status
+                        );
+                        common::assert_audit_clean(
+                            &w,
+                            got,
+                            &SolveOptions::problem2(RequiredGains::uniform(rg)),
+                            &ctx,
+                        );
+                    }
+                    (Err(CoreError::Infeasible { .. }), Err(CoreError::Infeasible { .. })) => {}
+                    other => {
+                        panic!("{backend} vs branch-and-bound diverged at {ctx}: {other:?}")
+                    }
+                }
+            }
+
             let serial = verdict(serial_result).expect("branch-and-bound has no size cap");
             let parallel = verdict(solve(Backend::BranchBound, PARALLEL_THREADS))
                 .expect("branch-and-bound has no size cap");

@@ -221,6 +221,60 @@ fn sweep_stream_covers_cache_and_chain_events() {
 }
 
 #[test]
+fn portfolio_stream_reports_every_racer_and_the_winner() {
+    use partita::core::Backend;
+    let w = jpeg::encoder();
+    let opts =
+        SolveOptions::problem2(RequiredGains::uniform(w.rg_sweep[0])).backend(Backend::Portfolio);
+    let (sink, sel) = solve_recorded(&w, &opts);
+    assert!(sel.status.is_optimal(), "ample budget: the race concludes");
+    let lines = sink.lines(Redaction::None);
+    for line in &lines {
+        check_line(line);
+    }
+    let finished: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"backend_finished\""))
+        .collect();
+    assert_eq!(
+        finished.len(),
+        3,
+        "one backend_finished per default racer: {lines:?}"
+    );
+    // Racer reports arrive in line-up order, whatever the race timing.
+    for (line, backend) in finished
+        .iter()
+        .zip(["branch_bound", "conflict_enum", "lagrangian"])
+    {
+        let doc = JsonValue::parse(line).expect("valid backend_finished");
+        assert_eq!(
+            doc.get("backend").and_then(JsonValue::as_str),
+            Some(backend),
+            "racer order must match the configured line-up"
+        );
+    }
+    let won = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"race_won\""))
+        .expect("race_won line");
+    let doc = JsonValue::parse(won).expect("valid race_won");
+    let winner = doc
+        .get("winner")
+        .and_then(JsonValue::as_str)
+        .expect("a concluded race names its winner")
+        .to_string();
+    assert!(
+        finished.iter().any(|l| {
+            let d = JsonValue::parse(l).expect("valid backend_finished");
+            d.get("backend").and_then(JsonValue::as_str) == Some(winner.as_str())
+                && d.get("outcome").and_then(JsonValue::as_str) == Some("optimal")
+        }),
+        "the winner must be a racer that reported an optimal outcome"
+    );
+    assert_eq!(doc.get("racers").and_then(JsonValue::as_u64), Some(3));
+}
+
+#[test]
 fn docs_cover_every_event_kind() {
     let doc = include_str!("../docs/TELEMETRY.md");
     for kind in EventKind::ALL {
